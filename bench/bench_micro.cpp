@@ -1,0 +1,84 @@
+// Micro-benchmarks (google-benchmark) for the primitive layers:
+// BDD operations, HDL parsing, instruction-set extraction and BURS
+// labelling. These give the grammar-dependent constants behind the
+// Table 3 / throughput numbers.
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.h"
+#include "core/record.h"
+#include "hdl/parser.h"
+#include "hdl/sema.h"
+#include "ir/builder.h"
+#include "models/models.h"
+#include "select/selector.h"
+
+using namespace record;
+
+static void BM_BddMajority(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bdd::BddManager mgr;
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(mgr.new_var("v"));
+    // Majority-of-n via Shannon expansion — a classic mid-size BDD.
+    bdd::Ref sum = bdd::kFalse;
+    for (int i = 0; i < n; ++i) {
+      bdd::Ref carry = bdd::kFalse;
+      for (int j = i + 1; j < n; ++j)
+        carry = mgr.lor(carry, mgr.land(mgr.var(vars[i]), mgr.var(vars[j])));
+      sum = mgr.lor(sum, carry);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BddMajority)->Arg(8)->Arg(16)->Arg(24);
+
+static void BM_HdlParse(benchmark::State& state) {
+  std::string_view src = models::tms320c25_source();
+  for (auto _ : state) {
+    util::DiagnosticSink diags;
+    auto model = hdl::parse(src, diags);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_HdlParse);
+
+static void BM_FullRetarget(benchmark::State& state) {
+  static const char* kModels[] = {"bass_boost", "manocpu", "tms320c25"};
+  const char* name = kModels[state.range(0)];
+  for (auto _ : state) {
+    util::DiagnosticSink diags;
+    auto result =
+        core::Record::retarget_model(name, core::RetargetOptions{}, diags);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_FullRetarget)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_BursLabel(benchmark::State& state) {
+  util::DiagnosticSink diags;
+  static auto target = core::Record::retarget_model(
+      "tms320c25", core::RetargetOptions{}, diags);
+  ir::ProgramBuilder b("bench");
+  b.reg("acc", "ACC");
+  const int terms = static_cast<int>(state.range(0));
+  ir::ExprPtr sum;
+  for (int i = 0; i < terms; ++i) {
+    std::string u = "u" + std::to_string(i), v = "v" + std::to_string(i);
+    b.cell(u, "ram", i).cell(v, "ram", 32 + i);
+    auto prod = ir::e_mul(ir::e_var(u), ir::e_var(v));
+    sum = sum ? ir::e_add(std::move(sum), std::move(prod)) : std::move(prod);
+  }
+  b.let("acc", std::move(sum));
+  ir::Program prog = b.take();
+  for (auto _ : state) {
+    util::DiagnosticSink d;
+    select::CodeSelector selector(*target->base, target->tree_grammar, d);
+    auto result = selector.select(prog);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BursLabel)->Arg(4)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

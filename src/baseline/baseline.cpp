@@ -1,0 +1,149 @@
+#include "baseline/baseline.h"
+
+#include "util/strings.h"
+
+namespace record::baseline {
+
+namespace {
+
+std::string first_memory(const rtl::TemplateBase& base) {
+  for (const rtl::StorageInfo& s : base.storage)
+    if (s.kind == rtl::DestKind::Memory) return s.name;
+  return {};
+}
+
+/// The target's "int" width: vendor compilers promote arithmetic to the
+/// accumulator width, so the widest readable register defines it.
+int accumulator_width(const rtl::TemplateBase& base) {
+  int w = 16;
+  for (const rtl::StorageInfo& s : base.storage)
+    if (s.kind == rtl::DestKind::Register) w = std::max(w, s.width);
+  return w;
+}
+
+class Lowerer {
+ public:
+  Lowerer(const ir::Program& in, std::string temp_mem, std::int64_t base,
+          int int_width)
+      : in_(in), out_(in.name() + "_3addr"), temp_mem_(std::move(temp_mem)),
+        temp_base_(base), int_width_(int_width) {}
+
+  ir::Program run() {
+    for (const auto& [var, bind] : in_.bindings()) {
+      if (bind.kind == ir::Binding::Kind::Register)
+        out_.bind_register(var, bind.storage);
+      else
+        out_.bind_mem_cell(var, bind.storage, bind.cell);
+    }
+    for (const ir::Stmt& s : in_.stmts()) lower_stmt(s);
+    return std::move(out_);
+  }
+
+ private:
+  /// Replaces nested operator subtrees by memory temporaries, emitting one
+  /// statement per inner node (strict three-address discipline).
+  ir::ExprPtr atomize(const ir::Expr& e, bool is_root) {
+    switch (e.kind) {
+      case ir::Expr::Kind::Const:
+      case ir::Expr::Kind::Var:
+        return e.clone();
+      case ir::Expr::Kind::Load: {
+        ir::ExprPtr addr = atomize(*e.args[0], /*is_root=*/false);
+        ir::ExprPtr load = ir::e_load(e.mem, std::move(addr));
+        if (is_root) return load;
+        return spill_to_temp(std::move(load));
+      }
+      case ir::Expr::Kind::OpNode: {
+        auto node = std::make_unique<ir::Expr>();
+        node->kind = ir::Expr::Kind::OpNode;
+        node->op = e.op;
+        node->custom = e.custom;
+        node->width_override = e.width_override;
+        // C-style promotion: arithmetic happens at "int" (accumulator)
+        // width. Without this, memory temporaries would narrow operations
+        // below the datapath width.
+        if (e.op != hdl::OpKind::Custom && node->width_override == 0)
+          node->width_override = int_width_;
+        for (const ir::ExprPtr& a : e.args)
+          node->args.push_back(atomize(*a, /*is_root=*/false));
+        if (is_root) return node;
+        return spill_to_temp(std::move(node));
+      }
+    }
+    return ir::e_const(0);
+  }
+
+  ir::ExprPtr spill_to_temp(ir::ExprPtr value) {
+    std::string tmp = util::fmt("__bt{}", temp_counter_);
+    out_.bind_mem_cell(tmp, temp_mem_,
+                       temp_base_ + static_cast<std::int64_t>(temp_counter_));
+    ++temp_counter_;
+    out_.assign(tmp, std::move(value));
+    return ir::e_var(tmp);
+  }
+
+  void lower_stmt(const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::Stmt::Kind::Assign:
+        out_.assign(s.dest_var, atomize(*s.rhs, /*is_root=*/true));
+        return;
+      case ir::Stmt::Kind::Store: {
+        ir::ExprPtr addr = atomize(*s.addr, /*is_root=*/true);
+        ir::ExprPtr rhs = atomize(*s.rhs, /*is_root=*/true);
+        out_.store(s.mem, std::move(addr), std::move(rhs));
+        return;
+      }
+      case ir::Stmt::Kind::LabelDef:
+        out_.label(s.label);
+        return;
+      case ir::Stmt::Kind::Branch:
+        switch (s.branch) {
+          case ir::BranchKind::Always:
+            out_.branch(s.label);
+            return;
+          case ir::BranchKind::IfZero:
+            out_.branch_if_zero(s.cond_var, s.label);
+            return;
+          case ir::BranchKind::IfNotZero:
+            out_.branch_if_not_zero(s.cond_var, s.label);
+            return;
+        }
+    }
+  }
+
+  const ir::Program& in_;
+  ir::Program out_;
+  std::string temp_mem_;
+  std::int64_t temp_base_;
+  int int_width_;
+  std::size_t temp_counter_ = 0;
+};
+
+}  // namespace
+
+ir::Program lower_three_address(const ir::Program& prog,
+                                const rtl::TemplateBase& base,
+                                const BaselineOptions& options) {
+  std::string mem = options.temp_memory.empty() ? first_memory(base)
+                                                : options.temp_memory;
+  Lowerer lowerer(prog, mem, options.temp_base, accumulator_width(base));
+  return lowerer.run();
+}
+
+std::optional<core::CompileResult> compile_baseline(
+    const core::RetargetResult& plain_target, const ir::Program& prog,
+    const BaselineOptions& options, util::DiagnosticSink& diags) {
+  if (!plain_target.base) {
+    diags.error({}, "baseline: empty retarget result");
+    return std::nullopt;
+  }
+  ir::Program lowered =
+      lower_three_address(prog, *plain_target.base, options);
+
+  core::CompileOptions copts;
+  copts.compact.enabled = false;  // no instruction-level parallelism
+  core::Compiler compiler(plain_target);
+  return compiler.compile(lowered, copts, diags);
+}
+
+}  // namespace record::baseline

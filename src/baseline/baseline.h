@@ -1,0 +1,42 @@
+// The "vendor-style" baseline compiler — stand-in for the TI C compiler of
+// Figure 2 (see DESIGN.md, substitutions).
+//
+// It generates *correct* code for the same processor model but with the
+// structural weaknesses typical of mid-90s DSP C compilers:
+//   * three-address lowering: every inner operator is evaluated into a
+//     compiler temporary in memory and reloaded (no chained operations, no
+//     multiply-accumulate fusion),
+//   * the template base is used un-extended (no commutative or algebraic
+//     variants), so badly shaped expressions cost extra moves,
+//   * no code compaction: one RT per instruction word (no parallel
+//     address-register updates).
+#pragma once
+
+#include <optional>
+
+#include "core/compiler.h"
+#include "core/record.h"
+#include "ir/program.h"
+#include "util/diagnostics.h"
+
+namespace record::baseline {
+
+struct BaselineOptions {
+  /// Memory holding compiler temporaries; empty = target's first memory.
+  std::string temp_memory;
+  std::int64_t temp_base = 0x90;
+};
+
+/// Lowers a program to three-address form with memory temporaries.
+[[nodiscard]] ir::Program lower_three_address(const ir::Program& prog,
+                                              const rtl::TemplateBase& base,
+                                              const BaselineOptions& options);
+
+/// Compiles with the baseline strategy. `plain_target` must be a retarget
+/// result produced WITHOUT template-base extension (commutativity = false,
+/// standard_rewrites = false) for the weaknesses to be faithful.
+[[nodiscard]] std::optional<core::CompileResult> compile_baseline(
+    const core::RetargetResult& plain_target, const ir::Program& prog,
+    const BaselineOptions& options, util::DiagnosticSink& diags);
+
+}  // namespace record::baseline

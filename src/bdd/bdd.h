@@ -1,0 +1,213 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// The paper (section 2, "Analysis of control signals") models RT-template
+// execution conditions as BDDs whose variables are instruction-word bits and
+// mode-register bits. This is a from-scratch ROBDD package providing exactly
+// what instruction-set extraction and code compaction need:
+//
+//   * canonical node table (unique table) with creation-order variable order,
+//   * ite/and/or/xor/not with a computed-table cache,
+//   * restrict (cofactor) and compose (substitute a function for a variable),
+//   * satisfiability, implication, model extraction and model counting,
+//   * support computation and a stable textual dump for tests.
+//
+// There is no garbage collection: condition BDDs in this domain are small
+// (tens of variables) and managers are per-retargeting-run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace record::bdd {
+
+/// Handle to a BDD node owned by a BddManager. Value 0 is the constant FALSE,
+/// value 1 the constant TRUE. Handles are only meaningful together with the
+/// manager that produced them.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+/// A (partial) variable assignment: variable index -> value.
+using Assignment = std::vector<std::pair<int, bool>>;
+
+class BddManager {
+ public:
+  BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+  BddManager(BddManager&&) = default;
+  BddManager& operator=(BddManager&&) = default;
+
+  // --- variables ---------------------------------------------------------
+
+  /// Registers a new Boolean variable; returns its index. Variables are
+  /// ordered by registration order (smaller index = closer to the root).
+  int new_var(std::string name);
+
+  [[nodiscard]] int var_count() const { return static_cast<int>(names_.size()); }
+  [[nodiscard]] const std::string& var_name(int v) const { return names_.at(static_cast<std::size_t>(v)); }
+
+  /// Finds a variable by name; -1 if absent.
+  [[nodiscard]] int find_var(std::string_view name) const;
+
+  // --- leaf/literal constructors -----------------------------------------
+
+  [[nodiscard]] static Ref zero() { return kFalse; }
+  [[nodiscard]] static Ref one() { return kTrue; }
+  [[nodiscard]] Ref literal(int v, bool positive);
+  [[nodiscard]] Ref var(int v) { return literal(v, true); }
+  [[nodiscard]] Ref nvar(int v) { return literal(v, false); }
+
+  // --- Boolean connectives ------------------------------------------------
+
+  [[nodiscard]] Ref ite(Ref f, Ref g, Ref h);
+  [[nodiscard]] Ref land(Ref f, Ref g) { return ite(f, g, kFalse); }
+  [[nodiscard]] Ref lor(Ref f, Ref g) { return ite(f, kTrue, g); }
+  [[nodiscard]] Ref lnot(Ref f) { return ite(f, kFalse, kTrue); }
+  [[nodiscard]] Ref lxor(Ref f, Ref g) { return ite(f, lnot(g), g); }
+  [[nodiscard]] Ref limp(Ref f, Ref g) { return ite(f, g, kTrue); }
+
+  // --- structural operations ----------------------------------------------
+
+  /// Cofactor: f with variable v fixed to `value`.
+  [[nodiscard]] Ref restrict(Ref f, int v, bool value);
+
+  /// Substitution: f with variable v replaced by function g.
+  [[nodiscard]] Ref compose(Ref f, int v, Ref g);
+
+  /// Existential quantification over one variable.
+  [[nodiscard]] Ref exists(Ref f, int v);
+
+  // --- queries -------------------------------------------------------------
+
+  [[nodiscard]] static bool is_const(Ref f) { return f <= kTrue; }
+  [[nodiscard]] bool is_sat(Ref f) const { return f != kFalse; }
+  [[nodiscard]] bool is_tautology(Ref f) const { return f == kTrue; }
+  [[nodiscard]] bool implies(Ref f, Ref g) { return limp(f, g) == kTrue; }
+  [[nodiscard]] bool disjoint(Ref f, Ref g) { return land(f, g) == kFalse; }
+
+  /// Evaluate under a complete assignment (missing variables default false).
+  [[nodiscard]] bool eval(Ref f, const Assignment& a) const;
+
+  /// One satisfying partial assignment (mentions only variables on the
+  /// extracted path); nullopt iff f is FALSE.
+  [[nodiscard]] std::optional<Assignment> any_sat(Ref f) const;
+
+  /// Number of satisfying assignments over `nvars` variables
+  /// (nvars >= highest variable in f's support + 1).
+  [[nodiscard]] std::uint64_t sat_count(Ref f, int nvars) const;
+
+  /// Sorted list of variables f depends on.
+  [[nodiscard]] std::vector<int> support(Ref f) const;
+
+  /// Number of live nodes including the two constants.
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Stable textual form, e.g. "(b1 ? (b0 ? 1 : 0) : 0)" — used by tests.
+  [[nodiscard]] std::string to_string(Ref f) const;
+
+  /// Sum-of-products form using variable names, e.g. "b1&b0 | !b1&b2".
+  /// Enumerates the BDD's 1-paths; intended for small condition BDDs.
+  [[nodiscard]] std::string to_sop(Ref f) const;
+
+  // --- top-of-node accessors (needed by compose/emitters) -------------------
+
+  [[nodiscard]] int top_var(Ref f) const { return node(f).var; }
+  [[nodiscard]] Ref low(Ref f) const { return node(f).lo; }
+  [[nodiscard]] Ref high(Ref f) const { return node(f).hi; }
+
+ private:
+  struct Node {
+    int var;  // variable index; constants use a sentinel beyond all vars
+    Ref lo;
+    Ref hi;
+  };
+
+  struct NodeKey {
+    int var;
+    Ref lo;
+    Ref hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.var);
+      h = h * 1000003u ^ k.lo;
+      h = h * 1000003u ^ k.hi;
+      return h;
+    }
+  };
+  struct IteKey {
+    Ref f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::size_t x = k.f;
+      x = x * 1000003u ^ k.g;
+      x = x * 1000003u ^ k.h;
+      return x;
+    }
+  };
+
+  [[nodiscard]] const Node& node(Ref r) const { return nodes_[r]; }
+  [[nodiscard]] Ref make_node(int var, Ref lo, Ref hi);
+  [[nodiscard]] int level(Ref r) const { return node(r).var; }
+
+  void collect_support(Ref f, std::vector<bool>& seen,
+                       std::vector<bool>& vars) const;
+  double sat_fraction(Ref f, std::unordered_map<Ref, double>& memo) const;
+  void to_sop_rec(Ref f, std::vector<std::pair<int, bool>>& path,
+                  std::vector<std::string>& cubes) const;
+
+  static constexpr int kConstLevel = 1 << 30;
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> names_;
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, Ref, IteKeyHash> ite_cache_;
+};
+
+/// A little-endian vector of condition BDDs representing a symbolic bus or
+/// port value: bits()[i] is the BDD for bit i. Used by control-signal
+/// analysis to propagate instruction-word bits through decoders.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::vector<Ref> bits) : bits_(std::move(bits)) {}
+
+  /// All-constant vector of the given width holding `value`.
+  static BitVec constant(std::uint64_t value, int width);
+
+  [[nodiscard]] int width() const { return static_cast<int>(bits_.size()); }
+  [[nodiscard]] Ref bit(int i) const { return bits_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const std::vector<Ref>& bits() const { return bits_; }
+
+  /// bits [lo, hi] inclusive as a new vector (hi >= lo).
+  [[nodiscard]] BitVec slice(int hi, int lo) const;
+
+  /// Concatenation: `high` occupies the upper bits of the result.
+  [[nodiscard]] static BitVec concat(const BitVec& high, const BitVec& low);
+
+  /// Condition BDD for "this == value" (value zero-extended/truncated to
+  /// width).
+  [[nodiscard]] Ref equals_const(BddManager& mgr, std::uint64_t value) const;
+
+  /// Condition BDD for "this == other"; widths must match.
+  [[nodiscard]] Ref equals(BddManager& mgr, const BitVec& other) const;
+
+  /// True if every bit is constant; then `constant_value` is meaningful.
+  [[nodiscard]] bool is_constant() const;
+  [[nodiscard]] std::uint64_t constant_value() const;
+
+ private:
+  std::vector<Ref> bits_;
+};
+
+}  // namespace record::bdd

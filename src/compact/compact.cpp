@@ -1,0 +1,272 @@
+#include "compact/compact.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace record::compact {
+
+using util::fmt;
+
+std::size_t CompactedProgram::word_count() const {
+  std::size_t n = 0;
+  for (const CompactedRegion& r : regions) n += r.words.size();
+  return n;
+}
+
+namespace {
+
+/// Required mode-register literals of a condition: variables `M:...` whose
+/// phase is forced (cond implies var=b).
+std::vector<std::pair<int, bool>> required_modes(bdd::BddManager& mgr,
+                                                 bdd::Ref cond) {
+  std::vector<std::pair<int, bool>> out;
+  for (int v : mgr.support(cond)) {
+    if (mgr.var_name(v).rfind("M:", 0) != 0) continue;
+    bool sat_pos = mgr.land(cond, mgr.var(v)) != bdd::kFalse;
+    bool sat_neg = mgr.land(cond, mgr.nvar(v)) != bdd::kFalse;
+    if (sat_pos && !sat_neg) out.emplace_back(v, true);
+    if (!sat_pos && sat_neg) out.emplace_back(v, false);
+  }
+  return out;
+}
+
+/// Parses "M:<inst>[k]" -> (inst, k).
+std::pair<std::string, int> parse_mode_var(const std::string& name) {
+  std::size_t lb = name.rfind('[');
+  std::string inst = name.substr(2, lb - 2);
+  int bit = std::stoi(name.substr(lb + 1, name.size() - lb - 2));
+  return {inst, bit};
+}
+
+class Compactor {
+ public:
+  Compactor(const select::SelectionResult& sel, const rtl::TemplateBase& base,
+            const CompactOptions& options, util::DiagnosticSink& diags)
+      : sel_(sel), base_(base), options_(options), diags_(diags) {}
+
+  CompactResult run() {
+    CompactResult result;
+    std::vector<Region> regions = build_regions(sel_);
+    for (Region& region : regions) {
+      CompactedRegion out;
+      out.label = region.label;
+      if (options_.enabled)
+        schedule_region(region, out, result);
+      else
+        sequential_region(region, out, result);
+      result.program.regions.push_back(std::move(out));
+    }
+    result.stats.words = result.program.word_count();
+    return result;
+  }
+
+ private:
+  void note_input(CompactResult& result, const Region& region) {
+    result.stats.input_rts += region.rts.size();
+  }
+
+  void sequential_region(const Region& region, CompactedRegion& out,
+                         CompactResult& result) {
+    note_input(result, region);
+    for (const select::SelectedRT* rt : region.rts) {
+      handle_modes(rt->cond, out, result);
+      Word w;
+      w.rts.push_back(rt);
+      w.cond = rt->cond;
+      w.has_branch = rt->is_branch;
+      w.branch_target = rt->branch_target;
+      out.words.push_back(std::move(w));
+    }
+  }
+
+  void schedule_region(const Region& region, CompactedRegion& out,
+                       CompactResult& result) {
+    note_input(result, region);
+    const std::size_t n = region.rts.size();
+    if (n == 0) return;
+    bdd::BddManager& mgr = *base_.mgr;
+
+    std::vector<int> cycle(n, -1);
+    std::vector<bool> scheduled(n, false);
+    std::size_t remaining = n;
+    int current = 0;
+
+    // Critical-path heights: list-scheduling priority. Deeper chains go
+    // first, which lets shallow RTs (e.g. a pending accumulate) pair with
+    // later compatible RTs (e.g. the next multiply) — the MPYA/MACD fusion
+    // pattern.
+    std::vector<int> height(n, 0);
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      bool changed = false;
+      for (const DepEdge& e : region.edges) {
+        int h = height[e.to] + (e.latency > 0 ? 1 : 0);
+        if (h > height[e.from]) {
+          height[e.from] = h;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    std::vector<std::size_t> priority(n);
+    for (std::size_t i = 0; i < n; ++i) priority[i] = i;
+    std::stable_sort(priority.begin(), priority.end(),
+                     [&height](std::size_t a, std::size_t b) {
+                       return height[a] > height[b];
+                     });
+
+    auto ready = [&](std::size_t i) {
+      if (scheduled[i]) return false;
+      for (const DepEdge& e : region.edges) {
+        if (e.to != i) continue;
+        if (!scheduled[e.from]) return false;
+        if (cycle[e.from] + e.latency > current) return false;
+      }
+      return true;
+    };
+
+    while (remaining > 0) {
+      Word w;
+      bool packed_any = false;
+      // Non-branch candidates first, by descending critical-path height.
+      for (std::size_t i : priority) {
+        const select::SelectedRT* rt = region.rts[i];
+        if (rt->is_branch || !ready(i)) continue;
+        bdd::Ref joint = mgr.land(w.cond, rt->cond);
+        if (joint == bdd::kFalse) {
+          if (w.rts.empty()) {
+            // An RT whose own condition is unsatisfiable (should not happen
+            // after selection) must still be placed to guarantee progress.
+            diags_.warning({}, "placing RT with unsatisfiable condition");
+            joint = rt->cond;
+          } else {
+            ++result.stats.pairs_rejected_encoding;
+            continue;
+          }
+        }
+        w.rts.push_back(rt);
+        w.cond = joint;
+        scheduled[i] = true;
+        cycle[i] = current;
+        --remaining;
+        packed_any = true;
+      }
+      // The branch goes last: only when everything else is in flight.
+      for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+        const select::SelectedRT* rt = region.rts[i];
+        if (!rt->is_branch || !ready(i)) continue;
+        if (remaining != 1) continue;  // other RTs still unscheduled
+        bdd::Ref joint = mgr.land(w.cond, rt->cond);
+        if (joint == bdd::kFalse) {
+          ++result.stats.pairs_rejected_encoding;
+          continue;
+        }
+        w.rts.push_back(rt);
+        w.cond = joint;
+        w.has_branch = true;
+        w.branch_target = rt->branch_target;
+        scheduled[i] = true;
+        cycle[i] = current;
+        --remaining;
+        packed_any = true;
+      }
+      if (!w.rts.empty()) {
+        handle_modes(w.cond, out, result);
+        out.words.push_back(std::move(w));
+      }
+      ++current;
+      if (!packed_any && current > static_cast<int>(4 * n + 8)) {
+        diags_.error({}, "compaction failed to make progress (cyclic "
+                         "dependences?)");
+        break;
+      }
+    }
+  }
+
+  /// Ensures the machine's mode registers satisfy `cond`'s requirements,
+  /// inserting mode-set words as needed.
+  void handle_modes(bdd::Ref cond, CompactedRegion& out,
+                    CompactResult& result) {
+    if (!options_.handle_modes) return;
+    bdd::BddManager& mgr = *base_.mgr;
+    std::map<std::string, std::map<int, bool>> needed;  // inst -> bit -> val
+    for (const auto& [var, val] : required_modes(mgr, cond)) {
+      auto it = mode_state_.find(var);
+      if (it != mode_state_.end() && it->second == val) continue;
+      auto [inst, bit] = parse_mode_var(mgr.var_name(var));
+      needed[inst][bit] = val;
+      mode_state_[var] = val;
+    }
+    for (const auto& [inst, bits] : needed) {
+      const select::SelectedRT* set_rt = synthesize_mode_set(inst, bits,
+                                                             result);
+      if (!set_rt) {
+        diags_.warning({}, fmt("no template to set mode register '{}'",
+                               inst));
+        continue;
+      }
+      Word w;
+      w.rts.push_back(set_rt);
+      w.cond = set_rt->cond;
+      out.words.push_back(std::move(w));
+      ++result.stats.mode_sets_inserted;
+    }
+  }
+
+  const select::SelectedRT* synthesize_mode_set(
+      const std::string& inst, const std::map<int, bool>& bits,
+      CompactResult& result) {
+    bdd::BddManager& mgr = *base_.mgr;
+    std::int64_t value = 0;
+    for (const auto& [bit, val] : bits)
+      if (val) value |= (std::int64_t{1} << bit);
+
+    for (const rtl::RTTemplate& t : base_.templates) {
+      if (t.dest != inst || t.dest_kind != rtl::DestKind::ModeReg) continue;
+      auto rt = std::make_unique<select::SelectedRT>();
+      rt->tmpl = &t;
+      rt->dest = inst;
+      rt->cond = t.cond;
+      if (t.value->kind == rtl::RTNode::Kind::Imm) {
+        treeparse::ImmBinding b;
+        b.field_bits = t.value->imm_bits;
+        b.value = value;
+        rt->imms.push_back(b);
+        for (std::size_t j = 0; j < b.field_bits.size(); ++j) {
+          int var = mgr.find_var(fmt("I[{}]", b.field_bits[j]));
+          if (var < 0) continue;
+          bool bit = ((static_cast<std::uint64_t>(value) >> j) & 1u) != 0;
+          rt->cond = mgr.land(rt->cond, mgr.literal(var, bit));
+        }
+      } else if (t.value->kind == rtl::RTNode::Kind::HardConst) {
+        if (t.value->value != value) continue;
+      } else {
+        continue;  // data-dependent mode writes are not usable here
+      }
+      if (rt->cond == bdd::kFalse) continue;
+      rt->comment = fmt("{} := #{}  ; set mode", inst, value);
+      result.program.synthesized.push_back(std::move(rt));
+      return result.program.synthesized.back().get();
+    }
+    return nullptr;
+  }
+
+  const select::SelectionResult& sel_;
+  const rtl::TemplateBase& base_;
+  CompactOptions options_;
+  util::DiagnosticSink& diags_;
+  std::map<int, bool> mode_state_;
+};
+
+}  // namespace
+
+CompactResult compact(const select::SelectionResult& sel,
+                      const rtl::TemplateBase& base,
+                      const CompactOptions& options,
+                      util::DiagnosticSink& diags) {
+  Compactor c(sel, base, options, diags);
+  return c.run();
+}
+
+}  // namespace record::compact

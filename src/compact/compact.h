@@ -1,0 +1,74 @@
+// Code compaction: packing selected RTs into horizontal instruction words
+// (paper section 3.2 / reference [17], "Time-constrained Code Compaction for
+// DSPs").
+//
+// List scheduling over the dependence DAG; two RTs may share an instruction
+// word iff their dependence distances allow it AND the conjunction of their
+// BDD execution conditions is satisfiable (instruction-encoding
+// compatibility, including immediate-field values) AND they do not write the
+// same location. Mode-register requirements are tracked across the schedule:
+// when an RT needs mode bits different from the current machine state, a
+// mode-set instruction is inserted (selected from the target's own
+// mode-register templates).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "compact/depdag.h"
+#include "rtl/template.h"
+#include "select/selector.h"
+#include "util/diagnostics.h"
+
+namespace record::compact {
+
+struct CompactOptions {
+  /// Disabled by the compaction-ablation benchmark: every RT becomes its own
+  /// instruction word.
+  bool enabled = true;
+  /// Track mode-register state and insert mode-set instructions.
+  bool handle_modes = true;
+};
+
+/// One horizontal instruction word.
+struct Word {
+  std::vector<const select::SelectedRT*> rts;
+  bdd::Ref cond = bdd::kTrue;  // conjunction of all packed conditions
+  bool has_branch = false;
+  std::string branch_target;
+};
+
+struct CompactedRegion {
+  std::string label;
+  std::vector<Word> words;
+};
+
+struct CompactedProgram {
+  std::vector<CompactedRegion> regions;
+  /// Mode-set RTs created during compaction (owned here; Words point into
+  /// this pool as well as into the selection result).
+  std::vector<std::unique_ptr<select::SelectedRT>> synthesized;
+
+  [[nodiscard]] std::size_t word_count() const;
+};
+
+struct CompactStats {
+  std::size_t input_rts = 0;
+  std::size_t words = 0;
+  std::size_t pairs_rejected_encoding = 0;  // condition conjunction UNSAT
+  std::size_t mode_sets_inserted = 0;
+};
+
+struct CompactResult {
+  CompactedProgram program;
+  CompactStats stats;
+};
+
+[[nodiscard]] CompactResult compact(const select::SelectionResult& sel,
+                                    const rtl::TemplateBase& base,
+                                    const CompactOptions& options,
+                                    util::DiagnosticSink& diags);
+
+}  // namespace record::compact

@@ -1,0 +1,33 @@
+#include "core/compiler.h"
+
+namespace record::core {
+
+std::optional<CompileResult> Compiler::compile(
+    const ir::Program& prog, const CompileOptions& options,
+    util::DiagnosticSink& diags) const {
+  if (!target_.base) {
+    diags.error({}, "compiler constructed from an empty retarget result");
+    return std::nullopt;
+  }
+  CompileResult result;
+
+  select::CodeSelector selector(*target_.base, target_.tree_grammar, diags);
+  std::optional<select::SelectionResult> sel = selector.select(prog);
+  if (!sel) return std::nullopt;
+  result.selection = std::move(*sel);
+
+  if (options.insert_spills) {
+    result.spill_stats =
+        sched::insert_spills(result.selection, prog, *target_.base,
+                             target_.tree_grammar, options.spill, diags);
+  }
+
+  result.compacted = compact::compact(result.selection, *target_.base,
+                                      options.compact, diags);
+  result.encoded =
+      emit::encode(result.compacted.program, *target_.base, diags);
+  if (!diags.ok()) return std::nullopt;
+  return result;
+}
+
+}  // namespace record::core

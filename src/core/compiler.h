@@ -1,0 +1,62 @@
+// record::core::Compiler — IR program -> machine code for a retargeted
+// processor: code selection (BURS), spill repair, code compaction and
+// binary encoding.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "compact/compact.h"
+#include "core/record.h"
+#include "emit/asmout.h"
+#include "emit/encode.h"
+#include "ir/program.h"
+#include "sched/spill.h"
+#include "select/selector.h"
+
+namespace record::core {
+
+struct CompileOptions {
+  compact::CompactOptions compact;
+  sched::SpillOptions spill;
+  bool insert_spills = true;
+};
+
+struct CompileResult {
+  // Note: `compacted` and `encoded` hold pointers into `selection`; the
+  // struct is movable (vector heap storage is stable) but not copyable.
+  select::SelectionResult selection;
+  sched::SpillStats spill_stats;
+  compact::CompactResult compacted;
+  emit::EncodeResult encoded;
+
+  CompileResult() = default;
+  CompileResult(const CompileResult&) = delete;
+  CompileResult& operator=(const CompileResult&) = delete;
+  CompileResult(CompileResult&&) = default;
+  CompileResult& operator=(CompileResult&&) = default;
+
+  /// Code size in instruction words — the Figure 2 metric.
+  [[nodiscard]] std::size_t code_size() const {
+    return encoded.assembly.size();
+  }
+  [[nodiscard]] std::string listing() const {
+    return emit::listing(encoded.assembly);
+  }
+};
+
+class Compiler {
+ public:
+  /// The retarget result must outlive the compiler.
+  explicit Compiler(const RetargetResult& target) : target_(target) {}
+
+  [[nodiscard]] std::optional<CompileResult> compile(
+      const ir::Program& prog, const CompileOptions& options,
+      util::DiagnosticSink& diags) const;
+
+ private:
+  const RetargetResult& target_;
+};
+
+}  // namespace record::core

@@ -1,0 +1,109 @@
+#include "core/record.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "grammar/bnf.h"
+#include "hdl/parser.h"
+#include "hdl/sema.h"
+#include "models/models.h"
+#include "netlist/netlist.h"
+#include "treeparse/emitc.h"
+#include "util/strings.h"
+
+namespace record::core {
+
+std::optional<RetargetResult> Record::retarget(
+    std::string_view hdl_source, const RetargetOptions& options,
+    util::DiagnosticSink& diags) {
+  RetargetResult result;
+  util::Timer timer;
+
+  // --- HDL frontend -------------------------------------------------------
+  std::optional<hdl::ProcessorModel> model = hdl::parse(hdl_source, diags);
+  if (!model) return std::nullopt;
+  if (!hdl::check_model(*model, diags)) return std::nullopt;
+  result.processor = model->name;
+  std::optional<netlist::Netlist> nl =
+      netlist::elaborate(std::move(*model), diags);
+  if (!nl) return std::nullopt;
+  result.times.record("hdl", timer.seconds());
+
+  // --- instruction-set extraction -----------------------------------------
+  timer.reset();
+  ise::ExtractResult extraction =
+      ise::extract(*nl, options.extract, diags);
+  result.extract_stats = extraction.stats;
+  result.times.record("ise", timer.seconds());
+
+  // --- template-base extension ---------------------------------------------
+  timer.reset();
+  rtl::ExtendOptions ext;
+  ext.commutativity = options.commutativity;
+  rtl::RewriteLibrary standard = rtl::RewriteLibrary::standard();
+  if (options.standard_rewrites) ext.rewrites = &standard;
+  result.extend_stats = rtl::extend_template_base(extraction.base, ext);
+  if (options.extra_rewrites) {
+    rtl::ExtendOptions extra;
+    extra.commutativity = false;
+    extra.rewrites = options.extra_rewrites;
+    rtl::ExtendStats extra_stats =
+        rtl::extend_template_base(extraction.base, extra);
+    result.extend_stats.rewrite_added += extra_stats.rewrite_added;
+  }
+  result.times.record("extend", timer.seconds());
+
+  // --- tree-grammar construction --------------------------------------------
+  timer.reset();
+  grammar::BuiltGrammar built =
+      grammar::build_grammar(extraction.base, options.grammar, diags);
+  result.grammar_stats = built.stats;
+  result.tree_grammar = std::move(built.grammar);
+  result.times.record("grammar", timer.seconds());
+
+  result.base = std::make_shared<const rtl::TemplateBase>(
+      std::move(extraction.base));
+
+  // --- parser generation (iburg-equivalent artifact) -----------------------
+  if (options.emit_c_parser || options.compile_c_parser) {
+    timer.reset();
+    treeparse::EmitCOptions emit_options;
+    emit_options.grammar_name = result.processor;
+    result.c_parser_source =
+        treeparse::emit_c_parser(result.tree_grammar, emit_options);
+    result.times.record("parsergen", timer.seconds());
+  }
+  if (options.compile_c_parser) {
+    timer.reset();
+    std::string src_path = util::fmt("{}/record_parser_{}.c",
+                                     options.work_dir, result.processor);
+    std::string bin_path = util::fmt("{}/record_parser_{}",
+                                     options.work_dir, result.processor);
+    std::ofstream out(src_path);
+    out << result.c_parser_source;
+    out.close();
+    const char* cc = std::getenv("CC");
+    std::string cmd = util::fmt("{} -O1 -o {} {} 2>/dev/null",
+                                cc ? cc : "cc", bin_path, src_path);
+    result.c_compile_ok = std::system(cmd.c_str()) == 0;
+    if (!result.c_compile_ok)
+      diags.warning({}, "host C compiler failed on the generated parser");
+    result.c_compile_seconds = timer.seconds();
+    result.times.record("parsercc", result.c_compile_seconds);
+  }
+
+  return result;
+}
+
+std::optional<RetargetResult> Record::retarget_model(
+    std::string_view model_name, const RetargetOptions& options,
+    util::DiagnosticSink& diags) {
+  std::string_view source = models::model_source(model_name);
+  if (source.empty()) {
+    diags.error({}, util::fmt("unknown built-in model '{}'", model_name));
+    return std::nullopt;
+  }
+  return retarget(source, options, diags);
+}
+
+}  // namespace record::core

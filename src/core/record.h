@@ -1,0 +1,78 @@
+// record::core::Record — the retargeting driver (paper fig. 1).
+//
+// One call takes an HDL processor model through the complete pipeline:
+//   HDL frontend -> netlist -> instruction-set extraction -> template-base
+//   extension -> tree-grammar construction -> (optionally) C parser
+//   emission and compilation by the host C compiler.
+// The result carries the extended template base, the processor-specific
+// tree grammar, per-phase wall-clock timings (the Table 3 breakdown) and
+// all phase statistics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "grammar/build.h"
+#include "grammar/grammar.h"
+#include "ise/extract.h"
+#include "rtl/extend.h"
+#include "rtl/template.h"
+#include "util/diagnostics.h"
+#include "util/timer.h"
+
+namespace record::core {
+
+struct RetargetOptions {
+  ise::ExtractOptions extract;
+  grammar::BuildOptions grammar;
+  /// Commutative-swap extension (paper section 3).
+  bool commutativity = true;
+  /// Apply the standard algebraic rewrite library.
+  bool standard_rewrites = true;
+  /// Additional user rewrite library (applied after the standard one).
+  const rtl::RewriteLibrary* extra_rewrites = nullptr;
+  /// Generate the standalone C parser source (iburg-equivalent artifact).
+  bool emit_c_parser = false;
+  /// Additionally compile it with the host C compiler (timing fidelity for
+  /// the Table 3 "parser compilation" phase). Implies emit_c_parser.
+  bool compile_c_parser = false;
+  /// Scratch directory for the generated parser.
+  std::string work_dir = "/tmp";
+};
+
+struct RetargetResult {
+  std::string processor;
+  std::shared_ptr<const rtl::TemplateBase> base;
+  grammar::TreeGrammar tree_grammar;
+
+  ise::ExtractStats extract_stats;
+  rtl::ExtendStats extend_stats;
+  grammar::BuildStats grammar_stats;
+  util::PhaseTimes times;  // "hdl", "ise", "extend", "grammar", "parsergen",
+                           // "parsercc"
+
+  std::string c_parser_source;      // if requested
+  double c_compile_seconds = 0.0;   // if compile_c_parser
+  bool c_compile_ok = false;
+
+  [[nodiscard]] std::size_t template_count() const {
+    return base ? base->size() : 0;
+  }
+};
+
+class Record {
+ public:
+  /// Retargets from HDL source text.
+  [[nodiscard]] static std::optional<RetargetResult> retarget(
+      std::string_view hdl_source, const RetargetOptions& options,
+      util::DiagnosticSink& diags);
+
+  /// Retargets one of the built-in models (src/models).
+  [[nodiscard]] static std::optional<RetargetResult> retarget_model(
+      std::string_view model_name, const RetargetOptions& options,
+      util::DiagnosticSink& diags);
+};
+
+}  // namespace record::core

@@ -1,0 +1,41 @@
+#include "dspstone/handcode.h"
+
+namespace record::dspstone {
+
+const std::vector<HandCode>& hand_code() {
+  static const std::vector<HandCode> kHand = {
+      {"real_update", 5, "LT a; MPY b; LAC c; APAC; SACL d"},
+      {"complex_mult", 13,
+       "LT ar; MPY br; PAC; LT ai; MPY bi; SPAC; SACL cr; "
+       "MPY br; PAC; LT ar; MPY bi; APAC; SACL ci"},
+      {"complex_update", 15,
+       "LT ar; MPY br; LAC cr; APAC; LT ai; MPY bi; SPAC; SACL dr; "
+       "MPY br; LAC ci; APAC; LT ar; MPY bi; APAC; SACL di"},
+      {"n_real_updates", 20,
+       "4 x (LT a_i; MPY b_i; LAC c_i; APAC; SACL d_i)"},
+      {"n_complex_updates", 30, "2 x complex_update sequence"},
+      {"fir", 11,
+       "ZAC; LT x0; MPY h0; LT x1; MPYA h1; LT x2; MPYA h2; LT x3; "
+       "MPYA h3; APAC; SACL y"},
+      {"biquad_one", 21,
+       "LAC x; LT w1; MPY a1; SPAC; LT w2; MPY a2; SPAC; SACL w; "
+       "LT w; MPY b0; PAC; LT w1; MPYA b1; LT w2; MPYA b2; APAC; SACL y; "
+       "LAC w1; SACL w2; LAC w; SACL w1"},
+      {"biquad_N", 42, "2 x biquad_one sequence (cascade via y1 cell)"},
+      {"dot_product", 11,
+       "ZAC; LT a0; MPY b0; LT a1; MPYA b1; LT a2; MPYA b2; LT a3; "
+       "MPYA b3; APAC; SACL z"},
+      {"convolution", 11,
+       "ZAC; LT x0; MPY h3; LT x1; MPYA h2; LT x2; MPYA h1; LT x3; "
+       "MPYA h0; APAC; SACL y"},
+  };
+  return kHand;
+}
+
+int hand_code_size(std::string_view kernel) {
+  for (const HandCode& h : hand_code())
+    if (h.kernel == kernel) return h.words;
+  return -1;
+}
+
+}  // namespace record::dspstone

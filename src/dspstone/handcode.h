@@ -1,0 +1,27 @@
+// Hand-written reference code sizes for Figure 2's 100% normalisation.
+//
+// For each kernel, an expert-written TMS320C25 sequence (using the modeled
+// instruction set: LAC/ADD/SUB/LT/MPY/PAC/APAC/SPAC/MPYA/SACL/ZAC) was
+// derived and counted; the `assembly` string documents it instruction by
+// instruction. Tests verify the invariant hand <= RECORD (hand code is the
+// optimum an expert reaches) and that the documented sequence length equals
+// the recorded word count.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace record::dspstone {
+
+struct HandCode {
+  std::string_view kernel;
+  int words;                  // code size in instruction words
+  std::string_view assembly;  // semicolon-separated mnemonic sequence
+};
+
+[[nodiscard]] const std::vector<HandCode>& hand_code();
+
+/// Word count for a kernel; -1 if unknown.
+[[nodiscard]] int hand_code_size(std::string_view kernel);
+
+}  // namespace record::dspstone

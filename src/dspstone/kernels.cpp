@@ -1,0 +1,182 @@
+#include "dspstone/kernels.h"
+
+#include <stdexcept>
+
+#include "ir/builder.h"
+
+namespace record::dspstone {
+
+using namespace layout;
+using ir::e_add;
+using ir::e_lo;
+using ir::e_mul;
+using ir::e_sub;
+using ir::e_var;
+using ir::ProgramBuilder;
+
+const std::vector<std::string>& kernel_names() {
+  static const std::vector<std::string> kNames = {
+      "real_update",     "complex_mult", "complex_update",
+      "n_real_updates",  "n_complex_updates", "fir",
+      "biquad_one",      "biquad_N",     "dot_product",
+      "convolution",
+  };
+  return kNames;
+}
+
+namespace {
+
+ir::Program real_update() {
+  ProgramBuilder b("real_update");
+  b.cell("a", "ram", kA).cell("b", "ram", kB).cell("c", "ram", kC).cell(
+      "d", "ram", kD);
+  // d = c + a * b
+  b.let("d", e_add(e_var("c"), e_mul(e_var("a"), e_var("b"))));
+  return b.take();
+}
+
+/// Binds the eight complex-number cells with a prefix, starting at `base`
+/// (order: ar ai br bi cr ci dr di).
+void bind_complex(ProgramBuilder& b, const std::string& p,
+                  std::int64_t base) {
+  const char* names[] = {"ar", "ai", "br", "bi", "cr", "ci", "dr", "di"};
+  for (int i = 0; i < 8; ++i) b.cell(p + names[i], "ram", base + i);
+}
+
+ir::Program complex_mult() {
+  ProgramBuilder b("complex_mult");
+  bind_complex(b, "", kAr);
+  // cr = ar*br - ai*bi ; ci = ar*bi + ai*br
+  b.let("cr", e_sub(e_mul(e_var("ar"), e_var("br")),
+                    e_mul(e_var("ai"), e_var("bi"))));
+  b.let("ci", e_add(e_mul(e_var("ar"), e_var("bi")),
+                    e_mul(e_var("ai"), e_var("br"))));
+  return b.take();
+}
+
+void complex_update_stmts(ProgramBuilder& b, const std::string& p) {
+  // dr = cr + ar*br - ai*bi ; di = ci + ar*bi + ai*br
+  b.let(p + "dr",
+        e_sub(e_add(e_var(p + "cr"),
+                    e_mul(e_var(p + "ar"), e_var(p + "br"))),
+              e_mul(e_var(p + "ai"), e_var(p + "bi"))));
+  b.let(p + "di",
+        e_add(e_add(e_var(p + "ci"),
+                    e_mul(e_var(p + "ar"), e_var(p + "bi"))),
+              e_mul(e_var(p + "ai"), e_var(p + "br"))));
+}
+
+ir::Program complex_update() {
+  ProgramBuilder b("complex_update");
+  bind_complex(b, "", kAr);
+  complex_update_stmts(b, "");
+  return b.take();
+}
+
+ir::Program n_real_updates() {
+  ProgramBuilder b("n_real_updates");
+  for (int i = 0; i < 4; ++i) {
+    std::string s = std::to_string(i);
+    b.cell("a" + s, "ram", kNA + i).cell("b" + s, "ram", kNB + i);
+    b.cell("c" + s, "ram", kNC + i).cell("d" + s, "ram", kND + i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::string s = std::to_string(i);
+    b.let("d" + s, e_add(e_var("c" + s),
+                         e_mul(e_var("a" + s), e_var("b" + s))));
+  }
+  return b.take();
+}
+
+ir::Program n_complex_updates() {
+  ProgramBuilder b("n_complex_updates");
+  bind_complex(b, "u", kAr);
+  bind_complex(b, "v", kC2);
+  complex_update_stmts(b, "u");
+  complex_update_stmts(b, "v");
+  return b.take();
+}
+
+/// Sum of products acc = sum_i m1[i]*m2[idx(i)], then store the low half.
+ir::Program sum_of_products(const std::string& name, std::int64_t m1,
+                            std::int64_t m2, bool reverse_second,
+                            std::int64_t out_cell) {
+  ProgramBuilder b(name);
+  b.reg("acc", "ACC");
+  for (int i = 0; i < 4; ++i) {
+    std::string s = std::to_string(i);
+    b.cell("u" + s, "ram", m1 + i);
+    b.cell("v" + s, "ram", m2 + (reverse_second ? 3 - i : i));
+  }
+  b.cell("out", "ram", out_cell);
+  ir::ExprPtr sum = e_mul(e_var("u0"), e_var("v0"));
+  for (int i = 1; i < 4; ++i) {
+    std::string s = std::to_string(i);
+    sum = e_add(std::move(sum), e_mul(e_var("u" + s), e_var("v" + s)));
+  }
+  b.let("acc", std::move(sum));
+  b.let("out", e_lo(e_var("acc")));
+  return b.take();
+}
+
+/// One biquad section on the 10 cells at `base`
+/// (x, y, w, w1, w2, b0, b1, b2, a1, a2).
+void biquad_section(ProgramBuilder& b, const std::string& p,
+                    std::int64_t base) {
+  const char* names[] = {"x", "y", "w", "w1", "w2", "b0", "b1", "b2",
+                         "a1", "a2"};
+  for (int i = 0; i < 10; ++i) b.cell(p + names[i], "ram", base + i);
+  // w = x - a1*w1 - a2*w2
+  b.let(p + "w",
+        e_sub(e_sub(e_var(p + "x"),
+                    e_mul(e_var(p + "a1"), e_var(p + "w1"))),
+              e_mul(e_var(p + "a2"), e_var(p + "w2"))));
+  // y = b0*w + b1*w1 + b2*w2
+  b.let(p + "y",
+        e_add(e_add(e_mul(e_var(p + "b0"), e_var(p + "w")),
+                    e_mul(e_var(p + "b1"), e_var(p + "w1"))),
+              e_mul(e_var(p + "b2"), e_var(p + "w2"))));
+  // delay line: w2 = w1 ; w1 = w
+  b.let(p + "w2", e_var(p + "w1"));
+  b.let(p + "w1", e_var(p + "w"));
+}
+
+ir::Program biquad_one() {
+  ProgramBuilder b("biquad_one");
+  biquad_section(b, "", kBiq);
+  return b.take();
+}
+
+ir::Program biquad_n() {
+  ProgramBuilder b("biquad_N");
+  biquad_section(b, "s1", kBiq);
+  // Cascade: the second section's input is the first section's output.
+  b.cell("s2x", "ram", kBiq + 16);
+  b.let("s2x", e_var("s1y"));
+  biquad_section(b, "s2", kBiq + 16);
+  return b.take();
+}
+
+}  // namespace
+
+ir::Program kernel(std::string_view name) {
+  if (name == "real_update") return real_update();
+  if (name == "complex_mult") return complex_mult();
+  if (name == "complex_update") return complex_update();
+  if (name == "n_real_updates") return n_real_updates();
+  if (name == "n_complex_updates") return n_complex_updates();
+  if (name == "fir")
+    return sum_of_products("fir", kX, kH, /*reverse_second=*/false, kY);
+  if (name == "biquad_one") return biquad_one();
+  if (name == "biquad_N") return biquad_n();
+  if (name == "dot_product")
+    return sum_of_products("dot_product", kDotA, kDotB,
+                           /*reverse_second=*/false, kDotZ);
+  if (name == "convolution")
+    return sum_of_products("convolution", kX, kH, /*reverse_second=*/true,
+                           kY);
+  throw std::invalid_argument("unknown DSPStone kernel: " +
+                              std::string(name));
+}
+
+}  // namespace record::dspstone

@@ -1,0 +1,45 @@
+// The ten DSPStone kernels of the paper's Figure 2 (Zivojnovic et al.,
+// ICSPAT 1994), written as IR basic blocks bound to the tms320c25 model's
+// storage (ACC/T/P/AR1/AR2/ram).
+//
+// Following the paper ("the chart shows results for basic program blocks"),
+// the N-element kernels are unrolled basic blocks (N = 4 for real vectors,
+// N = 2 for complex vectors and biquad sections). See dspstone/handcode.h
+// for the expert-written reference sequences that define the 100% line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace record::dspstone {
+
+/// Kernel names in Figure 2's order.
+[[nodiscard]] const std::vector<std::string>& kernel_names();
+
+/// Builds the IR program for a kernel (bindings target tms320c25).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] ir::Program kernel(std::string_view name);
+
+/// Data-memory layout shared by kernels, hand code and tests.
+namespace layout {
+// real_update: d = c + a * b
+inline constexpr std::int64_t kA = 0, kB = 1, kC = 2, kD = 3;
+// complex operands
+inline constexpr std::int64_t kAr = 8, kAi = 9, kBr = 10, kBi = 11;
+inline constexpr std::int64_t kCr = 12, kCi = 13, kDr = 14, kDi = 15;
+// fir / convolution: x[4] at 16.., h[4] at 24.., y at 32
+inline constexpr std::int64_t kX = 16, kH = 24, kY = 32;
+// biquad: x, y, w, w1, w2, b0, b1, b2, a1, a2 at 33..42 (second section +16)
+inline constexpr std::int64_t kBiq = 33;
+// n_real_updates (N=4): a[4] at 44, b[4] at 48, c[4] at 52, d[4] at 56
+inline constexpr std::int64_t kNA = 44, kNB = 48, kNC = 52, kND = 56;
+// dot_product: a[4] at 60, b[4] at 64, z at 68
+inline constexpr std::int64_t kDotA = 60, kDotB = 64, kDotZ = 68;
+// n_complex_updates second operand set at 96..103
+inline constexpr std::int64_t kC2 = 96;
+}  // namespace layout
+
+}  // namespace record::dspstone

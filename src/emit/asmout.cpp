@@ -1,0 +1,29 @@
+#include "emit/asmout.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace record::emit {
+
+std::string listing(const Assembly& assembly) {
+  std::ostringstream os;
+  for (const EncodedWord& w : assembly.words) {
+    if (!w.label.empty()) os << w.label << ":\n";
+    os << std::setw(4) << w.address << "  " << w.hex() << "  ; ";
+    for (std::size_t i = 0; i < w.word->rts.size(); ++i) {
+      if (i) os << " | ";
+      os << w.word->rts[i]->comment;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string summary(const Assembly& assembly) {
+  std::ostringstream os;
+  os << assembly.words.size() << " words, " << assembly.labels.size()
+     << " labels";
+  return os.str();
+}
+
+}  // namespace record::emit

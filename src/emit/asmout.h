@@ -1,0 +1,18 @@
+// Assembly listing and code-size reporting.
+#pragma once
+
+#include <string>
+
+#include "emit/encode.h"
+
+namespace record::emit {
+
+/// Multi-line listing:
+///   addr  hex   ; rt1 | rt2 | ...
+/// with label lines interleaved.
+[[nodiscard]] std::string listing(const Assembly& assembly);
+
+/// One-line summary: "<n> words, <m> labels".
+[[nodiscard]] std::string summary(const Assembly& assembly);
+
+}  // namespace record::emit

@@ -1,0 +1,150 @@
+#include "emit/encode.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace record::emit {
+
+using util::fmt;
+
+std::string EncodedWord::hex() const {
+  // Render MSB-first, 4 bits per nibble.
+  std::ostringstream os;
+  int width = static_cast<int>(bits.size());
+  int nibbles = (width + 3) / 4;
+  for (int n = nibbles - 1; n >= 0; --n) {
+    int v = 0;
+    for (int b = 3; b >= 0; --b) {
+      int idx = n * 4 + b;
+      v = (v << 1) |
+          (idx < width && bits[static_cast<std::size_t>(idx)] ? 1 : 0);
+    }
+    os << "0123456789abcdef"[v];
+  }
+  return os.str();
+}
+
+std::uint64_t EncodedWord::to_u64() const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size() && i < 64; ++i)
+    if (bits[i]) v |= (1ull << i);
+  return v;
+}
+
+namespace {
+
+/// "Could template fire?" conditions per storage, with data-dependent
+/// variables existentially quantified (pessimistic).
+std::map<std::string, bdd::Ref> write_conditions(
+    const rtl::TemplateBase& base) {
+  bdd::BddManager& mgr = *base.mgr;
+  std::map<std::string, bdd::Ref> out;
+  for (const rtl::RTTemplate& t : base.templates) {
+    bdd::Ref c = t.cond;
+    for (int v : mgr.support(c)) {
+      const std::string& n = mgr.var_name(v);
+      if (n.rfind("I[", 0) != 0 && n.rfind("M:", 0) != 0)
+        c = mgr.exists(c, v);
+    }
+    auto [it, inserted] = out.emplace(t.dest, c);
+    if (!inserted) it->second = mgr.lor(it->second, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+EncodeResult encode(const compact::CompactedProgram& prog,
+                    const rtl::TemplateBase& base,
+                    util::DiagnosticSink& diags) {
+  EncodeResult result;
+  bdd::BddManager& mgr = *base.mgr;
+  const int iw = base.instruction_width;
+
+  // Pass 1: addresses.
+  int addr = 0;
+  for (const compact::CompactedRegion& r : prog.regions) {
+    if (!r.label.empty()) result.assembly.labels[r.label] = addr;
+    addr += static_cast<int>(r.words.size());
+  }
+
+  // Cache write conditions per storage.
+  std::map<std::string, bdd::Ref> wconds = write_conditions(base);
+
+  addr = 0;
+  for (const compact::CompactedRegion& r : prog.regions) {
+    bool first_in_region = true;
+    for (const compact::Word& w : r.words) {
+      EncodedWord ew;
+      ew.word = &w;
+      ew.address = addr++;
+      if (first_in_region) {
+        ew.label = r.label;
+        first_in_region = false;
+      }
+      bdd::Ref cond = w.cond;
+
+      // Branch-target fixup.
+      if (w.has_branch) {
+        auto it = result.assembly.labels.find(w.branch_target);
+        if (it == result.assembly.labels.end()) {
+          ++result.stats.unresolved_labels;
+          diags.error({}, fmt("unresolved branch target '{}'",
+                              w.branch_target));
+        } else {
+          for (const select::SelectedRT* rt : w.rts) {
+            if (!rt->is_branch || !rt->tmpl) continue;
+            if (rt->tmpl->value->kind != rtl::RTNode::Kind::Imm) continue;
+            const std::vector<int>& field = rt->tmpl->value->imm_bits;
+            for (std::size_t j = 0; j < field.size(); ++j) {
+              int var = mgr.find_var(fmt("I[{}]", field[j]));
+              if (var < 0) continue;
+              bool bit =
+                  ((static_cast<std::uint64_t>(it->second) >> j) & 1u) != 0;
+              cond = mgr.land(cond, mgr.literal(var, bit));
+            }
+          }
+        }
+      }
+
+      // Side-effect suppression.
+      std::vector<std::string> written;
+      for (const select::SelectedRT* rt : w.rts) written.push_back(rt->dest);
+      for (const auto& [storage, wc] : wconds) {
+        bool is_written = false;
+        for (const std::string& d : written)
+          if (d == storage) is_written = true;
+        if (is_written) continue;
+        bdd::Ref guarded = mgr.land(cond, mgr.lnot(wc));
+        if (guarded != bdd::kFalse) {
+          cond = guarded;
+          ++result.stats.suppressed;
+        } else {
+          ++result.stats.unsuppressible;
+        }
+      }
+
+      if (cond == bdd::kFalse) {
+        diags.error({}, "instruction word condition unsatisfiable after "
+                        "encoding fixups");
+        cond = w.cond;  // fall back to the raw condition
+      }
+
+      ew.bits.assign(static_cast<std::size_t>(iw), false);
+      if (auto sat = mgr.any_sat(cond)) {
+        for (const auto& [var, val] : *sat) {
+          const std::string& n = mgr.var_name(var);
+          if (n.rfind("I[", 0) == 0) {
+            int k = std::stoi(n.substr(2, n.size() - 3));
+            if (k >= 0 && k < iw) ew.bits[static_cast<std::size_t>(k)] = val;
+          }
+        }
+      }
+      result.assembly.words.push_back(std::move(ew));
+    }
+  }
+  return result;
+}
+
+}  // namespace record::emit

@@ -1,0 +1,33 @@
+#include "grammar/bnf.h"
+
+#include <sstream>
+
+namespace record::grammar {
+
+std::string to_bnf(const TreeGrammar& g) {
+  std::ostringstream os;
+  os << "%start " << g.nonterminal_name(kStart) << '\n';
+  os << "%term";
+  for (TermId t = 0; t < g.terminal_count(); ++t)
+    os << ' ' << g.terminal_name(t) << '=' << t + 1;
+  os << "\n%%\n";
+  for (const Rule& r : g.rules()) {
+    os << g.nonterminal_name(r.lhs) << ": "
+       << pattern_to_string(g, *r.pattern) << " = " << r.cost << " ;";
+    switch (r.kind) {
+      case RuleKind::Start:
+        os << " /* start */";
+        break;
+      case RuleKind::Stop:
+        os << " /* stop */";
+        break;
+      case RuleKind::RT:
+        os << " /* RT #" << r.template_id << " */";
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace record::grammar

@@ -1,0 +1,20 @@
+// Backus-Naur rendering of tree grammars, in the spirit of iburg input specs.
+#pragma once
+
+#include <string>
+
+#include "grammar/grammar.h"
+
+namespace record::grammar {
+
+/// Renders the complete grammar as an iburg-style specification:
+///
+///   %start START
+///   %term ASSIGN=1 #const=2 ...
+///   START: ASSIGN($dest:ACC, nt:ACC) = 0 ;   /* start */
+///   nt:ACC: +.32(nt:ACC, load:ram.16(nt:AR1)) = 1 ;  /* RT #12 */
+///
+/// Deterministic output (rule order) so tests can snapshot fragments.
+[[nodiscard]] std::string to_bnf(const TreeGrammar& g);
+
+}  // namespace record::grammar

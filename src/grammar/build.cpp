@@ -1,0 +1,178 @@
+#include "grammar/build.h"
+
+#include "util/strings.h"
+
+namespace record::grammar {
+
+using util::fmt;
+
+std::string dest_terminal_name(std::string_view storage) {
+  return fmt("$dest:{}", storage);
+}
+std::string reg_terminal_name(std::string_view storage) {
+  return fmt("$reg:{}", storage);
+}
+std::string port_terminal_name(std::string_view port) {
+  return fmt("$port:{}", port);
+}
+std::string load_terminal_name(std::string_view mem, int width) {
+  return fmt("load:{}.{}", mem, width);
+}
+std::string store_terminal_name(std::string_view mem) {
+  return fmt("store:{}", mem);
+}
+std::string nonterminal_name_for(std::string_view storage) {
+  return fmt("nt:{}", storage);
+}
+
+namespace {
+
+class Builder {
+ public:
+  Builder(const rtl::TemplateBase& base, const BuildOptions& options,
+          util::DiagnosticSink& diags)
+      : base_(base), options_(options), diags_(diags) {}
+
+  BuiltGrammar run() {
+    BuiltGrammar out;
+    TreeGrammar& g = out.grammar;
+
+    // Non-terminals and the designated per-storage terminals.
+    for (const rtl::StorageInfo& s : base_.storage) {
+      NtId nt = g.intern_nonterminal(nonterminal_name_for(s.name));
+      (void)g.intern_terminal(dest_terminal_name(s.name));
+      // Start rule: START -> ASSIGN(Term(dest), NonTerm(dest)).
+      std::vector<PatNodePtr> kids;
+      kids.push_back(
+          pat_term(g.find_terminal(dest_terminal_name(s.name)), {}));
+      kids.push_back(pat_nonterm(nt));
+      g.add_rule(kStart, pat_term(g.assign_terminal(), std::move(kids)),
+                 /*cost=*/0, RuleKind::Start);
+      ++out.stats.start_rules;
+    }
+
+    // Stop rules for readable non-memory storage:
+    // NonTerm(REG) -> Term(REG).
+    for (const rtl::StorageInfo& s : base_.storage) {
+      if (!s.readable || s.kind == rtl::DestKind::Memory) continue;
+      TermId t = g.intern_terminal(reg_terminal_name(s.name));
+      g.add_rule(g.find_nonterminal(nonterminal_name_for(s.name)),
+                 pat_term(t, {}), /*cost=*/0, RuleKind::Stop);
+      ++out.stats.stop_rules;
+    }
+
+    // Primary input port terminals.
+    for (const rtl::PortInInfo& p : base_.in_ports)
+      (void)g.intern_terminal(port_terminal_name(p.name));
+
+    // RT rules from templates.
+    for (const rtl::RTTemplate& t : base_.templates) {
+      NtId lhs = g.find_nonterminal(nonterminal_name_for(t.dest));
+      if (lhs < 0) {
+        diags_.warning({}, fmt("template {} targets unknown storage '{}'",
+                               t.id, t.dest));
+        continue;
+      }
+      for (int variant = 0; variant < 2; ++variant) {
+        bool elide_low = variant == 1;
+        if (elide_low &&
+            (!options_.elide_low_slices || !has_low_slice(t.value.get())))
+          break;
+        PatNodePtr rhs;
+        if (t.dest_kind == rtl::DestKind::Memory) {
+          std::vector<PatNodePtr> kids;
+          kids.push_back(lower(*t.addr, g, /*elide_low=*/false));
+          kids.push_back(lower(*t.value, g, elide_low));
+          rhs = pat_term(g.intern_terminal(store_terminal_name(t.dest)),
+                         std::move(kids));
+        } else {
+          rhs = lower(*t.value, g, elide_low);
+        }
+        if (options_.skip_self_moves &&
+            rhs->kind == PatNode::Kind::NonTerm && rhs->nt == lhs) {
+          if (!elide_low) ++out.stats.self_moves_skipped;
+          continue;
+        }
+        int id = g.add_rule(lhs, std::move(rhs), /*cost=*/1, RuleKind::RT,
+                            t.id);
+        ++out.stats.rt_rules;
+        if (elide_low) ++out.stats.low_slice_variants;
+        if (g.rule(id).is_chain()) ++out.stats.chain_rules;
+      }
+    }
+
+    return out;
+  }
+
+  /// True for slice operators selecting the low half: custom "bitsK_0".
+  static bool is_low_slice(const rtl::RTNode& n) {
+    return n.kind == rtl::RTNode::Kind::Op &&
+           n.op.kind == hdl::OpKind::Custom &&
+           n.op.custom.rfind("bits", 0) == 0 &&
+           n.op.custom.size() > 6 &&
+           n.op.custom.compare(n.op.custom.size() - 2, 2, "_0") == 0 &&
+           n.children.size() == 1;
+  }
+
+  static bool has_low_slice(const rtl::RTNode* n) {
+    if (!n) return false;
+    if (is_low_slice(*n)) return true;
+    for (const rtl::RTNodePtr& c : n->children)
+      if (has_low_slice(c.get())) return true;
+    return false;
+  }
+
+ private:
+  /// Table 2: the L() mapping from template expressions to rule RHS trees.
+  PatNodePtr lower(const rtl::RTNode& n, TreeGrammar& g, bool elide_low) {
+    if (elide_low && is_low_slice(n))
+      return lower(*n.children[0], g, elide_low);
+    switch (n.kind) {
+      case rtl::RTNode::Kind::HardConst:
+        return pat_const_leaf(n.value);
+      case rtl::RTNode::Kind::Imm:
+        return pat_imm(n.imm_bits);
+      case rtl::RTNode::Kind::RegRead:
+        // Reference to SEQ -> NonTerm (registers & mode registers).
+        return pat_nonterm(
+            g.intern_nonterminal(nonterminal_name_for(n.name)));
+      case rtl::RTNode::Kind::PortIn:
+        // Reference to PORTS -> Term.
+        return pat_term(g.intern_terminal(port_terminal_name(n.name)), {});
+      case rtl::RTNode::Kind::MemLoad: {
+        std::vector<PatNodePtr> kids;
+        kids.push_back(lower(*n.children[0], g, elide_low));
+        return pat_term(
+            g.intern_terminal(load_terminal_name(n.name, n.width)),
+            std::move(kids));
+      }
+      case rtl::RTNode::Kind::Op: {
+        if (options_.elide_extension_ops &&
+            (n.op.kind == hdl::OpKind::Sxt ||
+             n.op.kind == hdl::OpKind::Zxt) &&
+            n.children.size() == 1)
+          return lower(*n.children[0], g, elide_low);
+        std::vector<PatNodePtr> kids;
+        kids.reserve(n.children.size());
+        for (const rtl::RTNodePtr& c : n.children)
+          kids.push_back(lower(*c, g, elide_low));
+        return pat_term(g.intern_terminal(n.op.name()), std::move(kids));
+      }
+    }
+    return pat_const_leaf(0);
+  }
+
+  const rtl::TemplateBase& base_;
+  BuildOptions options_;
+  util::DiagnosticSink& diags_;
+};
+
+}  // namespace
+
+BuiltGrammar build_grammar(const rtl::TemplateBase& base,
+                           const BuildOptions& options,
+                           util::DiagnosticSink& diags) {
+  return Builder(base, options, diags).run();
+}
+
+}  // namespace record::grammar

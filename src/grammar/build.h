@@ -1,0 +1,65 @@
+// Tree-grammar construction from an RT template base (paper section 3.1).
+//
+// Terminals:     { ASSIGN } ∪ Term(SEQ ∪ PORTS ∪ OP ∪ CONST)
+// Non-terminals: { START }  ∪ NonTerm(SEQ ∪ PORTS)
+// Rules:
+//   start rules  START -> ASSIGN(Term(dest), NonTerm(dest))  for each dest,
+//                cost 0 — making the start symbol generic over destinations
+//                so the cost of moving a result to its destination is part
+//                of the optimum;
+//   RT rules     NonTerm(dest) -> L(exp) for each template "dest := exp",
+//                cost 1 (single-cycle RTs), with L per table 2;
+//   stop rules   NonTerm(REG) -> Term(REG) for each readable register,
+//                cost 0 — terminating derivations at ET leaves.
+#pragma once
+
+#include "grammar/grammar.h"
+#include "rtl/template.h"
+#include "util/diagnostics.h"
+
+namespace record::grammar {
+
+struct BuildOptions {
+  /// Treat pure width adapters (SXT/ZXT operator nodes) as wiring: patterns
+  /// skip them so expression trees need no explicit extension nodes.
+  /// (Semantical knowledge about hardware operators, paper section 3.)
+  bool elide_extension_ops = true;
+  /// For RT rules containing a low-half slice (bitsK_0, e.g. the SACL store
+  /// path of an accumulator twice as wide as memory), additionally emit a
+  /// variant rule with the slice elided: storing a value that was
+  /// sign-extended on the way in is the identity, so "mem := lo(ACC)" also
+  /// covers plain "mem := <16-bit value in ACC>". Dual of
+  /// elide_extension_ops.
+  bool elide_low_slices = true;
+  /// Skip templates that copy a location to itself (no-op "hold" RTs);
+  /// they can never improve a derivation.
+  bool skip_self_moves = true;
+};
+
+struct BuildStats {
+  std::size_t start_rules = 0;
+  std::size_t rt_rules = 0;
+  std::size_t stop_rules = 0;
+  std::size_t chain_rules = 0;     // subset of rt_rules with NonTerm RHS
+  std::size_t self_moves_skipped = 0;
+  std::size_t low_slice_variants = 0;
+};
+
+struct BuiltGrammar {
+  TreeGrammar grammar;
+  BuildStats stats;
+};
+
+/// Naming helpers shared with subject construction (select/subject_map).
+[[nodiscard]] std::string dest_terminal_name(std::string_view storage);
+[[nodiscard]] std::string reg_terminal_name(std::string_view storage);
+[[nodiscard]] std::string port_terminal_name(std::string_view port);
+[[nodiscard]] std::string load_terminal_name(std::string_view mem, int width);
+[[nodiscard]] std::string store_terminal_name(std::string_view mem);
+[[nodiscard]] std::string nonterminal_name_for(std::string_view storage);
+
+[[nodiscard]] BuiltGrammar build_grammar(const rtl::TemplateBase& base,
+                                         const BuildOptions& options,
+                                         util::DiagnosticSink& diags);
+
+}  // namespace record::grammar

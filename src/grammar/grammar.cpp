@@ -1,0 +1,156 @@
+#include "grammar/grammar.h"
+
+#include <sstream>
+
+namespace record::grammar {
+
+PatNodePtr PatNode::clone() const {
+  auto out = std::make_unique<PatNode>();
+  out->kind = kind;
+  out->term = term;
+  out->nt = nt;
+  out->width = width;
+  out->imm_bits = imm_bits;
+  out->value = value;
+  out->children.reserve(children.size());
+  for (const PatNodePtr& c : children) out->children.push_back(c->clone());
+  return out;
+}
+
+PatNodePtr pat_term(TermId t, std::vector<PatNodePtr> children) {
+  auto p = std::make_unique<PatNode>();
+  p->kind = PatNode::Kind::Term;
+  p->term = t;
+  p->children = std::move(children);
+  return p;
+}
+
+PatNodePtr pat_nonterm(NtId nt) {
+  auto p = std::make_unique<PatNode>();
+  p->kind = PatNode::Kind::NonTerm;
+  p->nt = nt;
+  return p;
+}
+
+PatNodePtr pat_imm(std::vector<int> bits) {
+  auto p = std::make_unique<PatNode>();
+  p->kind = PatNode::Kind::Imm;
+  p->width = static_cast<int>(bits.size());
+  p->imm_bits = std::move(bits);
+  return p;
+}
+
+PatNodePtr pat_const_leaf(std::int64_t value) {
+  auto p = std::make_unique<PatNode>();
+  p->kind = PatNode::Kind::Const;
+  p->value = value;
+  return p;
+}
+
+TreeGrammar::TreeGrammar() {
+  (void)intern_nonterminal("START");  // NtId 0
+  assign_term_ = intern_terminal("ASSIGN");
+  const_term_ = intern_terminal("#const");
+}
+
+TermId TreeGrammar::intern_terminal(std::string_view name) {
+  auto it = term_index_.find(std::string(name));
+  if (it != term_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terminals_.size());
+  terminals_.emplace_back(name);
+  term_index_.emplace(std::string(name), id);
+  by_terminal_.emplace_back();
+  return id;
+}
+
+NtId TreeGrammar::intern_nonterminal(std::string_view name) {
+  auto it = nt_index_.find(std::string(name));
+  if (it != nt_index_.end()) return it->second;
+  NtId id = static_cast<NtId>(nonterminals_.size());
+  nonterminals_.emplace_back(name);
+  nt_index_.emplace(std::string(name), id);
+  chains_from_.emplace_back();
+  return id;
+}
+
+TermId TreeGrammar::find_terminal(std::string_view name) const {
+  auto it = term_index_.find(std::string(name));
+  return it == term_index_.end() ? -1 : it->second;
+}
+
+NtId TreeGrammar::find_nonterminal(std::string_view name) const {
+  auto it = nt_index_.find(std::string(name));
+  return it == nt_index_.end() ? -1 : it->second;
+}
+
+int TreeGrammar::add_rule(NtId lhs, PatNodePtr pattern, int cost,
+                          RuleKind kind, int template_id) {
+  Rule r;
+  r.id = static_cast<int>(rules_.size());
+  r.lhs = lhs;
+  r.pattern = std::move(pattern);
+  r.cost = cost;
+  r.kind = kind;
+  r.template_id = template_id;
+  if (r.is_chain()) {
+    chains_from_.at(static_cast<std::size_t>(r.pattern->nt)).push_back(r.id);
+  } else if (r.pattern && r.pattern->kind == PatNode::Kind::Term) {
+    by_terminal_.at(static_cast<std::size_t>(r.pattern->term))
+        .push_back(r.id);
+  } else if (r.pattern && (r.pattern->kind == PatNode::Kind::Imm ||
+                           r.pattern->kind == PatNode::Kind::Const)) {
+    // Rules rooted in Imm/Const leaves attach to the constant terminal.
+    by_terminal_.at(static_cast<std::size_t>(const_term_)).push_back(r.id);
+  }
+  rules_.push_back(std::move(r));
+  return rules_.back().id;
+}
+
+const std::vector<int>& TreeGrammar::rules_for_terminal(TermId t) const {
+  static const std::vector<int> kEmpty;
+  if (t < 0 || t >= terminal_count()) return kEmpty;
+  return by_terminal_[static_cast<std::size_t>(t)];
+}
+
+const std::vector<int>& TreeGrammar::chain_rules_from(NtId y) const {
+  static const std::vector<int> kEmpty;
+  if (y < 0 || y >= nonterminal_count()) return kEmpty;
+  return chains_from_[static_cast<std::size_t>(y)];
+}
+
+namespace {
+
+void render(const TreeGrammar& g, const PatNode& p, std::ostream& os) {
+  switch (p.kind) {
+    case PatNode::Kind::Term:
+      os << g.terminal_name(p.term);
+      if (!p.children.empty()) {
+        os << '(';
+        for (std::size_t i = 0; i < p.children.size(); ++i) {
+          if (i) os << ", ";
+          render(g, *p.children[i], os);
+        }
+        os << ')';
+      }
+      break;
+    case PatNode::Kind::NonTerm:
+      os << g.nonterminal_name(p.nt);
+      break;
+    case PatNode::Kind::Imm:
+      os << "#imm" << p.width;
+      break;
+    case PatNode::Kind::Const:
+      os << '#' << p.value;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string pattern_to_string(const TreeGrammar& g, const PatNode& p) {
+  std::ostringstream os;
+  render(g, p, os);
+  return os.str();
+}
+
+}  // namespace record::grammar

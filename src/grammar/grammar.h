@@ -1,0 +1,138 @@
+// Tree grammar representation (paper section 3.1).
+//
+// G = (ΣT, ΣN, S, R, c): terminals, non-terminals, start symbol, rules and a
+// cost function. Rules are "X -> t" where t is a tree over terminals with
+// non-terminal leaves. Three rule groups exist:
+//   start rules  START -> ASSIGN(Term(dest), NonTerm(dest))      cost 0
+//   RT rules     NonTerm(dest) -> L(exp)                         cost 1
+//   stop rules   NonTerm(REG) -> Term(REG)                       cost 0
+//
+// Pattern leaves Imm/Const specialise matching on the designated constant
+// terminal "#const": Imm(w) matches any constant fitting w bits (an
+// instruction-word immediate field), Const(v) matches exactly the hardwired
+// value v.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace record::grammar {
+
+using NtId = int;    // non-terminal index; 0 is always START
+using TermId = int;  // terminal index
+
+inline constexpr NtId kStart = 0;
+inline constexpr int kInfCost = std::numeric_limits<int>::max() / 4;
+
+struct PatNode;
+using PatNodePtr = std::unique_ptr<PatNode>;
+
+struct PatNode {
+  enum class Kind : std::uint8_t {
+    Term,     // terminal with children (operators) or leaf (registers/ports)
+    NonTerm,  // non-terminal leaf
+    Imm,      // immediate field leaf: matches #const fitting `width` bits
+    Const     // hardwired-constant leaf: matches #const of exactly `value`
+  };
+
+  Kind kind = Kind::Term;
+  TermId term = -1;          // Term
+  NtId nt = -1;              // NonTerm
+  int width = 0;             // Imm
+  std::vector<int> imm_bits; // Imm: instruction-word bit positions
+  std::int64_t value = 0;    // Const
+  std::vector<PatNodePtr> children;
+
+  [[nodiscard]] PatNodePtr clone() const;
+};
+
+[[nodiscard]] PatNodePtr pat_term(TermId t, std::vector<PatNodePtr> children);
+[[nodiscard]] PatNodePtr pat_nonterm(NtId nt);
+[[nodiscard]] PatNodePtr pat_imm(std::vector<int> bits);
+[[nodiscard]] PatNodePtr pat_const_leaf(std::int64_t value);
+
+enum class RuleKind : std::uint8_t { Start, RT, Stop };
+
+struct Rule {
+  int id = -1;
+  NtId lhs = -1;
+  PatNodePtr pattern;  // for chain rules the pattern is a bare NonTerm leaf
+  int cost = 0;
+  RuleKind kind = RuleKind::RT;
+  int template_id = -1;  // RT rules: originating RT template
+
+  /// Chain rule: RHS is a single non-terminal leaf.
+  [[nodiscard]] bool is_chain() const {
+    return pattern && pattern->kind == PatNode::Kind::NonTerm;
+  }
+};
+
+class TreeGrammar {
+ public:
+  // --- symbol interning ----------------------------------------------------
+
+  TermId intern_terminal(std::string_view name);
+  NtId intern_nonterminal(std::string_view name);
+
+  [[nodiscard]] TermId find_terminal(std::string_view name) const;
+  [[nodiscard]] NtId find_nonterminal(std::string_view name) const;
+
+  [[nodiscard]] const std::string& terminal_name(TermId t) const {
+    return terminals_.at(static_cast<std::size_t>(t));
+  }
+  [[nodiscard]] const std::string& nonterminal_name(NtId n) const {
+    return nonterminals_.at(static_cast<std::size_t>(n));
+  }
+  [[nodiscard]] int terminal_count() const {
+    return static_cast<int>(terminals_.size());
+  }
+  [[nodiscard]] int nonterminal_count() const {
+    return static_cast<int>(nonterminals_.size());
+  }
+
+  // --- rules --------------------------------------------------------------
+
+  /// Adds a rule and returns its id.
+  int add_rule(NtId lhs, PatNodePtr pattern, int cost, RuleKind kind,
+               int template_id = -1);
+
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] const Rule& rule(int id) const {
+    return rules_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Non-chain rules whose pattern root is the given terminal.
+  [[nodiscard]] const std::vector<int>& rules_for_terminal(TermId t) const;
+
+  /// Chain rules X -> Y grouped by Y.
+  [[nodiscard]] const std::vector<int>& chain_rules_from(NtId y) const;
+
+  /// The designated constant terminal "#const" (interned on construction).
+  [[nodiscard]] TermId const_terminal() const { return const_term_; }
+  /// The designated "ASSIGN" terminal.
+  [[nodiscard]] TermId assign_terminal() const { return assign_term_; }
+
+  TreeGrammar();
+
+ private:
+  std::vector<std::string> terminals_;
+  std::vector<std::string> nonterminals_;
+  std::unordered_map<std::string, TermId> term_index_;
+  std::unordered_map<std::string, NtId> nt_index_;
+  std::vector<Rule> rules_;
+  std::vector<std::vector<int>> by_terminal_;
+  std::vector<std::vector<int>> chains_from_;
+  TermId const_term_ = -1;
+  TermId assign_term_ = -1;
+};
+
+/// Renders a pattern in iburg-ish notation ("+.16(nt_ACC, #imm8)").
+[[nodiscard]] std::string pattern_to_string(const TreeGrammar& g,
+                                            const PatNode& p);
+
+}  // namespace record::grammar

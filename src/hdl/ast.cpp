@@ -1,0 +1,303 @@
+#include "hdl/ast.h"
+
+#include <sstream>
+
+namespace record::hdl {
+
+std::string_view to_string(PortClass c) {
+  switch (c) {
+    case PortClass::In:
+      return "IN";
+    case PortClass::Out:
+      return "OUT";
+    case PortClass::Ctrl:
+      return "CTRL";
+  }
+  return "?";
+}
+
+std::string_view to_string(OpKind op) {
+  switch (op) {
+    case OpKind::Add:
+      return "+";
+    case OpKind::Sub:
+      return "-";
+    case OpKind::Mul:
+      return "*";
+    case OpKind::Div:
+      return "/";
+    case OpKind::And:
+      return "&";
+    case OpKind::Or:
+      return "|";
+    case OpKind::Xor:
+      return "^";
+    case OpKind::Shl:
+      return "<<";
+    case OpKind::Shr:
+      return ">>";
+    case OpKind::Neg:
+      return "neg";
+    case OpKind::Not:
+      return "~";
+    case OpKind::Sxt:
+      return "SXT";
+    case OpKind::Zxt:
+      return "ZXT";
+    case OpKind::Custom:
+      return "custom";
+  }
+  return "?";
+}
+
+bool is_commutative(OpKind op) {
+  switch (op) {
+    case OpKind::Add:
+    case OpKind::Mul:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int arity(OpKind op) {
+  switch (op) {
+    case OpKind::Neg:
+    case OpKind::Not:
+    case OpKind::Sxt:
+    case OpKind::Zxt:
+      return 1;
+    case OpKind::Custom:
+      return -1;  // call-site arity
+    default:
+      return 2;
+  }
+}
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->loc = loc;
+  out->name = name;
+  out->value = value;
+  out->op = op;
+  out->slice = slice;
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) out->args.push_back(a->clone());
+  return out;
+}
+
+ExprPtr make_port_ref(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::PortRef;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_const(std::int64_t value, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->value = value;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_unary(OpKind op, ExprPtr a, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Unary;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_binary(OpKind op, ExprPtr a, ExprPtr b, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_cell_read(ExprPtr addr, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::CellRead;
+  e->args.push_back(std::move(addr));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_slice(ExprPtr port_ref, BitRange r, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Slice;
+  e->slice = r;
+  e->args.push_back(std::move(port_ref));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Call;
+  e->op = OpKind::Custom;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case Expr::Kind::PortRef:
+      os << e.name;
+      break;
+    case Expr::Kind::Const:
+      os << e.value;
+      break;
+    case Expr::Kind::CellRead:
+      os << "CELL[" << to_string(*e.args[0]) << ']';
+      break;
+    case Expr::Kind::Unary:
+      if (e.op == OpKind::Sxt || e.op == OpKind::Zxt)
+        os << to_string(e.op) << '(' << to_string(*e.args[0]) << ')';
+      else
+        os << (e.op == OpKind::Neg ? "-" : "~") << '('
+           << to_string(*e.args[0]) << ')';
+      break;
+    case Expr::Kind::Binary:
+      os << '(' << to_string(*e.args[0]) << ' ' << to_string(e.op) << ' '
+         << to_string(*e.args[1]) << ')';
+      break;
+    case Expr::Kind::Slice:
+      os << to_string(*e.args[0]) << '(' << e.slice.msb << ':' << e.slice.lsb
+         << ')';
+      break;
+    case Expr::Kind::Call: {
+      os << e.name << '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*e.args[i]);
+      }
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+CondPtr Cond::clone() const {
+  auto out = std::make_unique<Cond>();
+  out->kind = kind;
+  out->loc = loc;
+  out->inst = inst;
+  out->port = port;
+  out->has_slice = has_slice;
+  out->slice = slice;
+  out->value = value;
+  out->neq = neq;
+  out->args.reserve(args.size());
+  for (const CondPtr& a : args) out->args.push_back(a->clone());
+  return out;
+}
+
+CondPtr make_true_cond() {
+  auto c = std::make_unique<Cond>();
+  c->kind = Cond::Kind::True;
+  return c;
+}
+
+CondPtr make_cmp(std::string inst, std::string port, std::int64_t value,
+                 bool neq, SourceLoc loc) {
+  auto c = std::make_unique<Cond>();
+  c->kind = Cond::Kind::Cmp;
+  c->inst = std::move(inst);
+  c->port = std::move(port);
+  c->value = value;
+  c->neq = neq;
+  c->loc = loc;
+  return c;
+}
+
+std::string to_string(const Cond& c) {
+  std::ostringstream os;
+  switch (c.kind) {
+    case Cond::Kind::True:
+      os << "TRUE";
+      break;
+    case Cond::Kind::Cmp:
+      if (!c.inst.empty()) os << c.inst << '.';
+      os << c.port;
+      if (c.has_slice) os << '(' << c.slice.msb << ':' << c.slice.lsb << ')';
+      os << (c.neq ? " /= " : " = ") << c.value;
+      break;
+    case Cond::Kind::And:
+    case Cond::Kind::Or: {
+      os << '(';
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << (c.kind == Cond::Kind::And ? " AND " : " OR ");
+        os << to_string(*c.args[i]);
+      }
+      os << ')';
+      break;
+    }
+    case Cond::Kind::Not:
+      os << "NOT (" << to_string(*c.args[0]) << ')';
+      break;
+  }
+  return os.str();
+}
+
+std::string_view to_string(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::Combinational:
+      return "MODULE";
+    case ModuleKind::Register:
+      return "REGISTER";
+    case ModuleKind::Memory:
+      return "MEMORY";
+    case ModuleKind::ModeReg:
+      return "MODEREG";
+    case ModuleKind::Controller:
+      return "CONTROLLER";
+  }
+  return "?";
+}
+
+const PortDecl* ModuleDecl::find_port(std::string_view port_name) const {
+  for (const PortDecl& p : ports)
+    if (p.name == port_name) return &p;
+  return nullptr;
+}
+
+const ModuleDecl* ProcessorModel::find_module(std::string_view n) const {
+  for (const ModuleDecl& m : modules)
+    if (m.name == n) return &m;
+  return nullptr;
+}
+
+const PartDecl* ProcessorModel::find_part(std::string_view inst) const {
+  for (const PartDecl& p : parts)
+    if (p.inst_name == inst) return &p;
+  return nullptr;
+}
+
+const BusDecl* ProcessorModel::find_bus(std::string_view n) const {
+  for (const BusDecl& b : buses)
+    if (b.name == n) return &b;
+  return nullptr;
+}
+
+const ProcPortDecl* ProcessorModel::find_proc_port(std::string_view n) const {
+  for (const ProcPortDecl& p : proc_ports)
+    if (p.name == n) return &p;
+  return nullptr;
+}
+
+}  // namespace record::hdl

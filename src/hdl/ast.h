@@ -1,0 +1,291 @@
+// Abstract syntax for the MIMOLA-inspired processor-description HDL.
+//
+// The paper's RECORD compiler reads MIMOLA V4.1 netlist models: a processor
+// is a set of module instances whose I/O ports are interconnected by wires or
+// tristate buses, and each module's behaviour is a set of guarded concurrent
+// assignments to its output ports (or memory cells). This header defines an
+// HDL with the same modelling power. Concrete syntax:
+//
+//   -- line comment
+//   PROCESSOR simple;
+//
+//   MODULE alu (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL f:(1:0));
+//   BEHAVIOR
+//     y := a + b WHEN f = 0;
+//     y := a - b WHEN f = 1;
+//     y := a     WHEN f = 2;
+//   END;
+//
+//   REGISTER acc (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+//   BEHAVIOR
+//     q := d WHEN ld = 1;
+//   END;
+//
+//   MEMORY ram (IN addr:(7:0); IN din:(15:0); OUT dout:(15:0);
+//               CTRL we:(0:0)) SIZE 256;
+//   BEHAVIOR
+//     dout := CELL[addr];
+//     CELL[addr] := din WHEN we = 1;
+//   END;
+//
+//   CONTROLLER im (OUT word:(15:0));     -- instruction-word source
+//
+//   PORT pin: IN (15:0);                 -- primary processor ports
+//   PORT pout: OUT (15:0);
+//
+//   STRUCTURE
+//   PARTS
+//     ALU: alu;  ACC: acc;  RAM: ram;  IM: im;
+//   BUS dbus: (15:0);
+//   CONNECTIONS
+//     dbus    := RAM.dout WHEN IM.word(15:15) = 1;  -- tristate driver
+//     dbus    := pin      WHEN IM.word(15:15) = 0;
+//     ALU.a   := ACC.q;
+//     ALU.b   := dbus;
+//     ALU.f   := IM.word(14:13);
+//     ACC.d   := ALU.y;
+//     ACC.ld  := IM.word(12:12);
+//     RAM.addr:= IM.word(7:0);
+//     pout    := ACC.q;
+//   END;
+//
+// Module kinds:
+//   MODULE      combinational (ALUs, muxes, shifters, decoders, ...)
+//   REGISTER    sequential, single storage cell; may have self-referencing
+//               transfers (e.g. q := q + 1 for post-modify address registers)
+//   MEMORY      addressable storage (also used for register files)
+//   MODEREG     mode/configuration register; its output bits become
+//               mode-register variables in execution conditions
+//   CONTROLLER  the instruction-memory; its single OUT port is the
+//               instruction word, whose bits are the primary control source
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/diagnostics.h"
+
+namespace record::hdl {
+
+using util::SourceLoc;
+
+/// Inclusive bit-range `(msb:lsb)` with msb >= lsb >= 0.
+struct BitRange {
+  int msb = 0;
+  int lsb = 0;
+
+  [[nodiscard]] int width() const { return msb - lsb + 1; }
+  friend bool operator==(const BitRange&, const BitRange&) = default;
+};
+
+enum class PortClass : std::uint8_t { In, Out, Ctrl };
+
+[[nodiscard]] std::string_view to_string(PortClass c);
+
+struct PortDecl {
+  std::string name;
+  PortClass cls = PortClass::In;
+  BitRange range;
+  SourceLoc loc;
+};
+
+/// Hardware operators that may appear in module behaviours. `Custom` covers
+/// user-named opaque functions (e.g. saturation or rounding units) written
+/// as calls: `RND(x)`.
+enum class OpKind : std::uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Neg,
+  Not,
+  Sxt,   // sign extend to target width
+  Zxt,   // zero extend to target width
+  Custom
+};
+
+[[nodiscard]] std::string_view to_string(OpKind op);
+
+/// True for ops where op(a, b) == op(b, a); used by template extension.
+[[nodiscard]] bool is_commutative(OpKind op);
+
+/// Number of operands (Custom resolved by call-site arity).
+[[nodiscard]] int arity(OpKind op);
+
+// --- expressions ------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    PortRef,   // `name`         reference to a module port
+    CellRead,  // `CELL[addr]`   memory-cell read (MEMORY modules only)
+    Const,     // integer literal
+    Unary,     // op(args[0])
+    Binary,    // op(args[0], args[1])
+    Slice,     // args[0](msb:lsb), args[0] is a PortRef
+    Call       // custom op: name(args...)
+  };
+
+  Kind kind = Kind::Const;
+  SourceLoc loc;
+  std::string name;         // PortRef / Call
+  std::int64_t value = 0;   // Const
+  OpKind op = OpKind::Add;  // Unary / Binary / Call(=Custom)
+  BitRange slice;           // Slice
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+[[nodiscard]] ExprPtr make_port_ref(std::string name, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_const(std::int64_t value, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_unary(OpKind op, ExprPtr a, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_binary(OpKind op, ExprPtr a, ExprPtr b,
+                                  SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_cell_read(ExprPtr addr, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_slice(ExprPtr port_ref, BitRange r,
+                                 SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_call(std::string name, std::vector<ExprPtr> args,
+                                SourceLoc loc = {});
+
+/// Stable textual dump (for tests and template pretty-printing).
+[[nodiscard]] std::string to_string(const Expr& e);
+
+// --- guard conditions ---------------------------------------------------------
+
+struct Cond;
+using CondPtr = std::unique_ptr<Cond>;
+
+/// Guard grammar: atom := ref `=` INT | ref `/=` INT | `(` cond `)` ;
+/// cond := atom { AND atom } { OR atom } ; NOT atom.
+/// `ref` is a local CTRL-port name in module behaviours, or `inst.port`
+/// (optionally sliced) in structural bus-driver guards.
+struct Cond {
+  enum class Kind : std::uint8_t { Cmp, And, Or, Not, True };
+
+  Kind kind = Kind::True;
+  SourceLoc loc;
+  // Cmp payload:
+  std::string inst;   // empty in module-behaviour guards
+  std::string port;
+  bool has_slice = false;
+  BitRange slice;
+  std::int64_t value = 0;
+  bool neq = false;  // true for `/=`
+  std::vector<CondPtr> args;  // And/Or/Not children
+
+  [[nodiscard]] CondPtr clone() const;
+};
+
+[[nodiscard]] CondPtr make_true_cond();
+[[nodiscard]] CondPtr make_cmp(std::string inst, std::string port,
+                               std::int64_t value, bool neq = false,
+                               SourceLoc loc = {});
+[[nodiscard]] std::string to_string(const Cond& c);
+
+// --- module behaviour ----------------------------------------------------------
+
+/// One guarded concurrent assignment. Either a port transfer
+/// (`target_port := rhs WHEN guard`) or a cell write
+/// (`CELL[cell_addr] := rhs WHEN guard`; target_port empty).
+struct Transfer {
+  std::string target_port;  // empty for cell writes
+  ExprPtr cell_addr;        // non-null for cell writes
+  ExprPtr rhs;
+  CondPtr guard;  // null = unconditional
+  SourceLoc loc;
+
+  [[nodiscard]] bool is_cell_write() const { return cell_addr != nullptr; }
+};
+
+enum class ModuleKind : std::uint8_t {
+  Combinational,
+  Register,
+  Memory,
+  ModeReg,
+  Controller
+};
+
+[[nodiscard]] std::string_view to_string(ModuleKind k);
+
+struct ModuleDecl {
+  std::string name;
+  ModuleKind kind = ModuleKind::Combinational;
+  std::vector<PortDecl> ports;
+  std::vector<Transfer> transfers;
+  std::int64_t mem_size = 0;  // MEMORY only
+  SourceLoc loc;
+
+  [[nodiscard]] const PortDecl* find_port(std::string_view port_name) const;
+};
+
+// --- structure ----------------------------------------------------------------
+
+struct PartDecl {
+  std::string inst_name;
+  std::string module_name;
+  SourceLoc loc;
+};
+
+struct BusDecl {
+  std::string name;
+  BitRange range;
+  SourceLoc loc;
+};
+
+/// A connection source operand: `inst.port`, a bare top-level name (primary
+/// port or bus), or an integer constant; with an optional bit-slice.
+struct SourceRef {
+  enum class Kind : std::uint8_t { PortRef, Const };
+
+  Kind kind = Kind::PortRef;
+  std::string inst;  // empty for primary ports / buses
+  std::string port;
+  std::int64_t value = 0;  // Const
+  bool has_slice = false;
+  BitRange slice;
+  SourceLoc loc;
+};
+
+/// `target := source [WHEN guard];` — target is `inst.port`, a primary OUT
+/// port, or a bus name (then guard is the tristate enable).
+struct Connection {
+  std::string target_inst;  // empty for primary ports / buses
+  std::string target_port;
+  SourceRef source;
+  CondPtr guard;  // non-null only for bus drivers
+  SourceLoc loc;
+};
+
+struct ProcPortDecl {
+  std::string name;
+  bool is_input = true;
+  BitRange range;
+  SourceLoc loc;
+};
+
+/// Root of a parsed HDL processor model.
+struct ProcessorModel {
+  std::string name;
+  std::vector<ModuleDecl> modules;
+  std::vector<ProcPortDecl> proc_ports;
+  std::vector<PartDecl> parts;
+  std::vector<BusDecl> buses;
+  std::vector<Connection> connections;
+
+  [[nodiscard]] const ModuleDecl* find_module(std::string_view name) const;
+  [[nodiscard]] const PartDecl* find_part(std::string_view inst) const;
+  [[nodiscard]] const BusDecl* find_bus(std::string_view name) const;
+  [[nodiscard]] const ProcPortDecl* find_proc_port(std::string_view name) const;
+};
+
+}  // namespace record::hdl

@@ -1,0 +1,246 @@
+#include "hdl/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace record::hdl {
+
+std::string_view to_string(TokKind k) {
+  switch (k) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::Int: return "integer";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Comma: return "','";
+    case TokKind::Dot: return "'.'";
+    case TokKind::Assign: return "':='";
+    case TokKind::Eq: return "'='";
+    case TokKind::Neq: return "'/='";
+    case TokKind::Amp: return "'&'";
+    case TokKind::Pipe: return "'|'";
+    case TokKind::Caret: return "'^'";
+    case TokKind::Tilde: return "'~'";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Shl: return "'<<'";
+    case TokKind::Shr: return "'>>'";
+    case TokKind::KwProcessor: return "PROCESSOR";
+    case TokKind::KwModule: return "MODULE";
+    case TokKind::KwRegister: return "REGISTER";
+    case TokKind::KwMemory: return "MEMORY";
+    case TokKind::KwModeReg: return "MODEREG";
+    case TokKind::KwController: return "CONTROLLER";
+    case TokKind::KwBehavior: return "BEHAVIOR";
+    case TokKind::KwStructure: return "STRUCTURE";
+    case TokKind::KwParts: return "PARTS";
+    case TokKind::KwConnections: return "CONNECTIONS";
+    case TokKind::KwBus: return "BUS";
+    case TokKind::KwPort: return "PORT";
+    case TokKind::KwIn: return "IN";
+    case TokKind::KwOut: return "OUT";
+    case TokKind::KwCtrl: return "CTRL";
+    case TokKind::KwWhen: return "WHEN";
+    case TokKind::KwEnd: return "END";
+    case TokKind::KwCell: return "CELL";
+    case TokKind::KwSize: return "SIZE";
+    case TokKind::KwAnd: return "AND";
+    case TokKind::KwOr: return "OR";
+    case TokKind::KwNot: return "NOT";
+    case TokKind::KwSxt: return "SXT";
+    case TokKind::KwZxt: return "ZXT";
+    case TokKind::Eof: return "end of input";
+    case TokKind::Error: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind>& keyword_table() {
+  static const std::unordered_map<std::string, TokKind> table = {
+      {"processor", TokKind::KwProcessor},
+      {"module", TokKind::KwModule},
+      {"register", TokKind::KwRegister},
+      {"memory", TokKind::KwMemory},
+      {"modereg", TokKind::KwModeReg},
+      {"controller", TokKind::KwController},
+      {"behavior", TokKind::KwBehavior},
+      {"behaviour", TokKind::KwBehavior},
+      {"structure", TokKind::KwStructure},
+      {"parts", TokKind::KwParts},
+      {"connections", TokKind::KwConnections},
+      {"bus", TokKind::KwBus},
+      {"port", TokKind::KwPort},
+      {"in", TokKind::KwIn},
+      {"out", TokKind::KwOut},
+      {"ctrl", TokKind::KwCtrl},
+      {"when", TokKind::KwWhen},
+      {"end", TokKind::KwEnd},
+      {"cell", TokKind::KwCell},
+      {"size", TokKind::KwSize},
+      {"and", TokKind::KwAnd},
+      {"or", TokKind::KwOr},
+      {"not", TokKind::KwNot},
+      {"sxt", TokKind::KwSxt},
+      {"zxt", TokKind::KwZxt},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, util::DiagnosticSink& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_trivia();
+      if (at_end()) {
+        out.push_back(Token{TokKind::Eof, "", 0, loc()});
+        return out;
+      }
+      out.push_back(next_token());
+    }
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] util::SourceLoc loc() const { return {line_, col_}; }
+
+  void skip_trivia() {
+    for (;;) {
+      if (at_end()) return;
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '-' && peek(1) == '-') {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token next_token() {
+    util::SourceLoc start = loc();
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+      return ident_or_keyword(start);
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(start);
+    advance();
+    auto tok = [&](TokKind k) { return Token{k, std::string(1, c), 0, start}; };
+    switch (c) {
+      case '(': return tok(TokKind::LParen);
+      case ')': return tok(TokKind::RParen);
+      case '[': return tok(TokKind::LBracket);
+      case ']': return tok(TokKind::RBracket);
+      case ';': return tok(TokKind::Semi);
+      case ',': return tok(TokKind::Comma);
+      case '.': return tok(TokKind::Dot);
+      case '&': return tok(TokKind::Amp);
+      case '|': return tok(TokKind::Pipe);
+      case '^': return tok(TokKind::Caret);
+      case '~': return tok(TokKind::Tilde);
+      case '+': return tok(TokKind::Plus);
+      case '-': return tok(TokKind::Minus);
+      case '*': return tok(TokKind::Star);
+      case '=': return tok(TokKind::Eq);
+      case ':':
+        if (peek() == '=') {
+          advance();
+          return Token{TokKind::Assign, ":=", 0, start};
+        }
+        return tok(TokKind::Colon);
+      case '/':
+        if (peek() == '=') {
+          advance();
+          return Token{TokKind::Neq, "/=", 0, start};
+        }
+        return tok(TokKind::Slash);
+      case '<':
+        if (peek() == '<') {
+          advance();
+          return Token{TokKind::Shl, "<<", 0, start};
+        }
+        break;
+      case '>':
+        if (peek() == '>') {
+          advance();
+          return Token{TokKind::Shr, ">>", 0, start};
+        }
+        break;
+      default:
+        break;
+    }
+    diags_.error(start, util::fmt("unexpected character '{}'", c));
+    return Token{TokKind::Error, std::string(1, c), 0, start};
+  }
+
+  Token ident_or_keyword(util::SourceLoc start) {
+    std::string text;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_'))
+      text.push_back(advance());
+    auto it = keyword_table().find(util::to_lower(text));
+    if (it != keyword_table().end())
+      return Token{it->second, std::move(text), 0, start};
+    return Token{TokKind::Ident, std::move(text), 0, start};
+  }
+
+  Token number(util::SourceLoc start) {
+    std::string text;
+    // Accept 0x / 0b prefixes.
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X' || peek(1) == 'b' ||
+                          peek(1) == 'B')) {
+      text.push_back(advance());
+      text.push_back(advance());
+    }
+    while (!at_end() &&
+           std::isxdigit(static_cast<unsigned char>(peek())))
+      text.push_back(advance());
+    auto value = util::parse_int(text);
+    if (!value) {
+      diags_.error(start, util::fmt("malformed integer literal '{}'", text));
+      return Token{TokKind::Error, std::move(text), 0, start};
+    }
+    return Token{TokKind::Int, std::move(text), *value, start};
+  }
+
+  std::string_view src_;
+  util::DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, util::DiagnosticSink& diags) {
+  return Lexer(source, diags).run();
+}
+
+}  // namespace record::hdl

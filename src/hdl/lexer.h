@@ -1,0 +1,83 @@
+// Tokeniser for the processor-description HDL (see hdl/ast.h for syntax).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/diagnostics.h"
+
+namespace record::hdl {
+
+enum class TokKind : std::uint8_t {
+  // literals / names
+  Ident,
+  Int,
+  // punctuation
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Colon,
+  Semi,
+  Comma,
+  Dot,
+  Assign,   // :=
+  Eq,       // =
+  Neq,      // /=
+  Amp,      // &
+  Pipe,     // |
+  Caret,    // ^
+  Tilde,    // ~
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Shl,  // <<
+  Shr,  // >>
+  // keywords (case-insensitive in source)
+  KwProcessor,
+  KwModule,
+  KwRegister,
+  KwMemory,
+  KwModeReg,
+  KwController,
+  KwBehavior,
+  KwStructure,
+  KwParts,
+  KwConnections,
+  KwBus,
+  KwPort,
+  KwIn,
+  KwOut,
+  KwCtrl,
+  KwWhen,
+  KwEnd,
+  KwCell,
+  KwSize,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwSxt,
+  KwZxt,
+  // sentinels
+  Eof,
+  Error
+};
+
+[[nodiscard]] std::string_view to_string(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string text;          // identifier spelling (original case)
+  std::int64_t value = 0;    // Int
+  util::SourceLoc loc;
+};
+
+/// Tokenises the whole input. Lexical errors are reported to `diags` and
+/// produce Error tokens; the stream always ends with an Eof token.
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     util::DiagnosticSink& diags);
+
+}  // namespace record::hdl

@@ -1,0 +1,530 @@
+#include "hdl/parser.h"
+
+#include <utility>
+
+#include "hdl/lexer.h"
+#include "util/strings.h"
+
+namespace record::hdl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, util::DiagnosticSink& diags)
+      : toks_(std::move(tokens)), diags_(diags) {}
+
+  std::optional<ProcessorModel> run() {
+    ProcessorModel model;
+    if (!expect(TokKind::KwProcessor, "a model must start with PROCESSOR"))
+      return std::nullopt;
+    Token name = cur();
+    if (!expect(TokKind::Ident, "processor name")) return std::nullopt;
+    model.name = name.text;
+    if (!expect(TokKind::Semi, "';' after processor name"))
+      return std::nullopt;
+
+    while (!at(TokKind::Eof)) {
+      switch (cur().kind) {
+        case TokKind::KwModule:
+        case TokKind::KwRegister:
+        case TokKind::KwMemory:
+        case TokKind::KwModeReg:
+        case TokKind::KwController:
+          if (!parse_module(model)) return std::nullopt;
+          break;
+        case TokKind::KwPort:
+          if (!parse_proc_port(model)) return std::nullopt;
+          break;
+        case TokKind::KwStructure:
+          if (!parse_structure(model)) return std::nullopt;
+          break;
+        default:
+          error(util::fmt("unexpected {} at top level", to_string(cur().kind)));
+          return std::nullopt;
+      }
+    }
+    return model;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& ahead(std::size_t n) const {
+    std::size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
+
+  Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool accept(TokKind k) {
+    if (!at(k)) return false;
+    take();
+    return true;
+  }
+
+  bool expect(TokKind k, std::string_view what) {
+    if (accept(k)) return true;
+    error(util::fmt("expected {} but found {}", what, to_string(cur().kind)));
+    return false;
+  }
+
+  void error(std::string msg) { diags_.error(cur().loc, std::move(msg)); }
+
+  // --- declarations ---------------------------------------------------------
+
+  static ModuleKind module_kind(TokKind k) {
+    switch (k) {
+      case TokKind::KwRegister: return ModuleKind::Register;
+      case TokKind::KwMemory: return ModuleKind::Memory;
+      case TokKind::KwModeReg: return ModuleKind::ModeReg;
+      case TokKind::KwController: return ModuleKind::Controller;
+      default: return ModuleKind::Combinational;
+    }
+  }
+
+  bool parse_range(BitRange& out) {
+    if (!expect(TokKind::LParen, "'(' of a bit-range")) return false;
+    Token msb = cur();
+    if (!expect(TokKind::Int, "msb of bit-range")) return false;
+    if (!expect(TokKind::Colon, "':' in bit-range")) return false;
+    Token lsb = cur();
+    if (!expect(TokKind::Int, "lsb of bit-range")) return false;
+    if (!expect(TokKind::RParen, "')' of bit-range")) return false;
+    out.msb = static_cast<int>(msb.value);
+    out.lsb = static_cast<int>(lsb.value);
+    if (out.msb < out.lsb) {
+      diags_.error(msb.loc, "bit-range msb must be >= lsb");
+      return false;
+    }
+    return true;
+  }
+
+  bool parse_module(ProcessorModel& model) {
+    ModuleDecl mod;
+    mod.loc = cur().loc;
+    mod.kind = module_kind(take().kind);
+    Token name = cur();
+    if (!expect(TokKind::Ident, "module name")) return false;
+    mod.name = name.text;
+
+    if (!expect(TokKind::LParen, "'(' of port list")) return false;
+    for (;;) {
+      PortDecl port;
+      port.loc = cur().loc;
+      if (accept(TokKind::KwIn))
+        port.cls = PortClass::In;
+      else if (accept(TokKind::KwOut))
+        port.cls = PortClass::Out;
+      else if (accept(TokKind::KwCtrl))
+        port.cls = PortClass::Ctrl;
+      else {
+        error("port declaration must start with IN, OUT or CTRL");
+        return false;
+      }
+      Token pname = cur();
+      if (!expect(TokKind::Ident, "port name")) return false;
+      port.name = pname.text;
+      if (!expect(TokKind::Colon, "':' before port bit-range")) return false;
+      if (!parse_range(port.range)) return false;
+      mod.ports.push_back(std::move(port));
+      if (accept(TokKind::RParen)) break;
+      if (!expect(TokKind::Semi, "';' between port declarations"))
+        return false;
+      if (accept(TokKind::RParen)) break;  // tolerate trailing ';'
+    }
+
+    if (accept(TokKind::KwSize)) {
+      Token size = cur();
+      if (!expect(TokKind::Int, "memory size")) return false;
+      mod.mem_size = size.value;
+    }
+    if (!expect(TokKind::Semi, "';' after module header")) return false;
+
+    if (accept(TokKind::KwBehavior)) {
+      while (!at(TokKind::KwEnd)) {
+        Transfer t;
+        if (!parse_transfer(t)) return false;
+        mod.transfers.push_back(std::move(t));
+      }
+      take();  // END
+      if (!expect(TokKind::Semi, "';' after behaviour END")) return false;
+    }
+    model.modules.push_back(std::move(mod));
+    return true;
+  }
+
+  bool parse_transfer(Transfer& t) {
+    t.loc = cur().loc;
+    if (accept(TokKind::KwCell)) {
+      if (!expect(TokKind::LBracket, "'[' of CELL write")) return false;
+      t.cell_addr = parse_expr();
+      if (!t.cell_addr) return false;
+      if (!expect(TokKind::RBracket, "']' of CELL write")) return false;
+    } else {
+      Token target = cur();
+      if (!expect(TokKind::Ident, "transfer target port")) return false;
+      t.target_port = target.text;
+    }
+    if (!expect(TokKind::Assign, "':=' in transfer")) return false;
+    t.rhs = parse_expr();
+    if (!t.rhs) return false;
+    if (accept(TokKind::KwWhen)) {
+      t.guard = parse_cond();
+      if (!t.guard) return false;
+    }
+    return expect(TokKind::Semi, "';' after transfer");
+  }
+
+  bool parse_proc_port(ProcessorModel& model) {
+    ProcPortDecl p;
+    p.loc = cur().loc;
+    take();  // PORT
+    Token name = cur();
+    if (!expect(TokKind::Ident, "processor port name")) return false;
+    p.name = name.text;
+    if (!expect(TokKind::Colon, "':' in port declaration")) return false;
+    if (accept(TokKind::KwIn))
+      p.is_input = true;
+    else if (accept(TokKind::KwOut))
+      p.is_input = false;
+    else {
+      error("processor port must be IN or OUT");
+      return false;
+    }
+    if (!parse_range(p.range)) return false;
+    if (!expect(TokKind::Semi, "';' after port declaration")) return false;
+    model.proc_ports.push_back(std::move(p));
+    return true;
+  }
+
+  // --- structure --------------------------------------------------------------
+
+  bool parse_structure(ProcessorModel& model) {
+    take();  // STRUCTURE
+    if (!expect(TokKind::KwParts, "PARTS section")) return false;
+    while (at(TokKind::Ident)) {
+      PartDecl part;
+      part.loc = cur().loc;
+      part.inst_name = take().text;
+      if (!expect(TokKind::Colon, "':' in part declaration")) return false;
+      Token mod = cur();
+      if (!expect(TokKind::Ident, "module name in part declaration"))
+        return false;
+      part.module_name = mod.text;
+      if (!expect(TokKind::Semi, "';' after part declaration")) return false;
+      model.parts.push_back(std::move(part));
+    }
+    while (accept(TokKind::KwBus)) {
+      BusDecl bus;
+      bus.loc = cur().loc;
+      Token name = cur();
+      if (!expect(TokKind::Ident, "bus name")) return false;
+      bus.name = name.text;
+      if (!expect(TokKind::Colon, "':' in bus declaration")) return false;
+      if (!parse_range(bus.range)) return false;
+      if (!expect(TokKind::Semi, "';' after bus declaration")) return false;
+      model.buses.push_back(std::move(bus));
+    }
+    if (!expect(TokKind::KwConnections, "CONNECTIONS section")) return false;
+    while (!at(TokKind::KwEnd)) {
+      Connection conn;
+      if (!parse_connection(conn)) return false;
+      model.connections.push_back(std::move(conn));
+    }
+    take();  // END
+    return expect(TokKind::Semi, "';' after structure END");
+  }
+
+  bool parse_connection(Connection& conn) {
+    conn.loc = cur().loc;
+    Token first = cur();
+    if (!expect(TokKind::Ident, "connection target")) return false;
+    if (accept(TokKind::Dot)) {
+      Token port = cur();
+      if (!expect(TokKind::Ident, "port name after '.'")) return false;
+      conn.target_inst = first.text;
+      conn.target_port = port.text;
+    } else {
+      conn.target_port = first.text;  // primary port or bus
+    }
+    if (!expect(TokKind::Assign, "':=' in connection")) return false;
+    if (!parse_source_ref(conn.source)) return false;
+    if (accept(TokKind::KwWhen)) {
+      conn.guard = parse_cond();
+      if (!conn.guard) return false;
+    }
+    return expect(TokKind::Semi, "';' after connection");
+  }
+
+  bool parse_source_ref(SourceRef& src) {
+    src.loc = cur().loc;
+    if (at(TokKind::Int)) {
+      src.kind = SourceRef::Kind::Const;
+      src.value = take().value;
+      return true;
+    }
+    Token first = cur();
+    if (!expect(TokKind::Ident, "connection source")) return false;
+    src.kind = SourceRef::Kind::PortRef;
+    if (accept(TokKind::Dot)) {
+      Token port = cur();
+      if (!expect(TokKind::Ident, "port name after '.'")) return false;
+      src.inst = first.text;
+      src.port = port.text;
+    } else {
+      src.port = first.text;
+    }
+    if (at(TokKind::LParen) && ahead(1).kind == TokKind::Int &&
+        ahead(2).kind == TokKind::Colon) {
+      src.has_slice = true;
+      if (!parse_range(src.slice)) return false;
+    }
+    return true;
+  }
+
+  // --- behaviour expressions ----------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_xor();
+    while (lhs && at(TokKind::Pipe)) {
+      util::SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_xor();
+      if (!rhs) return nullptr;
+      lhs = make_binary(OpKind::Or, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_xor() {
+    ExprPtr lhs = parse_and();
+    while (lhs && at(TokKind::Caret)) {
+      util::SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_and();
+      if (!rhs) return nullptr;
+      lhs = make_binary(OpKind::Xor, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_shift();
+    while (lhs && at(TokKind::Amp)) {
+      util::SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_shift();
+      if (!rhs) return nullptr;
+      lhs = make_binary(OpKind::And, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_shift() {
+    ExprPtr lhs = parse_add();
+    while (lhs && (at(TokKind::Shl) || at(TokKind::Shr))) {
+      OpKind op = at(TokKind::Shl) ? OpKind::Shl : OpKind::Shr;
+      util::SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_add();
+      if (!rhs) return nullptr;
+      lhs = make_binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (lhs && (at(TokKind::Plus) || at(TokKind::Minus))) {
+      OpKind op = at(TokKind::Plus) ? OpKind::Add : OpKind::Sub;
+      util::SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_mul();
+      if (!rhs) return nullptr;
+      lhs = make_binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (lhs && (at(TokKind::Star) || at(TokKind::Slash))) {
+      OpKind op = at(TokKind::Star) ? OpKind::Mul : OpKind::Div;
+      util::SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_unary();
+      if (!rhs) return nullptr;
+      lhs = make_binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokKind::Minus)) {
+      util::SourceLoc loc = take().loc;
+      ExprPtr a = parse_unary();
+      if (!a) return nullptr;
+      return make_unary(OpKind::Neg, std::move(a), loc);
+    }
+    if (at(TokKind::Tilde)) {
+      util::SourceLoc loc = take().loc;
+      ExprPtr a = parse_unary();
+      if (!a) return nullptr;
+      return make_unary(OpKind::Not, std::move(a), loc);
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    util::SourceLoc loc = cur().loc;
+    if (at(TokKind::Int)) return make_const(take().value, loc);
+    if (accept(TokKind::LParen)) {
+      ExprPtr inner = parse_expr();
+      if (!inner) return nullptr;
+      if (!expect(TokKind::RParen, "')'")) return nullptr;
+      return inner;
+    }
+    if (accept(TokKind::KwCell)) {
+      if (!expect(TokKind::LBracket, "'[' of CELL read")) return nullptr;
+      ExprPtr addr = parse_expr();
+      if (!addr) return nullptr;
+      if (!expect(TokKind::RBracket, "']' of CELL read")) return nullptr;
+      return make_cell_read(std::move(addr), loc);
+    }
+    if (at(TokKind::KwSxt) || at(TokKind::KwZxt)) {
+      OpKind op = at(TokKind::KwSxt) ? OpKind::Sxt : OpKind::Zxt;
+      take();
+      if (!expect(TokKind::LParen, "'(' of extension")) return nullptr;
+      ExprPtr a = parse_expr();
+      if (!a) return nullptr;
+      if (!expect(TokKind::RParen, "')' of extension")) return nullptr;
+      return make_unary(op, std::move(a), loc);
+    }
+    if (at(TokKind::Ident)) {
+      Token name = take();
+      if (at(TokKind::LParen)) {
+        // Slice `p(msb:lsb)` vs. custom call `F(a, b)`.
+        if (ahead(1).kind == TokKind::Int && ahead(2).kind == TokKind::Colon) {
+          BitRange r;
+          if (!parse_range(r)) return nullptr;
+          return make_slice(make_port_ref(name.text, loc), r, loc);
+        }
+        take();  // '('
+        std::vector<ExprPtr> args;
+        if (!at(TokKind::RParen)) {
+          for (;;) {
+            ExprPtr a = parse_expr();
+            if (!a) return nullptr;
+            args.push_back(std::move(a));
+            if (!accept(TokKind::Comma)) break;
+          }
+        }
+        if (!expect(TokKind::RParen, "')' of call")) return nullptr;
+        return make_call(name.text, std::move(args), loc);
+      }
+      return make_port_ref(name.text, loc);
+    }
+    error(util::fmt("expected an expression, found {}",
+                    to_string(cur().kind)));
+    return nullptr;
+  }
+
+  // --- guard conditions -----------------------------------------------------
+
+  CondPtr parse_cond() { return parse_cond_or(); }
+
+  CondPtr parse_cond_or() {
+    CondPtr lhs = parse_cond_and();
+    if (!lhs) return nullptr;
+    if (!at(TokKind::KwOr)) return lhs;
+    auto node = std::make_unique<Cond>();
+    node->kind = Cond::Kind::Or;
+    node->loc = cur().loc;
+    node->args.push_back(std::move(lhs));
+    while (accept(TokKind::KwOr)) {
+      CondPtr rhs = parse_cond_and();
+      if (!rhs) return nullptr;
+      node->args.push_back(std::move(rhs));
+    }
+    return node;
+  }
+
+  CondPtr parse_cond_and() {
+    CondPtr lhs = parse_cond_atom();
+    if (!lhs) return nullptr;
+    if (!at(TokKind::KwAnd)) return lhs;
+    auto node = std::make_unique<Cond>();
+    node->kind = Cond::Kind::And;
+    node->loc = cur().loc;
+    node->args.push_back(std::move(lhs));
+    while (accept(TokKind::KwAnd)) {
+      CondPtr rhs = parse_cond_atom();
+      if (!rhs) return nullptr;
+      node->args.push_back(std::move(rhs));
+    }
+    return node;
+  }
+
+  CondPtr parse_cond_atom() {
+    if (accept(TokKind::KwNot)) {
+      CondPtr inner = parse_cond_atom();
+      if (!inner) return nullptr;
+      auto node = std::make_unique<Cond>();
+      node->kind = Cond::Kind::Not;
+      node->args.push_back(std::move(inner));
+      return node;
+    }
+    if (accept(TokKind::LParen)) {
+      CondPtr inner = parse_cond();
+      if (!inner) return nullptr;
+      if (!expect(TokKind::RParen, "')' in condition")) return nullptr;
+      return inner;
+    }
+    // ref (= | /=) INT, ref = [inst '.'] port [range]
+    auto node = std::make_unique<Cond>();
+    node->kind = Cond::Kind::Cmp;
+    node->loc = cur().loc;
+    Token first = cur();
+    if (!expect(TokKind::Ident, "signal reference in condition"))
+      return nullptr;
+    if (accept(TokKind::Dot)) {
+      Token port = cur();
+      if (!expect(TokKind::Ident, "port name after '.'")) return nullptr;
+      node->inst = first.text;
+      node->port = port.text;
+    } else {
+      node->port = first.text;
+    }
+    if (at(TokKind::LParen) && ahead(1).kind == TokKind::Int &&
+        ahead(2).kind == TokKind::Colon) {
+      node->has_slice = true;
+      if (!parse_range(node->slice)) return nullptr;
+    }
+    if (accept(TokKind::Eq))
+      node->neq = false;
+    else if (accept(TokKind::Neq))
+      node->neq = true;
+    else {
+      error("expected '=' or '/=' in condition");
+      return nullptr;
+    }
+    Token value = cur();
+    if (!expect(TokKind::Int, "comparison constant")) return nullptr;
+    node->value = value.value;
+    return node;
+  }
+
+  std::vector<Token> toks_;
+  util::DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<ProcessorModel> parse(std::string_view source,
+                                    util::DiagnosticSink& diags) {
+  std::vector<Token> tokens = lex(source, diags);
+  if (!diags.ok()) return std::nullopt;
+  return Parser(std::move(tokens), diags).run();
+}
+
+}  // namespace record::hdl

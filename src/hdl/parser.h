@@ -1,0 +1,18 @@
+// Recursive-descent parser for the processor-description HDL.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "hdl/ast.h"
+#include "util/diagnostics.h"
+
+namespace record::hdl {
+
+/// Parses a complete processor model. On syntax errors, diagnostics are
+/// reported and nullopt is returned. The returned model is purely syntactic;
+/// run `check_model` (hdl/sema.h) before elaboration.
+[[nodiscard]] std::optional<ProcessorModel> parse(
+    std::string_view source, util::DiagnosticSink& diags);
+
+}  // namespace record::hdl

@@ -1,0 +1,471 @@
+#include "hdl/sema.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace record::hdl {
+
+namespace {
+
+using util::DiagnosticSink;
+using util::fmt;
+
+class Checker {
+ public:
+  Checker(const ProcessorModel& model, DiagnosticSink& diags)
+      : model_(model), diags_(diags) {}
+
+  bool run() {
+    check_module_decls();
+    check_proc_ports();
+    check_parts();
+    check_buses();
+    check_connections();
+    check_coverage();
+    return diags_.ok();
+  }
+
+ private:
+  // --- module declarations ---------------------------------------------------
+
+  void check_module_decls() {
+    std::unordered_set<std::string> names;
+    for (const ModuleDecl& m : model_.modules) {
+      if (!names.insert(m.name).second)
+        diags_.error(m.loc, fmt("duplicate module name '{}'", m.name));
+      check_module(m);
+    }
+  }
+
+  void check_module(const ModuleDecl& m) {
+    std::unordered_set<std::string> port_names;
+    int out_ports = 0;
+    for (const PortDecl& p : m.ports) {
+      if (!port_names.insert(p.name).second)
+        diags_.error(p.loc, fmt("duplicate port '{}' in module '{}'", p.name,
+                                m.name));
+      if (p.range.lsb != 0)
+        diags_.error(p.loc,
+                     fmt("port '{}' of '{}': port ranges must be (w-1:0)",
+                         p.name, m.name));
+      if (p.cls == PortClass::Out) ++out_ports;
+    }
+
+    switch (m.kind) {
+      case ModuleKind::Controller:
+        if (out_ports != 1 || m.ports.size() != 1)
+          diags_.error(m.loc, fmt("controller '{}' must have exactly one OUT "
+                                  "port and no other ports",
+                                  m.name));
+        if (!m.transfers.empty())
+          diags_.error(m.loc,
+                       fmt("controller '{}' must not have a behaviour",
+                           m.name));
+        break;
+      case ModuleKind::Register:
+      case ModuleKind::ModeReg:
+        if (out_ports != 1)
+          diags_.error(m.loc, fmt("register '{}' must have exactly one OUT "
+                                  "port",
+                                  m.name));
+        if (m.transfers.empty())
+          diags_.error(m.loc, fmt("register '{}' needs at least one transfer",
+                                  m.name));
+        break;
+      case ModuleKind::Memory:
+        if (m.mem_size <= 0)
+          diags_.error(m.loc,
+                       fmt("memory '{}' needs a positive SIZE", m.name));
+        if (out_ports < 1)
+          diags_.warning(m.loc, fmt("memory '{}' has no read port", m.name));
+        break;
+      case ModuleKind::Combinational:
+        if (m.mem_size != 0)
+          diags_.error(m.loc, fmt("SIZE is only allowed on MEMORY modules"));
+        break;
+    }
+
+    for (const Transfer& t : m.transfers) check_transfer(m, t);
+  }
+
+  void check_transfer(const ModuleDecl& m, const Transfer& t) {
+    if (t.is_cell_write()) {
+      if (m.kind != ModuleKind::Memory) {
+        diags_.error(t.loc, fmt("CELL write outside MEMORY module '{}'",
+                                m.name));
+        return;
+      }
+      check_expr(m, *t.cell_addr);
+    } else {
+      const PortDecl* target = m.find_port(t.target_port);
+      if (!target) {
+        diags_.error(t.loc, fmt("transfer target '{}' is not a port of '{}'",
+                                t.target_port, m.name));
+        return;
+      }
+      if (target->cls != PortClass::Out)
+        diags_.error(t.loc, fmt("transfer target '{}.{}' must be an OUT port",
+                                m.name, t.target_port));
+    }
+    check_expr(m, *t.rhs);
+    if (t.guard) check_behaviour_guard(m, *t.guard);
+  }
+
+  void check_expr(const ModuleDecl& m, const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::PortRef: {
+        const PortDecl* p = m.find_port(e.name);
+        if (!p) {
+          diags_.error(e.loc, fmt("'{}' is not a port of module '{}'", e.name,
+                                  m.name));
+          return;
+        }
+        // OUT ports may be read only in sequential modules (self reference,
+        // e.g. q := q + 1 in post-modify address registers).
+        if (p->cls == PortClass::Out && m.kind == ModuleKind::Combinational)
+          diags_.error(e.loc,
+                       fmt("combinational module '{}' reads its own output "
+                           "'{}'",
+                           m.name, e.name));
+        break;
+      }
+      case Expr::Kind::CellRead:
+        if (m.kind != ModuleKind::Memory)
+          diags_.error(e.loc,
+                       fmt("CELL read outside MEMORY module '{}'", m.name));
+        check_expr(m, *e.args[0]);
+        break;
+      case Expr::Kind::Const:
+        break;
+      case Expr::Kind::Slice: {
+        check_expr(m, *e.args[0]);
+        if (e.args[0]->kind == Expr::Kind::PortRef) {
+          const PortDecl* p = m.find_port(e.args[0]->name);
+          if (p && e.slice.msb > p->range.msb)
+            diags_.error(e.loc, fmt("slice ({}:{}) exceeds width of port '{}'",
+                                    e.slice.msb, e.slice.lsb,
+                                    e.args[0]->name));
+        } else {
+          diags_.error(e.loc, "slices are only allowed on port references");
+        }
+        break;
+      }
+      case Expr::Kind::Unary:
+      case Expr::Kind::Binary:
+      case Expr::Kind::Call:
+        for (const ExprPtr& a : e.args) check_expr(m, *a);
+        break;
+    }
+  }
+
+  void check_behaviour_guard(const ModuleDecl& m, const Cond& c) {
+    switch (c.kind) {
+      case Cond::Kind::True:
+        return;
+      case Cond::Kind::Cmp: {
+        if (!c.inst.empty()) {
+          diags_.error(c.loc,
+                       fmt("behaviour guard in '{}' must reference local "
+                           "ports, not '{}.{}'",
+                           m.name, c.inst, c.port));
+          return;
+        }
+        const PortDecl* p = m.find_port(c.port);
+        if (!p) {
+          diags_.error(c.loc, fmt("guard references unknown port '{}' of '{}'",
+                                  c.port, m.name));
+          return;
+        }
+        if (p->cls == PortClass::Out && m.kind == ModuleKind::Combinational)
+          diags_.error(c.loc,
+                       fmt("guard in combinational '{}' references output "
+                           "'{}'",
+                           m.name, c.port));
+        int width = c.has_slice ? c.slice.width() : p->range.width();
+        if (c.has_slice && c.slice.msb > p->range.msb)
+          diags_.error(c.loc, fmt("guard slice exceeds width of '{}'", c.port));
+        if (width < 63 && c.value >= (std::int64_t{1} << width))
+          diags_.error(c.loc,
+                       fmt("guard constant {} does not fit in {} bits",
+                           c.value, width));
+        return;
+      }
+      case Cond::Kind::And:
+      case Cond::Kind::Or:
+      case Cond::Kind::Not:
+        for (const CondPtr& a : c.args) check_behaviour_guard(m, *a);
+        return;
+    }
+  }
+
+  // --- top-level declarations -----------------------------------------------
+
+  void check_proc_ports() {
+    std::unordered_set<std::string> names;
+    for (const ProcPortDecl& p : model_.proc_ports) {
+      if (!names.insert(p.name).second)
+        diags_.error(p.loc, fmt("duplicate processor port '{}'", p.name));
+      if (p.range.lsb != 0)
+        diags_.error(p.loc, fmt("processor port '{}' range must be (w-1:0)",
+                                p.name));
+    }
+  }
+
+  void check_parts() {
+    std::unordered_set<std::string> names;
+    int controllers = 0;
+    for (const PartDecl& part : model_.parts) {
+      if (!names.insert(part.inst_name).second)
+        diags_.error(part.loc,
+                     fmt("duplicate part name '{}'", part.inst_name));
+      if (model_.find_proc_port(part.inst_name))
+        diags_.error(part.loc, fmt("part '{}' collides with a processor port",
+                                   part.inst_name));
+      const ModuleDecl* m = model_.find_module(part.module_name);
+      if (!m) {
+        diags_.error(part.loc, fmt("part '{}' instantiates unknown module "
+                                   "'{}'",
+                                   part.inst_name, part.module_name));
+        continue;
+      }
+      if (m->kind == ModuleKind::Controller) ++controllers;
+    }
+    if (controllers != 1)
+      diags_.error({}, fmt("model must instantiate exactly one CONTROLLER "
+                           "(found {})",
+                           controllers));
+  }
+
+  void check_buses() {
+    std::unordered_set<std::string> names;
+    for (const BusDecl& b : model_.buses) {
+      if (!names.insert(b.name).second)
+        diags_.error(b.loc, fmt("duplicate bus '{}'", b.name));
+      if (model_.find_part(b.name) || model_.find_proc_port(b.name))
+        diags_.error(b.loc,
+                     fmt("bus '{}' collides with another declaration",
+                         b.name));
+      if (b.range.lsb != 0)
+        diags_.error(b.loc, fmt("bus '{}' range must be (w-1:0)", b.name));
+    }
+  }
+
+  // Resolves the width of a connection source; -1 on error (already
+  // reported).
+  int source_width(const SourceRef& src) {
+    if (src.kind == SourceRef::Kind::Const) return -2;  // any width
+    int full_width = -1;
+    if (!src.inst.empty()) {
+      const PartDecl* part = model_.find_part(src.inst);
+      if (!part) {
+        diags_.error(src.loc, fmt("unknown part '{}'", src.inst));
+        return -1;
+      }
+      const ModuleDecl* m = model_.find_module(part->module_name);
+      const PortDecl* p = m ? m->find_port(src.port) : nullptr;
+      if (!p) {
+        diags_.error(src.loc,
+                     fmt("'{}' has no port '{}'", src.inst, src.port));
+        return -1;
+      }
+      if (p->cls != PortClass::Out) {
+        diags_.error(src.loc, fmt("connection source '{}.{}' must be an OUT "
+                                  "port",
+                                  src.inst, src.port));
+        return -1;
+      }
+      full_width = p->range.width();
+    } else if (const ProcPortDecl* pp = model_.find_proc_port(src.port)) {
+      if (!pp->is_input) {
+        diags_.error(src.loc,
+                     fmt("primary output '{}' used as a source", src.port));
+        return -1;
+      }
+      full_width = pp->range.width();
+    } else if (const BusDecl* bus = model_.find_bus(src.port)) {
+      full_width = bus->range.width();
+    } else {
+      diags_.error(src.loc, fmt("unknown connection source '{}'", src.port));
+      return -1;
+    }
+    if (src.has_slice) {
+      if (src.slice.msb >= full_width) {
+        diags_.error(src.loc, fmt("slice ({}:{}) exceeds source width {}",
+                                  src.slice.msb, src.slice.lsb, full_width));
+        return -1;
+      }
+      return src.slice.width();
+    }
+    return full_width;
+  }
+
+  void check_structural_guard(const Cond& c) {
+    switch (c.kind) {
+      case Cond::Kind::True:
+        return;
+      case Cond::Kind::Cmp: {
+        int width = -1;
+        if (!c.inst.empty()) {
+          const PartDecl* part = model_.find_part(c.inst);
+          const ModuleDecl* m =
+              part ? model_.find_module(part->module_name) : nullptr;
+          const PortDecl* p = m ? m->find_port(c.port) : nullptr;
+          if (!p) {
+            diags_.error(c.loc, fmt("guard references unknown signal '{}.{}'",
+                                    c.inst, c.port));
+            return;
+          }
+          if (p->cls != PortClass::Out) {
+            diags_.error(c.loc,
+                         fmt("structural guard source '{}.{}' must be an OUT "
+                             "port",
+                             c.inst, c.port));
+            return;
+          }
+          width = p->range.width();
+        } else {
+          diags_.error(c.loc, fmt("structural guard must reference "
+                                  "'instance.port', got '{}'",
+                                  c.port));
+          return;
+        }
+        if (c.has_slice) {
+          if (c.slice.msb >= width) {
+            diags_.error(c.loc, "guard slice exceeds signal width");
+            return;
+          }
+          width = c.slice.width();
+        }
+        if (width < 63 && c.value >= (std::int64_t{1} << width))
+          diags_.error(c.loc, fmt("guard constant {} does not fit in {} bits",
+                                  c.value, width));
+        return;
+      }
+      case Cond::Kind::And:
+      case Cond::Kind::Or:
+      case Cond::Kind::Not:
+        for (const CondPtr& a : c.args) check_structural_guard(*a);
+        return;
+    }
+  }
+
+  void check_connections() {
+    std::unordered_map<std::string, int> wire_driver_count;
+    for (const Connection& c : model_.connections) {
+      int target_width = -1;
+      bool is_bus_target = false;
+
+      if (!c.target_inst.empty()) {
+        const PartDecl* part = model_.find_part(c.target_inst);
+        const ModuleDecl* m =
+            part ? model_.find_module(part->module_name) : nullptr;
+        const PortDecl* p = m ? m->find_port(c.target_port) : nullptr;
+        if (!p) {
+          diags_.error(c.loc, fmt("unknown connection target '{}.{}'",
+                                  c.target_inst, c.target_port));
+          continue;
+        }
+        if (p->cls == PortClass::Out) {
+          diags_.error(c.loc, fmt("cannot drive OUT port '{}.{}'",
+                                  c.target_inst, c.target_port));
+          continue;
+        }
+        target_width = p->range.width();
+        ++wire_driver_count[c.target_inst + "." + c.target_port];
+      } else if (const ProcPortDecl* pp =
+                     model_.find_proc_port(c.target_port)) {
+        if (pp->is_input) {
+          diags_.error(c.loc, fmt("cannot drive primary input '{}'",
+                                  c.target_port));
+          continue;
+        }
+        target_width = pp->range.width();
+        ++wire_driver_count["@" + c.target_port];
+      } else if (const BusDecl* bus = model_.find_bus(c.target_port)) {
+        target_width = bus->range.width();
+        is_bus_target = true;
+      } else {
+        diags_.error(c.loc,
+                     fmt("unknown connection target '{}'", c.target_port));
+        continue;
+      }
+
+      if (c.guard && !is_bus_target)
+        diags_.error(c.loc, "WHEN guards are only allowed on bus drivers");
+      if (c.guard) check_structural_guard(*c.guard);
+
+      int sw = source_width(c.source);
+      if (sw >= 0 && target_width >= 0 && sw != target_width)
+        diags_.error(c.loc, fmt("width mismatch: target is {} bits, source "
+                                "is {} bits",
+                                target_width, sw));
+      // Source referencing a bus as a bus driver's source is disallowed
+      // (no bus-to-bus bridges; keeps route enumeration simple).
+      if (is_bus_target && c.source.kind == SourceRef::Kind::PortRef &&
+          c.source.inst.empty() && model_.find_bus(c.source.port))
+        diags_.error(c.loc, "bus-to-bus connections are not supported");
+    }
+
+    for (const auto& [target, count] : wire_driver_count) {
+      if (count > 1)
+        diags_.error({}, fmt("'{}' has {} drivers; non-bus targets must have "
+                             "exactly one",
+                             target, count));
+    }
+
+    // Every declared bus needs at least one driver.
+    for (const BusDecl& b : model_.buses) {
+      bool driven = false;
+      int guarded = 0, total = 0;
+      for (const Connection& c : model_.connections) {
+        if (c.target_inst.empty() && c.target_port == b.name) {
+          driven = true;
+          ++total;
+          if (c.guard) ++guarded;
+        }
+      }
+      if (!driven)
+        diags_.warning(b.loc, fmt("bus '{}' has no drivers", b.name));
+      if (total > 1 && guarded != total)
+        diags_.error(b.loc, fmt("bus '{}' has multiple drivers; all of them "
+                                "need WHEN guards",
+                                b.name));
+    }
+  }
+
+  // Warn about input/control ports nothing drives: routes through them can
+  // never be found, which is usually a model bug.
+  void check_coverage() {
+    std::unordered_set<std::string> driven;
+    for (const Connection& c : model_.connections)
+      if (!c.target_inst.empty())
+        driven.insert(c.target_inst + "." + c.target_port);
+    for (const PartDecl& part : model_.parts) {
+      const ModuleDecl* m = model_.find_module(part.module_name);
+      if (!m) continue;
+      for (const PortDecl& p : m->ports) {
+        if (p.cls == PortClass::Out) continue;
+        std::string key = part.inst_name + "." + p.name;
+        if (!driven.count(key))
+          diags_.warning(part.loc,
+                         fmt("port '{}' is not driven by any connection",
+                             key));
+      }
+    }
+  }
+
+  const ProcessorModel& model_;
+  DiagnosticSink& diags_;
+};
+
+}  // namespace
+
+bool check_model(const ProcessorModel& model, util::DiagnosticSink& diags) {
+  return Checker(model, diags).run();
+}
+
+}  // namespace record::hdl

@@ -1,0 +1,20 @@
+// Semantic checking of parsed HDL processor models.
+//
+// `check_model` validates everything elaboration and instruction-set
+// extraction rely on: name uniqueness, port classes, width agreement of
+// connections, single-driver rules for wires, guarded drivers for buses,
+// exactly one instantiated controller, well-formed behaviours (targets are
+// OUT ports, CELL accesses only in memories, guards reference declared
+// signals, comparison constants fit their signal widths).
+#pragma once
+
+#include "hdl/ast.h"
+#include "util/diagnostics.h"
+
+namespace record::hdl {
+
+/// Returns true if the model passed all checks (diags.ok()).
+/// Warnings (e.g. undriven input ports) do not fail the check.
+bool check_model(const ProcessorModel& model, util::DiagnosticSink& diags);
+
+}  // namespace record::hdl

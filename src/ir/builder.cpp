@@ -1,0 +1,6 @@
+#include "ir/builder.h"
+
+// ProgramBuilder is header-only; this translation unit anchors the library
+// archive member.
+
+namespace record::ir {}  // namespace record::ir

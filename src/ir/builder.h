@@ -1,0 +1,80 @@
+// Fluent construction of IR programs (used by examples, tests and the
+// DSPStone kernel definitions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ir/program.h"
+
+namespace record::ir {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : prog_(std::move(name)) {}
+
+  /// Binds a variable to a register.
+  ProgramBuilder& reg(const std::string& var, std::string storage) {
+    prog_.bind_register(var, std::move(storage));
+    return *this;
+  }
+
+  /// Binds a variable to a memory cell.
+  ProgramBuilder& cell(const std::string& var, std::string mem,
+                       std::int64_t addr) {
+    prog_.bind_mem_cell(var, std::move(mem), addr);
+    return *this;
+  }
+
+  ProgramBuilder& let(std::string dest, ExprPtr rhs) {
+    prog_.assign(std::move(dest), std::move(rhs));
+    return *this;
+  }
+
+  ProgramBuilder& put(std::string mem, ExprPtr addr, ExprPtr rhs) {
+    prog_.store(std::move(mem), std::move(addr), std::move(rhs));
+    return *this;
+  }
+
+  ProgramBuilder& label(std::string name) {
+    prog_.label(std::move(name));
+    return *this;
+  }
+
+  ProgramBuilder& jump(std::string target) {
+    prog_.branch(std::move(target));
+    return *this;
+  }
+
+  /// Counted loop running `trip` times: `counter` (a bound register
+  /// variable) is initialised to trip, the body runs, the counter is
+  /// decremented and a conditional branch closes the loop.
+  ProgramBuilder& loop(const std::string& counter, std::int64_t trip,
+                       const std::function<void(ProgramBuilder&)>& body) {
+    std::string top = prog_.name() + "_L" + std::to_string(label_counter_++);
+    prog_.assign(counter, e_const(trip));
+    prog_.label(top);
+    body(*this);
+    prog_.assign(counter, e_sub(e_var(counter), e_const(1)));
+    prog_.branch_if_not_zero(counter, top);
+    return *this;
+  }
+
+  /// Unrolled repetition (no loop overhead; index passed to the body).
+  ProgramBuilder& unroll(std::int64_t trip,
+                         const std::function<void(ProgramBuilder&,
+                                                  std::int64_t)>& body) {
+    for (std::int64_t i = 0; i < trip; ++i) body(*this, i);
+    return *this;
+  }
+
+  [[nodiscard]] Program take() { return std::move(prog_); }
+  [[nodiscard]] Program& program() { return prog_; }
+
+ private:
+  Program prog_;
+  int label_counter_ = 0;
+};
+
+}  // namespace record::ir

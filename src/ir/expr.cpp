@@ -1,0 +1,132 @@
+#include "ir/expr.h"
+
+#include <sstream>
+
+namespace record::ir {
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->value = value;
+  out->var = var;
+  out->mem = mem;
+  out->op = op;
+  out->custom = custom;
+  out->width_override = width_override;
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) out->args.push_back(a->clone());
+  return out;
+}
+
+ExprPtr e_const(std::int64_t value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->value = value;
+  return e;
+}
+
+ExprPtr e_var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Var;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr e_load(std::string mem, ExprPtr addr) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Load;
+  e->mem = std::move(mem);
+  e->args.push_back(std::move(addr));
+  return e;
+}
+
+ExprPtr e_un(hdl::OpKind op, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::OpNode;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr e_bin(hdl::OpKind op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::OpNode;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr e_add(ExprPtr a, ExprPtr b) {
+  return e_bin(hdl::OpKind::Add, std::move(a), std::move(b));
+}
+ExprPtr e_sub(ExprPtr a, ExprPtr b) {
+  return e_bin(hdl::OpKind::Sub, std::move(a), std::move(b));
+}
+ExprPtr e_mul(ExprPtr a, ExprPtr b) {
+  return e_bin(hdl::OpKind::Mul, std::move(a), std::move(b));
+}
+
+ExprPtr e_hi(ExprPtr a) {
+  return e_custom("hi", [&] {
+    std::vector<ExprPtr> v;
+    v.push_back(std::move(a));
+    return v;
+  }());
+}
+
+ExprPtr e_lo(ExprPtr a) {
+  return e_custom("lo", [&] {
+    std::vector<ExprPtr> v;
+    v.push_back(std::move(a));
+    return v;
+  }());
+}
+
+ExprPtr e_custom(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::OpNode;
+  e->op = hdl::OpKind::Custom;
+  e->custom = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      os << e.value;
+      break;
+    case Expr::Kind::Var:
+      os << e.var;
+      break;
+    case Expr::Kind::Load:
+      os << e.mem << '[' << to_string(*e.args[0]) << ']';
+      break;
+    case Expr::Kind::OpNode:
+      if (e.op == hdl::OpKind::Custom) {
+        os << e.custom << '(';
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          if (i) os << ", ";
+          os << to_string(*e.args[i]);
+        }
+        os << ')';
+      } else if (e.args.size() == 1) {
+        os << hdl::to_string(e.op) << '(' << to_string(*e.args[0]) << ')';
+      } else {
+        os << '(' << to_string(*e.args[0]) << ' ' << hdl::to_string(e.op)
+           << ' ' << to_string(*e.args[1]) << ')';
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::size_t tree_size(const Expr& e) {
+  std::size_t n = 1;
+  for (const ExprPtr& a : e.args) n += tree_size(*a);
+  return n;
+}
+
+}  // namespace record::ir

@@ -1,0 +1,63 @@
+// Intermediate representation: expression trees (paper section 3.1).
+//
+// ETs are unary/binary trees whose inner nodes are operators and whose
+// leaves are program variables, primary inputs or constants. Every variable
+// is a-priori bound to a storage resource of the target (register, memory
+// cell or processor port); widths are resolved against the target when the
+// subject tree is built, so the same IR program compiles for any model that
+// offers the required operations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.h"  // hdl::OpKind is the shared operator vocabulary
+
+namespace record::ir {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Const,  // integer literal
+    Var,    // bound program variable
+    Load,   // mem[addr]: args[0] is the address expression
+    OpNode  // operator application
+  };
+
+  Kind kind = Kind::Const;
+  std::int64_t value = 0;        // Const
+  std::string var;               // Var
+  std::string mem;               // Load: memory instance name
+  hdl::OpKind op = hdl::OpKind::Add;  // OpNode
+  std::string custom;            // OpNode with OpKind::Custom ("hi", "lo", ...)
+  int width_override = 0;        // 0 = infer from target at subject build
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+[[nodiscard]] ExprPtr e_const(std::int64_t value);
+[[nodiscard]] ExprPtr e_var(std::string name);
+[[nodiscard]] ExprPtr e_load(std::string mem, ExprPtr addr);
+[[nodiscard]] ExprPtr e_un(hdl::OpKind op, ExprPtr a);
+[[nodiscard]] ExprPtr e_bin(hdl::OpKind op, ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr e_add(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr e_sub(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr e_mul(ExprPtr a, ExprPtr b);
+/// Intrinsics resolved against child width at subject-build time:
+/// hi(x) = upper half bits, lo(x) = lower half bits.
+[[nodiscard]] ExprPtr e_hi(ExprPtr a);
+[[nodiscard]] ExprPtr e_lo(ExprPtr a);
+[[nodiscard]] ExprPtr e_custom(std::string name, std::vector<ExprPtr> args);
+
+/// Stable dump: "(acc + ram[i])", "lo(acc)".
+[[nodiscard]] std::string to_string(const Expr& e);
+
+/// Node count.
+[[nodiscard]] std::size_t tree_size(const Expr& e);
+
+}  // namespace record::ir

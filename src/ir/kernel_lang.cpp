@@ -1,0 +1,526 @@
+#include "ir/kernel_lang.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace record::ir {
+
+namespace {
+
+using util::fmt;
+using util::SourceLoc;
+
+struct Tok {
+  enum class K {
+    Ident,
+    Int,
+    Punct,  // single char in text[0]
+    Shl,
+    Shr,
+    Eof
+  };
+  K kind = K::Eof;
+  std::string text;
+  std::int64_t value = 0;
+  SourceLoc loc;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, util::DiagnosticSink& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<Tok> run() {
+    std::vector<Tok> out;
+    for (;;) {
+      skip();
+      if (pos_ >= src_.size()) {
+        out.push_back(Tok{Tok::K::Eof, "", 0, loc()});
+        return out;
+      }
+      char c = src_[pos_];
+      SourceLoc l = loc();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string t;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_'))
+          t.push_back(take());
+        out.push_back(Tok{Tok::K::Ident, std::move(t), 0, l});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string t;
+        if (c == '0' && pos_ + 1 < src_.size() &&
+            (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'b')) {
+          t.push_back(take());
+          t.push_back(take());
+        }
+        while (pos_ < src_.size() &&
+               std::isxdigit(static_cast<unsigned char>(src_[pos_])))
+          t.push_back(take());
+        auto v = util::parse_int(t);
+        if (!v) {
+          diags_.error(l, fmt("bad integer '{}'", t));
+          v = 0;
+        }
+        out.push_back(Tok{Tok::K::Int, std::move(t), *v, l});
+        continue;
+      }
+      if (c == '<' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '<') {
+        take();
+        take();
+        out.push_back(Tok{Tok::K::Shl, "<<", 0, l});
+        continue;
+      }
+      if (c == '>' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
+        take();
+        take();
+        out.push_back(Tok{Tok::K::Shr, ">>", 0, l});
+        continue;
+      }
+      take();
+      out.push_back(Tok{Tok::K::Punct, std::string(1, c), 0, l});
+    }
+  }
+
+ private:
+  void skip() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])))
+        take();
+      if (pos_ + 1 < src_.size() && src_[pos_] == '-' &&
+          src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') take();
+        continue;
+      }
+      return;
+    }
+  }
+  char take() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {line_, col_}; }
+
+  std::string_view src_;
+  util::DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1, col_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Tok> toks, util::DiagnosticSink& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::optional<Program> run() {
+    if (!accept_ident("kernel")) {
+      error("kernel file must start with 'kernel <name>;'");
+      return std::nullopt;
+    }
+    if (!at_ident()) {
+      error("expected kernel name");
+      return std::nullopt;
+    }
+    Program prog(take().text);
+    if (!accept_punct(';')) {
+      error("expected ';' after kernel name");
+      return std::nullopt;
+    }
+    while (cur().kind != Tok::K::Eof) {
+      if (!statement(prog)) return std::nullopt;
+    }
+    if (!diags_.ok()) return std::nullopt;
+    return prog;
+  }
+
+ private:
+  // --- token helpers ----------------------------------------------------
+
+  const Tok& cur() const { return toks_[pos_]; }
+  const Tok& ahead(std::size_t n) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  Tok take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool at_ident() const { return cur().kind == Tok::K::Ident; }
+  bool at_ident(std::string_view s) const {
+    return cur().kind == Tok::K::Ident && cur().text == s;
+  }
+  bool at_punct(char c) const {
+    return cur().kind == Tok::K::Punct && cur().text[0] == c;
+  }
+  bool accept_ident(std::string_view s) {
+    if (!at_ident(s)) return false;
+    take();
+    return true;
+  }
+  bool accept_punct(char c) {
+    if (!at_punct(c)) return false;
+    take();
+    return true;
+  }
+  bool expect_punct(char c, std::string_view what) {
+    if (accept_punct(c)) return true;
+    error(fmt("expected '{}' {}", std::string(1, c), what));
+    return false;
+  }
+  void error(std::string msg) { diags_.error(cur().loc, std::move(msg)); }
+
+  // --- declarations / statements ------------------------------------------
+
+  bool statement(Program& prog) {
+    if (accept_ident("bind")) return bind_decl(prog);
+    if (accept_ident("cell")) return cell_decl(prog);
+    if (accept_ident("const")) return const_decl();
+    if (accept_ident("loopreg")) return loopreg_decl(prog);
+    if (accept_ident("repeat")) return repeat_stmt(prog, /*unrolled=*/false);
+    if (accept_ident("unroll")) return repeat_stmt(prog, /*unrolled=*/true);
+    if (accept_ident("goto")) {
+      if (!at_ident()) {
+        error("expected label after goto");
+        return false;
+      }
+      prog.branch(take().text);
+      return expect_punct(';', "after goto");
+    }
+    if (at_ident("ifz") || at_ident("ifnz")) return branch_stmt(prog);
+    // Label definition: IDENT ':'
+    if (at_ident() && ahead(1).kind == Tok::K::Punct &&
+        ahead(1).text[0] == ':') {
+      std::string name = take().text;
+      take();  // ':'
+      prog.label(std::move(name));
+      return true;
+    }
+    // Assignment or store.
+    if (at_ident()) {
+      std::string name = take().text;
+      if (at_punct('[')) {
+        take();
+        ExprPtr addr = expr();
+        if (!addr) return false;
+        if (!expect_punct(']', "after store address")) return false;
+        if (!expect_punct('=', "in store")) return false;
+        ExprPtr rhs = expr();
+        if (!rhs) return false;
+        prog.store(std::move(name), std::move(addr), std::move(rhs));
+        return expect_punct(';', "after store");
+      }
+      if (!expect_punct('=', "in assignment")) return false;
+      ExprPtr rhs = expr();
+      if (!rhs) return false;
+      prog.assign(std::move(name), std::move(rhs));
+      return expect_punct(';', "after assignment");
+    }
+    error(fmt("unexpected token '{}'", cur().text));
+    return false;
+  }
+
+  bool bind_decl(Program& prog) {
+    if (!at_ident()) {
+      error("expected variable name after 'bind'");
+      return false;
+    }
+    std::string var = take().text;
+    if (!expect_punct(':', "in bind")) return false;
+    if (!at_ident()) {
+      error("expected register name in bind");
+      return false;
+    }
+    prog.bind_register(var, take().text);
+    return expect_punct(';', "after bind");
+  }
+
+  bool cell_decl(Program& prog) {
+    if (!at_ident()) {
+      error("expected variable name after 'cell'");
+      return false;
+    }
+    std::string var = take().text;
+    if (!expect_punct(':', "in cell")) return false;
+    if (!at_ident()) {
+      error("expected memory name in cell");
+      return false;
+    }
+    std::string mem = take().text;
+    if (!expect_punct('[', "in cell")) return false;
+    std::optional<std::int64_t> addr = const_expr();
+    if (!addr) return false;
+    if (!expect_punct(']', "in cell")) return false;
+    prog.bind_mem_cell(var, mem, *addr);
+    return expect_punct(';', "after cell");
+  }
+
+  bool const_decl() {
+    if (!at_ident()) {
+      error("expected name after 'const'");
+      return false;
+    }
+    std::string name = take().text;
+    if (!expect_punct('=', "in const")) return false;
+    std::optional<std::int64_t> v = const_expr();
+    if (!v) return false;
+    consts_[name] = *v;
+    return expect_punct(';', "after const");
+  }
+
+  bool loopreg_decl(Program& prog) {
+    if (!at_ident()) {
+      error("expected counter variable after 'loopreg'");
+      return false;
+    }
+    loop_var_ = take().text;
+    if (!expect_punct(':', "in loopreg")) return false;
+    if (!at_ident()) {
+      error("expected register name in loopreg");
+      return false;
+    }
+    prog.bind_register(loop_var_, take().text);
+    return expect_punct(';', "after loopreg");
+  }
+
+  bool branch_stmt(Program& prog) {
+    bool not_zero = at_ident("ifnz");
+    take();  // ifz / ifnz
+    if (!at_ident()) {
+      error("expected variable in conditional branch");
+      return false;
+    }
+    std::string var = take().text;
+    if (!accept_ident("goto")) {
+      error("expected 'goto' in conditional branch");
+      return false;
+    }
+    if (!at_ident()) {
+      error("expected label in conditional branch");
+      return false;
+    }
+    std::string target = take().text;
+    if (not_zero)
+      prog.branch_if_not_zero(std::move(var), std::move(target));
+    else
+      prog.branch_if_zero(std::move(var), std::move(target));
+    return expect_punct(';', "after branch");
+  }
+
+  bool repeat_stmt(Program& prog, bool unrolled) {
+    std::optional<std::int64_t> trip = const_expr();
+    if (!trip) return false;
+    if (!expect_punct('{', "to open repeat body")) return false;
+    std::size_t body_start = pos_;
+    // Find the matching '}' to re-parse the body (for unroll) or parse once.
+    if (unrolled) {
+      for (std::int64_t i = 0; i < *trip; ++i) {
+        pos_ = body_start;
+        if (!parse_body(prog)) return false;
+      }
+      if (*trip == 0) {  // still need to skip the body
+        if (!skip_body()) return false;
+      }
+      return true;
+    }
+    if (loop_var_.empty()) {
+      error("'repeat' requires a prior 'loopreg' declaration");
+      return false;
+    }
+    std::string top = fmt("{}_rep{}", prog.name(), label_counter_++);
+    prog.assign(loop_var_, e_const(*trip));
+    prog.label(top);
+    if (!parse_body(prog)) return false;
+    prog.assign(loop_var_, e_sub(e_var(loop_var_), e_const(1)));
+    prog.branch_if_not_zero(loop_var_, top);
+    return true;
+  }
+
+  bool parse_body(Program& prog) {
+    while (!at_punct('}')) {
+      if (cur().kind == Tok::K::Eof) {
+        error("unterminated repeat body");
+        return false;
+      }
+      if (!statement(prog)) return false;
+    }
+    take();  // '}'
+    return true;
+  }
+
+  bool skip_body() {
+    int depth = 1;
+    while (depth > 0) {
+      if (cur().kind == Tok::K::Eof) {
+        error("unterminated repeat body");
+        return false;
+      }
+      if (at_punct('{')) ++depth;
+      if (at_punct('}')) --depth;
+      take();
+    }
+    return true;
+  }
+
+  std::optional<std::int64_t> const_expr() {
+    if (cur().kind == Tok::K::Int) return take().value;
+    if (at_ident()) {
+      auto it = consts_.find(cur().text);
+      if (it != consts_.end()) {
+        take();
+        return it->second;
+      }
+    }
+    error("expected integer or declared const");
+    return std::nullopt;
+  }
+
+  // --- expressions ----------------------------------------------------------
+  // Precedence (loosest first): | ^ & << >> + - * / unary.
+
+  ExprPtr expr() { return or_expr(); }
+
+  ExprPtr or_expr() {
+    ExprPtr l = xor_expr();
+    while (l && at_punct('|')) {
+      take();
+      ExprPtr r = xor_expr();
+      if (!r) return nullptr;
+      l = e_bin(hdl::OpKind::Or, std::move(l), std::move(r));
+    }
+    return l;
+  }
+  ExprPtr xor_expr() {
+    ExprPtr l = and_expr();
+    while (l && at_punct('^')) {
+      take();
+      ExprPtr r = and_expr();
+      if (!r) return nullptr;
+      l = e_bin(hdl::OpKind::Xor, std::move(l), std::move(r));
+    }
+    return l;
+  }
+  ExprPtr and_expr() {
+    ExprPtr l = shift_expr();
+    while (l && at_punct('&')) {
+      take();
+      ExprPtr r = shift_expr();
+      if (!r) return nullptr;
+      l = e_bin(hdl::OpKind::And, std::move(l), std::move(r));
+    }
+    return l;
+  }
+  ExprPtr shift_expr() {
+    ExprPtr l = add_expr();
+    while (l && (cur().kind == Tok::K::Shl || cur().kind == Tok::K::Shr)) {
+      hdl::OpKind op =
+          cur().kind == Tok::K::Shl ? hdl::OpKind::Shl : hdl::OpKind::Shr;
+      take();
+      ExprPtr r = add_expr();
+      if (!r) return nullptr;
+      l = e_bin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+  ExprPtr add_expr() {
+    ExprPtr l = mul_expr();
+    while (l && (at_punct('+') || at_punct('-'))) {
+      hdl::OpKind op = at_punct('+') ? hdl::OpKind::Add : hdl::OpKind::Sub;
+      take();
+      ExprPtr r = mul_expr();
+      if (!r) return nullptr;
+      l = e_bin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+  ExprPtr mul_expr() {
+    ExprPtr l = unary_expr();
+    while (l && (at_punct('*') || at_punct('/'))) {
+      hdl::OpKind op = at_punct('*') ? hdl::OpKind::Mul : hdl::OpKind::Div;
+      take();
+      ExprPtr r = unary_expr();
+      if (!r) return nullptr;
+      l = e_bin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+  ExprPtr unary_expr() {
+    if (at_punct('-')) {
+      take();
+      ExprPtr a = unary_expr();
+      if (!a) return nullptr;
+      return e_un(hdl::OpKind::Neg, std::move(a));
+    }
+    if (at_punct('~')) {
+      take();
+      ExprPtr a = unary_expr();
+      if (!a) return nullptr;
+      return e_un(hdl::OpKind::Not, std::move(a));
+    }
+    return primary();
+  }
+  ExprPtr primary() {
+    if (cur().kind == Tok::K::Int) return e_const(take().value);
+    if (accept_punct('(')) {
+      ExprPtr e = expr();
+      if (!e) return nullptr;
+      if (!expect_punct(')', "in expression")) return nullptr;
+      return e;
+    }
+    if (at_ident()) {
+      std::string name = take().text;
+      if (auto it = consts_.find(name); it != consts_.end())
+        return e_const(it->second);
+      if (at_punct('[')) {
+        take();
+        ExprPtr addr = expr();
+        if (!addr) return nullptr;
+        if (!expect_punct(']', "after memory index")) return nullptr;
+        return e_load(std::move(name), std::move(addr));
+      }
+      if (at_punct('(')) {
+        take();
+        std::vector<ExprPtr> args;
+        if (!at_punct(')')) {
+          for (;;) {
+            ExprPtr a = expr();
+            if (!a) return nullptr;
+            args.push_back(std::move(a));
+            if (!accept_punct(',')) break;
+          }
+        }
+        if (!expect_punct(')', "after call arguments")) return nullptr;
+        return e_custom(std::move(name), std::move(args));
+      }
+      return e_var(std::move(name));
+    }
+    error(fmt("expected expression, found '{}'", cur().text));
+    return nullptr;
+  }
+
+  std::vector<Tok> toks_;
+  util::DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::int64_t> consts_;
+  std::string loop_var_;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+std::optional<Program> parse_kernel(std::string_view source,
+                                    util::DiagnosticSink& diags) {
+  Lexer lex(source, diags);
+  std::vector<Tok> toks = lex.run();
+  if (!diags.ok()) return std::nullopt;
+  return Parser(std::move(toks), diags).run();
+}
+
+}  // namespace record::ir

@@ -1,0 +1,38 @@
+// The kernel language: a tiny C-like front end for writing DSP kernels.
+//
+// Grammar (line comments with `--`):
+//
+//   kernel fir;
+//   bind acc: ACC;            -- variable lives in register ACC
+//   cell x0: ram[16];         -- variable names a fixed memory cell
+//   const N = 8;              -- compile-time integer
+//   loopreg lc: BR;           -- register used for repeat counters
+//
+//   acc = 0;
+//   repeat N {                -- counted loop via loopreg (or `unroll N { }`)
+//     acc = acc + rom[j] * ram[i];
+//     i = i + 1;
+//   }
+//   ram[64] = lo(acc);        -- memory store; lo()/hi() select halves
+//   ifnz acc goto done;       -- conditional branch on a variable
+//   done:
+//
+// Expressions: + - * / & | ^ << >> ~ unary -, numbers, variables,
+// mem[index-expr], and calls lo(x), hi(x), name(args...) for custom target
+// operators.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ir/program.h"
+#include "util/diagnostics.h"
+
+namespace record::ir {
+
+/// Parses kernel-language source into an IR program. Reports problems to
+/// `diags`; returns nullopt on errors.
+[[nodiscard]] std::optional<Program> parse_kernel(
+    std::string_view source, util::DiagnosticSink& diags);
+
+}  // namespace record::ir

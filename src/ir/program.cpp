@@ -1,0 +1,151 @@
+#include "ir/program.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace record::ir {
+
+std::string Binding::str() const {
+  if (kind == Kind::Register) return storage;
+  return util::fmt("{}[{}]", storage, cell);
+}
+
+std::string Stmt::str() const {
+  switch (kind) {
+    case Kind::Assign:
+      return util::fmt("{} = {}", dest_var, to_string(*rhs));
+    case Kind::Store:
+      return util::fmt("{}[{}] = {}", mem, to_string(*addr), to_string(*rhs));
+    case Kind::LabelDef:
+      return label + ":";
+    case Kind::Branch:
+      switch (branch) {
+        case BranchKind::Always:
+          return util::fmt("goto {}", label);
+        case BranchKind::IfZero:
+          return util::fmt("ifz {} goto {}", cond_var, label);
+        case BranchKind::IfNotZero:
+          return util::fmt("ifnz {} goto {}", cond_var, label);
+      }
+  }
+  return "?";
+}
+
+void Program::bind_register(const std::string& var, std::string reg) {
+  bindings_[var] = Binding{Binding::Kind::Register, std::move(reg), 0};
+}
+
+void Program::bind_mem_cell(const std::string& var, std::string mem,
+                            std::int64_t cell) {
+  bindings_[var] = Binding{Binding::Kind::MemCell, std::move(mem), cell};
+}
+
+void Program::assign(std::string dest_var, ExprPtr rhs) {
+  Stmt s;
+  s.kind = Stmt::Kind::Assign;
+  s.dest_var = std::move(dest_var);
+  s.rhs = std::move(rhs);
+  stmts_.push_back(std::move(s));
+}
+
+void Program::store(std::string mem, ExprPtr addr, ExprPtr rhs) {
+  Stmt s;
+  s.kind = Stmt::Kind::Store;
+  s.mem = std::move(mem);
+  s.addr = std::move(addr);
+  s.rhs = std::move(rhs);
+  stmts_.push_back(std::move(s));
+}
+
+void Program::label(std::string name) {
+  Stmt s;
+  s.kind = Stmt::Kind::LabelDef;
+  s.label = std::move(name);
+  stmts_.push_back(std::move(s));
+}
+
+void Program::branch(std::string target) {
+  Stmt s;
+  s.kind = Stmt::Kind::Branch;
+  s.branch = BranchKind::Always;
+  s.label = std::move(target);
+  stmts_.push_back(std::move(s));
+}
+
+void Program::branch_if_zero(std::string var, std::string target) {
+  Stmt s;
+  s.kind = Stmt::Kind::Branch;
+  s.branch = BranchKind::IfZero;
+  s.cond_var = std::move(var);
+  s.label = std::move(target);
+  stmts_.push_back(std::move(s));
+}
+
+void Program::branch_if_not_zero(std::string var, std::string target) {
+  Stmt s;
+  s.kind = Stmt::Kind::Branch;
+  s.branch = BranchKind::IfNotZero;
+  s.cond_var = std::move(var);
+  s.label = std::move(target);
+  stmts_.push_back(std::move(s));
+}
+
+const Binding* Program::binding_of(const std::string& var) const {
+  auto it = bindings_.find(var);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void collect_vars(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == Expr::Kind::Var) out.insert(e.var);
+  for (const ExprPtr& a : e.args) collect_vars(*a, out);
+}
+
+}  // namespace
+
+bool Program::validate(util::DiagnosticSink& diags) const {
+  std::set<std::string> labels;
+  for (const Stmt& s : stmts_) {
+    if (s.kind == Stmt::Kind::LabelDef && !labels.insert(s.label).second)
+      diags.error({}, util::fmt("duplicate label '{}'", s.label));
+  }
+  std::set<std::string> used;
+  for (const Stmt& s : stmts_) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        used.insert(s.dest_var);
+        collect_vars(*s.rhs, used);
+        break;
+      case Stmt::Kind::Store:
+        collect_vars(*s.addr, used);
+        collect_vars(*s.rhs, used);
+        break;
+      case Stmt::Kind::Branch:
+        if (s.branch != BranchKind::Always) used.insert(s.cond_var);
+        if (!labels.count(s.label))
+          diags.error({}, util::fmt("branch to unknown label '{}'", s.label));
+        break;
+      case Stmt::Kind::LabelDef:
+        break;
+    }
+  }
+  for (const std::string& v : used) {
+    if (!bindings_.count(v))
+      diags.error({}, util::fmt("variable '{}' has no storage binding", v));
+  }
+  return diags.ok();
+}
+
+std::string Program::str() const {
+  std::ostringstream os;
+  os << "program " << name_ << ":\n";
+  for (const auto& [var, bind] : bindings_)
+    os << "  bind " << var << " -> " << bind.str() << '\n';
+  for (const Stmt& s : stmts_) os << "  " << s.str() << '\n';
+  return os.str();
+}
+
+}  // namespace record::ir

@@ -1,0 +1,94 @@
+// IR programs: statements with destinations, storage bindings, labels and
+// branches.
+//
+// Each assignment is an expression tree with an explicit destination (the
+// paper's "ET associated with a destination"). All program variables are
+// a-priori bound to target storage (paper section 3.1): registers or memory
+// cells; branch statements use the target's program-control templates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "util/diagnostics.h"
+
+namespace record::ir {
+
+/// Where a program variable lives on the target.
+struct Binding {
+  enum class Kind : std::uint8_t { Register, MemCell };
+
+  Kind kind = Kind::Register;
+  std::string storage;      // register/memory instance name
+  std::int64_t cell = 0;    // MemCell: address
+
+  [[nodiscard]] std::string str() const;
+};
+
+enum class BranchKind : std::uint8_t { Always, IfZero, IfNotZero };
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Assign,   // dest_var = rhs
+    Store,    // mem[addr] = rhs
+    LabelDef, // label:
+    Branch    // goto / ifz v goto / ifnz v goto
+  };
+
+  Kind kind = Kind::Assign;
+  std::string dest_var;  // Assign
+  std::string mem;       // Store
+  ExprPtr addr;          // Store
+  ExprPtr rhs;           // Assign / Store
+  std::string label;     // LabelDef / Branch target
+  BranchKind branch = BranchKind::Always;
+  std::string cond_var;  // Branch IfZero/IfNotZero: tested variable
+
+  [[nodiscard]] std::string str() const;
+};
+
+class Program {
+ public:
+  explicit Program(std::string name = "program") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- construction -------------------------------------------------------
+
+  void bind_register(const std::string& var, std::string reg);
+  void bind_mem_cell(const std::string& var, std::string mem,
+                     std::int64_t cell);
+
+  void assign(std::string dest_var, ExprPtr rhs);
+  void store(std::string mem, ExprPtr addr, ExprPtr rhs);
+  void label(std::string name);
+  void branch(std::string target);
+  void branch_if_zero(std::string var, std::string target);
+  void branch_if_not_zero(std::string var, std::string target);
+
+  // --- access ---------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Stmt>& stmts() const { return stmts_; }
+  [[nodiscard]] const std::map<std::string, Binding>& bindings() const {
+    return bindings_;
+  }
+  [[nodiscard]] const Binding* binding_of(const std::string& var) const;
+
+  /// Checks that every referenced variable is bound, labels are unique and
+  /// every branch target exists.
+  bool validate(util::DiagnosticSink& diags) const;
+
+  /// Multi-line listing for tests and docs.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string name_;
+  std::vector<Stmt> stmts_;
+  std::map<std::string, Binding> bindings_;
+};
+
+}  // namespace record::ir

@@ -1,0 +1,44 @@
+// Instruction-set extraction: netlist model -> RT template base (paper sec. 2).
+//
+// For every RT destination in the netlist (registers, mode registers,
+// memories, primary output ports) all single-cycle data-transfer routes are
+// enumerated and paired with BDD execution conditions derived from
+// control-signal analysis. Templates whose condition is unsatisfiable
+// (instruction-encoding conflicts, bus contention) are discarded.
+#pragma once
+
+#include "ise/routes.h"
+#include "netlist/netlist.h"
+#include "rtl/template.h"
+#include "util/diagnostics.h"
+
+namespace record::ise {
+
+struct ExtractOptions {
+  RouteLimits limits;
+  /// Discard templates with unsatisfiable conditions (paper behaviour).
+  /// Disabled only by the pruning-ablation benchmark.
+  bool prune_unsat = true;
+  /// Also extract templates targeting primary output ports.
+  bool include_proc_out = true;
+};
+
+struct ExtractStats {
+  std::size_t destinations = 0;      // RT destinations visited
+  std::size_t raw_routes = 0;        // routes before dedup/pruning
+  std::size_t unsat_discarded = 0;   // complete templates dropped (UNSAT)
+  std::size_t duplicates = 0;        // identical transfer merged
+  RouteStats route_stats;
+};
+
+struct ExtractResult {
+  rtl::TemplateBase base;
+  ExtractStats stats;
+};
+
+/// Runs instruction-set extraction on an elaborated netlist.
+[[nodiscard]] ExtractResult extract(const netlist::Netlist& nl,
+                                    const ExtractOptions& options,
+                                    util::DiagnosticSink& diags);
+
+}  // namespace record::ise

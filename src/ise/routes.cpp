@@ -1,0 +1,360 @@
+#include "ise/routes.h"
+
+#include "util/strings.h"
+
+namespace record::ise {
+
+using hdl::Expr;
+using hdl::ModuleKind;
+using hdl::PortClass;
+using netlist::InstanceId;
+using netlist::NetSource;
+using util::fmt;
+
+rtl::OpSig RouteEnumerator::slice_op(int msb, int lsb) {
+  return rtl::slice_op_sig(msb, lsb);
+}
+
+bool RouteEnumerator::conjoin(bdd::Ref& cond, bdd::Ref extra) {
+  cond = mgr_.land(cond, extra);
+  if (prune_unsat_ && cond == bdd::kFalse) {
+    ++stats_.unsat_pruned;
+    return false;
+  }
+  return true;
+}
+
+Route RouteEnumerator::slice_route(Route r, int msb, int lsb) const {
+  // Slicing specialises by node kind so immediate fields and constants stay
+  // first-class leaves rather than becoming opaque slice operators.
+  rtl::RTNode& n = *r.tree;
+  if (msb == n.width - 1 && lsb == 0) return r;  // full-width slice
+  // A low slice of an extension that stays within the pre-extension width
+  // is the identity on those bits: bits(msb:0) of SXT/ZXT(x) == bits of x.
+  if (n.kind == rtl::RTNode::Kind::Op &&
+      (n.op.kind == hdl::OpKind::Sxt || n.op.kind == hdl::OpKind::Zxt) &&
+      n.children.size() == 1 && lsb == 0 &&
+      msb < n.children[0]->width) {
+    Route inner{std::move(n.children[0]), r.cond};
+    return slice_route(std::move(inner), msb, lsb);
+  }
+  switch (n.kind) {
+    case rtl::RTNode::Kind::Imm: {
+      std::vector<int> bits(n.imm_bits.begin() + lsb,
+                            n.imm_bits.begin() + msb + 1);
+      r.tree = rtl::make_imm(std::move(bits));
+      return r;
+    }
+    case rtl::RTNode::Kind::HardConst: {
+      auto v = static_cast<std::uint64_t>(n.value);
+      std::uint64_t sliced = (v >> lsb);
+      int w = msb - lsb + 1;
+      if (w < 64) sliced &= (1ull << w) - 1;
+      r.tree = rtl::make_hard_const(static_cast<std::int64_t>(sliced), w);
+      return r;
+    }
+    default: {
+      std::vector<rtl::RTNodePtr> kids;
+      kids.push_back(std::move(r.tree));
+      r.tree = rtl::make_op(slice_op(msb, lsb), std::move(kids));
+      return r;
+    }
+  }
+}
+
+int RouteEnumerator::expr_width(InstanceId inst, const Expr& e,
+                                int context_width) const {
+  const netlist::Instance& in = nl_.instance(inst);
+  switch (e.kind) {
+    case Expr::Kind::PortRef: {
+      const hdl::PortDecl* p = in.decl->find_port(e.name);
+      return p ? p->range.width() : context_width;
+    }
+    case Expr::Kind::Slice:
+      return e.slice.width();
+    case Expr::Kind::Const:
+      return context_width;
+    case Expr::Kind::CellRead:
+      return context_width;
+    case Expr::Kind::Unary:
+      if (e.op == hdl::OpKind::Sxt || e.op == hdl::OpKind::Zxt)
+        return context_width;
+      return expr_width(inst, *e.args[0], context_width);
+    case Expr::Kind::Binary: {
+      int w0 = expr_width(inst, *e.args[0], context_width);
+      int w1 = expr_width(inst, *e.args[1], context_width);
+      return std::max(w0, w1);
+    }
+    case Expr::Kind::Call:
+      return context_width;
+  }
+  return context_width;
+}
+
+std::vector<Route> RouteEnumerator::enumerate_expr(InstanceId inst,
+                                                   const Expr& expr,
+                                                   int width_hint,
+                                                   bdd::Ref cond, int depth) {
+  const netlist::Instance& in = nl_.instance(inst);
+  std::vector<Route> out;
+  switch (expr.kind) {
+    case Expr::Kind::Const:
+      out.push_back(Route{rtl::make_hard_const(expr.value, width_hint), cond});
+      return out;
+
+    case Expr::Kind::PortRef: {
+      const hdl::PortDecl* p = in.decl->find_port(expr.name);
+      if (!p) return out;
+      if (p->cls == PortClass::Out) {
+        // Self reference in a sequential module (e.g. q := q + 1).
+        out.push_back(
+            Route{rtl::make_reg_read(in.name, p->range.width()), cond});
+        return out;
+      }
+      return enumerate_in_port(inst, expr.name, cond, depth);
+    }
+
+    case Expr::Kind::Slice: {
+      const Expr& base = *expr.args[0];
+      int base_width = expr_width(inst, base, width_hint);
+      std::vector<Route> inner =
+          enumerate_expr(inst, base, base_width, cond, depth);
+      for (Route& r : inner)
+        out.push_back(slice_route(std::move(r), expr.slice.msb,
+                                  expr.slice.lsb));
+      return out;
+    }
+
+    case Expr::Kind::CellRead: {
+      // Memory read: MemLoad node whose child is the address tree.
+      if (in.kind() != ModuleKind::Memory) return out;
+      const hdl::PortDecl* addr_port = nullptr;  // width via expr_width
+      (void)addr_port;
+      int addr_width = expr_width(inst, *expr.args[0], width_hint);
+      std::vector<Route> addrs =
+          enumerate_expr(inst, *expr.args[0], addr_width, cond, depth);
+      for (Route& a : addrs)
+        out.push_back(Route{
+            rtl::make_mem_load(in.name, width_hint, std::move(a.tree)),
+            a.cond});
+      return out;
+    }
+
+    case Expr::Kind::Unary: {
+      int child_width =
+          (expr.op == hdl::OpKind::Sxt || expr.op == hdl::OpKind::Zxt)
+              ? expr_width(inst, *expr.args[0], width_hint)
+              : expr_width(inst, *expr.args[0], width_hint);
+      std::vector<Route> kids =
+          enumerate_expr(inst, *expr.args[0], child_width, cond, depth);
+      rtl::OpSig sig{expr.op, "", width_hint};
+      for (Route& k : kids) {
+        std::vector<rtl::RTNodePtr> cs;
+        cs.push_back(std::move(k.tree));
+        out.push_back(Route{rtl::make_op(sig, std::move(cs)), k.cond});
+      }
+      return out;
+    }
+
+    case Expr::Kind::Binary: {
+      int w0 = expr_width(inst, *expr.args[0], width_hint);
+      int w1 = expr_width(inst, *expr.args[1], width_hint);
+      std::vector<Route> lhs =
+          enumerate_expr(inst, *expr.args[0], w0, cond, depth);
+      rtl::OpSig sig{expr.op, "", width_hint};
+      for (Route& l : lhs) {
+        std::vector<Route> rhs =
+            enumerate_expr(inst, *expr.args[1], w1, l.cond, depth);
+        for (Route& r : rhs) {
+          if (out.size() >= limits_.max_routes_per_point) {
+            ++stats_.cap_pruned;
+            return out;
+          }
+          std::vector<rtl::RTNodePtr> cs;
+          cs.push_back(l.tree->clone());
+          cs.push_back(std::move(r.tree));
+          out.push_back(Route{rtl::make_op(sig, std::move(cs)), r.cond});
+        }
+      }
+      return out;
+    }
+
+    case Expr::Kind::Call: {
+      rtl::OpSig sig{hdl::OpKind::Custom, expr.name, width_hint};
+      // Cross-product over argument alternatives, threading conditions.
+      std::vector<std::vector<rtl::RTNodePtr>> partial_trees;
+      std::vector<bdd::Ref> partial_conds;
+      partial_trees.emplace_back();
+      partial_conds.push_back(cond);
+      for (const hdl::ExprPtr& arg : expr.args) {
+        int aw = expr_width(inst, *arg, width_hint);
+        std::vector<std::vector<rtl::RTNodePtr>> next_trees;
+        std::vector<bdd::Ref> next_conds;
+        for (std::size_t i = 0; i < partial_trees.size(); ++i) {
+          std::vector<Route> alts =
+              enumerate_expr(inst, *arg, aw, partial_conds[i], depth);
+          for (Route& alt : alts) {
+            if (next_trees.size() >= limits_.max_routes_per_point) {
+              ++stats_.cap_pruned;
+              break;
+            }
+            std::vector<rtl::RTNodePtr> tree_list;
+            tree_list.reserve(partial_trees[i].size() + 1);
+            for (const rtl::RTNodePtr& t : partial_trees[i])
+              tree_list.push_back(t->clone());
+            tree_list.push_back(std::move(alt.tree));
+            next_trees.push_back(std::move(tree_list));
+            next_conds.push_back(alt.cond);
+          }
+        }
+        partial_trees = std::move(next_trees);
+        partial_conds = std::move(next_conds);
+      }
+      for (std::size_t i = 0; i < partial_trees.size(); ++i)
+        out.push_back(
+            Route{rtl::make_op(sig, std::move(partial_trees[i])),
+                  partial_conds[i]});
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<Route> RouteEnumerator::enumerate_in_port(InstanceId inst,
+                                                      std::string_view port,
+                                                      bdd::Ref cond,
+                                                      int depth) {
+  const netlist::Driver* d = nl_.port_driver(inst, port);
+  if (!d) return {};
+  int width = nl_.port_width(inst, port);
+  std::vector<Route> routes =
+      enumerate_source(d->source, width, cond, depth);
+  if (d->source.has_slice) {
+    std::vector<Route> sliced;
+    sliced.reserve(routes.size());
+    for (Route& r : routes)
+      sliced.push_back(
+          slice_route(std::move(r), d->source.slice.msb, d->source.slice.lsb));
+    return sliced;
+  }
+  return routes;
+}
+
+std::vector<Route> RouteEnumerator::enumerate_source(const NetSource& src,
+                                                     int width_hint,
+                                                     bdd::Ref cond,
+                                                     int depth) {
+  std::vector<Route> out;
+  switch (src.kind) {
+    case NetSource::Kind::Const: {
+      int w = src.has_slice ? src.slice.width() : width_hint;
+      out.push_back(Route{rtl::make_hard_const(src.value, w), cond});
+      return out;
+    }
+    case NetSource::Kind::ProcPort: {
+      const hdl::ProcPortDecl* p = nl_.model().find_proc_port(src.port);
+      int w = p ? p->range.width() : width_hint;
+      Route r{rtl::make_port_in(src.port, w), cond};
+      if (src.has_slice)
+        r = slice_route(std::move(r), src.slice.msb, src.slice.lsb);
+      out.push_back(std::move(r));
+      return out;
+    }
+    case NetSource::Kind::InstancePort: {
+      std::vector<Route> routes =
+          enumerate_out_port(src.inst, src.port, cond, depth);
+      if (!src.has_slice) return routes;
+      for (Route& r : routes)
+        out.push_back(
+            slice_route(std::move(r), src.slice.msb, src.slice.lsb));
+      return out;
+    }
+    case NetSource::Kind::Bus: {
+      const std::vector<netlist::Driver>& drivers = nl_.bus_drivers(src.port);
+      int w = nl_.bus_width(src.port);
+      for (std::size_t i = 0; i < drivers.size(); ++i) {
+        bdd::Ref c = cond;
+        bdd::Ref enable = drivers[i].guard
+                              ? ctrl_.structural_guard_bdd(*drivers[i].guard)
+                              : bdd::kTrue;
+        if (!conjoin(c, enable)) continue;
+        // Bus contention: all rival drivers must be disabled.
+        bool contention = false;
+        for (std::size_t j = 0; j < drivers.size(); ++j) {
+          if (j == i || !drivers[j].guard) continue;
+          bdd::Ref rival = ctrl_.structural_guard_bdd(*drivers[j].guard);
+          c = mgr_.land(c, mgr_.lnot(rival));
+          if (prune_unsat_ && c == bdd::kFalse) {
+            ++stats_.bus_contention_pruned;
+            contention = true;
+            break;
+          }
+        }
+        if (contention) continue;
+        // enumerate_source applies the driver's own slice internally.
+        std::vector<Route> routes =
+            enumerate_source(drivers[i].source, w, c, depth);
+        for (Route& r : routes) {
+          if (src.has_slice)
+            r = slice_route(std::move(r), src.slice.msb, src.slice.lsb);
+          if (out.size() >= limits_.max_routes_per_point) {
+            ++stats_.cap_pruned;
+            return out;
+          }
+          out.push_back(std::move(r));
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<Route> RouteEnumerator::enumerate_out_port(InstanceId inst,
+                                                       std::string_view port,
+                                                       bdd::Ref cond,
+                                                       int depth) {
+  std::vector<Route> out;
+  if (depth <= 0) {
+    ++stats_.depth_pruned;
+    return out;
+  }
+  const netlist::Instance& in = nl_.instance(inst);
+  const hdl::PortDecl* decl = in.decl->find_port(port);
+  int width = decl ? decl->range.width() : 1;
+
+  switch (in.kind()) {
+    case ModuleKind::Controller: {
+      // Instruction word used as data: an immediate field.
+      std::vector<int> bits(static_cast<std::size_t>(width));
+      for (int i = 0; i < width; ++i) bits[static_cast<std::size_t>(i)] = i;
+      out.push_back(Route{rtl::make_imm(std::move(bits)), cond});
+      return out;
+    }
+    case ModuleKind::Register:
+    case ModuleKind::ModeReg:
+      out.push_back(Route{rtl::make_reg_read(in.name, width), cond});
+      return out;
+    case ModuleKind::Memory:
+    case ModuleKind::Combinational: {
+      for (const hdl::Transfer& t : in.decl->transfers) {
+        if (t.is_cell_write() || t.target_port != port) continue;
+        bdd::Ref c = cond;
+        if (t.guard && !conjoin(c, ctrl_.guard_bdd(inst, *t.guard))) continue;
+        std::vector<Route> routes =
+            enumerate_expr(inst, *t.rhs, width, c, depth - 1);
+        for (Route& r : routes) {
+          if (out.size() >= limits_.max_routes_per_point) {
+            ++stats_.cap_pruned;
+            return out;
+          }
+          out.push_back(std::move(r));
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace record::ise

@@ -1,0 +1,93 @@
+// Enumeration of data transfer routes (paper section 2).
+//
+// For each RT destination a backwards netlist traversal searches for every
+// route that can transport data from source registers, memories, ports,
+// immediate fields or hardwired constants to the destination within a single
+// machine cycle. Traversal forks at every behaviour alternative of every
+// combinational module and at every tristate-bus driver; each complete route
+// is a tree pattern (rtl::RTNode) with an accumulated BDD execution
+// condition. Unsatisfiable conditions are pruned eagerly.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "ise/control.h"
+#include "netlist/netlist.h"
+#include "rtl/template.h"
+#include "util/diagnostics.h"
+
+namespace record::ise {
+
+struct RouteLimits {
+  int max_depth = 32;                      // module traversals per route
+  std::size_t max_routes_per_point = 4096; // fork cap per enumeration point
+};
+
+struct Route {
+  rtl::RTNodePtr tree;
+  bdd::Ref cond = bdd::kTrue;
+};
+
+struct RouteStats {
+  std::size_t unsat_pruned = 0;   // forks dropped by condition pruning
+  std::size_t depth_pruned = 0;   // forks dropped by the depth bound
+  std::size_t cap_pruned = 0;     // forks dropped by the route cap
+  std::size_t bus_contention_pruned = 0;
+};
+
+class RouteEnumerator {
+ public:
+  RouteEnumerator(const netlist::Netlist& nl, ControlAnalyzer& ctrl,
+                  bdd::BddManager& mgr, const RouteLimits& limits,
+                  bool prune_unsat, util::DiagnosticSink& diags)
+      : nl_(nl),
+        ctrl_(ctrl),
+        mgr_(mgr),
+        limits_(limits),
+        prune_unsat_(prune_unsat),
+        diags_(diags) {}
+
+  /// Routes producing the value of `expr` evaluated in the behaviour context
+  /// of `inst`, under accumulated condition `cond`.
+  [[nodiscard]] std::vector<Route> enumerate_expr(netlist::InstanceId inst,
+                                                  const hdl::Expr& expr,
+                                                  int width_hint,
+                                                  bdd::Ref cond, int depth);
+
+  /// Routes producing the value arriving at `inst`'s IN port `port`.
+  [[nodiscard]] std::vector<Route> enumerate_in_port(netlist::InstanceId inst,
+                                                     std::string_view port,
+                                                     bdd::Ref cond, int depth);
+
+  /// Routes producing the value of a resolved net source.
+  [[nodiscard]] std::vector<Route> enumerate_source(
+      const netlist::NetSource& src, int width_hint, bdd::Ref cond,
+      int depth);
+
+  [[nodiscard]] const RouteStats& stats() const { return stats_; }
+
+  /// Canonical operator name for a bit-slice used as data (e.g. storing the
+  /// high accumulator half). Shared with IR lowering so patterns match.
+  [[nodiscard]] static rtl::OpSig slice_op(int msb, int lsb);
+
+ private:
+  [[nodiscard]] std::vector<Route> enumerate_out_port(
+      netlist::InstanceId inst, std::string_view port, bdd::Ref cond,
+      int depth);
+  [[nodiscard]] Route slice_route(Route r, int msb, int lsb) const;
+  [[nodiscard]] int expr_width(netlist::InstanceId inst, const hdl::Expr& e,
+                               int context_width) const;
+  [[nodiscard]] bool conjoin(bdd::Ref& cond, bdd::Ref extra);
+
+  const netlist::Netlist& nl_;
+  ControlAnalyzer& ctrl_;
+  bdd::BddManager& mgr_;
+  RouteLimits limits_;
+  bool prune_unsat_;
+  util::DiagnosticSink& diags_;
+  RouteStats stats_;
+};
+
+}  // namespace record::ise

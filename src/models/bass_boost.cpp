@@ -1,0 +1,220 @@
+// An in-house audio ASIP in the style of the Philips bass-boost core
+// (Strik et al., "Efficient Code Generation for In-House DSP Cores",
+// ED&TC 1995): a minimal biquad-filter engine.
+//
+// Datapath: 32-bit accumulator A behind an adder, a 16x16 multiplier fed by
+// the sample memory and the coefficient ROM, an output scaling shifter whose
+// shift amount lives in a *mode register* (rarely changed configuration, the
+// paper's mode-register feature), and sample input/output ports.
+//
+// Instruction word (20 bits):
+//   spc  19:18  sample pointer op (0 none, 1 load sa, 2 inc, 3 dec)
+//   cpc  17:16  coeff pointer op (0 none, 1 load ca, 2 inc)
+//   ssel 15     sample address source (0 sa field, 1 SP1)
+//   csel 14     coeff address source (0 ca field, 1 CP)
+//   op   13:11  opcode (0 ldp, 1 mac, 2 clr, 3 out, 4 stin, 5 setsm,
+//               6 lda, 7 macs)
+//   ca   10:6   coefficient-ROM address
+//   sa   5:0    sample-RAM address
+#include "models/models.h"
+
+namespace record::models {
+
+std::string_view bass_boost_source() {
+  static constexpr std::string_view kSource = R"HDL(
+PROCESSOR bass_boost;
+
+CONTROLLER iw (OUT w:(19:0));
+
+REGISTER A (IN d:(31:0); OUT q:(31:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+-- Streaming pointers into the sample RAM and coefficient ROM.
+REGISTER SP1 (IN d:(5:0); OUT q:(5:0); CTRL c:(1:0));
+BEHAVIOR
+  q := d     WHEN c = 1;
+  q := q + 1 WHEN c = 2;
+  q := q - 1 WHEN c = 3;
+END;
+
+REGISTER CP (IN d:(4:0); OUT q:(4:0); CTRL c:(1:0));
+BEHAVIOR
+  q := d     WHEN c = 1;
+  q := q + 1 WHEN c = 2;
+END;
+
+-- Output scaling mode (shift amount): a mode register.
+MODEREG SM (IN d:(1:0); OUT q:(1:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+MEMORY sram (IN addr:(5:0); IN din:(15:0); OUT dout:(15:0);
+             CTRL we:(0:0)) SIZE 64;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+-- Coefficient ROM (read-only).
+MEMORY crom (IN addr:(4:0); OUT dout:(15:0)) SIZE 32;
+BEHAVIOR
+  dout := CELL[addr];
+END;
+
+MODULE mul (IN a:(15:0); IN b:(15:0); OUT y:(31:0));
+BEHAVIOR
+  y := a * b;
+END;
+
+MODULE acu (IN a:(31:0); IN b:(31:0); OUT y:(31:0); CTRL f:(1:0));
+BEHAVIOR
+  y := a + b WHEN f = 0;
+  y := b     WHEN f = 1;
+  y := 0     WHEN f = 2;
+  y := a - b WHEN f = 3;
+END;
+
+-- Output scaler controlled by the mode register.
+MODULE scl (IN a:(31:0); OUT y:(15:0); CTRL m:(1:0));
+BEHAVIOR
+  y := a(15:0)  WHEN m = 0;
+  y := a(23:8)  WHEN m = 1;
+  y := a(31:16) WHEN m = 2;
+END;
+
+-- Decoder.
+MODULE dec (IN op:(2:0);
+            OUT ald:(0:0); OUT af:(1:0); OUT bsel:(0:0); OUT swe:(0:0);
+            OUT smld:(0:0); OUT insel:(0:0));
+BEHAVIOR
+  ald := 1 WHEN op = 0;
+  ald := 1 WHEN op = 1;
+  ald := 1 WHEN op = 2;
+  ald := 1 WHEN op = 6;
+
+  af := 1 WHEN op = 0;
+  af := 0 WHEN op = 1;
+  af := 2 WHEN op = 2;
+  af := 1 WHEN op = 6;
+  af := 3 WHEN op = 7;
+
+  ald := 1 WHEN op = 7;
+
+  bsel := 1 WHEN op = 6;
+
+  swe := 1 WHEN op = 4;
+  swe := 1 WHEN op = 3;
+
+  smld := 1 WHEN op = 5;
+
+  insel := 1 WHEN op = 4;
+END;
+
+-- Sample-write mux: input port or scaled accumulator.
+MODULE wmux (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL s:(0:0));
+BEHAVIOR
+  y := a WHEN s = 0;
+  y := b WHEN s = 1;
+END;
+
+-- Accumulator operand mux: product or sign-extended sample (LDA).
+MODULE bmux (IN a:(31:0); IN b:(31:0); OUT y:(31:0); CTRL s:(0:0));
+BEHAVIOR
+  y := a WHEN s = 0;
+  y := b WHEN s = 1;
+END;
+
+-- Extends the sample for the accumulate path.
+MODULE sx (IN a:(15:0); OUT y:(31:0));
+BEHAVIOR
+  y := SXT(a);
+END;
+
+-- Address muxes: direct field or streaming pointer.
+MODULE samux (IN f:(5:0); IN p:(5:0); OUT y:(5:0); CTRL s:(0:0));
+BEHAVIOR
+  y := f WHEN s = 0;
+  y := p WHEN s = 1;
+END;
+
+MODULE camux (IN f:(4:0); IN p:(4:0); OUT y:(4:0); CTRL s:(0:0));
+BEHAVIOR
+  y := f WHEN s = 0;
+  y := p WHEN s = 1;
+END;
+
+PORT sin: IN (15:0);
+PORT sout: OUT (15:0);
+
+STRUCTURE
+PARTS
+  IW:   iw;
+  A:    A;
+  SP1:  SP1;
+  CP:   CP;
+  SM:   SM;
+  sram: sram;
+  crom: crom;
+  MUL:  mul;
+  ACU:  acu;
+  SCL:  scl;
+  DEC:  dec;
+  WMX:  wmux;
+  BMX:  bmux;
+  SX:   sx;
+  SAM:  samux;
+  CAM:  camux;
+CONNECTIONS
+  DEC.op    := IW.w(13:11);
+
+  SAM.f := IW.w(5:0);
+  SAM.p := SP1.q;
+  SAM.s := IW.w(15:15);
+  sram.addr := SAM.y;
+
+  CAM.f := IW.w(10:6);
+  CAM.p := CP.q;
+  CAM.s := IW.w(14:14);
+  crom.addr := CAM.y;
+
+  SP1.d := IW.w(5:0);
+  SP1.c := IW.w(19:18);
+  CP.d  := IW.w(10:6);
+  CP.c  := IW.w(17:16);
+
+  MUL.a     := sram.dout;
+  MUL.b     := crom.dout;
+  SX.a      := sram.dout;
+
+  BMX.a     := MUL.y;
+  BMX.b     := SX.y;
+  BMX.s     := DEC.bsel;
+
+  ACU.a     := A.q;
+  ACU.b     := BMX.y;
+  ACU.f     := DEC.af;
+  A.d       := ACU.y;
+  A.ld      := DEC.ald;
+
+  SCL.a     := A.q;
+  SCL.m     := SM.q;
+
+  WMX.a     := SCL.y;
+  WMX.b     := sin;
+  WMX.s     := DEC.insel;
+  sram.din  := WMX.y;
+  sram.we   := DEC.swe;
+
+  SM.d      := IW.w(1:0);
+  SM.ld     := DEC.smld;
+
+  sout      := SCL.y;
+END;
+)HDL";
+  return kSource;
+}
+
+}  // namespace record::models

@@ -1,0 +1,168 @@
+// "demo": a small horizontally-microcoded datapath with a homogeneous
+// register set — the kind of orthogonal microarchitecture where route
+// enumeration forks heavily (the paper's demo model yields a 439-template
+// extended base from a simple structure).
+//
+// Three general registers feed both ALU operand muxes; a six-function ALU
+// and a memory with register-indirect and immediate addressing complete the
+// datapath. The microinstruction is fully horizontal (no decoder), so almost
+// every fork combination is encodable.
+//
+// Microinstruction word (26 bits):
+//   asel 25:23  ALU A source (0 R0, 1 R1, 2 imm)
+//   bsel 22:20  ALU B source (0 R0, 1 R1, 2 R2, 3 imm, 4 mem)
+//   aluf 19:17  ALU fn (0 add, 1 sub, 2 pass-a, 3 mul, 4 pass-b, 5 xor)
+//   dst  16:14  destination (1 R0, 2 R1, 3 R2, 4 mem, 5 PC)
+//   msel 13:12  memory address source (0 imm, 1 R1, 2 R2)
+//   we   11     memory write
+//   imm  10:0   immediate field
+#include "models/models.h"
+
+namespace record::models {
+
+std::string_view demo_source() {
+  static constexpr std::string_view kSource = R"HDL(
+PROCESSOR demo;
+
+CONTROLLER mc (OUT w:(25:0));
+
+REGISTER R0 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER R1 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER R2 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER PC (IN d:(10:0); OUT q:(10:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+MEMORY mem (IN addr:(10:0); IN din:(15:0); OUT dout:(15:0);
+            CTRL we:(0:0)) SIZE 2048;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+MODULE izx (IN a:(10:0); OUT y:(15:0));
+BEHAVIOR
+  y := ZXT(a);
+END;
+
+MODULE amux (IN r0:(15:0); IN r1:(15:0); IN im:(15:0);
+             OUT y:(15:0); CTRL s:(2:0));
+BEHAVIOR
+  y := r0 WHEN s = 0;
+  y := r1 WHEN s = 1;
+  y := im WHEN s = 2;
+END;
+
+MODULE bmux (IN r0:(15:0); IN r1:(15:0); IN r2:(15:0); IN im:(15:0);
+             IN m:(15:0); OUT y:(15:0); CTRL s:(2:0));
+BEHAVIOR
+  y := r0 WHEN s = 0;
+  y := r1 WHEN s = 1;
+  y := r2 WHEN s = 2;
+  y := im WHEN s = 3;
+  y := m  WHEN s = 4;
+END;
+
+MODULE alu (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL f:(2:0));
+BEHAVIOR
+  y := a + b WHEN f = 0;
+  y := a - b WHEN f = 1;
+  y := a     WHEN f = 2;
+  y := a * b WHEN f = 3;
+  y := b     WHEN f = 4;
+  y := a ^ b WHEN f = 5;
+END;
+
+MODULE mmux (IN im:(10:0); IN r1:(10:0); IN r2:(10:0); OUT y:(10:0);
+             CTRL s:(1:0));
+BEHAVIOR
+  y := im WHEN s = 0;
+  y := r1 WHEN s = 1;
+  y := r2 WHEN s = 2;
+END;
+
+MODULE ddec (IN d:(2:0);
+             OUT r0:(0:0); OUT r1:(0:0); OUT r2:(0:0); OUT pc:(0:0));
+BEHAVIOR
+  r0 := 1 WHEN d = 1;
+  r1 := 1 WHEN d = 2;
+  r2 := 1 WHEN d = 3;
+  pc := 1 WHEN d = 5;
+END;
+
+PORT pin: IN (15:0);
+PORT pout: OUT (15:0);
+
+STRUCTURE
+PARTS
+  MC:  mc;
+  R0:  R0;
+  R1:  R1;
+  R2:  R2;
+  PC:  PC;
+  mem: mem;
+  IZX: izx;
+  AM:  amux;
+  BM:  bmux;
+  ALU: alu;
+  MM:  mmux;
+  DD:  ddec;
+CONNECTIONS
+  IZX.a := MC.w(10:0);
+
+  AM.r0 := R0.q;
+  AM.r1 := R1.q;
+  AM.im := IZX.y;
+  AM.s  := MC.w(25:23);
+
+  BM.r0 := R0.q;
+  BM.r1 := R1.q;
+  BM.r2 := R2.q;
+  BM.im := IZX.y;
+  BM.m  := mem.dout;
+  BM.s  := MC.w(22:20);
+
+  ALU.a := AM.y;
+  ALU.b := BM.y;
+  ALU.f := MC.w(19:17);
+
+  DD.d  := MC.w(16:14);
+
+  R0.d  := ALU.y;
+  R0.ld := DD.r0;
+  R1.d  := ALU.y;
+  R1.ld := DD.r1;
+  R2.d  := ALU.y;
+  R2.ld := DD.r2;
+  PC.d  := MC.w(10:0);
+  PC.ld := DD.pc;
+
+  MM.im := MC.w(10:0);
+  MM.r1 := R1.q(10:0);
+  MM.r2 := R2.q(10:0);
+  MM.s  := MC.w(13:12);
+
+  mem.addr := MM.y;
+  mem.din  := R2.q;
+  mem.we   := MC.w(11:11);
+
+  pout := R0.q;
+END;
+)HDL";
+  return kSource;
+}
+
+}  // namespace record::models

@@ -1,0 +1,157 @@
+// M. Mano's basic computer (Computer System Architecture, 3rd ed., 1993).
+//
+// Single-bus accumulator architecture: the 16-bit common bus is a tristate
+// bus driven by memory, DR, AC, PC and the instruction's address field;
+// destinations take their inputs from the bus. Register micro-operations
+// (INC, CLR, CMA) are modelled as self-transfers of AC. The control word is
+// horizontal (direct fields), as the paper's ISE operates below the
+// hardwired-control abstraction.
+//
+// Control word (28 bits):
+//   bsel 24:22  bus driver select (0 none, 1 mem, 2 DR, 3 AC, 4 PC, 5 addr,
+//               6 input port, 7 TR)
+//   acc  21:19  AC op (0 none, 1 load, 2 inc, 3 clr, 4 cma)
+//   aluf 18:17  ALU fn (0 and, 1 add, 2 pass-bus, 3 xor) followed by a
+//               shifter (sh 27:26: 0 none, 1 <<1, 2 >>1); trld 25
+//   drld 16     DR load
+//   arld 15     AR load
+//   pcc  14:13  PC op (0 none, 1 load, 2 inc)
+//   we   12     memory write
+//   addr 11:0   address / immediate field
+#include "models/models.h"
+
+namespace record::models {
+
+std::string_view manocpu_source() {
+  static constexpr std::string_view kSource = R"HDL(
+PROCESSOR manocpu;
+
+CONTROLLER cw (OUT w:(27:0));
+
+REGISTER AC (IN d:(15:0); OUT q:(15:0); CTRL c:(2:0));
+BEHAVIOR
+  q := d      WHEN c = 1;
+  q := q + 1  WHEN c = 2;
+  q := 0      WHEN c = 3;
+  q := ~q     WHEN c = 4;
+END;
+
+-- Temporary register (extended instruction set).
+REGISTER TR (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER DR (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER AR (IN d:(11:0); OUT q:(11:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER PC (IN d:(11:0); OUT q:(11:0); CTRL c:(1:0));
+BEHAVIOR
+  q := d     WHEN c = 1;
+  q := q + 1 WHEN c = 2;
+END;
+
+MEMORY mem (IN addr:(11:0); IN din:(15:0); OUT dout:(15:0);
+            CTRL we:(0:0)) SIZE 4096;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+-- ALU between the bus and AC (Mano: AND, ADD, pass; XOR added by the
+-- extended instruction set).
+MODULE alu (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL f:(1:0));
+BEHAVIOR
+  y := a & b WHEN f = 0;
+  y := a + b WHEN f = 1;
+  y := b     WHEN f = 2;
+  y := a ^ b WHEN f = 3;
+END;
+
+-- Shifter between the ALU and AC (Mano's shl/shr micro-operations).
+MODULE shf (IN a:(15:0); OUT y:(15:0); CTRL s:(1:0));
+BEHAVIOR
+  y := a      WHEN s = 0;
+  y := a << 1 WHEN s = 1;
+  y := a >> 1 WHEN s = 2;
+END;
+
+-- Zero-extends the 12-bit address field onto the 16-bit bus.
+MODULE azx (IN a:(11:0); OUT y:(15:0));
+BEHAVIOR
+  y := ZXT(a);
+END;
+
+-- Zero-extends the 12-bit PC onto the 16-bit bus.
+MODULE pzx (IN a:(11:0); OUT y:(15:0));
+BEHAVIOR
+  y := ZXT(a);
+END;
+
+PORT pin: IN (15:0);
+PORT pout: OUT (15:0);
+
+STRUCTURE
+PARTS
+  CW:  cw;
+  AC:  AC;
+  TR:  TR;
+  DR:  DR;
+  AR:  AR;
+  PC:  PC;
+  mem: mem;
+  ALU: alu;
+  SHF: shf;
+  AZX: azx;
+  PZX: pzx;
+BUS dbus: (15:0);
+CONNECTIONS
+  dbus := mem.dout WHEN CW.w(24:22) = 1;
+  dbus := DR.q     WHEN CW.w(24:22) = 2;
+  dbus := AC.q     WHEN CW.w(24:22) = 3;
+  dbus := PZX.y    WHEN CW.w(24:22) = 4;
+  dbus := AZX.y    WHEN CW.w(24:22) = 5;
+  dbus := pin      WHEN CW.w(24:22) = 6;
+  dbus := TR.q     WHEN CW.w(24:22) = 7;
+
+  AZX.a    := CW.w(11:0);
+  PZX.a    := PC.q;
+
+  ALU.a    := DR.q;
+  ALU.b    := dbus;
+  ALU.f    := CW.w(18:17);
+  SHF.a    := ALU.y;
+  SHF.s    := CW.w(27:26);
+  AC.d     := SHF.y;
+  AC.c     := CW.w(21:19);
+
+  TR.d     := dbus;
+  TR.ld    := CW.w(25:25);
+
+  DR.d     := dbus;
+  DR.ld    := CW.w(16:16);
+
+  AR.d     := dbus(11:0);
+  AR.ld    := CW.w(15:15);
+
+  PC.d     := dbus(11:0);
+  PC.c     := CW.w(14:13);
+
+  mem.addr := AR.q;
+  mem.din  := dbus;
+  mem.we   := CW.w(12:12);
+
+  pout     := AC.q;
+END;
+)HDL";
+  return kSource;
+}
+
+}  // namespace record::models

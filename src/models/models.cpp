@@ -1,0 +1,28 @@
+#include "models/models.h"
+
+namespace record::models {
+
+const std::vector<ModelInfo>& builtin_models() {
+  static const std::vector<ModelInfo> kModels = {
+      {"demo", "small horizontally-microcoded demo datapath", 439, 356.0},
+      {"ref", "large orthogonal reference machine", 1703, 84.0},
+      {"manocpu", "Mano's basic computer (single-bus accumulator)", 207,
+       6.3},
+      {"tanenbaum", "Tanenbaum Mac-1-style educational machine", 232, 11.7},
+      {"bass_boost", "in-house audio ASIP (bass boost filter)", 89, 3.7},
+      {"tms320c25", "TI TMS320C25-class fixed-point DSP", 356, 165.0},
+  };
+  return kModels;
+}
+
+std::string_view model_source(std::string_view name) {
+  if (name == "demo") return demo_source();
+  if (name == "ref") return ref_source();
+  if (name == "manocpu") return manocpu_source();
+  if (name == "tanenbaum") return tanenbaum_source();
+  if (name == "bass_boost") return bass_boost_source();
+  if (name == "tms320c25") return tms320c25_source();
+  return {};
+}
+
+}  // namespace record::models

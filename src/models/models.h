@@ -1,0 +1,49 @@
+// Built-in HDL processor models — the six retargeting targets of the
+// paper's Table 3:
+//
+//   demo        a small horizontally-microcoded demo datapath (paper: 439
+//               extended RT templates)
+//   ref         a large orthogonal reference machine (paper: 1703)
+//   manocpu     M. Mano's basic computer, single-bus accumulator
+//               architecture [Mano 1993] (paper: 207)
+//   tanenbaum   A. Tanenbaum's Mac-1-style machine [Tanenbaum 1990]
+//               (paper: 232)
+//   bass_boost  a Philips-style in-house audio ASIP [Strik et al. 1995]
+//               (paper: 89)
+//   tms320c25   a TI TMS320C25-class fixed-point DSP [TI 1990] (paper: 356)
+//
+// The models are written from the cited references' architecture
+// descriptions; absolute template counts depend on modelling granularity,
+// so EXPERIMENTS.md reports paper-vs-measured numbers side by side.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace record::models {
+
+struct ModelInfo {
+  std::string_view name;
+  std::string_view description;
+  /// Paper's extended-template-base size (Table 3, column 2).
+  int paper_template_count = 0;
+  /// Paper's retargeting time in SPARC-20 CPU seconds (Table 3, column 3).
+  double paper_retarget_seconds = 0.0;
+};
+
+/// Metadata for all six built-in models, in Table 3 order.
+[[nodiscard]] const std::vector<ModelInfo>& builtin_models();
+
+/// HDL source of a built-in model; empty view if unknown.
+[[nodiscard]] std::string_view model_source(std::string_view name);
+
+// Per-model source accessors (each defined in its own translation unit).
+[[nodiscard]] std::string_view demo_source();
+[[nodiscard]] std::string_view ref_source();
+[[nodiscard]] std::string_view manocpu_source();
+[[nodiscard]] std::string_view tanenbaum_source();
+[[nodiscard]] std::string_view bass_boost_source();
+[[nodiscard]] std::string_view tms320c25_source();
+
+}  // namespace record::models

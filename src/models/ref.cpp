@@ -1,0 +1,206 @@
+// "ref": a large orthogonal reference machine. Four general registers, two
+// data memories, rich operand muxes and a 7-function ALU under a fully
+// horizontal microinstruction — the fork product of route enumeration is
+// deliberately large (the paper reports a 1703-template extended base for
+// its ref model).
+//
+// Microinstruction word (29 bits):
+//   asel  28:26  ALU A source (0-3 R0..R3, 4 imm, 5 dmem)
+//   bsel  25:23  ALU B source (0-3 R0..R3, 4 imm, 5 cmem)
+//   aluf  22:20  ALU fn (0 add, 1 sub, 2 and, 3 or, 4 pass-b, 5 pass-a, 6 mul)
+//   dst   19:17  destination (1-4 R0..R3, 5 PC)
+//   dmsel 16:15  dmem address source (0 imm, 1 R2, 2 R3)
+//   cmsel 14     cmem address source (0 imm, 1 R3)
+//   dwe   13     dmem write (din = R1)
+//   cwe   12     cmem write (din = R0)
+//   imm   11:0   immediate field
+#include "models/models.h"
+
+namespace record::models {
+
+std::string_view ref_source() {
+  static constexpr std::string_view kSource = R"HDL(
+PROCESSOR ref;
+
+CONTROLLER mc (OUT w:(28:0));
+
+REGISTER R0 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER R1 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER R2 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER R3 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER PC (IN d:(11:0); OUT q:(11:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+MEMORY dmem (IN addr:(11:0); IN din:(15:0); OUT dout:(15:0);
+             CTRL we:(0:0)) SIZE 4096;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+MEMORY cmem (IN addr:(11:0); IN din:(15:0); OUT dout:(15:0);
+             CTRL we:(0:0)) SIZE 4096;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+MODULE izx (IN a:(11:0); OUT y:(15:0));
+BEHAVIOR
+  y := ZXT(a);
+END;
+
+MODULE amux (IN r0:(15:0); IN r1:(15:0); IN r2:(15:0); IN r3:(15:0);
+             IN im:(15:0); IN m:(15:0); OUT y:(15:0); CTRL s:(2:0));
+BEHAVIOR
+  y := r0 WHEN s = 0;
+  y := r1 WHEN s = 1;
+  y := r2 WHEN s = 2;
+  y := r3 WHEN s = 3;
+  y := im WHEN s = 4;
+  y := m  WHEN s = 5;
+END;
+
+MODULE bmux (IN r0:(15:0); IN r1:(15:0); IN r2:(15:0); IN r3:(15:0);
+             IN im:(15:0); IN m:(15:0); OUT y:(15:0); CTRL s:(2:0));
+BEHAVIOR
+  y := r0 WHEN s = 0;
+  y := r1 WHEN s = 1;
+  y := r2 WHEN s = 2;
+  y := r3 WHEN s = 3;
+  y := im WHEN s = 4;
+  y := m  WHEN s = 5;
+END;
+
+MODULE alu (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL f:(2:0));
+BEHAVIOR
+  y := a + b WHEN f = 0;
+  y := a - b WHEN f = 1;
+  y := a & b WHEN f = 2;
+  y := a | b WHEN f = 3;
+  y := b     WHEN f = 4;
+  y := a     WHEN f = 5;
+  y := a * b WHEN f = 6;
+END;
+
+MODULE dmx (IN im:(11:0); IN r2:(11:0); IN r3:(11:0); OUT y:(11:0);
+            CTRL s:(1:0));
+BEHAVIOR
+  y := im WHEN s = 0;
+  y := r2 WHEN s = 1;
+  y := r3 WHEN s = 2;
+END;
+
+MODULE cmx (IN im:(11:0); IN r3:(11:0); OUT y:(11:0); CTRL s:(0:0));
+BEHAVIOR
+  y := im WHEN s = 0;
+  y := r3 WHEN s = 1;
+END;
+
+MODULE ddec (IN d:(2:0);
+             OUT r0:(0:0); OUT r1:(0:0); OUT r2:(0:0); OUT r3:(0:0);
+             OUT pc:(0:0));
+BEHAVIOR
+  r0 := 1 WHEN d = 1;
+  r1 := 1 WHEN d = 2;
+  r2 := 1 WHEN d = 3;
+  r3 := 1 WHEN d = 4;
+  pc := 1 WHEN d = 5;
+END;
+
+PORT pin: IN (15:0);
+PORT pout: OUT (15:0);
+
+STRUCTURE
+PARTS
+  MC:   mc;
+  R0:   R0;
+  R1:   R1;
+  R2:   R2;
+  R3:   R3;
+  PC:   PC;
+  dmem: dmem;
+  cmem: cmem;
+  IZX:  izx;
+  AM:   amux;
+  BM:   bmux;
+  ALU:  alu;
+  DMX:  dmx;
+  CMX:  cmx;
+  DD:   ddec;
+CONNECTIONS
+  IZX.a := MC.w(11:0);
+
+  AM.r0 := R0.q;
+  AM.r1 := R1.q;
+  AM.r2 := R2.q;
+  AM.r3 := R3.q;
+  AM.im := IZX.y;
+  AM.m  := dmem.dout;
+  AM.s  := MC.w(28:26);
+
+  BM.r0 := R0.q;
+  BM.r1 := R1.q;
+  BM.r2 := R2.q;
+  BM.r3 := R3.q;
+  BM.im := IZX.y;
+  BM.m  := cmem.dout;
+  BM.s  := MC.w(25:23);
+
+  ALU.a := AM.y;
+  ALU.b := BM.y;
+  ALU.f := MC.w(22:20);
+
+  DD.d  := MC.w(19:17);
+
+  R0.d  := ALU.y;
+  R0.ld := DD.r0;
+  R1.d  := ALU.y;
+  R1.ld := DD.r1;
+  R2.d  := ALU.y;
+  R2.ld := DD.r2;
+  R3.d  := ALU.y;
+  R3.ld := DD.r3;
+  PC.d  := MC.w(11:0);
+  PC.ld := DD.pc;
+
+  DMX.im := MC.w(11:0);
+  DMX.r2 := R2.q(11:0);
+  DMX.r3 := R3.q(11:0);
+  DMX.s  := MC.w(16:15);
+  dmem.addr := DMX.y;
+  dmem.din  := R1.q;
+  dmem.we   := MC.w(13:13);
+
+  CMX.im := MC.w(11:0);
+  CMX.r3 := R3.q(11:0);
+  CMX.s  := MC.w(14:14);
+  cmem.addr := CMX.y;
+  cmem.din  := R0.q;
+  cmem.we   := MC.w(12:12);
+
+  pout := R0.q;
+END;
+)HDL";
+  return kSource;
+}
+
+}  // namespace record::models

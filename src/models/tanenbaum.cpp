@@ -1,0 +1,167 @@
+// A. Tanenbaum's Mac-1/Mic-1-style educational machine (Structured Computer
+// Organization, 3rd ed., 1990).
+//
+// Microprogrammed datapath: two source buses (A and B) feed a 4-function
+// ALU; the C bus result is steered to one of the programmer-visible
+// registers (AC, SP, TIR) or to the memory address register. MBR is loaded
+// from memory; the PC takes its jump target directly from the
+// microinstruction's address field. The microinstruction is horizontal.
+//
+// Microinstruction word (26 bits):
+//   asel 25:23  A-bus source (0 AC, 1 SP, 2 TIR, 3 MBR, 4 imm)
+//   bsel 22:20  B-bus source (0 AC, 1 imm)
+//   aluf 19:18  ALU (0 a+b, 1 a&b, 2 a, 3 ~a)
+//   dst  15:13  destination (1 AC, 2 SP, 3 TIR, 4 MAR, 5 MBR, 6 PC)
+//   wr   12     memory write
+//   imm  11:0   immediate / address field
+#include "models/models.h"
+
+namespace record::models {
+
+std::string_view tanenbaum_source() {
+  static constexpr std::string_view kSource = R"HDL(
+PROCESSOR tanenbaum;
+
+CONTROLLER mir (OUT w:(25:0));
+
+REGISTER AC (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER SP (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER TIR (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER MAR (IN d:(11:0); OUT q:(11:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER MBR (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+REGISTER PC (IN d:(11:0); OUT q:(11:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+MEMORY mem (IN addr:(11:0); IN din:(15:0); OUT dout:(15:0);
+            CTRL we:(0:0)) SIZE 4096;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+MODULE amux (IN r0:(15:0); IN r1:(15:0); IN r2:(15:0); IN r3:(15:0);
+             IN im:(15:0); OUT y:(15:0); CTRL s:(2:0));
+BEHAVIOR
+  y := r0 WHEN s = 0;
+  y := r1 WHEN s = 1;
+  y := r2 WHEN s = 2;
+  y := r3 WHEN s = 3;
+  y := im WHEN s = 4;
+END;
+
+MODULE bmux (IN r0:(15:0); IN im:(15:0); OUT y:(15:0); CTRL s:(2:0));
+BEHAVIOR
+  y := r0 WHEN s = 0;
+  y := im WHEN s = 1;
+END;
+
+MODULE alu (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL f:(1:0));
+BEHAVIOR
+  y := a + b WHEN f = 0;
+  y := a & b WHEN f = 1;
+  y := a     WHEN f = 2;
+  y := ~a    WHEN f = 3;
+END;
+
+-- Destination decoder (one-hot load enables from the dst field).
+MODULE ddec (IN d:(2:0);
+             OUT ac:(0:0); OUT sp:(0:0); OUT tir:(0:0); OUT mar:(0:0);
+             OUT mbr:(0:0); OUT pc:(0:0));
+BEHAVIOR
+  ac  := 1 WHEN d = 1;
+  sp  := 1 WHEN d = 2;
+  tir := 1 WHEN d = 3;
+  mar := 1 WHEN d = 4;
+  mbr := 1 WHEN d = 5;
+  pc  := 1 WHEN d = 6;
+END;
+
+-- Zero-extends the 12-bit immediate field.
+MODULE izx (IN a:(11:0); OUT y:(15:0));
+BEHAVIOR
+  y := ZXT(a);
+END;
+
+PORT pout: OUT (15:0);
+
+STRUCTURE
+PARTS
+  MIR: mir;
+  AC:  AC;
+  SP:  SP;
+  TIR: TIR;
+  MAR: MAR;
+  MBR: MBR;
+  PC:  PC;
+  mem: mem;
+  AM:  amux;
+  BM:  bmux;
+  ALU: alu;
+  DD:  ddec;
+  IZX: izx;
+CONNECTIONS
+  IZX.a := MIR.w(11:0);
+
+  AM.r0 := AC.q;
+  AM.r1 := SP.q;
+  AM.r2 := TIR.q;
+  AM.r3 := MBR.q;
+  AM.im := IZX.y;
+  AM.s  := MIR.w(25:23);
+
+  BM.r0 := AC.q;
+  BM.im := IZX.y;
+  BM.s  := MIR.w(22:20);
+
+  ALU.a := AM.y;
+  ALU.b := BM.y;
+  ALU.f := MIR.w(19:18);
+
+  DD.d  := MIR.w(15:13);
+
+  AC.d   := ALU.y;
+  AC.ld  := DD.ac;
+  SP.d   := ALU.y;
+  SP.ld  := DD.sp;
+  TIR.d  := ALU.y;
+  TIR.ld := DD.tir;
+  MAR.d  := ALU.y(11:0);
+  MAR.ld := DD.mar;
+  MBR.d  := mem.dout;
+  MBR.ld := DD.mbr;
+  PC.d   := MIR.w(11:0);
+  PC.ld  := DD.pc;
+
+  mem.addr := MAR.q;
+  mem.din  := AC.q;
+  mem.we   := MIR.w(12:12);
+
+  pout := AC.q;
+END;
+)HDL";
+  return kSource;
+}
+
+}  // namespace record::models

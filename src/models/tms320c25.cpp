@@ -1,0 +1,343 @@
+// TMS320C25-class fixed-point DSP model.
+//
+// Architecture (following the TMS320C2x User's Guide at the granularity
+// needed for code generation): 32-bit accumulator ACC behind a 32-bit ALU,
+// T/P multiplier registers (16x16 -> 32), two post-modify address registers
+// AR1/AR2, a 64K x 16 data memory with direct (immediate) and indirect
+// (*ARn) addressing, a scaling shifter on the memory operand path, SACL/SACH
+// high/low stores, immediate loads, I/O ports, and PC with unconditional and
+// accumulator-conditional branches.
+//
+// Instruction word (27 bits, encoded format):
+//   pm    26      memory-operand source (0 data ram, 1 program memory:
+//                 the C25's table-read / MAC-coefficient path)
+//   op    25:22   opcode
+//   am    21:20   addressing mode / sub-opcode (0 direct, 1 *AR1, 2 *AR2,
+//                 3 *AR3)
+//   amod  19:18   AR post-modify (0 none, 1 AR1+, 2 AR2+, 3 AR1-)
+//   shf   17:16   operand scaling shift (0, 1, 4, 0 bits)
+//   data  15:0    immediate / direct address / branch target
+//
+// Opcodes: 0 LAC, 1 ADD, 2 SUB, 3 AND, 4 OR, 5 XOR, 6 LT, 7 MPY,
+// 8/am PAC|APAC|SPAC, 9 SACL, 10 SACH, 11/am IN|LAR1|LAR2, 12 ZAC,
+// 13 LACK, 14/am B|BNZ|BZ, 15 MPYA (MPY + APAC in one word).
+//
+// The MPYA opcode makes the ACC-accumulate RT and the P-multiply RT
+// condition-compatible, so code compaction can fuse multiply-accumulate
+// chains exactly like the real MAC/MPYA instructions.
+#include "models/models.h"
+
+namespace record::models {
+
+std::string_view tms320c25_source() {
+  static constexpr std::string_view kSource = R"HDL(
+PROCESSOR tms320c25;
+
+CONTROLLER imem (OUT word:(26:0));
+
+-- 32-bit accumulator.
+REGISTER ACC (IN d:(31:0); OUT q:(31:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+-- Multiplier operand register.
+REGISTER T (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+-- Product register.
+REGISTER P (IN d:(31:0); OUT q:(31:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+-- Post-modify address registers.
+REGISTER AR1 (IN d:(15:0); OUT q:(15:0); CTRL c:(1:0));
+BEHAVIOR
+  q := d     WHEN c = 1;
+  q := q + 1 WHEN c = 2;
+  q := q - 1 WHEN c = 3;
+END;
+
+REGISTER AR2 (IN d:(15:0); OUT q:(15:0); CTRL c:(1:0));
+BEHAVIOR
+  q := d     WHEN c = 1;
+  q := q + 1 WHEN c = 2;
+  q := q - 1 WHEN c = 3;
+END;
+
+REGISTER AR3 (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+-- Program counter (jump destination only; sequencing is implicit).
+REGISTER PC (IN d:(15:0); OUT q:(15:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+
+MEMORY ram (IN addr:(15:0); IN din:(15:0); OUT dout:(15:0);
+            CTRL we:(0:0)) SIZE 65536;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+
+-- Program memory, readable as data (TBLR / MAC coefficient fetch).
+MEMORY pmem (IN addr:(15:0); OUT dout:(15:0)) SIZE 65536;
+BEHAVIOR
+  dout := CELL[addr];
+END;
+
+-- Memory-operand source mux: data ram or program memory.
+MODULE pmux (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL s:(0:0));
+BEHAVIOR
+  y := a WHEN s = 0;
+  y := b WHEN s = 1;
+END;
+
+-- Data-address mux: direct field or an address register.
+MODULE amux (IN imm:(15:0); IN a1:(15:0); IN a2:(15:0); IN a3:(15:0);
+             OUT y:(15:0); CTRL s:(1:0));
+BEHAVIOR
+  y := imm WHEN s = 0;
+  y := a1  WHEN s = 1;
+  y := a2  WHEN s = 2;
+  y := a3  WHEN s = 3;
+END;
+
+-- Sign extension of the 16-bit memory operand.
+MODULE sxtm (IN a:(15:0); OUT y:(31:0));
+BEHAVIOR
+  y := SXT(a);
+END;
+
+-- Sign extension of the 16-bit immediate operand.
+MODULE sxti (IN a:(15:0); OUT y:(31:0));
+BEHAVIOR
+  y := SXT(a);
+END;
+
+-- Scaling shifter on the memory-operand path (subset of the C25's 0..15).
+MODULE scaler (IN a:(31:0); OUT y:(31:0); CTRL s:(1:0));
+BEHAVIOR
+  y := a      WHEN s = 0;
+  y := a << 1 WHEN s = 1;
+  y := a << 4 WHEN s = 2;
+  y := a      WHEN s = 3;
+END;
+
+-- 16x16 -> 32 multiplier.
+MODULE mult (IN a:(15:0); IN b:(15:0); OUT y:(31:0));
+BEHAVIOR
+  y := a * b;
+END;
+
+-- ALU operand-B mux: scaled memory operand, product register or immediate.
+MODULE bmux (IN m:(31:0); IN p:(31:0); IN i:(31:0); OUT y:(31:0);
+             CTRL s:(1:0));
+BEHAVIOR
+  y := m WHEN s = 0;
+  y := p WHEN s = 1;
+  y := i WHEN s = 2;
+END;
+
+-- 32-bit ALU.
+MODULE alu (IN a:(31:0); IN b:(31:0); OUT y:(31:0); CTRL f:(3:0));
+BEHAVIOR
+  y := b     WHEN f = 0;
+  y := a + b WHEN f = 1;
+  y := a - b WHEN f = 2;
+  y := a & b WHEN f = 3;
+  y := a | b WHEN f = 4;
+  y := a ^ b WHEN f = 5;
+  y := 0     WHEN f = 6;
+END;
+
+-- Store selector: low or high accumulator half (SACL / SACH).
+MODULE smux (IN a:(31:0); OUT y:(15:0); CTRL s:(0:0));
+BEHAVIOR
+  y := a(15:0)  WHEN s = 0;
+  y := a(31:16) WHEN s = 1;
+END;
+
+-- Memory write-data mux: store path or input port (IN instruction).
+MODULE dmux (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL s:(0:0));
+BEHAVIOR
+  y := a WHEN s = 0;
+  y := b WHEN s = 1;
+END;
+
+-- Accumulator zero detector feeding conditional-branch control.
+MODULE zdet (IN a:(31:0); OUT z:(0:0));
+BEHAVIOR
+  z := ISZERO(a);
+END;
+
+-- Instruction decoder (random logic; traced symbolically by ISE).
+MODULE dec (IN op:(3:0); IN am:(1:0); IN amod:(1:0); IN z:(0:0);
+            OUT acc_ld:(0:0); OUT t_ld:(0:0); OUT p_ld:(0:0);
+            OUT we:(0:0); OUT pc_ld:(0:0); OUT aluf:(3:0);
+            OUT bsel:(1:0); OUT hisel:(0:0); OUT insel:(0:0);
+            OUT ar1c:(1:0); OUT ar2c:(1:0); OUT ar3ld:(0:0));
+BEHAVIOR
+  acc_ld := 1 WHEN op = 0;
+  acc_ld := 1 WHEN op = 1;
+  acc_ld := 1 WHEN op = 2;
+  acc_ld := 1 WHEN op = 3;
+  acc_ld := 1 WHEN op = 4;
+  acc_ld := 1 WHEN op = 5;
+  acc_ld := 1 WHEN op = 8;
+  acc_ld := 1 WHEN op = 12;
+  acc_ld := 1 WHEN op = 13;
+  acc_ld := 1 WHEN op = 15;
+
+  t_ld := 1 WHEN op = 6;
+
+  p_ld := 1 WHEN op = 7;
+  p_ld := 1 WHEN op = 15;
+
+  we := 1 WHEN op = 9;
+  we := 1 WHEN op = 10;
+  we := 1 WHEN op = 11 AND am = 0;
+
+  pc_ld := 1 WHEN op = 14 AND am = 0;
+  pc_ld := 1 WHEN op = 14 AND am = 1 AND z = 0;
+  pc_ld := 1 WHEN op = 14 AND am = 2 AND z = 1;
+
+  aluf := 0 WHEN op = 0;
+  aluf := 1 WHEN op = 1;
+  aluf := 2 WHEN op = 2;
+  aluf := 3 WHEN op = 3;
+  aluf := 4 WHEN op = 4;
+  aluf := 5 WHEN op = 5;
+  aluf := 0 WHEN op = 8 AND am = 0;
+  aluf := 1 WHEN op = 8 AND am = 1;
+  aluf := 2 WHEN op = 8 AND am = 2;
+  aluf := 6 WHEN op = 12;
+  aluf := 0 WHEN op = 13;
+  aluf := 1 WHEN op = 15;
+
+  bsel := 0 WHEN op = 0;
+  bsel := 0 WHEN op = 1;
+  bsel := 0 WHEN op = 2;
+  bsel := 0 WHEN op = 3;
+  bsel := 0 WHEN op = 4;
+  bsel := 0 WHEN op = 5;
+  bsel := 1 WHEN op = 8;
+  bsel := 2 WHEN op = 13;
+  bsel := 1 WHEN op = 15;
+
+  hisel := 1 WHEN op = 10;
+
+  insel := 1 WHEN op = 11 AND am = 0;
+
+  ar1c := 1 WHEN op = 11 AND am = 1;
+  ar1c := 2 WHEN amod = 1;
+  ar1c := 3 WHEN amod = 3;
+
+  ar2c := 1 WHEN op = 11 AND am = 2;
+  ar2c := 2 WHEN amod = 2;
+
+  ar3ld := 1 WHEN op = 11 AND am = 3;
+END;
+
+PORT pin: IN (15:0);
+PORT pout: OUT (15:0);
+
+STRUCTURE
+PARTS
+  IM:   imem;
+  ACC:  ACC;
+  T:    T;
+  P:    P;
+  AR1:  AR1;
+  AR2:  AR2;
+  AR3:  AR3;
+  PC:   PC;
+  ram:  ram;
+  pmem: pmem;
+  PMX:  pmux;
+  AMUX: amux;
+  SXM:  sxtm;
+  SXI:  sxti;
+  SCL:  scaler;
+  MUL:  mult;
+  BMUX: bmux;
+  ALU:  alu;
+  SMUX: smux;
+  DMUX: dmux;
+  ZD:   zdet;
+  DEC:  dec;
+CONNECTIONS
+  DEC.op   := IM.word(25:22);
+  DEC.am   := IM.word(21:20);
+  DEC.amod := IM.word(19:18);
+  DEC.z    := ZD.z;
+
+  AMUX.imm := IM.word(15:0);
+  AMUX.a1  := AR1.q;
+  AMUX.a2  := AR2.q;
+  AMUX.a3  := AR3.q;
+  AMUX.s   := IM.word(21:20);
+  ram.addr := AMUX.y;
+  pmem.addr := AMUX.y;
+
+  PMX.a    := ram.dout;
+  PMX.b    := pmem.dout;
+  PMX.s    := IM.word(26:26);
+
+  SXM.a    := PMX.y;
+  SCL.a    := SXM.y;
+  SCL.s    := IM.word(17:16);
+  SXI.a    := IM.word(15:0);
+
+  BMUX.m   := SCL.y;
+  BMUX.p   := P.q;
+  BMUX.i   := SXI.y;
+  BMUX.s   := DEC.bsel;
+
+  ALU.a    := ACC.q;
+  ALU.b    := BMUX.y;
+  ALU.f    := DEC.aluf;
+  ACC.d    := ALU.y;
+  ACC.ld   := DEC.acc_ld;
+
+  T.d      := PMX.y;
+  T.ld     := DEC.t_ld;
+
+  MUL.a    := T.q;
+  MUL.b    := PMX.y;
+  P.d      := MUL.y;
+  P.ld     := DEC.p_ld;
+
+  SMUX.a   := ACC.q;
+  SMUX.s   := DEC.hisel;
+  DMUX.a   := SMUX.y;
+  DMUX.b   := pin;
+  DMUX.s   := DEC.insel;
+  ram.din  := DMUX.y;
+  ram.we   := DEC.we;
+
+  AR1.d    := IM.word(15:0);
+  AR1.c    := DEC.ar1c;
+  AR2.d    := IM.word(15:0);
+  AR2.c    := DEC.ar2c;
+  AR3.d    := IM.word(15:0);
+  AR3.ld   := DEC.ar3ld;
+
+  PC.d     := IM.word(15:0);
+  PC.ld    := DEC.pc_ld;
+
+  ZD.a     := ACC.q;
+
+  pout     := SMUX.y;
+END;
+)HDL";
+  return kSource;
+}
+
+}  // namespace record::models

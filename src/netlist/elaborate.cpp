@@ -1,0 +1,92 @@
+#include "netlist/netlist.h"
+#include "util/strings.h"
+
+namespace record::netlist {
+
+namespace {
+
+NetSource resolve_source(const Netlist& nl, const hdl::SourceRef& src) {
+  NetSource out;
+  out.has_slice = src.has_slice;
+  out.slice = src.slice;
+  if (src.kind == hdl::SourceRef::Kind::Const) {
+    out.kind = NetSource::Kind::Const;
+    out.value = src.value;
+    return out;
+  }
+  if (!src.inst.empty()) {
+    out.kind = NetSource::Kind::InstancePort;
+    out.inst = nl.find_instance(src.inst);
+    out.port = src.port;
+    return out;
+  }
+  if (nl.model().find_bus(src.port)) {
+    out.kind = NetSource::Kind::Bus;
+    out.port = src.port;
+    return out;
+  }
+  out.kind = NetSource::Kind::ProcPort;
+  out.port = src.port;
+  return out;
+}
+
+}  // namespace
+
+std::optional<Netlist> elaborate(hdl::ProcessorModel model,
+                                 util::DiagnosticSink& diags) {
+  Netlist nl;
+  nl.model_ = std::move(model);
+  const hdl::ProcessorModel& m = nl.model_;
+
+  // Instances. Pointers into m.modules are stable because the model is owned
+  // by the netlist and never mutated afterwards.
+  for (const hdl::PartDecl& part : m.parts) {
+    const hdl::ModuleDecl* decl = m.find_module(part.module_name);
+    if (!decl) {
+      diags.error(part.loc, util::fmt("part '{}' instantiates unknown module "
+                                      "'{}'",
+                                      part.inst_name, part.module_name));
+      return std::nullopt;
+    }
+    InstanceId id = static_cast<InstanceId>(nl.insts_.size());
+    nl.insts_.push_back(Instance{part.inst_name, decl});
+    nl.inst_index_.emplace(part.inst_name, id);
+    if (decl->kind == hdl::ModuleKind::Controller) {
+      if (nl.controller_ != -1) {
+        diags.error(part.loc, "multiple controller instances");
+        return std::nullopt;
+      }
+      nl.controller_ = id;
+      nl.instruction_port_ = decl->ports.front().name;
+      nl.instruction_width_ = decl->ports.front().range.width();
+    }
+  }
+  if (nl.controller_ == -1) {
+    diags.error({}, "model has no controller instance");
+    return std::nullopt;
+  }
+
+  // Connections.
+  for (const hdl::Connection& c : m.connections) {
+    Driver d;
+    d.source = resolve_source(nl, c.source);
+    d.guard = c.guard.get();
+    d.loc = c.loc;
+    if (d.source.kind == NetSource::Kind::InstancePort &&
+        d.source.inst < 0) {
+      diags.error(c.loc, "connection references unknown instance");
+      return std::nullopt;
+    }
+    if (!c.target_inst.empty()) {
+      nl.port_drivers_.emplace(c.target_inst + "." + c.target_port, d);
+    } else if (m.find_bus(c.target_port)) {
+      nl.bus_drivers_[c.target_port].push_back(d);
+    } else {
+      nl.proc_out_drivers_.emplace(c.target_port, d);
+    }
+  }
+
+  return nl;
+}
+
+}  // namespace record::netlist

@@ -1,0 +1,45 @@
+#include "netlist/netlist.h"
+
+namespace record::netlist {
+
+InstanceId Netlist::find_instance(std::string_view name) const {
+  auto it = inst_index_.find(std::string(name));
+  return it == inst_index_.end() ? -1 : it->second;
+}
+
+std::vector<InstanceId> Netlist::sequential_instances() const {
+  std::vector<InstanceId> out;
+  for (std::size_t i = 0; i < insts_.size(); ++i)
+    if (insts_[i].is_sequential()) out.push_back(static_cast<InstanceId>(i));
+  return out;
+}
+
+const Driver* Netlist::port_driver(InstanceId inst,
+                                   std::string_view port) const {
+  std::string key = instance(inst).name + "." + std::string(port);
+  auto it = port_drivers_.find(key);
+  return it == port_drivers_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Driver>& Netlist::bus_drivers(std::string_view bus) const {
+  static const std::vector<Driver> kEmpty;
+  auto it = bus_drivers_.find(std::string(bus));
+  return it == bus_drivers_.end() ? kEmpty : it->second;
+}
+
+const Driver* Netlist::proc_out_driver(std::string_view port) const {
+  auto it = proc_out_drivers_.find(std::string(port));
+  return it == proc_out_drivers_.end() ? nullptr : &it->second;
+}
+
+int Netlist::port_width(InstanceId inst, std::string_view port) const {
+  const hdl::PortDecl* p = instance(inst).decl->find_port(port);
+  return p ? p->range.width() : -1;
+}
+
+int Netlist::bus_width(std::string_view bus) const {
+  const hdl::BusDecl* b = model_.find_bus(bus);
+  return b ? b->range.width() : -1;
+}
+
+}  // namespace record::netlist

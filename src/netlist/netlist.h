@@ -1,0 +1,137 @@
+// Elaborated internal graph model of a processor (paper fig. 1, middle box).
+//
+// The netlist resolves the HDL's structure section into fast lookups:
+//   * instances (parts) with their module declarations,
+//   * for every instance input/control port: the unique wire driver,
+//   * for every tristate bus: its guarded drivers,
+//   * for every primary output port: its driver,
+//   * the designated controller instance (instruction-word source).
+//
+// Instruction-set extraction walks this structure backwards from RT
+// destinations (see src/ise/).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hdl/ast.h"
+#include "util/diagnostics.h"
+
+namespace record::netlist {
+
+/// Identifies a module instance inside the netlist.
+using InstanceId = int;
+
+struct Instance {
+  std::string name;
+  const hdl::ModuleDecl* decl = nullptr;  // owned by the Netlist's model
+
+  [[nodiscard]] hdl::ModuleKind kind() const { return decl->kind; }
+  [[nodiscard]] bool is_sequential() const {
+    return decl->kind == hdl::ModuleKind::Register ||
+           decl->kind == hdl::ModuleKind::Memory ||
+           decl->kind == hdl::ModuleKind::ModeReg;
+  }
+};
+
+/// Where a wire/bus-driver gets its value from.
+struct NetSource {
+  enum class Kind : std::uint8_t { InstancePort, ProcPort, Bus, Const };
+
+  Kind kind = Kind::Const;
+  InstanceId inst = -1;      // InstancePort
+  std::string port;          // InstancePort / ProcPort / Bus (bus name)
+  std::int64_t value = 0;    // Const
+  bool has_slice = false;
+  hdl::BitRange slice;
+};
+
+/// One driver of a net: the resolved source plus the (possibly null) tristate
+/// enable guard. For plain wires `guard` is null.
+struct Driver {
+  NetSource source;
+  const hdl::Cond* guard = nullptr;  // owned by the model's Connection
+  util::SourceLoc loc;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  // Move-only: instances and drivers hold pointers into the owned model's
+  // heap storage, which stays valid across moves but not copies.
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
+  /// The HDL model this netlist was elaborated from (owned).
+  [[nodiscard]] const hdl::ProcessorModel& model() const { return model_; }
+  [[nodiscard]] const std::string& name() const { return model_.name; }
+
+  // --- instances ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Instance>& instances() const {
+    return insts_;
+  }
+  [[nodiscard]] const Instance& instance(InstanceId id) const {
+    return insts_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] InstanceId find_instance(std::string_view name) const;
+
+  /// All instances capable of storing data (registers, memories, mode
+  /// registers) — the SEQ set of the paper's grammar construction.
+  [[nodiscard]] std::vector<InstanceId> sequential_instances() const;
+
+  // --- controller ---------------------------------------------------------
+
+  [[nodiscard]] InstanceId controller() const { return controller_; }
+  [[nodiscard]] const std::string& instruction_port() const {
+    return instruction_port_;
+  }
+  [[nodiscard]] int instruction_width() const { return instruction_width_; }
+
+  // --- connectivity --------------------------------------------------------
+
+  /// Driver of an instance IN/CTRL port; nullptr if undriven.
+  [[nodiscard]] const Driver* port_driver(InstanceId inst,
+                                          std::string_view port) const;
+
+  /// Drivers of a tristate bus (possibly empty).
+  [[nodiscard]] const std::vector<Driver>& bus_drivers(
+      std::string_view bus) const;
+
+  /// Driver of a primary output port; nullptr if undriven.
+  [[nodiscard]] const Driver* proc_out_driver(std::string_view port) const;
+
+  /// Width (in bits) of an instance port / primary port / bus.
+  [[nodiscard]] int port_width(InstanceId inst, std::string_view port) const;
+  [[nodiscard]] int bus_width(std::string_view bus) const;
+
+  [[nodiscard]] const std::vector<hdl::ProcPortDecl>& proc_ports() const {
+    return model_.proc_ports;
+  }
+
+ private:
+  friend std::optional<Netlist> elaborate(hdl::ProcessorModel model,
+                                          util::DiagnosticSink& diags);
+
+  hdl::ProcessorModel model_;
+  std::vector<Instance> insts_;
+  std::unordered_map<std::string, InstanceId> inst_index_;
+  std::unordered_map<std::string, Driver> port_drivers_;  // "inst.port"
+  std::unordered_map<std::string, std::vector<Driver>> bus_drivers_;
+  std::unordered_map<std::string, Driver> proc_out_drivers_;
+  InstanceId controller_ = -1;
+  std::string instruction_port_;
+  int instruction_width_ = 0;
+};
+
+/// Elaborates a semantically checked model (run hdl::check_model first).
+/// Takes ownership of the model; returns nullopt on internal inconsistencies.
+[[nodiscard]] std::optional<Netlist> elaborate(hdl::ProcessorModel model,
+                                               util::DiagnosticSink& diags);
+
+}  // namespace record::netlist

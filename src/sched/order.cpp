@@ -1,0 +1,43 @@
+#include "sched/order.h"
+
+#include <map>
+
+namespace record::sched {
+
+DataflowInfo analyze_dataflow(const select::StmtCode& sc) {
+  DataflowInfo info;
+  info.operands.resize(sc.rts.size());
+
+  // last_write[storage] = RT index of the most recent writer.
+  std::map<std::string, std::size_t> last_write;
+
+  for (std::size_t i = 0; i < sc.rts.size(); ++i) {
+    const select::SelectedRT& rt = sc.rts[i];
+    for (const std::string& r : rt.reads) {
+      OperandDef def;
+      def.storage = r;
+      auto it = last_write.find(r);
+      if (it != last_write.end()) def.producer = it->second;
+      info.operands[i].push_back(std::move(def));
+    }
+    if (!rt.dest.empty()) last_write[rt.dest] = i;
+  }
+
+  // Clobber detection: operand produced at p, consumed at i, overwritten by
+  // some j with p < j < i.
+  for (std::size_t i = 0; i < sc.rts.size(); ++i) {
+    for (const OperandDef& def : info.operands[i]) {
+      if (!def.producer) continue;
+      for (std::size_t j = *def.producer + 1; j < i; ++j) {
+        if (sc.rts[j].dest == def.storage) {
+          info.clobbers.push_back(
+              Clobber{*def.producer, j, i, def.storage});
+          break;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace record::sched

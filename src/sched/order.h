@@ -1,0 +1,40 @@
+// Dataflow analysis over selected RT sequences.
+//
+// Computes, for each selected RT in a statement, which earlier RT produced
+// each operand (or whether it is live-in), and detects *clobbers*: a storage
+// location whose pending value is overwritten before its consumer runs.
+// Clobbers are exactly the situations that require register spills on
+// machines with special-purpose registers; sched/spill repairs them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "select/selector.h"
+
+namespace record::sched {
+
+struct OperandDef {
+  std::string storage;
+  /// Producing RT index within the statement; nullopt = live-in.
+  std::optional<std::size_t> producer;
+};
+
+struct Clobber {
+  std::size_t producer;   // RT whose result is destroyed
+  std::size_t destroyer;  // RT that overwrites the storage
+  std::size_t consumer;   // RT that needed the destroyed value
+  std::string storage;
+};
+
+struct DataflowInfo {
+  /// operand definitions per RT (parallel to StmtCode::rts).
+  std::vector<std::vector<OperandDef>> operands;
+  std::vector<Clobber> clobbers;
+};
+
+/// Analyses the (ordered) RT list of one statement.
+[[nodiscard]] DataflowInfo analyze_dataflow(const select::StmtCode& sc);
+
+}  // namespace record::sched

@@ -1,0 +1,173 @@
+#include "sched/spill.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/builder.h"
+#include "sched/order.h"
+#include "util/strings.h"
+
+namespace record::sched {
+
+namespace {
+
+/// Builds "scratch := reg" or "reg := scratch" through the selector so spill
+/// code uses genuine target instructions.
+std::optional<std::vector<select::SelectedRT>> build_move(
+    const rtl::TemplateBase& base, const grammar::TreeGrammar& grammar,
+    const std::string& reg, const std::string& mem, std::int64_t cell,
+    bool to_memory, util::DiagnosticSink& diags) {
+  ir::ProgramBuilder b(to_memory ? "spill_store" : "spill_reload");
+  b.reg("v", reg);
+  b.cell("s", mem, cell);
+  if (to_memory)
+    b.let("s", ir::e_var("v"));
+  else
+    b.let("v", ir::e_var("s"));
+  ir::Program prog = b.take();
+
+  util::DiagnosticSink local;
+  select::CodeSelector selector(base, grammar, local);
+  std::optional<select::SelectionResult> sel = selector.select(prog);
+  if (!sel || sel->stmts.empty()) {
+    diags.warning({}, util::fmt("no spill path between '{}' and '{}[{}]'",
+                                reg, mem, cell));
+    return std::nullopt;
+  }
+  return std::move(sel->stmts.front().rts);
+}
+
+std::string first_memory(const rtl::TemplateBase& base) {
+  for (const rtl::StorageInfo& s : base.storage)
+    if (s.kind == rtl::DestKind::Memory) return s.name;
+  return {};
+}
+
+}  // namespace
+
+SpillStats insert_spills(select::SelectionResult& result,
+                         const ir::Program& prog,
+                         const rtl::TemplateBase& base,
+                         const grammar::TreeGrammar& grammar,
+                         const SpillOptions& options,
+                         util::DiagnosticSink& diags) {
+  SpillStats stats;
+  std::string mem = options.scratch_memory.empty() ? first_memory(base)
+                                                   : options.scratch_memory;
+
+  // --- pass 2 data: registers that hold bound program variables ----------
+  // (computed first so pass 1's indices stay untouched until we're done).
+  std::map<std::string, std::string> live_regs;  // storage -> variable
+  for (const auto& [var, bind] : prog.bindings())
+    if (bind.kind == ir::Binding::Kind::Register)
+      live_regs[bind.storage] = var;
+
+  for (select::StmtCode& sc : result.stmts) {
+    // Iterate until no clobber remains (spill code may shift indices).
+    for (int guard = 0; guard < options.scratch_slots; ++guard) {
+      DataflowInfo info = analyze_dataflow(sc);
+      if (info.clobbers.empty()) break;
+      const Clobber& c = info.clobbers.front();
+      ++stats.clobbers_found;
+      if (mem.empty()) {
+        ++stats.unresolved;
+        diags.warning({}, util::fmt("clobber of '{}' cannot be repaired: "
+                                    "target has no memory",
+                                    c.storage));
+        break;
+      }
+      std::int64_t cell =
+          options.scratch_base + static_cast<std::int64_t>(guard);
+      auto store = build_move(base, grammar, c.storage, mem, cell,
+                              /*to_memory=*/true, diags);
+      auto reload = build_move(base, grammar, c.storage, mem, cell,
+                               /*to_memory=*/false, diags);
+      if (!store || !reload) {
+        ++stats.unresolved;
+        break;
+      }
+      // Insert the reload before the consumer first (higher index), then the
+      // store after the producer, so indices stay valid.
+      sc.rts.insert(sc.rts.begin() + static_cast<std::ptrdiff_t>(c.consumer),
+                    reload->begin(), reload->end());
+      sc.rts.insert(
+          sc.rts.begin() + static_cast<std::ptrdiff_t>(c.producer + 1),
+          store->begin(), store->end());
+      result.total_rts += store->size() + reload->size();
+      ++stats.spills_inserted;
+    }
+  }
+
+  // --- pass 2: caller-save bound registers used as routing scratch -------
+  if (!mem.empty() && !live_regs.empty()) {
+    int save_slot = options.scratch_slots;  // separate slot range
+    for (select::StmtCode& sc : result.stmts) {
+      if (sc.rts.empty()) continue;
+      // The storage this statement legitimately defines: the dest of its
+      // final RT (the statement's own result location).
+      const std::string stmt_dest = sc.rts.back().dest;
+      // Collect live registers this statement overwrites as scratch.
+      std::vector<std::string> to_save;
+      for (const select::SelectedRT& rt : sc.rts) {
+        if (rt.dest == stmt_dest || rt.dest.empty()) continue;
+        auto it = live_regs.find(rt.dest);
+        if (it == live_regs.end()) continue;
+        if (std::find(to_save.begin(), to_save.end(), rt.dest) ==
+            to_save.end())
+          to_save.push_back(rt.dest);
+      }
+      // Live-ins of the statement: storages read before they are written.
+      // Save code that itself overwrites one of those would corrupt the
+      // statement's operands and must be rejected.
+      std::vector<std::string> live_in;
+      {
+        std::vector<std::string> written;
+        for (const select::SelectedRT& rt : sc.rts) {
+          for (const std::string& r : rt.reads)
+            if (std::find(written.begin(), written.end(), r) ==
+                    written.end() &&
+                std::find(live_in.begin(), live_in.end(), r) ==
+                    live_in.end())
+              live_in.push_back(r);
+          written.push_back(rt.dest);
+        }
+      }
+      for (const std::string& reg : to_save) {
+        std::int64_t cell =
+            options.scratch_base + static_cast<std::int64_t>(save_slot++);
+        auto store = build_move(base, grammar, reg, mem, cell,
+                                /*to_memory=*/true, diags);
+        auto reload = build_move(base, grammar, reg, mem, cell,
+                                 /*to_memory=*/false, diags);
+        bool safe = store.has_value() && reload.has_value();
+        if (safe) {
+          for (const select::SelectedRT& rt : *store) {
+            for (const std::string& li : live_in) {
+              if (rt.dest != li || rt.dest == reg) continue;
+              // Writes into the scratch area of a memory cannot collide
+              // with the statement's data reads (reserved cells).
+              const rtl::StorageInfo* s = base.find_storage(li);
+              if (s && s->kind == rtl::DestKind::Memory) continue;
+              safe = false;
+            }
+          }
+        }
+        if (!safe) {
+          ++stats.unresolved;
+          diags.warning({}, util::fmt("statement '{}' clobbers live "
+                                      "register '{}' (variable '{}') and no "
+                                      "safe save path exists",
+                                      sc.source, reg, live_regs.at(reg)));
+          continue;
+        }
+        sc.rts.insert(sc.rts.end(), reload->begin(), reload->end());
+        sc.rts.insert(sc.rts.begin(), store->begin(), store->end());
+        result.total_rts += store->size() + reload->size();
+        ++stats.live_saves;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace record::sched

@@ -1,0 +1,51 @@
+// Spill insertion for over-subscribed special-purpose registers.
+//
+// When dataflow analysis finds a clobber (sched/order.h), the pending value
+// is parked in a scratch memory cell: a store RT is inserted right after the
+// producer and a reload right before the consumer. The spill/reload code is
+// itself produced by the code selector on two synthetic one-statement
+// programs, so only instructions the target really has are used.
+#pragma once
+
+#include <string>
+
+#include "grammar/grammar.h"
+#include "ir/program.h"
+#include "rtl/template.h"
+#include "select/selector.h"
+#include "util/diagnostics.h"
+
+namespace record::sched {
+
+struct SpillOptions {
+  /// Memory used for spill slots; empty = the target's first memory.
+  std::string scratch_memory;
+  /// First address of the spill area.
+  std::int64_t scratch_base = 0x70;
+  /// Number of reserved slots.
+  int scratch_slots = 8;
+};
+
+struct SpillStats {
+  std::size_t clobbers_found = 0;
+  std::size_t spills_inserted = 0;   // store+reload pairs
+  std::size_t live_saves = 0;        // caller-save wraps of bound registers
+  std::size_t unresolved = 0;        // no spill path on this target
+};
+
+/// Repairs all clobbers in `result` in place. Two passes:
+///  1. within a statement: an operand overwritten before its consumer runs
+///     is parked in a scratch cell (store after producer, reload before
+///     consumer);
+///  2. across statements: a register holding a *bound program variable* that
+///     a statement merely uses as routing scratch (common on machines whose
+///     special registers are the only path between units) is saved before
+///     the statement and restored after — the caller-save discipline.
+SpillStats insert_spills(select::SelectionResult& result,
+                         const ir::Program& prog,
+                         const rtl::TemplateBase& base,
+                         const grammar::TreeGrammar& grammar,
+                         const SpillOptions& options,
+                         util::DiagnosticSink& diags);
+
+}  // namespace record::sched

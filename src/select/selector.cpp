@@ -1,0 +1,257 @@
+#include "select/selector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "select/subject_map.h"
+#include "util/strings.h"
+
+namespace record::select {
+
+using util::fmt;
+
+std::string SelectionResult::listing() const {
+  std::ostringstream os;
+  for (const StmtCode& sc : stmts) {
+    if (sc.is_label) {
+      os << sc.label << ":\n";
+      continue;
+    }
+    if (!sc.source.empty()) os << "; " << sc.source << '\n';
+    for (const SelectedRT& rt : sc.rts) os << "    " << rt.comment << '\n';
+  }
+  return os.str();
+}
+
+CodeSelector::CodeSelector(const rtl::TemplateBase& base,
+                           const grammar::TreeGrammar& g,
+                           util::DiagnosticSink& diags)
+    : base_(base), g_(g), diags_(diags), parser_(g) {}
+
+namespace {
+
+/// "nt:<storage>" -> "<storage>"; empty if not a storage non-terminal.
+std::string storage_of_nt(const std::string& nt_name) {
+  if (nt_name.rfind("nt:", 0) == 0) return nt_name.substr(3);
+  return {};
+}
+
+/// "load:<mem>.<w>" -> "<mem>"; empty otherwise.
+std::string mem_of_load_terminal(const std::string& term_name) {
+  if (term_name.rfind("load:", 0) != 0) return {};
+  std::string rest = term_name.substr(5);
+  std::size_t dot = rest.rfind('.');
+  return dot == std::string::npos ? rest : rest.substr(0, dot);
+}
+
+void collect_reads(const grammar::TreeGrammar& g, const grammar::PatNode& p,
+                   std::vector<std::string>& reads) {
+  switch (p.kind) {
+    case grammar::PatNode::Kind::NonTerm: {
+      std::string s = storage_of_nt(g.nonterminal_name(p.nt));
+      if (!s.empty()) reads.push_back(s);
+      return;
+    }
+    case grammar::PatNode::Kind::Term: {
+      std::string mem = mem_of_load_terminal(g.terminal_name(p.term));
+      if (!mem.empty()) reads.push_back(mem);
+      std::string reg = g.terminal_name(p.term);
+      if (reg.rfind("$reg:", 0) == 0) reads.push_back(reg.substr(5));
+      for (const grammar::PatNodePtr& c : p.children)
+        collect_reads(g, *c, reads);
+      return;
+    }
+    case grammar::PatNode::Kind::Imm:
+    case grammar::PatNode::Kind::Const:
+      return;
+  }
+}
+
+}  // namespace
+
+bdd::Ref CodeSelector::imm_constraint(
+    const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond) const {
+  bdd::BddManager& mgr = *base_.mgr;
+  for (const treeparse::ImmBinding& b : imms) {
+    for (std::size_t j = 0; j < b.field_bits.size(); ++j) {
+      int var = mgr.find_var(fmt("I[{}]", b.field_bits[j]));
+      if (var < 0) continue;
+      bool bit = ((static_cast<std::uint64_t>(b.value) >> j) & 1u) != 0;
+      cond = mgr.land(cond, mgr.literal(var, bit));
+    }
+  }
+  return cond;
+}
+
+SelectedRT CodeSelector::instantiate(const treeparse::Derivation& d) const {
+  const grammar::Rule& r = g_.rule(d.rule);
+  SelectedRT out;
+  out.rule_id = d.rule;
+  out.tmpl = &base_.templates.at(static_cast<std::size_t>(r.template_id));
+  out.dest = out.tmpl->dest;
+  out.imms = d.imms;
+  collect_reads(g_, *r.pattern, out.reads);
+  if (out.tmpl->addr) {
+    // Memory-destination templates also read what their address tree reads.
+    // (The address pattern is part of the rule's RHS store node, so
+    // collect_reads above already visited it.)
+  }
+  out.cond = imm_constraint(d.imms, out.tmpl->cond);
+  std::ostringstream cmt;
+  cmt << out.tmpl->signature();
+  if (!d.imms.empty()) {
+    cmt << "  {";
+    for (std::size_t i = 0; i < d.imms.size(); ++i) {
+      if (i) cmt << ", ";
+      cmt << "imm" << d.imms[i].field_bits.size() << '='
+          << d.imms[i].value;
+    }
+    cmt << '}';
+  }
+  out.comment = cmt.str();
+  return out;
+}
+
+void CodeSelector::flatten(const treeparse::Derivation& d,
+                           std::vector<SelectedRT>& out) {
+  // Children (operand subtrees / chain sources) evaluate first. Their
+  // relative order is free; evaluating the subtree with more RT applications
+  // first (Sethi-Ullman flavour, following the paper's reference to
+  // Araujo/Malik scheduling) minimises clobbering of special-purpose
+  // registers and hence spills.
+  std::vector<const treeparse::Derivation*> kids;
+  kids.reserve(d.children.size());
+  for (const std::unique_ptr<treeparse::Derivation>& c : d.children)
+    kids.push_back(c.get());
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const treeparse::Derivation* a,
+                      const treeparse::Derivation* b) {
+                     return a->application_count() > b->application_count();
+                   });
+  for (const treeparse::Derivation* c : kids) flatten(*c, out);
+  const grammar::Rule& r = g_.rule(d.rule);
+  if (r.kind != grammar::RuleKind::RT) return;  // start/stop apply no RT
+  SelectedRT rt = instantiate(d);
+  if (rt.cond == bdd::kFalse)
+    diags_.warning({}, fmt("immediate encoding conflicts with the condition "
+                           "of template {} ('{}')",
+                           rt.tmpl->id, rt.tmpl->signature()));
+  out.push_back(std::move(rt));
+}
+
+std::optional<SelectedRT> CodeSelector::make_branch(const ir::Stmt& stmt,
+                                                    const ir::Program& prog) {
+  bdd::BddManager& mgr = *base_.mgr;
+  const rtl::RTTemplate* unconditional = nullptr;
+  const rtl::RTTemplate* conditional = nullptr;
+  for (const rtl::RTTemplate& t : base_.templates) {
+    if (t.dest != kProgramCounter ||
+        t.dest_kind != rtl::DestKind::Register)
+      continue;
+    if (t.value->kind != rtl::RTNode::Kind::Imm) continue;
+    bool dynamic = false;
+    for (int v : mgr.support(t.cond)) {
+      const std::string& n = mgr.var_name(v);
+      if (n.rfind("I[", 0) != 0 && n.rfind("M:", 0) != 0) dynamic = true;
+    }
+    if (dynamic) {
+      if (!conditional) conditional = &t;
+    } else {
+      if (!unconditional) unconditional = &t;
+    }
+  }
+
+  const rtl::RTTemplate* chosen = nullptr;
+  if (stmt.branch == ir::BranchKind::Always)
+    chosen = unconditional ? unconditional : conditional;
+  else
+    chosen = conditional ? conditional : unconditional;
+  if (!chosen) {
+    diags_.error({}, fmt("target has no program-control template (register "
+                         "'{}' with an immediate route) for '{}'",
+                         kProgramCounter, stmt.str()));
+    return std::nullopt;
+  }
+
+  SelectedRT out;
+  out.tmpl = chosen;
+  out.dest = kProgramCounter;
+  out.cond = chosen->cond;
+  out.is_branch = true;
+  out.branch_target = stmt.label;
+  if (stmt.branch != ir::BranchKind::Always) {
+    const ir::Binding* b = prog.binding_of(stmt.cond_var);
+    if (b && b->kind == ir::Binding::Kind::Register)
+      out.reads.push_back(b->storage);
+  }
+  std::ostringstream cmt;
+  cmt << chosen->signature() << "  -> " << stmt.label;
+  if (stmt.branch == ir::BranchKind::IfZero) cmt << " [if zero]";
+  if (stmt.branch == ir::BranchKind::IfNotZero) cmt << " [if not zero]";
+  out.comment = cmt.str();
+  return out;
+}
+
+std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
+  if (!prog.validate(diags_)) return std::nullopt;
+  SubjectMapper mapper(base_, g_, prog, diags_);
+  SelectionResult result;
+
+  for (const ir::Stmt& stmt : prog.stmts()) {
+    StmtCode sc;
+    sc.source = stmt.str();
+    switch (stmt.kind) {
+      case ir::Stmt::Kind::LabelDef:
+        sc.is_label = true;
+        sc.label = stmt.label;
+        break;
+      case ir::Stmt::Kind::Branch: {
+        std::optional<SelectedRT> rt = make_branch(stmt, prog);
+        if (!rt) return std::nullopt;
+        sc.rts.push_back(std::move(*rt));
+        sc.parse_cost = 1;
+        break;
+      }
+      case ir::Stmt::Kind::Assign:
+      case ir::Stmt::Kind::Store: {
+        std::optional<treeparse::SubjectTree> subject =
+            mapper.map_stmt(stmt);
+        if (!subject) return std::nullopt;
+        treeparse::LabelResult labels = parser_.label(*subject);
+        if (!labels.ok) {
+          // Retry at promoted (accumulator) precision — see
+          // SubjectMapper::map_stmt.
+          util::DiagnosticSink retry_diags;
+          SubjectMapper retry_mapper(base_, g_, prog, retry_diags);
+          std::optional<treeparse::SubjectTree> promoted =
+              retry_mapper.map_stmt(stmt, /*promote_ops=*/true);
+          if (promoted) {
+            treeparse::LabelResult promoted_labels =
+                parser_.label(*promoted);
+            if (promoted_labels.ok) {
+              subject = std::move(promoted);
+              labels = std::move(promoted_labels);
+            }
+          }
+        }
+        stats_.nodes_labelled += subject->size();
+        if (!labels.ok) {
+          diags_.error({}, fmt("no cover for statement '{}' (subject {})",
+                               stmt.str(), subject->to_string(g_)));
+          return std::nullopt;
+        }
+        std::unique_ptr<treeparse::Derivation> d =
+            parser_.reduce(*subject, labels);
+        sc.parse_cost = labels.root_cost;
+        flatten(*d, sc.rts);
+        break;
+      }
+    }
+    ++stats_.statements;
+    result.total_rts += sc.rts.size();
+    result.stmts.push_back(std::move(sc));
+  }
+  return result;
+}
+
+}  // namespace record::select

@@ -1,0 +1,93 @@
+// Code selection: optimal covering of IR statements by RT templates
+// (paper section 3.2).
+//
+// Each Assign/Store statement's subject tree is parsed with the
+// processor-specific BURS parser; the optimal derivation is flattened into a
+// sequence of selected RT instances. Non-terminal choices in the derivation
+// *are* the special-purpose-register allocation for intermediate results;
+// chain rules materialise as data-transfer RTs whose cost was part of the
+// optimum. Branch statements map to the target's program-control templates
+// (destination "PC").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "grammar/grammar.h"
+#include "ir/program.h"
+#include "rtl/template.h"
+#include "treeparse/burs.h"
+#include "util/diagnostics.h"
+
+namespace record::select {
+
+/// One selected machine operation.
+struct SelectedRT {
+  const rtl::RTTemplate* tmpl = nullptr;  // null only for pseudo operations
+  int rule_id = -1;
+  /// Execution condition: template condition AND immediate-field encodings.
+  bdd::Ref cond = bdd::kTrue;
+  std::string dest;                 // storage written
+  std::vector<std::string> reads;   // storages read (registers and memories)
+  std::vector<treeparse::ImmBinding> imms;
+  std::string comment;              // human-readable rendering
+  bool is_branch = false;
+  std::string branch_target;        // label (branches only)
+
+  [[nodiscard]] bool is_pseudo() const { return tmpl == nullptr; }
+};
+
+/// Code selected for one IR statement.
+struct StmtCode {
+  std::string source;            // rendered IR statement (owned copy)
+  std::vector<SelectedRT> rts;   // bottom-up evaluation order
+  bool is_label = false;
+  std::string label;
+  int parse_cost = 0;            // optimal derivation cost
+};
+
+struct SelectionResult {
+  std::vector<StmtCode> stmts;
+  std::size_t total_rts = 0;
+
+  [[nodiscard]] std::string listing() const;
+};
+
+struct SelectorStats {
+  std::size_t nodes_labelled = 0;
+  std::size_t statements = 0;
+};
+
+class CodeSelector {
+ public:
+  CodeSelector(const rtl::TemplateBase& base, const grammar::TreeGrammar& g,
+               util::DiagnosticSink& diags);
+
+  /// Selects code for a whole program; nullopt if any statement cannot be
+  /// covered (diagnostics explain which operation is missing).
+  [[nodiscard]] std::optional<SelectionResult> select(
+      const ir::Program& prog);
+
+  [[nodiscard]] const SelectorStats& stats() const { return stats_; }
+
+  /// Name of the storage acting as program counter for branch templates.
+  static constexpr const char* kProgramCounter = "PC";
+
+ private:
+  void flatten(const treeparse::Derivation& d, std::vector<SelectedRT>& out);
+  [[nodiscard]] SelectedRT instantiate(const treeparse::Derivation& d) const;
+  [[nodiscard]] std::optional<SelectedRT> make_branch(
+      const ir::Stmt& stmt, const ir::Program& prog);
+  [[nodiscard]] bdd::Ref imm_constraint(
+      const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond) const;
+
+  const rtl::TemplateBase& base_;
+  const grammar::TreeGrammar& g_;
+  util::DiagnosticSink& diags_;
+  treeparse::TreeParser parser_;
+  SelectorStats stats_;
+};
+
+}  // namespace record::select

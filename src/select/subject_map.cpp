@@ -1,0 +1,224 @@
+#include "select/subject_map.h"
+
+#include "util/strings.h"
+
+namespace record::select {
+
+using ir::Expr;
+using util::fmt;
+
+int SubjectMapper::storage_width(const std::string& name) const {
+  const rtl::StorageInfo* s = base_.find_storage(name);
+  return s ? s->width : 0;
+}
+
+int SubjectMapper::resolve_width(const Expr& e) const {
+  if (e.width_override > 0) return e.width_override;
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return 0;  // width-free; matching is value-based
+    case Expr::Kind::Var: {
+      const ir::Binding* b = prog_.binding_of(e.var);
+      if (!b) return 0;
+      return storage_width(b->storage);
+    }
+    case Expr::Kind::Load:
+      return storage_width(e.mem);
+    case Expr::Kind::OpNode: {
+      if (e.op == hdl::OpKind::Custom) {
+        if ((e.custom == "lo" || e.custom == "hi") && e.args.size() == 1) {
+          int w = resolve_width(*e.args[0]);
+          return w / 2;
+        }
+        int w = 0;
+        for (const ir::ExprPtr& a : e.args)
+          w = std::max(w, resolve_width(*a));
+        return w;
+      }
+      if (e.op == hdl::OpKind::Mul && e.args.size() == 2) {
+        int w0 = resolve_width(*e.args[0]);
+        int w1 = resolve_width(*e.args[1]);
+        if (w0 == 0) w0 = w1;
+        if (w1 == 0) w1 = w0;
+        return w0 + w1;
+      }
+      if ((e.op == hdl::OpKind::Neg || e.op == hdl::OpKind::Not) &&
+          e.args.size() == 1)
+        return resolve_width(*e.args[0]);
+      if ((e.op == hdl::OpKind::Shl || e.op == hdl::OpKind::Shr) &&
+          !e.args.empty())
+        return resolve_width(*e.args[0]);
+      int w = 0;
+      for (const ir::ExprPtr& a : e.args) w = std::max(w, resolve_width(*a));
+      return w;
+    }
+  }
+  return 0;
+}
+
+treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
+                                                treeparse::SubjectTree& tree,
+                                                bool& ok) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return tree.make_const(g_.const_terminal(), e.value);
+
+    case Expr::Kind::Var: {
+      const ir::Binding* b = prog_.binding_of(e.var);
+      if (!b) {
+        diags_.error({}, fmt("variable '{}' has no binding", e.var));
+        ok = false;
+        return tree.make_const(g_.const_terminal(), 0);
+      }
+      if (b->kind == ir::Binding::Kind::Register) {
+        grammar::TermId t =
+            g_.find_terminal(grammar::reg_terminal_name(b->storage));
+        if (t < 0) {
+          diags_.error({}, fmt("target has no readable register '{}' (for "
+                               "variable '{}')",
+                               b->storage, e.var));
+          ok = false;
+          return tree.make_const(g_.const_terminal(), 0);
+        }
+        return tree.make(t);
+      }
+      // Memory-cell variable: a load at a constant address.
+      int w = storage_width(b->storage);
+      grammar::TermId t =
+          g_.find_terminal(grammar::load_terminal_name(b->storage, w));
+      if (t < 0) {
+        diags_.error({}, fmt("target cannot load from memory '{}' (variable "
+                             "'{}')",
+                             b->storage, e.var));
+        ok = false;
+        return tree.make_const(g_.const_terminal(), 0);
+      }
+      treeparse::SubjectNode* addr =
+          tree.make_const(g_.const_terminal(), b->cell);
+      return tree.make(t, {addr});
+    }
+
+    case Expr::Kind::Load: {
+      int w = storage_width(e.mem);
+      grammar::TermId t =
+          g_.find_terminal(grammar::load_terminal_name(e.mem, w));
+      if (t < 0) {
+        diags_.error({}, fmt("target cannot load from memory '{}'", e.mem));
+        ok = false;
+        return tree.make_const(g_.const_terminal(), 0);
+      }
+      treeparse::SubjectNode* addr = map_expr(*e.args[0], tree, ok);
+      return tree.make(t, {addr});
+    }
+
+    case Expr::Kind::OpNode: {
+      rtl::OpSig sig;
+      if (e.op == hdl::OpKind::Custom &&
+          (e.custom == "lo" || e.custom == "hi") && e.args.size() == 1) {
+        int w = resolve_width(*e.args[0]);
+        sig = e.custom == "lo" ? rtl::slice_op_sig(w / 2 - 1, 0)
+                               : rtl::slice_op_sig(w - 1, w / 2);
+      } else {
+        sig.kind = e.op;
+        sig.custom = e.custom;
+        sig.width = resolve_width(e);
+        if (promote_ops_ && e.op != hdl::OpKind::Custom) sig.width *= 2;
+      }
+      grammar::TermId t = g_.find_terminal(sig.name());
+      if (t < 0 && sig.kind != hdl::OpKind::Custom && sig.width > 0) {
+        // Fixed-point promotion: a DSP datapath computes at accumulator
+        // precision, so a 16-bit source addition maps onto the 32-bit
+        // adder when no narrow unit exists.
+        rtl::OpSig promoted = sig;
+        promoted.width = sig.width * 2;
+        t = g_.find_terminal(promoted.name());
+        if (t < 0) {
+          promoted.width = sig.width * 4;
+          t = g_.find_terminal(promoted.name());
+        }
+      }
+      if (t < 0) {
+        diags_.error({}, fmt("operation '{}' not available on this target",
+                             sig.name()));
+        ok = false;
+        return tree.make_const(g_.const_terminal(), 0);
+      }
+      std::vector<treeparse::SubjectNode*> kids;
+      kids.reserve(e.args.size());
+      for (const ir::ExprPtr& a : e.args)
+        kids.push_back(map_expr(*a, tree, ok));
+      return tree.make(t, std::move(kids));
+    }
+  }
+  ok = false;
+  return tree.make_const(g_.const_terminal(), 0);
+}
+
+std::optional<treeparse::SubjectTree> SubjectMapper::map_stmt(
+    const ir::Stmt& stmt, bool promote_ops) {
+  promote_ops_ = promote_ops;
+  treeparse::SubjectTree tree;
+  bool ok = true;
+
+  if (stmt.kind == ir::Stmt::Kind::Assign) {
+    const ir::Binding* b = prog_.binding_of(stmt.dest_var);
+    if (!b) {
+      diags_.error({}, fmt("destination '{}' has no binding", stmt.dest_var));
+      return std::nullopt;
+    }
+    if (b->kind == ir::Binding::Kind::Register) {
+      grammar::TermId dest_t =
+          g_.find_terminal(grammar::dest_terminal_name(b->storage));
+      if (dest_t < 0) {
+        diags_.error({}, fmt("target has no writable storage '{}'",
+                             b->storage));
+        return std::nullopt;
+      }
+      treeparse::SubjectNode* dest_leaf = tree.make(dest_t);
+      treeparse::SubjectNode* rhs = map_expr(*stmt.rhs, tree, ok);
+      if (!ok) return std::nullopt;
+      tree.set_root(tree.make(g_.assign_terminal(), {dest_leaf, rhs}));
+      return tree;
+    }
+    // Register-bound var in memory: lower to a store at the bound cell.
+    grammar::TermId dest_t =
+        g_.find_terminal(grammar::dest_terminal_name(b->storage));
+    grammar::TermId store_t =
+        g_.find_terminal(grammar::store_terminal_name(b->storage));
+    if (dest_t < 0 || store_t < 0) {
+      diags_.error({}, fmt("target cannot store to memory '{}'", b->storage));
+      return std::nullopt;
+    }
+    treeparse::SubjectNode* dest_leaf = tree.make(dest_t);
+    treeparse::SubjectNode* addr =
+        tree.make_const(g_.const_terminal(), b->cell);
+    treeparse::SubjectNode* rhs = map_expr(*stmt.rhs, tree, ok);
+    if (!ok) return std::nullopt;
+    treeparse::SubjectNode* store = tree.make(store_t, {addr, rhs});
+    tree.set_root(tree.make(g_.assign_terminal(), {dest_leaf, store}));
+    return tree;
+  }
+
+  if (stmt.kind == ir::Stmt::Kind::Store) {
+    grammar::TermId dest_t =
+        g_.find_terminal(grammar::dest_terminal_name(stmt.mem));
+    grammar::TermId store_t =
+        g_.find_terminal(grammar::store_terminal_name(stmt.mem));
+    if (dest_t < 0 || store_t < 0) {
+      diags_.error({}, fmt("target cannot store to memory '{}'", stmt.mem));
+      return std::nullopt;
+    }
+    treeparse::SubjectNode* dest_leaf = tree.make(dest_t);
+    treeparse::SubjectNode* addr = map_expr(*stmt.addr, tree, ok);
+    treeparse::SubjectNode* rhs = map_expr(*stmt.rhs, tree, ok);
+    if (!ok) return std::nullopt;
+    treeparse::SubjectNode* store = tree.make(store_t, {addr, rhs});
+    tree.set_root(tree.make(g_.assign_terminal(), {dest_leaf, store}));
+    return tree;
+  }
+
+  diags_.error({}, "only Assign/Store statements map to subject trees");
+  return std::nullopt;
+}
+
+}  // namespace record::select

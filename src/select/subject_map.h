@@ -1,0 +1,58 @@
+// IR statement -> grammar subject tree translation.
+//
+// Builds the expression trees that the processor-specific tree parser
+// covers. Widths are resolved here against the target's storage widths
+// (the same IR program retargets to any model offering the operations):
+//   * variables take the width of their bound storage,
+//   * loads take the memory's data width,
+//   * multiplication widens (w1 + w2, the DSP fixed-point convention),
+//   * other operators take the max of their operand widths,
+//   * lo()/hi() intrinsics become canonical slice operators (bitsH_L.w).
+#pragma once
+
+#include <optional>
+
+#include "grammar/build.h"
+#include "grammar/grammar.h"
+#include "ir/program.h"
+#include "rtl/template.h"
+#include "treeparse/subject.h"
+#include "util/diagnostics.h"
+
+namespace record::select {
+
+class SubjectMapper {
+ public:
+  SubjectMapper(const rtl::TemplateBase& base, const grammar::TreeGrammar& g,
+                const ir::Program& prog, util::DiagnosticSink& diags)
+      : base_(base), g_(g), prog_(prog), diags_(diags) {}
+
+  /// Maps an Assign or Store statement to a subject tree rooted in ASSIGN.
+  /// nullopt (with diagnostics) when the program uses storage or operations
+  /// the target does not provide.
+  ///
+  /// With `promote_ops` every non-custom operator is widened to twice its
+  /// natural width: the fixed-point convention that data arithmetic runs at
+  /// accumulator precision. The selector retries a failed statement in this
+  /// mode, so pointer arithmetic (which must stay narrow) still labels
+  /// naturally on the first attempt.
+  [[nodiscard]] std::optional<treeparse::SubjectTree> map_stmt(
+      const ir::Stmt& stmt, bool promote_ops = false);
+
+  /// Resolved width of an expression (0 = width-free constant).
+  [[nodiscard]] int resolve_width(const ir::Expr& e) const;
+
+ private:
+  treeparse::SubjectNode* map_expr(const ir::Expr& e,
+                                   treeparse::SubjectTree& tree, bool& ok);
+  [[nodiscard]] int storage_width(const std::string& name) const;
+
+  bool promote_ops_ = false;
+
+  const rtl::TemplateBase& base_;
+  const grammar::TreeGrammar& g_;
+  const ir::Program& prog_;
+  util::DiagnosticSink& diags_;
+};
+
+}  // namespace record::select

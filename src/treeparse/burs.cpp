@@ -1,0 +1,190 @@
+#include "treeparse/burs.h"
+
+#include <cassert>
+
+namespace record::treeparse {
+
+using grammar::kInfCost;
+using grammar::kStart;
+using grammar::PatNode;
+using grammar::Rule;
+
+std::size_t Derivation::application_count() const {
+  std::size_t n = 1;
+  for (const std::unique_ptr<Derivation>& c : children)
+    n += c->application_count();
+  return n;
+}
+
+bool TreeParser::immediate_fits(std::int64_t value, int width) {
+  if (width >= 63) return true;
+  std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  std::int64_t hi = (std::int64_t{1} << width);  // exclusive
+  return value >= lo && value < hi;
+}
+
+bool TreeParser::subjects_equal(const SubjectNode& a, const SubjectNode& b) {
+  if (a.term != b.term || a.is_const != b.is_const ||
+      (a.is_const && a.value != b.value) ||
+      a.children.size() != b.children.size())
+    return false;
+  for (std::size_t i = 0; i < a.children.size(); ++i)
+    if (!subjects_equal(*a.children[i], *b.children[i])) return false;
+  return true;
+}
+
+std::optional<int> TreeParser::match_cost(
+    const PatNode& pat, const SubjectNode& node,
+    const std::vector<std::vector<LabelEntry>>& labels,
+    std::vector<ImmBinding>& imm_fields,
+    std::vector<std::pair<grammar::NtId, const SubjectNode*>>& nt_binds)
+    const {
+  switch (pat.kind) {
+    case PatNode::Kind::NonTerm: {
+      int c = labels[static_cast<std::size_t>(node.id)]
+                    [static_cast<std::size_t>(pat.nt)]
+                        .cost;
+      if (c >= kInfCost) return std::nullopt;
+      for (const auto& [nt, bound] : nt_binds)
+        if (nt == pat.nt && !subjects_equal(*bound, node))
+          return std::nullopt;  // same register, different values
+      nt_binds.emplace_back(pat.nt, &node);
+      return c;
+    }
+    case PatNode::Kind::Imm: {
+      if (!node.is_const || !immediate_fits(node.value, pat.width))
+        return std::nullopt;
+      for (const ImmBinding& prev : imm_fields)
+        if (prev.field_bits == pat.imm_bits && prev.value != node.value)
+          return std::nullopt;  // same field, different constants
+      imm_fields.push_back(ImmBinding{pat.imm_bits, node.value});
+      return 0;
+    }
+    case PatNode::Kind::Const:
+      if (!node.is_const || node.value != pat.value) return std::nullopt;
+      return 0;
+    case PatNode::Kind::Term: {
+      if (node.term != pat.term) return std::nullopt;
+      if (node.children.size() != pat.children.size()) return std::nullopt;
+      int sum = 0;
+      for (std::size_t i = 0; i < pat.children.size(); ++i) {
+        std::optional<int> c =
+            match_cost(*pat.children[i], *node.children[i], labels,
+                       imm_fields, nt_binds);
+        if (!c) return std::nullopt;
+        sum += *c;
+      }
+      return sum;
+    }
+  }
+  return std::nullopt;
+}
+
+LabelResult TreeParser::label(const SubjectTree& tree) const {
+  LabelResult result;
+  const int nts = g_.nonterminal_count();
+  result.labels.assign(tree.size(),
+                       std::vector<LabelEntry>(
+                           static_cast<std::size_t>(nts), LabelEntry{}));
+  if (!tree.root()) return result;
+
+  // Nodes were created bottom-up, so ascending id order is topological.
+  for (std::size_t id = 0; id < tree.size(); ++id) {
+    const SubjectNode& node = tree.node(static_cast<int>(id));
+    std::vector<LabelEntry>& mine = result.labels[id];
+
+    for (int rid : g_.rules_for_terminal(node.term)) {
+      const Rule& r = g_.rule(rid);
+      std::vector<ImmBinding> imm_fields;
+      std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+      std::optional<int> c = match_cost(*r.pattern, node, result.labels,
+                                        imm_fields, nt_binds);
+      if (!c) continue;
+      int total = *c + r.cost;
+      LabelEntry& e = mine[static_cast<std::size_t>(r.lhs)];
+      if (total < e.cost) {
+        e.cost = total;
+        e.rule = rid;
+      }
+    }
+
+    // Chain-rule closure at this node: relax until fixpoint. The worklist
+    // is the set of non-terminals whose cost improved.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int y = 0; y < nts; ++y) {
+        int base = mine[static_cast<std::size_t>(y)].cost;
+        if (base >= kInfCost) continue;
+        for (int rid : g_.chain_rules_from(y)) {
+          const Rule& r = g_.rule(rid);
+          int total = base + r.cost;
+          LabelEntry& e = mine[static_cast<std::size_t>(r.lhs)];
+          if (total < e.cost) {
+            e.cost = total;
+            e.rule = rid;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  const std::vector<LabelEntry>& root_labels =
+      result.labels[static_cast<std::size_t>(tree.root()->id)];
+  result.root_cost = root_labels[kStart].cost;
+  result.ok = result.root_cost < kInfCost;
+  return result;
+}
+
+void TreeParser::reduce_pattern(const PatNode& pat, const SubjectNode& node,
+                                const LabelResult& result,
+                                Derivation& out) const {
+  switch (pat.kind) {
+    case PatNode::Kind::NonTerm:
+      out.children.push_back(reduce_nt(node, pat.nt, result));
+      return;
+    case PatNode::Kind::Imm:
+      out.imms.push_back(ImmBinding{pat.imm_bits, node.value});
+      return;
+    case PatNode::Kind::Const:
+      return;
+    case PatNode::Kind::Term:
+      for (std::size_t i = 0; i < pat.children.size(); ++i)
+        reduce_pattern(*pat.children[i], *node.children[i], result, out);
+      return;
+  }
+}
+
+std::unique_ptr<Derivation> TreeParser::reduce_nt(
+    const SubjectNode& node, grammar::NtId nt,
+    const LabelResult& result) const {
+  const LabelEntry& e =
+      result.labels[static_cast<std::size_t>(node.id)]
+                   [static_cast<std::size_t>(nt)];
+  assert(e.rule >= 0 && "reduce on unlabelled (node, nt)");
+  const Rule& r = g_.rule(e.rule);
+  auto d = std::make_unique<Derivation>();
+  d->rule = e.rule;
+  d->node = &node;
+  if (r.is_chain()) {
+    d->children.push_back(reduce_nt(node, r.pattern->nt, result));
+  } else {
+    reduce_pattern(*r.pattern, node, result, *d);
+  }
+  return d;
+}
+
+std::unique_ptr<Derivation> TreeParser::reduce(
+    const SubjectTree& tree, const LabelResult& result) const {
+  if (!result.ok || !tree.root()) return nullptr;
+  return reduce_nt(*tree.root(), kStart, result);
+}
+
+std::unique_ptr<Derivation> TreeParser::parse(const SubjectTree& tree) const {
+  LabelResult r = label(tree);
+  if (!r.ok) return nullptr;
+  return reduce(tree, r);
+}
+
+}  // namespace record::treeparse

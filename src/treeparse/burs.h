@@ -1,0 +1,103 @@
+// Bottom-up rewrite-system (BURS) tree parsing with dynamic programming —
+// the algorithmic core of iburg (paper section 3.2).
+//
+// label():  one bottom-up pass computes, for every node and every
+//           non-terminal, the cheapest derivation cost and the rule
+//           achieving it, with chain-rule closure at each node. Linear in
+//           the number of nodes with a grammar-dependent constant, exactly
+//           as the paper reports.
+// reduce(): walks the optimal derivation from (root, START), yielding a
+//           derivation tree of rule applications; Imm-leaf matches record
+//           the concrete constant for later instruction encoding.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "grammar/grammar.h"
+#include "treeparse/subject.h"
+
+namespace record::treeparse {
+
+struct LabelEntry {
+  int cost = grammar::kInfCost;
+  int rule = -1;
+};
+
+struct LabelResult {
+  bool ok = false;    // root derives from START
+  int root_cost = grammar::kInfCost;
+  /// labels[node id][non-terminal id]
+  std::vector<std::vector<LabelEntry>> labels;
+};
+
+/// One matched Imm pattern leaf: the instruction-word field and the constant
+/// that must be encoded into it.
+struct ImmBinding {
+  std::vector<int> field_bits;
+  std::int64_t value = 0;
+};
+
+/// A node of the optimal derivation.
+struct Derivation {
+  int rule = -1;
+  const SubjectNode* node = nullptr;
+  std::vector<std::unique_ptr<Derivation>> children;  // NT leaves, in preorder
+  std::vector<ImmBinding> imms;
+
+  /// Total number of rule applications in this derivation.
+  [[nodiscard]] std::size_t application_count() const;
+};
+
+class TreeParser {
+ public:
+  explicit TreeParser(const grammar::TreeGrammar& g) : g_(g) {}
+
+  /// Dynamic-programming labelling pass.
+  [[nodiscard]] LabelResult label(const SubjectTree& tree) const;
+
+  /// Extracts the optimal derivation of the tree root from START.
+  /// Requires a successful label() result.
+  [[nodiscard]] std::unique_ptr<Derivation> reduce(
+      const SubjectTree& tree, const LabelResult& result) const;
+
+  /// Convenience: label + reduce; nullptr if the tree has no derivation.
+  [[nodiscard]] std::unique_ptr<Derivation> parse(
+      const SubjectTree& tree) const;
+
+  [[nodiscard]] const grammar::TreeGrammar& grammar() const { return g_; }
+
+  /// True if `value` can be encoded in an immediate field of `width` bits
+  /// (unsigned or two's-complement signed).
+  [[nodiscard]] static bool immediate_fits(std::int64_t value, int width);
+
+ private:
+  /// Cost of matching `pat` at `node` given children's closed labels;
+  /// nullopt if no structural match. Consistency side-constraints:
+  ///  * `imm_fields`: two Imm leaves drawing from the same instruction
+  ///    field must bind the same constant,
+  ///  * `nt_binds`: two leaves of the same non-terminal are one physical
+  ///    register read, so their subject subtrees must be identical
+  ///    (the x+x patterns derived from shifters).
+  [[nodiscard]] std::optional<int> match_cost(
+      const grammar::PatNode& pat, const SubjectNode& node,
+      const std::vector<std::vector<LabelEntry>>& labels,
+      std::vector<ImmBinding>& imm_fields,
+      std::vector<std::pair<grammar::NtId, const SubjectNode*>>& nt_binds)
+      const;
+
+  /// Structural equality of subject subtrees (terminals and constants).
+  [[nodiscard]] static bool subjects_equal(const SubjectNode& a,
+                                           const SubjectNode& b);
+
+  void reduce_pattern(const grammar::PatNode& pat, const SubjectNode& node,
+                      const LabelResult& result, Derivation& out) const;
+  [[nodiscard]] std::unique_ptr<Derivation> reduce_nt(
+      const SubjectNode& node, grammar::NtId nt,
+      const LabelResult& result) const;
+
+  const grammar::TreeGrammar& g_;
+};
+
+}  // namespace record::treeparse

@@ -1,0 +1,53 @@
+#include "treeparse/subject.h"
+
+#include <sstream>
+
+namespace record::treeparse {
+
+SubjectNode* SubjectTree::make(grammar::TermId term,
+                               std::vector<SubjectNode*> children) {
+  SubjectNode n;
+  n.id = static_cast<int>(nodes_.size());
+  n.term = term;
+  n.children = std::move(children);
+  nodes_.push_back(std::move(n));
+  return &nodes_.back();
+}
+
+SubjectNode* SubjectTree::make_const(grammar::TermId const_term,
+                                     std::int64_t value) {
+  SubjectNode* n = make(const_term);
+  n->value = value;
+  n->is_const = true;
+  return n;
+}
+
+namespace {
+
+void render(const grammar::TreeGrammar& g, const SubjectNode& n,
+            std::ostream& os) {
+  if (n.is_const) {
+    os << n.value;
+    return;
+  }
+  os << g.terminal_name(n.term);
+  if (!n.children.empty()) {
+    os << '(';
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      if (i) os << ", ";
+      render(g, *n.children[i], os);
+    }
+    os << ')';
+  }
+}
+
+}  // namespace
+
+std::string SubjectTree::to_string(const grammar::TreeGrammar& g) const {
+  if (!root_) return "<empty>";
+  std::ostringstream os;
+  render(g, *root_, os);
+  return os.str();
+}
+
+}  // namespace record::treeparse

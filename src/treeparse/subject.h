@@ -1,0 +1,58 @@
+// Subject trees: the expression trees handed to the tree parser.
+//
+// A subject node carries an interned terminal of the target grammar plus an
+// optional constant value (for "#const" leaves). Nodes live in an arena owned
+// by the SubjectTree; ids are dense and assigned in creation (bottom-up)
+// order, so labelling can simply iterate id-ascending.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "grammar/grammar.h"
+
+namespace record::treeparse {
+
+struct SubjectNode {
+  int id = -1;
+  grammar::TermId term = -1;
+  std::int64_t value = 0;
+  bool is_const = false;
+  std::vector<SubjectNode*> children;
+  const void* tag = nullptr;  // opaque backlink for callers (e.g. IR nodes)
+};
+
+class SubjectTree {
+ public:
+  SubjectTree() = default;
+  SubjectTree(const SubjectTree&) = delete;
+  SubjectTree& operator=(const SubjectTree&) = delete;
+  SubjectTree(SubjectTree&&) = default;
+  SubjectTree& operator=(SubjectTree&&) = default;
+
+  /// Creates a node; children must already belong to this tree (bottom-up
+  /// construction keeps ids topologically sorted).
+  SubjectNode* make(grammar::TermId term,
+                    std::vector<SubjectNode*> children = {});
+
+  /// Creates a "#const" leaf.
+  SubjectNode* make_const(grammar::TermId const_term, std::int64_t value);
+
+  void set_root(SubjectNode* n) { root_ = n; }
+  [[nodiscard]] SubjectNode* root() const { return root_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const SubjectNode& node(int id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Renders with terminal names, e.g. "ASSIGN($dest:ACC, +.32(...))".
+  [[nodiscard]] std::string to_string(const grammar::TreeGrammar& g) const;
+
+ private:
+  std::deque<SubjectNode> nodes_;  // deque: stable addresses
+  SubjectNode* root_ = nullptr;
+};
+
+}  // namespace record::treeparse

@@ -1,0 +1,74 @@
+#include "util/diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace record::util {
+
+std::string SourceLoc::str() const {
+  if (!known()) return "<unknown>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << loc.str() << ": " << to_string(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticSink::note(SourceLoc loc, std::string message) {
+  add(Severity::Note, loc, std::move(message));
+}
+
+void DiagnosticSink::warning(SourceLoc loc, std::string message) {
+  add(Severity::Warning, loc, std::move(message));
+}
+
+void DiagnosticSink::error(SourceLoc loc, std::string message) {
+  add(Severity::Error, loc, std::move(message));
+}
+
+void DiagnosticSink::add(Severity severity, SourceLoc loc,
+                         std::string message) {
+  if (severity == Severity::Error) ++error_count_;
+  if (severity == Severity::Warning) ++warning_count_;
+  diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string DiagnosticSink::str() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.str() << '\n';
+  return os.str();
+}
+
+std::string DiagnosticSink::first_error() const {
+  for (const Diagnostic& d : diags_)
+    if (d.severity == Severity::Error) return d.str();
+  return {};
+}
+
+void DiagnosticSink::clear() {
+  diags_.clear();
+  error_count_ = 0;
+  warning_count_ = 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  return os << d.str();
+}
+
+}  // namespace record::util

@@ -1,0 +1,73 @@
+// Diagnostics engine shared by all phases of the RECORD pipeline.
+//
+// Every phase (HDL frontend, elaboration, instruction-set extraction, code
+// selection, ...) reports problems through a DiagnosticSink instead of
+// printing or throwing, so that library users decide how errors surface.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace record::util {
+
+/// A position inside an HDL or kernel source text (1-based; 0 = unknown).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// One reported problem.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics produced by a phase.
+///
+/// The sink is a value type; phases take it by reference. `ok()` is the
+/// canonical "did the phase succeed" query.
+class DiagnosticSink {
+ public:
+  void note(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool ok() const { return error_count_ == 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return warning_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+
+  /// All diagnostics joined by newlines; convenient in tests and error paths.
+  [[nodiscard]] std::string str() const;
+
+  /// First error message, or empty string. Handy for gtest failure output.
+  [[nodiscard]] std::string first_error() const;
+
+  void clear();
+
+ private:
+  void add(Severity severity, SourceLoc loc, std::string message);
+
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
+
+}  // namespace record::util

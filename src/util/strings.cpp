@@ -1,0 +1,93 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace record::util {
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = static_cast<unsigned char>(s.front());
+  if (!std::isalpha(head) && head != '_') return false;
+  for (char c : s) {
+    auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && u != '_') return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+    base = 2;
+    s.remove_prefix(2);
+  }
+  std::int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, base);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+namespace detail {
+
+void format_one(std::string& out, std::string_view& fmt,
+                std::string_view arg) {
+  std::size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out.append(fmt);
+    fmt = {};
+    if (!out.empty() && out.back() != ' ') out.push_back(' ');
+    out.append(arg);
+    return;
+  }
+  out.append(fmt.substr(0, pos));
+  out.append(arg);
+  fmt.remove_prefix(pos + 2);
+}
+
+}  // namespace detail
+
+}  // namespace record::util

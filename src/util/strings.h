@@ -1,0 +1,69 @@
+// Small string helpers used across the pipeline (no locale dependence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace record::util {
+
+/// True if `s` consists only of [A-Za-z0-9_] and starts with a letter or '_'.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+/// ASCII lower-casing (HDL keywords are case-insensitive).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Split on a separator character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Parse a non-negative integer (decimal, or 0x/0b prefixed). nullopt on
+/// malformed input or overflow of std::int64_t.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+namespace detail {
+
+void format_one(std::string& out, std::string_view& fmt, std::string_view arg);
+
+inline std::string to_display(std::string_view v) { return std::string(v); }
+inline std::string to_display(const char* v) { return v ? v : ""; }
+inline std::string to_display(char v) { return std::string(1, v); }
+inline std::string to_display(bool v) { return v ? "true" : "false"; }
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+std::string to_display(T v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace detail
+
+/// Minimal "{}" formatting helper: replaces each "{}" in `format` with the
+/// next argument. Extra arguments are appended; extra "{}" stay literal.
+template <typename... Args>
+[[nodiscard]] std::string fmt(std::string_view format, const Args&... args) {
+  std::string out;
+  out.reserve(format.size() + 16);
+  std::string_view rest = format;
+  (detail::format_one(out, rest, detail::to_display(args)), ...);
+  out.append(rest);
+  return out;
+}
+
+}  // namespace record::util

@@ -1,0 +1,6 @@
+#include "util/timer.h"
+
+// Header-only functionality; this translation unit exists so the library has
+// a stable archive member and a place for future non-inline additions.
+
+namespace record::util {}  // namespace record::util

@@ -1,0 +1,59 @@
+// Wall-clock timing used by the retargeting benchmarks (Table 3 reproduction).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace record::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Named phase timings, e.g. {"ISE", 0.12}, {"grammar", 0.01}, ...
+/// Used to report the per-phase retargeting-time breakdown of Table 3.
+class PhaseTimes {
+ public:
+  void record(std::string phase, double seconds) {
+    entries_.emplace_back(std::move(phase), seconds);
+  }
+
+  [[nodiscard]] double total() const {
+    double t = 0;
+    for (const auto& [_, s] : entries_) t += s;
+    return t;
+  }
+
+  [[nodiscard]] double get(std::string_view phase) const {
+    for (const auto& [name, s] : entries_)
+      if (name == phase) return s;
+    return 0.0;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace record::util

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "core/compiler.h"
+#include "core/record.h"
+#include "dspstone/handcode.h"
+#include "dspstone/kernels.h"
+
+namespace record::dspstone {
+namespace {
+
+const core::RetargetResult& c25() {
+  static const core::RetargetResult target = [] {
+    util::DiagnosticSink diags;
+    auto r = core::Record::retarget_model("tms320c25",
+                                          core::RetargetOptions{}, diags);
+    EXPECT_TRUE(r) << diags.str();
+    return std::move(*r);
+  }();
+  return target;
+}
+
+const core::RetargetResult& c25_plain() {
+  static const core::RetargetResult target = [] {
+    util::DiagnosticSink diags;
+    core::RetargetOptions options;
+    options.commutativity = false;
+    options.standard_rewrites = false;
+    auto r = core::Record::retarget_model("tms320c25", options, diags);
+    EXPECT_TRUE(r) << diags.str();
+    return std::move(*r);
+  }();
+  return target;
+}
+
+TEST(Kernels, TenKernelsRegistered) {
+  EXPECT_EQ(kernel_names().size(), 10u);
+}
+
+TEST(Kernels, UnknownNameThrows) {
+  EXPECT_THROW((void)kernel("fft"), std::invalid_argument);
+}
+
+TEST(Kernels, AllValidateAgainstBindings) {
+  for (const std::string& name : kernel_names()) {
+    ir::Program prog = kernel(name);
+    util::DiagnosticSink diags;
+    EXPECT_TRUE(prog.validate(diags)) << name << ": " << diags.str();
+  }
+}
+
+TEST(HandCode, EveryKernelHasReference) {
+  for (const std::string& name : kernel_names()) {
+    EXPECT_GT(hand_code_size(name), 0) << name;
+  }
+  EXPECT_EQ(hand_code_size("fft"), -1);
+}
+
+TEST(HandCode, DocumentedSequencesMatchCounts) {
+  // The semicolon-separated instruction list must contain exactly `words`
+  // instructions for the straight-line kernels (the N-fold entries document
+  // the multiplier instead).
+  for (const HandCode& h : hand_code()) {
+    if (h.assembly.find(" x ") != std::string_view::npos) continue;
+    int count = 1;
+    for (char c : h.assembly)
+      if (c == ';') ++count;
+    EXPECT_EQ(count, h.words) << h.kernel;
+  }
+}
+
+/// Compiles a kernel with the full RECORD pipeline.
+std::size_t record_size(const std::string& name) {
+  core::Compiler compiler(c25());
+  util::DiagnosticSink diags;
+  auto result =
+      compiler.compile(kernel(name), core::CompileOptions{}, diags);
+  EXPECT_TRUE(result) << name << ": " << diags.str();
+  return result ? result->code_size() : 0;
+}
+
+std::size_t baseline_size(const std::string& name) {
+  util::DiagnosticSink diags;
+  auto result = baseline::compile_baseline(c25_plain(), kernel(name),
+                                           baseline::BaselineOptions{},
+                                           diags);
+  EXPECT_TRUE(result) << name << ": " << diags.str();
+  return result ? result->code_size() : 0;
+}
+
+class KernelCompile : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelCompile, RecordStaysNearHandCode) {
+  std::string name = GetParam();
+  std::size_t rec = record_size(name);
+  int hand = hand_code_size(name);
+  ASSERT_GT(rec, 0u);
+  ASSERT_GT(hand, 0);
+  double ratio = static_cast<double>(rec) / hand;
+  // Paper figure 2: RECORD shows low overhead vs hand code.
+  EXPECT_LE(ratio, 1.25) << name << ": record=" << rec << " hand=" << hand;
+  EXPECT_GE(ratio, 0.75) << name << ": suspiciously small";
+}
+
+TEST_P(KernelCompile, BaselineIsWorseThanRecord) {
+  std::string name = GetParam();
+  std::size_t rec = record_size(name);
+  std::size_t base = baseline_size(name);
+  ASSERT_GT(base, 0u);
+  // The vendor-style baseline must lose on every kernel (figure 2 shape).
+  EXPECT_GT(base, rec) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure2, KernelCompile,
+    ::testing::Values("real_update", "complex_mult", "complex_update",
+                      "n_real_updates", "n_complex_updates", "fir",
+                      "biquad_one", "biquad_N", "dot_product",
+                      "convolution"));
+
+TEST(Figure2Shape, SumOfProductsKernelsMatchHandExactly) {
+  // fir / dot_product / convolution hit the hand-written MAC idiom exactly
+  // (ZAC/PAC + LT/MPYA chains).
+  EXPECT_EQ(record_size("fir"), 11u);
+  EXPECT_EQ(record_size("dot_product"), 11u);
+  EXPECT_EQ(record_size("convolution"), 11u);
+}
+
+TEST(Figure2Shape, BaselineOverheadIsSubstantial) {
+  // Aggregate overhead of the vendor-style baseline across all kernels:
+  // paper bars range from ~150% to ~700%; our baseline must exceed 130%
+  // on aggregate to preserve the figure's message.
+  std::size_t rec_total = 0, base_total = 0;
+  for (const std::string& name : kernel_names()) {
+    rec_total += record_size(name);
+    base_total += baseline_size(name);
+  }
+  EXPECT_GT(base_total, rec_total * 13 / 10);
+}
+
+TEST(Baseline, ThreeAddressLoweringInsertsTemps) {
+  ir::Program fir = kernel("fir");
+  ir::Program lowered = baseline::lower_three_address(
+      fir, *c25_plain().base, baseline::BaselineOptions{});
+  EXPECT_GT(lowered.stmts().size(), fir.stmts().size());
+  bool has_temp = false;
+  for (const auto& [var, bind] : lowered.bindings())
+    if (var.rfind("__bt", 0) == 0) {
+      has_temp = true;
+      EXPECT_EQ(bind.kind, ir::Binding::Kind::MemCell);
+    }
+  EXPECT_TRUE(has_temp);
+}
+
+TEST(Baseline, PreservesBranchesAndLabels) {
+  ir::Program p("loop");
+  p.bind_register("i", "AR1");
+  p.label("top");
+  p.assign("i", ir::e_sub(ir::e_var("i"), ir::e_const(1)));
+  p.branch_if_not_zero("i", "top");
+  ir::Program lowered = baseline::lower_three_address(
+      p, *c25_plain().base, baseline::BaselineOptions{});
+  bool has_label = false, has_branch = false;
+  for (const ir::Stmt& s : lowered.stmts()) {
+    if (s.kind == ir::Stmt::Kind::LabelDef) has_label = true;
+    if (s.kind == ir::Stmt::Kind::Branch) has_branch = true;
+  }
+  EXPECT_TRUE(has_label);
+  EXPECT_TRUE(has_branch);
+}
+
+}  // namespace
+}  // namespace record::dspstone

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "grammar/bnf.h"
+#include "grammar/build.h"
+#include "grammar/grammar.h"
+#include "rtl/template.h"
+
+namespace record::grammar {
+namespace {
+
+/// A hand-built template base:
+///   ACC := ACC + ram[#imm]      (cost 1)
+///   ACC := ram[#imm]
+///   ACC := #0
+///   TR  := ram[#imm]
+///   ACC := TR                   (chain)
+///   ram[#imm] := bits15_0(ACC)  (memory store with low slice)
+rtl::TemplateBase mini_base() {
+  rtl::TemplateBase base;
+  base.mgr = std::make_shared<bdd::BddManager>();
+  base.instruction_width = 8;
+  base.storage.push_back(
+      rtl::StorageInfo{"ACC", rtl::DestKind::Register, 32, true});
+  base.storage.push_back(
+      rtl::StorageInfo{"TR", rtl::DestKind::Register, 16, true});
+  base.storage.push_back(
+      rtl::StorageInfo{"ram", rtl::DestKind::Memory, 16, true});
+  base.in_ports.push_back(rtl::PortInInfo{"pin", 16});
+
+  auto imm = [] { return rtl::make_imm({0, 1, 2, 3}); };
+  auto load = [&] { return rtl::make_mem_load("ram", 16, imm()); };
+
+  rtl::RTTemplate t1;
+  t1.dest = "ACC";
+  t1.dest_kind = rtl::DestKind::Register;
+  t1.dest_width = 32;
+  {
+    std::vector<rtl::RTNodePtr> kids;
+    kids.push_back(rtl::make_reg_read("ACC", 32));
+    kids.push_back(load());
+    t1.value = rtl::make_op(rtl::OpSig{hdl::OpKind::Add, "", 32},
+                            std::move(kids));
+  }
+  base.add_unique(std::move(t1));
+
+  rtl::RTTemplate t2;
+  t2.dest = "ACC";
+  t2.dest_kind = rtl::DestKind::Register;
+  t2.dest_width = 32;
+  t2.value = load();
+  base.add_unique(std::move(t2));
+
+  rtl::RTTemplate t3;
+  t3.dest = "ACC";
+  t3.dest_kind = rtl::DestKind::Register;
+  t3.dest_width = 32;
+  t3.value = rtl::make_hard_const(0, 32);
+  base.add_unique(std::move(t3));
+
+  rtl::RTTemplate t4;
+  t4.dest = "TR";
+  t4.dest_kind = rtl::DestKind::Register;
+  t4.dest_width = 16;
+  t4.value = load();
+  base.add_unique(std::move(t4));
+
+  rtl::RTTemplate t5;
+  t5.dest = "ACC";
+  t5.dest_kind = rtl::DestKind::Register;
+  t5.dest_width = 32;
+  t5.value = rtl::make_reg_read("TR", 16);
+  base.add_unique(std::move(t5));
+
+  rtl::RTTemplate t6;
+  t6.dest = "ram";
+  t6.dest_kind = rtl::DestKind::Memory;
+  t6.dest_width = 16;
+  t6.addr = imm();
+  {
+    std::vector<rtl::RTNodePtr> kids;
+    kids.push_back(rtl::make_reg_read("ACC", 32));
+    t6.value = rtl::make_op(rtl::slice_op_sig(15, 0), std::move(kids));
+  }
+  base.add_unique(std::move(t6));
+
+  return base;
+}
+
+BuiltGrammar build_mini(BuildOptions options = {}) {
+  rtl::TemplateBase base = mini_base();
+  util::DiagnosticSink diags;
+  BuiltGrammar g = build_grammar(base, options, diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  return g;
+}
+
+TEST(GrammarBuild, StartSymbolIsIndexZero) {
+  BuiltGrammar g = build_mini();
+  EXPECT_EQ(g.grammar.nonterminal_name(kStart), "START");
+}
+
+TEST(GrammarBuild, OneStartRulePerStorage) {
+  BuiltGrammar g = build_mini();
+  EXPECT_EQ(g.stats.start_rules, 3u);  // ACC, TR, ram
+  int count = 0;
+  for (const Rule& r : g.grammar.rules())
+    if (r.kind == RuleKind::Start) {
+      ++count;
+      EXPECT_EQ(r.lhs, kStart);
+      EXPECT_EQ(r.cost, 0);
+      EXPECT_EQ(r.pattern->term, g.grammar.assign_terminal());
+      ASSERT_EQ(r.pattern->children.size(), 2u);
+      EXPECT_EQ(r.pattern->children[1]->kind, PatNode::Kind::NonTerm);
+    }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(GrammarBuild, StopRulesForReadableRegisters) {
+  BuiltGrammar g = build_mini();
+  EXPECT_EQ(g.stats.stop_rules, 2u);  // ACC, TR (not the memory)
+  for (const Rule& r : g.grammar.rules())
+    if (r.kind == RuleKind::Stop) EXPECT_EQ(r.cost, 0);
+}
+
+TEST(GrammarBuild, RtRulesCostOne) {
+  BuiltGrammar g = build_mini();
+  for (const Rule& r : g.grammar.rules())
+    if (r.kind == RuleKind::RT) {
+      EXPECT_EQ(r.cost, 1);
+      EXPECT_GE(r.template_id, 0);
+    }
+}
+
+TEST(GrammarBuild, ChainRuleFromRegisterMove) {
+  BuiltGrammar g = build_mini();
+  EXPECT_EQ(g.stats.chain_rules, 1u);  // ACC := TR
+  NtId acc = g.grammar.find_nonterminal("nt:ACC");
+  NtId tr = g.grammar.find_nonterminal("nt:TR");
+  const auto& chains = g.grammar.chain_rules_from(tr);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(g.grammar.rule(chains[0]).lhs, acc);
+}
+
+TEST(GrammarBuild, MemoryStoreRuleShape) {
+  BuiltGrammar g = build_mini();
+  NtId ram = g.grammar.find_nonterminal("nt:ram");
+  ASSERT_GE(ram, 0);
+  bool found_store = false;
+  for (const Rule& r : g.grammar.rules()) {
+    if (r.lhs != ram || r.kind != RuleKind::RT) continue;
+    found_store = true;
+    EXPECT_EQ(g.grammar.terminal_name(r.pattern->term), "store:ram");
+    ASSERT_EQ(r.pattern->children.size(), 2u);
+    EXPECT_EQ(r.pattern->children[0]->kind, PatNode::Kind::Imm);
+  }
+  EXPECT_TRUE(found_store);
+}
+
+TEST(GrammarBuild, LowSliceVariantEmitted) {
+  BuiltGrammar g = build_mini();
+  EXPECT_EQ(g.stats.low_slice_variants, 1u);
+  // The variant stores nt:ACC directly (slice elided).
+  NtId ram = g.grammar.find_nonterminal("nt:ram");
+  int direct = 0;
+  for (const Rule& r : g.grammar.rules()) {
+    if (r.lhs != ram || r.kind != RuleKind::RT) continue;
+    if (r.pattern->children[1]->kind == PatNode::Kind::NonTerm) ++direct;
+  }
+  EXPECT_EQ(direct, 1);
+}
+
+TEST(GrammarBuild, LowSliceVariantCanBeDisabled) {
+  BuildOptions options;
+  options.elide_low_slices = false;
+  BuiltGrammar g = build_mini(options);
+  EXPECT_EQ(g.stats.low_slice_variants, 0u);
+}
+
+TEST(GrammarBuild, ImmediateLeavesCarryFieldBits) {
+  BuiltGrammar g = build_mini();
+  bool found = false;
+  for (const Rule& r : g.grammar.rules()) {
+    if (r.kind != RuleKind::RT) continue;
+    if (r.pattern->kind == PatNode::Kind::Term &&
+        g.grammar.terminal_name(r.pattern->term) == "load:ram.16") {
+      found = true;
+      ASSERT_EQ(r.pattern->children[0]->kind, PatNode::Kind::Imm);
+      EXPECT_EQ(r.pattern->children[0]->imm_bits,
+                (std::vector<int>{0, 1, 2, 3}));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GrammarBuild, RulesIndexedByRootTerminal) {
+  BuiltGrammar g = build_mini();
+  TermId load = g.grammar.find_terminal("load:ram.16");
+  ASSERT_GE(load, 0);
+  EXPECT_EQ(g.grammar.rules_for_terminal(load).size(), 2u);  // ACC, TR
+}
+
+TEST(GrammarBuild, ConstRuleAttachedToConstTerminal) {
+  BuiltGrammar g = build_mini();
+  const auto& rules =
+      g.grammar.rules_for_terminal(g.grammar.const_terminal());
+  // ACC := #0 roots at the constant terminal.
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(g.grammar.rule(rules[0]).pattern->kind, PatNode::Kind::Const);
+}
+
+TEST(Bnf, RendersHeaderAndRules) {
+  BuiltGrammar g = build_mini();
+  std::string bnf = to_bnf(g.grammar);
+  EXPECT_NE(bnf.find("%start START"), std::string::npos);
+  EXPECT_NE(bnf.find("%term"), std::string::npos);
+  EXPECT_NE(bnf.find("nt:ACC: +.32(nt:ACC, load:ram.16(#imm4)) = 1 ;"),
+            std::string::npos)
+      << bnf;
+  EXPECT_NE(bnf.find("/* start */"), std::string::npos);
+  EXPECT_NE(bnf.find("/* stop */"), std::string::npos);
+}
+
+TEST(Grammar, InternIsIdempotent) {
+  TreeGrammar g;
+  TermId a = g.intern_terminal("+.16");
+  TermId b = g.intern_terminal("+.16");
+  EXPECT_EQ(a, b);
+  NtId x = g.intern_nonterminal("nt:X");
+  EXPECT_EQ(g.find_nonterminal("nt:X"), x);
+  EXPECT_EQ(g.find_nonterminal("nt:Y"), -1);
+}
+
+TEST(Grammar, PatternToString) {
+  TreeGrammar g;
+  TermId plus = g.intern_terminal("+.16");
+  NtId x = g.intern_nonterminal("nt:X");
+  std::vector<PatNodePtr> kids;
+  kids.push_back(pat_nonterm(x));
+  kids.push_back(pat_imm({0, 1}));
+  PatNodePtr p = pat_term(plus, std::move(kids));
+  EXPECT_EQ(pattern_to_string(g, *p), "+.16(nt:X, #imm2)");
+}
+
+}  // namespace
+}  // namespace record::grammar

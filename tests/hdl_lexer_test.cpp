@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "hdl/lexer.h"
+
+namespace record::hdl {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  util::DiagnosticSink diags;
+  auto toks = lex(src, diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  return toks;
+}
+
+TEST(HdlLexer, EmptyInputYieldsEof) {
+  auto toks = lex_ok("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::Eof);
+}
+
+TEST(HdlLexer, KeywordsAreCaseInsensitive) {
+  auto toks = lex_ok("PROCESSOR processor Processor");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokKind::KwProcessor);
+  EXPECT_EQ(toks[1].kind, TokKind::KwProcessor);
+  EXPECT_EQ(toks[2].kind, TokKind::KwProcessor);
+}
+
+TEST(HdlLexer, BehaviourSpellingVariants) {
+  auto toks = lex_ok("BEHAVIOR BEHAVIOUR");
+  EXPECT_EQ(toks[0].kind, TokKind::KwBehavior);
+  EXPECT_EQ(toks[1].kind, TokKind::KwBehavior);
+}
+
+TEST(HdlLexer, IdentifiersKeepOriginalCase) {
+  auto toks = lex_ok("AccReg");
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[0].text, "AccReg");
+}
+
+TEST(HdlLexer, IntegersDecimalHexBinary) {
+  auto toks = lex_ok("42 0x2a 0b101010");
+  EXPECT_EQ(toks[0].value, 42);
+  EXPECT_EQ(toks[1].value, 42);
+  EXPECT_EQ(toks[2].value, 42);
+}
+
+TEST(HdlLexer, CompoundOperators) {
+  auto toks = lex_ok(":= /= << >>");
+  EXPECT_EQ(toks[0].kind, TokKind::Assign);
+  EXPECT_EQ(toks[1].kind, TokKind::Neq);
+  EXPECT_EQ(toks[2].kind, TokKind::Shl);
+  EXPECT_EQ(toks[3].kind, TokKind::Shr);
+}
+
+TEST(HdlLexer, SingleCharOperators) {
+  auto toks = lex_ok("( ) [ ] : ; , . & | ^ ~ + - * =");
+  TokKind expected[] = {
+      TokKind::LParen, TokKind::RParen, TokKind::LBracket,
+      TokKind::RBracket, TokKind::Colon, TokKind::Semi,
+      TokKind::Comma, TokKind::Dot, TokKind::Amp, TokKind::Pipe,
+      TokKind::Caret, TokKind::Tilde, TokKind::Plus, TokKind::Minus,
+      TokKind::Star, TokKind::Eq};
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+}
+
+TEST(HdlLexer, CommentsRunToEndOfLine) {
+  auto toks = lex_ok("a -- the rest is ignored ;:=\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(HdlLexer, MinusVersusComment) {
+  auto toks = lex_ok("a - b");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].kind, TokKind::Minus);
+}
+
+TEST(HdlLexer, TracksLineAndColumn) {
+  auto toks = lex_ok("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(HdlLexer, ReportsUnexpectedCharacter) {
+  util::DiagnosticSink diags;
+  auto toks = lex("a ? b", diags);
+  EXPECT_FALSE(diags.ok());
+  bool has_error_token = false;
+  for (const Token& t : toks)
+    if (t.kind == TokKind::Error) has_error_token = true;
+  EXPECT_TRUE(has_error_token);
+}
+
+TEST(HdlLexer, SliceSyntaxTokens) {
+  auto toks = lex_ok("w(15:0)");
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[1].kind, TokKind::LParen);
+  EXPECT_EQ(toks[2].value, 15);
+  EXPECT_EQ(toks[3].kind, TokKind::Colon);
+  EXPECT_EQ(toks[4].value, 0);
+  EXPECT_EQ(toks[5].kind, TokKind::RParen);
+}
+
+TEST(HdlLexer, AllDeclarationKeywords) {
+  auto toks = lex_ok(
+      "MODULE REGISTER MEMORY MODEREG CONTROLLER STRUCTURE PARTS "
+      "CONNECTIONS BUS PORT IN OUT CTRL WHEN END CELL SIZE AND OR NOT "
+      "SXT ZXT");
+  TokKind expected[] = {
+      TokKind::KwModule, TokKind::KwRegister, TokKind::KwMemory,
+      TokKind::KwModeReg, TokKind::KwController, TokKind::KwStructure,
+      TokKind::KwParts, TokKind::KwConnections, TokKind::KwBus,
+      TokKind::KwPort, TokKind::KwIn, TokKind::KwOut, TokKind::KwCtrl,
+      TokKind::KwWhen, TokKind::KwEnd, TokKind::KwCell, TokKind::KwSize,
+      TokKind::KwAnd, TokKind::KwOr, TokKind::KwNot, TokKind::KwSxt,
+      TokKind::KwZxt};
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_EQ(toks[i].kind, expected[i]) << "keyword " << i;
+}
+
+TEST(HdlLexer, TokenKindNamesAreStable) {
+  EXPECT_EQ(to_string(TokKind::Assign), "':='");
+  EXPECT_EQ(to_string(TokKind::KwWhen), "WHEN");
+  EXPECT_EQ(to_string(TokKind::Eof), "end of input");
+}
+
+}  // namespace
+}  // namespace record::hdl

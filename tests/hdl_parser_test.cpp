@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "hdl/parser.h"
+
+namespace record::hdl {
+namespace {
+
+ProcessorModel parse_ok(std::string_view src) {
+  util::DiagnosticSink diags;
+  auto model = parse(src, diags);
+  EXPECT_TRUE(model.has_value()) << diags.str();
+  return model ? std::move(*model) : ProcessorModel{};
+}
+
+void expect_parse_error(std::string_view src) {
+  util::DiagnosticSink diags;
+  auto model = parse(src, diags);
+  EXPECT_FALSE(model.has_value() && diags.ok());
+}
+
+constexpr const char* kMinimal = R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+STRUCTURE
+PARTS
+  IM: im;
+CONNECTIONS
+END;
+)";
+
+TEST(HdlParser, MinimalModel) {
+  ProcessorModel m = parse_ok(kMinimal);
+  EXPECT_EQ(m.name, "p");
+  ASSERT_EQ(m.modules.size(), 1u);
+  EXPECT_EQ(m.modules[0].kind, ModuleKind::Controller);
+  ASSERT_EQ(m.parts.size(), 1u);
+  EXPECT_EQ(m.parts[0].inst_name, "IM");
+}
+
+TEST(HdlParser, ModuleKinds) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE a (IN x:(3:0); OUT y:(3:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+MEMORY mm (IN addr:(3:0); OUT dout:(3:0)) SIZE 16;
+BEHAVIOR dout := CELL[addr]; END;
+MODEREG mr (IN d:(0:0); OUT q:(0:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+CONTROLLER c (OUT w:(7:0));
+)");
+  ASSERT_EQ(m.modules.size(), 5u);
+  EXPECT_EQ(m.modules[0].kind, ModuleKind::Combinational);
+  EXPECT_EQ(m.modules[1].kind, ModuleKind::Register);
+  EXPECT_EQ(m.modules[2].kind, ModuleKind::Memory);
+  EXPECT_EQ(m.modules[2].mem_size, 16);
+  EXPECT_EQ(m.modules[3].kind, ModuleKind::ModeReg);
+  EXPECT_EQ(m.modules[4].kind, ModuleKind::Controller);
+}
+
+TEST(HdlParser, PortClassesAndRanges) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE alu (IN a:(15:0); IN b:(15:0); OUT y:(15:0); CTRL f:(2:0));
+)");
+  const ModuleDecl& alu = m.modules[0];
+  ASSERT_EQ(alu.ports.size(), 4u);
+  EXPECT_EQ(alu.ports[0].cls, PortClass::In);
+  EXPECT_EQ(alu.ports[2].cls, PortClass::Out);
+  EXPECT_EQ(alu.ports[3].cls, PortClass::Ctrl);
+  EXPECT_EQ(alu.ports[3].range.width(), 3);
+}
+
+TEST(HdlParser, BehaviourExpressionPrecedence) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE f (IN a:(7:0); IN b:(7:0); IN c:(7:0); OUT y:(7:0));
+BEHAVIOR
+  y := a + b * c;
+END;
+)");
+  const Transfer& t = m.modules[0].transfers[0];
+  // + must be the root, * nested: a + (b * c).
+  EXPECT_EQ(to_string(*t.rhs), "(a + (b * c))");
+}
+
+TEST(HdlParser, UnaryAndParens) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE f (IN a:(7:0); IN b:(7:0); OUT y:(7:0));
+BEHAVIOR
+  y := -(a + b) & ~a;
+END;
+)");
+  EXPECT_EQ(to_string(*m.modules[0].transfers[0].rhs),
+            "(-((a + b)) & ~(a))");
+}
+
+TEST(HdlParser, SliceVersusCall) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE f (IN a:(15:0); OUT y:(7:0); OUT z:(15:0));
+BEHAVIOR
+  y := a(7:0);
+  z := RND(a);
+END;
+)");
+  const auto& ts = m.modules[0].transfers;
+  EXPECT_EQ(ts[0].rhs->kind, Expr::Kind::Slice);
+  EXPECT_EQ(ts[1].rhs->kind, Expr::Kind::Call);
+  EXPECT_EQ(ts[1].rhs->name, "RND");
+}
+
+TEST(HdlParser, SxtZxtIntrinsics) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE f (IN a:(7:0); OUT y:(15:0));
+BEHAVIOR
+  y := SXT(a);
+END;
+)");
+  const Expr& e = *m.modules[0].transfers[0].rhs;
+  EXPECT_EQ(e.kind, Expr::Kind::Unary);
+  EXPECT_EQ(e.op, OpKind::Sxt);
+}
+
+TEST(HdlParser, CellReadAndWrite) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MEMORY mm (IN addr:(3:0); IN din:(7:0); OUT dout:(7:0); CTRL we:(0:0)) SIZE 16;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+)");
+  const auto& ts = m.modules[0].transfers;
+  EXPECT_EQ(ts[0].rhs->kind, Expr::Kind::CellRead);
+  EXPECT_TRUE(ts[1].is_cell_write());
+}
+
+TEST(HdlParser, GuardConnectives) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE f (IN a:(7:0); OUT y:(7:0); CTRL c:(2:0); CTRL d:(0:0));
+BEHAVIOR
+  y := a WHEN c = 1 AND d /= 0 OR NOT (c = 2);
+END;
+)");
+  const Cond& g = *m.modules[0].transfers[0].guard;
+  EXPECT_EQ(g.kind, Cond::Kind::Or);
+  EXPECT_EQ(to_string(g), "((c = 1 AND d /= 0) OR NOT (c = 2))");
+}
+
+TEST(HdlParser, StructureWithBusDrivers) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(7:0); OUT q:(7:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im;
+  R: r;
+BUS db: (7:0);
+CONNECTIONS
+  db := R.q WHEN IM.w(7:7) = 1;
+  db := IM.w(7:0) WHEN IM.w(7:7) = 0;
+  R.d := db;
+  R.ld := IM.w(6:6);
+END;
+)");
+  ASSERT_EQ(m.buses.size(), 1u);
+  EXPECT_EQ(m.buses[0].range.width(), 8);
+  ASSERT_EQ(m.connections.size(), 4u);
+  EXPECT_NE(m.connections[0].guard, nullptr);
+  EXPECT_EQ(m.connections[2].guard, nullptr);
+}
+
+TEST(HdlParser, ConnectionSourceForms) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+PORT pin: IN (3:0);
+STRUCTURE
+PARTS
+  IM: im;  R: r;
+CONNECTIONS
+  R.d := IM.w(3:0);
+  R.ld := 1;
+END;
+)");
+  EXPECT_EQ(m.connections[0].source.kind, SourceRef::Kind::PortRef);
+  EXPECT_TRUE(m.connections[0].source.has_slice);
+  EXPECT_EQ(m.connections[1].source.kind, SourceRef::Kind::Const);
+}
+
+TEST(HdlParser, ProcessorPorts) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+PORT a: IN (15:0);
+PORT b: OUT (7:0);
+CONTROLLER im (OUT w:(7:0));
+)");
+  ASSERT_EQ(m.proc_ports.size(), 2u);
+  EXPECT_TRUE(m.proc_ports[0].is_input);
+  EXPECT_FALSE(m.proc_ports[1].is_input);
+  EXPECT_EQ(m.proc_ports[1].range.width(), 8);
+}
+
+TEST(HdlParser, ErrorMissingProcessorHeader) {
+  expect_parse_error("MODULE a (IN x:(1:0); OUT y:(1:0));");
+}
+
+TEST(HdlParser, ErrorBadRange) {
+  expect_parse_error("PROCESSOR p; MODULE a (IN x:(0:5); OUT y:(1:0));");
+}
+
+TEST(HdlParser, ErrorMissingSemicolon) {
+  expect_parse_error("PROCESSOR p");
+}
+
+TEST(HdlParser, ErrorDanglingBehaviour) {
+  expect_parse_error(R"(
+PROCESSOR p;
+MODULE a (IN x:(1:0); OUT y:(1:0));
+BEHAVIOR
+  y := x;
+)");
+}
+
+TEST(HdlParser, ErrorBadGuard) {
+  expect_parse_error(R"(
+PROCESSOR p;
+MODULE a (IN x:(1:0); OUT y:(1:0); CTRL c:(0:0));
+BEHAVIOR
+  y := x WHEN c == 1;
+END;
+)");
+}
+
+TEST(HdlParser, FindHelpers) {
+  ProcessorModel m = parse_ok(kMinimal);
+  EXPECT_NE(m.find_module("im"), nullptr);
+  EXPECT_EQ(m.find_module("nope"), nullptr);
+  EXPECT_NE(m.find_part("IM"), nullptr);
+  EXPECT_EQ(m.find_bus("db"), nullptr);
+}
+
+TEST(HdlParser, ExprCloneIsDeep) {
+  ProcessorModel m = parse_ok(R"(
+PROCESSOR p;
+MODULE f (IN a:(7:0); IN b:(7:0); OUT y:(7:0));
+BEHAVIOR y := a + b; END;
+)");
+  const Expr& orig = *m.modules[0].transfers[0].rhs;
+  ExprPtr copy = orig.clone();
+  EXPECT_EQ(to_string(orig), to_string(*copy));
+  EXPECT_NE(&orig, copy.get());
+  EXPECT_NE(orig.args[0].get(), copy->args[0].get());
+}
+
+}  // namespace
+}  // namespace record::hdl

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "hdl/parser.h"
+#include "hdl/sema.h"
+
+namespace record::hdl {
+namespace {
+
+/// Parses + checks; returns the sink so tests can inspect messages.
+util::DiagnosticSink check(std::string_view src, bool* parse_ok = nullptr) {
+  util::DiagnosticSink diags;
+  auto model = parse(src, diags);
+  if (parse_ok) *parse_ok = model.has_value();
+  EXPECT_TRUE(model.has_value()) << "parse failed: " << diags.str();
+  if (model) check_model(*model, diags);
+  return diags;
+}
+
+void expect_sema_error(std::string_view src, std::string_view fragment) {
+  util::DiagnosticSink diags = check(src);
+  EXPECT_FALSE(diags.ok()) << "expected error containing '" << fragment
+                           << "'";
+  EXPECT_NE(diags.str().find(fragment), std::string::npos)
+      << "diagnostics were:\n"
+      << diags.str();
+}
+
+constexpr const char* kGood = R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(15:0));
+REGISTER r (IN d:(7:0); OUT q:(7:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+MODULE alu (IN a:(7:0); IN b:(7:0); OUT y:(7:0); CTRL f:(0:0));
+BEHAVIOR
+  y := a + b WHEN f = 0;
+  y := a - b WHEN f = 1;
+END;
+MEMORY mm (IN addr:(3:0); IN din:(7:0); OUT dout:(7:0); CTRL we:(0:0)) SIZE 16;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+STRUCTURE
+PARTS
+  IM: im;  R: r;  ALU: alu;  M: mm;
+CONNECTIONS
+  ALU.a := R.q;
+  ALU.b := M.dout;
+  ALU.f := IM.w(0:0);
+  R.d := ALU.y;
+  R.ld := IM.w(1:1);
+  M.addr := IM.w(5:2);
+  M.din := R.q;
+  M.we := IM.w(6:6);
+END;
+)";
+
+TEST(HdlSema, AcceptsWellFormedModel) {
+  util::DiagnosticSink diags = check(kGood);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+}
+
+TEST(HdlSema, DuplicateModuleName) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MODULE a (IN x:(1:0); OUT y:(1:0));
+MODULE a (IN x:(1:0); OUT y:(1:0));
+STRUCTURE
+PARTS
+  IM: im;
+CONNECTIONS
+END;
+)",
+                    "duplicate module name");
+}
+
+TEST(HdlSema, RegisterNeedsExactlyOneOutput) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(1:0); OUT q:(1:0); OUT q2:(1:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(1:0);
+  R.ld := IM.w(2:2);
+END;
+)",
+                    "exactly one OUT");
+}
+
+TEST(HdlSema, RegisterNeedsTransfer) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(1:0); OUT q:(1:0); CTRL ld:(0:0));
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(1:0);
+  R.ld := IM.w(2:2);
+END;
+)",
+                    "at least one transfer");
+}
+
+TEST(HdlSema, MemoryNeedsSize) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MEMORY mm (IN addr:(1:0); OUT dout:(3:0));
+BEHAVIOR dout := CELL[addr]; END;
+STRUCTURE
+PARTS
+  IM: im; M: mm;
+CONNECTIONS
+  M.addr := IM.w(1:0);
+END;
+)",
+                    "positive SIZE");
+}
+
+TEST(HdlSema, CellAccessOnlyInMemory) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MODULE a (IN x:(1:0); OUT y:(1:0));
+BEHAVIOR y := CELL[x]; END;
+STRUCTURE
+PARTS
+  IM: im; A: a;
+CONNECTIONS
+  A.x := IM.w(1:0);
+END;
+)",
+                    "CELL read outside MEMORY");
+}
+
+TEST(HdlSema, TransferTargetMustBeOutPort) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MODULE a (IN x:(1:0); OUT y:(1:0));
+BEHAVIOR x := y; END;
+STRUCTURE
+PARTS
+  IM: im; A: a;
+CONNECTIONS
+  A.x := IM.w(1:0);
+END;
+)",
+                    "must be an OUT port");
+}
+
+TEST(HdlSema, CombinationalCannotReadOwnOutput) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MODULE a (IN x:(1:0); OUT y:(1:0));
+BEHAVIOR y := y + x; END;
+STRUCTURE
+PARTS
+  IM: im; A: a;
+CONNECTIONS
+  A.x := IM.w(1:0);
+END;
+)",
+                    "reads its own output");
+}
+
+TEST(HdlSema, GuardConstantMustFit) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MODULE a (IN x:(1:0); OUT y:(1:0); CTRL c:(0:0));
+BEHAVIOR y := x WHEN c = 5; END;
+STRUCTURE
+PARTS
+  IM: im; A: a;
+CONNECTIONS
+  A.x := IM.w(1:0);
+  A.c := IM.w(2:2);
+END;
+)",
+                    "does not fit");
+}
+
+TEST(HdlSema, ExactlyOneController) {
+  expect_sema_error(R"(
+PROCESSOR p;
+MODULE a (IN x:(1:0); OUT y:(1:0));
+STRUCTURE
+PARTS
+  A: a;
+CONNECTIONS
+END;
+)",
+                    "exactly one CONTROLLER");
+}
+
+TEST(HdlSema, UnknownPartModule) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+STRUCTURE
+PARTS
+  IM: im;
+  X: ghost;
+CONNECTIONS
+END;
+)",
+                    "unknown module");
+}
+
+TEST(HdlSema, ConnectionWidthMismatch) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(7:0);
+  R.ld := IM.w(1:1);
+END;
+)",
+                    "width mismatch");
+}
+
+TEST(HdlSema, CannotDriveOutPort) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.q := IM.w(3:0);
+  R.d := IM.w(3:0);
+  R.ld := IM.w(4:4);
+END;
+)",
+                    "cannot drive OUT port");
+}
+
+TEST(HdlSema, DoubleDriverOnWire) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(3:0);
+  R.d := IM.w(7:4);
+  R.ld := IM.w(4:4);
+END;
+)",
+                    "drivers");
+}
+
+TEST(HdlSema, MultiDriverBusNeedsGuards) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+BUS db: (3:0);
+CONNECTIONS
+  db := IM.w(3:0);
+  db := R.q WHEN IM.w(7:7) = 1;
+  R.d := db;
+  R.ld := IM.w(4:4);
+END;
+)",
+                    "need WHEN guards");
+}
+
+TEST(HdlSema, GuardOnPlainWireRejected) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(3:0) WHEN IM.w(7:7) = 1;
+  R.ld := IM.w(4:4);
+END;
+)",
+                    "only allowed on bus drivers");
+}
+
+TEST(HdlSema, UndrivenPortIsWarningNotError) {
+  util::DiagnosticSink diags = check(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(3:0);
+END;
+)");
+  EXPECT_TRUE(diags.ok());
+  EXPECT_GT(diags.warning_count(), 0u);
+}
+
+TEST(HdlSema, SliceBeyondSourceWidth) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+REGISTER r (IN d:(3:0); OUT q:(3:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  IM: im; R: r;
+CONNECTIONS
+  R.d := IM.w(11:8);
+  R.ld := IM.w(4:4);
+END;
+)",
+                    "exceeds source width");
+}
+
+TEST(HdlSema, PortRangesMustBeZeroBased) {
+  expect_sema_error(R"(
+PROCESSOR p;
+CONTROLLER im (OUT w:(7:0));
+MODULE a (IN x:(4:1); OUT y:(3:0));
+STRUCTURE
+PARTS
+  IM: im; A: a;
+CONNECTIONS
+  A.x := IM.w(4:1);
+END;
+)",
+                    "(w-1:0)");
+}
+
+}  // namespace
+}  // namespace record::hdl

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/expr.h"
+#include "ir/kernel_lang.h"
+#include "ir/program.h"
+
+namespace record::ir {
+namespace {
+
+TEST(IrExpr, FactoriesAndToString) {
+  ExprPtr e = e_add(e_var("x"), e_mul(e_var("y"), e_const(3)));
+  EXPECT_EQ(to_string(*e), "(x + (y * 3))");
+  EXPECT_EQ(tree_size(*e), 5u);
+}
+
+TEST(IrExpr, LoadRendering) {
+  ExprPtr e = e_load("ram", e_var("p"));
+  EXPECT_EQ(to_string(*e), "ram[p]");
+}
+
+TEST(IrExpr, IntrinsicsLoHi) {
+  ExprPtr lo = e_lo(e_var("acc"));
+  EXPECT_EQ(lo->kind, Expr::Kind::OpNode);
+  EXPECT_EQ(lo->op, hdl::OpKind::Custom);
+  EXPECT_EQ(lo->custom, "lo");
+  EXPECT_EQ(to_string(*e_hi(e_var("acc"))), "hi(acc)");
+}
+
+TEST(IrExpr, CloneIsDeep) {
+  ExprPtr e = e_sub(e_var("a"), e_const(1));
+  ExprPtr c = e->clone();
+  EXPECT_EQ(to_string(*e), to_string(*c));
+  EXPECT_NE(e->args[0].get(), c->args[0].get());
+}
+
+TEST(IrProgram, BindingsResolve) {
+  Program p("t");
+  p.bind_register("acc", "ACC");
+  p.bind_mem_cell("x", "ram", 42);
+  ASSERT_NE(p.binding_of("acc"), nullptr);
+  EXPECT_EQ(p.binding_of("acc")->kind, Binding::Kind::Register);
+  EXPECT_EQ(p.binding_of("x")->cell, 42);
+  EXPECT_EQ(p.binding_of("ghost"), nullptr);
+}
+
+TEST(IrProgram, ValidateCatchesUnboundVariable) {
+  Program p("t");
+  p.assign("y", e_var("x"));
+  util::DiagnosticSink diags;
+  EXPECT_FALSE(p.validate(diags));
+  EXPECT_NE(diags.str().find("no storage binding"), std::string::npos);
+}
+
+TEST(IrProgram, ValidateCatchesUnknownLabel) {
+  Program p("t");
+  p.branch("nowhere");
+  util::DiagnosticSink diags;
+  EXPECT_FALSE(p.validate(diags));
+  EXPECT_NE(diags.str().find("unknown label"), std::string::npos);
+}
+
+TEST(IrProgram, ValidateCatchesDuplicateLabel) {
+  Program p("t");
+  p.label("L");
+  p.label("L");
+  util::DiagnosticSink diags;
+  EXPECT_FALSE(p.validate(diags));
+}
+
+TEST(IrProgram, ValidatesCleanProgram) {
+  Program p("t");
+  p.bind_register("i", "R1");
+  p.label("top");
+  p.assign("i", e_sub(e_var("i"), e_const(1)));
+  p.branch_if_not_zero("i", "top");
+  util::DiagnosticSink diags;
+  EXPECT_TRUE(p.validate(diags)) << diags.str();
+}
+
+TEST(IrProgram, StmtRendering) {
+  Program p("t");
+  p.bind_register("a", "ACC");
+  p.assign("a", e_const(0));
+  p.store("ram", e_const(5), e_var("a"));
+  p.label("L");
+  p.branch_if_zero("a", "L");
+  EXPECT_EQ(p.stmts()[0].str(), "a = 0");
+  EXPECT_EQ(p.stmts()[1].str(), "ram[5] = a");
+  EXPECT_EQ(p.stmts()[2].str(), "L:");
+  EXPECT_EQ(p.stmts()[3].str(), "ifz a goto L");
+}
+
+TEST(Builder, LoopLowersToCountedBranch) {
+  ProgramBuilder b("k");
+  b.reg("acc", "A").reg("lc", "C");
+  b.loop("lc", 4, [](ProgramBuilder& body) {
+    body.let("acc", ir::e_add(ir::e_var("acc"), ir::e_const(1)));
+  });
+  Program p = b.take();
+  // lc = 4; label; body; lc = lc - 1; ifnz lc goto label.
+  ASSERT_EQ(p.stmts().size(), 5u);
+  EXPECT_EQ(p.stmts()[0].str(), "lc = 4");
+  EXPECT_EQ(p.stmts()[1].kind, Stmt::Kind::LabelDef);
+  EXPECT_EQ(p.stmts()[4].kind, Stmt::Kind::Branch);
+  util::DiagnosticSink diags;
+  EXPECT_TRUE(p.validate(diags)) << diags.str();
+}
+
+TEST(Builder, UnrollRepeatsBody) {
+  ProgramBuilder b("k");
+  b.reg("acc", "A");
+  b.unroll(3, [](ProgramBuilder& body, std::int64_t i) {
+    body.let("acc", ir::e_const(i));
+  });
+  EXPECT_EQ(b.program().stmts().size(), 3u);
+}
+
+// --- kernel language ---------------------------------------------------------
+
+std::optional<Program> parse_krn(std::string_view src) {
+  util::DiagnosticSink diags;
+  auto p = parse_kernel(src, diags);
+  EXPECT_TRUE(p.has_value()) << diags.str();
+  return p;
+}
+
+TEST(KernelLang, ParsesDeclarationsAndStatements) {
+  auto p = parse_krn(R"(
+kernel demo;
+bind acc: ACC;
+cell x: ram[4];
+const N = 3;
+acc = x + N;
+ram[7] = lo(acc);
+)");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->name(), "demo");
+  EXPECT_EQ(p->binding_of("acc")->storage, "ACC");
+  EXPECT_EQ(p->binding_of("x")->cell, 4);
+  ASSERT_EQ(p->stmts().size(), 2u);
+  EXPECT_EQ(p->stmts()[0].str(), "acc = (x + 3)");
+  EXPECT_EQ(p->stmts()[1].str(), "ram[7] = lo(acc)");
+}
+
+TEST(KernelLang, RepeatNeedsLoopreg) {
+  util::DiagnosticSink diags;
+  auto p = parse_kernel(R"(
+kernel k;
+bind a: A;
+repeat 4 { a = a + 1; }
+)",
+                        diags);
+  EXPECT_FALSE(p.has_value());
+  EXPECT_NE(diags.str().find("loopreg"), std::string::npos);
+}
+
+TEST(KernelLang, RepeatLowersToLoop) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+loopreg lc: C;
+repeat 4 { a = a + 1; }
+)");
+  ASSERT_TRUE(p);
+  // lc = 4; label; a = a+1; lc = lc-1; ifnz.
+  ASSERT_EQ(p->stmts().size(), 5u);
+  EXPECT_EQ(p->stmts()[4].kind, Stmt::Kind::Branch);
+  EXPECT_EQ(p->stmts()[4].branch, BranchKind::IfNotZero);
+}
+
+TEST(KernelLang, UnrollExpandsBody) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+unroll 3 { a = a + 1; }
+)");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->stmts().size(), 3u);
+}
+
+TEST(KernelLang, UnrollZeroSkipsBody) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+unroll 0 { a = a + 1; }
+a = 7;
+)");
+  ASSERT_TRUE(p);
+  ASSERT_EQ(p->stmts().size(), 1u);
+  EXPECT_EQ(p->stmts()[0].str(), "a = 7");
+}
+
+TEST(KernelLang, GotoAndLabels) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+start:
+a = a - 1;
+ifnz a goto start;
+ifz a goto done;
+goto start;
+done:
+)");
+  ASSERT_TRUE(p);
+  util::DiagnosticSink diags;
+  EXPECT_TRUE(p->validate(diags)) << diags.str();
+}
+
+TEST(KernelLang, ConstSubstitution) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+const BASE = 16;
+a = mem[BASE];
+)");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->stmts()[0].str(), "a = mem[16]");
+}
+
+TEST(KernelLang, OperatorPrecedence) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+a = 1 + 2 * 3 & 4;
+)");
+  ASSERT_TRUE(p);
+  // & binds loosest here: (1 + (2*3)) & 4.
+  EXPECT_EQ(p->stmts()[0].str(), "a = ((1 + (2 * 3)) & 4)");
+}
+
+TEST(KernelLang, CustomCalls) {
+  auto p = parse_krn(R"(
+kernel k;
+bind a: A;
+a = sat(a + 1);
+)");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->stmts()[0].str(), "a = sat((a + 1))");
+}
+
+TEST(KernelLang, ErrorsAreReported) {
+  util::DiagnosticSink diags;
+  EXPECT_FALSE(parse_kernel("kernel;", diags).has_value());
+  diags.clear();
+  EXPECT_FALSE(parse_kernel("kernel k; a = ;", diags).has_value());
+  diags.clear();
+  EXPECT_FALSE(
+      parse_kernel("kernel k; repeat { }", diags).has_value());
+}
+
+}  // namespace
+}  // namespace record::ir

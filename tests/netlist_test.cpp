@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "hdl/parser.h"
+#include "hdl/sema.h"
+#include "netlist/netlist.h"
+
+namespace record::netlist {
+namespace {
+
+constexpr const char* kModel = R"(
+PROCESSOR nl;
+CONTROLLER im (OUT w:(15:0));
+REGISTER r (IN d:(7:0); OUT q:(7:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+MEMORY mm (IN addr:(3:0); IN din:(7:0); OUT dout:(7:0); CTRL we:(0:0)) SIZE 16;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+PORT pin: IN (7:0);
+PORT pout: OUT (7:0);
+STRUCTURE
+PARTS
+  IM: im;  R: r;  M: mm;
+BUS db: (7:0);
+CONNECTIONS
+  db := M.dout WHEN IM.w(15:15) = 1;
+  db := pin    WHEN IM.w(15:15) = 0;
+  R.d := db;
+  R.ld := IM.w(14:14);
+  M.addr := IM.w(3:0);
+  M.din := R.q;
+  M.we := IM.w(13:13);
+  pout := R.q;
+END;
+)";
+
+Netlist make() {
+  util::DiagnosticSink diags;
+  auto model = hdl::parse(kModel, diags);
+  EXPECT_TRUE(model) << diags.str();
+  EXPECT_TRUE(hdl::check_model(*model, diags)) << diags.str();
+  auto nl = elaborate(std::move(*model), diags);
+  EXPECT_TRUE(nl) << diags.str();
+  return std::move(*nl);
+}
+
+TEST(Netlist, InstancesResolved) {
+  Netlist nl = make();
+  EXPECT_EQ(nl.instances().size(), 3u);
+  EXPECT_GE(nl.find_instance("R"), 0);
+  EXPECT_GE(nl.find_instance("M"), 0);
+  EXPECT_EQ(nl.find_instance("ghost"), -1);
+}
+
+TEST(Netlist, ControllerIdentified) {
+  Netlist nl = make();
+  ASSERT_GE(nl.controller(), 0);
+  EXPECT_EQ(nl.instance(nl.controller()).name, "IM");
+  EXPECT_EQ(nl.instruction_port(), "w");
+  EXPECT_EQ(nl.instruction_width(), 16);
+}
+
+TEST(Netlist, SequentialInstances) {
+  Netlist nl = make();
+  auto seq = nl.sequential_instances();
+  ASSERT_EQ(seq.size(), 2u);  // R and M; the controller is not SEQ
+  EXPECT_TRUE(nl.instance(seq[0]).is_sequential());
+}
+
+TEST(Netlist, WireDriversResolved) {
+  Netlist nl = make();
+  InstanceId r = nl.find_instance("R");
+  const Driver* d = nl.port_driver(r, "ld");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->source.kind, NetSource::Kind::InstancePort);
+  EXPECT_TRUE(d->source.has_slice);
+  EXPECT_EQ(d->source.slice.msb, 14);
+}
+
+TEST(Netlist, BusDriversKeepGuards) {
+  Netlist nl = make();
+  const auto& drivers = nl.bus_drivers("db");
+  ASSERT_EQ(drivers.size(), 2u);
+  EXPECT_NE(drivers[0].guard, nullptr);
+  EXPECT_EQ(drivers[0].source.kind, NetSource::Kind::InstancePort);
+  EXPECT_EQ(drivers[1].source.kind, NetSource::Kind::ProcPort);
+}
+
+TEST(Netlist, BusConsumersSeeBusSource) {
+  Netlist nl = make();
+  InstanceId r = nl.find_instance("R");
+  const Driver* d = nl.port_driver(r, "d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->source.kind, NetSource::Kind::Bus);
+  EXPECT_EQ(d->source.port, "db");
+}
+
+TEST(Netlist, ProcOutDriver) {
+  Netlist nl = make();
+  const Driver* d = nl.proc_out_driver("pout");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->source.kind, NetSource::Kind::InstancePort);
+  EXPECT_EQ(nl.proc_out_driver("nope"), nullptr);
+}
+
+TEST(Netlist, WidthQueries) {
+  Netlist nl = make();
+  InstanceId m = nl.find_instance("M");
+  EXPECT_EQ(nl.port_width(m, "dout"), 8);
+  EXPECT_EQ(nl.port_width(m, "addr"), 4);
+  EXPECT_EQ(nl.bus_width("db"), 8);
+  EXPECT_EQ(nl.bus_width("nope"), -1);
+}
+
+TEST(Netlist, UndrivenPortReturnsNull) {
+  Netlist nl = make();
+  InstanceId r = nl.find_instance("R");
+  EXPECT_EQ(nl.port_driver(r, "nonexistent"), nullptr);
+}
+
+TEST(Netlist, MissingControllerFailsElaboration) {
+  const char* src = R"(
+PROCESSOR bad;
+REGISTER r (IN d:(1:0); OUT q:(1:0); CTRL ld:(0:0));
+BEHAVIOR q := d WHEN ld = 1; END;
+STRUCTURE
+PARTS
+  R: r;
+CONNECTIONS
+  R.d := R.q;
+  R.ld := R.q(0:0);
+END;
+)";
+  util::DiagnosticSink diags;
+  auto model = hdl::parse(src, diags);
+  ASSERT_TRUE(model);
+  auto nl = elaborate(std::move(*model), diags);
+  EXPECT_FALSE(nl.has_value());
+}
+
+}  // namespace
+}  // namespace record::netlist

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "grammar/grammar.h"
+#include "treeparse/burs.h"
+#include "treeparse/emitc.h"
+#include "treeparse/subject.h"
+
+namespace record::treeparse {
+namespace {
+
+using grammar::kStart;
+using grammar::NtId;
+using grammar::pat_const_leaf;
+using grammar::pat_imm;
+using grammar::pat_nonterm;
+using grammar::pat_term;
+using grammar::PatNodePtr;
+using grammar::RuleKind;
+using grammar::TermId;
+using grammar::TreeGrammar;
+
+/// Classic BURS example grammar, accumulator style:
+///   START -> ASSIGN($dest:A, nt:A)                cost 0
+///   nt:A -> plus(nt:A, nt:B)                      cost 1   (ADD)
+///   nt:A -> load(nt:B)                            cost 1   (LOAD via B)
+///   nt:A -> $reg:A                                cost 0   (stop)
+///   nt:B -> #imm4                                 cost 1   (LDI)
+///   nt:B -> nt:A                                  cost 1   (MOVE, chain)
+///   nt:B -> $reg:B                                cost 0   (stop)
+struct Fixture {
+  TreeGrammar g;
+  TermId t_dest_a, t_reg_a, t_reg_b, t_plus, t_load;
+  NtId nt_a, nt_b;
+
+  Fixture() {
+    nt_a = g.intern_nonterminal("nt:A");
+    nt_b = g.intern_nonterminal("nt:B");
+    t_dest_a = g.intern_terminal("$dest:A");
+    t_reg_a = g.intern_terminal("$reg:A");
+    t_reg_b = g.intern_terminal("$reg:B");
+    t_plus = g.intern_terminal("plus");
+    t_load = g.intern_terminal("load");
+
+    {
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_term(t_dest_a, {}));
+      kids.push_back(pat_nonterm(nt_a));
+      g.add_rule(kStart, pat_term(g.assign_terminal(), std::move(kids)), 0,
+                 RuleKind::Start);
+    }
+    {
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_a));
+      kids.push_back(pat_nonterm(nt_b));
+      g.add_rule(nt_a, pat_term(t_plus, std::move(kids)), 1, RuleKind::RT,
+                 /*template_id=*/0);
+    }
+    {
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_b));
+      g.add_rule(nt_a, pat_term(t_load, std::move(kids)), 1, RuleKind::RT,
+                 1);
+    }
+    g.add_rule(nt_a, pat_term(t_reg_a, {}), 0, RuleKind::Stop);
+    g.add_rule(nt_b, pat_imm({0, 1, 2, 3}), 1, RuleKind::RT, 2);
+    g.add_rule(nt_b, pat_nonterm(nt_a), 1, RuleKind::RT, 3);  // chain
+    g.add_rule(nt_b, pat_term(t_reg_b, {}), 0, RuleKind::Stop);
+  }
+};
+
+TEST(Burs, LeafLabelling) {
+  Fixture f;
+  SubjectTree t;
+  t.set_root(t.make(f.t_reg_a));
+  TreeParser parser(f.g);
+  LabelResult r = parser.label(t);
+  const auto& labels = r.labels[0];
+  EXPECT_EQ(labels[static_cast<std::size_t>(f.nt_a)].cost, 0);  // stop rule
+  // Chain closure: nt:B reachable via MOVE.
+  EXPECT_EQ(labels[static_cast<std::size_t>(f.nt_b)].cost, 1);
+}
+
+TEST(Burs, OptimalCostForAssign) {
+  Fixture f;
+  SubjectTree t;
+  // A := plus(A, imm 5): ADD + LDI = 2.
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* rega = t.make(f.t_reg_a);
+  SubjectNode* imm = t.make_const(f.g.const_terminal(), 5);
+  SubjectNode* plus = t.make(f.t_plus, {rega, imm});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, plus}));
+  TreeParser parser(f.g);
+  LabelResult r = parser.label(t);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.root_cost, 2);
+}
+
+TEST(Burs, ImmediateWidthLimitsMatching) {
+  Fixture f;
+  TreeParser parser(f.g);
+  for (std::int64_t v : {0, 7, 15, -8}) {
+    SubjectTree t;
+    SubjectNode* dest = t.make(f.t_dest_a);
+    SubjectNode* load =
+        t.make(f.t_load, {t.make_const(f.g.const_terminal(), v)});
+    t.set_root(t.make(f.g.assign_terminal(), {dest, load}));
+    EXPECT_TRUE(parser.label(t).ok) << v;
+  }
+  // 77 does not fit 4 bits (even signed): no derivation.
+  SubjectTree t;
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* load =
+      t.make(f.t_load, {t.make_const(f.g.const_terminal(), 77)});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, load}));
+  EXPECT_FALSE(parser.label(t).ok);
+}
+
+TEST(Burs, ImmediateFitsRule) {
+  EXPECT_TRUE(TreeParser::immediate_fits(15, 4));
+  EXPECT_TRUE(TreeParser::immediate_fits(-8, 4));
+  EXPECT_FALSE(TreeParser::immediate_fits(16, 4));
+  EXPECT_FALSE(TreeParser::immediate_fits(-9, 4));
+  EXPECT_TRUE(TreeParser::immediate_fits(1, 1));
+}
+
+TEST(Burs, ChainRulesCompose) {
+  Fixture f;
+  SubjectTree t;
+  // A := plus(A, B-as-A-value): plus's right child is $reg:A, which must
+  // reach nt:B through the chain nt:B -> nt:A.
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* lhs = t.make(f.t_reg_a);
+  SubjectNode* rhs = t.make(f.t_reg_a);
+  SubjectNode* plus = t.make(f.t_plus, {lhs, rhs});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, plus}));
+  TreeParser parser(f.g);
+  LabelResult r = parser.label(t);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.root_cost, 2);  // ADD + MOVE
+}
+
+TEST(Burs, ReduceProducesDerivationTree) {
+  Fixture f;
+  SubjectTree t;
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* rega = t.make(f.t_reg_a);
+  SubjectNode* imm = t.make_const(f.g.const_terminal(), 3);
+  SubjectNode* plus = t.make(f.t_plus, {rega, imm});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, plus}));
+  TreeParser parser(f.g);
+  auto derivation = parser.parse(t);
+  ASSERT_NE(derivation, nullptr);
+  // START rule at the root; its child is the ADD rule.
+  EXPECT_EQ(f.g.rule(derivation->rule).kind, RuleKind::Start);
+  ASSERT_EQ(derivation->children.size(), 1u);
+  const Derivation& add = *derivation->children[0];
+  EXPECT_EQ(f.g.rule(add.rule).template_id, 0);
+  ASSERT_EQ(add.children.size(), 2u);
+  // Second operand: LDI with the immediate recorded.
+  const Derivation& ldi = *add.children[1];
+  EXPECT_EQ(f.g.rule(ldi.rule).template_id, 2);
+  ASSERT_EQ(ldi.imms.size(), 1u);
+  EXPECT_EQ(ldi.imms[0].value, 3);
+  EXPECT_EQ(ldi.imms[0].field_bits, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Burs, UnparseableTreeReturnsNull) {
+  Fixture f;
+  SubjectTree t;
+  TermId alien = f.g.intern_terminal("alien");
+  t.set_root(t.make(alien));
+  TreeParser parser(f.g);
+  EXPECT_EQ(parser.parse(t), nullptr);
+}
+
+TEST(Burs, DerivationApplicationCount) {
+  Fixture f;
+  SubjectTree t;
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* load =
+      t.make(f.t_load, {t.make_const(f.g.const_terminal(), 1)});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, load}));
+  TreeParser parser(f.g);
+  auto d = parser.parse(t);
+  ASSERT_NE(d, nullptr);
+  // START + LOAD + LDI = 3 applications.
+  EXPECT_EQ(d->application_count(), 3u);
+}
+
+// Property sweep: left-leaning plus-chains of depth n must cost exactly
+// n (ADDs) + 1 (LDI for the single immediate leaf) + chain moves, and
+// labelling must stay linear (every node visited once).
+class BursChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BursChainProperty, ChainCostGrowsLinearly) {
+  int depth = GetParam();
+  Fixture f;
+  SubjectTree t;
+  SubjectNode* acc = t.make(f.t_reg_a);
+  for (int i = 0; i < depth; ++i) {
+    SubjectNode* imm = t.make_const(f.g.const_terminal(), i % 14);
+    acc = t.make(f.t_plus, {acc, imm});
+  }
+  SubjectNode* dest = t.make(f.t_dest_a);
+  t.set_root(t.make(f.g.assign_terminal(), {dest, acc}));
+  TreeParser parser(f.g);
+  LabelResult r = parser.label(t);
+  ASSERT_TRUE(r.ok);
+  // Each level: 1 ADD + 1 LDI.
+  EXPECT_EQ(r.root_cost, 2 * depth);
+  auto d = parser.reduce(t, r);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->application_count(), 1u + 2u * static_cast<std::size_t>(depth) + 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BursChainProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Subject, ToStringRendersTerminals) {
+  Fixture f;
+  SubjectTree t;
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* imm = t.make_const(f.g.const_terminal(), 9);
+  SubjectNode* load = t.make(f.t_load, {imm});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, load}));
+  EXPECT_EQ(t.to_string(f.g), "ASSIGN($dest:A, load(9))");
+}
+
+TEST(Subject, IdsAreTopological) {
+  Fixture f;
+  SubjectTree t;
+  SubjectNode* a = t.make(f.t_reg_a);
+  SubjectNode* b = t.make_const(f.g.const_terminal(), 1);
+  SubjectNode* p = t.make(f.t_plus, {a, b});
+  EXPECT_LT(a->id, p->id);
+  EXPECT_LT(b->id, p->id);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(EmitC, GeneratedSourceIsSelfContained) {
+  Fixture f;
+  EmitCOptions options;
+  options.grammar_name = "fixture";
+  std::string src = emit_c_parser(f.g, options);
+  EXPECT_NE(src.find("#define RULE_COUNT 7"), std::string::npos) << src;
+  EXPECT_NE(src.find("burm_label"), std::string::npos);
+  EXPECT_NE(src.find("int main(void)"), std::string::npos);
+  // Size scales with the rule set (tables emitted per rule).
+  EXPECT_GT(src.size(), 2000u);
+}
+
+TEST(EmitC, WithoutMainOmitsDriver) {
+  Fixture f;
+  EmitCOptions options;
+  options.with_main = false;
+  std::string src = emit_c_parser(f.g, options);
+  EXPECT_EQ(src.find("int main"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace record::treeparse

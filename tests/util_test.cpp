@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace record::util {
+namespace {
+
+TEST(Strings, IsIdentifierAcceptsTypicalNames) {
+  EXPECT_TRUE(is_identifier("acc"));
+  EXPECT_TRUE(is_identifier("_tmp0"));
+  EXPECT_TRUE(is_identifier("R2"));
+}
+
+TEST(Strings, IsIdentifierRejectsMalformed) {
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("2x"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a.b"));
+}
+
+TEST(Strings, ToLowerIsAsciiOnly) {
+  EXPECT_EQ(to_lower("PROCessor"), "processor");
+  EXPECT_EQ(to_lower("R2_D"), "r2_d");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x "), "x");
+  EXPECT_EQ(trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseIntDecimal) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("0").value(), 0);
+}
+
+TEST(Strings, ParseIntHexAndBinary) {
+  EXPECT_EQ(parse_int("0x1f").value(), 31);
+  EXPECT_EQ(parse_int("0b101").value(), 5);
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("0x").has_value());
+}
+
+TEST(Strings, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, FmtSubstitutesInOrder) {
+  EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(fmt("port '{}'", "dout"), "port 'dout'");
+}
+
+TEST(Strings, FmtHandlesBoolAndChar) {
+  EXPECT_EQ(fmt("{} {}", true, 'x'), "true x");
+}
+
+TEST(Strings, FmtExtraPlaceholdersStayLiteral) {
+  EXPECT_EQ(fmt("a {} b {}", 1), "a 1 b {}");
+}
+
+TEST(Diagnostics, SinkCountsBySeverity) {
+  DiagnosticSink sink;
+  sink.note({1, 1}, "n");
+  sink.warning({2, 1}, "w");
+  sink.error({3, 1}, "e");
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(sink.all().size(), 3u);
+}
+
+TEST(Diagnostics, OkWithOnlyWarnings) {
+  DiagnosticSink sink;
+  sink.warning({}, "w");
+  EXPECT_TRUE(sink.ok());
+}
+
+TEST(Diagnostics, FirstErrorSkipsNotes) {
+  DiagnosticSink sink;
+  sink.note({}, "first note");
+  sink.error({7, 3}, "boom");
+  EXPECT_NE(sink.first_error().find("boom"), std::string::npos);
+  EXPECT_NE(sink.first_error().find("7:3"), std::string::npos);
+}
+
+TEST(Diagnostics, StrRendersAllLines) {
+  DiagnosticSink sink;
+  sink.error({1, 2}, "one");
+  sink.error({3, 4}, "two");
+  std::string s = sink.str();
+  EXPECT_NE(s.find("one"), std::string::npos);
+  EXPECT_NE(s.find("two"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticSink sink;
+  sink.error({}, "x");
+  sink.clear();
+  EXPECT_TRUE(sink.ok());
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(Diagnostics, UnknownLocRendering) {
+  SourceLoc loc;
+  EXPECT_FALSE(loc.known());
+  EXPECT_EQ(loc.str(), "<unknown>");
+  EXPECT_EQ((SourceLoc{4, 7}).str(), "4:7");
+}
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  Timer t;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds());
+}
+
+TEST(PhaseTimes, RecordsAndTotals) {
+  PhaseTimes pt;
+  pt.record("ise", 1.5);
+  pt.record("grammar", 0.5);
+  EXPECT_DOUBLE_EQ(pt.total(), 2.0);
+  EXPECT_DOUBLE_EQ(pt.get("ise"), 1.5);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+}
+
+}  // namespace
+}  // namespace record::util
