@@ -1,0 +1,178 @@
+#include "burstab/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "burstab/serialize.h"
+#include "util/strings.h"
+
+namespace record::burstab {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kCacheMagic = 0x52544331;  // "RTC1"
+constexpr std::uint32_t kCacheVersion = 1;
+
+void write_extract_stats(ByteWriter& w, const ise::ExtractStats& s) {
+  w.u64(s.destinations);
+  w.u64(s.raw_routes);
+  w.u64(s.unsat_discarded);
+  w.u64(s.duplicates);
+  w.u64(s.route_stats.unsat_pruned);
+  w.u64(s.route_stats.depth_pruned);
+  w.u64(s.route_stats.cap_pruned);
+  w.u64(s.route_stats.bus_contention_pruned);
+}
+
+void read_extract_stats(ByteReader& r, ise::ExtractStats& s) {
+  s.destinations = r.u64();
+  s.raw_routes = r.u64();
+  s.unsat_discarded = r.u64();
+  s.duplicates = r.u64();
+  s.route_stats.unsat_pruned = r.u64();
+  s.route_stats.depth_pruned = r.u64();
+  s.route_stats.cap_pruned = r.u64();
+  s.route_stats.bus_contention_pruned = r.u64();
+}
+
+void write_extend_stats(ByteWriter& w, const rtl::ExtendStats& s) {
+  w.u64(s.commutative_added);
+  w.u64(s.rewrite_added);
+  w.u64(s.variant_capped);
+}
+
+void read_extend_stats(ByteReader& r, rtl::ExtendStats& s) {
+  s.commutative_added = r.u64();
+  s.rewrite_added = r.u64();
+  s.variant_capped = r.u64();
+}
+
+void write_build_stats(ByteWriter& w, const grammar::BuildStats& s) {
+  w.u64(s.start_rules);
+  w.u64(s.rt_rules);
+  w.u64(s.stop_rules);
+  w.u64(s.chain_rules);
+  w.u64(s.self_moves_skipped);
+  w.u64(s.low_slice_variants);
+}
+
+void read_build_stats(ByteReader& r, grammar::BuildStats& s) {
+  s.start_rules = r.u64();
+  s.rt_rules = r.u64();
+  s.stop_rules = r.u64();
+  s.chain_rules = r.u64();
+  s.self_moves_skipped = r.u64();
+  s.low_slice_variants = r.u64();
+}
+
+}  // namespace
+
+TargetCache::TargetCache(std::string dir)
+    : dir_(dir.empty() ? default_dir() : std::move(dir)) {}
+
+std::string TargetCache::default_dir() {
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = ".";
+  return (tmp / "record-target-cache").string();
+}
+
+std::uint64_t TargetCache::key_of(std::string_view hdl_source,
+                                  std::string_view options_digest) {
+  std::uint64_t h = fnv1a(hdl_source);
+  return fnv1a(options_digest, h);
+}
+
+std::string TargetCache::entry_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.rtc",
+                static_cast<unsigned long long>(key));
+  return (fs::path(dir_) / name).string();
+}
+
+std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string blob = std::move(buf).str();
+
+  ByteReader r(blob);
+  if (r.u32() != kCacheMagic || r.u32() != kCacheVersion) return std::nullopt;
+  if (r.u64() != key) return std::nullopt;
+
+  TargetArtifacts a;
+  a.processor = r.str();
+  read_extract_stats(r, a.extract_stats);
+  read_extend_stats(r, a.extend_stats);
+  read_build_stats(r, a.grammar_stats);
+  if (!read_template_base(r, a.base)) return std::nullopt;
+  if (!read_grammar(r, a.grammar)) return std::nullopt;
+  bool has_tables = r.u8() != 0;
+  if (!r.ok()) return std::nullopt;
+  if (has_tables) {
+    std::size_t offset = r.pos();
+    std::unique_ptr<TargetTables> t =
+        TargetTables::deserialize(a.grammar, blob, offset);
+    if (!t) return std::nullopt;
+    a.tables = std::move(t);
+  }
+  return a;
+}
+
+bool TargetCache::store(std::uint64_t key,
+                        const TargetArtifactsView& artifacts) const {
+  if (!artifacts.processor || !artifacts.base || !artifacts.grammar)
+    return false;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return false;
+
+  ByteWriter w;
+  w.u32(kCacheMagic);
+  w.u32(kCacheVersion);
+  w.u64(key);
+  w.str(*artifacts.processor);
+  static const ise::ExtractStats kNoExtract;
+  static const rtl::ExtendStats kNoExtend;
+  static const grammar::BuildStats kNoBuild;
+  write_extract_stats(
+      w, artifacts.extract_stats ? *artifacts.extract_stats : kNoExtract);
+  write_extend_stats(
+      w, artifacts.extend_stats ? *artifacts.extend_stats : kNoExtend);
+  write_build_stats(
+      w, artifacts.grammar_stats ? *artifacts.grammar_stats : kNoBuild);
+  write_template_base(w, *artifacts.base);
+  write_grammar(w, *artifacts.grammar);
+  w.u8(artifacts.tables ? 1 : 0);
+  std::string blob = w.take();
+  if (artifacts.tables) artifacts.tables->serialize(blob);
+
+  std::string final_path = entry_path(key);
+  std::string tmp_path = util::fmt("{}.tmp-{}", final_path,
+                                   static_cast<unsigned>(::getpid()));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace record::burstab

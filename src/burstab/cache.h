@@ -1,0 +1,80 @@
+// Persistent target cache: retargeting artifacts keyed by a content hash of
+// the HDL processor model and the retargeting options.
+//
+// The paper's Table 3 pays the full HDL -> netlist -> ISE -> extension ->
+// grammar pipeline on every retarget. For an unchanged model that work is
+// pure recomputation, so the cache serialises everything a code selector
+// needs — processor name, extended RT template base (with BDD execution
+// conditions), tree grammar, compiled BURS state tables and phase statistics
+// — into one binary blob per key under a cache directory (default:
+// <system temp>/record-target-cache). A warm Record::retarget then reduces
+// to one file read plus deserialisation, and table-driven selection starts
+// from the previously accumulated state tables instead of an empty set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "burstab/tables.h"
+#include "grammar/build.h"
+#include "grammar/grammar.h"
+#include "ise/extract.h"
+#include "rtl/extend.h"
+#include "rtl/template.h"
+
+namespace record::burstab {
+
+/// Everything the cache stores for one (model, options) key.
+struct TargetArtifacts {
+  std::string processor;
+  rtl::TemplateBase base;
+  grammar::TreeGrammar grammar;
+  std::shared_ptr<TargetTables> tables;  // null if built without tables
+  ise::ExtractStats extract_stats;
+  rtl::ExtendStats extend_stats;
+  grammar::BuildStats grammar_stats;
+};
+
+/// Non-owning view for store() so callers need not reassemble ownership.
+struct TargetArtifactsView {
+  const std::string* processor = nullptr;
+  const rtl::TemplateBase* base = nullptr;
+  const grammar::TreeGrammar* grammar = nullptr;
+  const TargetTables* tables = nullptr;  // optional
+  const ise::ExtractStats* extract_stats = nullptr;
+  const rtl::ExtendStats* extend_stats = nullptr;
+  const grammar::BuildStats* grammar_stats = nullptr;
+};
+
+class TargetCache {
+ public:
+  /// `dir` empty selects default_dir(). The directory is created lazily on
+  /// the first store().
+  explicit TargetCache(std::string dir = {});
+
+  /// <system temp>/record-target-cache
+  [[nodiscard]] static std::string default_dir();
+
+  /// Content hash for a retarget request: the HDL source plus a canonical
+  /// rendering of every option that shapes the artifacts.
+  [[nodiscard]] static std::uint64_t key_of(std::string_view hdl_source,
+                                            std::string_view options_digest);
+
+  [[nodiscard]] std::optional<TargetArtifacts> load(std::uint64_t key) const;
+
+  /// Serialises and atomically publishes (write + rename) the artifacts.
+  bool store(std::uint64_t key, const TargetArtifactsView& artifacts) const;
+
+  /// Path of the blob for `key` (exists or not).
+  [[nodiscard]] std::string entry_path(std::uint64_t key) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace record::burstab

@@ -1,0 +1,248 @@
+#include "burstab/tableparse.h"
+
+#include <algorithm>
+
+namespace record::burstab {
+
+using grammar::PatNode;
+using grammar::Rule;
+using treeparse::LabelEntry;
+using treeparse::LabelResult;
+using treeparse::SubjectNode;
+using treeparse::SubjectTree;
+
+namespace {
+
+int sat_add(int a, int b) {
+  if (a >= kInf || b >= kInf) return kInf;
+  return a + b;
+}
+
+}  // namespace
+
+LabelResult TableParser::label(const SubjectTree& tree) const {
+  LabelResult result;
+  const int nts = tables_.nonterminal_count();
+  result.labels.assign(
+      tree.size(),
+      std::vector<LabelEntry>(static_cast<std::size_t>(nts), LabelEntry{}));
+  if (!tree.root()) return result;
+
+  std::vector<int> state_of(tree.size(), -1);
+  std::vector<int> base_of(tree.size(), 0);
+
+  // Closed absolute costs of already-labelled descendants, for the
+  // side-constraint fallback matcher.
+  const auto closed_cost = [&result](const SubjectNode& n,
+                                     grammar::NtId nt) {
+    return result.labels[static_cast<std::size_t>(n.id)]
+                        [static_cast<std::size_t>(nt)]
+        .cost;
+  };
+  const treeparse::CostLookup costs(closed_cost);
+
+  struct Candidate {
+    grammar::NtId lhs;
+    int cost;  // absolute
+    int rid;
+  };
+  std::vector<Candidate> cands;
+  std::vector<int> raw_cost, raw_rule;
+
+  std::vector<int> child_states;
+  for (std::size_t id = 0; id < tree.size(); ++id) {
+    const SubjectNode& node = tree.node(static_cast<int>(id));
+    std::vector<LabelEntry>& mine = result.labels[id];
+
+    bool merged = false;
+    if (tables_.terminal_has_constrained(node.term) && !node.is_const) {
+      // Hybrid path: match only the side-constrained rules through the
+      // shared matcher. When none bind (the common case — x+x patterns need
+      // structurally equal operands) the node proceeds on the plain table
+      // path below; otherwise the matches are interleaved with the table
+      // rules' pre-closure candidates by (cost, rule id), reproducing the
+      // interpreter's scan order, and the node is re-interned.
+      cands.clear();
+      for (int rid : tables_.constrained_rules_of(node.term)) {
+        const Rule& r = g_.rule(rid);
+        std::vector<treeparse::ImmBinding> imm_fields;
+        std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+        std::optional<int> c = treeparse::match_pattern_cost(
+            *r.pattern, node, costs, imm_fields, nt_binds);
+        if (c) cands.push_back(Candidate{r.lhs, *c + r.cost, rid});
+      }
+      if (!cands.empty()) {
+        child_states.clear();
+        int base_sum = 0;
+        for (const SubjectNode* c : node.children) {
+          child_states.push_back(state_of[static_cast<std::size_t>(c->id)]);
+          base_sum =
+              sat_add(base_sum, base_of[static_cast<std::size_t>(c->id)]);
+        }
+        tables_.raw_candidates(node.term, child_states, raw_cost, raw_rule);
+        for (int i = 0; i < nts; ++i) {
+          const std::size_t idx = static_cast<std::size_t>(i);
+          mine[idx].cost = sat_add(base_sum, raw_cost[idx]);
+          mine[idx].rule = raw_rule[idx];
+        }
+        // Lexicographic (cost, rule id) argmin == the interpreter's strict-
+        // improvement scan over all rules in id order.
+        for (const Candidate& c : cands) {
+          LabelEntry& e = mine[static_cast<std::size_t>(c.lhs)];
+          if (c.cost < e.cost ||
+              (c.cost == e.cost && (e.rule < 0 || c.rid < e.rule))) {
+            e.cost = c.cost;
+            e.rule = c.rid;
+          }
+        }
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (int y = 0; y < nts; ++y) {
+            int base = mine[static_cast<std::size_t>(y)].cost;
+            if (base >= kInf) continue;
+            for (int rid : g_.chain_rules_from(y)) {
+              const Rule& r = g_.rule(rid);
+              int total = base + r.cost;
+              LabelEntry& e = mine[static_cast<std::size_t>(r.lhs)];
+              if (total < e.cost) {
+                e.cost = total;
+                e.rule = rid;
+                changed = true;
+              }
+            }
+          }
+        }
+
+        int base = kInf;
+        for (const LabelEntry& e : mine) base = std::min(base, e.cost);
+        if (base >= kInf) base = 0;
+        StateData s;
+        s.cost.resize(static_cast<std::size_t>(nts));
+        s.rule.resize(static_cast<std::size_t>(nts));
+        for (int i = 0; i < nts; ++i) {
+          const LabelEntry& e = mine[static_cast<std::size_t>(i)];
+          s.cost[static_cast<std::size_t>(i)] =
+              e.cost >= kInf ? kInf : e.cost - base;
+          s.rule[static_cast<std::size_t>(i)] = e.rule;
+        }
+        s.sub.assign(static_cast<std::size_t>(tables_.subpattern_count()),
+                     kInf);
+        for (int qi : tables_.subpatterns_of_terminal(node.term)) {
+          const PatNode* q = tables_.subpattern(qi);
+          std::vector<treeparse::ImmBinding> imm_fields;
+          std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+          std::optional<int> c = treeparse::match_pattern_cost(
+              *q, node, costs, imm_fields, nt_binds);
+          if (c) s.sub[static_cast<std::size_t>(qi)] = *c - base;
+        }
+        state_of[id] = tables_.intern_state(std::move(s));
+        base_of[id] = base;
+        merged = true;
+      }
+    } else if (tables_.terminal_has_constrained(node.term)) {
+      // Constrained #const operators (possible only with exotic grammars):
+      // full interpreter step plus re-intern.
+      for (int rid : g_.rules_for_terminal(node.term)) {
+        const Rule& r = g_.rule(rid);
+        std::vector<treeparse::ImmBinding> imm_fields;
+        std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+        std::optional<int> c = treeparse::match_pattern_cost(
+            *r.pattern, node, costs, imm_fields, nt_binds);
+        if (!c) continue;
+        int total = *c + r.cost;
+        LabelEntry& e = mine[static_cast<std::size_t>(r.lhs)];
+        if (total < e.cost) {
+          e.cost = total;
+          e.rule = rid;
+        }
+      }
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (int y = 0; y < nts; ++y) {
+          int base = mine[static_cast<std::size_t>(y)].cost;
+          if (base >= kInf) continue;
+          for (int rid : g_.chain_rules_from(y)) {
+            const Rule& r = g_.rule(rid);
+            int total = base + r.cost;
+            LabelEntry& e = mine[static_cast<std::size_t>(r.lhs)];
+            if (total < e.cost) {
+              e.cost = total;
+              e.rule = rid;
+              changed = true;
+            }
+          }
+        }
+      }
+      StateData s;
+      s.cost.resize(static_cast<std::size_t>(nts));
+      s.rule.resize(static_cast<std::size_t>(nts));
+      for (int i = 0; i < nts; ++i) {
+        const LabelEntry& e = mine[static_cast<std::size_t>(i)];
+        s.cost[static_cast<std::size_t>(i)] = e.cost;  // const leaves: base 0
+        s.rule[static_cast<std::size_t>(i)] = e.rule;
+      }
+      s.sub.assign(static_cast<std::size_t>(tables_.subpattern_count()),
+                   kInf);
+      for (int qi : tables_.subpatterns_of_terminal(node.term)) {
+        const PatNode* q = tables_.subpattern(qi);
+        std::vector<treeparse::ImmBinding> imm_fields;
+        std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+        std::optional<int> c = treeparse::match_pattern_cost(
+            *q, node, costs, imm_fields, nt_binds);
+        if (c) s.sub[static_cast<std::size_t>(qi)] = *c;
+      }
+      s.is_const_leaf = true;
+      s.fit_width_index = tables_.fit_index_of(node.value);
+      s.const_class = tables_.const_class_index(node.value);
+      state_of[id] = tables_.intern_state(std::move(s));
+      base_of[id] = 0;
+      merged = true;
+    }
+    if (merged) continue;
+
+    int state;
+    int base;
+    if (node.is_const) {
+      state = tables_.const_leaf_state(node.value);
+      base = 0;  // #const states are kept absolute
+    } else {
+      child_states.clear();
+      base = 0;
+      // Children precede parents in id order by SubjectTree construction.
+      for (const SubjectNode* c : node.children) {
+        child_states.push_back(state_of[static_cast<std::size_t>(c->id)]);
+        base = sat_add(base, base_of[static_cast<std::size_t>(c->id)]);
+      }
+      TargetTables::Transition t =
+          tables_.transition(node.term, child_states);
+      state = t.state;
+      base = sat_add(base, t.delta);
+    }
+    state_of[id] = state;
+    base_of[id] = base;
+
+    const StateData& s = tables_.state_ref(state);
+    for (int i = 0; i < nts; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      mine[idx].cost = sat_add(base, s.cost[idx]);
+      mine[idx].rule = s.rule[idx];
+    }
+  }
+
+  const std::vector<LabelEntry>& root_labels =
+      result.labels[static_cast<std::size_t>(tree.root()->id)];
+  result.root_cost = root_labels[grammar::kStart].cost;
+  result.ok = result.root_cost < kInf;
+  return result;
+}
+
+std::unique_ptr<treeparse::Derivation> TableParser::parse(
+    const SubjectTree& tree) const {
+  LabelResult r = label(tree);
+  if (!r.ok) return nullptr;
+  return reduce(tree, r);
+}
+
+}  // namespace record::burstab

@@ -1,0 +1,52 @@
+// Table-driven subject labelling: the burstab counterpart of
+// treeparse::TreeParser.
+//
+// label() walks the subject bottom-up assigning each node an interned state
+// via table lookups — O(1) per node with a grammar-independent constant —
+// and materialises the same LabelResult the interpreter produces, so
+// TreeParser::reduce extracts an identical derivation (same optimal costs,
+// same winning rules, same RT sequence).
+//
+// Nodes whose operator owns a side-constrained rule (shared immediate
+// fields, structural-equality non-terminal bindings) are labelled through
+// the shared treeparse::match_pattern_cost fallback in exact TreeParser rule
+// order, then re-interned so their parents continue on the fast path.
+#pragma once
+
+#include <memory>
+
+#include "burstab/tables.h"
+#include "treeparse/burs.h"
+
+namespace record::burstab {
+
+class TableParser {
+ public:
+  /// `g` must be the grammar the tables were compiled from (checked via the
+  /// grammar fingerprint in debug builds); both must outlive the parser.
+  TableParser(const grammar::TreeGrammar& g, const TargetTables& tables)
+      : g_(g), tables_(tables), reducer_(g) {}
+
+  /// Table-driven labelling; result is LabelResult-identical to
+  /// TreeParser::label on the same tree.
+  [[nodiscard]] treeparse::LabelResult label(
+      const treeparse::SubjectTree& tree) const;
+
+  [[nodiscard]] std::unique_ptr<treeparse::Derivation> reduce(
+      const treeparse::SubjectTree& tree,
+      const treeparse::LabelResult& result) const {
+    return reducer_.reduce(tree, result);
+  }
+
+  [[nodiscard]] std::unique_ptr<treeparse::Derivation> parse(
+      const treeparse::SubjectTree& tree) const;
+
+  [[nodiscard]] const TargetTables& tables() const { return tables_; }
+
+ private:
+  const grammar::TreeGrammar& g_;
+  const TargetTables& tables_;
+  treeparse::TreeParser reducer_;  // shared reduce path
+};
+
+}  // namespace record::burstab

@@ -1,0 +1,744 @@
+#include "burstab/tables.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "burstab/serialize.h"
+#include "treeparse/burs.h"
+#include "util/strings.h"
+
+namespace record::burstab {
+
+using grammar::NtId;
+using grammar::PatNode;
+using grammar::Rule;
+using grammar::TermId;
+
+namespace {
+
+/// Saturating addition in the kInf domain.
+int sat_add(int a, int b) {
+  if (a >= kInf || b >= kInf) return kInf;
+  return a + b;
+}
+
+void hash_vec(std::size_t& h, const std::vector<int>& v) {
+  for (int x : v) h = (h ^ static_cast<std::size_t>(x)) * 1099511628211ull;
+}
+
+}  // namespace
+
+std::size_t TargetTables::StateKeyHash::operator()(const StateData& s) const {
+  std::size_t h = 1469598103934665603ull;
+  hash_vec(h, s.cost);
+  hash_vec(h, s.rule);
+  hash_vec(h, s.sub);
+  h = (h ^ (s.is_const_leaf ? 0x9e3779b9u : 0u)) * 1099511628211ull;
+  h = (h ^ static_cast<std::size_t>(s.fit_width_index + 1)) * 1099511628211ull;
+  h = (h ^ static_cast<std::size_t>(s.const_class + 1)) * 1099511628211ull;
+  return h;
+}
+
+// --- construction -----------------------------------------------------------
+
+bool TargetTables::pattern_is_constrained(const PatNode& pat) {
+  // A rule is side-constrained iff its pattern contains two NonTerm leaves
+  // of one non-terminal (structural-equality binding) or two Imm leaves
+  // drawing from the same instruction field.
+  std::vector<NtId> nts;
+  std::vector<const std::vector<int>*> imms;
+  bool constrained = false;
+  auto walk = [&](auto&& self, const PatNode& p) -> void {
+    if (constrained) return;
+    switch (p.kind) {
+      case PatNode::Kind::NonTerm:
+        if (std::find(nts.begin(), nts.end(), p.nt) != nts.end())
+          constrained = true;
+        nts.push_back(p.nt);
+        return;
+      case PatNode::Kind::Imm:
+        for (const std::vector<int>* prev : imms)
+          if (*prev == p.imm_bits) constrained = true;
+        imms.push_back(&p.imm_bits);
+        return;
+      case PatNode::Kind::Const:
+        return;
+      case PatNode::Kind::Term:
+        for (const grammar::PatNodePtr& c : p.children) self(self, *c);
+        return;
+    }
+  };
+  walk(walk, pat);
+  return constrained;
+}
+
+std::string TargetTables::pattern_key(const PatNode& p) {
+  // Structural key for subpattern dedup. Imm leaves collapse to their width:
+  // two Imm leaves of equal width match identically (bindings are collected
+  // from the subject at reduce time, not from the table).
+  switch (p.kind) {
+    case PatNode::Kind::Term: {
+      std::string k = util::fmt("T{}(", p.term);
+      for (const grammar::PatNodePtr& c : p.children) {
+        k += pattern_key(*c);
+        k += ',';
+      }
+      k += ')';
+      return k;
+    }
+    case PatNode::Kind::NonTerm:
+      return util::fmt("N{}", p.nt);
+    case PatNode::Kind::Imm:
+      return util::fmt("I{}", p.width);
+    case PatNode::Kind::Const:
+      return util::fmt("C{}", p.value);
+  }
+  return "?";
+}
+
+void TargetTables::prepare(const grammar::TreeGrammar& g) {
+  nt_count_ = g.nonterminal_count();
+  const_term_ = g.const_terminal();
+  fingerprint_ = ::record::burstab::grammar_fingerprint(g);
+  const int terms = g.terminal_count();
+
+  rules_by_terminal_.assign(static_cast<std::size_t>(terms), {});
+  constrained_by_terminal_.assign(static_cast<std::size_t>(terms), {});
+  const_root_rules_.assign(1, {});
+  chains_from_.assign(static_cast<std::size_t>(nt_count_), {});
+  constrained_rule_.assign(g.rules().size(), false);
+  terminal_constrained_.assign(static_cast<std::size_t>(terms), false);
+  subs_by_terminal_.assign(static_cast<std::size_t>(terms), {});
+  arities_by_terminal_.assign(static_cast<std::size_t>(terms), {});
+
+  std::unordered_map<std::string, int> key_index;
+
+  // Registers `p` (a Term-kind pattern position) and, recursively, its
+  // Term-kind descendants.
+  auto register_sub = [&](auto&& self, const PatNode& p) -> void {
+    if (p.kind != PatNode::Kind::Term) return;
+    std::string key = pattern_key(p);
+    auto [it, inserted] =
+        key_index.emplace(std::move(key), static_cast<int>(subpatterns_.size()));
+    if (inserted) {
+      subpatterns_.push_back(&p);
+      subs_by_terminal_[static_cast<std::size_t>(p.term)].push_back(
+          it->second);
+    }
+    sub_index_.emplace(&p, it->second);
+    for (const grammar::PatNodePtr& c : p.children) self(self, *c);
+  };
+
+  // Collects Imm widths / Const values and records operator arities.
+  auto scan_leaves = [&](auto&& self, const PatNode& p) -> void {
+    switch (p.kind) {
+      case PatNode::Kind::Imm:
+        fit_widths_.push_back(p.width);
+        return;
+      case PatNode::Kind::Const:
+        const_values_.push_back(p.value);
+        return;
+      case PatNode::Kind::NonTerm:
+        return;
+      case PatNode::Kind::Term: {
+        std::vector<int>& ar =
+            arities_by_terminal_[static_cast<std::size_t>(p.term)];
+        int k = static_cast<int>(p.children.size());
+        if (std::find(ar.begin(), ar.end(), k) == ar.end()) ar.push_back(k);
+        for (const grammar::PatNodePtr& c : p.children) self(self, *c);
+        return;
+      }
+    }
+  };
+
+  for (const Rule& r : g.rules()) {
+    const std::size_t rid = static_cast<std::size_t>(r.id);
+    if (r.is_chain()) {
+      chains_from_[static_cast<std::size_t>(r.pattern->nt)].push_back(
+          ChainPlan{r.id, r.lhs, r.cost});
+      continue;
+    }
+    const bool constrained = pattern_is_constrained(*r.pattern);
+    constrained_rule_[rid] = constrained;
+    if (constrained) {
+      // Nodes of this operator run the hybrid path: table transition plus
+      // a matcher sweep over exactly these rules.
+      TermId root_term = r.pattern->kind == PatNode::Kind::Term
+                             ? r.pattern->term
+                             : const_term_;
+      terminal_constrained_[static_cast<std::size_t>(root_term)] = true;
+      constrained_by_terminal_[static_cast<std::size_t>(root_term)]
+          .push_back(r.id);
+      scan_leaves(scan_leaves, *r.pattern);  // arities still matter
+      continue;
+    }
+    scan_leaves(scan_leaves, *r.pattern);
+    RulePlan plan{r.id, r.lhs, r.cost, r.pattern.get()};
+    if (r.pattern->kind == PatNode::Kind::Term) {
+      rules_by_terminal_[static_cast<std::size_t>(r.pattern->term)].push_back(
+          plan);
+      if (r.pattern->term == const_term_) const_root_rules_[0].push_back(plan);
+      for (const grammar::PatNodePtr& c : r.pattern->children)
+        register_sub(register_sub, *c);
+    } else {
+      // Imm/Const-rooted rules attach to the constant terminal.
+      const_root_rules_[0].push_back(plan);
+    }
+  }
+
+  std::sort(fit_widths_.begin(), fit_widths_.end());
+  fit_widths_.erase(std::unique(fit_widths_.begin(), fit_widths_.end()),
+                    fit_widths_.end());
+  std::sort(const_values_.begin(), const_values_.end());
+  const_values_.erase(
+      std::unique(const_values_.begin(), const_values_.end()),
+      const_values_.end());
+  for (std::size_t i = 0; i < const_values_.size(); ++i)
+    const_class_of_.emplace(const_values_[i], static_cast<int>(i));
+}
+
+TargetTables::TargetTables(const grammar::TreeGrammar& g,
+                           const TableBuildOptions& options) {
+  prepare(g);
+  if (options.precompute) run_closure(options);
+}
+
+// --- state computation ------------------------------------------------------
+
+int TargetTables::intern_locked(StateData s) const {
+  auto it = state_index_.find(s);
+  if (it != state_index_.end()) return it->second;
+  int id = static_cast<int>(states_.size());
+  states_.push_back(s);
+  state_index_.emplace(std::move(s), id);
+  return id;
+}
+
+int TargetTables::rel_match_locked(const PatNode& p, const StateData& s) const {
+  switch (p.kind) {
+    case PatNode::Kind::NonTerm:
+      return s.cost[static_cast<std::size_t>(p.nt)];
+    case PatNode::Kind::Imm: {
+      if (!s.is_const_leaf || s.fit_width_index < 0) return kInf;
+      // Fit is monotone in width: the value fits every registered width >=
+      // its minimal fitting one.
+      return fit_widths_[static_cast<std::size_t>(s.fit_width_index)] <=
+                     p.width
+                 ? 0
+                 : kInf;
+    }
+    case PatNode::Kind::Const:
+      return s.is_const_leaf && s.const_class >= 0 &&
+                     const_values_[static_cast<std::size_t>(s.const_class)] ==
+                         p.value
+                 ? 0
+                 : kInf;
+    case PatNode::Kind::Term: {
+      auto it = sub_index_.find(&p);
+      assert(it != sub_index_.end() && "unregistered subpattern position");
+      return s.sub[static_cast<std::size_t>(it->second)];
+    }
+  }
+  return kInf;
+}
+
+TargetTables::Transition TargetTables::compute_transition_locked(
+    TermId term, const std::vector<int>& children) const {
+  const std::size_t k = children.size();
+  std::vector<const StateData*> kids(k);
+  for (std::size_t i = 0; i < k; ++i)
+    kids[i] = &states_[static_cast<std::size_t>(children[i])];
+
+  // Mirrors TreeParser::label exactly: rules in registration order with
+  // strict-improvement updates, then chain closure to fixpoint in the same
+  // sweep order — identical costs AND identical tie-breaking.
+  std::vector<int> cost(static_cast<std::size_t>(nt_count_), kInf);
+  std::vector<int> rule(static_cast<std::size_t>(nt_count_), -1);
+  for (const RulePlan& plan : rules_by_terminal_[static_cast<std::size_t>(
+           term)]) {
+    if (plan.pattern->children.size() != k) continue;
+    int sum = 0;
+    for (std::size_t i = 0; i < k && sum < kInf; ++i)
+      sum = sat_add(sum, rel_match_locked(*plan.pattern->children[i],
+                                          *kids[i]));
+    if (sum >= kInf) continue;
+    int total = sat_add(sum, plan.cost);
+    std::size_t lhs = static_cast<std::size_t>(plan.lhs);
+    if (total < cost[lhs]) {
+      cost[lhs] = total;
+      rule[lhs] = plan.id;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int y = 0; y < nt_count_; ++y) {
+      int base = cost[static_cast<std::size_t>(y)];
+      if (base >= kInf) continue;
+      for (const ChainPlan& c : chains_from_[static_cast<std::size_t>(y)]) {
+        int total = sat_add(base, c.cost);
+        std::size_t lhs = static_cast<std::size_t>(c.lhs);
+        if (total < cost[lhs]) {
+          cost[lhs] = total;
+          rule[lhs] = c.id;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  int delta = kInf;
+  for (int c : cost) delta = std::min(delta, c);
+  if (delta >= kInf) delta = 0;
+
+  StateData s;
+  s.cost.resize(static_cast<std::size_t>(nt_count_));
+  for (int i = 0; i < nt_count_; ++i) {
+    std::size_t idx = static_cast<std::size_t>(i);
+    s.cost[idx] = cost[idx] >= kInf ? kInf : cost[idx] - delta;
+  }
+  s.rule = std::move(rule);
+  s.sub.assign(static_cast<std::size_t>(subpatterns_.size()), kInf);
+  for (int qi : subs_by_terminal_[static_cast<std::size_t>(term)]) {
+    const PatNode* q = subpatterns_[static_cast<std::size_t>(qi)];
+    if (q->children.size() != k) continue;
+    int sum = 0;
+    for (std::size_t i = 0; i < k && sum < kInf; ++i)
+      sum = sat_add(sum, rel_match_locked(*q->children[i], *kids[i]));
+    if (sum < kInf) s.sub[static_cast<std::size_t>(qi)] = sum - delta;
+  }
+  return Transition{intern_locked(std::move(s)), delta};
+}
+
+int TargetTables::compute_const_state_locked(int fit_index,
+                                             int const_class) const {
+  // #const leaves keep absolute costs (base 0) so that rules consuming the
+  // leaf through an Imm/Const pattern (operand cost 0) and through a
+  // NonTerm (operand cost = the leaf's absolute cost) agree on one base.
+  std::vector<int> cost(static_cast<std::size_t>(nt_count_), kInf);
+  std::vector<int> rule(static_cast<std::size_t>(nt_count_), -1);
+  for (const RulePlan& plan : const_root_rules_[0]) {
+    bool matches = false;
+    switch (plan.pattern->kind) {
+      case PatNode::Kind::Imm:
+        matches = fit_index >= 0 &&
+                  fit_widths_[static_cast<std::size_t>(fit_index)] <=
+                      plan.pattern->width;
+        break;
+      case PatNode::Kind::Const:
+        matches = const_class >= 0 &&
+                  const_values_[static_cast<std::size_t>(const_class)] ==
+                      plan.pattern->value;
+        break;
+      case PatNode::Kind::Term:
+        matches = plan.pattern->children.empty();
+        break;
+      case PatNode::Kind::NonTerm:
+        break;
+    }
+    if (!matches) continue;
+    std::size_t lhs = static_cast<std::size_t>(plan.lhs);
+    if (plan.cost < cost[lhs]) {
+      cost[lhs] = plan.cost;
+      rule[lhs] = plan.id;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int y = 0; y < nt_count_; ++y) {
+      int base = cost[static_cast<std::size_t>(y)];
+      if (base >= kInf) continue;
+      for (const ChainPlan& c : chains_from_[static_cast<std::size_t>(y)]) {
+        int total = sat_add(base, c.cost);
+        std::size_t lhs = static_cast<std::size_t>(c.lhs);
+        if (total < cost[lhs]) {
+          cost[lhs] = total;
+          rule[lhs] = c.id;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  StateData s;
+  s.cost = std::move(cost);
+  s.rule = std::move(rule);
+  s.sub.assign(static_cast<std::size_t>(subpatterns_.size()), kInf);
+  for (int qi : subs_by_terminal_[static_cast<std::size_t>(const_term_)]) {
+    const PatNode* q = subpatterns_[static_cast<std::size_t>(qi)];
+    if (q->children.empty()) s.sub[static_cast<std::size_t>(qi)] = 0;
+  }
+  s.is_const_leaf = true;
+  s.fit_width_index = fit_index;
+  s.const_class = const_class;
+  return intern_locked(std::move(s));
+}
+
+// --- parser-facing lookups --------------------------------------------------
+
+namespace {
+std::int64_t const_pair_key(int fit_index, int const_class) {
+  return (static_cast<std::int64_t>(fit_index + 1) << 32) |
+         static_cast<std::int64_t>(const_class + 1);
+}
+}  // namespace
+
+int TargetTables::fit_index_of(std::int64_t value) const {
+  for (std::size_t i = 0; i < fit_widths_.size(); ++i)
+    if (treeparse::TreeParser::immediate_fits(value, fit_widths_[i]))
+      return static_cast<int>(i);
+  return -1;
+}
+
+int TargetTables::const_class_index(std::int64_t value) const {
+  auto it = const_class_of_.find(value);
+  return it == const_class_of_.end() ? -1 : it->second;
+}
+
+int TargetTables::const_leaf_state(std::int64_t value) const {
+  int fit_index = fit_index_of(value);
+  int const_class = const_class_index(value);
+  std::int64_t key = const_pair_key(fit_index, const_class);
+  {
+    std::shared_lock lock(mu_);
+    auto it = const_state_by_pair_.find(key);
+    if (it != const_state_by_pair_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = const_state_by_pair_.find(key);
+  if (it != const_state_by_pair_.end()) return it->second;
+  int id = compute_const_state_locked(fit_index, const_class);
+  const_state_by_pair_.emplace(key, id);
+  return id;
+}
+
+TargetTables::Transition TargetTables::transition(
+    TermId term, const std::vector<int>& children) const {
+  TransKeyView view{term, &children};
+  {
+    std::shared_lock lock(mu_);
+    auto it = trans_.find(view);
+    if (it != trans_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = trans_.find(view);
+  if (it != trans_.end()) return it->second;
+  Transition t = compute_transition_locked(term, children);
+  trans_.emplace(TransKey{term, children}, t);
+  return t;
+}
+
+const std::vector<int>& TargetTables::constrained_rules_of(TermId t) const {
+  static const std::vector<int> kEmpty;
+  if (t < 0 || static_cast<std::size_t>(t) >= constrained_by_terminal_.size())
+    return kEmpty;
+  return constrained_by_terminal_[static_cast<std::size_t>(t)];
+}
+
+void TargetTables::raw_candidates(TermId term,
+                                  const std::vector<int>& children,
+                                  std::vector<int>& cost,
+                                  std::vector<int>& rule) const {
+  std::shared_lock lock(mu_);
+  const std::size_t k = children.size();
+  cost.assign(static_cast<std::size_t>(nt_count_), kInf);
+  rule.assign(static_cast<std::size_t>(nt_count_), -1);
+  for (const RulePlan& plan :
+       rules_by_terminal_[static_cast<std::size_t>(term)]) {
+    if (plan.pattern->children.size() != k) continue;
+    int sum = 0;
+    for (std::size_t i = 0; i < k && sum < kInf; ++i)
+      sum = sat_add(
+          sum, rel_match_locked(
+                   *plan.pattern->children[i],
+                   states_[static_cast<std::size_t>(children[i])]));
+    if (sum >= kInf) continue;
+    int total = sat_add(sum, plan.cost);
+    std::size_t lhs = static_cast<std::size_t>(plan.lhs);
+    if (total < cost[lhs]) {
+      cost[lhs] = total;
+      rule[lhs] = plan.id;
+    }
+  }
+}
+
+int TargetTables::intern_state(StateData s) const {
+  std::unique_lock lock(mu_);
+  return intern_locked(std::move(s));
+}
+
+StateData TargetTables::state(int id) const {
+  std::shared_lock lock(mu_);
+  return states_[static_cast<std::size_t>(id)];
+}
+
+const StateData& TargetTables::state_ref(int id) const {
+  std::shared_lock lock(mu_);
+  return states_[static_cast<std::size_t>(id)];
+}
+
+bool TargetTables::terminal_has_constrained(TermId t) const {
+  return t >= 0 &&
+         static_cast<std::size_t>(t) < terminal_constrained_.size() &&
+         terminal_constrained_[static_cast<std::size_t>(t)];
+}
+
+bool TargetTables::rule_is_constrained(int rule_id) const {
+  return rule_id >= 0 &&
+         static_cast<std::size_t>(rule_id) < constrained_rule_.size() &&
+         constrained_rule_[static_cast<std::size_t>(rule_id)];
+}
+
+int TargetTables::subpattern_index(const PatNode* p) const {
+  auto it = sub_index_.find(p);
+  return it == sub_index_.end() ? -1 : it->second;
+}
+
+const std::vector<int>& TargetTables::subpatterns_of_terminal(
+    TermId t) const {
+  static const std::vector<int> kEmpty;
+  if (t < 0 || static_cast<std::size_t>(t) >= subs_by_terminal_.size())
+    return kEmpty;
+  return subs_by_terminal_[static_cast<std::size_t>(t)];
+}
+
+const PatNode* TargetTables::subpattern(int index) const {
+  return subpatterns_[static_cast<std::size_t>(index)];
+}
+
+TableStats TargetTables::stats() const {
+  std::shared_lock lock(mu_);
+  TableStats s;
+  s.states = states_.size();
+  s.transitions = trans_.size();
+  s.subpatterns = subpatterns_.size();
+  std::size_t constrained = 0;
+  for (bool b : constrained_rule_)
+    if (b) ++constrained;
+  s.constrained_rules = constrained;
+  s.table_rules = constrained_rule_.size() - constrained;
+  s.const_classes = const_state_by_pair_.size();
+  s.closure_complete = closure_complete_;
+  return s;
+}
+
+// --- eager closure ----------------------------------------------------------
+
+void TargetTables::run_closure(const TableBuildOptions& options) {
+  std::unique_lock lock(mu_);
+  const std::size_t work_cap = options.max_transitions * 64;
+  std::size_t work = 0;
+
+  // Leaf seeding: one state per hardwired pattern constant, one per
+  // immediate-fit class, one per leaf operator.
+  for (std::int64_t v : const_values_) {
+    int fit_index = fit_index_of(v);
+    std::int64_t key = const_pair_key(fit_index, const_class_of_.at(v));
+    if (!const_state_by_pair_.count(key))
+      const_state_by_pair_.emplace(
+          key, compute_const_state_locked(fit_index, const_class_of_.at(v)));
+  }
+  for (int fi = -1; fi < static_cast<int>(fit_widths_.size()); ++fi) {
+    std::int64_t key = const_pair_key(fi, -1);
+    if (!const_state_by_pair_.count(key))
+      const_state_by_pair_.emplace(key,
+                                   compute_const_state_locked(fi, -1));
+  }
+  const std::vector<int> no_children;
+  for (std::size_t t = 0; t < rules_by_terminal_.size(); ++t) {
+    if (terminal_constrained_[t]) continue;
+    TransKey key{static_cast<TermId>(t), no_children};
+    if (!trans_.count(key))
+      trans_.emplace(key, compute_transition_locked(static_cast<TermId>(t),
+                                                    no_children));
+  }
+
+  // Bottom-up closure: combine known states under every operator arity until
+  // nothing new appears or a budget is hit. Tuples whose prefix already
+  // rules out every rule and subpattern are pruned.
+  std::size_t frontier_begin = 0;
+  bool out_of_budget = false;
+  while (frontier_begin < states_.size() && !out_of_budget) {
+    std::size_t frontier_end = states_.size();
+    for (std::size_t t = 0;
+         t < rules_by_terminal_.size() && !out_of_budget; ++t) {
+      if (terminal_constrained_[t]) continue;
+      if (static_cast<TermId>(t) == const_term_) continue;
+      for (int arity : arities_by_terminal_[t]) {
+        if (arity < 1) continue;
+        std::vector<const RulePlan*> plans;
+        for (const RulePlan& p :
+             rules_by_terminal_[t])
+          if (static_cast<int>(p.pattern->children.size()) == arity)
+            plans.push_back(&p);
+        std::vector<const PatNode*> subs;
+        for (int qi : subs_by_terminal_[t]) {
+          const PatNode* q = subpatterns_[static_cast<std::size_t>(qi)];
+          if (static_cast<int>(q->children.size()) == arity)
+            subs.push_back(q);
+        }
+        if (plans.empty() && subs.empty()) continue;
+
+        std::vector<int> tuple(static_cast<std::size_t>(arity));
+        auto enumerate = [&](auto&& self, int pos, bool has_new) -> void {
+          if (out_of_budget) return;
+          if (++work > work_cap || states_.size() >= options.max_states ||
+              trans_.size() >= options.max_transitions) {
+            out_of_budget = true;
+            return;
+          }
+          if (pos == arity) {
+            if (!has_new) return;
+            TransKey key{static_cast<TermId>(t), tuple};
+            if (trans_.count(key)) return;
+            trans_.emplace(std::move(key),
+                           compute_transition_locked(
+                               static_cast<TermId>(t), tuple));
+            return;
+          }
+          for (std::size_t sid = 0; sid < frontier_end; ++sid) {
+            const StateData& s = states_[sid];
+            // Prune: some rule or subpattern must still be able to match
+            // with this state at position `pos`.
+            bool viable = false;
+            for (const RulePlan* p : plans) {
+              if (rel_match_locked(
+                      *p->pattern->children[static_cast<std::size_t>(pos)],
+                      s) < kInf) {
+                viable = true;
+                break;
+              }
+            }
+            if (!viable) {
+              for (const PatNode* q : subs) {
+                if (rel_match_locked(
+                        *q->children[static_cast<std::size_t>(pos)], s) <
+                    kInf) {
+                  viable = true;
+                  break;
+                }
+              }
+            }
+            if (!viable) continue;
+            tuple[static_cast<std::size_t>(pos)] = static_cast<int>(sid);
+            self(self, pos + 1, has_new || sid >= frontier_begin);
+            if (out_of_budget) return;
+          }
+        };
+        enumerate(enumerate, 0, false);
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  closure_complete_ = !out_of_budget;
+}
+
+// --- persistence ------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kTablesMagic = 0x42545231;  // "BTR1"
+}
+
+void TargetTables::serialize(std::string& out) const {
+  std::shared_lock lock(mu_);
+  ByteWriter w;
+  w.u32(kTablesMagic);
+  w.u64(fingerprint_);
+  w.u32(static_cast<std::uint32_t>(nt_count_));
+  w.u32(static_cast<std::uint32_t>(subpatterns_.size()));
+  w.u8(closure_complete_ ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(states_.size()));
+  for (const StateData& s : states_) {
+    for (int c : s.cost) w.i32(c);
+    for (int r : s.rule) w.i32(r);
+    for (int c : s.sub) w.i32(c);
+    w.u8(s.is_const_leaf ? 1 : 0);
+    w.i32(s.fit_width_index);
+    w.i32(s.const_class);
+  }
+  w.u32(static_cast<std::uint32_t>(trans_.size()));
+  for (const auto& [key, t] : trans_) {
+    w.i32(key.term);
+    w.u32(static_cast<std::uint32_t>(key.children.size()));
+    for (int c : key.children) w.i32(c);
+    w.i32(t.state);
+    w.i32(t.delta);
+  }
+  w.u32(static_cast<std::uint32_t>(const_state_by_pair_.size()));
+  for (const auto& [key, sid] : const_state_by_pair_) {
+    w.i64(key);
+    w.i32(sid);
+  }
+  w.append_to(out);
+}
+
+std::unique_ptr<TargetTables> TargetTables::deserialize(
+    const grammar::TreeGrammar& g, std::string_view blob,
+    std::size_t& offset) {
+  TableBuildOptions no_precompute;
+  no_precompute.precompute = false;
+  auto tables = std::make_unique<TargetTables>(g, no_precompute);
+
+  ByteReader r(blob, offset);
+  if (r.u32() != kTablesMagic) return nullptr;
+  if (r.u64() != tables->fingerprint_) return nullptr;
+  if (r.u32() != static_cast<std::uint32_t>(tables->nt_count_)) return nullptr;
+  if (r.u32() != static_cast<std::uint32_t>(tables->subpatterns_.size()))
+    return nullptr;
+  tables->closure_complete_ = r.u8() != 0;
+  std::uint32_t n_states = r.u32();
+  if (n_states > 1u << 22) return nullptr;
+  const std::size_t nts = static_cast<std::size_t>(tables->nt_count_);
+  const std::size_t subs = tables->subpatterns_.size();
+  for (std::uint32_t i = 0; i < n_states && r.ok(); ++i) {
+    StateData s;
+    s.cost.resize(nts);
+    for (std::size_t j = 0; j < nts; ++j) s.cost[j] = r.i32();
+    s.rule.resize(nts);
+    for (std::size_t j = 0; j < nts; ++j) s.rule[j] = r.i32();
+    s.sub.resize(subs);
+    for (std::size_t j = 0; j < subs; ++j) s.sub[j] = r.i32();
+    s.is_const_leaf = r.u8() != 0;
+    s.fit_width_index = r.i32();
+    s.const_class = r.i32();
+    if (!r.ok()) return nullptr;
+    if (tables->intern_locked(std::move(s)) != static_cast<int>(i))
+      return nullptr;  // duplicate or reordered states: corrupt blob
+  }
+  std::uint32_t n_trans = r.u32();
+  if (n_trans > 1u << 24) return nullptr;
+  for (std::uint32_t i = 0; i < n_trans && r.ok(); ++i) {
+    TransKey key;
+    key.term = r.i32();
+    std::uint32_t k = r.u32();
+    if (k > 64) return nullptr;
+    key.children.resize(k);
+    for (std::uint32_t j = 0; j < k; ++j) key.children[j] = r.i32();
+    Transition t;
+    t.state = r.i32();
+    t.delta = r.i32();
+    if (!r.ok() || t.state < 0 ||
+        t.state >= static_cast<int>(tables->states_.size()))
+      return nullptr;
+    for (int c : key.children)
+      if (c < 0 || c >= static_cast<int>(tables->states_.size()))
+        return nullptr;
+    tables->trans_.emplace(std::move(key), t);
+  }
+  std::uint32_t n_const = r.u32();
+  if (n_const > 1u << 22) return nullptr;
+  for (std::uint32_t i = 0; i < n_const && r.ok(); ++i) {
+    std::int64_t key = r.i64();
+    int sid = r.i32();
+    if (sid < 0 || sid >= static_cast<int>(tables->states_.size()))
+      return nullptr;
+    tables->const_state_by_pair_.emplace(key, sid);
+  }
+  if (!r.ok()) return nullptr;
+  offset = r.pos();
+  return tables;
+}
+
+}  // namespace record::burstab

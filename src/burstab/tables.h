@@ -1,0 +1,282 @@
+// Table-driven BURS: precomputed state tables for tree-pattern labelling
+// (the burg line of work — Chase 1987, Proebsting 1992 — applied to the
+// paper's processor-specific tree grammars).
+//
+// The dynamic-programming TreeParser recomputes, at every subject node, the
+// cheapest derivation of every non-terminal by re-matching every rule. The
+// key observation behind table-driven BURS is that the *behaviour* of a
+// subtree under any parent rule is fully captured by a finite signature:
+//
+//   * its delta-normalised cost vector over non-terminals (costs relative to
+//     the subtree minimum) together with the winning rule per non-terminal,
+//   * the normalised match cost of every interior pattern position
+//     ("subpattern") rooted at its operator, and
+//   * for "#const" leaves, which immediate widths the constant fits and
+//     which hardwired pattern constants it equals.
+//
+// Subtrees with equal signatures are interchangeable, so signatures are
+// interned as *states* and per-node labelling becomes a single transition
+// lookup (operator, child states) -> (state, cost delta). Transitions are
+// precomputed bottom-up at table-construction time under a budget and filled
+// in dynamically (memoised, thread-safe) for combinations first met at parse
+// time; both populations are serialisable, so a persistent TargetCache warms
+// future runs to pure-lookup speed.
+//
+// Rules carrying side-constraints that a finite state cannot encode — two
+// Imm leaves drawing the same instruction field, or two leaves of one
+// non-terminal requiring structurally equal operands (x+x shifter patterns)
+// — are excluded from the tables. Nodes whose operator owns such a rule are
+// labelled through the shared treeparse::match_pattern_cost path instead and
+// re-interned, which keeps the engine *exactly* equivalent to the
+// interpreter, tie-breaking included.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "grammar/grammar.h"
+
+namespace record::burstab {
+
+inline constexpr int kInf = grammar::kInfCost;
+
+struct TableBuildOptions {
+  /// Run the bounded eager closure at construction time (leaf states plus
+  /// bottom-up reachable transitions). Off: tables fill purely on demand.
+  bool precompute = true;
+  /// Eager-closure budgets. The closure stops (and marks itself incomplete)
+  /// when either is hit; the remainder fills in dynamically at parse time.
+  std::size_t max_states = 512;
+  std::size_t max_transitions = 1u << 14;
+};
+
+struct TableStats {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t subpatterns = 0;
+  std::size_t table_rules = 0;        // rules encoded in the tables
+  std::size_t constrained_rules = 0;  // rules left to the fallback matcher
+  std::size_t const_classes = 0;      // distinct #const leaf behaviours seen
+  bool closure_complete = false;      // eager closure finished within budget
+};
+
+/// Interned labelling state: the full behavioural signature of a subject
+/// subtree. `cost`/`sub` are relative to the subtree's cost base except for
+/// #const leaves, whose states are kept absolute (base 0) so that Imm/Const
+/// pattern leaves (which contribute no operand cost) and NonTerm pattern
+/// leaves (which contribute base + rel) stay consistent across rules.
+struct StateData {
+  std::vector<int> cost;  // per non-terminal; kInf = not derivable
+  std::vector<int> rule;  // winning rule id per non-terminal; -1 = none
+  std::vector<int> sub;   // per registered subpattern; kInf = no match
+  bool is_const_leaf = false;
+  int fit_width_index = -1;  // index into fit widths; -1 = fits none / n.a.
+  int const_class = -1;      // index into hardwired values; -1 = none
+
+  friend bool operator==(const StateData&, const StateData&) = default;
+};
+
+class TargetTables {
+ public:
+  /// Compiles the grammar into tables. The grammar may be moved afterwards
+  /// (pattern nodes are heap-stable); it must not be destroyed or mutated
+  /// while the tables are in use.
+  explicit TargetTables(const grammar::TreeGrammar& g,
+                        const TableBuildOptions& options = {});
+
+  TargetTables(const TargetTables&) = delete;
+  TargetTables& operator=(const TargetTables&) = delete;
+
+  struct Transition {
+    int state = -1;
+    int delta = 0;  // node cost base = sum of child bases + delta
+  };
+
+  /// State for a "#const" leaf holding `value` (memoised per behaviour
+  /// class, not per value).
+  [[nodiscard]] int const_leaf_state(std::int64_t value) const;
+
+  /// State + base delta for an operator node over already-labelled children.
+  /// Computes and memoises the entry on first use.
+  [[nodiscard]] Transition transition(grammar::TermId term,
+                                      const std::vector<int>& children) const;
+
+  /// Interns an externally computed signature (fallback path) and returns
+  /// its state id.
+  [[nodiscard]] int intern_state(StateData s) const;
+
+  /// Snapshot of a state's signature. Returned by value: states live in an
+  /// append-only store that other threads may be extending.
+  [[nodiscard]] StateData state(int id) const;
+
+  /// Reference access for the hot labelling loop. States are immutable once
+  /// interned and the store never relocates them (append-only deque), so the
+  /// reference stays valid after the internal lock is released.
+  [[nodiscard]] const StateData& state_ref(int id) const;
+
+  /// True if some rule rooted at this terminal carries a side-constraint
+  /// (such nodes must be labelled through the fallback matcher).
+  [[nodiscard]] bool terminal_has_constrained(grammar::TermId t) const;
+
+  /// True if the rule is side-constrained (excluded from the tables).
+  [[nodiscard]] bool rule_is_constrained(int rule_id) const;
+
+  /// Side-constrained rule ids rooted at `t`, in rule order (the candidates
+  /// the parser must hand to the fallback matcher at such nodes).
+  [[nodiscard]] const std::vector<int>& constrained_rules_of(
+      grammar::TermId t) const;
+
+  /// Pre-chain-closure (cost, rule) candidates of the table rules at this
+  /// operator, relative to the children's base sum. The side-constraint
+  /// merge path interleaves these with matched constrained rules by
+  /// (cost, rule id) before running chain closure — reproducing the
+  /// interpreter's scan order exactly.
+  void raw_candidates(grammar::TermId term, const std::vector<int>& children,
+                      std::vector<int>& cost, std::vector<int>& rule) const;
+
+  /// Registered subpattern index of a Term-kind pattern position; -1 if the
+  /// position belongs to a constrained rule.
+  [[nodiscard]] int subpattern_index(const grammar::PatNode* p) const;
+
+  /// All registered subpatterns rooted at `t` (for the fallback re-intern).
+  [[nodiscard]] const std::vector<int>& subpatterns_of_terminal(
+      grammar::TermId t) const;
+
+  [[nodiscard]] const grammar::PatNode* subpattern(int index) const;
+
+  /// Index into the registered immediate widths of the smallest width the
+  /// value fits (-1 = fits none); index of the hardwired pattern constant
+  /// equal to the value (-1 = none). Used for #const signatures.
+  [[nodiscard]] int fit_index_of(std::int64_t value) const;
+  [[nodiscard]] int const_class_index(std::int64_t value) const;
+
+  [[nodiscard]] int nonterminal_count() const { return nt_count_; }
+  [[nodiscard]] int subpattern_count() const {
+    return static_cast<int>(subpatterns_.size());
+  }
+
+  /// FNV-1a hash of the serialised grammar; guards cache/table identity.
+  [[nodiscard]] std::uint64_t grammar_fingerprint() const {
+    return fingerprint_;
+  }
+
+  [[nodiscard]] TableStats stats() const;
+
+  // --- persistence ---------------------------------------------------------
+
+  /// Appends the current states and transitions to `out` (see serialize.h
+  /// for the primitive encoding).
+  void serialize(std::string& out) const;
+
+  /// Rebuilds tables for `g` from a blob produced by serialize(). Returns
+  /// nullptr if the blob is malformed or was built for a different grammar.
+  [[nodiscard]] static std::unique_ptr<TargetTables> deserialize(
+      const grammar::TreeGrammar& g, std::string_view blob,
+      std::size_t& offset);
+
+ private:
+  struct TransKey {
+    grammar::TermId term;
+    std::vector<int> children;
+    friend bool operator==(const TransKey&, const TransKey&) = default;
+  };
+  /// Allocation-free lookups: find() with a view over the caller's child
+  /// array instead of materialising a TransKey (C++20 transparent hashing).
+  struct TransKeyView {
+    grammar::TermId term;
+    const std::vector<int>* children;
+  };
+  struct TransKeyHash {
+    using is_transparent = void;
+    static std::size_t mix(grammar::TermId term,
+                           const std::vector<int>& children) {
+      std::size_t h = 1469598103934665603ull ^ static_cast<std::size_t>(term);
+      for (int c : children)
+        h = (h ^ static_cast<std::size_t>(c)) * 1099511628211ull;
+      return h;
+    }
+    std::size_t operator()(const TransKey& k) const {
+      return mix(k.term, k.children);
+    }
+    std::size_t operator()(const TransKeyView& k) const {
+      return mix(k.term, *k.children);
+    }
+  };
+  struct TransKeyEq {
+    using is_transparent = void;
+    bool operator()(const TransKey& a, const TransKey& b) const {
+      return a == b;
+    }
+    bool operator()(const TransKeyView& a, const TransKey& b) const {
+      return a.term == b.term && *a.children == b.children;
+    }
+    bool operator()(const TransKey& a, const TransKeyView& b) const {
+      return a.term == b.term && a.children == *b.children;
+    }
+  };
+  struct StateKeyHash {
+    std::size_t operator()(const StateData& s) const;
+  };
+
+  /// One table rule prepared for state computation.
+  struct RulePlan {
+    int id = -1;
+    grammar::NtId lhs = -1;
+    int cost = 0;
+    const grammar::PatNode* pattern = nullptr;
+  };
+  struct ChainPlan {
+    int id = -1;
+    grammar::NtId lhs = -1;
+    int cost = 0;
+  };
+
+  void prepare(const grammar::TreeGrammar& g);
+  [[nodiscard]] static bool pattern_is_constrained(
+      const grammar::PatNode& pat);
+  [[nodiscard]] static std::string pattern_key(const grammar::PatNode& p);
+
+  /// Match cost of pattern child `p` against child state `s`; kInf = fail.
+  [[nodiscard]] int rel_match_locked(const grammar::PatNode& p,
+                                     const StateData& s) const;
+  [[nodiscard]] int intern_locked(StateData s) const;
+  [[nodiscard]] Transition compute_transition_locked(
+      grammar::TermId term, const std::vector<int>& children) const;
+  [[nodiscard]] int compute_const_state_locked(int fit_index,
+                                               int const_class) const;
+  void run_closure(const TableBuildOptions& options);
+
+  // --- immutable after construction ---------------------------------------
+  int nt_count_ = 0;
+  grammar::TermId const_term_ = -1;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<std::vector<RulePlan>> rules_by_terminal_;   // [term]
+  std::vector<std::vector<int>> constrained_by_terminal_;  // [term] rule ids
+  std::vector<std::vector<RulePlan>> const_root_rules_;    // size 1: #const
+  std::vector<std::vector<ChainPlan>> chains_from_;        // [nt]
+  std::vector<bool> constrained_rule_;                     // [rule id]
+  std::vector<bool> terminal_constrained_;                 // [term]
+  std::vector<const grammar::PatNode*> subpatterns_;
+  std::unordered_map<const grammar::PatNode*, int> sub_index_;
+  std::vector<std::vector<int>> subs_by_terminal_;         // [term]
+  std::vector<int> fit_widths_;           // sorted distinct Imm widths
+  std::vector<std::int64_t> const_values_;  // sorted distinct Const values
+  std::unordered_map<std::int64_t, int> const_class_of_;
+  std::vector<std::vector<int>> arities_by_terminal_;      // [term] sorted
+  bool closure_complete_ = false;
+
+  // --- mutable, guarded by mu_ ---------------------------------------------
+  mutable std::shared_mutex mu_;
+  mutable std::deque<StateData> states_;
+  mutable std::unordered_map<StateData, int, StateKeyHash> state_index_;
+  mutable std::unordered_map<TransKey, Transition, TransKeyHash, TransKeyEq>
+      trans_;
+  mutable std::unordered_map<std::int64_t, int> const_state_by_pair_;
+};
+
+}  // namespace record::burstab

@@ -11,7 +11,15 @@ std::optional<CompileResult> Compiler::compile(
   }
   CompileResult result;
 
-  select::CodeSelector selector(*target_.base, target_.tree_grammar, diags);
+  const burstab::TargetTables* tables = nullptr;
+  if (options.engine != select::Engine::kInterpreter) {
+    tables = target_.tables.get();
+    if (!tables && options.engine == select::Engine::kTables)
+      diags.warning({}, "table engine requested but the retarget result "
+                        "carries no tables; selecting with the interpreter");
+  }
+  select::CodeSelector selector(*target_.base, target_.tree_grammar, diags,
+                                tables);
   std::optional<select::SelectionResult> sel = selector.select(prog);
   if (!sel) return std::nullopt;
   result.selection = std::move(*sel);

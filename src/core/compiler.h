@@ -21,6 +21,11 @@ struct CompileOptions {
   compact::CompactOptions compact;
   sched::SpillOptions spill;
   bool insert_spills = true;
+  /// Labelling engine for code selection. kAuto (default) uses the tables
+  /// carried by the retarget result when present (RetargetOptions::
+  /// build_tables) and the interpreter otherwise. Explicit kTables without
+  /// tables falls back to the interpreter with a warning.
+  select::Engine engine = select::Engine::kAuto;
 };
 
 struct CompileResult {

@@ -1,8 +1,10 @@
 #include "core/record.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
+#include "burstab/cache.h"
 #include "grammar/bnf.h"
 #include "hdl/parser.h"
 #include "hdl/sema.h"
@@ -13,11 +15,99 @@
 
 namespace record::core {
 
+std::string default_work_dir() {
+  std::error_code ec;
+  std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+  return ec ? std::string(".") : tmp.string();
+}
+
+namespace {
+
+/// Bump whenever any retargeting phase changes behaviour (extraction,
+/// extension, grammar construction, table compilation): cache entries are
+/// keyed on this, so stale-algorithm blobs from older binaries never serve.
+constexpr int kPipelineVersion = 1;
+
+/// Canonical rendering of every option that shapes the cached artifacts
+/// (template base, grammar, tables). Formatting/emission options are
+/// excluded: the C parser is regenerated from the grammar on demand.
+std::string options_digest(const RetargetOptions& o) {
+  return util::fmt(
+      "pipeline:v{};extract:depth={},routes={},prune={},procout={};"
+      "grammar:elide_ext={},elide_low={},self_moves={};"
+      "extend:commut={},std_rewrites={};"
+      "tables:{},precompute={},states={},trans={}",
+      kPipelineVersion, o.extract.limits.max_depth,
+      o.extract.limits.max_routes_per_point, o.extract.prune_unsat,
+      o.extract.include_proc_out, o.grammar.elide_extension_ops,
+      o.grammar.elide_low_slices, o.grammar.skip_self_moves, o.commutativity,
+      o.standard_rewrites, o.build_tables, o.tables.precompute,
+      o.tables.max_states, o.tables.max_transitions);
+}
+
+/// The Table 3 "parser generation"/"parser compilation" phases; shared by
+/// the cold pipeline and cache hits (the artifact is derived, not cached).
+void emit_parser(RetargetResult& result, const RetargetOptions& options,
+                 util::DiagnosticSink& diags) {
+  util::Timer timer;
+  if (options.emit_c_parser || options.compile_c_parser) {
+    treeparse::EmitCOptions emit_options;
+    emit_options.grammar_name = result.processor;
+    result.c_parser_source =
+        treeparse::emit_c_parser(result.tree_grammar, emit_options);
+    result.times.record("parsergen", timer.seconds());
+  }
+  if (options.compile_c_parser) {
+    timer.reset();
+    std::string src_path = util::fmt("{}/record_parser_{}.c",
+                                     options.work_dir, result.processor);
+    std::string bin_path = util::fmt("{}/record_parser_{}",
+                                     options.work_dir, result.processor);
+    std::ofstream out(src_path);
+    out << result.c_parser_source;
+    out.close();
+    const char* cc = std::getenv("CC");
+    std::string cmd = util::fmt("{} -O1 -o {} {} 2>/dev/null",
+                                cc ? cc : "cc", bin_path, src_path);
+    result.c_compile_ok = std::system(cmd.c_str()) == 0;
+    if (!result.c_compile_ok)
+      diags.warning({}, "host C compiler failed on the generated parser");
+    result.c_compile_seconds = timer.seconds();
+    result.times.record("parsercc", result.c_compile_seconds);
+  }
+}
+
+}  // namespace
+
 std::optional<RetargetResult> Record::retarget(
     std::string_view hdl_source, const RetargetOptions& options,
     util::DiagnosticSink& diags) {
   RetargetResult result;
   util::Timer timer;
+
+  // --- persistent target cache (warm path) --------------------------------
+  std::optional<burstab::TargetCache> cache;
+  std::uint64_t cache_key = 0;
+  if (options.use_target_cache && !options.extra_rewrites) {
+    cache.emplace(options.cache_dir);
+    cache_key =
+        burstab::TargetCache::key_of(hdl_source, options_digest(options));
+    if (std::optional<burstab::TargetArtifacts> art =
+            cache->load(cache_key)) {
+      result.processor = std::move(art->processor);
+      result.tree_grammar = std::move(art->grammar);
+      result.tables = std::move(art->tables);
+      result.base = std::make_shared<const rtl::TemplateBase>(
+          std::move(art->base));
+      result.extract_stats = art->extract_stats;
+      result.extend_stats = art->extend_stats;
+      result.grammar_stats = art->grammar_stats;
+      result.cache_hit = true;
+      result.times.record("cacheload", timer.seconds());
+      emit_parser(result, options, diags);
+      return result;
+    }
+  }
 
   // --- HDL frontend -------------------------------------------------------
   std::optional<hdl::ProcessorModel> model = hdl::parse(hdl_source, diags);
@@ -64,34 +154,29 @@ std::optional<RetargetResult> Record::retarget(
   result.base = std::make_shared<const rtl::TemplateBase>(
       std::move(extraction.base));
 
-  // --- parser generation (iburg-equivalent artifact) -----------------------
-  if (options.emit_c_parser || options.compile_c_parser) {
+  // --- BURS state-table compilation ----------------------------------------
+  if (options.build_tables) {
     timer.reset();
-    treeparse::EmitCOptions emit_options;
-    emit_options.grammar_name = result.processor;
-    result.c_parser_source =
-        treeparse::emit_c_parser(result.tree_grammar, emit_options);
-    result.times.record("parsergen", timer.seconds());
-  }
-  if (options.compile_c_parser) {
-    timer.reset();
-    std::string src_path = util::fmt("{}/record_parser_{}.c",
-                                     options.work_dir, result.processor);
-    std::string bin_path = util::fmt("{}/record_parser_{}",
-                                     options.work_dir, result.processor);
-    std::ofstream out(src_path);
-    out << result.c_parser_source;
-    out.close();
-    const char* cc = std::getenv("CC");
-    std::string cmd = util::fmt("{} -O1 -o {} {} 2>/dev/null",
-                                cc ? cc : "cc", bin_path, src_path);
-    result.c_compile_ok = std::system(cmd.c_str()) == 0;
-    if (!result.c_compile_ok)
-      diags.warning({}, "host C compiler failed on the generated parser");
-    result.c_compile_seconds = timer.seconds();
-    result.times.record("parsercc", result.c_compile_seconds);
+    result.tables = std::make_shared<burstab::TargetTables>(
+        result.tree_grammar, options.tables);
+    result.times.record("tables", timer.seconds());
   }
 
+  if (cache) {
+    timer.reset();
+    burstab::TargetArtifactsView view;
+    view.processor = &result.processor;
+    view.base = result.base.get();
+    view.grammar = &result.tree_grammar;
+    view.tables = result.tables.get();
+    view.extract_stats = &result.extract_stats;
+    view.extend_stats = &result.extend_stats;
+    view.grammar_stats = &result.grammar_stats;
+    if (cache->store(cache_key, view))
+      result.times.record("cachestore", timer.seconds());
+  }
+
+  emit_parser(result, options, diags);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 
+#include "burstab/tables.h"
 #include "grammar/build.h"
 #include "grammar/grammar.h"
 #include "ise/extract.h"
@@ -23,6 +24,9 @@
 #include "util/timer.h"
 
 namespace record::core {
+
+/// The system scratch directory (std::filesystem::temp_directory_path).
+[[nodiscard]] std::string default_work_dir();
 
 struct RetargetOptions {
   ise::ExtractOptions extract;
@@ -39,19 +43,36 @@ struct RetargetOptions {
   /// the Table 3 "parser compilation" phase). Implies emit_c_parser.
   bool compile_c_parser = false;
   /// Scratch directory for the generated parser.
-  std::string work_dir = "/tmp";
+  std::string work_dir = default_work_dir();
+  /// Compile the tree grammar into BURS state tables (the table-driven
+  /// selection engine; RetargetResult::tables).
+  bool build_tables = true;
+  burstab::TableBuildOptions tables;
+  /// Serve/store this retarget through the persistent TargetCache, keyed by
+  /// a content hash of the HDL source and these options. Requests with
+  /// `extra_rewrites` bypass the cache (a rewrite library has no stable
+  /// content hash).
+  bool use_target_cache = false;
+  /// Cache directory; empty selects burstab::TargetCache::default_dir().
+  std::string cache_dir;
 };
 
 struct RetargetResult {
   std::string processor;
   std::shared_ptr<const rtl::TemplateBase> base;
   grammar::TreeGrammar tree_grammar;
+  /// Compiled BURS state tables over `tree_grammar` (build_tables); the
+  /// tables reference the grammar's pattern nodes, so they stay paired with
+  /// this result.
+  std::shared_ptr<burstab::TargetTables> tables;
+  /// True when this result was served from the persistent TargetCache.
+  bool cache_hit = false;
 
   ise::ExtractStats extract_stats;
   rtl::ExtendStats extend_stats;
   grammar::BuildStats grammar_stats;
-  util::PhaseTimes times;  // "hdl", "ise", "extend", "grammar", "parsergen",
-                           // "parsercc"
+  util::PhaseTimes times;  // "hdl", "ise", "extend", "grammar", "tables",
+                           // "parsergen", "parsercc"; cache hits: "cacheload"
 
   std::string c_parser_source;      // if requested
   double c_compile_seconds = 0.0;   // if compile_c_parser

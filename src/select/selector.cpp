@@ -23,10 +23,31 @@ std::string SelectionResult::listing() const {
   return os.str();
 }
 
+std::string_view to_string(Engine e) {
+  switch (e) {
+    case Engine::kAuto:
+      return "auto";
+    case Engine::kTables:
+      return "tables";
+    case Engine::kInterpreter:
+      break;
+  }
+  return "interpreter";
+}
+
 CodeSelector::CodeSelector(const rtl::TemplateBase& base,
                            const grammar::TreeGrammar& g,
-                           util::DiagnosticSink& diags)
-    : base_(base), g_(g), diags_(diags), parser_(g) {}
+                           util::DiagnosticSink& diags,
+                           const burstab::TargetTables* tables)
+    : base_(base), g_(g), diags_(diags), parser_(g) {
+  if (tables) table_parser_.emplace(g, *tables);
+}
+
+treeparse::LabelResult CodeSelector::label_subject(
+    const treeparse::SubjectTree& subject) const {
+  return table_parser_ ? table_parser_->label(subject)
+                       : parser_.label(subject);
+}
 
 namespace {
 
@@ -217,7 +238,7 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
         std::optional<treeparse::SubjectTree> subject =
             mapper.map_stmt(stmt);
         if (!subject) return std::nullopt;
-        treeparse::LabelResult labels = parser_.label(*subject);
+        treeparse::LabelResult labels = label_subject(*subject);
         if (!labels.ok) {
           // Retry at promoted (accumulator) precision — see
           // SubjectMapper::map_stmt.
@@ -227,7 +248,7 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
               retry_mapper.map_stmt(stmt, /*promote_ops=*/true);
           if (promoted) {
             treeparse::LabelResult promoted_labels =
-                parser_.label(*promoted);
+                label_subject(*promoted);
             if (promoted_labels.ok) {
               subject = std::move(promoted);
               labels = std::move(promoted_labels);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bdd/bdd.h"
+#include "burstab/tableparse.h"
 #include "grammar/grammar.h"
 #include "ir/program.h"
 #include "rtl/template.h"
@@ -22,6 +23,15 @@
 #include "util/diagnostics.h"
 
 namespace record::select {
+
+/// Labelling engine: the dynamic-programming interpreter (TreeParser) or the
+/// table-driven burstab engine. Both produce identical optimal derivations;
+/// the table engine trades a per-target table-compilation step for O(1)
+/// per-node lookups at selection time. kAuto selects tables whenever the
+/// target carries them.
+enum class Engine : std::uint8_t { kAuto, kInterpreter, kTables };
+
+[[nodiscard]] std::string_view to_string(Engine e);
 
 /// One selected machine operation.
 struct SelectedRT {
@@ -62,8 +72,16 @@ struct SelectorStats {
 
 class CodeSelector {
  public:
+  /// With `tables` non-null the selector labels subjects through the
+  /// table-driven engine; the tables must have been compiled from `g` and
+  /// must outlive the selector.
   CodeSelector(const rtl::TemplateBase& base, const grammar::TreeGrammar& g,
-               util::DiagnosticSink& diags);
+               util::DiagnosticSink& diags,
+               const burstab::TargetTables* tables = nullptr);
+
+  [[nodiscard]] Engine engine() const {
+    return table_parser_ ? Engine::kTables : Engine::kInterpreter;
+  }
 
   /// Selects code for a whole program; nullopt if any statement cannot be
   /// covered (diagnostics explain which operation is missing).
@@ -83,10 +101,15 @@ class CodeSelector {
   [[nodiscard]] bdd::Ref imm_constraint(
       const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond) const;
 
+  /// Labels through the configured engine.
+  [[nodiscard]] treeparse::LabelResult label_subject(
+      const treeparse::SubjectTree& subject) const;
+
   const rtl::TemplateBase& base_;
   const grammar::TreeGrammar& g_;
   util::DiagnosticSink& diags_;
   treeparse::TreeParser parser_;
+  std::optional<burstab::TableParser> table_parser_;
   SelectorStats stats_;
 };
 

@@ -23,7 +23,7 @@ bool TreeParser::immediate_fits(std::int64_t value, int width) {
   return value >= lo && value < hi;
 }
 
-bool TreeParser::subjects_equal(const SubjectNode& a, const SubjectNode& b) {
+bool subjects_equal(const SubjectNode& a, const SubjectNode& b) {
   if (a.term != b.term || a.is_const != b.is_const ||
       (a.is_const && a.value != b.value) ||
       a.children.size() != b.children.size())
@@ -33,17 +33,13 @@ bool TreeParser::subjects_equal(const SubjectNode& a, const SubjectNode& b) {
   return true;
 }
 
-std::optional<int> TreeParser::match_cost(
-    const PatNode& pat, const SubjectNode& node,
-    const std::vector<std::vector<LabelEntry>>& labels,
+std::optional<int> match_pattern_cost(
+    const PatNode& pat, const SubjectNode& node, const CostLookup& costs,
     std::vector<ImmBinding>& imm_fields,
-    std::vector<std::pair<grammar::NtId, const SubjectNode*>>& nt_binds)
-    const {
+    std::vector<std::pair<grammar::NtId, const SubjectNode*>>& nt_binds) {
   switch (pat.kind) {
     case PatNode::Kind::NonTerm: {
-      int c = labels[static_cast<std::size_t>(node.id)]
-                    [static_cast<std::size_t>(pat.nt)]
-                        .cost;
+      int c = costs(node, pat.nt);
       if (c >= kInfCost) return std::nullopt;
       for (const auto& [nt, bound] : nt_binds)
         if (nt == pat.nt && !subjects_equal(*bound, node))
@@ -52,7 +48,7 @@ std::optional<int> TreeParser::match_cost(
       return c;
     }
     case PatNode::Kind::Imm: {
-      if (!node.is_const || !immediate_fits(node.value, pat.width))
+      if (!node.is_const || !TreeParser::immediate_fits(node.value, pat.width))
         return std::nullopt;
       for (const ImmBinding& prev : imm_fields)
         if (prev.field_bits == pat.imm_bits && prev.value != node.value)
@@ -69,8 +65,8 @@ std::optional<int> TreeParser::match_cost(
       int sum = 0;
       for (std::size_t i = 0; i < pat.children.size(); ++i) {
         std::optional<int> c =
-            match_cost(*pat.children[i], *node.children[i], labels,
-                       imm_fields, nt_binds);
+            match_pattern_cost(*pat.children[i], *node.children[i], costs,
+                               imm_fields, nt_binds);
         if (!c) return std::nullopt;
         sum += *c;
       }
@@ -88,6 +84,14 @@ LabelResult TreeParser::label(const SubjectTree& tree) const {
                            static_cast<std::size_t>(nts), LabelEntry{}));
   if (!tree.root()) return result;
 
+  const auto closed_cost = [&result](const SubjectNode& n,
+                                     grammar::NtId nt) {
+    return result.labels[static_cast<std::size_t>(n.id)]
+                        [static_cast<std::size_t>(nt)]
+        .cost;
+  };
+  const CostLookup costs(closed_cost);
+
   // Nodes were created bottom-up, so ascending id order is topological.
   for (std::size_t id = 0; id < tree.size(); ++id) {
     const SubjectNode& node = tree.node(static_cast<int>(id));
@@ -97,8 +101,8 @@ LabelResult TreeParser::label(const SubjectTree& tree) const {
       const Rule& r = g_.rule(rid);
       std::vector<ImmBinding> imm_fields;
       std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
-      std::optional<int> c = match_cost(*r.pattern, node, result.labels,
-                                        imm_fields, nt_binds);
+      std::optional<int> c = match_pattern_cost(*r.pattern, node, costs,
+                                                imm_fields, nt_binds);
       if (!c) continue;
       int total = *c + r.cost;
       LabelEntry& e = mine[static_cast<std::size_t>(r.lhs)];

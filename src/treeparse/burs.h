@@ -50,6 +50,45 @@ struct Derivation {
   [[nodiscard]] std::size_t application_count() const;
 };
 
+/// Non-owning callable view used by the pattern matcher to read the closed
+/// (chain-complete) derivation cost of a non-terminal at a subject node.
+/// Returns grammar::kInfCost when the non-terminal is not derivable. Both the
+/// dynamic-programming TreeParser and the table-driven burstab engine feed
+/// their own cost stores through this interface so that side-constrained
+/// rules are matched by one shared code path.
+class CostLookup {
+ public:
+  template <typename F>
+  CostLookup(const F& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(&f), fn_([](const void* ctx, const SubjectNode& n,
+                         grammar::NtId nt) {
+          return (*static_cast<const F*>(ctx))(n, nt);
+        }) {}
+
+  int operator()(const SubjectNode& n, grammar::NtId nt) const {
+    return fn_(ctx_, n, nt);
+  }
+
+ private:
+  const void* ctx_;
+  int (*fn_)(const void*, const SubjectNode&, grammar::NtId);
+};
+
+/// Structural equality of subject subtrees (terminals and constants).
+[[nodiscard]] bool subjects_equal(const SubjectNode& a, const SubjectNode& b);
+
+/// Cost of matching `pat` at `node` given closed non-terminal costs;
+/// nullopt if no structural match. Consistency side-constraints:
+///  * `imm_fields`: two Imm leaves drawing from the same instruction
+///    field must bind the same constant,
+///  * `nt_binds`: two leaves of the same non-terminal are one physical
+///    register read, so their subject subtrees must be identical
+///    (the x+x patterns derived from shifters).
+[[nodiscard]] std::optional<int> match_pattern_cost(
+    const grammar::PatNode& pat, const SubjectNode& node,
+    const CostLookup& costs, std::vector<ImmBinding>& imm_fields,
+    std::vector<std::pair<grammar::NtId, const SubjectNode*>>& nt_binds);
+
 class TreeParser {
  public:
   explicit TreeParser(const grammar::TreeGrammar& g) : g_(g) {}
@@ -73,24 +112,6 @@ class TreeParser {
   [[nodiscard]] static bool immediate_fits(std::int64_t value, int width);
 
  private:
-  /// Cost of matching `pat` at `node` given children's closed labels;
-  /// nullopt if no structural match. Consistency side-constraints:
-  ///  * `imm_fields`: two Imm leaves drawing from the same instruction
-  ///    field must bind the same constant,
-  ///  * `nt_binds`: two leaves of the same non-terminal are one physical
-  ///    register read, so their subject subtrees must be identical
-  ///    (the x+x patterns derived from shifters).
-  [[nodiscard]] std::optional<int> match_cost(
-      const grammar::PatNode& pat, const SubjectNode& node,
-      const std::vector<std::vector<LabelEntry>>& labels,
-      std::vector<ImmBinding>& imm_fields,
-      std::vector<std::pair<grammar::NtId, const SubjectNode*>>& nt_binds)
-      const;
-
-  /// Structural equality of subject subtrees (terminals and constants).
-  [[nodiscard]] static bool subjects_equal(const SubjectNode& a,
-                                           const SubjectNode& b);
-
   void reduce_pattern(const grammar::PatNode& pat, const SubjectNode& node,
                       const LabelResult& result, Derivation& out) const;
   [[nodiscard]] std::unique_ptr<Derivation> reduce_nt(

@@ -1,0 +1,611 @@
+// Differential validation of the table-driven BURS engine: on every grammar
+// and subject tree, burstab::TableParser must produce the exact LabelResult
+// (costs AND winning rules) of the dynamic-programming treeparse::TreeParser,
+// hence identical optimal derivations and RT sequences.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "burstab/cache.h"
+#include "burstab/serialize.h"
+#include "burstab/tableparse.h"
+#include "burstab/tables.h"
+#include "core/compiler.h"
+#include "core/record.h"
+#include "ir/builder.h"
+#include "models/models.h"
+#include "select/selector.h"
+#include "treeparse/burs.h"
+
+namespace record::burstab {
+namespace {
+
+using grammar::kStart;
+using grammar::NtId;
+using grammar::pat_const_leaf;
+using grammar::pat_imm;
+using grammar::pat_nonterm;
+using grammar::pat_term;
+using grammar::PatNode;
+using grammar::PatNodePtr;
+using grammar::RuleKind;
+using grammar::TermId;
+using grammar::TreeGrammar;
+using treeparse::Derivation;
+using treeparse::LabelResult;
+using treeparse::SubjectNode;
+using treeparse::SubjectTree;
+using treeparse::TreeParser;
+
+// --- differential harness ---------------------------------------------------
+
+std::string derivation_string(const Derivation& d) {
+  std::string s = "r" + std::to_string(d.rule);
+  for (const treeparse::ImmBinding& b : d.imms)
+    s += "#" + std::to_string(b.value);
+  s += "(";
+  for (const std::unique_ptr<Derivation>& c : d.children)
+    s += derivation_string(*c) + ",";
+  s += ")";
+  return s;
+}
+
+/// Full equivalence check of both engines on one tree. Returns whether the
+/// tree parses (for corpus-coverage assertions).
+bool expect_engines_agree(const TreeGrammar& g, const TargetTables& tables,
+                          const SubjectTree& tree, const char* what) {
+  TreeParser interp(g);
+  TableParser tabular(g, tables);
+  LabelResult a = interp.label(tree);
+  LabelResult b = tabular.label(tree);
+  EXPECT_EQ(a.ok, b.ok) << what << ": " << tree.to_string(g);
+  EXPECT_EQ(a.root_cost, b.root_cost) << what << ": " << tree.to_string(g);
+  EXPECT_EQ(a.labels.size(), b.labels.size());
+  if (a.labels.size() != b.labels.size()) return false;
+  for (std::size_t id = 0; id < a.labels.size(); ++id) {
+    for (std::size_t nt = 0; nt < a.labels[id].size(); ++nt) {
+      EXPECT_EQ(a.labels[id][nt].cost, b.labels[id][nt].cost)
+          << what << ": node " << id << " nt " << nt << " of "
+          << tree.to_string(g);
+      EXPECT_EQ(a.labels[id][nt].rule, b.labels[id][nt].rule)
+          << what << ": node " << id << " nt " << nt << " of "
+          << tree.to_string(g);
+    }
+  }
+  if (a.ok && b.ok) {
+    std::unique_ptr<Derivation> da = interp.reduce(tree, a);
+    std::unique_ptr<Derivation> db = tabular.reduce(tree, b);
+    EXPECT_NE(da, nullptr);
+    EXPECT_NE(db, nullptr);
+    if (da && db)
+      EXPECT_EQ(derivation_string(*da), derivation_string(*db))
+          << what << ": " << tree.to_string(g);
+  }
+  return a.ok;
+}
+
+/// Random subject trees over the grammar's terminal alphabet: adversarial
+/// input, mostly unparseable — both engines must still agree everywhere.
+class RandomTreeGen {
+ public:
+  RandomTreeGen(const TreeGrammar& g, std::uint32_t seed)
+      : g_(g), rng_(seed) {
+    for (const grammar::Rule& r : g.rules()) collect(*r.pattern);
+    for (auto& [t, arities] : arity_of_) {
+      (void)t;
+      (void)arities;
+    }
+    if (const_values_.empty()) const_values_ = {0, 1};
+    const_values_.push_back(3);
+    const_values_.push_back(-5);
+    const_values_.push_back(1 << 20);  // fits few immediate fields
+  }
+
+  SubjectTree make_tree(int max_depth) {
+    SubjectTree t;
+    t.set_root(subtree(t, max_depth));
+    return t;
+  }
+
+  /// ASSIGN($dest, value) shaped like real selection subjects.
+  SubjectTree make_assign(int max_depth) {
+    SubjectTree t;
+    SubjectNode* value = subtree(t, max_depth);
+    SubjectNode* dest =
+        dest_terms_.empty()
+            ? t.make(random_term())
+            : t.make(dest_terms_[rng_() % dest_terms_.size()]);
+    t.set_root(t.make(g_.assign_terminal(), {dest, value}));
+    return t;
+  }
+
+ private:
+  void collect(const PatNode& p) {
+    switch (p.kind) {
+      case PatNode::Kind::Term: {
+        auto& arities = arity_of_[p.term];
+        int k = static_cast<int>(p.children.size());
+        if (std::find(arities.begin(), arities.end(), k) == arities.end())
+          arities.push_back(k);
+        if (g_.terminal_name(p.term).rfind("$dest:", 0) == 0)
+          if (std::find(dest_terms_.begin(), dest_terms_.end(), p.term) ==
+              dest_terms_.end())
+            dest_terms_.push_back(p.term);
+        for (const PatNodePtr& c : p.children) collect(*c);
+        terms_.push_back(p.term);
+        return;
+      }
+      case PatNode::Kind::Imm:
+        const_values_.push_back((std::int64_t{1} << (p.width - 1)) - 1);
+        const_values_.push_back(std::int64_t{1} << p.width);  // just too big
+        return;
+      case PatNode::Kind::Const:
+        const_values_.push_back(p.value);
+        return;
+      case PatNode::Kind::NonTerm:
+        return;
+    }
+  }
+
+  TermId random_term() { return terms_[rng_() % terms_.size()]; }
+
+  SubjectNode* subtree(SubjectTree& t, int depth) {
+    if (depth <= 0 || rng_() % 4 == 0)
+      return t.make_const(g_.const_terminal(),
+                          const_values_[rng_() % const_values_.size()]);
+    TermId term = random_term();
+    const std::vector<int>& arities = arity_of_[term];
+    int k = arities[rng_() % arities.size()];
+    if (k == 0) return t.make(term);
+    std::vector<SubjectNode*> kids;
+    kids.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) kids.push_back(subtree(t, depth - 1));
+    return t.make(term, kids);
+  }
+
+  const TreeGrammar& g_;
+  std::mt19937 rng_;
+  std::unordered_map<TermId, std::vector<int>> arity_of_;
+  std::vector<TermId> terms_;
+  std::vector<TermId> dest_terms_;
+  std::vector<std::int64_t> const_values_;
+};
+
+// --- fixture grammars -------------------------------------------------------
+
+/// The treeparse_test fixture grammar (constraint-free).
+struct PlainFixture {
+  TreeGrammar g;
+  TermId t_dest_a, t_reg_a, t_reg_b, t_plus, t_load;
+  NtId nt_a, nt_b;
+
+  PlainFixture() {
+    nt_a = g.intern_nonterminal("nt:A");
+    nt_b = g.intern_nonterminal("nt:B");
+    t_dest_a = g.intern_terminal("$dest:A");
+    t_reg_a = g.intern_terminal("$reg:A");
+    t_reg_b = g.intern_terminal("$reg:B");
+    t_plus = g.intern_terminal("plus");
+    t_load = g.intern_terminal("load");
+    {
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_term(t_dest_a, {}));
+      kids.push_back(pat_nonterm(nt_a));
+      g.add_rule(kStart, pat_term(g.assign_terminal(), std::move(kids)), 0,
+                 RuleKind::Start);
+    }
+    {
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_a));
+      kids.push_back(pat_nonterm(nt_b));
+      g.add_rule(nt_a, pat_term(t_plus, std::move(kids)), 1, RuleKind::RT, 0);
+    }
+    {
+      // Multi-level pattern: plus(nt:A, load(#imm4)) — exercises interior
+      // subpattern states.
+      std::vector<PatNodePtr> inner;
+      inner.push_back(pat_imm({0, 1, 2, 3}));
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_a));
+      kids.push_back(pat_term(t_load, std::move(inner)));
+      g.add_rule(nt_a, pat_term(t_plus, std::move(kids)), 1, RuleKind::RT, 4);
+    }
+    {
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_b));
+      g.add_rule(nt_a, pat_term(t_load, std::move(kids)), 1, RuleKind::RT, 1);
+    }
+    g.add_rule(nt_a, pat_term(t_reg_a, {}), 0, RuleKind::Stop);
+    g.add_rule(nt_b, pat_imm({0, 1, 2, 3}), 1, RuleKind::RT, 2);
+    g.add_rule(nt_b, pat_nonterm(nt_a), 1, RuleKind::RT, 3);
+    g.add_rule(nt_b, pat_const_leaf(0), 0, RuleKind::RT, 5);  // clear
+    g.add_rule(nt_b, pat_term(t_reg_b, {}), 0, RuleKind::Stop);
+  }
+};
+
+/// Adds side-constrained rules: an x+x shifter pattern (structural equality
+/// of both operands) and a paired-immediate operator (both draw field 0-3).
+struct ConstrainedFixture : PlainFixture {
+  TermId t_shl, t_addi;
+
+  ConstrainedFixture() {
+    t_shl = g.intern_terminal("shl");
+    t_addi = g.intern_terminal("addi");
+    {
+      // nt:A -> shl(nt:A, nt:A): both leaves must bind the same subtree.
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_a));
+      kids.push_back(pat_nonterm(nt_a));
+      g.add_rule(nt_a, pat_term(t_shl, std::move(kids)), 1, RuleKind::RT, 6);
+    }
+    {
+      // nt:A -> addi(#imm4, #imm4) with one shared field: matches only when
+      // both constants are equal.
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_imm({0, 1, 2, 3}));
+      kids.push_back(pat_imm({0, 1, 2, 3}));
+      g.add_rule(nt_a, pat_term(t_addi, std::move(kids)), 1, RuleKind::RT, 7);
+    }
+    {
+      // Unconstrained sibling on the same (constrained) operator: fallback
+      // nodes must still consider table rules in original order.
+      std::vector<PatNodePtr> kids;
+      kids.push_back(pat_nonterm(nt_a));
+      kids.push_back(pat_nonterm(nt_b));
+      g.add_rule(nt_a, pat_term(t_shl, std::move(kids)), 2, RuleKind::RT, 8);
+    }
+  }
+};
+
+TEST(BurstabDifferential, PlainFixtureRandomTrees) {
+  PlainFixture f;
+  TargetTables tables(f.g);
+  RandomTreeGen gen(f.g, 1234);
+  int parsed = 0;
+  for (int i = 0; i < 300; ++i) {
+    SubjectTree t = gen.make_assign(1 + i % 5);
+    if (expect_engines_agree(f.g, tables, t, "plain/assign")) ++parsed;
+  }
+  for (int i = 0; i < 200; ++i) {
+    SubjectTree t = gen.make_tree(1 + i % 4);
+    expect_engines_agree(f.g, tables, t, "plain/random");
+  }
+  EXPECT_GT(parsed, 20) << "corpus too weak to exercise the tables";
+}
+
+TEST(BurstabDifferential, ConstrainedFixtureRandomTrees) {
+  ConstrainedFixture f;
+  TargetTables tables(f.g);
+  EXPECT_TRUE(tables.terminal_has_constrained(f.t_shl));
+  EXPECT_TRUE(tables.terminal_has_constrained(f.t_addi));
+  EXPECT_FALSE(tables.terminal_has_constrained(f.t_plus));
+  RandomTreeGen gen(f.g, 99);
+  int parsed = 0;
+  for (int i = 0; i < 400; ++i) {
+    SubjectTree t = gen.make_assign(1 + i % 5);
+    if (expect_engines_agree(f.g, tables, t, "constrained/assign")) ++parsed;
+  }
+  EXPECT_GT(parsed, 20);
+}
+
+TEST(BurstabDifferential, SharedImmediateFieldSemantics) {
+  ConstrainedFixture f;
+  TargetTables tables(f.g);
+  // addi(5, 5) parses (same constant in the shared field), addi(5, 6) must
+  // not match the paired-immediate rule.
+  for (auto [v1, v2] : {std::pair<int, int>{5, 5}, {5, 6}}) {
+    SubjectTree t;
+    SubjectNode* dest = t.make(f.t_dest_a);
+    SubjectNode* a = t.make_const(f.g.const_terminal(), v1);
+    SubjectNode* b = t.make_const(f.g.const_terminal(), v2);
+    SubjectNode* addi = t.make(f.t_addi, {a, b});
+    t.set_root(t.make(f.g.assign_terminal(), {dest, addi}));
+    expect_engines_agree(f.g, tables, t, "addi");
+  }
+}
+
+TEST(BurstabDifferential, StructuralEqualityBinding) {
+  ConstrainedFixture f;
+  TargetTables tables(f.g);
+  // shl(reg_a, reg_a) binds; shl over differing subtrees must use the
+  // more expensive unconstrained sibling rule. Both engines agree either
+  // way; check the parse is exercised.
+  SubjectTree t;
+  SubjectNode* dest = t.make(f.t_dest_a);
+  SubjectNode* l = t.make(f.t_reg_a);
+  SubjectNode* r = t.make(f.t_reg_a);
+  SubjectNode* shl = t.make(f.t_shl, {l, r});
+  t.set_root(t.make(f.g.assign_terminal(), {dest, shl}));
+  EXPECT_TRUE(expect_engines_agree(f.g, tables, t, "shl-xx"));
+  TreeParser interp(f.g);
+  LabelResult lr = interp.label(t);
+  ASSERT_TRUE(lr.ok);
+  EXPECT_EQ(lr.root_cost, 1);  // x+x rule, not the cost-2 sibling
+}
+
+TEST(BurstabDifferential, DynamicOnlyTablesMatchPrecomputed) {
+  PlainFixture f;
+  TableBuildOptions lazy;
+  lazy.precompute = false;
+  TargetTables eager(f.g);
+  TargetTables dynamic(f.g, lazy);
+  RandomTreeGen gen(f.g, 7);
+  for (int i = 0; i < 100; ++i) {
+    SubjectTree t = gen.make_assign(1 + i % 4);
+    TableParser pe(f.g, eager);
+    TableParser pd(f.g, dynamic);
+    LabelResult a = pe.label(t);
+    LabelResult b = pd.label(t);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.root_cost, b.root_cost);
+  }
+  EXPECT_GT(eager.stats().states, 0u);
+  EXPECT_GT(dynamic.stats().states, 0u);
+}
+
+// --- built-in models --------------------------------------------------------
+
+class BurstabModel : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BurstabModel, DifferentialCorpus) {
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  auto target = core::Record::retarget_model(GetParam(), options, diags);
+  ASSERT_TRUE(target) << diags.str();
+  ASSERT_NE(target->tables, nullptr);
+
+  RandomTreeGen gen(target->tree_grammar, 4242);
+  int parsed = 0;
+  for (int i = 0; i < 120; ++i) {
+    SubjectTree t = gen.make_assign(1 + i % 4);
+    if (expect_engines_agree(target->tree_grammar, *target->tables, t,
+                             GetParam()))
+      ++parsed;
+  }
+  for (int i = 0; i < 60; ++i) {
+    SubjectTree t = gen.make_tree(1 + i % 3);
+    expect_engines_agree(target->tree_grammar, *target->tables, t,
+                         GetParam());
+  }
+  EXPECT_GT(parsed, 0) << "no tree of the corpus parses on " << GetParam();
+}
+
+TEST_P(BurstabModel, SelectionListingsIdentical) {
+  util::DiagnosticSink diags;
+  auto target =
+      core::Record::retarget_model(GetParam(), core::RetargetOptions{}, diags);
+  ASSERT_TRUE(target) << diags.str();
+
+  // The bench_selection_throughput accumulator shapes, per model
+  // (mem2 non-empty: multiply-accumulate terms, the DSP-style covers).
+  struct Shape {
+    const char* model;
+    const char* acc;
+    const char* mem1;
+    const char* mem2;
+  };
+  constexpr Shape kShapes[] = {
+      {"demo", "R0", "mem", ""},       {"ref", "R0", "dmem", ""},
+      {"manocpu", "AC", "mem", ""},    {"tanenbaum", "AC", "mem", ""},
+      {"bass_boost", "A", "sram", "crom"},
+      {"tms320c25", "ACC", "ram", "ram"},
+  };
+  const Shape* shape = nullptr;
+  for (const Shape& s : kShapes)
+    if (std::string_view(s.model) == GetParam()) shape = &s;
+  ASSERT_NE(shape, nullptr);
+
+  ir::ProgramBuilder b(std::string(GetParam()) + "_diff");
+  b.reg("acc", shape->acc);
+  ir::ExprPtr sum;
+  for (int i = 0; i < 6; ++i) {
+    ir::ExprPtr term;
+    if (shape->mem2[0] == '\0') {
+      std::string v = "m" + std::to_string(i);
+      b.cell(v, shape->mem1, i % 8);
+      term = ir::e_var(v);
+    } else {
+      std::string u = "u" + std::to_string(i), v = "v" + std::to_string(i);
+      b.cell(u, shape->mem1, i % 8);
+      b.cell(v, shape->mem2, (i + 1) % 8);
+      term = ir::e_mul(ir::e_var(u), ir::e_var(v));
+    }
+    sum = sum ? ir::e_add(std::move(sum), std::move(term))
+              : std::move(term);
+  }
+  b.let("acc", std::move(sum));
+  ir::Program prog = b.take();
+
+  util::DiagnosticSink d1, d2;
+  select::CodeSelector interp(*target->base, target->tree_grammar, d1);
+  select::CodeSelector tabular(*target->base, target->tree_grammar, d2,
+                               target->tables.get());
+  EXPECT_EQ(interp.engine(), select::Engine::kInterpreter);
+  EXPECT_EQ(tabular.engine(), select::Engine::kTables);
+  auto ra = interp.select(prog);
+  auto rb = tabular.select(prog);
+  ASSERT_TRUE(ra) << d1.str();
+  ASSERT_TRUE(rb) << d2.str();
+  EXPECT_EQ(ra->total_rts, rb->total_rts);
+  EXPECT_EQ(ra->listing(), rb->listing());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BurstabModel,
+                         ::testing::Values("demo", "ref", "manocpu",
+                                           "tanenbaum", "bass_boost",
+                                           "tms320c25"));
+
+// --- serialization and cache ------------------------------------------------
+
+TEST(BurstabSerialize, GrammarRoundTrip) {
+  ConstrainedFixture f;
+  ByteWriter w;
+  write_grammar(w, f.g);
+  ByteReader r(w.bytes());
+  TreeGrammar g2;
+  ASSERT_TRUE(read_grammar(r, g2));
+  EXPECT_EQ(grammar_fingerprint(f.g), grammar_fingerprint(g2));
+  EXPECT_EQ(g2.rules().size(), f.g.rules().size());
+  EXPECT_EQ(g2.terminal_count(), f.g.terminal_count());
+  for (std::size_t i = 0; i < f.g.rules().size(); ++i)
+    EXPECT_EQ(grammar::pattern_to_string(g2, *g2.rules()[i].pattern),
+              grammar::pattern_to_string(f.g, *f.g.rules()[i].pattern));
+}
+
+TEST(BurstabSerialize, TemplateBaseRoundTrip) {
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.build_tables = false;
+  auto target = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(target) << diags.str();
+
+  ByteWriter w;
+  write_template_base(w, *target->base);
+  ByteReader r(w.bytes());
+  rtl::TemplateBase base2;
+  ASSERT_TRUE(read_template_base(r, base2));
+  ASSERT_EQ(base2.templates.size(), target->base->templates.size());
+  for (std::size_t i = 0; i < base2.templates.size(); ++i) {
+    const rtl::RTTemplate& a = target->base->templates[i];
+    const rtl::RTTemplate& b = base2.templates[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.signature(), b.signature());
+    EXPECT_EQ(a.pretty(*target->base->mgr), b.pretty(*base2.mgr)) << i;
+  }
+  EXPECT_EQ(base2.instruction_width, target->base->instruction_width);
+  EXPECT_EQ(base2.storage.size(), target->base->storage.size());
+}
+
+TEST(BurstabSerialize, TablesRoundTrip) {
+  PlainFixture f;
+  TargetTables tables(f.g);
+  // Warm the tables on a corpus, then serialise.
+  RandomTreeGen gen(f.g, 5);
+  for (int i = 0; i < 50; ++i) {
+    SubjectTree t = gen.make_assign(3);
+    TableParser p(f.g, tables);
+    (void)p.label(t);
+  }
+  std::string blob;
+  tables.serialize(blob);
+  std::size_t offset = 0;
+  std::unique_ptr<TargetTables> loaded =
+      TargetTables::deserialize(f.g, blob, offset);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_EQ(loaded->stats().states, tables.stats().states);
+  EXPECT_EQ(loaded->stats().transitions, tables.stats().transitions);
+  // Loaded tables parse identically.
+  RandomTreeGen gen2(f.g, 5);
+  for (int i = 0; i < 50; ++i) {
+    SubjectTree t = gen2.make_assign(3);
+    TableParser a(f.g, tables), b(f.g, *loaded);
+    LabelResult ra = a.label(t), rb = b.label(t);
+    EXPECT_EQ(ra.ok, rb.ok);
+    EXPECT_EQ(ra.root_cost, rb.root_cost);
+  }
+}
+
+TEST(BurstabSerialize, TablesRejectForeignGrammar) {
+  PlainFixture f;
+  ConstrainedFixture f2;
+  TargetTables tables(f.g);
+  std::string blob;
+  tables.serialize(blob);
+  std::size_t offset = 0;
+  EXPECT_EQ(TargetTables::deserialize(f2.g, blob, offset), nullptr);
+}
+
+TEST(BurstabCache, WarmLoadServesIdenticalTarget) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-test").string();
+  std::filesystem::remove_all(dir);
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  EXPECT_FALSE(cold->cache_hit);
+
+  auto warm = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(warm) << diags.str();
+  EXPECT_TRUE(warm->cache_hit);
+  ASSERT_NE(warm->tables, nullptr);
+  EXPECT_EQ(warm->processor, cold->processor);
+  EXPECT_EQ(warm->base->templates.size(), cold->base->templates.size());
+  EXPECT_EQ(grammar_fingerprint(warm->tree_grammar),
+            grammar_fingerprint(cold->tree_grammar));
+  EXPECT_EQ(warm->grammar_stats.rt_rules, cold->grammar_stats.rt_rules);
+  EXPECT_EQ(warm->extract_stats.destinations,
+            cold->extract_stats.destinations);
+
+  // Selection through the warm target matches the cold one, both engines.
+  ir::ProgramBuilder b("cache_diff");
+  b.reg("acc", "AC");
+  b.cell("m0", "mem", 0);
+  b.cell("m1", "mem", 1);
+  b.let("acc", ir::e_add(ir::e_var("m0"), ir::e_var("m1")));
+  ir::Program prog = b.take();
+  for (const core::RetargetResult* t : {&*cold, &*warm}) {
+    util::DiagnosticSink d;
+    select::CodeSelector sel(*t->base, t->tree_grammar, d,
+                             t->tables.get());
+    auto res = sel.select(prog);
+    ASSERT_TRUE(res) << d.str();
+  }
+  util::DiagnosticSink dc, dw;
+  select::CodeSelector sc(*cold->base, cold->tree_grammar, dc,
+                          cold->tables.get());
+  select::CodeSelector sw(*warm->base, warm->tree_grammar, dw,
+                          warm->tables.get());
+  EXPECT_EQ(sc.select(prog)->listing(), sw.select(prog)->listing());
+
+  // Options that shape the artifacts key separately.
+  core::RetargetOptions other = options;
+  other.commutativity = false;
+  auto different = core::Record::retarget_model("manocpu", other, diags);
+  ASSERT_TRUE(different);
+  EXPECT_FALSE(different->cache_hit);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, CompilerEngineOption) {
+  util::DiagnosticSink diags;
+  auto target =
+      core::Record::retarget_model("manocpu", core::RetargetOptions{}, diags);
+  ASSERT_TRUE(target) << diags.str();
+  ir::ProgramBuilder b("engine_opt");
+  b.reg("acc", "AC");
+  b.cell("m0", "mem", 0);
+  b.let("acc", ir::e_add(ir::e_var("acc"), ir::e_var("m0")));
+  ir::Program prog = b.take();
+
+  core::Compiler compiler(*target);
+  core::CompileOptions interp_opts;
+  interp_opts.engine = select::Engine::kInterpreter;
+  core::CompileOptions table_opts;
+  table_opts.engine = select::Engine::kTables;
+  util::DiagnosticSink d1, d2;
+  auto a = compiler.compile(prog, interp_opts, d1);
+  auto c = compiler.compile(prog, table_opts, d2);
+  ASSERT_TRUE(a) << d1.str();
+  ASSERT_TRUE(c) << d2.str();
+  EXPECT_EQ(a->listing(), c->listing());
+  EXPECT_EQ(a->code_size(), c->code_size());
+}
+
+TEST(Satellites, WorkDirDefaultIsSystemTemp) {
+  core::RetargetOptions options;
+  EXPECT_EQ(options.work_dir, core::default_work_dir());
+  EXPECT_FALSE(options.work_dir.empty());
+  EXPECT_TRUE(std::filesystem::exists(options.work_dir));
+}
+
+}  // namespace
+}  // namespace record::burstab
