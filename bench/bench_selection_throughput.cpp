@@ -25,7 +25,7 @@
 #include "burstab/cache.h"
 #include "core/compiler.h"
 #include "core/record.h"
-#include "ir/builder.h"
+#include "models/workload.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -33,42 +33,8 @@ using namespace record;
 
 namespace {
 
-struct Shape {
-  const char* model;
-  const char* acc;   // accumulator register
-  const char* mem1;  // first operand memory
-  const char* mem2;  // second operand memory ("" = plain additive chain)
-};
-
-constexpr Shape kShapes[] = {
-    {"demo", "R0", "mem", ""},
-    {"ref", "R0", "dmem", ""},
-    {"manocpu", "AC", "mem", ""},
-    {"tanenbaum", "AC", "mem", ""},
-    {"bass_boost", "A", "sram", "crom"},
-    {"tms320c25", "ACC", "ram", "ram"},
-};
-
-/// acc = t0 + t1 + ... + t_{k-1}; terms are loads or products.
-ir::Program chain_program(const Shape& s, int k) {
-  ir::ProgramBuilder b(std::string(s.model) + "_chain");
-  b.reg("acc", s.acc);
-  auto term = [&](int i) -> ir::ExprPtr {
-    if (s.mem2[0] == '\0') {
-      std::string v = "m" + std::to_string(i);
-      b.cell(v, s.mem1, i % 16);
-      return ir::e_var(v);
-    }
-    std::string u = "u" + std::to_string(i), v = "v" + std::to_string(i);
-    b.cell(u, s.mem1, i % 16);
-    b.cell(v, s.mem2, (i + 1) % 16);
-    return ir::e_mul(ir::e_var(u), ir::e_var(v));
-  };
-  ir::ExprPtr sum = term(0);
-  for (int i = 1; i < k; ++i) sum = ir::e_add(std::move(sum), term(i));
-  b.let("acc", std::move(sum));
-  return b.take();
-}
+using models::chain_program;
+using models::kChainShapes;
 
 struct Row {
   std::string model;
@@ -112,7 +78,7 @@ int main() {
   std::vector<Row> rows;
   double warm_load_ms_total = 0;
 
-  for (const Shape& s : kShapes) {
+  for (const models::ChainShape& s : kChainShapes) {
     util::DiagnosticSink diags;
     core::RetargetOptions options;
     options.use_target_cache = true;  // first run cold-stores, reruns warm
@@ -180,7 +146,7 @@ int main() {
 
   // Side-by-side verdict: table speedup per model at the largest size.
   std::printf("\nspeedup (tables vs interpreter, 64-term chains):\n");
-  for (const Shape& s : kShapes) {
+  for (const models::ChainShape& s : kChainShapes) {
     double interp = 0, tab = 0;
     for (const Row& r : rows) {
       if (r.model != s.model || r.terms != 64) continue;

@@ -1,0 +1,149 @@
+// Compile-service throughput: jobs/sec over a warm-registry mixed-model
+// workload as the worker pool grows (1/2/4/8 threads).
+//
+// Every job is an independent Compiler run (selection + spills + compaction
+// + encoding) against one of the six built-in targets, resolved through the
+// shared TargetRegistry. The registry is pre-warmed with retarget-only jobs
+// so the measurement isolates *compile* concurrency — the production steady
+// state of a long-running service — rather than one-time retargeting cost.
+// Perfect scaling is jobs/sec proportional to workers up to the machine's
+// core count (the hardware_concurrency figure is reported so single-core CI
+// readings are interpretable).
+//
+// Results are also written as machine-readable JSON to
+// BENCH_service_throughput.json, like bench_selection_throughput.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/workload.h"
+#include "service/service.h"
+#include "util/timer.h"
+
+using namespace record;
+
+namespace {
+
+using models::chain_program;
+using models::kChainShapes;
+
+struct Row {
+  std::size_t workers = 0;
+  std::size_t jobs = 0;
+  double seconds = 0;
+  double jobs_per_sec = 0;
+  double speedup = 0;  // vs the 1-worker row
+  double avg_queue_ms = 0;
+};
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("Compile-service throughput, warm-registry mixed-model "
+              "workload (hardware_concurrency=%u)\n", hw);
+  std::printf("%8s %8s %10s %12s %10s %12s\n", "workers", "jobs", "time[s]",
+              "jobs/sec", "speedup", "avg queue ms");
+
+  // The shared workload: 6 models x 4 sizes x 8 reps = 192 jobs. Program
+  // trees are built once and shared (jobs only read them).
+  std::vector<
+      std::pair<const models::ChainShape*, std::shared_ptr<const ir::Program>>>
+      workload;
+  for (const models::ChainShape& s : kChainShapes)
+    for (int k : {8, 16, 32, 64})
+      workload.emplace_back(
+          &s, std::make_shared<const ir::Program>(chain_program(s, k)));
+  constexpr int kReps = 8;
+
+  std::vector<Row> rows;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    service::CompileService::Options opts;
+    opts.workers = workers;
+    opts.queue_capacity = 256;
+    opts.registry.capacity = 16;
+    opts.registry.retarget.use_target_cache = true;  // cold start from disk
+    service::CompileService svc(opts);
+
+    // Warm the registry: one retarget-only job per model (single-flighted;
+    // served from the persistent cache when this bench ran before).
+    {
+      std::vector<service::CompileJob> warm;
+      for (const models::ChainShape& s : kChainShapes) {
+        service::CompileJob job;
+        job.model = s.model;
+        warm.push_back(std::move(job));
+      }
+      for (service::JobResult& r : svc.compile_batch(std::move(warm))) {
+        if (!r.ok) {
+          std::printf("warm-up retarget failed: %s\n", r.error.c_str());
+          return 1;
+        }
+      }
+    }
+
+    util::Timer timer;
+    std::vector<std::future<service::JobResult>> futures;
+    futures.reserve(workload.size() * kReps);
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const auto& [shape, program] : workload) {
+        service::CompileJob job;
+        job.model = shape->model;
+        job.program = program;
+        job.want_listing = false;  // measure compilation, not formatting
+        futures.push_back(svc.submit(std::move(job)));
+      }
+    }
+    std::size_t failed = 0;
+    for (auto& f : futures) {
+      service::JobResult r = f.get();
+      if (!r.ok) {
+        if (failed++ == 0)
+          std::printf("job failed: %s\n", r.error.c_str());
+      }
+    }
+    double seconds = timer.seconds();
+    if (failed) {
+      std::printf("%zu jobs failed\n", failed);
+      return 1;
+    }
+
+    Row row;
+    row.workers = workers;
+    row.jobs = futures.size();
+    row.seconds = seconds;
+    row.jobs_per_sec = double(row.jobs) / seconds;
+    service::ServiceStats stats = svc.stats();
+    row.avg_queue_ms =
+        stats.completed ? stats.total_queue_ms / double(stats.completed) : 0;
+    row.speedup =
+        rows.empty() ? 1.0 : row.jobs_per_sec / rows.front().jobs_per_sec;
+    rows.push_back(row);
+    std::printf("%8zu %8zu %10.3f %12.1f %9.2fx %12.3f\n", row.workers,
+                row.jobs, row.seconds, row.jobs_per_sec, row.speedup,
+                row.avg_queue_ms);
+  }
+
+  std::ofstream out("BENCH_service_throughput.json");
+  out << "{\n  \"benchmark\": \"service_throughput\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"workers\": " << r.workers << ", \"jobs\": " << r.jobs
+        << ", \"seconds\": " << r.seconds
+        << ", \"jobs_per_sec\": " << r.jobs_per_sec
+        << ", \"speedup_vs_1\": " << r.speedup
+        << ", \"avg_queue_ms\": " << r.avg_queue_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf(
+      "\nwrote BENCH_service_throughput.json; expected: jobs/sec scaling "
+      "with workers up to hardware_concurrency (>2x at 4 workers on a >=4 "
+      "core machine), flat on a single core\n");
+  return 0;
+}

@@ -1,0 +1,211 @@
+// recordd — the compile service as a JSON-lines daemon.
+//
+// Reads one request object per stdin line, compiles it on the shared worker
+// pool, and streams one response object per line to stdout in request order
+// (responses begin flowing while requests are still being read).
+//
+// Request:
+//   {"model": "tms320c25",             -- built-in model, or:
+//    "hdl": "PROCESSOR p; ...",        -- raw HDL source
+//    "source": "kernel k; ...",        -- kernel-language program (optional:
+//                                         without it the job only retargets,
+//                                         pre-warming the registry)
+//    "tag": "r42",                     -- echoed back (optional)
+//    "options": {"engine": "auto"|"tables"|"interpreter",
+//                "compact": true, "spills": true,
+//                "listing": false}}        -- default: the --listing flag
+//
+// Response:
+//   {"tag": "r42", "ok": true, "processor": "tms320c25", "code_size": 12,
+//    "rts": 17, "times": {"queue_ms": ..., "target_ms": ...,
+//    "frontend_ms": ..., "compile_ms": ...}, "listing": [...]?}
+//   {"tag": "r43", "ok": false, "error": "..."}
+//
+// Flags: --workers N (default: hardware), --queue N (default 256),
+//        --registry N (LRU capacity, default 16), --cache (persistent
+//        target cache on), --stats (registry/service stats to stderr).
+//
+// Try:  printf '%s\n' \
+//         '{"model": "demo", "source": "kernel k;\nbind a: R0;\ncell x: mem[1];\na = a + x;"}' \
+//       | ./build/example_recordd
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "service/json.h"
+#include "service/service.h"
+#include "util/strings.h"
+
+using namespace record;
+using service::Json;
+
+namespace {
+
+service::CompileJob job_from_request(const Json& request,
+                                     bool default_listing) {
+  service::CompileJob job;
+  job.tag = request["tag"].as_string();
+  job.model = request["model"].as_string();
+  job.hdl = request["hdl"].as_string();
+  job.kernel = request["source"].as_string();
+  const Json& options = request["options"];
+  const std::string& engine = options["engine"].as_string();
+  if (engine == "tables") job.options.engine = select::Engine::kTables;
+  else if (engine == "interpreter")
+    job.options.engine = select::Engine::kInterpreter;
+  job.options.compact.enabled = options["compact"].as_bool(true);
+  job.options.insert_spills = options["spills"].as_bool(true);
+  job.want_listing = options["listing"].as_bool(default_listing);
+  return job;
+}
+
+Json response_from_result(const service::JobResult& result) {
+  Json out = Json::object();
+  if (!result.tag.empty()) out.set("tag", Json(result.tag));
+  out.set("ok", Json(result.ok));
+  if (!result.ok) {
+    out.set("error", Json(result.error));
+    return out;
+  }
+  out.set("processor", Json(result.processor));
+  out.set("code_size", Json(double(result.code_size)));
+  out.set("rts", Json(double(result.rts)));
+  Json times = Json::object();
+  times.set("queue_ms", Json(result.times.queue_ms));
+  times.set("target_ms", Json(result.times.target_ms));
+  times.set("frontend_ms", Json(result.times.frontend_ms));
+  times.set("compile_ms", Json(result.times.compile_ms));
+  out.set("times", std::move(times));
+  if (!result.listing.empty()) {
+    Json lines = Json::array();
+    for (const std::string& line : util::split(result.listing, '\n'))
+      if (!line.empty()) lines.push(Json(line));
+    out.set("listing", std::move(lines));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::CompileService::Options opts;
+  opts.registry.capacity = 16;
+  bool want_listing = false;
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "recordd: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return std::strtol(argv[++i], nullptr, 10);
+    };
+    if (!std::strcmp(argv[i], "--workers")) {
+      opts.workers = static_cast<std::size_t>(value("--workers"));
+    } else if (!std::strcmp(argv[i], "--queue")) {
+      opts.queue_capacity = static_cast<std::size_t>(value("--queue"));
+    } else if (!std::strcmp(argv[i], "--registry")) {
+      opts.registry.capacity = static_cast<std::size_t>(value("--registry"));
+    } else if (!std::strcmp(argv[i], "--cache")) {
+      opts.registry.retarget.use_target_cache = true;
+    } else if (!std::strcmp(argv[i], "--listing")) {
+      want_listing = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: recordd [--workers N] [--queue N] [--registry N] "
+                   "[--cache] [--listing] [--stats]  < requests.jsonl\n");
+      return 2;
+    }
+  }
+
+  service::CompileService svc(opts);
+
+  // Submission pipelines against a printer thread that drains futures in
+  // request order, so responses stream while stdin is still feeding. The
+  // deque is bounded so a slow head-of-line job cannot pile up an unbounded
+  // backlog of completed results behind it.
+  const std::size_t max_pending = 2 * opts.queue_capacity;
+  std::deque<std::future<service::JobResult>> pending;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool input_done = false;
+
+  std::thread printer([&] {
+    for (;;) {
+      std::future<service::JobResult> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return input_done || !pending.empty(); });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      cv.notify_all();  // reader may be waiting on the pending bound
+      service::JobResult result = next.get();
+      std::string line = response_from_result(result).dump();
+      std::fprintf(stdout, "%s\n", line.c_str());
+      std::fflush(stdout);
+    }
+  });
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    if (util::trim(line).empty()) continue;
+    std::string error;
+    std::optional<Json> request = Json::parse(line, &error);
+    if (!request || !request->is_object()) {
+      Json bad = Json::object();
+      bad.set("ok", Json(false));
+      bad.set("error", Json(util::fmt("line {}: bad request: {}", lineno,
+                                      error.empty() ? "not an object"
+                                                    : error)));
+      std::promise<service::JobResult> p;  // synthesise an immediate failure
+      service::JobResult r;
+      r.error = bad["error"].as_string();
+      p.set_value(std::move(r));
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return pending.size() < max_pending; });
+      pending.push_back(p.get_future());
+      cv.notify_one();
+      continue;
+    }
+    std::future<service::JobResult> f =
+        svc.submit(job_from_request(*request, want_listing));
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return pending.size() < max_pending; });
+      pending.push_back(std::move(f));
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    input_done = true;
+  }
+  cv.notify_all();
+  printer.join();
+
+  if (want_stats) {
+    service::RegistryStats r = svc.registry().stats();
+    service::ServiceStats s = svc.stats();
+    std::fprintf(stderr,
+                 "recordd: %zu jobs (%zu failed), peak queue %zu | registry: "
+                 "%zu hits, %zu coalesced, %zu misses (%zu from disk), "
+                 "%zu evictions, %zu resident\n",
+                 s.completed, s.failed, s.peak_queue, r.hits, r.coalesced,
+                 r.misses, r.disk_hits, r.evictions, r.entries);
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@ int BddManager::find_var(std::string_view name) const {
 
 Ref BddManager::literal(int v, bool positive) {
   assert(v >= 0 && v < var_count());
+  std::lock_guard<std::mutex> lock(mu_);
   return positive ? make_node(v, kFalse, kTrue) : make_node(v, kTrue, kFalse);
 }
 
@@ -41,6 +42,11 @@ Ref BddManager::make_node(int var, Ref lo, Ref hi) {
 }
 
 Ref BddManager::ite(Ref f, Ref g, Ref h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ite_rec(f, g, h);
+}
+
+Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   // Terminal cases.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
@@ -56,33 +62,42 @@ Ref BddManager::ite(Ref f, Ref g, Ref h) {
     if (level(r) != top) return r;
     return hi ? node(r).hi : node(r).lo;
   };
-  Ref t = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
-  Ref e = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  Ref t = ite_rec(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  Ref e = ite_rec(cofactor(f, false), cofactor(g, false), cofactor(h, false));
   Ref r = make_node(top, e, t);
   ite_cache_.emplace(key, r);
   return r;
 }
 
 Ref BddManager::restrict(Ref f, int v, bool value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restrict_rec(f, v, value);
+}
+
+Ref BddManager::restrict_rec(Ref f, int v, bool value) {
   if (is_const(f)) return f;
   int top = level(f);
   if (top > v) return f;  // v not in f's remaining support
   if (top == v) return value ? node(f).hi : node(f).lo;
-  Ref lo = restrict(node(f).lo, v, value);
-  Ref hi = restrict(node(f).hi, v, value);
+  Ref lo = restrict_rec(node(f).lo, v, value);
+  Ref hi = restrict_rec(node(f).hi, v, value);
   return make_node(top, lo, hi);
 }
 
 Ref BddManager::compose(Ref f, int v, Ref g) {
   // f[v <- g] = ite(g, f|v=1, f|v=0)
-  return ite(g, restrict(f, v, true), restrict(f, v, false));
+  std::lock_guard<std::mutex> lock(mu_);
+  return ite_rec(g, restrict_rec(f, v, true), restrict_rec(f, v, false));
 }
 
 Ref BddManager::exists(Ref f, int v) {
-  return lor(restrict(f, v, true), restrict(f, v, false));
+  // lor(f|v=1, f|v=0) spelled through the unlocked core.
+  std::lock_guard<std::mutex> lock(mu_);
+  return ite_rec(restrict_rec(f, v, true), kTrue, restrict_rec(f, v, false));
 }
 
 bool BddManager::eval(Ref f, const Assignment& a) const {
+  std::lock_guard<std::mutex> lock(mu_);
   while (!is_const(f)) {
     int v = node(f).var;
     bool value = false;
@@ -99,6 +114,7 @@ bool BddManager::eval(Ref f, const Assignment& a) const {
 
 std::optional<Assignment> BddManager::any_sat(Ref f) const {
   if (f == kFalse) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
   Assignment out;
   while (!is_const(f)) {
     const Node& n = node(f);
@@ -126,6 +142,7 @@ double BddManager::sat_fraction(Ref f,
 }
 
 std::uint64_t BddManager::sat_count(Ref f, int nvars) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unordered_map<Ref, double> memo;
   double fraction = sat_fraction(f, memo);
   double count = fraction;
@@ -143,6 +160,7 @@ void BddManager::collect_support(Ref f, std::vector<bool>& seen,
 }
 
 std::vector<int> BddManager::support(Ref f) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<bool> seen(nodes_.size(), false);
   std::vector<bool> vars(names_.size(), false);
   collect_support(f, seen, vars);
@@ -153,12 +171,17 @@ std::vector<int> BddManager::support(Ref f) const {
 }
 
 std::string BddManager::to_string(Ref f) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return to_string_rec(f);
+}
+
+std::string BddManager::to_string_rec(Ref f) const {
   if (f == kFalse) return "0";
   if (f == kTrue) return "1";
   const Node& n = node(f);
   std::ostringstream os;
-  os << '(' << var_name(n.var) << " ? " << to_string(n.hi) << " : "
-     << to_string(n.lo) << ')';
+  os << '(' << var_name(n.var) << " ? " << to_string_rec(n.hi) << " : "
+     << to_string_rec(n.lo) << ')';
   return os.str();
 }
 
@@ -189,6 +212,7 @@ void BddManager::to_sop_rec(Ref f, std::vector<std::pair<int, bool>>& path,
 
 std::string BddManager::to_sop(Ref f) const {
   if (f == kFalse) return "0";
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<int, bool>> path;
   std::vector<std::string> cubes;
   to_sop_rec(f, path, cubes);

@@ -12,10 +12,26 @@
 //   * support computation and a stable textual dump for tests.
 //
 // There is no garbage collection: condition BDDs in this domain are small
-// (tens of variables) and managers are per-retargeting-run.
+// (tens of variables) and a manager lives exactly as long as the retarget
+// result owning it — compile jobs add a few nodes per immediate conjunction,
+// and all of it is reclaimed when the target is dropped (e.g. evicted from
+// the service::TargetRegistry LRU and released by its last job).
+//
+// Thread safety: every operation that touches the node table — construction
+// of new BDDs (ite, literal, restrict, compose, exists and the inline
+// connectives), queries and traversals (eval, any_sat, sat_count, support,
+// to_string, to_sop, top_var/low/high, node_count) — is internally
+// serialised by a per-manager mutex, so a manager owned by a shared
+// rtl::TemplateBase may be used by concurrent core::Compiler::compile jobs.
+// Variable *registration* is the exception: new_var is not synchronised
+// against var_name/var_count/find_var readers, so all variables must be
+// registered before the manager is shared across threads. The retargeting
+// pipeline satisfies this: it registers variables single-threaded, and
+// compile-time users only read the variable table.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -41,8 +57,8 @@ class BddManager {
 
   BddManager(const BddManager&) = delete;
   BddManager& operator=(const BddManager&) = delete;
-  BddManager(BddManager&&) = default;
-  BddManager& operator=(BddManager&&) = default;
+  BddManager(BddManager&&) = delete;
+  BddManager& operator=(BddManager&&) = delete;
 
   // --- variables ---------------------------------------------------------
 
@@ -107,7 +123,10 @@ class BddManager {
   [[nodiscard]] std::vector<int> support(Ref f) const;
 
   /// Number of live nodes including the two constants.
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_.size();
+  }
 
   /// Stable textual form, e.g. "(b1 ? (b0 ? 1 : 0) : 0)" — used by tests.
   [[nodiscard]] std::string to_string(Ref f) const;
@@ -118,9 +137,18 @@ class BddManager {
 
   // --- top-of-node accessors (needed by compose/emitters) -------------------
 
-  [[nodiscard]] int top_var(Ref f) const { return node(f).var; }
-  [[nodiscard]] Ref low(Ref f) const { return node(f).lo; }
-  [[nodiscard]] Ref high(Ref f) const { return node(f).hi; }
+  [[nodiscard]] int top_var(Ref f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return node(f).var;
+  }
+  [[nodiscard]] Ref low(Ref f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return node(f).lo;
+  }
+  [[nodiscard]] Ref high(Ref f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return node(f).hi;
+  }
 
  private:
   struct Node {
@@ -160,6 +188,11 @@ class BddManager {
   [[nodiscard]] Ref make_node(int var, Ref lo, Ref hi);
   [[nodiscard]] int level(Ref r) const { return node(r).var; }
 
+  // Unlocked recursive cores; callers hold mu_.
+  [[nodiscard]] Ref ite_rec(Ref f, Ref g, Ref h);
+  [[nodiscard]] Ref restrict_rec(Ref f, int v, bool value);
+  [[nodiscard]] std::string to_string_rec(Ref f) const;
+
   void collect_support(Ref f, std::vector<bool>& seen,
                        std::vector<bool>& vars) const;
   double sat_fraction(Ref f, std::unordered_map<Ref, double>& memo) const;
@@ -168,6 +201,10 @@ class BddManager {
 
   static constexpr int kConstLevel = 1 << 30;
 
+  /// Serialises node-table access (see the thread-safety note above). The
+  /// variable table (names_) is intentionally outside the contract: it is
+  /// frozen before the manager is shared.
+  mutable std::mutex mu_;
   std::vector<Node> nodes_;
   std::vector<std::string> names_;
   std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -154,9 +155,15 @@ bool TargetCache::store(std::uint64_t key,
   std::string blob = w.take();
   if (artifacts.tables) artifacts.tables->serialize(blob);
 
+  // Unique temp name per process AND per thread/store: two threads (or
+  // processes) retargeting the same model concurrently each write their own
+  // temp file, and the atomic rename() below guarantees readers only ever
+  // observe complete blobs — never a torn write.
+  static std::atomic<std::uint64_t> store_seq{0};
   std::string final_path = entry_path(key);
-  std::string tmp_path = util::fmt("{}.tmp-{}", final_path,
-                                   static_cast<unsigned>(::getpid()));
+  std::string tmp_path =
+      util::fmt("{}.tmp-{}-{}", final_path, static_cast<unsigned>(::getpid()),
+                store_seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return false;

@@ -49,6 +49,12 @@ struct TargetArtifactsView {
   const grammar::BuildStats* grammar_stats = nullptr;
 };
 
+/// Thread safety: a TargetCache holds no mutable state; load() and store()
+/// may run from any number of threads and processes over the same directory.
+/// store() writes to a unique temp file (pid + per-process sequence) and
+/// atomically rename()s it into place, so concurrent writers of one key race
+/// benignly (last rename wins, both blobs identical) and readers never see a
+/// torn blob.
 class TargetCache {
  public:
   /// `dir` empty selects default_dir(). The directory is created lazily on

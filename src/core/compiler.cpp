@@ -5,7 +5,7 @@ namespace record::core {
 std::optional<CompileResult> Compiler::compile(
     const ir::Program& prog, const CompileOptions& options,
     util::DiagnosticSink& diags) const {
-  if (!target_.base) {
+  if (!target_ || !target_->base) {
     diags.error({}, "compiler constructed from an empty retarget result");
     return std::nullopt;
   }
@@ -13,12 +13,12 @@ std::optional<CompileResult> Compiler::compile(
 
   const burstab::TargetTables* tables = nullptr;
   if (options.engine != select::Engine::kInterpreter) {
-    tables = target_.tables.get();
+    tables = target_->tables.get();
     if (!tables && options.engine == select::Engine::kTables)
       diags.warning({}, "table engine requested but the retarget result "
                         "carries no tables; selecting with the interpreter");
   }
-  select::CodeSelector selector(*target_.base, target_.tree_grammar, diags,
+  select::CodeSelector selector(*target_->base, target_->tree_grammar, diags,
                                 tables);
   std::optional<select::SelectionResult> sel = selector.select(prog);
   if (!sel) return std::nullopt;
@@ -26,14 +26,14 @@ std::optional<CompileResult> Compiler::compile(
 
   if (options.insert_spills) {
     result.spill_stats =
-        sched::insert_spills(result.selection, prog, *target_.base,
-                             target_.tree_grammar, options.spill, diags);
+        sched::insert_spills(result.selection, prog, *target_->base,
+                             target_->tree_grammar, options.spill, diags);
   }
 
-  result.compacted = compact::compact(result.selection, *target_.base,
+  result.compacted = compact::compact(result.selection, *target_->base,
                                       options.compact, diags);
   result.encoded =
-      emit::encode(result.compacted.program, *target_.base, diags);
+      emit::encode(result.compacted.program, *target_->base, diags);
   if (!diags.ok()) return std::nullopt;
   return result;
 }

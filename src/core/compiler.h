@@ -51,17 +51,32 @@ struct CompileResult {
   }
 };
 
+/// Thread safety: compile() is const and reentrant — one Compiler (or many,
+/// over the same RetargetResult) may run compile jobs from several threads
+/// concurrently. All shared target state is either immutable or internally
+/// synchronised (BddManager, TargetTables); everything per-job lives in the
+/// CompileResult. Callers must confine one DiagnosticSink per job
+/// (util/diagnostics.h).
 class Compiler {
  public:
   /// The retarget result must outlive the compiler.
-  explicit Compiler(const RetargetResult& target) : target_(target) {}
+  explicit Compiler(const RetargetResult& target) : target_(&target) {}
+
+  /// Shared-ownership form: keeps the target alive for the compiler's
+  /// lifetime (what service workers use — the registry may evict the entry
+  /// while jobs against it are still in flight).
+  explicit Compiler(std::shared_ptr<const RetargetResult> target)
+      : owned_(std::move(target)), target_(owned_.get()) {}
 
   [[nodiscard]] std::optional<CompileResult> compile(
       const ir::Program& prog, const CompileOptions& options,
       util::DiagnosticSink& diags) const;
 
+  [[nodiscard]] const RetargetResult& target() const { return *target_; }
+
  private:
-  const RetargetResult& target_;
+  std::shared_ptr<const RetargetResult> owned_;  // null for the ref form
+  const RetargetResult* target_;
 };
 
 }  // namespace record::core

@@ -1,8 +1,11 @@
 #include "core/record.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 
 #include "burstab/cache.h"
 #include "grammar/bnf.h"
@@ -16,9 +19,18 @@
 namespace record::core {
 
 std::string default_work_dir() {
-  std::error_code ec;
-  std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
-  return ec ? std::string(".") : tmp.string();
+  // A pid-unique subdirectory keeps concurrent processes' generated parser
+  // files apart. Only the path is computed here; emit_parser creates the
+  // directory when something is actually written, so merely constructing
+  // RetargetOptions leaves no droppings in the system temp dir.
+  static const std::string dir = [] {
+    std::error_code ec;
+    std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+    if (ec) return std::string(".");
+    return (tmp / util::fmt("record-work-{}",
+                            static_cast<unsigned>(::getpid()))).string();
+  }();
+  return dir;
 }
 
 namespace {
@@ -26,11 +38,10 @@ namespace {
 /// Bump whenever any retargeting phase changes behaviour (extraction,
 /// extension, grammar construction, table compilation): cache entries are
 /// keyed on this, so stale-algorithm blobs from older binaries never serve.
-constexpr int kPipelineVersion = 1;
+constexpr int kPipelineVersion = 2;  // v2: Imm slice clamped to field width
 
-/// Canonical rendering of every option that shapes the cached artifacts
-/// (template base, grammar, tables). Formatting/emission options are
-/// excluded: the C parser is regenerated from the grammar on demand.
+}  // namespace
+
 std::string options_digest(const RetargetOptions& o) {
   return util::fmt(
       "pipeline:v{};extract:depth={},routes={},prune={},procout={};"
@@ -44,6 +55,8 @@ std::string options_digest(const RetargetOptions& o) {
       o.standard_rewrites, o.build_tables, o.tables.precompute,
       o.tables.max_states, o.tables.max_transitions);
 }
+
+namespace {
 
 /// The Table 3 "parser generation"/"parser compilation" phases; shared by
 /// the cold pipeline and cache hits (the artifact is derived, not cached).
@@ -59,6 +72,14 @@ void emit_parser(RetargetResult& result, const RetargetOptions& options,
   }
   if (options.compile_c_parser) {
     timer.reset();
+    // The artifact paths are keyed by processor name only, and the registry
+    // single-flights per content hash — two concurrent retargets of
+    // *different* sources naming the same processor would collide on these
+    // paths, so write + compile runs under a process-wide lock.
+    static std::mutex parser_mu;
+    std::lock_guard<std::mutex> lock(parser_mu);
+    std::error_code ec;
+    std::filesystem::create_directories(options.work_dir, ec);
     std::string src_path = util::fmt("{}/record_parser_{}.c",
                                      options.work_dir, result.processor);
     std::string bin_path = util::fmt("{}/record_parser_{}",

@@ -25,7 +25,9 @@
 
 namespace record::core {
 
-/// The system scratch directory (std::filesystem::temp_directory_path).
+/// Per-process scratch directory: a pid-unique subdirectory of the system
+/// temp dir (created on first use), so concurrent retargets in different
+/// processes never clobber each other's generated parser files.
 [[nodiscard]] std::string default_work_dir();
 
 struct RetargetOptions {
@@ -57,6 +59,20 @@ struct RetargetOptions {
   std::string cache_dir;
 };
 
+/// Canonical rendering of every option that shapes the cached retargeting
+/// artifacts (template base, grammar, tables); the second half of the
+/// TargetCache / service::TargetRegistry content-hash key. Formatting and
+/// emission options are excluded: the C parser is regenerated on demand.
+[[nodiscard]] std::string options_digest(const RetargetOptions& options);
+
+/// A complete retargeted code-selector description.
+///
+/// Thread safety: a RetargetResult is immutable once retarget() returns, and
+/// a `const RetargetResult` may be shared across concurrent Compiler::compile
+/// jobs — the owned BddManager is internally synchronised (bdd/bdd.h) and
+/// TargetTables memoises new states/transitions under its own lock
+/// (burstab/tables.h). service::TargetRegistry hands results out as
+/// shared_ptr<const RetargetResult> on exactly this contract.
 struct RetargetResult {
   std::string processor;
   std::shared_ptr<const rtl::TemplateBase> base;

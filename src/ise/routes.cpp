@@ -1,5 +1,7 @@
 #include "ise/routes.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace record::ise {
@@ -40,10 +42,17 @@ Route RouteEnumerator::slice_route(Route r, int msb, int lsb) const {
   }
   switch (n.kind) {
     case rtl::RTNode::Kind::Imm: {
-      std::vector<int> bits(n.imm_bits.begin() + lsb,
-                            n.imm_bits.begin() + msb + 1);
-      r.tree = rtl::make_imm(std::move(bits));
-      return r;
+      // Only an in-range slice stays a first-class immediate leaf; a slice
+      // reaching past the field's bits (previously an out-of-bounds read of
+      // imm_bits) keeps the generic slice operator below, which preserves
+      // the result width.
+      if (msb < static_cast<int>(n.imm_bits.size())) {
+        std::vector<int> bits(n.imm_bits.begin() + lsb,
+                              n.imm_bits.begin() + msb + 1);
+        r.tree = rtl::make_imm(std::move(bits));
+        return r;
+      }
+      break;  // fall through to the opaque slice-operator case
     }
     case rtl::RTNode::Kind::HardConst: {
       auto v = static_cast<std::uint64_t>(n.value);
@@ -53,13 +62,13 @@ Route RouteEnumerator::slice_route(Route r, int msb, int lsb) const {
       r.tree = rtl::make_hard_const(static_cast<std::int64_t>(sliced), w);
       return r;
     }
-    default: {
-      std::vector<rtl::RTNodePtr> kids;
-      kids.push_back(std::move(r.tree));
-      r.tree = rtl::make_op(slice_op(msb, lsb), std::move(kids));
-      return r;
-    }
+    default:
+      break;
   }
+  std::vector<rtl::RTNodePtr> kids;
+  kids.push_back(std::move(r.tree));
+  r.tree = rtl::make_op(slice_op(msb, lsb), std::move(kids));
+  return r;
 }
 
 int RouteEnumerator::expr_width(InstanceId inst, const Expr& e,
@@ -227,17 +236,11 @@ std::vector<Route> RouteEnumerator::enumerate_in_port(InstanceId inst,
   const netlist::Driver* d = nl_.port_driver(inst, port);
   if (!d) return {};
   int width = nl_.port_width(inst, port);
-  std::vector<Route> routes =
-      enumerate_source(d->source, width, cond, depth);
-  if (d->source.has_slice) {
-    std::vector<Route> sliced;
-    sliced.reserve(routes.size());
-    for (Route& r : routes)
-      sliced.push_back(
-          slice_route(std::move(r), d->source.slice.msb, d->source.slice.lsb));
-    return sliced;
-  }
-  return routes;
+  // enumerate_source applies d->source's slice internally (every source
+  // kind); applying it here again would re-slice an already-sliced route —
+  // an identity for lsb = 0 connections, but out of range for fields like
+  // IW.w(10:6), whose immediate leaves then pointed at garbage word bits.
+  return enumerate_source(d->source, width, cond, depth);
 }
 
 std::vector<Route> RouteEnumerator::enumerate_source(const NetSource& src,

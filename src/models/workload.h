@@ -1,0 +1,52 @@
+// Synthetic accumulator-chain workloads over the built-in models — the
+// shared job generator for the selection/service benchmarks and the
+// concurrent-service tests, so every harness exercises the same programs.
+#pragma once
+
+#include <string>
+
+#include "ir/builder.h"
+
+namespace record::models {
+
+/// Per-model accumulator shape. mem2 empty = plain additive load chain;
+/// non-empty = multiply-accumulate terms (the DSP-style covers).
+struct ChainShape {
+  const char* model;
+  const char* acc;   // accumulator register
+  const char* mem1;  // first operand memory
+  const char* mem2;  // second operand memory ("" = additive chain)
+};
+
+/// One shape per built-in model (Table 3 order).
+inline constexpr ChainShape kChainShapes[] = {
+    {"demo", "R0", "mem", ""},
+    {"ref", "R0", "dmem", ""},
+    {"manocpu", "AC", "mem", ""},
+    {"tanenbaum", "AC", "mem", ""},
+    {"bass_boost", "A", "sram", "crom"},
+    {"tms320c25", "ACC", "ram", "ram"},
+};
+
+/// acc = t0 + t1 + ... + t_{k-1}; terms are loads or products.
+inline ir::Program chain_program(const ChainShape& s, int k) {
+  ir::ProgramBuilder b(std::string(s.model) + "_chain" + std::to_string(k));
+  b.reg("acc", s.acc);
+  auto term = [&](int i) -> ir::ExprPtr {
+    if (s.mem2[0] == '\0') {
+      std::string v = "m" + std::to_string(i);
+      b.cell(v, s.mem1, i % 16);
+      return ir::e_var(v);
+    }
+    std::string u = "u" + std::to_string(i), v = "v" + std::to_string(i);
+    b.cell(u, s.mem1, i % 16);
+    b.cell(v, s.mem2, (i + 1) % 16);
+    return ir::e_mul(ir::e_var(u), ir::e_var(v));
+  };
+  ir::ExprPtr sum = term(0);
+  for (int i = 1; i < k; ++i) sum = ir::e_add(std::move(sum), term(i));
+  b.let("acc", std::move(sum));
+  return b.take();
+}
+
+}  // namespace record::models

@@ -117,6 +117,12 @@ struct PortInInfo {
 
 /// The RT template base: everything grammar construction needs.
 /// Owns the BDD manager that all template conditions live in.
+///
+/// Thread safety: a fully built base is immutable and may be shared across
+/// concurrent compile jobs. The owned BddManager is internally synchronised
+/// (see bdd/bdd.h), so condition manipulation from several threads is safe;
+/// mutating the base itself (add_unique, editing templates) is not and must
+/// stay confined to the single-threaded retargeting pipeline.
 struct TemplateBase {
   std::shared_ptr<bdd::BddManager> mgr;
   std::vector<RTTemplate> templates;

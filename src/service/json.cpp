@@ -1,0 +1,326 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace record::service {
+
+namespace {
+
+const Json kNull;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(std::string_view msg) {
+    if (error.empty())
+      error = util::fmt("{} at offset {}", msg, pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("invalid literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"')
+      return fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return fail("unterminated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are not combined; the protocol
+          // carries source text, which stays in the BMP).
+          if (cp < 0x80) {
+            out.push_back(char(cp));
+          } else if (cp < 0x800) {
+            out.push_back(char(0xC0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(char(0xE0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    char c = text[pos];
+    if (c == 'n') { if (!literal("null")) return false; out = Json(); return true; }
+    if (c == 't') { if (!literal("true")) return false; out = Json(true); return true; }
+    if (c == 'f') { if (!literal("false")) return false; out = Json(false); return true; }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') { ++pos; return true; }
+      for (;;) {
+        Json item;
+        if (!parse_value(item, depth + 1)) return false;
+        out.push(std::move(item));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated array");
+        if (text[pos] == ',') { ++pos; continue; }
+        if (text[pos] == ']') { ++pos; return true; }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') { ++pos; return true; }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos >= text.size() || text[pos] != ':')
+          return fail("expected ':'");
+        ++pos;
+        Json value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.set(std::move(key), std::move(value));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated object");
+        if (text[pos] == ',') { ++pos; continue; }
+        if (text[pos] == '}') { ++pos; return true; }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // number
+    std::size_t start = pos;
+    if (text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    if (pos == start) return fail("unexpected character");
+    std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return fail("malformed number");
+    out = Json(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(out, 0)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = util::fmt("trailing garbage at offset {}", p.pos);
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool Json::as_bool(bool dflt) const {
+  return kind_ == Kind::Bool ? bool_ : dflt;
+}
+
+double Json::as_number(double dflt) const {
+  return kind_ == Kind::Number ? num_ : dflt;
+}
+
+namespace {
+
+/// True when the double can be cast to int64 without UB (in range, not NaN).
+bool fits_int64(double v) {
+  return v >= -9223372036854775808.0 && v < 9223372036854775808.0;
+}
+
+}  // namespace
+
+std::int64_t Json::as_int(std::int64_t dflt) const {
+  if (kind_ != Kind::Number || !fits_int64(num_)) return dflt;
+  return static_cast<std::int64_t>(num_);
+}
+
+const std::string& Json::as_string() const {
+  static const std::string empty;
+  return kind_ == Kind::String ? str_ : empty;
+}
+
+const Json& Json::operator[](std::string_view key) const {
+  if (kind_ == Kind::Object)
+    for (const auto& [k, v] : members_)
+      if (k == key) return v;
+  return kNull;
+}
+
+bool Json::contains(std::string_view key) const {
+  if (kind_ != Kind::Object) return false;
+  for (const auto& [k, v] : members_)
+    if (k == key) return true;
+  return false;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ == Kind::Array && index < items_.size()) return items_[index];
+  return kNull;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::Array) return items_.size();
+  if (kind_ == Kind::Object) return members_.size();
+  return 0;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::Object) *this = object();
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push(Json value) {
+  if (kind_ != Kind::Array) *this = array();
+  items_.push_back(std::move(value));
+}
+
+std::string Json::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: {
+      // Integers (the common case on the wire) print without a fraction.
+      if (fits_int64(num_) &&
+          num_ == static_cast<double>(static_cast<std::int64_t>(num_))) {
+        return std::to_string(static_cast<std::int64_t>(num_));
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", num_);
+      return buf;
+    }
+    case Kind::String: return quote(str_);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += items_[i].dump();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += quote(members_[i].first);
+        out.push_back(':');
+        out += members_[i].second.dump();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+}  // namespace record::service

@@ -1,0 +1,82 @@
+// Minimal JSON support for the compile service's wire format.
+//
+// The recordd tool speaks JSON-lines (one request/response object per line),
+// and the service benchmarks emit machine-readable JSON. This is a small
+// dependency-free value type + recursive-descent parser covering exactly the
+// JSON subset those need: null, booleans, doubles, strings (with \uXXXX
+// escapes decoded to UTF-8), arrays and objects. Numbers are stored as
+// double, which is exact for the integer ranges the protocol carries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace record::service {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double n) : kind_(Kind::Number), num_(n) {}
+  Json(int n) : kind_(Kind::Number), num_(n) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  /// Parses one JSON document (leading/trailing whitespace allowed).
+  /// nullopt on malformed input; `error` (if given) receives a message with
+  /// the byte offset.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+
+  /// Typed accessors with defaults (never throw; wrong kind = default).
+  [[nodiscard]] bool as_bool(bool dflt = false) const;
+  [[nodiscard]] double as_number(double dflt = 0.0) const;
+  [[nodiscard]] std::int64_t as_int(std::int64_t dflt = 0) const;
+  [[nodiscard]] const std::string& as_string() const;  // "" for non-strings
+
+  /// Object member by key; a shared null instance if absent or not an
+  /// object — so lookups chain: j["options"]["engine"].as_string().
+  [[nodiscard]] const Json& operator[](std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Array element; shared null if out of range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;  // array/object arity, else 0
+
+  /// Mutation (building responses).
+  void set(std::string key, Json value);  // makes *this an object
+  void push(Json value);                  // makes *this an array
+
+  /// Compact single-line serialisation (stable member order = insertion
+  /// order; suitable for JSON-lines).
+  [[nodiscard]] std::string dump() const;
+
+  /// `s` as a quoted JSON string literal.
+  [[nodiscard]] static std::string quote(std::string_view s);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                               // Array
+  std::vector<std::pair<std::string, Json>> members_;     // Object
+};
+
+}  // namespace record::service

@@ -1,0 +1,148 @@
+#include "service/registry.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include "burstab/cache.h"
+#include "models/models.h"
+#include "util/strings.h"
+
+namespace record::service {
+
+/// One cold retargeting run in progress. Waiters block on `cv` under the
+/// registry mutex; the leader publishes the result plus a copy of its
+/// diagnostics and flips `done`.
+struct TargetRegistry::InFlight {
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const core::RetargetResult> result;  // null on failure
+  std::vector<util::Diagnostic> diags;
+};
+
+namespace {
+
+void replay(const std::vector<util::Diagnostic>& from,
+            util::DiagnosticSink& to) {
+  for (const util::Diagnostic& d : from) {
+    switch (d.severity) {
+      case util::Severity::Note: to.note(d.loc, d.message); break;
+      case util::Severity::Warning: to.warning(d.loc, d.message); break;
+      case util::Severity::Error: to.error(d.loc, d.message); break;
+    }
+  }
+}
+
+}  // namespace
+
+TargetRegistry::TargetRegistry(Options options)
+    : options_(std::move(options)) {}
+
+std::shared_ptr<const core::RetargetResult> TargetRegistry::get(
+    std::string_view hdl_source, util::DiagnosticSink& diags) {
+  return get(hdl_source, options_.retarget, diags);
+}
+
+std::shared_ptr<const core::RetargetResult> TargetRegistry::get_model(
+    std::string_view model_name, util::DiagnosticSink& diags) {
+  return get_model(model_name, options_.retarget, diags);
+}
+
+std::shared_ptr<const core::RetargetResult> TargetRegistry::get_model(
+    std::string_view model_name, const core::RetargetOptions& options,
+    util::DiagnosticSink& diags) {
+  std::string_view source = models::model_source(model_name);
+  if (source.empty()) {
+    diags.error({}, util::fmt("unknown built-in model '{}'", model_name));
+    return nullptr;
+  }
+  return get(source, options, diags);
+}
+
+std::shared_ptr<const core::RetargetResult> TargetRegistry::get(
+    std::string_view hdl_source, const core::RetargetOptions& options,
+    util::DiagnosticSink& diags) {
+  if (options.extra_rewrites) {
+    diags.error({}, "TargetRegistry cannot serve requests with extra_rewrites"
+                    " (no stable content hash); call Record::retarget");
+    return nullptr;
+  }
+  const std::uint64_t key = burstab::TargetCache::key_of(
+      hdl_source, core::options_digest(options));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = lru_.find(key); it != lru_.end()) {
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second.order);  // touch
+    replay(it->second.diags, diags);
+    return it->second.result;
+  }
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    ++stats_.coalesced;
+    std::shared_ptr<InFlight> flight = it->second;
+    flight->cv.wait(lock, [&] { return flight->done; });
+    replay(flight->diags, diags);
+    return flight->result;
+  }
+
+  // Leader: run the pipeline outside the lock.
+  ++stats_.misses;
+  auto flight = std::make_shared<InFlight>();
+  inflight_.emplace(key, flight);
+  lock.unlock();
+
+  util::DiagnosticSink run_diags;
+  std::shared_ptr<const core::RetargetResult> result;
+  try {
+    std::optional<core::RetargetResult> run =
+        core::Record::retarget(hdl_source, options, run_diags);
+    if (run)
+      result = std::make_shared<const core::RetargetResult>(std::move(*run));
+  } catch (const std::exception& e) {
+    // The flight must still be completed and erased, or every current and
+    // future waiter on this key would block forever.
+    run_diags.error({}, util::fmt("retargeting threw: {}", e.what()));
+  } catch (...) {
+    run_diags.error({}, "retargeting threw an unknown exception");
+  }
+
+  lock.lock();
+  if (result) {
+    if (result->cache_hit) ++stats_.disk_hits;
+    order_.push_front(key);
+    lru_[key] = Entry{order_.begin(), result, run_diags.all()};
+    if (options_.capacity > 0) {
+      while (lru_.size() > options_.capacity) {
+        std::uint64_t victim = order_.back();
+        order_.pop_back();
+        lru_.erase(victim);
+        ++stats_.evictions;
+      }
+    }
+  } else {
+    ++stats_.failures;
+  }
+  flight->result = result;
+  flight->diags = run_diags.all();
+  flight->done = true;
+  inflight_.erase(key);
+  flight->cv.notify_all();
+  lock.unlock();
+
+  replay(run_diags.all(), diags);
+  return result;
+}
+
+RegistryStats TargetRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void TargetRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  order_.clear();
+}
+
+}  // namespace record::service

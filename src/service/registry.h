@@ -1,0 +1,102 @@
+// Thread-safe in-memory target registry: the hot tier above the persistent
+// burstab::TargetCache.
+//
+// A long-running compile service sees the same processor models over and
+// over. The registry keeps the N hottest RetargetResults in memory in an LRU,
+// keyed by the same content hash the persistent cache uses
+// (TargetCache::key_of over the HDL source and core::options_digest), and
+// single-flights cold keys: when K threads request the same model
+// concurrently, exactly one — the leader — runs the retargeting pipeline
+// (which itself consults the persistent cache when enabled); the other K-1
+// block and share the leader's result and diagnostics. Results are handed
+// out as shared_ptr<const RetargetResult>, so an entry evicted while compile
+// jobs against it are still in flight stays alive until the last job drops
+// its reference.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/record.h"
+
+namespace record::service {
+
+struct RegistryStats {
+  std::size_t hits = 0;       // served from the in-memory LRU
+  std::size_t coalesced = 0;  // waited on another thread's in-flight retarget
+  std::size_t misses = 0;     // became the leader and ran the pipeline
+  std::size_t disk_hits = 0;  // leader runs served by the persistent cache
+  std::size_t evictions = 0;  // LRU entries displaced by capacity
+  std::size_t failures = 0;   // leader runs whose retargeting failed
+  std::size_t entries = 0;    // current LRU population
+};
+
+class TargetRegistry {
+ public:
+  struct Options {
+    /// Maximum resident RetargetResults; 0 = unbounded.
+    std::size_t capacity = 16;
+    /// Base retargeting options applied to every request that does not carry
+    /// its own. Turning on `use_target_cache` here gives the registry a
+    /// persistent cold tier. Requests with `extra_rewrites` are rejected:
+    /// a rewrite library has no stable content hash to key on.
+    core::RetargetOptions retarget;
+  };
+
+  TargetRegistry() : TargetRegistry(Options{}) {}
+  explicit TargetRegistry(Options options);
+
+  TargetRegistry(const TargetRegistry&) = delete;
+  TargetRegistry& operator=(const TargetRegistry&) = delete;
+
+  /// Retargets `hdl_source` (or serves it hot), blocking until the result is
+  /// available. Returns null on failure; the producing run's diagnostics are
+  /// replayed into `diags` either way (co-waiters get a copy of the
+  /// leader's).
+  [[nodiscard]] std::shared_ptr<const core::RetargetResult> get(
+      std::string_view hdl_source, util::DiagnosticSink& diags);
+  [[nodiscard]] std::shared_ptr<const core::RetargetResult> get(
+      std::string_view hdl_source, const core::RetargetOptions& options,
+      util::DiagnosticSink& diags);
+
+  /// Built-in model (src/models) by name.
+  [[nodiscard]] std::shared_ptr<const core::RetargetResult> get_model(
+      std::string_view model_name, util::DiagnosticSink& diags);
+  [[nodiscard]] std::shared_ptr<const core::RetargetResult> get_model(
+      std::string_view model_name, const core::RetargetOptions& options,
+      util::DiagnosticSink& diags);
+
+  [[nodiscard]] RegistryStats stats() const;
+
+  /// Drops all resident entries (in-flight runs are unaffected; their
+  /// results are still published to their waiters and inserted fresh).
+  void clear();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct InFlight;
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  // LRU: most-recent at front; map values hold the list position. The
+  // producing run's diagnostics ride along so hot hits replay them exactly
+  // like the leader and its co-waiters saw them.
+  struct Entry {
+    std::list<std::uint64_t>::iterator order;
+    std::shared_ptr<const core::RetargetResult> result;
+    std::vector<util::Diagnostic> diags;
+  };
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, Entry> lru_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+  RegistryStats stats_;
+};
+
+}  // namespace record::service

@@ -1,0 +1,178 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/kernel_lang.h"
+
+namespace record::service {
+
+CompileService::CompileService(Options options)
+    : options_(std::move(options)), registry_(options_.registry) {
+  std::size_t n = options_.workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+void CompileService::shutdown() {
+  // The pool is claimed under the lock so concurrent shutdown calls (e.g.
+  // the destructor racing an explicit shutdown) never double-join; joining
+  // happens unlocked because workers take mu_ to drain the queue.
+  std::vector<std::thread> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    claimed.swap(workers_);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : claimed)
+    if (w.joinable()) w.join();
+}
+
+std::future<JobResult> CompileService::submit(CompileJob job) {
+  std::promise<JobResult> promise;
+  std::future<JobResult> future = promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) {
+    lock.unlock();
+    JobResult rejected;
+    rejected.tag = std::move(job.tag);
+    rejected.error = "compile service is shut down";
+    promise.set_value(std::move(rejected));
+    return future;
+  }
+  ++stats_.submitted;
+  queue_.push_back(Pending{std::move(job), std::move(promise), {}});
+  stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return future;
+}
+
+std::vector<JobResult> CompileService::compile_batch(
+    std::vector<CompileJob> jobs) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (CompileJob& job : jobs) futures.push_back(submit(std::move(job)));
+  std::vector<JobResult> results;
+  results.reserve(futures.size());
+  for (std::future<JobResult>& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void CompileService::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+
+    double queue_ms = pending.enqueued.milliseconds();
+    JobResult result;
+    try {
+      result = run_job(pending.job, registry_);
+    } catch (const std::exception& e) {
+      // A throwing job must not unwind out of the worker (std::terminate);
+      // it fails that one job and the pool keeps serving.
+      result.tag = pending.job.tag;
+      result.error = std::string("job threw: ") + e.what();
+    } catch (...) {
+      result.tag = pending.job.tag;
+      result.error = "job threw an unknown exception";
+    }
+    result.times.queue_ms = queue_ms;
+
+    lock.lock();
+    ++stats_.completed;
+    if (!result.ok) ++stats_.failed;
+    stats_.total_queue_ms += queue_ms;
+    stats_.total_compile_ms += result.times.compile_ms;
+    lock.unlock();
+
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+JobResult CompileService::run_job(const CompileJob& job,
+                                  TargetRegistry& registry) {
+  JobResult result;
+  result.tag = job.tag;
+  util::DiagnosticSink diags;
+  util::Timer timer;
+
+  const core::RetargetOptions& ropts =
+      job.retarget ? *job.retarget : registry.options().retarget;
+  std::shared_ptr<const core::RetargetResult> target =
+      job.model.empty() ? registry.get(job.hdl, ropts, diags)
+                        : registry.get_model(job.model, ropts, diags);
+  result.times.target_ms = timer.milliseconds();
+  if (!target) {
+    result.error = diags.first_error();
+    if (result.error.empty()) result.error = "retargeting failed";
+    result.diagnostics = diags.str();
+    return result;
+  }
+  result.processor = target->processor;
+  result.target = target;
+
+  std::shared_ptr<const ir::Program> program = job.program;
+  if (!program && !job.kernel.empty()) {
+    timer.reset();
+    std::optional<ir::Program> parsed = ir::parse_kernel(job.kernel, diags);
+    result.times.frontend_ms = timer.milliseconds();
+    if (!parsed) {
+      result.error = diags.first_error();
+      if (result.error.empty()) result.error = "kernel parse failed";
+      result.diagnostics = diags.str();
+      return result;
+    }
+    program = std::make_shared<const ir::Program>(std::move(*parsed));
+  }
+  if (!program) {
+    // Retarget-only request: warming the registry / probing the model.
+    result.ok = true;
+    result.diagnostics = diags.str();
+    return result;
+  }
+
+  timer.reset();
+  core::Compiler compiler(target);
+  std::optional<core::CompileResult> compiled =
+      compiler.compile(*program, job.options, diags);
+  result.times.compile_ms = timer.milliseconds();
+  result.diagnostics = diags.str();
+  if (!compiled) {
+    result.error = diags.first_error();
+    if (result.error.empty()) result.error = "compilation failed";
+    return result;
+  }
+  result.ok = true;
+  result.code_size = compiled->code_size();
+  result.rts = compiled->selection.total_rts;
+  if (job.want_listing) result.listing = compiled->listing();
+  result.compiled = std::move(*compiled);
+  return result;
+}
+
+}  // namespace record::service

@@ -1,0 +1,164 @@
+// Concurrent compile service: a fixed worker pool draining a bounded job
+// queue, compiling IR/kernel programs against targets served by a shared
+// single-flight TargetRegistry.
+//
+//                submit() / compile_batch()
+//                          │ (bounded queue; submit blocks when full)
+//                          ▼
+//        ┌───────────── CompileService ─────────────┐
+//        │  worker 0   worker 1   ...   worker N-1  │   one job =
+//        │     │          │                 │       │   resolve target
+//        │     └──────────┴───────┬─────────┘       │   -> parse kernel
+//        │                        ▼                 │   -> Compiler::compile
+//        │                 TargetRegistry           │
+//        │        (LRU + single-flight retarget)    │
+//        │                        │                 │
+//        │                        ▼                 │
+//        │            burstab::TargetCache          │
+//        │            (persistent, optional)        │
+//        └───────────────────────────────────────────┘
+//
+// Concurrency contract: each job runs with its own DiagnosticSink and its
+// own Compiler/CodeSelector; all cross-job shared state (RetargetResult,
+// BddManager, TargetTables) is immutable or internally synchronised — see
+// core/record.h. Results are futures, so callers may pipeline submissions
+// against collection.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/record.h"
+#include "ir/program.h"
+#include "service/registry.h"
+#include "util/timer.h"
+
+namespace record::service {
+
+/// One compile request. The target is named by `model` (built-in) or, when
+/// `model` is empty, by raw HDL source in `hdl`. The program comes from
+/// `program` (pre-built IR) or, when null, from kernel-language text in
+/// `kernel`; with neither, the job is retarget-only and succeeds with an
+/// empty listing (useful to pre-warm the registry or probe a model).
+struct CompileJob {
+  std::string tag;  // echoed in the result for client-side correlation
+  std::string model;
+  std::string hdl;
+  std::string kernel;
+  std::shared_ptr<const ir::Program> program;
+  core::CompileOptions options;
+  /// Per-request retargeting options; nullopt = the registry's defaults.
+  std::optional<core::RetargetOptions> retarget;
+  /// Materialise JobResult::listing. Off, the listing stays derivable from
+  /// JobResult::compiled without paying the formatting cost per job.
+  bool want_listing = true;
+};
+
+struct JobTimes {
+  double queue_ms = 0;     // submission -> a worker picked the job up
+  double target_ms = 0;    // registry resolution (0 when hot and uncontended)
+  double frontend_ms = 0;  // kernel-language parsing
+  double compile_ms = 0;   // selection + spills + compaction + encoding
+};
+
+/// Outcome of one job. Move-only (carries the CompileResult artifacts).
+struct JobResult {
+  bool ok = false;
+  std::string tag;
+  std::string processor;
+  std::string error;        // first error when !ok
+  std::string diagnostics;  // full diagnostic dump of the job's sink
+  std::size_t code_size = 0;
+  std::size_t rts = 0;
+  std::string listing;
+  JobTimes times;
+  /// Keeps the target alive for consumers of `compiled` (whose selected RTs
+  /// point into the target's template base) even after registry eviction.
+  std::shared_ptr<const core::RetargetResult> target;
+  std::optional<core::CompileResult> compiled;
+};
+
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;        // completed with !ok
+  std::size_t peak_queue = 0;    // high-water mark of the request queue
+  double total_queue_ms = 0;
+  double total_compile_ms = 0;
+};
+
+class CompileService {
+ public:
+  struct Options {
+    /// Worker threads; 0 = std::thread::hardware_concurrency (min 1).
+    std::size_t workers = 0;
+    /// Maximum queued (not yet running) jobs; submit() blocks beyond this.
+    std::size_t queue_capacity = 256;
+    TargetRegistry::Options registry;
+  };
+
+  CompileService() : CompileService(Options{}) {}
+  explicit CompileService(Options options);
+  ~CompileService();  // shutdown(): drains the queue, then joins workers
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Enqueues one job; blocks while the queue is at capacity. After
+  /// shutdown() the returned future holds an immediate "service stopped"
+  /// failure.
+  [[nodiscard]] std::future<JobResult> submit(CompileJob job);
+
+  /// Submits all jobs and waits; results are in submission order.
+  [[nodiscard]] std::vector<JobResult> compile_batch(
+      std::vector<CompileJob> jobs);
+
+  /// Stops accepting jobs, lets the workers drain what is queued, joins.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] TargetRegistry& registry() { return registry_; }
+  [[nodiscard]] std::size_t worker_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.size();
+  }
+
+  /// The synchronous job core every worker runs (target resolution, kernel
+  /// parsing, compilation). Public so sequential baselines — tests, the
+  /// throughput bench's 1-worker reference — share the exact code path.
+  /// `times.queue_ms` is left zero.
+  [[nodiscard]] static JobResult run_job(const CompileJob& job,
+                                         TargetRegistry& registry);
+
+ private:
+  struct Pending {
+    CompileJob job;
+    std::promise<JobResult> promise;
+    util::Timer enqueued;
+  };
+
+  void worker_loop();
+
+  Options options_;
+  TargetRegistry registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace record::service

@@ -40,6 +40,11 @@ struct Diagnostic {
 ///
 /// The sink is a value type; phases take it by reference. `ok()` is the
 /// canonical "did the phase succeed" query.
+///
+/// Thread safety: none — a sink is deliberately unsynchronised. Concurrent
+/// pipeline runs (service::CompileService workers, parallel callers of
+/// Compiler::compile) must confine one sink per job and merge afterwards;
+/// sharing one sink across threads is a data race.
 class DiagnosticSink {
  public:
   void note(SourceLoc loc, std::string message);

@@ -600,11 +600,17 @@ TEST(BurstabCache, CompilerEngineOption) {
   EXPECT_EQ(a->code_size(), c->code_size());
 }
 
-TEST(Satellites, WorkDirDefaultIsSystemTemp) {
+TEST(Satellites, WorkDirDefaultIsPidUniqueUnderSystemTemp) {
   core::RetargetOptions options;
   EXPECT_EQ(options.work_dir, core::default_work_dir());
   EXPECT_FALSE(options.work_dir.empty());
-  EXPECT_TRUE(std::filesystem::exists(options.work_dir));
+  // A pid-unique subdirectory of the system temp dir, so concurrent
+  // processes cannot clobber each other's generated parser files. It is
+  // created on first parser emission, not here (constructing options must
+  // leave no droppings) — integration_test covers the write path.
+  std::filesystem::path dir(options.work_dir);
+  EXPECT_EQ(dir.parent_path(), std::filesystem::temp_directory_path());
+  EXPECT_NE(dir.filename().string().find("record-work-"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,367 @@
+// Tests for the concurrent compile service (src/service): single-flight and
+// LRU semantics of TargetRegistry, CompileService pool behaviour, the
+// JSON-lines value type, and the 8-worker mixed-model stress test asserting
+// concurrent results are bit-identical to sequential runs. Built-in model
+// retargets here run with the persistent cache off, so every test is
+// hermetic with respect to on-disk state.
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "models/workload.h"
+#include "service/json.h"
+#include "service/registry.h"
+#include "service/service.h"
+
+using namespace record;
+using service::CompileJob;
+using service::CompileService;
+using service::JobResult;
+using service::Json;
+using service::TargetRegistry;
+
+namespace {
+
+// The shared mixed-model workload (all six built-in models).
+using models::chain_program;
+using models::kChainShapes;
+constexpr std::size_t kModelCount = std::size(kChainShapes);
+
+core::RetargetOptions no_disk_cache() {
+  core::RetargetOptions o;
+  o.use_target_cache = false;
+  return o;
+}
+
+}  // namespace
+
+// --- TargetRegistry ----------------------------------------------------------
+
+TEST(TargetRegistry, SingleFlightRetargetsOnce) {
+  TargetRegistry::Options opts;
+  opts.retarget = no_disk_cache();
+  TargetRegistry registry(opts);
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::RetargetResult>> results(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // Rough rendezvous so requests overlap the leader's pipeline run.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      util::DiagnosticSink diags;
+      results[static_cast<std::size_t>(i)] =
+          registry.get_model("demo", diags);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const auto& r : results) {
+    ASSERT_TRUE(r);
+    // Exactly one pipeline run: everyone shares the leader's object.
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  service::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(TargetRegistry, LruEvictsLeastRecentlyUsed) {
+  TargetRegistry::Options opts;
+  opts.capacity = 2;
+  opts.retarget = no_disk_cache();
+  TargetRegistry registry(opts);
+
+  util::DiagnosticSink diags;
+  auto demo1 = registry.get_model("demo", diags);
+  auto mano = registry.get_model("manocpu", diags);
+  ASSERT_TRUE(demo1);
+  ASSERT_TRUE(mano);
+  EXPECT_EQ(registry.stats().entries, 2u);
+  EXPECT_EQ(registry.stats().evictions, 0u);
+
+  // Touch demo so manocpu becomes the LRU victim.
+  auto demo2 = registry.get_model("demo", diags);
+  EXPECT_EQ(demo2.get(), demo1.get());
+
+  auto tanen = registry.get_model("tanenbaum", diags);
+  ASSERT_TRUE(tanen);
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  EXPECT_EQ(registry.stats().entries, 2u);
+
+  // demo survived (it was touched); manocpu was evicted and re-retargets.
+  auto demo3 = registry.get_model("demo", diags);
+  EXPECT_EQ(demo3.get(), demo1.get());
+  std::size_t misses_before = registry.stats().misses;
+  auto mano2 = registry.get_model("manocpu", diags);
+  ASSERT_TRUE(mano2);
+  EXPECT_EQ(registry.stats().misses, misses_before + 1);
+  EXPECT_NE(mano2.get(), mano.get());  // fresh pipeline run
+  // The evicted result stays alive for holders of the old shared_ptr.
+  EXPECT_EQ(mano->processor, mano2->processor);
+}
+
+TEST(TargetRegistry, UnknownModelFailsWithDiagnostic) {
+  TargetRegistry registry;
+  util::DiagnosticSink diags;
+  EXPECT_FALSE(registry.get_model("no_such_cpu", diags));
+  EXPECT_NE(diags.str().find("no_such_cpu"), std::string::npos);
+  EXPECT_EQ(registry.stats().misses, 0u);
+}
+
+TEST(TargetRegistry, RejectsExtraRewrites) {
+  TargetRegistry registry;
+  rtl::RewriteLibrary lib;
+  core::RetargetOptions opts = no_disk_cache();
+  opts.extra_rewrites = &lib;
+  util::DiagnosticSink diags;
+  EXPECT_FALSE(registry.get_model("demo", opts, diags));
+  EXPECT_NE(diags.str().find("extra_rewrites"), std::string::npos);
+}
+
+// --- CompileService ----------------------------------------------------------
+
+TEST(CompileService, BatchPreservesOrderAndTags) {
+  CompileService::Options opts;
+  opts.workers = 2;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  std::vector<CompileJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    const models::ChainShape& s =
+        kChainShapes[static_cast<std::size_t>(i) % kModelCount];
+    CompileJob job;
+    job.tag = "job-" + std::to_string(i);
+    job.model = s.model;
+    job.program =
+        std::make_shared<const ir::Program>(chain_program(s, 2 + i % 3));
+    jobs.push_back(std::move(job));
+  }
+  std::vector<JobResult> results = svc.compile_batch(std::move(jobs));
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const JobResult& r = results[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.tag, "job-" + std::to_string(i));
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.code_size, 0u);
+    EXPECT_FALSE(r.listing.empty());
+  }
+  service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(CompileService, CompilesKernelLanguageSource) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  CompileJob job;
+  job.model = "demo";
+  job.kernel = R"(
+kernel sum4;
+bind acc: R0;
+cell a: mem[1];
+cell b: mem[2];
+acc = a + b;
+mem[9] = acc;
+)";
+  std::future<JobResult> f = svc.submit(std::move(job));
+  JobResult r = f.get();
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.processor, "demo");
+  EXPECT_GT(r.code_size, 0u);
+  ASSERT_TRUE(r.compiled.has_value());
+  EXPECT_EQ(r.compiled->code_size(), r.code_size);
+}
+
+TEST(CompileService, RetargetOnlyJobWarmsRegistry) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  CompileJob warm;
+  warm.model = "demo";
+  JobResult r = svc.submit(std::move(warm)).get();
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.processor, "demo");
+  EXPECT_EQ(r.code_size, 0u);
+  EXPECT_EQ(svc.registry().stats().entries, 1u);
+}
+
+TEST(CompileService, ReportsJobErrors) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  CompileJob bad_model;
+  bad_model.model = "no_such_cpu";
+  JobResult r1 = svc.submit(std::move(bad_model)).get();
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("no_such_cpu"), std::string::npos);
+
+  CompileJob bad_kernel;
+  bad_kernel.model = "demo";
+  bad_kernel.kernel = "kernel k; a = ;";
+  JobResult r2 = svc.submit(std::move(bad_kernel)).get();
+  EXPECT_FALSE(r2.ok);
+  EXPECT_FALSE(r2.error.empty());
+  EXPECT_EQ(svc.stats().failed, 2u);
+}
+
+TEST(CompileService, SubmitAfterShutdownIsRejected) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+  svc.shutdown();
+  CompileJob job;
+  job.tag = "late";
+  job.model = "demo";
+  JobResult r = svc.submit(std::move(job)).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.tag, "late");
+  EXPECT_NE(r.error.find("shut down"), std::string::npos);
+}
+
+TEST(CompileService, BoundedQueueBlocksAndDrains) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;  // submit() must block and hand off one by one
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    const models::ChainShape& s = kChainShapes[0];
+    CompileJob job;
+    job.model = s.model;
+    job.program = std::make_shared<const ir::Program>(chain_program(s, 3));
+    futures.push_back(svc.submit(std::move(job)));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+  EXPECT_LE(svc.stats().peak_queue, 1u);
+}
+
+// --- the 8-worker stress test ------------------------------------------------
+
+TEST(CompileService, StressMixedModelsBitIdenticalToSequential) {
+  CompileService::Options opts;
+  opts.workers = 8;
+  opts.queue_capacity = 8;  // force submit-side blocking under load
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  // 6 models x 8 program variants = 48 jobs, submitted against a COLD
+  // registry: the first wave races retargeting (single-flight), the rest
+  // race compilation over shared targets.
+  std::vector<CompileJob> jobs;
+  constexpr int kVariants[] = {2, 3, 4, 6, 8, 12, 16, 24};
+  for (const models::ChainShape& s : kChainShapes) {
+    for (int k : kVariants) {
+      CompileJob job;
+      job.tag = std::string(s.model) + "/" + std::to_string(k);
+      job.model = s.model;
+      job.program = std::make_shared<const ir::Program>(chain_program(s, k));
+      jobs.push_back(std::move(job));
+    }
+  }
+  // Keep program pointers for the sequential reference pass.
+  std::vector<CompileJob> reference;
+  for (const CompileJob& job : jobs) {
+    CompileJob copy;
+    copy.tag = job.tag;
+    copy.model = job.model;
+    copy.program = job.program;
+    reference.push_back(std::move(copy));
+  }
+
+  std::vector<JobResult> concurrent = svc.compile_batch(std::move(jobs));
+  ASSERT_EQ(concurrent.size(), reference.size());
+
+  // Sequential reference: the same job core, one at a time, over the same
+  // (now warm) registry.
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    JobResult seq = CompileService::run_job(reference[i], svc.registry());
+    const JobResult& par = concurrent[i];
+    ASSERT_TRUE(par.ok) << par.tag << ": " << par.error;
+    ASSERT_TRUE(seq.ok) << seq.tag << ": " << seq.error;
+    EXPECT_EQ(par.processor, seq.processor) << par.tag;
+    EXPECT_EQ(par.code_size, seq.code_size) << par.tag;
+    EXPECT_EQ(par.rts, seq.rts) << par.tag;
+    EXPECT_EQ(par.listing, seq.listing) << par.tag;  // bit-identical
+  }
+
+  service::RegistryStats rstats = svc.registry().stats();
+  EXPECT_EQ(rstats.misses, kModelCount);  // one pipeline run per model, ever
+  EXPECT_EQ(rstats.failures, 0u);
+  service::ServiceStats sstats = svc.stats();
+  EXPECT_EQ(sstats.completed, kModelCount * 8);
+  EXPECT_EQ(sstats.failed, 0u);
+}
+
+// --- Json --------------------------------------------------------------------
+
+TEST(Json, ParsesRequestLine) {
+  auto j = Json::parse(R"({"model": "tms320c25", "tag": "r1",
+                           "source": "kernel k;\nbind a: ACC;\na = a + 1;",
+                           "options": {"engine": "tables", "listing": true,
+                                       "sizes": [1, 2.5, -3]}})");
+  ASSERT_TRUE(j);
+  EXPECT_EQ((*j)["model"].as_string(), "tms320c25");
+  EXPECT_EQ((*j)["tag"].as_string(), "r1");
+  EXPECT_NE((*j)["source"].as_string().find('\n'), std::string::npos);
+  EXPECT_EQ((*j)["options"]["engine"].as_string(), "tables");
+  EXPECT_TRUE((*j)["options"]["listing"].as_bool());
+  EXPECT_EQ((*j)["options"]["sizes"].size(), 3u);
+  EXPECT_EQ((*j)["options"]["sizes"].at(0).as_int(), 1);
+  EXPECT_EQ((*j)["options"]["sizes"].at(1).as_number(), 2.5);
+  EXPECT_EQ((*j)["options"]["sizes"].at(2).as_int(), -3);
+  EXPECT_TRUE((*j)["missing"].is_null());
+  EXPECT_TRUE((*j)["missing"]["deep"].is_null());  // chained lookup is safe
+}
+
+TEST(Json, EscapesRoundTrip) {
+  Json out = Json::object();
+  out.set("text", Json(std::string("line1\nline2\t\"quoted\" \\ end")));
+  out.set("ok", Json(true));
+  out.set("n", Json(42));
+  std::string wire = out.dump();
+  EXPECT_EQ(wire.find('\n'), std::string::npos);  // JSON-lines safe
+  auto back = Json::parse(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ((*back)["text"].as_string(), "line1\nline2\t\"quoted\" \\ end");
+  EXPECT_TRUE((*back)["ok"].as_bool());
+  EXPECT_EQ((*back)["n"].as_int(), 42);
+}
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  auto j = Json::parse(R"({"s": "a\u00e9A"})");
+  ASSERT_TRUE(j);
+  EXPECT_EQ((*j)["s"].as_string(), "a\xc3\xa9"
+                                   "A");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::parse(R"({"a": })"));
+  EXPECT_FALSE(Json::parse(R"({"a": 1} trailing)"));
+  EXPECT_FALSE(Json::parse(R"("unterminated)"));
+  EXPECT_FALSE(Json::parse("12e"));
+}
