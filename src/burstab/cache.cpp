@@ -18,7 +18,10 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x52544331;  // "RTC1"
-constexpr std::uint32_t kCacheVersion = 1;
+// v2: payload checksum after the key — any bit flip in the body is detected
+// up front and the entry is treated as a miss (clean pipeline rebuild)
+// instead of trusting structurally-plausible garbage.
+constexpr std::uint32_t kCacheVersion = 2;
 
 void write_extract_stats(ByteWriter& w, const ise::ExtractStats& s) {
   w.u64(s.destinations);
@@ -107,6 +110,10 @@ std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
   ByteReader r(blob);
   if (r.u32() != kCacheMagic || r.u32() != kCacheVersion) return std::nullopt;
   if (r.u64() != key) return std::nullopt;
+  std::uint64_t checksum = r.u64();
+  if (!r.ok() ||
+      checksum != fnv1a(std::string_view(blob).substr(r.pos())))
+    return std::nullopt;  // torn or corrupted payload -> rebuild
 
   TargetArtifacts a;
   a.processor = r.str();
@@ -136,9 +143,6 @@ bool TargetCache::store(std::uint64_t key,
   if (ec) return false;
 
   ByteWriter w;
-  w.u32(kCacheMagic);
-  w.u32(kCacheVersion);
-  w.u64(key);
   w.str(*artifacts.processor);
   static const ise::ExtractStats kNoExtract;
   static const rtl::ExtendStats kNoExtend;
@@ -152,8 +156,15 @@ bool TargetCache::store(std::uint64_t key,
   write_template_base(w, *artifacts.base);
   write_grammar(w, *artifacts.grammar);
   w.u8(artifacts.tables ? 1 : 0);
-  std::string blob = w.take();
-  if (artifacts.tables) artifacts.tables->serialize(blob);
+  std::string payload = w.take();
+  if (artifacts.tables) artifacts.tables->serialize(payload);
+
+  ByteWriter header;
+  header.u32(kCacheMagic);
+  header.u32(kCacheVersion);
+  header.u64(key);
+  header.u64(fnv1a(payload));
+  std::string blob = header.take() + payload;
 
   // Unique temp name per process AND per thread/store: two threads (or
   // processes) retargeting the same model concurrently each write their own

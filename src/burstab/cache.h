@@ -10,6 +10,11 @@
 // <system temp>/record-target-cache). A warm Record::retarget then reduces
 // to one file read plus deserialisation, and table-driven selection starts
 // from the previously accumulated state tables instead of an empty set.
+//
+// Corruption safety: the blob header carries an FNV-1a checksum of the
+// payload; a truncated, torn or bit-flipped entry fails load() (a cache
+// miss), and the caller falls back to a clean pipeline rebuild which
+// re-stores the entry.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,8 @@
 #include "ir/kernel_lang.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <map>
 #include <vector>
 
@@ -497,6 +499,23 @@ class Parser {
           }
         }
         if (!expect_punct(')', "after call arguments")) return nullptr;
+        // Width cast w<N>(x): pins the operand's result width to N bits
+        // (Expr::width_override) instead of the inferred width — how kernels
+        // ask for a truncating multiply on targets whose ALU is not
+        // widening. Any other name is a custom target operator.
+        if (name.size() > 1 && name[0] == 'w' &&
+            name.find_first_not_of("0123456789", 1) == std::string::npos &&
+            args.size() == 1) {
+          errno = 0;
+          long width = std::strtol(name.c_str() + 1, nullptr, 10);
+          if (errno != 0 || width < 1 || width > 1024) {
+            error(fmt("width cast '{}' out of range (1..1024 bits)", name));
+            return nullptr;
+          }
+          ExprPtr inner = std::move(args[0]);
+          inner->width_override = static_cast<int>(width);
+          return inner;
+        }
         return e_custom(std::move(name), std::move(args));
       }
       return e_var(std::move(name));

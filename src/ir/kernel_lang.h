@@ -19,7 +19,9 @@
 //
 // Expressions: + - * / & | ^ << >> ~ unary -, numbers, variables,
 // mem[index-expr], and calls lo(x), hi(x), name(args...) for custom target
-// operators.
+// operators. w<N>(x) pins x's result width to N bits (a width cast — e.g.
+// w16(a * b) selects a truncating 16-bit multiply where `*` would otherwise
+// infer the widening 32-bit product).
 #pragma once
 
 #include <optional>

@@ -1,0 +1,112 @@
+// Seeded random processor-model generation (the testgen layer's scenario
+// source).
+//
+// Every seed deterministically yields a structurally valid HDL model in the
+// style of the built-in `demo` machine — a horizontally microcoded datapath —
+// but with randomised architecture knobs: register count and width, the ALU
+// function subset, immediate-field width and position inside the instruction
+// word (including nonzero-lsb slices, the bass_boost `IW.w(10:6)` shape that
+// broke PR-2's route enumeration), mux- versus tristate-bus operand
+// topologies, register-indirect addressing, a dedicated direct-address field,
+// shared immediate operands (side-constrained grammar rules), memory writes
+// and program-control (PC) support. The generator also reports the machine's
+// programming capabilities so the kernel-program generator (programgen.h) can
+// size its programs to what the target can actually execute.
+//
+// Determinism contract: generation uses an internal splitmix64 stream only —
+// identical seeds produce byte-identical HDL on every platform, so a seed (or
+// a checked-in dump under tests/data/) is a complete reproduction recipe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.h"
+
+namespace record::testgen {
+
+/// Deterministic 64-bit PRNG (splitmix64): the single randomness source of
+/// the testgen layer. Intentionally not std::mt19937 + distributions —
+/// distribution output is implementation-defined, and seeds must replay
+/// identically across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool chance(int num, int den) {
+    return below(static_cast<std::uint64_t>(den)) <
+           static_cast<std::uint64_t>(num);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Architecture knobs drawn from the seed. Public so tests can assert corpus
+/// diversity and repro dumps can explain what a scenario exercised.
+struct ModelKnobs {
+  int reg_count = 2;        // general registers R0..R{n-1}
+  int reg_width = 16;       // datapath width
+  int imm_width = 8;        // immediate-field width (< reg_width)
+  int imm_lsb = 0;          // field position in the instruction word
+  int mem_addr_width = 0;   // 0 = no memory
+  bool mem_writable = false;
+  bool mem_reg_indirect = false;  // address register routed into mmux
+  bool direct_addr_field = false; // dedicated IW address slice (nonzero lsb)
+  int direct_addr_lsb = 0;        // where that slice starts
+  bool use_bus = false;           // tristate bus B-operand topology (vs mux)
+  bool shared_imm = false;        // imm extender feeds BOTH ALU operand sides
+  bool has_port_io = false;       // primary IN port on the B side
+  bool has_pc = false;            // PC register (branch support)
+  std::vector<hdl::OpKind> alu_ops;  // ALU functions beyond pass-a/pass-b
+
+  /// One-line summary for logs and repro files.
+  [[nodiscard]] std::string str() const;
+};
+
+/// A generated retargeting scenario: the HDL source plus everything the
+/// program generator needs to emit code the machine can run.
+struct GeneratedModel {
+  std::uint64_t seed = 0;
+  std::string name;  // "gen<seed>"
+  ModelKnobs knobs;
+  std::string hdl;   // complete processor model source
+  int instruction_width = 0;
+
+  // --- programming capabilities ------------------------------------------
+  std::vector<std::string> registers;  // readable+writable general registers
+  std::string memory;                  // instance name; empty if absent
+  std::int64_t mem_cells = 0;          // directly addressable cells
+  std::vector<hdl::OpKind> program_ops;  // binary operators usable in IR
+  std::int64_t imm_max = 0;            // largest immediate operand value
+  bool mem_writable = false;
+  bool has_pc = false;
+  /// Spill scratch area fitting the (often tiny) generated memory — the
+  /// default sched::SpillOptions base of 0x70 lies beyond a 2^3-cell memory.
+  std::int64_t spill_base = 0;
+  int spill_slots = 0;
+};
+
+/// Draws knobs and emits the model for `seed`. Every seed must produce a
+/// model that parses, elaborates and retargets; the testgen smoke test
+/// enforces this over a corpus.
+[[nodiscard]] GeneratedModel generate_model(std::uint64_t seed);
+
+}  // namespace record::testgen

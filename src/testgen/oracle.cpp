@@ -1,0 +1,419 @@
+#include "testgen/oracle.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/record.h"
+#include "ir/kernel_lang.h"
+#include "service/json.h"
+#include "service/service.h"
+#include "testgen/programgen.h"
+#include "util/strings.h"
+
+namespace record::testgen {
+
+using util::fmt;
+
+namespace {
+
+std::string first_line(const std::string& s) {
+  std::size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+std::vector<std::string> hex_words(const core::CompileResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.encoded.assembly.words.size());
+  for (const emit::EncodedWord& w : r.encoded.assembly.words)
+    out.push_back(w.hex());
+  return out;
+}
+
+/// Compares a candidate path's outcome against the reference; returns the
+/// first difference ("" = identical).
+std::string diff_results(const char* what,
+                         const std::optional<core::CompileResult>& ref,
+                         const std::optional<core::CompileResult>& got) {
+  if (ref.has_value() != got.has_value())
+    return fmt("{}: compile {} but reference {}", what,
+               got ? "succeeded" : "failed", ref ? "succeeded" : "failed");
+  if (!ref) return "";
+  if (ref->listing() != got->listing())
+    return fmt("{}: listing differs from reference", what);
+  if (hex_words(*ref) != hex_words(*got))
+    return fmt("{}: encoded instruction words differ from reference", what);
+  return "";
+}
+
+}  // namespace
+
+std::string default_cache_dir() {
+  return (std::filesystem::temp_directory_path() /
+          fmt("record-testgen-cache-{}", static_cast<unsigned>(::getpid())))
+      .string();
+}
+
+std::string roundtrip_issues(const core::CompileResult& result,
+                             const rtl::TemplateBase& base) {
+  bdd::BddManager& mgr = *base.mgr;
+  const int iw = base.instruction_width;
+  const emit::Assembly& assembly = result.encoded.assembly;
+
+  // Instruction-bit variable indices, resolved once.
+  std::vector<std::pair<int, int>> ivars;  // (var, word bit)
+  for (int v = 0; v < mgr.var_count(); ++v) {
+    const std::string& n = mgr.var_name(v);
+    if (n.rfind("I[", 0) == 0)
+      ivars.emplace_back(v, std::stoi(n.substr(2, n.size() - 3)));
+  }
+
+  for (const emit::EncodedWord& ew : assembly.words) {
+    bdd::Assignment asg;
+    asg.reserve(ivars.size());
+    for (auto [v, k] : ivars)
+      asg.emplace_back(v, k >= 0 &&
+                              k < static_cast<int>(ew.bits.size()) &&
+                              ew.bits[static_cast<std::size_t>(k)]);
+
+    for (const select::SelectedRT* rt : ew.word->rts) {
+      if (!rt->tmpl) continue;
+
+      // The emitted bits must fire this RT for some mode state: project the
+      // execution condition (which already conjoins selection-time immediate
+      // values) onto the instruction bits, then evaluate under the word.
+      bdd::Ref c = rt->cond;
+      for (int v : mgr.support(c))
+        if (mgr.var_name(v).rfind("I[", 0) != 0) c = mgr.exists(c, v);
+      if (!mgr.eval(c, asg))
+        return fmt("word {} ({}): bits do not satisfy the execution "
+                   "condition of '{}'",
+                   ew.address, ew.hex(), rt->comment);
+
+      // Immediate fields: in-bounds bit positions holding the bound value
+      // (branches: the resolved target address).
+      if (rt->is_branch) {
+        auto it = assembly.labels.find(rt->branch_target);
+        if (it == assembly.labels.end())
+          return fmt("word {}: branch target '{}' unresolved", ew.address,
+                     rt->branch_target);
+        if (rt->tmpl->value->kind == rtl::RTNode::Kind::Imm) {
+          const std::vector<int>& bits = rt->tmpl->value->imm_bits;
+          std::uint64_t addr = static_cast<std::uint64_t>(it->second);
+          if (bits.size() < 64 && (addr >> bits.size()) != 0)
+            return fmt("word {}: branch target {} overflows the {}-bit "
+                       "address field",
+                       ew.address, it->second, bits.size());
+          for (std::size_t j = 0; j < bits.size(); ++j) {
+            if (bits[j] < 0 || bits[j] >= iw)
+              return fmt("word {}: branch field bit {} out of bounds "
+                         "(instruction width {})",
+                         ew.address, bits[j], iw);
+            bool want = ((addr >> j) & 1u) != 0;
+            if (ew.bits[static_cast<std::size_t>(bits[j])] != want)
+              return fmt("word {}: branch field bit I[{}] encodes {} but "
+                         "target address {} needs {}",
+                         ew.address, bits[j], !want, it->second, want);
+          }
+        }
+      } else {
+        for (const treeparse::ImmBinding& b : rt->imms) {
+          // The bound value must actually fit the field: all bits beyond it
+          // zero (non-negative) or all ones (sign-extended negative) —
+          // silent truncation is the bug class this oracle exists to catch.
+          if (b.field_bits.size() < 64) {
+            std::int64_t high = b.value >> b.field_bits.size();
+            if (high != 0 && high != -1)
+              return fmt("word {}: bound value {} overflows the {}-bit "
+                         "immediate field",
+                         ew.address, b.value, b.field_bits.size());
+          }
+          std::uint64_t value = static_cast<std::uint64_t>(b.value);
+          for (std::size_t j = 0; j < b.field_bits.size(); ++j) {
+            int pos = b.field_bits[j];
+            if (pos < 0 || pos >= iw)
+              return fmt("word {}: immediate field bit {} out of bounds "
+                         "(instruction width {})",
+                         ew.address, pos, iw);
+            bool want = ((value >> j) & 1u) != 0;
+            if (ew.bits[static_cast<std::size_t>(pos)] != want)
+              return fmt("word {}: immediate bit I[{}] encodes {} but bound "
+                         "value {} needs {}",
+                         ew.address, pos, !want, b.value, want);
+          }
+        }
+      }
+    }
+  }
+  return "";
+}
+
+OracleReport check_pair(std::string_view hdl, const ir::Program& prog,
+                        const OracleOptions& options) {
+  OracleReport rep;
+
+  // --- path 1 + 2: interpreter vs tables over one cold retarget ----------
+  std::optional<core::RetargetResult> local;
+  const core::RetargetResult* target = options.target.get();
+  if (!target) {
+    core::RetargetOptions ropts;  // build_tables defaults on
+    util::DiagnosticSink dr;
+    local = core::Record::retarget(hdl, ropts, dr);
+    if (!local) {
+      rep.failure = "retarget failed: " + first_line(dr.first_error());
+      return rep;
+    }
+    target = &*local;
+  }
+  rep.templates = target->template_count();
+  if (!target->tables) {
+    rep.failure = "retarget produced no BURS tables";
+    return rep;
+  }
+
+  core::Compiler compiler(*target);
+  core::CompileOptions interp_opts = options.compile;
+  interp_opts.engine = select::Engine::kInterpreter;
+  core::CompileOptions table_opts = options.compile;
+  table_opts.engine = select::Engine::kTables;
+
+  util::DiagnosticSink di, dt;
+  std::optional<core::CompileResult> ref =
+      compiler.compile(prog, interp_opts, di);
+  std::optional<core::CompileResult> tab =
+      compiler.compile(prog, table_opts, dt);
+  rep.compiled = ref.has_value();
+  if (ref) {
+    rep.listing = ref->listing();
+    rep.words = ref->code_size();
+  }
+  if (std::string d = diff_results("table engine", ref, tab); !d.empty()) {
+    rep.failure = d;
+    return rep;
+  }
+
+  // --- path 3: store to the persistent cache, reload, compile -------------
+  if (options.cache) {
+    core::RetargetOptions copts;
+    copts.use_target_cache = true;
+    copts.cache_dir =
+        options.cache_dir.empty() ? default_cache_dir() : options.cache_dir;
+    util::DiagnosticSink dc1, dc2, dcc;
+    std::optional<core::RetargetResult> cold =
+        core::Record::retarget(hdl, copts, dc1);
+    std::optional<core::RetargetResult> warm =
+        core::Record::retarget(hdl, copts, dc2);
+    if (!cold || !warm) {
+      rep.failure = fmt("cache path: retarget failed: {}",
+                        first_line((cold ? dc2 : dc1).first_error()));
+      return rep;
+    }
+    if (!warm->cache_hit) {
+      rep.failure = "cache path: second retarget missed the warm cache";
+      return rep;
+    }
+    core::Compiler warm_compiler(*warm);
+    core::CompileOptions warm_opts = options.compile;
+    warm_opts.engine = select::Engine::kAuto;
+    std::optional<core::CompileResult> cached =
+        warm_compiler.compile(prog, warm_opts, dcc);
+    if (std::string d = diff_results("warm cache", ref, cached);
+        !d.empty()) {
+      rep.failure = d;
+      return rep;
+    }
+  }
+
+  // --- path 4: multi-worker service batch over the kernel frontend --------
+  if (options.service) {
+    service::CompileService::Options sopts;
+    sopts.workers = static_cast<std::size_t>(options.service_workers);
+    service::CompileService svc(sopts);
+    std::string kernel = kernel_text(prog);
+    std::vector<service::CompileJob> jobs;
+    for (int i = 0; i < options.service_jobs; ++i) {
+      service::CompileJob job;
+      job.tag = fmt("j{}", i);
+      job.hdl = std::string(hdl);
+      job.kernel = kernel;
+      job.options = options.compile;
+      job.options.engine = select::Engine::kAuto;
+      jobs.push_back(std::move(job));
+    }
+    std::vector<service::JobResult> results =
+        svc.compile_batch(std::move(jobs));
+    for (const service::JobResult& r : results) {
+      if (r.ok != rep.compiled) {
+        rep.failure = fmt("service job {}: compile {} but reference {} ({})",
+                          r.tag, r.ok ? "succeeded" : "failed",
+                          rep.compiled ? "succeeded" : "failed",
+                          first_line(r.error));
+        return rep;
+      }
+      if (!r.ok) continue;
+      if (r.listing != rep.listing) {
+        rep.failure = fmt("service job {}: listing differs from reference",
+                          r.tag);
+        return rep;
+      }
+      if (r.compiled && ref && hex_words(*ref) != hex_words(*r.compiled)) {
+        rep.failure = fmt("service job {}: encoded words differ from "
+                          "reference",
+                          r.tag);
+        return rep;
+      }
+    }
+  }
+
+  // --- encode -> decode round trip ----------------------------------------
+  if (options.roundtrip && ref) {
+    if (std::string issue = roundtrip_issues(*ref, *target->base);
+        !issue.empty()) {
+      rep.failure = "round trip: " + issue;
+      return rep;
+    }
+  }
+
+  rep.agree = true;
+  return rep;
+}
+
+// --- minimisation -----------------------------------------------------------
+
+namespace {
+
+/// Clones `prog`, replacing the operator node at `path` inside statement
+/// `stmt` (a child-index walk from the rhs root) by its `child`-th operand.
+ir::ExprPtr clone_shrunk(const ir::Expr& e, const std::vector<int>& path,
+                         std::size_t pi, int child) {
+  if (pi == path.size()) return e.args[static_cast<std::size_t>(child)]->clone();
+  ir::ExprPtr out = e.clone();
+  // Re-descend into the clone along the remaining path.
+  ir::Expr* node = out.get();
+  // The clone above copied everything; rebuild just the target branch.
+  int next = path[pi];
+  node->args[static_cast<std::size_t>(next)] =
+      clone_shrunk(*e.args[static_cast<std::size_t>(next)], path, pi + 1,
+                   child);
+  return out;
+}
+
+/// Paths (child-index sequences) of every OpNode in the tree.
+void collect_op_paths(const ir::Expr& e, std::vector<int>& prefix,
+                      std::vector<std::vector<int>>& out) {
+  if (e.kind == ir::Expr::Kind::OpNode && !e.args.empty()) out.push_back(prefix);
+  for (std::size_t i = 0; i < e.args.size(); ++i) {
+    prefix.push_back(static_cast<int>(i));
+    collect_op_paths(*e.args[i], prefix, out);
+    prefix.pop_back();
+  }
+}
+
+const ir::Expr* node_at(const ir::Expr& e, const std::vector<int>& path) {
+  const ir::Expr* n = &e;
+  for (int i : path) n = n->args[static_cast<std::size_t>(i)].get();
+  return n;
+}
+
+}  // namespace
+
+ir::Program minimize_program(
+    const ir::Program& prog,
+    const std::function<bool(const ir::Program&)>& still_fails,
+    int budget) {
+  ir::Program current = clone_program(prog);
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+
+    // Pass 1: drop whole statements (back to front, so indices stay stable).
+    for (int i = static_cast<int>(current.stmts().size()) - 1;
+         i >= 0 && budget > 0; --i) {
+      if (current.stmts().size() <= 1) break;
+      ir::Program candidate = clone_program(current, i);
+      util::DiagnosticSink d;
+      if (!candidate.validate(d)) continue;  // e.g. dangling branch target
+      --budget;
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        improved = true;
+      }
+    }
+
+    // Pass 2: replace operator nodes by one of their operands.
+    int stmt_count = static_cast<int>(current.stmts().size());
+    for (int s = 0; s < stmt_count && budget > 0; ++s) {
+      const ir::Stmt& stmt = current.stmts()[static_cast<std::size_t>(s)];
+      if (!stmt.rhs) continue;
+      std::vector<std::vector<int>> paths;
+      std::vector<int> prefix;
+      collect_op_paths(*stmt.rhs, prefix, paths);
+      for (const std::vector<int>& path : paths) {
+        bool shrunk = false;
+        int arity = static_cast<int>(node_at(*stmt.rhs, path)->args.size());
+        for (int child = 0; child < arity && budget > 0 && !shrunk; ++child) {
+          ir::ExprPtr rhs = clone_shrunk(*stmt.rhs, path, 0, child);
+          ir::Program candidate =
+              clone_program_with_rhs(current, s, std::move(rhs));
+          --budget;
+          if (still_fails(candidate)) {
+            current = std::move(candidate);
+            improved = true;
+            shrunk = true;
+          }
+        }
+        if (shrunk) break;  // paths into the old rhs are stale now
+      }
+    }
+  }
+  return current;
+}
+
+// --- repro files ------------------------------------------------------------
+
+bool write_repro(const std::string& path, const Repro& r) {
+  service::Json doc = service::Json::object();
+  // Seeds go through strings: Json numbers are doubles, which cannot carry
+  // a full 64-bit seed exactly.
+  doc.set("model_seed", service::Json(std::to_string(r.model_seed)));
+  doc.set("program_seed", service::Json(std::to_string(r.program_seed)));
+  doc.set("model", service::Json(r.model));
+  doc.set("knobs", service::Json(r.knobs));
+  doc.set("failure", service::Json(r.failure));
+  doc.set("spill_base", service::Json(static_cast<double>(r.spill_base)));
+  doc.set("spill_slots", service::Json(r.spill_slots));
+  doc.set("kernel", service::Json(r.kernel));
+  doc.set("hdl", service::Json(r.hdl));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << doc.dump() << "\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<Repro> load_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<service::Json> doc = service::Json::parse(buf.str());
+  if (!doc || !doc->is_object()) return std::nullopt;
+  Repro r;
+  r.model_seed =
+      std::strtoull((*doc)["model_seed"].as_string().c_str(), nullptr, 10);
+  r.program_seed =
+      std::strtoull((*doc)["program_seed"].as_string().c_str(), nullptr, 10);
+  r.model = (*doc)["model"].as_string();
+  r.knobs = (*doc)["knobs"].as_string();
+  r.failure = (*doc)["failure"].as_string();
+  r.spill_base = (*doc)["spill_base"].as_int();
+  r.spill_slots = static_cast<int>((*doc)["spill_slots"].as_int());
+  r.kernel = (*doc)["kernel"].as_string();
+  r.hdl = (*doc)["hdl"].as_string();
+  if (r.hdl.empty() || r.kernel.empty()) return std::nullopt;
+  return r;
+}
+
+}  // namespace record::testgen

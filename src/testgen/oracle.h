@@ -1,0 +1,115 @@
+// The differential oracle: the repo's fourth, engine-agnostic verification
+// layer (after unit tests, cross-engine differential tests and sanitizer
+// jobs).
+//
+// One (model, program) pair is pushed through FOUR independent compile
+// paths —
+//   1. treeparse::TreeParser        (dynamic-programming interpreter)
+//   2. burstab::TableParser         (compiled BURS state tables)
+//   3. the warm TargetCache path    (serialise -> reload -> compile)
+//   4. a multi-worker CompileService batch (registry + kernel frontend)
+// — asserting bit-identical listings and instruction encodings across all of
+// them. On top, every encoded instruction word is decode-checked against the
+// BDD execution conditions of the RTs it claims to carry (encode -> decode
+// round trip): the emitted bits must fire each packed RT for some mode state,
+// immediate fields must hold the bound values, and branch fields the resolved
+// target addresses — all at in-bounds bit positions.
+//
+// A pair where NO path compiles (the model genuinely cannot cover the
+// program) counts as agreement with compiled=false; divergence of any kind is
+// a failure. minimize_program() shrinks a failing program against an
+// arbitrary predicate; write_repro()/load_repro() serialise a failure to a
+// standalone JSON file that fuzz_retarget --replay reproduces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/compiler.h"
+#include "ir/program.h"
+#include "testgen/modelgen.h"
+
+namespace record::testgen {
+
+struct OracleOptions {
+  /// Shared by all four paths (engine is overridden per path). Callers set
+  /// model-appropriate spill scratch placement here (GeneratedModel::
+  /// spill_base / spill_slots).
+  core::CompileOptions compile;
+  /// Worker threads of the CompileService path.
+  int service_workers = 4;
+  /// Copies of the pair submitted through one batch (exercises the
+  /// registry's single-flight and concurrent compiles over one target).
+  int service_jobs = 6;
+  /// TargetCache directory for the warm-path check; empty selects
+  /// default_cache_dir(). Callers should remove it when a run is done.
+  std::string cache_dir;
+  /// Enable the per-word encode->decode round-trip check.
+  bool roundtrip = true;
+  /// Skip the CompileService path (the smoke corpus runs it on a subset:
+  /// spinning a worker pool per pair is the most expensive oracle stage).
+  bool service = true;
+  /// Skip the warm-TargetCache path (the minimizer does: two cache
+  /// retargets per shrink candidate add nothing when the divergence
+  /// reproduces from paths 1+2).
+  bool cache = true;
+  /// Pre-retargeted reference target for paths 1+2 (retargeting is
+  /// deterministic, so sharing it across a model's programs drops the
+  /// redundant pipeline runs); null = cold retarget inside check_pair.
+  std::shared_ptr<const core::RetargetResult> target;
+};
+
+struct OracleReport {
+  bool agree = false;     // all paths consistent (and round trip clean)
+  bool compiled = false;  // the pair actually compiled
+  std::string failure;    // first divergence; empty when agree
+  std::string listing;    // reference listing (when compiled)
+  std::size_t words = 0;  // encoded instruction words
+  std::size_t templates = 0;  // target's extended-base size
+};
+
+/// <system temp>/record-testgen-cache-<pid>
+[[nodiscard]] std::string default_cache_dir();
+
+/// Runs the full differential oracle on one pair.
+[[nodiscard]] OracleReport check_pair(std::string_view hdl,
+                                      const ir::Program& prog,
+                                      const OracleOptions& options);
+
+/// Encode->decode round trip over one compiled result; returns the first
+/// problem found, empty string when clean. Exposed for targeted tests.
+[[nodiscard]] std::string roundtrip_issues(const core::CompileResult& result,
+                                           const rtl::TemplateBase& base);
+
+/// Greedy shrink: drops statements, then replaces operator nodes by their
+/// operands, while `still_fails` keeps returning true. `budget` bounds the
+/// number of predicate evaluations.
+[[nodiscard]] ir::Program minimize_program(
+    const ir::Program& prog,
+    const std::function<bool(const ir::Program&)>& still_fails,
+    int budget = 200);
+
+/// A self-contained failure record.
+struct Repro {
+  std::uint64_t model_seed = 0;
+  std::uint64_t program_seed = 0;
+  std::string model;    // processor name
+  std::string knobs;    // human-readable knob summary
+  std::string hdl;      // complete model source
+  std::string kernel;   // minimized kernel-language program
+  std::string failure;  // what diverged
+  std::int64_t spill_base = 0;  // scratch placement used by the failing run
+  int spill_slots = 0;
+};
+
+/// Writes `r` as a JSON document to `path`; returns false on I/O failure.
+bool write_repro(const std::string& path, const Repro& r);
+
+/// Loads a repro file; nullopt on I/O or parse failure.
+[[nodiscard]] std::optional<Repro> load_repro(const std::string& path);
+
+}  // namespace record::testgen

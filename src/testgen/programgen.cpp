@@ -1,0 +1,239 @@
+#include "testgen/programgen.h"
+
+#include <sstream>
+
+#include "ir/builder.h"
+#include "util/strings.h"
+
+namespace record::testgen {
+
+using util::fmt;
+
+namespace {
+
+void render_expr(const ir::Expr& e, std::ostringstream& os) {
+  // A pinned result width renders as the kernel language's width cast.
+  if (e.width_override > 0) os << 'w' << e.width_override << '(';
+  switch (e.kind) {
+    case ir::Expr::Kind::Const:
+      os << e.value;
+      break;
+    case ir::Expr::Kind::Var:
+      os << e.var;
+      break;
+    case ir::Expr::Kind::Load:
+      os << e.mem << '[';
+      render_expr(*e.args[0], os);
+      os << ']';
+      break;
+    case ir::Expr::Kind::OpNode:
+      if (e.op == hdl::OpKind::Custom) {  // any arity, incl. binary
+        os << e.custom << '(';
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          if (i) os << ", ";
+          render_expr(*e.args[i], os);
+        }
+        os << ')';
+      } else if (e.args.size() == 2) {
+        os << '(';
+        render_expr(*e.args[0], os);
+        os << ' ' << hdl::to_string(e.op) << ' ';
+        render_expr(*e.args[1], os);
+        os << ')';
+      } else {
+        os << (e.op == hdl::OpKind::Not ? "~" : "-") << '(';
+        render_expr(*e.args[0], os);
+        os << ')';
+      }
+      break;
+  }
+  if (e.width_override > 0) os << ')';
+}
+
+std::string expr_text(const ir::Expr& e) {
+  std::ostringstream os;
+  render_expr(e, os);
+  return os.str();
+}
+
+/// Random expression generator over the model's capabilities.
+class ExprGen {
+ public:
+  ExprGen(const GeneratedModel& m, Rng& rng, int mem_vars)
+      : m_(m), rng_(rng), mem_vars_(mem_vars) {}
+
+  ir::ExprPtr gen(int depth) {
+    if (depth <= 0 || rng_.chance(1, 4)) return leaf();
+    hdl::OpKind op = m_.program_ops[rng_.below(m_.program_ops.size())];
+    ir::ExprPtr e = ir::e_bin(op, gen(depth - 1), gen(depth - 1));
+    // Constant folding is the programmer's job: a const-op-const node has no
+    // inferable width and no target ever offers it. Ground one operand.
+    if (e->args[0]->kind == ir::Expr::Kind::Const &&
+        e->args[1]->kind == ir::Expr::Kind::Const)
+      e->args[0] = ir::e_var(fmt("r{}", rng_.below(m_.registers.size())));
+    // IR width inference treats `*` as a widening multiply (w0 + w1); the
+    // generated ALUs are truncating, so pin the hardware's result width.
+    if (op == hdl::OpKind::Mul) e->width_override = m_.knobs.reg_width;
+    return e;
+  }
+
+ private:
+  ir::ExprPtr leaf() {
+    std::uint64_t pick = rng_.below(4);
+    if (pick == 0)  // constant fitting the immediate field
+      return ir::e_const(static_cast<std::int64_t>(
+          rng_.below(static_cast<std::uint64_t>(m_.imm_max) + 1)));
+    if (pick == 1 && mem_vars_ > 0)
+      return ir::e_var(fmt("m{}", rng_.below(
+                                      static_cast<std::uint64_t>(mem_vars_))));
+    return ir::e_var(fmt("r{}", rng_.below(m_.registers.size())));
+  }
+
+  const GeneratedModel& m_;
+  Rng& rng_;
+  int mem_vars_;
+};
+
+}  // namespace
+
+std::string ProgramKnobs::str() const {
+  return fmt("stmts={} depth={}{}{}", stmts, max_depth,
+             use_store ? " store" : "", use_branch ? " branch" : "");
+}
+
+GeneratedProgram generate_program(const GeneratedModel& model,
+                                  std::uint64_t seed) {
+  Rng rng(model.seed * 0x2545f4914f6cdd1dull + seed + 0x13198a2e03707344ull);
+
+  GeneratedProgram out;
+  out.seed = seed;
+  out.name = fmt("{}_p{}", model.name, seed);
+
+  ProgramKnobs k;
+  k.stmts = rng.range(1, 5);
+  k.max_depth = rng.range(1, 3);
+  k.use_store = model.mem_writable && rng.chance(1, 2);
+  k.use_branch = model.has_pc && rng.chance(1, 3);
+  out.knobs = k;
+
+  ir::ProgramBuilder b(out.name);
+  for (std::size_t i = 0; i < model.registers.size(); ++i)
+    b.reg(fmt("r{}", i), model.registers[i]);
+  int mem_vars = 0;
+  if (!model.memory.empty()) {
+    mem_vars = static_cast<int>(
+        std::min<std::int64_t>(model.mem_cells, 4));
+    for (int j = 0; j < mem_vars; ++j)
+      b.cell(fmt("m{}", j), model.memory, j);
+  }
+
+  ExprGen gen(model, rng, mem_vars);
+  if (k.use_branch) b.label("Ltop");
+  for (int s = 0; s < k.stmts; ++s) {
+    std::string dest = fmt("r{}", rng.below(model.registers.size()));
+    b.let(std::move(dest), gen.gen(k.max_depth));
+  }
+  if (k.use_store) {
+    std::int64_t cell =
+        static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(model.mem_cells)));
+    b.put(model.memory, ir::e_const(cell), gen.gen(k.max_depth - 1));
+  }
+  // Backward branch: the target address is always small, so it fits any
+  // immediate field regardless of how many words the body compacts to.
+  if (k.use_branch) b.jump("Ltop");
+
+  out.program = b.take();
+  out.kernel = kernel_text(out.program);
+  return out;
+}
+
+std::string kernel_text(const ir::Program& prog) {
+  std::ostringstream os;
+  os << "kernel " << prog.name() << ";\n";
+  for (const auto& [var, bind] : prog.bindings()) {
+    if (bind.kind == ir::Binding::Kind::Register)
+      os << "bind " << var << ": " << bind.storage << ";\n";
+    else
+      os << "cell " << var << ": " << bind.storage << '[' << bind.cell
+         << "];\n";
+  }
+  for (const ir::Stmt& s : prog.stmts()) {
+    switch (s.kind) {
+      case ir::Stmt::Kind::Assign:
+        os << s.dest_var << " = " << expr_text(*s.rhs) << ";\n";
+        break;
+      case ir::Stmt::Kind::Store:
+        os << s.mem << '[' << expr_text(*s.addr) << "] = "
+           << expr_text(*s.rhs) << ";\n";
+        break;
+      case ir::Stmt::Kind::LabelDef:
+        os << s.label << ":\n";
+        break;
+      case ir::Stmt::Kind::Branch:
+        if (s.branch == ir::BranchKind::Always)
+          os << "goto " << s.label << ";\n";
+        else
+          os << (s.branch == ir::BranchKind::IfZero ? "ifz " : "ifnz ")
+             << s.cond_var << " goto " << s.label << ";\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// The single statement-copy core under both clone entry points.
+/// `skip_stmt` drops one statement; `rhs_swap` (paired with `swap_stmt`)
+/// replaces one assign/store rhs.
+ir::Program clone_impl(const ir::Program& prog, int skip_stmt, int swap_stmt,
+                       ir::ExprPtr rhs_swap) {
+  ir::Program out(prog.name());
+  for (const auto& [var, bind] : prog.bindings()) {
+    if (bind.kind == ir::Binding::Kind::Register)
+      out.bind_register(var, bind.storage);
+    else
+      out.bind_mem_cell(var, bind.storage, bind.cell);
+  }
+  int index = 0;
+  for (const ir::Stmt& s : prog.stmts()) {
+    int i = index++;
+    if (i == skip_stmt) continue;
+    bool swap = i == swap_stmt;
+    switch (s.kind) {
+      case ir::Stmt::Kind::Assign:
+        out.assign(s.dest_var, swap ? std::move(rhs_swap) : s.rhs->clone());
+        break;
+      case ir::Stmt::Kind::Store:
+        out.store(s.mem, s.addr->clone(),
+                  swap ? std::move(rhs_swap) : s.rhs->clone());
+        break;
+      case ir::Stmt::Kind::LabelDef:
+        out.label(s.label);
+        break;
+      case ir::Stmt::Kind::Branch:
+        if (s.branch == ir::BranchKind::Always)
+          out.branch(s.label);
+        else if (s.branch == ir::BranchKind::IfZero)
+          out.branch_if_zero(s.cond_var, s.label);
+        else
+          out.branch_if_not_zero(s.cond_var, s.label);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ir::Program clone_program(const ir::Program& prog, int skip_stmt) {
+  return clone_impl(prog, skip_stmt, -1, nullptr);
+}
+
+ir::Program clone_program_with_rhs(const ir::Program& prog, int stmt_index,
+                                   ir::ExprPtr rhs) {
+  return clone_impl(prog, -1, stmt_index, std::move(rhs));
+}
+
+}  // namespace record::testgen

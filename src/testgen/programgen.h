@@ -1,0 +1,60 @@
+// Seeded random kernel-program generation, sized to a generated model's
+// capabilities (registers, memory cells, ALU operator subset, immediate
+// range, branch support).
+//
+// Programs are produced as ir::Program AND as kernel-language text
+// (ir/kernel_lang.h); the text is the canonical replay format — a repro file
+// carrying {model HDL, kernel source} reproduces a failure with no binary
+// state. kernel_text() renders any program built from the generated subset
+// (register/cell bindings, assigns, stores, labels, branches) back to
+// parseable kernel source, which the minimizer uses after shrinking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.h"
+#include "testgen/modelgen.h"
+
+namespace record::testgen {
+
+struct ProgramKnobs {
+  int stmts = 1;        // assignment statements
+  int max_depth = 2;    // expression-tree depth
+  bool use_store = false;
+  bool use_branch = false;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct GeneratedProgram {
+  std::uint64_t seed = 0;
+  std::string name;
+  ProgramKnobs knobs;
+  ir::Program program{"(empty)"};
+  std::string kernel;  // kernel-language rendering of `program`
+};
+
+/// Generates a program the model can plausibly execute: destinations are the
+/// model's registers, operators its ALU subset, constants fit its immediate
+/// field, memory operands address its cells. Deterministic in (model.seed,
+/// seed).
+[[nodiscard]] GeneratedProgram generate_program(const GeneratedModel& model,
+                                                std::uint64_t seed);
+
+/// Renders a program built from the generated statement subset back to
+/// kernel-language source. Round-trips through ir::parse_kernel.
+[[nodiscard]] std::string kernel_text(const ir::Program& prog);
+
+/// Structural copy (ir::Program is move-only); optionally dropping the
+/// statement at `skip_stmt` (< 0 keeps everything).
+[[nodiscard]] ir::Program clone_program(const ir::Program& prog,
+                                        int skip_stmt = -1);
+
+/// Structural copy with the rhs of the statement at `stmt_index` replaced
+/// (the minimizer's expression-shrink step).
+[[nodiscard]] ir::Program clone_program_with_rhs(const ir::Program& prog,
+                                                 int stmt_index,
+                                                 ir::ExprPtr rhs);
+
+}  // namespace record::testgen

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -571,6 +573,71 @@ TEST(BurstabCache, WarmLoadServesIdenticalTarget) {
   auto different = core::Record::retarget_model("manocpu", other, diags);
   ASSERT_TRUE(different);
   EXPECT_FALSE(different->cache_hit);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, CorruptBlobFallsBackToCleanRebuild) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-corrupt")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  std::uint64_t key = TargetCache::key_of(
+      models::model_source("manocpu"), core::options_digest(options));
+  std::string path = TargetCache(dir).entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string blob = std::move(buf).str();
+  in.close();
+
+  auto write_blob = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  auto expect_rebuilds = [&](const char* what) {
+    // The corrupt entry must be treated as a miss: load() fails, the
+    // pipeline rebuilds, and the result matches the original — no crash,
+    // no garbage artifacts.
+    EXPECT_FALSE(TargetCache(dir).load(key)) << what;
+    util::DiagnosticSink d;
+    auto rebuilt = core::Record::retarget_model("manocpu", options, d);
+    ASSERT_TRUE(rebuilt) << what << ": " << d.str();
+    EXPECT_FALSE(rebuilt->cache_hit) << what;
+    EXPECT_EQ(rebuilt->base->templates.size(),
+              cold->base->templates.size()) << what;
+    EXPECT_EQ(grammar_fingerprint(rebuilt->tree_grammar),
+              grammar_fingerprint(cold->tree_grammar)) << what;
+  };
+
+  // Truncations at several depths, including inside the tables section.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{10}, blob.size() / 4,
+                           blob.size() / 2, blob.size() - 1}) {
+    write_blob(blob.substr(0, keep));
+    expect_rebuilds("truncated blob");
+  }
+  // Single bit flips sprinkled through header and payload.
+  for (std::size_t pos : {std::size_t{1}, std::size_t{17}, blob.size() / 3,
+                          blob.size() / 2, blob.size() - 2}) {
+    std::string flipped = blob;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    write_blob(flipped);
+    expect_rebuilds("bit-flipped blob");
+  }
+
+  // And after the rebuild re-stored a clean entry, the warm path works.
+  write_blob(blob);
+  auto warm = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(warm);
+  EXPECT_TRUE(warm->cache_hit);
 
   std::filesystem::remove_all(dir);
 }

@@ -249,5 +249,28 @@ TEST(KernelLang, ErrorsAreReported) {
       parse_kernel("kernel k; repeat { }", diags).has_value());
 }
 
+TEST(KernelLang, WidthCastPinsResultWidth) {
+  util::DiagnosticSink diags;
+  auto p = parse_kernel(R"(
+kernel w;
+bind a: A;
+a = w16(a * a);
+)",
+                        diags);
+  ASSERT_TRUE(p) << diags.str();
+  ASSERT_EQ(p->stmts().size(), 1u);
+  EXPECT_EQ(p->stmts()[0].rhs->width_override, 16);
+  // A multi-argument or zero-width 'w<N>' name is an ordinary custom call /
+  // an error, never a silent no-op cast.
+  auto call = parse_kernel("kernel k;\nbind a: A;\na = w8(a, a);\n", diags);
+  ASSERT_TRUE(call) << diags.str();
+  EXPECT_EQ(call->stmts()[0].rhs->op, hdl::OpKind::Custom);
+  diags.clear();
+  EXPECT_FALSE(parse_kernel("kernel k;\nbind a: A;\na = w0(a);\n", diags));
+  diags.clear();
+  EXPECT_FALSE(
+      parse_kernel("kernel k;\nbind a: A;\na = w4294967296(a);\n", diags));
+}
+
 }  // namespace
 }  // namespace record::ir

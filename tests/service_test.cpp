@@ -365,3 +365,50 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_FALSE(Json::parse(R"("unterminated)"));
   EXPECT_FALSE(Json::parse("12e"));
 }
+
+TEST(Json, RejectsTruncatedInput) {
+  // Every strict prefix of a valid request line must fail cleanly — the
+  // recordd wire can be cut anywhere.
+  std::string full =
+      R"({"model": "demo", "options": {"engine": "tables"}, "n": [1, 2.5]})";
+  ASSERT_TRUE(Json::parse(full));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(full.substr(0, len), &error))
+        << "prefix of length " << len << " parsed";
+  }
+  // Truncated escape sequences inside strings.
+  EXPECT_FALSE(Json::parse(R"({"s": "\)"));
+  EXPECT_FALSE(Json::parse(R"({"s": "\u00)"));
+  EXPECT_FALSE(Json::parse(R"({"s": "\u12)"));
+}
+
+TEST(Json, DeeplyNestedInputFailsInsteadOfOverflowing) {
+  // The recursive-descent parser bounds nesting; a hostile request made of
+  // thousands of '[' must produce a parse error, not a stack overflow.
+  for (std::size_t depth : {std::size_t{100}, std::size_t{100000}}) {
+    std::string hostile(depth, '[');
+    std::string error;
+    EXPECT_FALSE(Json::parse(hostile, &error));
+    EXPECT_NE(error.find("deep"), std::string::npos) << error;
+    std::string objects;
+    for (std::size_t i = 0; i < depth; ++i) objects += R"({"a":)";
+    EXPECT_FALSE(Json::parse(objects, &error));
+  }
+  // Nesting just inside the bound parses fine.
+  std::string ok(63, '[');
+  ok += std::string(63, ']');
+  EXPECT_TRUE(Json::parse(ok));
+}
+
+TEST(Json, LookupsOnWrongKindsAreSafe) {
+  auto j = Json::parse(R"({"a": 1, "b": [1, 2]})");
+  ASSERT_TRUE(j);
+  // Chained lookups through absent keys / wrong kinds give defaults.
+  EXPECT_TRUE((*j)["missing"]["deeper"].is_null());
+  EXPECT_EQ((*j)["a"]["not_an_object"].as_int(7), 7);
+  EXPECT_EQ((*j)["b"].at(99).as_number(1.5), 1.5);
+  EXPECT_EQ((*j)["a"].as_string(), "");
+  EXPECT_EQ((*j)["b"].size(), 2u);
+  EXPECT_EQ((*j)["a"].size(), 0u);
+}

@@ -1,0 +1,288 @@
+// fuzz_retarget — generative differential-testing driver.
+//
+// For every seed in the range, generates a random processor model
+// (testgen::generate_model), a batch of random kernel programs sized to it
+// (testgen::generate_program), and pushes each (model, program) pair through
+// the four-path differential oracle (testgen::check_pair): interpreter
+// selection, table-driven selection, the warm persistent-cache path and a
+// multi-worker CompileService batch, plus a per-word encode->decode round
+// trip. On divergence the failing program is minimized and dumped as a
+// standalone JSON repro file that --replay reproduces.
+//
+// Usage:
+//   fuzz_retarget [--seeds A..B | --seeds N]  seed range (default 0..50)
+//                 [--programs K]              programs per model (default 3)
+//                 [--workers N]               service workers (default 4)
+//                 [--service-every M]         run the service path on every
+//                                             M-th pair only (default 1 =
+//                                             all pairs; raise to trade
+//                                             coverage for speed)
+//                 [--fail-fast]               stop at the first failure
+//                 [--repro-out PATH]          repro dump (default
+//                                             fuzz_repro.json; later
+//                                             failures get .2/.3/... names)
+//                 [--replay PATH]             re-run a dumped repro instead
+//                 [--keep-cache]              keep the oracle cache dir
+//                 [--verbose]                 per-pair progress lines
+//
+// Exit status: 0 = all pairs agree, 1 = divergence found, 2 = bad usage.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "ir/kernel_lang.h"
+#include "service/json.h"
+#include "testgen/modelgen.h"
+#include "testgen/oracle.h"
+#include "testgen/programgen.h"
+#include "util/diagnostics.h"
+
+namespace {
+
+using namespace record;
+
+struct Args {
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 50;
+  int programs = 3;
+  int workers = 4;
+  int service_every = 1;
+  bool fail_fast = false;
+  bool keep_cache = false;
+  bool verbose = false;
+  std::string repro_out = "fuzz_repro.json";
+  std::string replay;
+};
+
+/// Strict decimal parse: a typo must not silently shrink the corpus. Digits
+/// only — strtoull's sign handling would wrap "-1" to UINT64_MAX (and that
+/// value itself is rejected so the inclusive seed loop can terminate).
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return errno == 0 && end && *end == '\0' &&
+         out != std::numeric_limits<std::uint64_t>::max();
+}
+
+bool parse_int(const char* s, int& out) {
+  std::uint64_t v = 0;
+  if (!s || !parse_u64(s, v) || v > 1u << 20) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      std::string s(v);
+      std::size_t dots = s.find("..");
+      if (dots == std::string::npos) {
+        a.seed_lo = 0;
+        if (!parse_u64(s, a.seed_hi)) return std::nullopt;
+      } else {
+        if (!parse_u64(s.substr(0, dots), a.seed_lo) ||
+            !parse_u64(s.substr(dots + 2), a.seed_hi))
+          return std::nullopt;
+      }
+      if (a.seed_hi < a.seed_lo) return std::nullopt;
+    } else if (arg == "--programs") {
+      if (!parse_int(value(), a.programs)) return std::nullopt;
+    } else if (arg == "--workers") {
+      if (!parse_int(value(), a.workers)) return std::nullopt;
+    } else if (arg == "--service-every") {
+      if (!parse_int(value(), a.service_every)) return std::nullopt;
+    } else if (arg == "--repro-out") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.repro_out = v;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.replay = v;
+    } else if (arg == "--fail-fast") {
+      a.fail_fast = true;
+    } else if (arg == "--keep-cache") {
+      a.keep_cache = true;
+    } else if (arg == "--verbose") {
+      a.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (a.programs < 1 || a.workers < 1 || a.service_every < 1)
+    return std::nullopt;
+  return a;
+}
+
+int replay_repro(const Args& args, const testgen::OracleOptions& oopts) {
+  std::optional<testgen::Repro> r = testgen::load_repro(args.replay);
+  if (!r) {
+    std::fprintf(stderr, "cannot load repro file '%s'\n",
+                 args.replay.c_str());
+    return 2;
+  }
+  std::printf("replaying %s (model %s, knobs: %s)\n", args.replay.c_str(),
+              r->model.c_str(), r->knobs.c_str());
+  util::DiagnosticSink diags;
+  std::optional<ir::Program> prog = ir::parse_kernel(r->kernel, diags);
+  if (!prog) {
+    std::fprintf(stderr, "repro kernel does not parse:\n%s\n",
+                 diags.str().c_str());
+    return 2;
+  }
+  testgen::OracleOptions ropts = oopts;
+  if (r->spill_slots > 0) {
+    ropts.compile.spill.scratch_base = r->spill_base;
+    ropts.compile.spill.scratch_slots = r->spill_slots;
+  }
+  testgen::OracleReport rep = testgen::check_pair(r->hdl, *prog, ropts);
+  if (rep.agree) {
+    std::printf("PASS: pair agrees (compiled=%s, %zu words)\n",
+                rep.compiled ? "yes" : "no", rep.words);
+    return 0;
+  }
+  std::printf("FAIL: %s\n", rep.failure.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Args> parsed = parse_args(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "usage: fuzz_retarget [--seeds A..B|N] [--programs K] "
+                 "[--workers N] [--service-every M] [--fail-fast] "
+                 "[--repro-out PATH] [--replay PATH] [--keep-cache] "
+                 "[--verbose]\n");
+    return 2;
+  }
+  const Args& args = *parsed;
+
+  testgen::OracleOptions oopts;
+  oopts.service_workers = args.workers;
+  oopts.cache_dir = testgen::default_cache_dir();
+
+  int status;
+  if (!args.replay.empty()) {
+    status = replay_repro(args, oopts);
+  } else {
+    std::uint64_t models = 0, pairs = 0, compiled = 0, failures = 0;
+    std::uint64_t templates_total = 0;
+    bool stop = false;
+    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi && !stop;
+         ++seed) {
+      testgen::GeneratedModel model = testgen::generate_model(seed);
+      ++models;
+      // One cold retarget per model, shared across its programs (when it
+      // fails, check_pair retries per pair and reports the diagnostic).
+      std::shared_ptr<const core::RetargetResult> shared_target;
+      {
+        util::DiagnosticSink dr;
+        if (auto t = core::Record::retarget(model.hdl,
+                                            core::RetargetOptions{}, dr))
+          shared_target =
+              std::make_shared<const core::RetargetResult>(std::move(*t));
+      }
+      for (int p = 0; p < args.programs && !stop; ++p) {
+        testgen::GeneratedProgram gp =
+            testgen::generate_program(model, static_cast<std::uint64_t>(p));
+        testgen::OracleOptions pair_opts = oopts;
+        pair_opts.target = shared_target;
+        if (model.spill_slots > 0) {
+          pair_opts.compile.spill.scratch_base = model.spill_base;
+          pair_opts.compile.spill.scratch_slots = model.spill_slots;
+        }
+        pair_opts.service =
+            (pairs % static_cast<std::uint64_t>(args.service_every)) == 0;
+        ++pairs;
+        testgen::OracleReport rep =
+            testgen::check_pair(model.hdl, gp.program, pair_opts);
+        if (rep.compiled) ++compiled;
+        templates_total += rep.templates;
+        if (args.verbose)
+          std::printf("seed %llu p%d [%s]: %s (%zu templates, %zu words)\n",
+                      static_cast<unsigned long long>(seed), p,
+                      model.knobs.str().c_str(),
+                      rep.agree ? (rep.compiled ? "ok" : "ok/uncovered")
+                                : "FAIL",
+                      rep.templates, rep.words);
+        if (rep.agree) continue;
+
+        ++failures;
+        std::printf("FAIL seed=%llu program=%d model=%s\n  knobs: %s\n"
+                    "  %s\n",
+                    static_cast<unsigned long long>(seed), p,
+                    model.name.c_str(), model.knobs.str().c_str(),
+                    rep.failure.c_str());
+
+        // Shrink the program while the same divergence class persists, then
+        // dump a standalone repro.
+        ir::Program minimized = testgen::minimize_program(
+            gp.program, [&](const ir::Program& candidate) {
+              testgen::OracleOptions mo = pair_opts;
+              mo.service = false;  // keep shrinking cheap: the divergence
+              mo.cache = false;    // almost always reproduces on paths 1+2
+              return !testgen::check_pair(model.hdl, candidate, mo).agree;
+            });
+        testgen::Repro repro;
+        repro.model_seed = seed;
+        repro.program_seed = static_cast<std::uint64_t>(p);
+        repro.model = model.name;
+        repro.knobs = model.knobs.str();
+        repro.spill_base = model.spill_base;
+        repro.spill_slots = model.spill_slots;
+        repro.hdl = model.hdl;
+        repro.kernel = testgen::kernel_text(minimized);
+        repro.failure = rep.failure;
+        // One file per failure, so earlier repros survive later ones.
+        std::string repro_path =
+            failures == 1 ? args.repro_out
+                          : args.repro_out + "." + std::to_string(failures);
+        if (testgen::write_repro(repro_path, repro))
+          std::printf("  repro written to %s (replay with --replay)\n",
+                      repro_path.c_str());
+        else
+          std::fprintf(stderr, "  cannot write repro to %s\n",
+                       repro_path.c_str());
+        if (args.fail_fast) stop = true;
+      }
+    }
+
+    service::Json summary = service::Json::object();
+    summary.set("models", service::Json(static_cast<double>(models)));
+    summary.set("pairs", service::Json(static_cast<double>(pairs)));
+    summary.set("compiled", service::Json(static_cast<double>(compiled)));
+    summary.set("failures", service::Json(static_cast<double>(failures)));
+    summary.set("avg_templates",
+                service::Json(models ? static_cast<double>(templates_total) /
+                                           static_cast<double>(pairs)
+                                     : 0.0));
+    std::printf("%s\n", summary.dump().c_str());
+    status = failures == 0 ? 0 : 1;
+  }
+
+  if (!args.keep_cache) {
+    std::error_code ec;
+    std::filesystem::remove_all(oopts.cache_dir, ec);
+  }
+  return status;
+}
