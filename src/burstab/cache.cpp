@@ -21,7 +21,10 @@ constexpr std::uint32_t kCacheMagic = 0x52544331;  // "RTC1"
 // v2: payload checksum after the key — any bit flip in the body is detected
 // up front and the entry is treated as a miss (clean pipeline rebuild)
 // instead of trusting structurally-plausible garbage.
-constexpr std::uint32_t kCacheVersion = 2;
+// v3: tables section carries the flat-row BTR2 layout plus the frozen flag
+// (warm loads land directly in the compressed lock-free mode); v2 blobs are
+// a miss and rebuild cleanly.
+constexpr std::uint32_t kCacheVersion = 3;
 
 void write_extract_stats(ByteWriter& w, const ise::ExtractStats& s) {
   w.u64(s.destinations);

@@ -20,13 +20,16 @@ int sat_add(int a, int b) {
 
 }  // namespace
 
-LabelResult TableParser::label(const SubjectTree& tree) const {
-  LabelResult result;
+void TableParser::label_into(const SubjectTree& tree,
+                             LabelResult& result) const {
   const int nts = tables_.nonterminal_count();
-  result.labels.assign(
-      tree.size(),
-      std::vector<LabelEntry>(static_cast<std::size_t>(nts), LabelEntry{}));
-  if (!tree.root()) return result;
+  result.reset(tree.size(), nts);
+  if (!tree.root()) return;
+
+  // One frozen snapshot for the whole walk: every hit is pure array reads
+  // with no lock; misses fall back to the memoised path (which counts them
+  // towards the next re-freeze).
+  const TargetTables::FrozenTables* frozen = tables_.frozen();
 
   std::vector<int> state_of(tree.size(), -1);
   std::vector<int> base_of(tree.size(), 0);
@@ -35,8 +38,8 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
   // side-constraint fallback matcher.
   const auto closed_cost = [&result](const SubjectNode& n,
                                      grammar::NtId nt) {
-    return result.labels[static_cast<std::size_t>(n.id)]
-                        [static_cast<std::size_t>(nt)]
+    return result.at(static_cast<std::size_t>(n.id),
+                     static_cast<std::size_t>(nt))
         .cost;
   };
   const treeparse::CostLookup costs(closed_cost);
@@ -48,11 +51,14 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
   };
   std::vector<Candidate> cands;
   std::vector<int> raw_cost, raw_rule;
+  std::vector<treeparse::ImmBinding> imm_fields;
+  std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+  StateData scratch_state;
 
   std::vector<int> child_states;
   for (std::size_t id = 0; id < tree.size(); ++id) {
     const SubjectNode& node = tree.node(static_cast<int>(id));
-    std::vector<LabelEntry>& mine = result.labels[id];
+    LabelEntry* mine = result.row(id);
 
     bool merged = false;
     if (tables_.terminal_has_constrained(node.term) && !node.is_const) {
@@ -63,13 +69,15 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
       // rules' pre-closure candidates by (cost, rule id), reproducing the
       // interpreter's scan order, and the node is re-interned.
       cands.clear();
-      for (int rid : tables_.constrained_rules_of(node.term)) {
-        const Rule& r = g_.rule(rid);
-        std::vector<treeparse::ImmBinding> imm_fields;
-        std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+      for (const TargetTables::ConstrainedPrecheck& pc :
+           tables_.constrained_prechecks_of(node.term)) {
+        if (!pc.check(node)) continue;  // cheap structural reject
+        const Rule& r = g_.rule(pc.rule);
+        imm_fields.clear();
+        nt_binds.clear();
         std::optional<int> c = treeparse::match_pattern_cost(
             *r.pattern, node, costs, imm_fields, nt_binds);
-        if (c) cands.push_back(Candidate{r.lhs, *c + r.cost, rid});
+        if (c) cands.push_back(Candidate{r.lhs, *c + r.cost, pc.rule});
       }
       if (!cands.empty()) {
         child_states.clear();
@@ -115,28 +123,31 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
         }
 
         int base = kInf;
-        for (const LabelEntry& e : mine) base = std::min(base, e.cost);
+        for (int i = 0; i < nts; ++i)
+          base = std::min(base, mine[static_cast<std::size_t>(i)].cost);
         if (base >= kInf) base = 0;
-        StateData s;
-        s.cost.resize(static_cast<std::size_t>(nts));
-        s.rule.resize(static_cast<std::size_t>(nts));
+        scratch_state.cost.resize(static_cast<std::size_t>(nts));
+        scratch_state.rule.resize(static_cast<std::size_t>(nts));
         for (int i = 0; i < nts; ++i) {
           const LabelEntry& e = mine[static_cast<std::size_t>(i)];
-          s.cost[static_cast<std::size_t>(i)] =
+          scratch_state.cost[static_cast<std::size_t>(i)] =
               e.cost >= kInf ? kInf : e.cost - base;
-          s.rule[static_cast<std::size_t>(i)] = e.rule;
+          scratch_state.rule[static_cast<std::size_t>(i)] = e.rule;
         }
-        s.sub.assign(static_cast<std::size_t>(tables_.subpattern_count()),
-                     kInf);
+        scratch_state.sub.assign(
+            static_cast<std::size_t>(tables_.subpattern_count()), kInf);
         for (int qi : tables_.subpatterns_of_terminal(node.term)) {
           const PatNode* q = tables_.subpattern(qi);
-          std::vector<treeparse::ImmBinding> imm_fields;
-          std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+          imm_fields.clear();
+          nt_binds.clear();
           std::optional<int> c = treeparse::match_pattern_cost(
               *q, node, costs, imm_fields, nt_binds);
-          if (c) s.sub[static_cast<std::size_t>(qi)] = *c - base;
+          if (c) scratch_state.sub[static_cast<std::size_t>(qi)] = *c - base;
         }
-        state_of[id] = tables_.intern_state(std::move(s));
+        scratch_state.is_const_leaf = false;
+        scratch_state.fit_width_index = -1;
+        scratch_state.const_class = -1;
+        state_of[id] = tables_.intern_state(scratch_state);
         base_of[id] = base;
         merged = true;
       }
@@ -145,8 +156,8 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
       // full interpreter step plus re-intern.
       for (int rid : g_.rules_for_terminal(node.term)) {
         const Rule& r = g_.rule(rid);
-        std::vector<treeparse::ImmBinding> imm_fields;
-        std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+        imm_fields.clear();
+        nt_binds.clear();
         std::optional<int> c = treeparse::match_pattern_cost(
             *r.pattern, node, costs, imm_fields, nt_binds);
         if (!c) continue;
@@ -175,28 +186,28 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
           }
         }
       }
-      StateData s;
-      s.cost.resize(static_cast<std::size_t>(nts));
-      s.rule.resize(static_cast<std::size_t>(nts));
+      scratch_state.cost.resize(static_cast<std::size_t>(nts));
+      scratch_state.rule.resize(static_cast<std::size_t>(nts));
       for (int i = 0; i < nts; ++i) {
         const LabelEntry& e = mine[static_cast<std::size_t>(i)];
-        s.cost[static_cast<std::size_t>(i)] = e.cost;  // const leaves: base 0
-        s.rule[static_cast<std::size_t>(i)] = e.rule;
+        scratch_state.cost[static_cast<std::size_t>(i)] =
+            e.cost;  // const leaves: base 0
+        scratch_state.rule[static_cast<std::size_t>(i)] = e.rule;
       }
-      s.sub.assign(static_cast<std::size_t>(tables_.subpattern_count()),
-                   kInf);
+      scratch_state.sub.assign(
+          static_cast<std::size_t>(tables_.subpattern_count()), kInf);
       for (int qi : tables_.subpatterns_of_terminal(node.term)) {
         const PatNode* q = tables_.subpattern(qi);
-        std::vector<treeparse::ImmBinding> imm_fields;
-        std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+        imm_fields.clear();
+        nt_binds.clear();
         std::optional<int> c = treeparse::match_pattern_cost(
             *q, node, costs, imm_fields, nt_binds);
-        if (c) s.sub[static_cast<std::size_t>(qi)] = *c;
+        if (c) scratch_state.sub[static_cast<std::size_t>(qi)] = *c;
       }
-      s.is_const_leaf = true;
-      s.fit_width_index = tables_.fit_index_of(node.value);
-      s.const_class = tables_.const_class_index(node.value);
-      state_of[id] = tables_.intern_state(std::move(s));
+      scratch_state.is_const_leaf = true;
+      scratch_state.fit_width_index = tables_.fit_index_of(node.value);
+      scratch_state.const_class = tables_.const_class_index(node.value);
+      state_of[id] = tables_.intern_state(scratch_state);
       base_of[id] = 0;
       merged = true;
     }
@@ -215,15 +226,20 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
         child_states.push_back(state_of[static_cast<std::size_t>(c->id)]);
         base = sat_add(base, base_of[static_cast<std::size_t>(c->id)]);
       }
-      TargetTables::Transition t =
-          tables_.transition(node.term, child_states);
+      TargetTables::Transition t;
+      if (!frozen ||
+          !frozen->lookup(node.term, child_states.data(),
+                          child_states.size(), t))
+        t = tables_.transition_cold(node.term, child_states);
       state = t.state;
       base = sat_add(base, t.delta);
     }
     state_of[id] = state;
     base_of[id] = base;
 
-    const StateData& s = tables_.state_ref(state);
+    const StateView s = (frozen && state < frozen->state_count)
+                            ? tables_.frozen_state_view(*frozen, state)
+                            : tables_.state_view(state);
     for (int i = 0; i < nts; ++i) {
       const std::size_t idx = static_cast<std::size_t>(i);
       mine[idx].cost = sat_add(base, s.cost[idx]);
@@ -231,18 +247,18 @@ LabelResult TableParser::label(const SubjectTree& tree) const {
     }
   }
 
-  const std::vector<LabelEntry>& root_labels =
-      result.labels[static_cast<std::size_t>(tree.root()->id)];
-  result.root_cost = root_labels[grammar::kStart].cost;
+  result.root_cost = result
+                         .at(static_cast<std::size_t>(tree.root()->id),
+                             static_cast<std::size_t>(grammar::kStart))
+                         .cost;
   result.ok = result.root_cost < kInf;
-  return result;
 }
 
-std::unique_ptr<treeparse::Derivation> TableParser::parse(
-    const SubjectTree& tree) const {
+treeparse::Derivation* TableParser::parse(
+    const SubjectTree& tree, treeparse::DerivationArena& arena) const {
   LabelResult r = label(tree);
   if (!r.ok) return nullptr;
-  return reduce(tree, r);
+  return reduce(tree, r, arena);
 }
 
 }  // namespace record::burstab

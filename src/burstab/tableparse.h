@@ -7,6 +7,11 @@
 // TreeParser::reduce extracts an identical derivation (same optimal costs,
 // same winning rules, same RT sequence).
 //
+// The per-node lookup probes the frozen (compressed, lock-free) snapshot
+// first: child-state index maps plus one displacement-table probe, no
+// hashing, no lock. Cold combinations fall back to the tables' memoised
+// hash path, which feeds the next incremental re-freeze.
+//
 // Nodes whose operator owns a side-constrained rule (shared immediate
 // fields, structural-equality non-terminal bindings) are labelled through
 // the shared treeparse::match_pattern_cost fallback in exact TreeParser rule
@@ -27,19 +32,28 @@ class TableParser {
   TableParser(const grammar::TreeGrammar& g, const TargetTables& tables)
       : g_(g), tables_(tables), reducer_(g) {}
 
-  /// Table-driven labelling; result is LabelResult-identical to
-  /// TreeParser::label on the same tree.
-  [[nodiscard]] treeparse::LabelResult label(
-      const treeparse::SubjectTree& tree) const;
+  /// Table-driven labelling into a caller-owned (reusable) result;
+  /// LabelResult-identical to TreeParser::label on the same tree.
+  void label_into(const treeparse::SubjectTree& tree,
+                  treeparse::LabelResult& out) const;
 
-  [[nodiscard]] std::unique_ptr<treeparse::Derivation> reduce(
-      const treeparse::SubjectTree& tree,
-      const treeparse::LabelResult& result) const {
-    return reducer_.reduce(tree, result);
+  [[nodiscard]] treeparse::LabelResult label(
+      const treeparse::SubjectTree& tree) const {
+    treeparse::LabelResult r;
+    label_into(tree, r);
+    return r;
   }
 
-  [[nodiscard]] std::unique_ptr<treeparse::Derivation> parse(
-      const treeparse::SubjectTree& tree) const;
+  [[nodiscard]] treeparse::Derivation* reduce(
+      const treeparse::SubjectTree& tree,
+      const treeparse::LabelResult& result,
+      treeparse::DerivationArena& arena) const {
+    return reducer_.reduce(tree, result, arena);
+  }
+
+  [[nodiscard]] treeparse::Derivation* parse(
+      const treeparse::SubjectTree& tree,
+      treeparse::DerivationArena& arena) const;
 
   [[nodiscard]] const TargetTables& tables() const { return tables_; }
 

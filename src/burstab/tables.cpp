@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <mutex>
+#include <numeric>
 
 #include "burstab/serialize.h"
 #include "treeparse/burs.h"
@@ -23,21 +25,31 @@ int sat_add(int a, int b) {
   return a + b;
 }
 
-void hash_vec(std::size_t& h, const std::vector<int>& v) {
-  for (int x : v) h = (h ^ static_cast<std::size_t>(x)) * 1099511628211ull;
+std::int64_t const_pair_key(int fit_index, int const_class) {
+  return (static_cast<std::int64_t>(fit_index + 1) << 32) |
+         static_cast<std::int64_t>(const_class + 1);
 }
+
+/// Row counts beyond this abandon freezing one operator (its transitions
+/// stay on the hash path) rather than materialise a pathological
+/// displacement table.
+constexpr std::size_t kMaxFrozenRows = std::size_t{1} << 20;
 
 }  // namespace
 
-std::size_t TargetTables::StateKeyHash::operator()(const StateData& s) const {
+std::size_t TargetTables::RowHash::operator()(const RowKey& k) const {
   std::size_t h = 1469598103934665603ull;
-  hash_vec(h, s.cost);
-  hash_vec(h, s.rule);
-  hash_vec(h, s.sub);
-  h = (h ^ (s.is_const_leaf ? 0x9e3779b9u : 0u)) * 1099511628211ull;
-  h = (h ^ static_cast<std::size_t>(s.fit_width_index + 1)) * 1099511628211ull;
-  h = (h ^ static_cast<std::size_t>(s.const_class + 1)) * 1099511628211ull;
+  const int n = t->stride_;
+  for (int i = 0; i < n; ++i)
+    h = (h ^ static_cast<std::size_t>(static_cast<std::uint32_t>(k.row[i]))) *
+        1099511628211ull;
   return h;
+}
+
+bool TargetTables::RowEq::operator()(const RowKey& a, const RowKey& b) const {
+  return std::memcmp(a.row, b.row,
+                     static_cast<std::size_t>(t->stride_) *
+                         sizeof(std::int32_t)) == 0;
 }
 
 // --- construction -----------------------------------------------------------
@@ -110,6 +122,7 @@ void TargetTables::prepare(const grammar::TreeGrammar& g) {
   constrained_rule_.assign(g.rules().size(), false);
   terminal_constrained_.assign(static_cast<std::size_t>(terms), false);
   subs_by_terminal_.assign(static_cast<std::size_t>(terms), {});
+  constrained_precheck_.assign(static_cast<std::size_t>(terms), {});
   arities_by_terminal_.assign(static_cast<std::size_t>(terms), {});
 
   std::unordered_map<std::string, int> key_index;
@@ -170,6 +183,32 @@ void TargetTables::prepare(const grammar::TreeGrammar& g) {
       terminal_constrained_[static_cast<std::size_t>(root_term)] = true;
       constrained_by_terminal_[static_cast<std::size_t>(root_term)]
           .push_back(r.id);
+      if (r.pattern->kind == PatNode::Kind::Term) {
+        ConstrainedPrecheck pc;
+        pc.rule = r.id;
+        pc.arity = static_cast<std::uint32_t>(r.pattern->children.size());
+        for (std::size_t i = 0; i < r.pattern->children.size(); ++i) {
+          const PatNode& c = *r.pattern->children[i];
+          ConstrainedPrecheck::Req req;
+          req.pos = static_cast<std::uint32_t>(i);
+          switch (c.kind) {
+            case PatNode::Kind::NonTerm:
+              continue;  // matches anything derivable; matcher decides
+            case PatNode::Kind::Imm:
+            case PatNode::Kind::Const:
+              req.want_const = true;
+              break;
+            case PatNode::Kind::Term:
+              req.term = c.term;
+              req.term_arity =
+                  static_cast<std::uint32_t>(c.children.size());
+              break;
+          }
+          pc.reqs.push_back(req);
+        }
+        constrained_precheck_[static_cast<std::size_t>(root_term)].push_back(
+            std::move(pc));
+      }
       scan_leaves(scan_leaves, *r.pattern);  // arities still matter
       continue;
     }
@@ -196,48 +235,100 @@ void TargetTables::prepare(const grammar::TreeGrammar& g) {
       const_values_.end());
   for (std::size_t i = 0; i < const_values_.size(); ++i)
     const_class_of_.emplace(const_values_[i], static_cast<int>(i));
+
+  stride_ = 2 * nt_count_ + static_cast<int>(subpatterns_.size()) + 3;
+  scratch_row_.resize(static_cast<std::size_t>(stride_));
 }
 
 TargetTables::TargetTables(const grammar::TreeGrammar& g,
-                           const TableBuildOptions& options) {
+                           const TableBuildOptions& options)
+    : freeze_enabled_(options.freeze),
+      refreeze_misses_(std::max<std::size_t>(1, options.refreeze_misses)),
+      state_index_(16, RowHash{this}, RowEq{this}) {
   prepare(g);
-  if (options.precompute) run_closure(options);
+  if (options.precompute) {
+    run_closure(options);  // freezes at the end when enabled
+  } else if (freeze_enabled_) {
+    freeze();  // empty snapshot: dynamic fills count as misses and re-freeze
+  }
+}
+
+// --- flat state rows --------------------------------------------------------
+
+StateView TargetTables::view_of_row(const std::int32_t* row) const {
+  StateView v;
+  v.cost = row;
+  v.rule = row + nt_count_;
+  v.sub = row + 2 * nt_count_;
+  const std::int32_t* meta = row + stride_ - 3;
+  v.is_const_leaf = meta[0] != 0;
+  v.fit_width_index = meta[1];
+  v.const_class = meta[2];
+  return v;
+}
+
+const std::int32_t* TargetTables::state_row_locked(int id) const {
+  return state_blocks_[static_cast<std::size_t>(id / kStatesPerBlock)].get() +
+         static_cast<std::size_t>(id % kStatesPerBlock) *
+             static_cast<std::size_t>(stride_);
+}
+
+void TargetTables::fill_row_from_state(const StateData& s,
+                                       std::int32_t* row) const {
+  const std::size_t nts = static_cast<std::size_t>(nt_count_);
+  const std::size_t subs = subpatterns_.size();
+  assert(s.cost.size() == nts && s.rule.size() == nts && s.sub.size() == subs);
+  for (std::size_t i = 0; i < nts; ++i) row[i] = s.cost[i];
+  for (std::size_t i = 0; i < nts; ++i) row[nts + i] = s.rule[i];
+  for (std::size_t i = 0; i < subs; ++i) row[2 * nts + i] = s.sub[i];
+  std::int32_t* meta = row + stride_ - 3;
+  meta[0] = s.is_const_leaf ? 1 : 0;
+  meta[1] = s.fit_width_index;
+  meta[2] = s.const_class;
+}
+
+int TargetTables::intern_row_locked(const std::int32_t* row) const {
+  auto it = state_index_.find(RowKey{row});
+  if (it != state_index_.end()) return it->second;
+  if (state_count_ % kStatesPerBlock == 0)
+    state_blocks_.push_back(std::make_unique<std::int32_t[]>(
+        static_cast<std::size_t>(kStatesPerBlock) *
+        static_cast<std::size_t>(stride_)));
+  int id = state_count_++;
+  std::int32_t* dst =
+      const_cast<std::int32_t*>(state_row_locked(id));
+  std::memcpy(dst, row,
+              static_cast<std::size_t>(stride_) * sizeof(std::int32_t));
+  state_index_.emplace(RowKey{dst}, id);
+  return id;
 }
 
 // --- state computation ------------------------------------------------------
 
-int TargetTables::intern_locked(StateData s) const {
-  auto it = state_index_.find(s);
-  if (it != state_index_.end()) return it->second;
-  int id = static_cast<int>(states_.size());
-  states_.push_back(s);
-  state_index_.emplace(std::move(s), id);
-  return id;
-}
-
-int TargetTables::rel_match_locked(const PatNode& p, const StateData& s) const {
+int TargetTables::rel_match_locked(const PatNode& p,
+                                   const std::int32_t* s) const {
+  const std::int32_t* meta = s + stride_ - 3;
   switch (p.kind) {
     case PatNode::Kind::NonTerm:
-      return s.cost[static_cast<std::size_t>(p.nt)];
+      return s[static_cast<std::size_t>(p.nt)];
     case PatNode::Kind::Imm: {
-      if (!s.is_const_leaf || s.fit_width_index < 0) return kInf;
+      if (meta[0] == 0 || meta[1] < 0) return kInf;
       // Fit is monotone in width: the value fits every registered width >=
       // its minimal fitting one.
-      return fit_widths_[static_cast<std::size_t>(s.fit_width_index)] <=
-                     p.width
+      return fit_widths_[static_cast<std::size_t>(meta[1])] <= p.width
                  ? 0
                  : kInf;
     }
     case PatNode::Kind::Const:
-      return s.is_const_leaf && s.const_class >= 0 &&
-                     const_values_[static_cast<std::size_t>(s.const_class)] ==
+      return meta[0] != 0 && meta[2] >= 0 &&
+                     const_values_[static_cast<std::size_t>(meta[2])] ==
                          p.value
                  ? 0
                  : kInf;
     case PatNode::Kind::Term: {
       auto it = sub_index_.find(&p);
       assert(it != sub_index_.end() && "unregistered subpattern position");
-      return s.sub[static_cast<std::size_t>(it->second)];
+      return s[static_cast<std::size_t>(2 * nt_count_ + it->second)];
     }
   }
   return kInf;
@@ -246,22 +337,35 @@ int TargetTables::rel_match_locked(const PatNode& p, const StateData& s) const {
 TargetTables::Transition TargetTables::compute_transition_locked(
     TermId term, const std::vector<int>& children) const {
   const std::size_t k = children.size();
-  std::vector<const StateData*> kids(k);
+  const std::size_t nts = static_cast<std::size_t>(nt_count_);
+  const std::size_t subs = subpatterns_.size();
+  const std::int32_t* kids[16];
+  std::vector<const std::int32_t*> kids_overflow;
+  const std::int32_t** kid_rows = kids;
+  if (k > 16) {
+    kids_overflow.resize(k);
+    kid_rows = kids_overflow.data();
+  }
   for (std::size_t i = 0; i < k; ++i)
-    kids[i] = &states_[static_cast<std::size_t>(children[i])];
+    kid_rows[i] = state_row_locked(children[i]);
 
   // Mirrors TreeParser::label exactly: rules in registration order with
   // strict-improvement updates, then chain closure to fixpoint in the same
-  // sweep order — identical costs AND identical tie-breaking.
-  std::vector<int> cost(static_cast<std::size_t>(nt_count_), kInf);
-  std::vector<int> rule(static_cast<std::size_t>(nt_count_), -1);
+  // sweep order — identical costs AND identical tie-breaking. The signature
+  // is staged directly into the scratch row, then interned (one copy).
+  std::int32_t* row = scratch_row_.data();
+  std::int32_t* cost = row;
+  std::int32_t* rule = row + nts;
+  std::int32_t* sub = row + 2 * nts;
+  for (std::size_t i = 0; i < nts; ++i) cost[i] = kInf;
+  for (std::size_t i = 0; i < nts; ++i) rule[i] = -1;
   for (const RulePlan& plan : rules_by_terminal_[static_cast<std::size_t>(
            term)]) {
     if (plan.pattern->children.size() != k) continue;
     int sum = 0;
     for (std::size_t i = 0; i < k && sum < kInf; ++i)
       sum = sat_add(sum, rel_match_locked(*plan.pattern->children[i],
-                                          *kids[i]));
+                                          kid_rows[i]));
     if (sum >= kInf) continue;
     int total = sat_add(sum, plan.cost);
     std::size_t lhs = static_cast<std::size_t>(plan.lhs);
@@ -289,26 +393,25 @@ TargetTables::Transition TargetTables::compute_transition_locked(
   }
 
   int delta = kInf;
-  for (int c : cost) delta = std::min(delta, c);
+  for (std::size_t i = 0; i < nts; ++i) delta = std::min(delta, cost[i]);
   if (delta >= kInf) delta = 0;
+  for (std::size_t i = 0; i < nts; ++i)
+    if (cost[i] < kInf) cost[i] -= delta;
 
-  StateData s;
-  s.cost.resize(static_cast<std::size_t>(nt_count_));
-  for (int i = 0; i < nt_count_; ++i) {
-    std::size_t idx = static_cast<std::size_t>(i);
-    s.cost[idx] = cost[idx] >= kInf ? kInf : cost[idx] - delta;
-  }
-  s.rule = std::move(rule);
-  s.sub.assign(static_cast<std::size_t>(subpatterns_.size()), kInf);
+  for (std::size_t i = 0; i < subs; ++i) sub[i] = kInf;
   for (int qi : subs_by_terminal_[static_cast<std::size_t>(term)]) {
     const PatNode* q = subpatterns_[static_cast<std::size_t>(qi)];
     if (q->children.size() != k) continue;
     int sum = 0;
     for (std::size_t i = 0; i < k && sum < kInf; ++i)
-      sum = sat_add(sum, rel_match_locked(*q->children[i], *kids[i]));
-    if (sum < kInf) s.sub[static_cast<std::size_t>(qi)] = sum - delta;
+      sum = sat_add(sum, rel_match_locked(*q->children[i], kid_rows[i]));
+    if (sum < kInf) sub[static_cast<std::size_t>(qi)] = sum - delta;
   }
-  return Transition{intern_locked(std::move(s)), delta};
+  std::int32_t* meta = row + stride_ - 3;
+  meta[0] = 0;
+  meta[1] = -1;
+  meta[2] = -1;
+  return Transition{intern_row_locked(row), delta};
 }
 
 int TargetTables::compute_const_state_locked(int fit_index,
@@ -316,8 +419,14 @@ int TargetTables::compute_const_state_locked(int fit_index,
   // #const leaves keep absolute costs (base 0) so that rules consuming the
   // leaf through an Imm/Const pattern (operand cost 0) and through a
   // NonTerm (operand cost = the leaf's absolute cost) agree on one base.
-  std::vector<int> cost(static_cast<std::size_t>(nt_count_), kInf);
-  std::vector<int> rule(static_cast<std::size_t>(nt_count_), -1);
+  const std::size_t nts = static_cast<std::size_t>(nt_count_);
+  const std::size_t subs = subpatterns_.size();
+  std::int32_t* row = scratch_row_.data();
+  std::int32_t* cost = row;
+  std::int32_t* rule = row + nts;
+  std::int32_t* sub = row + 2 * nts;
+  for (std::size_t i = 0; i < nts; ++i) cost[i] = kInf;
+  for (std::size_t i = 0; i < nts; ++i) rule[i] = -1;
   for (const RulePlan& plan : const_root_rules_[0]) {
     bool matches = false;
     switch (plan.pattern->kind) {
@@ -362,28 +471,233 @@ int TargetTables::compute_const_state_locked(int fit_index,
     }
   }
 
-  StateData s;
-  s.cost = std::move(cost);
-  s.rule = std::move(rule);
-  s.sub.assign(static_cast<std::size_t>(subpatterns_.size()), kInf);
+  for (std::size_t i = 0; i < subs; ++i) sub[i] = kInf;
   for (int qi : subs_by_terminal_[static_cast<std::size_t>(const_term_)]) {
     const PatNode* q = subpatterns_[static_cast<std::size_t>(qi)];
-    if (q->children.empty()) s.sub[static_cast<std::size_t>(qi)] = 0;
+    if (q->children.empty()) sub[static_cast<std::size_t>(qi)] = 0;
   }
-  s.is_const_leaf = true;
-  s.fit_width_index = fit_index;
-  s.const_class = const_class;
-  return intern_locked(std::move(s));
+  std::int32_t* meta = row + stride_ - 3;
+  meta[0] = 1;
+  meta[1] = fit_index;
+  meta[2] = const_class;
+  return intern_row_locked(row);
+}
+
+// --- frozen fast path -------------------------------------------------------
+
+bool TargetTables::FrozenTables::lookup(TermId term, const int* children,
+                                        std::size_t arity,
+                                        Transition& out) const {
+  if (term < 0 || static_cast<std::size_t>(term) >= op_begin.size())
+    return false;
+  for (std::int32_t oi = op_begin[static_cast<std::size_t>(term)];
+       oi < op_end[static_cast<std::size_t>(term)]; ++oi) {
+    const Op& op = ops[static_cast<std::size_t>(oi)];
+    if (static_cast<std::size_t>(op.arity) != arity) continue;
+    if (arity == 0) {
+      if (!op.has_leaf) return false;
+      out = op.leaf;
+      return true;
+    }
+    const std::int32_t* maps = op.maps.data();
+    std::int32_t row = 0;
+    for (std::size_t p = 0; p + 1 < arity; ++p) {
+      const unsigned s = static_cast<unsigned>(children[p]);
+      if (s >= static_cast<unsigned>(state_count)) return false;
+      std::int32_t idx = maps[p * static_cast<std::size_t>(state_count) + s];
+      if (idx < 0) return false;
+      row = row * op.dims[p] + idx;
+    }
+    const unsigned s = static_cast<unsigned>(children[arity - 1]);
+    if (s >= static_cast<unsigned>(state_count)) return false;
+    std::int32_t col =
+        maps[(arity - 1) * static_cast<std::size_t>(state_count) + s];
+    if (col < 0) return false;
+    std::size_t slot = static_cast<std::size_t>(
+        op.disp[static_cast<std::size_t>(row)] + col);
+    if (op.check[slot] != row) return false;
+    out.state = op.val_state[slot];
+    out.delta = op.val_delta[slot];
+    return true;
+  }
+  return false;
+}
+
+int TargetTables::FrozenTables::const_lookup(int fit_index,
+                                             int const_class) const {
+  std::size_t idx = static_cast<std::size_t>(fit_index + 1) *
+                        static_cast<std::size_t>(cc_dim) +
+                    static_cast<std::size_t>(const_class + 1);
+  if (idx >= const_state.size()) return -1;
+  return const_state[idx];
+}
+
+void TargetTables::freeze_locked() const {
+  auto f = std::make_unique<FrozenTables>();
+  f->state_count = state_count_;
+  f->rows.resize(static_cast<std::size_t>(state_count_));
+  for (int i = 0; i < state_count_; ++i)
+    f->rows[static_cast<std::size_t>(i)] = state_row_locked(i);
+
+  const std::size_t fit_dim = fit_widths_.size() + 1;
+  f->cc_dim = static_cast<int>(const_values_.size()) + 1;
+  f->const_state.assign(fit_dim * static_cast<std::size_t>(f->cc_dim), -1);
+  for (const auto& [key, sid] : const_state_by_pair_) {
+    std::size_t fit1 = static_cast<std::size_t>(key >> 32);
+    std::size_t cc1 = static_cast<std::size_t>(key & 0xffffffff);
+    f->const_state[fit1 * static_cast<std::size_t>(f->cc_dim) + cc1] = sid;
+  }
+
+  // Bucket the memoised transitions by (term, arity).
+  const std::size_t terms = rules_by_terminal_.size();
+  struct Group {
+    std::vector<const std::pair<const TransKey, Transition>*> entries;
+  };
+  std::vector<std::vector<std::pair<int, Group>>> by_term(terms);  // (arity,)
+  for (const auto& entry : trans_) {
+    const TransKey& key = entry.first;
+    if (key.term < 0 || static_cast<std::size_t>(key.term) >= terms) continue;
+    auto& groups = by_term[static_cast<std::size_t>(key.term)];
+    const int arity = static_cast<int>(key.children.size());
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == arity; });
+    if (it == groups.end()) {
+      groups.emplace_back(arity, Group{});
+      it = groups.end() - 1;
+    }
+    it->second.entries.push_back(&entry);
+  }
+
+  f->op_begin.assign(terms, 0);
+  f->op_end.assign(terms, 0);
+  const std::size_t sc = static_cast<std::size_t>(state_count_);
+  for (std::size_t t = 0; t < terms; ++t) {
+    f->op_begin[t] = static_cast<std::int32_t>(f->ops.size());
+    for (auto& [arity, group] : by_term[t]) {
+      FrozenTables::Op op;
+      op.term = static_cast<std::int32_t>(t);
+      op.arity = arity;
+      if (arity == 0) {
+        op.has_leaf = true;
+        op.leaf = group.entries.front()->second;
+        f->transitions += 1;
+        f->ops.push_back(std::move(op));
+        continue;
+      }
+      const std::size_t k = static_cast<std::size_t>(arity);
+      // Chase-style index maps: per child position, child state -> compact
+      // index over the states actually seen there.
+      op.dims.assign(k, 0);
+      op.maps.assign(k * sc, -1);
+      for (const auto* e : group.entries)
+        for (std::size_t p = 0; p < k; ++p) {
+          std::int32_t& slot = op.maps[p * sc + static_cast<std::size_t>(
+                                                    e->first.children[p])];
+          if (slot < 0) slot = op.dims[p]++;
+        }
+      std::size_t row_count = 1;
+      for (std::size_t p = 0; p + 1 < k; ++p)
+        row_count *= static_cast<std::size_t>(op.dims[p]);
+      const std::size_t col_count = static_cast<std::size_t>(op.dims[k - 1]);
+      if (row_count > kMaxFrozenRows) continue;  // stays on the hash path
+
+      // Row-displacement packing: rows (all but the last child index,
+      // flattened) share one value array; a check column verifies the
+      // probed slot belongs to the probing row.
+      std::vector<std::vector<std::pair<std::int32_t, Transition>>> rows(
+          row_count);
+      for (const auto* e : group.entries) {
+        std::int32_t row = 0;
+        for (std::size_t p = 0; p + 1 < k; ++p)
+          row = row * op.dims[p] +
+                op.maps[p * sc +
+                        static_cast<std::size_t>(e->first.children[p])];
+        std::int32_t col =
+            op.maps[(k - 1) * sc +
+                    static_cast<std::size_t>(e->first.children[k - 1])];
+        rows[static_cast<std::size_t>(row)].emplace_back(col, e->second);
+      }
+      std::vector<std::size_t> order(row_count);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return rows[a].size() > rows[b].size();
+                       });
+      op.disp.assign(row_count, 0);
+      op.check.assign(col_count, -1);
+      op.val_state.assign(col_count, -1);
+      op.val_delta.assign(col_count, 0);
+      for (std::size_t r : order) {
+        if (rows[r].empty()) continue;
+        std::size_t d = 0;
+        for (;; ++d) {
+          bool fits = true;
+          for (const auto& [col, tr] : rows[r]) {
+            (void)tr;
+            std::size_t slot = d + static_cast<std::size_t>(col);
+            if (slot < op.check.size() && op.check[slot] != -1) {
+              fits = false;
+              break;
+            }
+          }
+          if (fits) break;
+        }
+        std::size_t need = d + col_count;
+        if (op.check.size() < need) {
+          op.check.resize(need, -1);
+          op.val_state.resize(need, -1);
+          op.val_delta.resize(need, 0);
+        }
+        op.disp[r] = static_cast<std::int32_t>(d);
+        for (const auto& [col, tr] : rows[r]) {
+          std::size_t slot = d + static_cast<std::size_t>(col);
+          op.check[slot] = static_cast<std::int32_t>(r);
+          op.val_state[slot] = tr.state;
+          op.val_delta[slot] = tr.delta;
+        }
+        f->transitions += rows[r].size();
+      }
+      f->ops.push_back(std::move(op));
+    }
+    f->op_end[t] = static_cast<std::int32_t>(f->ops.size());
+  }
+
+  frozen_history_.push_back(std::move(f));
+  frozen_ptr_.store(frozen_history_.back().get(), std::memory_order_release);
+  frozen_misses_.store(0, std::memory_order_relaxed);
+  frozen_source_transitions_ = trans_.size();
+  ++freeze_count_;
+}
+
+void TargetTables::freeze() const {
+  std::unique_lock lock(mu_);
+  freeze_locked();
+}
+
+void TargetTables::count_miss_and_maybe_refreeze(
+    const FrozenTables* f) const {
+  if (!freeze_enabled_ || f == nullptr) return;
+  std::uint64_t n = frozen_misses_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < refreeze_misses_) return;
+  std::unique_lock lock(mu_);
+  // Raced re-check: another thread may have refrozen (and reset the
+  // counter) while this one waited for the lock.
+  if (frozen_misses_.load(std::memory_order_relaxed) < refreeze_misses_)
+    return;
+  // Superseded snapshots are retained for the tables' lifetime (lock-free
+  // readers may still hold them), so re-freezing must stay bounded: skip
+  // when nothing new would fold in (misses against an operator freeze()
+  // can never cover, e.g. past kMaxFrozenRows) and stop churning past a
+  // hard snapshot cap — the memoised hash path keeps serving correctly.
+  if (trans_.size() == frozen_source_transitions_ ||
+      freeze_count_ >= kMaxFreezes) {
+    frozen_misses_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  freeze_locked();
 }
 
 // --- parser-facing lookups --------------------------------------------------
-
-namespace {
-std::int64_t const_pair_key(int fit_index, int const_class) {
-  return (static_cast<std::int64_t>(fit_index + 1) << 32) |
-         static_cast<std::int64_t>(const_class + 1);
-}
-}  // namespace
 
 int TargetTables::fit_index_of(std::int64_t value) const {
   for (std::size_t i = 0; i < fit_widths_.size(); ++i)
@@ -400,33 +714,73 @@ int TargetTables::const_class_index(std::int64_t value) const {
 int TargetTables::const_leaf_state(std::int64_t value) const {
   int fit_index = fit_index_of(value);
   int const_class = const_class_index(value);
+  const FrozenTables* f = frozen();
+  if (f) {
+    int sid = f->const_lookup(fit_index, const_class);
+    if (sid >= 0) return sid;
+  }
   std::int64_t key = const_pair_key(fit_index, const_class);
   {
     std::shared_lock lock(mu_);
     auto it = const_state_by_pair_.find(key);
-    if (it != const_state_by_pair_.end()) return it->second;
+    if (it != const_state_by_pair_.end()) {
+      int sid = it->second;
+      lock.unlock();
+      count_miss_and_maybe_refreeze(f);
+      return sid;
+    }
   }
-  std::unique_lock lock(mu_);
-  auto it = const_state_by_pair_.find(key);
-  if (it != const_state_by_pair_.end()) return it->second;
-  int id = compute_const_state_locked(fit_index, const_class);
-  const_state_by_pair_.emplace(key, id);
+  int id;
+  {
+    std::unique_lock lock(mu_);
+    auto it = const_state_by_pair_.find(key);
+    if (it != const_state_by_pair_.end()) {
+      id = it->second;
+    } else {
+      id = compute_const_state_locked(fit_index, const_class);
+      const_state_by_pair_.emplace(key, id);
+    }
+  }
+  count_miss_and_maybe_refreeze(f);
   return id;
 }
 
 TargetTables::Transition TargetTables::transition(
     TermId term, const std::vector<int>& children) const {
+  const FrozenTables* f = frozen();
+  if (f) {
+    Transition t;
+    if (f->lookup(term, children.data(), children.size(), t)) return t;
+  }
+  return transition_cold(term, children);
+}
+
+TargetTables::Transition TargetTables::transition_cold(
+    TermId term, const std::vector<int>& children) const {
+  const FrozenTables* f = frozen();
   TransKeyView view{term, &children};
   {
     std::shared_lock lock(mu_);
     auto it = trans_.find(view);
-    if (it != trans_.end()) return it->second;
+    if (it != trans_.end()) {
+      Transition t = it->second;
+      lock.unlock();
+      count_miss_and_maybe_refreeze(f);
+      return t;
+    }
   }
-  std::unique_lock lock(mu_);
-  auto it = trans_.find(view);
-  if (it != trans_.end()) return it->second;
-  Transition t = compute_transition_locked(term, children);
-  trans_.emplace(TransKey{term, children}, t);
+  Transition t;
+  {
+    std::unique_lock lock(mu_);
+    auto it = trans_.find(view);
+    if (it != trans_.end()) {
+      t = it->second;
+    } else {
+      t = compute_transition_locked(term, children);
+      trans_.emplace(TransKey{term, children}, t);
+    }
+  }
+  count_miss_and_maybe_refreeze(f);
   return t;
 }
 
@@ -435,6 +789,29 @@ const std::vector<int>& TargetTables::constrained_rules_of(TermId t) const {
   if (t < 0 || static_cast<std::size_t>(t) >= constrained_by_terminal_.size())
     return kEmpty;
   return constrained_by_terminal_[static_cast<std::size_t>(t)];
+}
+
+bool TargetTables::ConstrainedPrecheck::check(
+    const treeparse::SubjectNode& node) const {
+  if (node.children.size() != arity) return false;
+  for (const Req& r : reqs) {
+    const treeparse::SubjectNode& c = *node.children[r.pos];
+    if (r.want_const) {
+      if (!c.is_const) return false;
+    } else if (c.is_const || c.term != r.term ||
+               c.children.size() != r.term_arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<TargetTables::ConstrainedPrecheck>&
+TargetTables::constrained_prechecks_of(TermId t) const {
+  static const std::vector<ConstrainedPrecheck> kEmpty;
+  if (t < 0 || static_cast<std::size_t>(t) >= constrained_precheck_.size())
+    return kEmpty;
+  return constrained_precheck_[static_cast<std::size_t>(t)];
 }
 
 void TargetTables::raw_candidates(TermId term,
@@ -450,10 +827,8 @@ void TargetTables::raw_candidates(TermId term,
     if (plan.pattern->children.size() != k) continue;
     int sum = 0;
     for (std::size_t i = 0; i < k && sum < kInf; ++i)
-      sum = sat_add(
-          sum, rel_match_locked(
-                   *plan.pattern->children[i],
-                   states_[static_cast<std::size_t>(children[i])]));
+      sum = sat_add(sum, rel_match_locked(*plan.pattern->children[i],
+                                          state_row_locked(children[i])));
     if (sum >= kInf) continue;
     int total = sat_add(sum, plan.cost);
     std::size_t lhs = static_cast<std::size_t>(plan.lhs);
@@ -464,19 +839,41 @@ void TargetTables::raw_candidates(TermId term,
   }
 }
 
-int TargetTables::intern_state(StateData s) const {
+int TargetTables::intern_state(const StateData& s) const {
+  // The fallback path re-interns the states of side-constrained nodes on
+  // every parse; under concurrent readers the state almost always exists
+  // already, so probe under the shared lock before escalating.
+  thread_local std::vector<std::int32_t> row;
+  row.resize(static_cast<std::size_t>(stride_));
+  fill_row_from_state(s, row.data());
+  {
+    std::shared_lock lock(mu_);
+    auto it = state_index_.find(RowKey{row.data()});
+    if (it != state_index_.end()) return it->second;
+  }
   std::unique_lock lock(mu_);
-  return intern_locked(std::move(s));
+  return intern_row_locked(row.data());
 }
 
 StateData TargetTables::state(int id) const {
   std::shared_lock lock(mu_);
-  return states_[static_cast<std::size_t>(id)];
+  const std::int32_t* row = state_row_locked(id);
+  const std::size_t nts = static_cast<std::size_t>(nt_count_);
+  const std::size_t subs = subpatterns_.size();
+  StateData s;
+  s.cost.assign(row, row + nts);
+  s.rule.assign(row + nts, row + 2 * nts);
+  s.sub.assign(row + 2 * nts, row + 2 * nts + subs);
+  const std::int32_t* meta = row + stride_ - 3;
+  s.is_const_leaf = meta[0] != 0;
+  s.fit_width_index = meta[1];
+  s.const_class = meta[2];
+  return s;
 }
 
-const StateData& TargetTables::state_ref(int id) const {
+StateView TargetTables::state_view(int id) const {
   std::shared_lock lock(mu_);
-  return states_[static_cast<std::size_t>(id)];
+  return view_of_row(state_row_locked(id));
 }
 
 bool TargetTables::terminal_has_constrained(TermId t) const {
@@ -511,7 +908,7 @@ const PatNode* TargetTables::subpattern(int index) const {
 TableStats TargetTables::stats() const {
   std::shared_lock lock(mu_);
   TableStats s;
-  s.states = states_.size();
+  s.states = static_cast<std::size_t>(state_count_);
   s.transitions = trans_.size();
   s.subpatterns = subpatterns_.size();
   std::size_t constrained = 0;
@@ -521,6 +918,12 @@ TableStats TargetTables::stats() const {
   s.table_rules = constrained_rule_.size() - constrained;
   s.const_classes = const_state_by_pair_.size();
   s.closure_complete = closure_complete_;
+  s.freezes = freeze_count_;
+  if (const FrozenTables* f = frozen_ptr_.load(std::memory_order_relaxed)) {
+    s.frozen_states = static_cast<std::size_t>(f->state_count);
+    s.frozen_transitions = f->transitions;
+  }
+  s.frozen_misses = frozen_misses_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -560,8 +963,9 @@ void TargetTables::run_closure(const TableBuildOptions& options) {
   // rules out every rule and subpattern are pruned.
   std::size_t frontier_begin = 0;
   bool out_of_budget = false;
-  while (frontier_begin < states_.size() && !out_of_budget) {
-    std::size_t frontier_end = states_.size();
+  while (frontier_begin < static_cast<std::size_t>(state_count_) &&
+         !out_of_budget) {
+    std::size_t frontier_end = static_cast<std::size_t>(state_count_);
     for (std::size_t t = 0;
          t < rules_by_terminal_.size() && !out_of_budget; ++t) {
       if (terminal_constrained_[t]) continue;
@@ -584,7 +988,8 @@ void TargetTables::run_closure(const TableBuildOptions& options) {
         std::vector<int> tuple(static_cast<std::size_t>(arity));
         auto enumerate = [&](auto&& self, int pos, bool has_new) -> void {
           if (out_of_budget) return;
-          if (++work > work_cap || states_.size() >= options.max_states ||
+          if (++work > work_cap ||
+              static_cast<std::size_t>(state_count_) >= options.max_states ||
               trans_.size() >= options.max_transitions) {
             out_of_budget = true;
             return;
@@ -599,7 +1004,7 @@ void TargetTables::run_closure(const TableBuildOptions& options) {
             return;
           }
           for (std::size_t sid = 0; sid < frontier_end; ++sid) {
-            const StateData& s = states_[sid];
+            const std::int32_t* s = state_row_locked(static_cast<int>(sid));
             // Prune: some rule or subpattern must still be able to match
             // with this state at position `pos`.
             bool viable = false;
@@ -633,12 +1038,15 @@ void TargetTables::run_closure(const TableBuildOptions& options) {
     frontier_begin = frontier_end;
   }
   closure_complete_ = !out_of_budget;
+  if (freeze_enabled_) freeze_locked();
 }
 
 // --- persistence ------------------------------------------------------------
 
 namespace {
-constexpr std::uint32_t kTablesMagic = 0x42545231;  // "BTR1"
+// "BTR2": flat state rows + frozen flag (BTR1 held the same per-state
+// payload behind the old deque layout; the magic bump keeps stale blobs out).
+constexpr std::uint32_t kTablesMagic = 0x42545232;
 }
 
 void TargetTables::serialize(std::string& out) const {
@@ -649,14 +1057,17 @@ void TargetTables::serialize(std::string& out) const {
   w.u32(static_cast<std::uint32_t>(nt_count_));
   w.u32(static_cast<std::uint32_t>(subpatterns_.size()));
   w.u8(closure_complete_ ? 1 : 0);
-  w.u32(static_cast<std::uint32_t>(states_.size()));
-  for (const StateData& s : states_) {
-    for (int c : s.cost) w.i32(c);
-    for (int r : s.rule) w.i32(r);
-    for (int c : s.sub) w.i32(c);
-    w.u8(s.is_const_leaf ? 1 : 0);
-    w.i32(s.fit_width_index);
-    w.i32(s.const_class);
+  w.u8(frozen_ptr_.load(std::memory_order_relaxed) ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(state_count_));
+  const std::size_t payload =
+      static_cast<std::size_t>(stride_) - 3;  // cost + rule + sub
+  for (int id = 0; id < state_count_; ++id) {
+    const std::int32_t* row = state_row_locked(id);
+    for (std::size_t i = 0; i < payload; ++i) w.i32(row[i]);
+    const std::int32_t* meta = row + stride_ - 3;
+    w.u8(meta[0] != 0 ? 1 : 0);
+    w.i32(meta[1]);
+    w.i32(meta[2]);
   }
   w.u32(static_cast<std::uint32_t>(trans_.size()));
   for (const auto& [key, t] : trans_) {
@@ -679,6 +1090,7 @@ std::unique_ptr<TargetTables> TargetTables::deserialize(
     std::size_t& offset) {
   TableBuildOptions no_precompute;
   no_precompute.precompute = false;
+  no_precompute.freeze = false;  // frozen below iff the blob was frozen
   auto tables = std::make_unique<TargetTables>(g, no_precompute);
 
   ByteReader r(blob, offset);
@@ -688,23 +1100,21 @@ std::unique_ptr<TargetTables> TargetTables::deserialize(
   if (r.u32() != static_cast<std::uint32_t>(tables->subpatterns_.size()))
     return nullptr;
   tables->closure_complete_ = r.u8() != 0;
+  const bool was_frozen = r.u8() != 0;
+  // Hash-mode blobs stay hash-mode; frozen blobs keep the re-freeze policy.
+  tables->freeze_enabled_ = was_frozen;
   std::uint32_t n_states = r.u32();
   if (n_states > 1u << 22) return nullptr;
-  const std::size_t nts = static_cast<std::size_t>(tables->nt_count_);
-  const std::size_t subs = tables->subpatterns_.size();
+  const std::size_t payload =
+      static_cast<std::size_t>(tables->stride_) - 3;
+  std::vector<std::int32_t> row(static_cast<std::size_t>(tables->stride_));
   for (std::uint32_t i = 0; i < n_states && r.ok(); ++i) {
-    StateData s;
-    s.cost.resize(nts);
-    for (std::size_t j = 0; j < nts; ++j) s.cost[j] = r.i32();
-    s.rule.resize(nts);
-    for (std::size_t j = 0; j < nts; ++j) s.rule[j] = r.i32();
-    s.sub.resize(subs);
-    for (std::size_t j = 0; j < subs; ++j) s.sub[j] = r.i32();
-    s.is_const_leaf = r.u8() != 0;
-    s.fit_width_index = r.i32();
-    s.const_class = r.i32();
+    for (std::size_t j = 0; j < payload; ++j) row[j] = r.i32();
+    row[payload] = r.u8() != 0 ? 1 : 0;
+    row[payload + 1] = r.i32();
+    row[payload + 2] = r.i32();
     if (!r.ok()) return nullptr;
-    if (tables->intern_locked(std::move(s)) != static_cast<int>(i))
+    if (tables->intern_row_locked(row.data()) != static_cast<int>(i))
       return nullptr;  // duplicate or reordered states: corrupt blob
   }
   std::uint32_t n_trans = r.u32();
@@ -719,12 +1129,10 @@ std::unique_ptr<TargetTables> TargetTables::deserialize(
     Transition t;
     t.state = r.i32();
     t.delta = r.i32();
-    if (!r.ok() || t.state < 0 ||
-        t.state >= static_cast<int>(tables->states_.size()))
+    if (!r.ok() || t.state < 0 || t.state >= tables->state_count_)
       return nullptr;
     for (int c : key.children)
-      if (c < 0 || c >= static_cast<int>(tables->states_.size()))
-        return nullptr;
+      if (c < 0 || c >= tables->state_count_) return nullptr;
     tables->trans_.emplace(std::move(key), t);
   }
   std::uint32_t n_const = r.u32();
@@ -732,12 +1140,13 @@ std::unique_ptr<TargetTables> TargetTables::deserialize(
   for (std::uint32_t i = 0; i < n_const && r.ok(); ++i) {
     std::int64_t key = r.i64();
     int sid = r.i32();
-    if (sid < 0 || sid >= static_cast<int>(tables->states_.size()))
-      return nullptr;
+    if (sid < 0 || sid >= tables->state_count_) return nullptr;
     tables->const_state_by_pair_.emplace(key, sid);
   }
   if (!r.ok()) return nullptr;
   offset = r.pos();
+  // A blob stored from frozen tables lands directly in pure-array mode.
+  if (was_frozen) tables->freeze();
   return tables;
 }
 

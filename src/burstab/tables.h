@@ -22,6 +22,32 @@
 // time; both populations are serialisable, so a persistent TargetCache warms
 // future runs to pure-lookup speed.
 //
+// Two storage layers serve those lookups:
+//
+//  * State signatures live in ONE flat interned arena (`states_flat_`
+//    blocks): every state is a fixed-stride row of int32s
+//    [cost(nts) | rule(nts) | sub(subs) | meta(3)], block-allocated so row
+//    addresses never move. Signature hashing/comparison sweeps one
+//    contiguous row instead of chasing three vectors.
+//
+//  * freeze() compacts the populated transitions into an immutable
+//    FrozenTables snapshot — the Chase-style compressed form. Per operator
+//    and arity it builds child-position index maps (child state -> compact
+//    index, -1 = never seen in that position) and packs the resulting dense
+//    rows into a single row-displaced value array with a check column, so a
+//    warm lookup is: per-child map indexation, one displacement probe, one
+//    check compare — a handful of array reads with NO hashing and NO lock.
+//    The snapshot is published through an atomic pointer (superseded
+//    snapshots are retained, so readers are never invalidated); cold misses
+//    fall back to the memoised hash path and, past a miss budget
+//    (TableBuildOptions::refreeze_misses), trigger an incremental re-freeze
+//    that folds the dynamically accumulated entries into a fresh snapshot.
+//    Serialized tables record whether they were frozen; deserialize()
+//    re-freezes immediately (the compaction is deterministic and linear in
+//    the table size — cheaper and safer than persisting the displaced
+//    arrays redundantly), so a warm TargetCache reload lands directly in
+//    pure-array mode.
+//
 // Rules carrying side-constraints that a finite state cannot encode — two
 // Imm leaves drawing the same instruction field, or two leaves of one
 // non-terminal requiring structurally equal operands (x+x shifter patterns)
@@ -31,6 +57,7 @@
 // interpreter, tie-breaking included.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -40,6 +67,7 @@
 #include <vector>
 
 #include "grammar/grammar.h"
+#include "treeparse/subject.h"
 
 namespace record::burstab {
 
@@ -53,6 +81,14 @@ struct TableBuildOptions {
   /// when either is hit; the remainder fills in dynamically at parse time.
   std::size_t max_states = 512;
   std::size_t max_transitions = 1u << 14;
+  /// Compact the tables into the frozen (dense, lock-free) form after the
+  /// eager closure / a warm-cache load, and re-freeze incrementally as
+  /// dynamic fills accumulate. Off: pure hash-map mode (the pre-freeze
+  /// engine; kept selectable for differential tests and benchmarks).
+  bool freeze = true;
+  /// Frozen-lookup misses tolerated before the next incremental re-freeze
+  /// folds the dynamically added states/transitions into a new snapshot.
+  std::size_t refreeze_misses = 64;
 };
 
 struct TableStats {
@@ -63,13 +99,14 @@ struct TableStats {
   std::size_t constrained_rules = 0;  // rules left to the fallback matcher
   std::size_t const_classes = 0;      // distinct #const leaf behaviours seen
   bool closure_complete = false;      // eager closure finished within budget
+  std::size_t freezes = 0;             // snapshots built (0 = hash mode)
+  std::size_t frozen_states = 0;       // states covered by the live snapshot
+  std::size_t frozen_transitions = 0;  // transitions in the live snapshot
+  std::size_t frozen_misses = 0;       // misses since the live snapshot
 };
 
-/// Interned labelling state: the full behavioural signature of a subject
-/// subtree. `cost`/`sub` are relative to the subtree's cost base except for
-/// #const leaves, whose states are kept absolute (base 0) so that Imm/Const
-/// pattern leaves (which contribute no operand cost) and NonTerm pattern
-/// leaves (which contribute base + rel) stay consistent across rules.
+/// Materialised state signature (construction, serialization and the
+/// fallback re-intern path; the hot path reads flat rows via StateView).
 struct StateData {
   std::vector<int> cost;  // per non-terminal; kInf = not derivable
   std::vector<int> rule;  // winning rule id per non-terminal; -1 = none
@@ -81,8 +118,61 @@ struct StateData {
   friend bool operator==(const StateData&, const StateData&) = default;
 };
 
+/// Zero-copy view of one interned state row. The pointers target the flat
+/// state arena, whose rows never move once interned — a view stays valid
+/// for the lifetime of the tables, with no lock held.
+struct StateView {
+  const std::int32_t* cost = nullptr;  // [nonterminal_count]
+  const std::int32_t* rule = nullptr;  // [nonterminal_count]
+  const std::int32_t* sub = nullptr;   // [subpattern_count]
+  bool is_const_leaf = false;
+  int fit_width_index = -1;
+  int const_class = -1;
+};
+
 class TargetTables {
  public:
+  struct Transition {
+    int state = -1;
+    int delta = 0;  // node cost base = sum of child bases + delta
+  };
+
+  /// The frozen (compressed, immutable) snapshot: Chase index maps plus a
+  /// row-displaced transition array per (operator, arity). Readers obtain
+  /// it via frozen() and probe without locking; every miss must fall back
+  /// to the owning TargetTables.
+  struct FrozenTables {
+    int state_count = 0;
+    std::vector<const std::int32_t*> rows;  // per state: flat signature row
+
+    // #const leaf states by (fit index + 1, const class + 1); -1 unknown.
+    int cc_dim = 0;
+    std::vector<std::int32_t> const_state;
+
+    struct Op {
+      std::int32_t term = -1;
+      std::int32_t arity = 0;
+      bool has_leaf = false;
+      Transition leaf{};                // arity == 0
+      std::vector<std::int32_t> dims;   // [arity] compact index counts
+      std::vector<std::int32_t> maps;   // arity x state_count -> index | -1
+      std::vector<std::int32_t> disp;   // row -> displacement into check
+      std::vector<std::int32_t> check;  // slot -> owning row | -1
+      std::vector<std::int32_t> val_state;
+      std::vector<std::int32_t> val_delta;
+    };
+    std::vector<Op> ops;                 // sorted by term
+    std::vector<std::int32_t> op_begin;  // [term] -> ops slice
+    std::vector<std::int32_t> op_end;
+    std::size_t transitions = 0;
+
+    /// Lock-free warm-path probe; false = cold miss (caller falls back).
+    [[nodiscard]] bool lookup(grammar::TermId term, const int* children,
+                              std::size_t arity, Transition& out) const;
+    /// Lock-free #const-leaf probe; -1 = unknown pair.
+    [[nodiscard]] int const_lookup(int fit_index, int const_class) const;
+  };
+
   /// Compiles the grammar into tables. The grammar may be moved afterwards
   /// (pattern nodes are heap-stable); it must not be destroyed or mutated
   /// while the tables are in use.
@@ -92,32 +182,52 @@ class TargetTables {
   TargetTables(const TargetTables&) = delete;
   TargetTables& operator=(const TargetTables&) = delete;
 
-  struct Transition {
-    int state = -1;
-    int delta = 0;  // node cost base = sum of child bases + delta
-  };
-
   /// State for a "#const" leaf holding `value` (memoised per behaviour
-  /// class, not per value).
+  /// class, not per value). Lock-free once the pair is frozen.
   [[nodiscard]] int const_leaf_state(std::int64_t value) const;
 
   /// State + base delta for an operator node over already-labelled children.
-  /// Computes and memoises the entry on first use.
+  /// Probes the frozen snapshot first; computes and memoises the entry on
+  /// first use.
   [[nodiscard]] Transition transition(grammar::TermId term,
                                       const std::vector<int>& children) const;
 
-  /// Interns an externally computed signature (fallback path) and returns
-  /// its state id.
-  [[nodiscard]] int intern_state(StateData s) const;
+  /// The memoised (hash) path only — what transition() runs after a frozen
+  /// miss. Exposed so the parser can inline the frozen probe itself.
+  [[nodiscard]] Transition transition_cold(
+      grammar::TermId term, const std::vector<int>& children) const;
 
-  /// Snapshot of a state's signature. Returned by value: states live in an
-  /// append-only store that other threads may be extending.
+  /// Interns an externally computed signature (fallback path) and returns
+  /// its state id. Read-probes under the shared lock before escalating to
+  /// the exclusive lock (re-interns of existing states are the common case
+  /// under concurrent parsing).
+  [[nodiscard]] int intern_state(const StateData& s) const;
+
+  /// Snapshot of a state's signature, by value (tests, serialization).
   [[nodiscard]] StateData state(int id) const;
 
-  /// Reference access for the hot labelling loop. States are immutable once
-  /// interned and the store never relocates them (append-only deque), so the
-  /// reference stays valid after the internal lock is released.
-  [[nodiscard]] const StateData& state_ref(int id) const;
+  /// View of a state's flat row. Takes the shared lock to resolve the row,
+  /// but the returned pointers stay valid lock-free afterwards (rows are
+  /// immutable and never move).
+  [[nodiscard]] StateView state_view(int id) const;
+
+  /// The live frozen snapshot, or null when unfrozen. The pointer (and
+  /// every superseded snapshot) stays valid for the tables' lifetime.
+  [[nodiscard]] const FrozenTables* frozen() const {
+    return frozen_ptr_.load(std::memory_order_acquire);
+  }
+
+  /// View over a frozen row id (valid for ids < frozen()->state_count).
+  [[nodiscard]] StateView frozen_state_view(const FrozenTables& f,
+                                            int id) const {
+    return view_of_row(f.rows[static_cast<std::size_t>(id)]);
+  }
+
+  /// Builds and publishes a fresh frozen snapshot from the current states
+  /// and transitions (idempotent; also run automatically by the eager
+  /// closure, warm deserialize and the miss-budget re-freeze policy when
+  /// TableBuildOptions::freeze is set).
+  void freeze() const;
 
   /// True if some rule rooted at this terminal carries a side-constraint
   /// (such nodes must be labelled through the fallback matcher).
@@ -129,6 +239,30 @@ class TargetTables {
   /// Side-constrained rule ids rooted at `t`, in rule order (the candidates
   /// the parser must hand to the fallback matcher at such nodes).
   [[nodiscard]] const std::vector<int>& constrained_rules_of(
+      grammar::TermId t) const;
+
+  /// One-level structural precheck of a side-constrained rule: the root
+  /// arity plus the subject requirements of every non-NonTerm child
+  /// position. check() rejects (in O(children)) most rules the recursive
+  /// matcher would walk a whole pattern to refute — grammars rich in
+  /// constrained rules would otherwise pay that walk per rule per node.
+  struct ConstrainedPrecheck {
+    int rule = -1;
+    std::uint32_t arity = 0;
+    struct Req {
+      std::uint32_t pos = 0;
+      bool want_const = false;     // child must be a #const leaf (Imm/Const)
+      grammar::TermId term = -1;   // else: required terminal...
+      std::uint32_t term_arity = 0;  // ...with this many children
+    };
+    std::vector<Req> reqs;
+
+    [[nodiscard]] bool check(const treeparse::SubjectNode& node) const;
+  };
+
+  /// Prechecks of the side-constrained rules rooted at `t`, in rule order
+  /// (parallel to constrained_rules_of).
+  [[nodiscard]] const std::vector<ConstrainedPrecheck>& constrained_prechecks_of(
       grammar::TermId t) const;
 
   /// Pre-chain-closure (cost, rule) candidates of the table rules at this
@@ -175,6 +309,8 @@ class TargetTables {
 
   /// Rebuilds tables for `g` from a blob produced by serialize(). Returns
   /// nullptr if the blob is malformed or was built for a different grammar.
+  /// A blob stored from frozen tables is re-frozen before returning, so the
+  /// warm path starts in pure-array mode.
   [[nodiscard]] static std::unique_ptr<TargetTables> deserialize(
       const grammar::TreeGrammar& g, std::string_view blob,
       std::size_t& offset);
@@ -219,8 +355,18 @@ class TargetTables {
       return a.term == b.term && a.children == *b.children;
     }
   };
-  struct StateKeyHash {
-    std::size_t operator()(const StateData& s) const;
+  /// Interning key: a pointer to a full stride_-wide signature row, either
+  /// inside the arena (stored keys) or a caller's scratch row (probes).
+  struct RowKey {
+    const std::int32_t* row;
+  };
+  struct RowHash {
+    const TargetTables* t;
+    std::size_t operator()(const RowKey& k) const;
+  };
+  struct RowEq {
+    const TargetTables* t;
+    bool operator()(const RowKey& a, const RowKey& b) const;
   };
 
   /// One table rule prepared for state computation.
@@ -241,22 +387,34 @@ class TargetTables {
       const grammar::PatNode& pat);
   [[nodiscard]] static std::string pattern_key(const grammar::PatNode& p);
 
-  /// Match cost of pattern child `p` against child state `s`; kInf = fail.
+  [[nodiscard]] StateView view_of_row(const std::int32_t* row) const;
+  [[nodiscard]] const std::int32_t* state_row_locked(int id) const;
+  void fill_row_from_state(const StateData& s, std::int32_t* row) const;
+
+  /// Match cost of pattern child `p` against child state row `s`;
+  /// kInf = fail.
   [[nodiscard]] int rel_match_locked(const grammar::PatNode& p,
-                                     const StateData& s) const;
-  [[nodiscard]] int intern_locked(StateData s) const;
+                                     const std::int32_t* s) const;
+  [[nodiscard]] int intern_row_locked(const std::int32_t* row) const;
   [[nodiscard]] Transition compute_transition_locked(
       grammar::TermId term, const std::vector<int>& children) const;
   [[nodiscard]] int compute_const_state_locked(int fit_index,
                                                int const_class) const;
   void run_closure(const TableBuildOptions& options);
+  void freeze_locked() const;
+  void count_miss_and_maybe_refreeze(const FrozenTables* f) const;
 
   // --- immutable after construction ---------------------------------------
   int nt_count_ = 0;
+  int stride_ = 0;  // ints per state row: 2 * nts + subpatterns + 3 meta
   grammar::TermId const_term_ = -1;
   std::uint64_t fingerprint_ = 0;
+  bool freeze_enabled_ = true;
+  std::size_t refreeze_misses_ = 64;
   std::vector<std::vector<RulePlan>> rules_by_terminal_;   // [term]
   std::vector<std::vector<int>> constrained_by_terminal_;  // [term] rule ids
+  std::vector<std::vector<ConstrainedPrecheck>>
+      constrained_precheck_;                               // [term]
   std::vector<std::vector<RulePlan>> const_root_rules_;    // size 1: #const
   std::vector<std::vector<ChainPlan>> chains_from_;        // [nt]
   std::vector<bool> constrained_rule_;                     // [rule id]
@@ -272,11 +430,26 @@ class TargetTables {
 
   // --- mutable, guarded by mu_ ---------------------------------------------
   mutable std::shared_mutex mu_;
-  mutable std::deque<StateData> states_;
-  mutable std::unordered_map<StateData, int, StateKeyHash> state_index_;
+  /// Flat state arena: fixed-capacity blocks of stride_-wide rows, so row
+  /// addresses are stable across growth (lock-free frozen readers hold raw
+  /// row pointers).
+  static constexpr int kStatesPerBlock = 256;
+  mutable std::vector<std::unique_ptr<std::int32_t[]>> state_blocks_;
+  mutable int state_count_ = 0;
+  mutable std::unordered_map<RowKey, int, RowHash, RowEq> state_index_;
   mutable std::unordered_map<TransKey, Transition, TransKeyHash, TransKeyEq>
       trans_;
   mutable std::unordered_map<std::int64_t, int> const_state_by_pair_;
+  mutable std::vector<std::int32_t> scratch_row_;  // intern staging, under mu_
+
+  // Frozen snapshots: the atomic points at the live one; superseded
+  // snapshots are retained so concurrent readers never dangle.
+  static constexpr std::size_t kMaxFreezes = 256;  // snapshot-churn bound
+  mutable std::deque<std::unique_ptr<FrozenTables>> frozen_history_;
+  mutable std::atomic<const FrozenTables*> frozen_ptr_{nullptr};
+  mutable std::atomic<std::uint64_t> frozen_misses_{0};
+  mutable std::size_t frozen_source_transitions_ = 0;
+  mutable std::size_t freeze_count_ = 0;
 };
 
 }  // namespace record::burstab

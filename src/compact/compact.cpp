@@ -230,11 +230,11 @@ class Compactor {
       rt->cond = t.cond;
       if (t.value->kind == rtl::RTNode::Kind::Imm) {
         treeparse::ImmBinding b;
-        b.field_bits = t.value->imm_bits;
+        b.field_bits = &t.value->imm_bits;
         b.value = value;
         rt->imms.push_back(b);
-        for (std::size_t j = 0; j < b.field_bits.size(); ++j) {
-          int var = mgr.find_var(fmt("I[{}]", b.field_bits[j]));
+        for (std::size_t j = 0; j < b.field_bits->size(); ++j) {
+          int var = mgr.find_var(fmt("I[{}]", (*b.field_bits)[j]));
           if (var < 0) continue;
           bool bit = ((static_cast<std::uint64_t>(value) >> j) & 1u) != 0;
           rt->cond = mgr.land(rt->cond, mgr.literal(var, bit));

@@ -4,7 +4,7 @@ namespace record::core {
 
 std::optional<CompileResult> Compiler::compile(
     const ir::Program& prog, const CompileOptions& options,
-    util::DiagnosticSink& diags) const {
+    util::DiagnosticSink& diags, select::SelectScratch* scratch) const {
   if (!target_ || !target_->base) {
     diags.error({}, "compiler constructed from an empty retarget result");
     return std::nullopt;
@@ -19,7 +19,7 @@ std::optional<CompileResult> Compiler::compile(
                         "carries no tables; selecting with the interpreter");
   }
   select::CodeSelector selector(*target_->base, target_->tree_grammar, diags,
-                                tables);
+                                tables, scratch);
   std::optional<select::SelectionResult> sel = selector.select(prog);
   if (!sel) return std::nullopt;
   result.selection = std::move(*sel);

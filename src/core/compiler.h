@@ -68,9 +68,14 @@ class Compiler {
   explicit Compiler(std::shared_ptr<const RetargetResult> target)
       : owned_(std::move(target)), target_(owned_.get()) {}
 
+  /// `scratch` (optional) supplies reusable selection buffers — pass a
+  /// per-thread instance to amortise label/derivation allocations across
+  /// jobs (see select::SelectScratch). One scratch must not be shared by
+  /// concurrent compile() calls.
   [[nodiscard]] std::optional<CompileResult> compile(
       const ir::Program& prog, const CompileOptions& options,
-      util::DiagnosticSink& diags) const;
+      util::DiagnosticSink& diags,
+      select::SelectScratch* scratch = nullptr) const;
 
   [[nodiscard]] const RetargetResult& target() const { return *target_; }
 

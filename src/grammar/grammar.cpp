@@ -54,7 +54,7 @@ TreeGrammar::TreeGrammar() {
 }
 
 TermId TreeGrammar::intern_terminal(std::string_view name) {
-  auto it = term_index_.find(std::string(name));
+  auto it = term_index_.find(name);
   if (it != term_index_.end()) return it->second;
   TermId id = static_cast<TermId>(terminals_.size());
   terminals_.emplace_back(name);
@@ -64,7 +64,7 @@ TermId TreeGrammar::intern_terminal(std::string_view name) {
 }
 
 NtId TreeGrammar::intern_nonterminal(std::string_view name) {
-  auto it = nt_index_.find(std::string(name));
+  auto it = nt_index_.find(name);
   if (it != nt_index_.end()) return it->second;
   NtId id = static_cast<NtId>(nonterminals_.size());
   nonterminals_.emplace_back(name);
@@ -74,12 +74,12 @@ NtId TreeGrammar::intern_nonterminal(std::string_view name) {
 }
 
 TermId TreeGrammar::find_terminal(std::string_view name) const {
-  auto it = term_index_.find(std::string(name));
+  auto it = term_index_.find(name);
   return it == term_index_.end() ? -1 : it->second;
 }
 
 NtId TreeGrammar::find_nonterminal(std::string_view name) const {
-  auto it = nt_index_.find(std::string(name));
+  auto it = nt_index_.find(name);
   return it == nt_index_.end() ? -1 : it->second;
 }
 

@@ -120,10 +120,25 @@ class TreeGrammar {
   TreeGrammar();
 
  private:
+  /// Heterogeneous string hashing: find_terminal(string_view) probes the
+  /// index without materialising a std::string per lookup (the subject
+  /// mapper resolves a terminal per IR node).
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> terminals_;
   std::vector<std::string> nonterminals_;
-  std::unordered_map<std::string, TermId> term_index_;
-  std::unordered_map<std::string, NtId> nt_index_;
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>>
+      term_index_;
+  std::unordered_map<std::string, NtId, StringHash, std::equal_to<>>
+      nt_index_;
   std::vector<Rule> rules_;
   std::vector<std::vector<int>> by_terminal_;
   std::vector<std::vector<int>> chains_from_;

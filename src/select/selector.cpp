@@ -38,15 +38,22 @@ std::string_view to_string(Engine e) {
 CodeSelector::CodeSelector(const rtl::TemplateBase& base,
                            const grammar::TreeGrammar& g,
                            util::DiagnosticSink& diags,
-                           const burstab::TargetTables* tables)
-    : base_(base), g_(g), diags_(diags), parser_(g) {
+                           const burstab::TargetTables* tables,
+                           SelectScratch* scratch)
+    : base_(base), g_(g), diags_(diags), parser_(g), scratch_(scratch) {
   if (tables) table_parser_.emplace(g, *tables);
+  if (!scratch_) {
+    owned_scratch_ = std::make_unique<SelectScratch>();
+    scratch_ = owned_scratch_.get();
+  }
 }
 
-treeparse::LabelResult CodeSelector::label_subject(
-    const treeparse::SubjectTree& subject) const {
-  return table_parser_ ? table_parser_->label(subject)
-                       : parser_.label(subject);
+void CodeSelector::label_subject(const treeparse::SubjectTree& subject,
+                                 treeparse::LabelResult& out) const {
+  if (table_parser_)
+    table_parser_->label_into(subject, out);
+  else
+    parser_.label_into(subject, out);
 }
 
 namespace {
@@ -90,12 +97,33 @@ void collect_reads(const grammar::TreeGrammar& g, const grammar::PatNode& p,
 
 }  // namespace
 
+const std::vector<std::string>& CodeSelector::reads_of_rule(int rule_id) {
+  if (reads_cache_.size() <= static_cast<std::size_t>(rule_id))
+    reads_cache_.resize(g_.rules().size());
+  std::unique_ptr<std::vector<std::string>>& slot =
+      reads_cache_[static_cast<std::size_t>(rule_id)];
+  if (!slot) {
+    slot = std::make_unique<std::vector<std::string>>();
+    collect_reads(g_, *g_.rule(rule_id).pattern, *slot);
+  }
+  return *slot;
+}
+
+int CodeSelector::imm_var(int pos) {
+  if (imm_var_cache_.size() <= static_cast<std::size_t>(pos))
+    imm_var_cache_.resize(static_cast<std::size_t>(pos) + 1, -2);
+  int& slot = imm_var_cache_[static_cast<std::size_t>(pos)];
+  if (slot == -2) slot = base_.mgr->find_var(fmt("I[{}]", pos));
+  return slot;
+}
+
 bdd::Ref CodeSelector::imm_constraint(
-    const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond) const {
+    const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond) {
   bdd::BddManager& mgr = *base_.mgr;
   for (const treeparse::ImmBinding& b : imms) {
-    for (std::size_t j = 0; j < b.field_bits.size(); ++j) {
-      int var = mgr.find_var(fmt("I[{}]", b.field_bits[j]));
+    const std::vector<int>& bits = *b.field_bits;
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+      int var = imm_var(bits[j]);
       if (var < 0) continue;
       bool bit = ((static_cast<std::uint64_t>(b.value) >> j) & 1u) != 0;
       cond = mgr.land(cond, mgr.literal(var, bit));
@@ -104,32 +132,46 @@ bdd::Ref CodeSelector::imm_constraint(
   return cond;
 }
 
-SelectedRT CodeSelector::instantiate(const treeparse::Derivation& d) const {
+SelectedRT CodeSelector::instantiate(const treeparse::Derivation& d) {
   const grammar::Rule& r = g_.rule(d.rule);
   SelectedRT out;
   out.rule_id = d.rule;
   out.tmpl = &base_.templates.at(static_cast<std::size_t>(r.template_id));
   out.dest = out.tmpl->dest;
-  out.imms = d.imms;
-  collect_reads(g_, *r.pattern, out.reads);
+  out.imms.assign(d.imms.begin(), d.imms.end());
+  out.reads = reads_of_rule(d.rule);
   if (out.tmpl->addr) {
     // Memory-destination templates also read what their address tree reads.
     // (The address pattern is part of the rule's RHS store node, so
     // collect_reads above already visited it.)
   }
-  out.cond = imm_constraint(d.imms, out.tmpl->cond);
-  std::ostringstream cmt;
-  cmt << out.tmpl->signature();
-  if (!d.imms.empty()) {
-    cmt << "  {";
-    for (std::size_t i = 0; i < d.imms.size(); ++i) {
-      if (i) cmt << ", ";
-      cmt << "imm" << d.imms[i].field_bits.size() << '='
-          << d.imms[i].value;
-    }
-    cmt << '}';
+  if (out.imms.size() == 1) {
+    auto [it, inserted] = imm_cond_cache_.try_emplace(
+        TmplValue{out.tmpl->id, out.imms[0].value}, bdd::kFalse);
+    if (inserted) it->second = imm_constraint(out.imms, out.tmpl->cond);
+    out.cond = it->second;
+  } else {
+    out.cond = imm_constraint(out.imms, out.tmpl->cond);
   }
-  out.comment = cmt.str();
+  // Renders exactly what the ostream formatting used to produce, without
+  // the per-RT stringstream.
+  if (signature_cache_.size() <= static_cast<std::size_t>(out.tmpl->id))
+    signature_cache_.resize(base_.templates.size());
+  std::string& sig = signature_cache_[static_cast<std::size_t>(out.tmpl->id)];
+  if (sig.empty()) sig = out.tmpl->signature();
+  std::string& cmt = out.comment;
+  cmt = sig;
+  if (!d.imms.empty()) {
+    cmt += "  {";
+    for (std::size_t i = 0; i < d.imms.size(); ++i) {
+      if (i) cmt += ", ";
+      cmt += "imm";
+      cmt += std::to_string(d.imms[i].field_bits->size());
+      cmt += '=';
+      cmt += std::to_string(d.imms[i].value);
+    }
+    cmt += '}';
+  }
   return out;
 }
 
@@ -139,17 +181,20 @@ void CodeSelector::flatten(const treeparse::Derivation& d,
   // relative order is free; evaluating the subtree with more RT applications
   // first (Sethi-Ullman flavour, following the paper's reference to
   // Araujo/Malik scheduling) minimises clobbering of special-purpose
-  // registers and hence spills.
-  std::vector<const treeparse::Derivation*> kids;
-  kids.reserve(d.children.size());
-  for (const std::unique_ptr<treeparse::Derivation>& c : d.children)
-    kids.push_back(c.get());
-  std::stable_sort(kids.begin(), kids.end(),
-                   [](const treeparse::Derivation* a,
-                      const treeparse::Derivation* b) {
-                     return a->application_count() > b->application_count();
-                   });
-  for (const treeparse::Derivation* c : kids) flatten(*c, out);
+  // registers and hence spills. Stable insertion sort over the arena child
+  // array: allocation-free, same order as a stable sort by descending
+  // application count.
+  const treeparse::ArenaSpan<treeparse::Derivation*>& ch = d.children;
+  for (std::uint32_t i = 1; i < ch.count; ++i) {
+    treeparse::Derivation* x = ch[i];
+    std::uint32_t j = i;
+    while (j > 0 && ch[j - 1]->apps < x->apps) {
+      ch[j] = ch[j - 1];
+      --j;
+    }
+    ch[j] = x;
+  }
+  for (treeparse::Derivation* c : ch) flatten(*c, out);
   const grammar::Rule& r = g_.rule(d.rule);
   if (r.kind != grammar::RuleKind::RT) return;  // start/stop apply no RT
   SelectedRT rt = instantiate(d);
@@ -238,8 +283,9 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
         std::optional<treeparse::SubjectTree> subject =
             mapper.map_stmt(stmt);
         if (!subject) return std::nullopt;
-        treeparse::LabelResult labels = label_subject(*subject);
-        if (!labels.ok) {
+        treeparse::LabelResult* labels = &scratch_->labels;
+        label_subject(*subject, *labels);
+        if (!labels->ok) {
           // Retry at promoted (accumulator) precision — see
           // SubjectMapper::map_stmt.
           util::DiagnosticSink retry_diags;
@@ -247,23 +293,23 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
           std::optional<treeparse::SubjectTree> promoted =
               retry_mapper.map_stmt(stmt, /*promote_ops=*/true);
           if (promoted) {
-            treeparse::LabelResult promoted_labels =
-                label_subject(*promoted);
-            if (promoted_labels.ok) {
+            label_subject(*promoted, scratch_->promoted_labels);
+            if (scratch_->promoted_labels.ok) {
               subject = std::move(promoted);
-              labels = std::move(promoted_labels);
+              labels = &scratch_->promoted_labels;
             }
           }
         }
         stats_.nodes_labelled += subject->size();
-        if (!labels.ok) {
+        if (!labels->ok) {
           diags_.error({}, fmt("no cover for statement '{}' (subject {})",
                                stmt.str(), subject->to_string(g_)));
           return std::nullopt;
         }
-        std::unique_ptr<treeparse::Derivation> d =
-            parser_.reduce(*subject, labels);
-        sc.parse_cost = labels.root_cost;
+        scratch_->arena.reset();
+        treeparse::Derivation* d =
+            parser_.reduce(*subject, *labels, scratch_->arena);
+        sc.parse_cost = labels->root_cost;
         flatten(*d, sc.rts);
         break;
       }

@@ -8,10 +8,18 @@
 // chain rules materialise as data-transfer RTs whose cost was part of the
 // optimum. Branch statements map to the target's program-control templates
 // (destination "PC").
+//
+// Steady-state selection is allocation-light: label results and derivations
+// live in a SelectScratch (flat label array + bump arena) that the selector
+// reuses across statements and that callers — notably CompileService
+// workers — can reuse across whole jobs; per-rule read lists, template
+// signatures and immediate-field BDD variables are memoised per target.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bdd/bdd.h"
@@ -19,6 +27,7 @@
 #include "grammar/grammar.h"
 #include "ir/program.h"
 #include "rtl/template.h"
+#include "treeparse/arena.h"
 #include "treeparse/burs.h"
 #include "util/diagnostics.h"
 
@@ -32,6 +41,16 @@ namespace record::select {
 enum class Engine : std::uint8_t { kAuto, kInterpreter, kTables };
 
 [[nodiscard]] std::string_view to_string(Engine e);
+
+/// Reusable selection scratch: the derivation arena plus the flat labelling
+/// buffers. A CodeSelector owns one internally unless the caller passes a
+/// longer-lived instance (service workers keep one per thread and reuse it
+/// across jobs, so a steady-state compile performs O(1) allocations).
+struct SelectScratch {
+  treeparse::DerivationArena arena;
+  treeparse::LabelResult labels;
+  treeparse::LabelResult promoted_labels;
+};
 
 /// One selected machine operation.
 struct SelectedRT {
@@ -74,10 +93,12 @@ class CodeSelector {
  public:
   /// With `tables` non-null the selector labels subjects through the
   /// table-driven engine; the tables must have been compiled from `g` and
-  /// must outlive the selector.
+  /// must outlive the selector. With `scratch` non-null the caller's
+  /// buffers are (re)used; they must outlive the selector.
   CodeSelector(const rtl::TemplateBase& base, const grammar::TreeGrammar& g,
                util::DiagnosticSink& diags,
-               const burstab::TargetTables* tables = nullptr);
+               const burstab::TargetTables* tables = nullptr,
+               SelectScratch* scratch = nullptr);
 
   [[nodiscard]] Engine engine() const {
     return table_parser_ ? Engine::kTables : Engine::kInterpreter;
@@ -95,15 +116,20 @@ class CodeSelector {
 
  private:
   void flatten(const treeparse::Derivation& d, std::vector<SelectedRT>& out);
-  [[nodiscard]] SelectedRT instantiate(const treeparse::Derivation& d) const;
+  [[nodiscard]] SelectedRT instantiate(const treeparse::Derivation& d);
   [[nodiscard]] std::optional<SelectedRT> make_branch(
       const ir::Stmt& stmt, const ir::Program& prog);
   [[nodiscard]] bdd::Ref imm_constraint(
-      const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond) const;
+      const std::vector<treeparse::ImmBinding>& imms, bdd::Ref cond);
 
-  /// Labels through the configured engine.
-  [[nodiscard]] treeparse::LabelResult label_subject(
-      const treeparse::SubjectTree& subject) const;
+  /// Labels through the configured engine, into `out`.
+  void label_subject(const treeparse::SubjectTree& subject,
+                     treeparse::LabelResult& out) const;
+
+  /// Storage names read by the rule's pattern (memoised per rule id).
+  [[nodiscard]] const std::vector<std::string>& reads_of_rule(int rule_id);
+  /// BDD variable of instruction-word bit I[pos] (memoised; -1 = absent).
+  [[nodiscard]] int imm_var(int pos);
 
   const rtl::TemplateBase& base_;
   const grammar::TreeGrammar& g_;
@@ -111,6 +137,29 @@ class CodeSelector {
   treeparse::TreeParser parser_;
   std::optional<burstab::TableParser> table_parser_;
   SelectorStats stats_;
+
+  std::unique_ptr<SelectScratch> owned_scratch_;  // when none was passed
+  SelectScratch* scratch_;
+
+  // Per-target memos (lazily filled; all keyed by stable ids).
+  std::vector<std::unique_ptr<std::vector<std::string>>> reads_cache_;
+  std::vector<std::string> signature_cache_;  // [template id]
+  std::vector<int> imm_var_cache_;            // [bit pos]; -2 = unresolved
+  /// Memoised template-cond AND single-immediate encoding: the common
+  /// one-field RT shape repeats the same few (template, value) pairs, and
+  /// each BDD conjunction walks the manager under its lock.
+  struct TmplValue {
+    int tmpl;
+    std::int64_t value;
+    friend bool operator==(const TmplValue&, const TmplValue&) = default;
+  };
+  struct TmplValueHash {
+    std::size_t operator()(const TmplValue& k) const {
+      return (static_cast<std::size_t>(k.tmpl) * 1099511628211ull) ^
+             std::hash<std::int64_t>{}(k.value);
+    }
+  };
+  std::unordered_map<TmplValue, bdd::Ref, TmplValueHash> imm_cond_cache_;
 };
 
 }  // namespace record::select

@@ -8,12 +8,24 @@ using ir::Expr;
 using util::fmt;
 
 int SubjectMapper::storage_width(const std::string& name) const {
-  const rtl::StorageInfo* s = base_.find_storage(name);
-  return s ? s->width : 0;
+  auto [it, inserted] = storage_width_cache_.try_emplace(name, 0);
+  if (inserted) {
+    const rtl::StorageInfo* s = base_.find_storage(name);
+    it->second = s ? s->width : 0;
+  }
+  return it->second;
 }
 
 int SubjectMapper::resolve_width(const Expr& e) const {
   if (e.width_override > 0) return e.width_override;
+  auto memo = width_memo_.find(&e);
+  if (memo != width_memo_.end()) return memo->second;
+  int w = resolve_width_uncached(e);
+  width_memo_.emplace(&e, w);
+  return w;
+}
+
+int SubjectMapper::resolve_width_uncached(const Expr& e) const {
   switch (e.kind) {
     case Expr::Kind::Const:
       return 0;  // width-free; matching is value-based
@@ -71,8 +83,11 @@ treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
         return tree.make_const(g_.const_terminal(), 0);
       }
       if (b->kind == ir::Binding::Kind::Register) {
-        grammar::TermId t =
-            g_.find_terminal(grammar::reg_terminal_name(b->storage));
+        auto [cached, inserted] = var_term_cache_.try_emplace(b, -1);
+        if (inserted)
+          cached->second =
+              g_.find_terminal(grammar::reg_terminal_name(b->storage));
+        grammar::TermId t = cached->second;
         if (t < 0) {
           diags_.error({}, fmt("target has no readable register '{}' (for "
                                "variable '{}')",
@@ -83,9 +98,11 @@ treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
         return tree.make(t);
       }
       // Memory-cell variable: a load at a constant address.
-      int w = storage_width(b->storage);
-      grammar::TermId t =
-          g_.find_terminal(grammar::load_terminal_name(b->storage, w));
+      auto [cached, inserted] = load_term_cache_.try_emplace(b->storage, -1);
+      if (inserted)
+        cached->second = g_.find_terminal(grammar::load_terminal_name(
+            b->storage, storage_width(b->storage)));
+      grammar::TermId t = cached->second;
       if (t < 0) {
         diags_.error({}, fmt("target cannot load from memory '{}' (variable "
                              "'{}')",
@@ -99,9 +116,11 @@ treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
     }
 
     case Expr::Kind::Load: {
-      int w = storage_width(e.mem);
-      grammar::TermId t =
-          g_.find_terminal(grammar::load_terminal_name(e.mem, w));
+      auto [cached, inserted] = load_term_cache_.try_emplace(e.mem, -1);
+      if (inserted)
+        cached->second = g_.find_terminal(
+            grammar::load_terminal_name(e.mem, storage_width(e.mem)));
+      grammar::TermId t = cached->second;
       if (t < 0) {
         diags_.error({}, fmt("target cannot load from memory '{}'", e.mem));
         ok = false;
@@ -113,6 +132,8 @@ treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
 
     case Expr::Kind::OpNode: {
       rtl::OpSig sig;
+      std::uint64_t op_key = 0;
+      bool cacheable = false;
       if (e.op == hdl::OpKind::Custom &&
           (e.custom == "lo" || e.custom == "hi") && e.args.size() == 1) {
         int w = resolve_width(*e.args[0]);
@@ -123,6 +144,24 @@ treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
         sig.custom = e.custom;
         sig.width = resolve_width(e);
         if (promote_ops_ && e.op != hdl::OpKind::Custom) sig.width *= 2;
+        if (e.op != hdl::OpKind::Custom) {
+          // (kind, resolved width, promotion) fully determine the terminal
+          // for non-custom operators, including the promotion fallback.
+          cacheable = true;
+          op_key = (static_cast<std::uint64_t>(e.op) << 34) ^
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        sig.width))
+                    << 1) ^
+                   (promote_ops_ ? 1u : 0u);
+          auto cached = op_term_cache_.find(op_key);
+          if (cached != op_term_cache_.end() && cached->second >= 0) {
+            std::vector<treeparse::SubjectNode*> kids;
+            kids.reserve(e.args.size());
+            for (const ir::ExprPtr& a : e.args)
+              kids.push_back(map_expr(*a, tree, ok));
+            return tree.make(cached->second, std::move(kids));
+          }
+        }
       }
       grammar::TermId t = g_.find_terminal(sig.name());
       if (t < 0 && sig.kind != hdl::OpKind::Custom && sig.width > 0) {
@@ -137,6 +176,7 @@ treeparse::SubjectNode* SubjectMapper::map_expr(const Expr& e,
           t = g_.find_terminal(promoted.name());
         }
       }
+      if (cacheable && t >= 0) op_term_cache_[op_key] = t;
       if (t < 0) {
         diags_.error({}, fmt("operation '{}' not available on this target",
                              sig.name()));

@@ -10,7 +10,10 @@
 //   * lo()/hi() intrinsics become canonical slice operators (bitsH_L.w).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string_view>
+#include <unordered_map>
 
 #include "grammar/build.h"
 #include "grammar/grammar.h"
@@ -39,12 +42,15 @@ class SubjectMapper {
   [[nodiscard]] std::optional<treeparse::SubjectTree> map_stmt(
       const ir::Stmt& stmt, bool promote_ops = false);
 
-  /// Resolved width of an expression (0 = width-free constant).
+  /// Resolved width of an expression (0 = width-free constant). Memoised
+  /// per expression node — deep operator chains would otherwise re-walk
+  /// their subtrees at every level.
   [[nodiscard]] int resolve_width(const ir::Expr& e) const;
 
  private:
   treeparse::SubjectNode* map_expr(const ir::Expr& e,
                                    treeparse::SubjectTree& tree, bool& ok);
+  [[nodiscard]] int resolve_width_uncached(const ir::Expr& e) const;
   [[nodiscard]] int storage_width(const std::string& name) const;
 
   bool promote_ops_ = false;
@@ -53,6 +59,17 @@ class SubjectMapper {
   const grammar::TreeGrammar& g_;
   const ir::Program& prog_;
   util::DiagnosticSink& diags_;
+
+  // Per-program memos — name construction and terminal/storage resolution
+  // are string-heavy, and expression widths recurse over subtrees, so a big
+  // statement re-resolves the same few answers per node without these.
+  // string_view keys reference program/base-owned names, which outlive the
+  // mapper.
+  mutable std::unordered_map<const ir::Expr*, int> width_memo_;
+  mutable std::unordered_map<std::string_view, int> storage_width_cache_;
+  std::unordered_map<const ir::Binding*, grammar::TermId> var_term_cache_;
+  std::unordered_map<std::string_view, grammar::TermId> load_term_cache_;
+  std::unordered_map<std::uint64_t, grammar::TermId> op_term_cache_;
 };
 
 }  // namespace record::select

@@ -74,6 +74,10 @@ std::vector<JobResult> CompileService::compile_batch(
 }
 
 void CompileService::worker_loop() {
+  // Per-thread selection scratch: label buffers and the derivation arena
+  // reach steady-state capacity after the first few jobs and are reused for
+  // every job this worker runs afterwards (no per-job reallocation).
+  select::SelectScratch scratch;
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -86,7 +90,7 @@ void CompileService::worker_loop() {
     double queue_ms = pending.enqueued.milliseconds();
     JobResult result;
     try {
-      result = run_job(pending.job, registry_);
+      result = run_job(pending.job, registry_, &scratch);
     } catch (const std::exception& e) {
       // A throwing job must not unwind out of the worker (std::terminate);
       // it fails that one job and the pool keeps serving.
@@ -115,7 +119,8 @@ ServiceStats CompileService::stats() const {
 }
 
 JobResult CompileService::run_job(const CompileJob& job,
-                                  TargetRegistry& registry) {
+                                  TargetRegistry& registry,
+                                  select::SelectScratch* scratch) {
   JobResult result;
   result.tag = job.tag;
   util::DiagnosticSink diags;
@@ -159,7 +164,7 @@ JobResult CompileService::run_job(const CompileJob& job,
   timer.reset();
   core::Compiler compiler(target);
   std::optional<core::CompileResult> compiled =
-      compiler.compile(*program, job.options, diags);
+      compiler.compile(*program, job.options, diags, scratch);
   result.times.compile_ms = timer.milliseconds();
   result.diagnostics = diags.str();
   if (!compiled) {

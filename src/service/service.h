@@ -135,9 +135,11 @@ class CompileService {
   /// The synchronous job core every worker runs (target resolution, kernel
   /// parsing, compilation). Public so sequential baselines — tests, the
   /// throughput bench's 1-worker reference — share the exact code path.
-  /// `times.queue_ms` is left zero.
-  [[nodiscard]] static JobResult run_job(const CompileJob& job,
-                                         TargetRegistry& registry);
+  /// `times.queue_ms` is left zero. `scratch` (optional) is the caller's
+  /// reusable selection scratch; pool workers pass their per-thread one.
+  [[nodiscard]] static JobResult run_job(
+      const CompileJob& job, TargetRegistry& registry,
+      select::SelectScratch* scratch = nullptr);
 
  private:
   struct Pending {

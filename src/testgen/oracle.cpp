@@ -121,19 +121,20 @@ std::string roundtrip_issues(const core::CompileResult& result,
         }
       } else {
         for (const treeparse::ImmBinding& b : rt->imms) {
+          const std::vector<int>& field_bits = *b.field_bits;
           // The bound value must actually fit the field: all bits beyond it
           // zero (non-negative) or all ones (sign-extended negative) —
           // silent truncation is the bug class this oracle exists to catch.
-          if (b.field_bits.size() < 64) {
-            std::int64_t high = b.value >> b.field_bits.size();
+          if (field_bits.size() < 64) {
+            std::int64_t high = b.value >> field_bits.size();
             if (high != 0 && high != -1)
               return fmt("word {}: bound value {} overflows the {}-bit "
                          "immediate field",
-                         ew.address, b.value, b.field_bits.size());
+                         ew.address, b.value, field_bits.size());
           }
           std::uint64_t value = static_cast<std::uint64_t>(b.value);
-          for (std::size_t j = 0; j < b.field_bits.size(); ++j) {
-            int pos = b.field_bits[j];
+          for (std::size_t j = 0; j < field_bits.size(); ++j) {
+            int pos = field_bits[j];
             if (pos < 0 || pos >= iw)
               return fmt("word {}: immediate field bit {} out of bounds "
                          "(instruction width {})",

@@ -1,0 +1,105 @@
+// Bump-pointer arena for derivation trees (and any other trivially
+// destructible per-parse scratch).
+//
+// A full compile allocates one Derivation node per rule application plus the
+// child/immediate arrays hanging off them — thousands of small heap objects
+// per statement under the old unique_ptr representation. The arena turns all
+// of that into pointer bumps over a few reusable chunks: reset() rewinds to
+// the start while keeping every chunk, so a steady-state compile (a selector
+// reused across statements, a service worker reused across jobs) performs
+// O(1) allocations regardless of program size.
+//
+// Objects placed in the arena must be trivially destructible: reset() and
+// the destructor reclaim memory without running destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace record::treeparse {
+
+class DerivationArena {
+ public:
+  DerivationArena() = default;
+  DerivationArena(const DerivationArena&) = delete;
+  DerivationArena& operator=(const DerivationArena&) = delete;
+
+  /// Uninitialised storage for `n` objects of T. T must be trivially
+  /// destructible (nothing in the arena is ever destroyed).
+  template <typename T>
+  T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are reclaimed without destruction");
+    return static_cast<T*>(allocate_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Value-constructs one T in the arena.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    return ::new (allocate<T>(1)) T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse.
+  void reset() {
+    chunk_ = 0;
+    cursor_ = chunks_.empty() ? nullptr : chunks_[0].data.get();
+    end_ = chunks_.empty() ? nullptr : chunks_[0].data.get() + chunks_[0].size;
+  }
+
+  /// Total bytes currently reserved across chunks (for tests/stats).
+  [[nodiscard]] std::size_t reserved_bytes() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.size;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    char* p = align_up(cursor_, align);
+    if (p == nullptr || p + bytes > end_) {
+      next_chunk(bytes + align);
+      p = align_up(cursor_, align);
+    }
+    cursor_ = p + bytes;
+    return p;
+  }
+
+  static char* align_up(char* p, std::size_t align) {
+    auto v = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<char*>((v + align - 1) & ~(align - 1));
+  }
+
+  void next_chunk(std::size_t min_bytes) {
+    // Advance through retained chunks first; grow only past the last one.
+    while (++chunk_ < chunks_.size()) {
+      if (chunks_[chunk_].size >= min_bytes) {
+        cursor_ = chunks_[chunk_].data.get();
+        end_ = cursor_ + chunks_[chunk_].size;
+        return;
+      }
+    }
+    std::size_t size = chunks_.empty() ? kFirstChunk : chunks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    chunks_.push_back(Chunk{std::make_unique<char[]>(size), size});
+    chunk_ = chunks_.size() - 1;
+    cursor_ = chunks_.back().data.get();
+    end_ = cursor_ + size;
+  }
+
+  static constexpr std::size_t kFirstChunk = 64 * 1024;
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;  // index of the chunk cursor_ points into
+  char* cursor_ = nullptr;
+  char* end_ = nullptr;
+};
+
+}  // namespace record::treeparse

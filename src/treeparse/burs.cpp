@@ -9,13 +9,6 @@ using grammar::kStart;
 using grammar::PatNode;
 using grammar::Rule;
 
-std::size_t Derivation::application_count() const {
-  std::size_t n = 1;
-  for (const std::unique_ptr<Derivation>& c : children)
-    n += c->application_count();
-  return n;
-}
-
 bool TreeParser::immediate_fits(std::int64_t value, int width) {
   if (width >= 63) return true;
   std::int64_t lo = -(std::int64_t{1} << (width - 1));
@@ -24,6 +17,9 @@ bool TreeParser::immediate_fits(std::int64_t value, int width) {
 }
 
 bool subjects_equal(const SubjectNode& a, const SubjectNode& b) {
+  // The structural hash rejects almost every unequal pair in O(1); the walk
+  // below only confirms (or refutes a hash collision).
+  if (a.shash != b.shash) return false;
   if (a.term != b.term || a.is_const != b.is_const ||
       (a.is_const && a.value != b.value) ||
       a.children.size() != b.children.size())
@@ -51,9 +47,9 @@ std::optional<int> match_pattern_cost(
       if (!node.is_const || !TreeParser::immediate_fits(node.value, pat.width))
         return std::nullopt;
       for (const ImmBinding& prev : imm_fields)
-        if (prev.field_bits == pat.imm_bits && prev.value != node.value)
+        if (*prev.field_bits == pat.imm_bits && prev.value != node.value)
           return std::nullopt;  // same field, different constants
-      imm_fields.push_back(ImmBinding{pat.imm_bits, node.value});
+      imm_fields.push_back(ImmBinding{&pat.imm_bits, node.value});
       return 0;
     }
     case PatNode::Kind::Const:
@@ -76,31 +72,67 @@ std::optional<int> match_pattern_cost(
   return std::nullopt;
 }
 
-LabelResult TreeParser::label(const SubjectTree& tree) const {
-  LabelResult result;
+namespace {
+
+/// NonTerm / Imm leaf counts of a pattern — the array sizes a derivation
+/// node for this rule needs.
+void count_leaves(const PatNode& p, std::uint32_t& nts, std::uint32_t& imms) {
+  switch (p.kind) {
+    case PatNode::Kind::NonTerm:
+      ++nts;
+      return;
+    case PatNode::Kind::Imm:
+      ++imms;
+      return;
+    case PatNode::Kind::Const:
+      return;
+    case PatNode::Kind::Term:
+      for (const grammar::PatNodePtr& c : p.children)
+        count_leaves(*c, nts, imms);
+      return;
+  }
+}
+
+}  // namespace
+
+TreeParser::TreeParser(const grammar::TreeGrammar& g) : g_(g) {
+  rule_shape_.resize(g.rules().size());
+  for (const Rule& r : g.rules()) {
+    std::uint32_t nts = 0, imms = 0;
+    if (r.is_chain())
+      nts = 1;  // the chained source non-terminal
+    else
+      count_leaves(*r.pattern, nts, imms);
+    rule_shape_[static_cast<std::size_t>(r.id)] = {nts, imms};
+  }
+}
+
+void TreeParser::label_into(const SubjectTree& tree, LabelResult& result) const {
   const int nts = g_.nonterminal_count();
-  result.labels.assign(tree.size(),
-                       std::vector<LabelEntry>(
-                           static_cast<std::size_t>(nts), LabelEntry{}));
-  if (!tree.root()) return result;
+  result.reset(tree.size(), nts);
+  if (!tree.root()) return;
 
   const auto closed_cost = [&result](const SubjectNode& n,
                                      grammar::NtId nt) {
-    return result.labels[static_cast<std::size_t>(n.id)]
-                        [static_cast<std::size_t>(nt)]
+    return result.at(static_cast<std::size_t>(n.id),
+                     static_cast<std::size_t>(nt))
         .cost;
   };
   const CostLookup costs(closed_cost);
 
+  // Matcher scratch, reused across every rule of every node.
+  std::vector<ImmBinding> imm_fields;
+  std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+
   // Nodes were created bottom-up, so ascending id order is topological.
   for (std::size_t id = 0; id < tree.size(); ++id) {
     const SubjectNode& node = tree.node(static_cast<int>(id));
-    std::vector<LabelEntry>& mine = result.labels[id];
+    LabelEntry* mine = result.row(id);
 
     for (int rid : g_.rules_for_terminal(node.term)) {
       const Rule& r = g_.rule(rid);
-      std::vector<ImmBinding> imm_fields;
-      std::vector<std::pair<grammar::NtId, const SubjectNode*>> nt_binds;
+      imm_fields.clear();
+      nt_binds.clear();
       std::optional<int> c = match_pattern_cost(*r.pattern, node, costs,
                                                 imm_fields, nt_binds);
       if (!c) continue;
@@ -134,61 +166,73 @@ LabelResult TreeParser::label(const SubjectTree& tree) const {
     }
   }
 
-  const std::vector<LabelEntry>& root_labels =
-      result.labels[static_cast<std::size_t>(tree.root()->id)];
-  result.root_cost = root_labels[kStart].cost;
+  result.root_cost =
+      result.at(static_cast<std::size_t>(tree.root()->id), kStart).cost;
   result.ok = result.root_cost < kInfCost;
-  return result;
 }
 
 void TreeParser::reduce_pattern(const PatNode& pat, const SubjectNode& node,
                                 const LabelResult& result,
+                                DerivationArena& arena,
                                 Derivation& out) const {
   switch (pat.kind) {
     case PatNode::Kind::NonTerm:
-      out.children.push_back(reduce_nt(node, pat.nt, result));
+      out.children.data[out.children.count++] =
+          reduce_nt(node, pat.nt, result, arena);
       return;
     case PatNode::Kind::Imm:
-      out.imms.push_back(ImmBinding{pat.imm_bits, node.value});
+      out.imms.data[out.imms.count++] = ImmBinding{&pat.imm_bits, node.value};
       return;
     case PatNode::Kind::Const:
       return;
     case PatNode::Kind::Term:
       for (std::size_t i = 0; i < pat.children.size(); ++i)
-        reduce_pattern(*pat.children[i], *node.children[i], result, out);
+        reduce_pattern(*pat.children[i], *node.children[i], result, arena,
+                       out);
       return;
   }
 }
 
-std::unique_ptr<Derivation> TreeParser::reduce_nt(
-    const SubjectNode& node, grammar::NtId nt,
-    const LabelResult& result) const {
-  const LabelEntry& e =
-      result.labels[static_cast<std::size_t>(node.id)]
-                   [static_cast<std::size_t>(nt)];
+Derivation* TreeParser::reduce_nt(const SubjectNode& node, grammar::NtId nt,
+                                  const LabelResult& result,
+                                  DerivationArena& arena) const {
+  const LabelEntry& e = result.at(static_cast<std::size_t>(node.id),
+                                  static_cast<std::size_t>(nt));
   assert(e.rule >= 0 && "reduce on unlabelled (node, nt)");
   const Rule& r = g_.rule(e.rule);
-  auto d = std::make_unique<Derivation>();
+  const auto [n_children, n_imms] =
+      rule_shape_[static_cast<std::size_t>(e.rule)];
+  Derivation* d = arena.make<Derivation>();
   d->rule = e.rule;
   d->node = &node;
+  if (n_children > 0)
+    d->children.data = arena.allocate<Derivation*>(n_children);
+  if (n_imms > 0) d->imms.data = arena.allocate<ImmBinding>(n_imms);
   if (r.is_chain()) {
-    d->children.push_back(reduce_nt(node, r.pattern->nt, result));
+    d->children.data[d->children.count++] =
+        reduce_nt(node, r.pattern->nt, result, arena);
   } else {
-    reduce_pattern(*r.pattern, node, result, *d);
+    reduce_pattern(*r.pattern, node, result, arena, *d);
   }
+  assert(d->children.count == n_children && d->imms.count == n_imms);
+  std::uint32_t apps = 1;
+  for (Derivation* c : d->children) apps += c->apps;
+  d->apps = apps;
   return d;
 }
 
-std::unique_ptr<Derivation> TreeParser::reduce(
-    const SubjectTree& tree, const LabelResult& result) const {
+Derivation* TreeParser::reduce(const SubjectTree& tree,
+                               const LabelResult& result,
+                               DerivationArena& arena) const {
   if (!result.ok || !tree.root()) return nullptr;
-  return reduce_nt(*tree.root(), kStart, result);
+  return reduce_nt(*tree.root(), kStart, result, arena);
 }
 
-std::unique_ptr<Derivation> TreeParser::parse(const SubjectTree& tree) const {
+Derivation* TreeParser::parse(const SubjectTree& tree,
+                              DerivationArena& arena) const {
   LabelResult r = label(tree);
   if (!r.ok) return nullptr;
-  return reduce(tree, r);
+  return reduce(tree, r, arena);
 }
 
 }  // namespace record::treeparse

@@ -9,13 +9,20 @@
 // reduce(): walks the optimal derivation from (root, START), yielding a
 //           derivation tree of rule applications; Imm-leaf matches record
 //           the concrete constant for later instruction encoding.
+//
+// The selection hot path is allocation-free in steady state: label results
+// live in one flat per-(node, non-terminal) array that callers reuse via
+// label_into(), and derivations are bump-allocated from a caller-owned
+// DerivationArena (child and immediate lists included), so a reused
+// selector performs no per-node heap traffic.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "grammar/grammar.h"
+#include "treeparse/arena.h"
 #include "treeparse/subject.h"
 
 namespace record::treeparse {
@@ -25,29 +32,74 @@ struct LabelEntry {
   int rule = -1;
 };
 
+/// Labelling result over one subject tree, stored as a single flat
+/// nodes x non-terminals array (one allocation, reusable across trees via
+/// reset(): shrinking never reallocates).
 struct LabelResult {
   bool ok = false;    // root derives from START
   int root_cost = grammar::kInfCost;
-  /// labels[node id][non-terminal id]
-  std::vector<std::vector<LabelEntry>> labels;
+  int nt_count = 0;
+  std::vector<LabelEntry> flat;  // [node id * nt_count + non-terminal id]
+
+  void reset(std::size_t nodes, int nts) {
+    ok = false;
+    root_cost = grammar::kInfCost;
+    nt_count = nts;
+    flat.assign(nodes * static_cast<std::size_t>(nts), LabelEntry{});
+  }
+  [[nodiscard]] LabelEntry* row(std::size_t node) {
+    return flat.data() + node * static_cast<std::size_t>(nt_count);
+  }
+  [[nodiscard]] const LabelEntry* row(std::size_t node) const {
+    return flat.data() + node * static_cast<std::size_t>(nt_count);
+  }
+  [[nodiscard]] const LabelEntry& at(std::size_t node, std::size_t nt) const {
+    return flat[node * static_cast<std::size_t>(nt_count) + nt];
+  }
+  [[nodiscard]] std::size_t node_count() const {
+    return nt_count == 0 ? 0 : flat.size() / static_cast<std::size_t>(nt_count);
+  }
 };
 
 /// One matched Imm pattern leaf: the instruction-word field and the constant
-/// that must be encoded into it.
+/// that must be encoded into it. The bit-position list is borrowed from the
+/// matched pattern (or RT template), which outlives every consumer of a
+/// binding — selection results already point into the same target. Keeping
+/// the binding trivially copyable lets derivations live in the arena.
 struct ImmBinding {
-  std::vector<int> field_bits;
+  const std::vector<int>* field_bits = nullptr;  // instruction-word positions
   std::int64_t value = 0;
+
+  [[nodiscard]] const std::vector<int>& bits() const { return *field_bits; }
 };
 
-/// A node of the optimal derivation.
+/// Non-owning array view into arena storage (children / immediate lists of
+/// a Derivation). Mutable through the view: flatten() reorders children in
+/// place.
+template <typename T>
+struct ArenaSpan {
+  T* data = nullptr;
+  std::uint32_t count = 0;
+
+  [[nodiscard]] T* begin() const { return data; }
+  [[nodiscard]] T* end() const { return data + count; }
+  [[nodiscard]] std::size_t size() const { return count; }
+  [[nodiscard]] bool empty() const { return count == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) const { return data[i]; }
+};
+
+/// A node of the optimal derivation. Arena-allocated (trivially
+/// destructible): nodes and their child/immediate arrays are reclaimed by
+/// DerivationArena::reset(), never destroyed.
 struct Derivation {
   int rule = -1;
+  std::uint32_t apps = 1;  // rule applications in this subtree (memoised)
   const SubjectNode* node = nullptr;
-  std::vector<std::unique_ptr<Derivation>> children;  // NT leaves, in preorder
-  std::vector<ImmBinding> imms;
+  ArenaSpan<Derivation*> children;  // NT leaves, in preorder
+  ArenaSpan<ImmBinding> imms;
 
   /// Total number of rule applications in this derivation.
-  [[nodiscard]] std::size_t application_count() const;
+  [[nodiscard]] std::size_t application_count() const { return apps; }
 };
 
 /// Non-owning callable view used by the pattern matcher to read the closed
@@ -84,6 +136,8 @@ class CostLookup {
 ///  * `nt_binds`: two leaves of the same non-terminal are one physical
 ///    register read, so their subject subtrees must be identical
 ///    (the x+x patterns derived from shifters).
+/// Callers reuse the scratch vectors across rules (cleared on entry by the
+/// labelling loops, not here).
 [[nodiscard]] std::optional<int> match_pattern_cost(
     const grammar::PatNode& pat, const SubjectNode& node,
     const CostLookup& costs, std::vector<ImmBinding>& imm_fields,
@@ -91,19 +145,29 @@ class CostLookup {
 
 class TreeParser {
  public:
-  explicit TreeParser(const grammar::TreeGrammar& g) : g_(g) {}
+  explicit TreeParser(const grammar::TreeGrammar& g);
 
-  /// Dynamic-programming labelling pass.
-  [[nodiscard]] LabelResult label(const SubjectTree& tree) const;
+  /// Dynamic-programming labelling pass into a caller-owned (reusable)
+  /// result.
+  void label_into(const SubjectTree& tree, LabelResult& out) const;
 
-  /// Extracts the optimal derivation of the tree root from START.
-  /// Requires a successful label() result.
-  [[nodiscard]] std::unique_ptr<Derivation> reduce(
-      const SubjectTree& tree, const LabelResult& result) const;
+  /// Convenience form allocating a fresh result.
+  [[nodiscard]] LabelResult label(const SubjectTree& tree) const {
+    LabelResult r;
+    label_into(tree, r);
+    return r;
+  }
+
+  /// Extracts the optimal derivation of the tree root from START into
+  /// `arena`. Requires a successful label() result; the returned tree lives
+  /// until the arena is reset.
+  [[nodiscard]] Derivation* reduce(const SubjectTree& tree,
+                                   const LabelResult& result,
+                                   DerivationArena& arena) const;
 
   /// Convenience: label + reduce; nullptr if the tree has no derivation.
-  [[nodiscard]] std::unique_ptr<Derivation> parse(
-      const SubjectTree& tree) const;
+  [[nodiscard]] Derivation* parse(const SubjectTree& tree,
+                                  DerivationArena& arena) const;
 
   [[nodiscard]] const grammar::TreeGrammar& grammar() const { return g_; }
 
@@ -113,12 +177,17 @@ class TreeParser {
 
  private:
   void reduce_pattern(const grammar::PatNode& pat, const SubjectNode& node,
-                      const LabelResult& result, Derivation& out) const;
-  [[nodiscard]] std::unique_ptr<Derivation> reduce_nt(
-      const SubjectNode& node, grammar::NtId nt,
-      const LabelResult& result) const;
+                      const LabelResult& result, DerivationArena& arena,
+                      Derivation& out) const;
+  [[nodiscard]] Derivation* reduce_nt(const SubjectNode& node,
+                                      grammar::NtId nt,
+                                      const LabelResult& result,
+                                      DerivationArena& arena) const;
 
   const grammar::TreeGrammar& g_;
+  /// Per rule: number of NonTerm leaves / Imm leaves in the pattern —
+  /// the exact child/immediate array sizes reduce() bump-allocates.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rule_shape_;
 };
 
 }  // namespace record::treeparse

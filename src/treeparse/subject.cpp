@@ -4,12 +4,24 @@
 
 namespace record::treeparse {
 
+namespace {
+
+std::uint64_t mix_hash(std::uint64_t h, std::uint64_t x) {
+  return (h ^ x) * 1099511628211ull;
+}
+
+}  // namespace
+
 SubjectNode* SubjectTree::make(grammar::TermId term,
                                std::vector<SubjectNode*> children) {
   SubjectNode n;
   n.id = static_cast<int>(nodes_.size());
   n.term = term;
   n.children = std::move(children);
+  std::uint64_t h = mix_hash(14695981039346656037ull,
+                             static_cast<std::uint64_t>(term));
+  for (const SubjectNode* c : n.children) h = mix_hash(h, c->shash);
+  n.shash = h;
   nodes_.push_back(std::move(n));
   return &nodes_.back();
 }
@@ -19,6 +31,8 @@ SubjectNode* SubjectTree::make_const(grammar::TermId const_term,
   SubjectNode* n = make(const_term);
   n->value = value;
   n->is_const = true;
+  n->shash = mix_hash(mix_hash(n->shash, 0x9e3779b97f4a7c15ull),
+                      static_cast<std::uint64_t>(value));
   return n;
 }
 

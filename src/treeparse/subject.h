@@ -20,6 +20,11 @@ struct SubjectNode {
   grammar::TermId term = -1;
   std::int64_t value = 0;
   bool is_const = false;
+  /// Structural hash over (term, constness, value, children), computed at
+  /// creation. Equal subtrees hash equal, so structural-equality checks
+  /// (the x+x side-constraints) reject differing subtrees in O(1) instead
+  /// of walking them.
+  std::uint64_t shash = 0;
   std::vector<SubjectNode*> children;
   const void* tag = nullptr;  // opaque backlink for callers (e.g. IR nodes)
 };

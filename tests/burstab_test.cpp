@@ -49,8 +49,7 @@ std::string derivation_string(const Derivation& d) {
   for (const treeparse::ImmBinding& b : d.imms)
     s += "#" + std::to_string(b.value);
   s += "(";
-  for (const std::unique_ptr<Derivation>& c : d.children)
-    s += derivation_string(*c) + ",";
+  for (const Derivation* c : d.children) s += derivation_string(*c) + ",";
   s += ")";
   return s;
 }
@@ -65,21 +64,23 @@ bool expect_engines_agree(const TreeGrammar& g, const TargetTables& tables,
   LabelResult b = tabular.label(tree);
   EXPECT_EQ(a.ok, b.ok) << what << ": " << tree.to_string(g);
   EXPECT_EQ(a.root_cost, b.root_cost) << what << ": " << tree.to_string(g);
-  EXPECT_EQ(a.labels.size(), b.labels.size());
-  if (a.labels.size() != b.labels.size()) return false;
-  for (std::size_t id = 0; id < a.labels.size(); ++id) {
-    for (std::size_t nt = 0; nt < a.labels[id].size(); ++nt) {
-      EXPECT_EQ(a.labels[id][nt].cost, b.labels[id][nt].cost)
+  EXPECT_EQ(a.flat.size(), b.flat.size());
+  if (a.flat.size() != b.flat.size()) return false;
+  for (std::size_t id = 0; id < a.node_count(); ++id) {
+    for (std::size_t nt = 0; nt < static_cast<std::size_t>(a.nt_count);
+         ++nt) {
+      EXPECT_EQ(a.at(id, nt).cost, b.at(id, nt).cost)
           << what << ": node " << id << " nt " << nt << " of "
           << tree.to_string(g);
-      EXPECT_EQ(a.labels[id][nt].rule, b.labels[id][nt].rule)
+      EXPECT_EQ(a.at(id, nt).rule, b.at(id, nt).rule)
           << what << ": node " << id << " nt " << nt << " of "
           << tree.to_string(g);
     }
   }
   if (a.ok && b.ok) {
-    std::unique_ptr<Derivation> da = interp.reduce(tree, a);
-    std::unique_ptr<Derivation> db = tabular.reduce(tree, b);
+    treeparse::DerivationArena arena;
+    Derivation* da = interp.reduce(tree, a, arena);
+    Derivation* db = tabular.reduce(tree, b, arena);
     EXPECT_NE(da, nullptr);
     EXPECT_NE(db, nullptr);
     if (da && db)
@@ -421,18 +422,52 @@ TEST_P(BurstabModel, SelectionListingsIdentical) {
   b.let("acc", std::move(sum));
   ir::Program prog = b.take();
 
-  util::DiagnosticSink d1, d2;
+  // Three engines side by side: the interpreter, the frozen (compressed,
+  // lock-free) tables the retarget ships by default, and a hash-mode build
+  // of the same tables (freeze disabled) — all listings bit-identical.
+  ASSERT_GE(target->tables->stats().freezes, 1u);
+  TableBuildOptions hash_mode;
+  hash_mode.freeze = false;
+  TargetTables hash_tables(target->tree_grammar, hash_mode);
+  EXPECT_EQ(hash_tables.stats().freezes, 0u);
+
+  util::DiagnosticSink d1, d2, d3;
   select::CodeSelector interp(*target->base, target->tree_grammar, d1);
   select::CodeSelector tabular(*target->base, target->tree_grammar, d2,
                                target->tables.get());
+  select::CodeSelector hashed(*target->base, target->tree_grammar, d3,
+                              &hash_tables);
   EXPECT_EQ(interp.engine(), select::Engine::kInterpreter);
   EXPECT_EQ(tabular.engine(), select::Engine::kTables);
   auto ra = interp.select(prog);
   auto rb = tabular.select(prog);
+  auto rc = hashed.select(prog);
   ASSERT_TRUE(ra) << d1.str();
   ASSERT_TRUE(rb) << d2.str();
+  ASSERT_TRUE(rc) << d3.str();
   EXPECT_EQ(ra->total_rts, rb->total_rts);
   EXPECT_EQ(ra->listing(), rb->listing());
+  EXPECT_EQ(ra->listing(), rc->listing());
+}
+
+TEST_P(BurstabModel, FrozenAndHashModesAgreeOnRandomTrees) {
+  util::DiagnosticSink diags;
+  auto target =
+      core::Record::retarget_model(GetParam(), core::RetargetOptions{}, diags);
+  ASSERT_TRUE(target) << diags.str();
+  ASSERT_NE(target->tables, nullptr);
+  ASSERT_GE(target->tables->stats().freezes, 1u);
+  TableBuildOptions hash_mode;
+  hash_mode.freeze = false;
+  TargetTables hash_tables(target->tree_grammar, hash_mode);
+
+  RandomTreeGen gen(target->tree_grammar, 20260726);
+  for (int i = 0; i < 60; ++i) {
+    SubjectTree t = gen.make_assign(1 + i % 4);
+    // Both table modes against the interpreter on the same tree.
+    expect_engines_agree(target->tree_grammar, *target->tables, t, "frozen");
+    expect_engines_agree(target->tree_grammar, hash_tables, t, "hash");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, BurstabModel,
@@ -511,6 +546,110 @@ TEST(BurstabSerialize, TablesRoundTrip) {
   }
 }
 
+TEST(FrozenLookup, TransitionEntryPointServesFrozenAndColdPaths) {
+  // The public transition() wrapper (frozen probe, then the memoised cold
+  // path) must answer identically in frozen, hash and dynamic modes.
+  PlainFixture f;
+  TargetTables frozen(f.g);  // eager closure + freeze
+  TableBuildOptions dyn;
+  dyn.precompute = false;
+  dyn.freeze = false;
+  TargetTables dynamic(f.g, dyn);
+  ASSERT_GE(frozen.stats().freezes, 1u);
+  ASSERT_EQ(dynamic.stats().freezes, 0u);
+
+  const std::vector<int> no_children;
+  TargetTables::Transition fa = frozen.transition(f.t_reg_a, no_children);
+  TargetTables::Transition da = dynamic.transition(f.t_reg_a, no_children);
+  EXPECT_EQ(frozen.state(fa.state), dynamic.state(da.state));
+  EXPECT_EQ(fa.delta, da.delta);
+
+  int fc = frozen.const_leaf_state(3);
+  int dc = dynamic.const_leaf_state(3);
+  std::vector<int> fkids{fa.state, fc};
+  std::vector<int> dkids{da.state, dc};
+  TargetTables::Transition fp = frozen.transition(f.t_plus, fkids);
+  TargetTables::Transition dp = dynamic.transition(f.t_plus, dkids);
+  EXPECT_EQ(frozen.state(fp.state), dynamic.state(dp.state));
+  EXPECT_EQ(fp.delta, dp.delta);
+  // Repeat lookups are stable (frozen hit / memoised hit).
+  TargetTables::Transition fp2 = frozen.transition(f.t_plus, fkids);
+  EXPECT_EQ(fp.state, fp2.state);
+  EXPECT_EQ(fp.delta, fp2.delta);
+}
+
+TEST(FrozenColdMiss, DynamicFillsDuringFrozenModeStayIdentical) {
+  // Freeze with an empty/tiny closure: almost every parse-time combination
+  // is a cold miss, must fall back to the memoised path, stay bit-identical
+  // to the interpreter, and (past the miss budget) fold into a re-frozen
+  // snapshot that subsequent lookups hit.
+  PlainFixture f;
+  TableBuildOptions tiny;
+  tiny.precompute = false;  // snapshot 0 is empty: everything misses
+  tiny.freeze = true;
+  tiny.refreeze_misses = 8;
+  TargetTables tables(f.g, tiny);
+  ASSERT_GE(tables.stats().freezes, 1u);
+  EXPECT_EQ(tables.stats().frozen_transitions, 0u);
+
+  RandomTreeGen gen(f.g, 77);
+  int parsed = 0;
+  for (int i = 0; i < 200; ++i) {
+    SubjectTree t = gen.make_assign(1 + i % 5);
+    if (expect_engines_agree(f.g, tables, t, "cold-miss")) ++parsed;
+  }
+  EXPECT_GT(parsed, 20);
+  TableStats st = tables.stats();
+  EXPECT_GT(st.freezes, 1u) << "miss budget never triggered a re-freeze";
+  EXPECT_GT(st.frozen_transitions, 0u);
+  // The re-frozen snapshot serves the same corpus without growing further:
+  // replay the identical trees and expect no new states or transitions.
+  std::size_t states_before = st.states, trans_before = st.transitions;
+  RandomTreeGen replay(f.g, 77);
+  for (int i = 0; i < 200; ++i) {
+    SubjectTree t = replay.make_assign(1 + i % 5);
+    expect_engines_agree(f.g, tables, t, "cold-miss-replay");
+  }
+  EXPECT_EQ(tables.stats().states, states_before);
+  EXPECT_EQ(tables.stats().transitions, trans_before);
+}
+
+TEST(BurstabSerialize, FrozenBlobLandsDirectlyInFrozenMode) {
+  PlainFixture f;
+  TargetTables tables(f.g);  // eager closure + freeze (defaults)
+  RandomTreeGen gen(f.g, 5);
+  for (int i = 0; i < 50; ++i) {
+    SubjectTree t = gen.make_assign(3);
+    TableParser p(f.g, tables);
+    (void)p.label(t);
+  }
+  ASSERT_GE(tables.stats().freezes, 1u);
+  std::string blob;
+  tables.serialize(blob);
+  std::size_t offset = 0;
+  std::unique_ptr<TargetTables> loaded =
+      TargetTables::deserialize(f.g, blob, offset);
+  ASSERT_NE(loaded, nullptr);
+  // The deserialized tables are already frozen (pure-array mode) and the
+  // snapshot covers everything the blob carried.
+  TableStats st = loaded->stats();
+  EXPECT_GE(st.freezes, 1u);
+  EXPECT_EQ(st.frozen_states, st.states);
+  EXPECT_EQ(st.frozen_transitions, st.transitions);
+
+  // A hash-mode blob stays hash-mode after a round trip.
+  TableBuildOptions hash_mode;
+  hash_mode.freeze = false;
+  TargetTables unfrozen(f.g, hash_mode);
+  std::string blob2;
+  unfrozen.serialize(blob2);
+  std::size_t offset2 = 0;
+  std::unique_ptr<TargetTables> loaded2 =
+      TargetTables::deserialize(f.g, blob2, offset2);
+  ASSERT_NE(loaded2, nullptr);
+  EXPECT_EQ(loaded2->stats().freezes, 0u);
+}
+
 TEST(BurstabSerialize, TablesRejectForeignGrammar) {
   PlainFixture f;
   ConstrainedFixture f2;
@@ -538,6 +677,10 @@ TEST(BurstabCache, WarmLoadServesIdenticalTarget) {
   ASSERT_TRUE(warm) << diags.str();
   EXPECT_TRUE(warm->cache_hit);
   ASSERT_NE(warm->tables, nullptr);
+  // A warm reload lands directly in pure-array (frozen) mode.
+  EXPECT_GE(warm->tables->stats().freezes, 1u);
+  EXPECT_EQ(warm->tables->stats().frozen_transitions,
+            warm->tables->stats().transitions);
   EXPECT_EQ(warm->processor, cold->processor);
   EXPECT_EQ(warm->base->templates.size(), cold->base->templates.size());
   EXPECT_EQ(grammar_fingerprint(warm->tree_grammar),
@@ -636,6 +779,57 @@ TEST(BurstabCache, CorruptBlobFallsBackToCleanRebuild) {
   // And after the rebuild re-stored a clean entry, the warm path works.
   write_blob(blob);
   auto warm = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(warm);
+  EXPECT_TRUE(warm->cache_hit);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, OldVersionBlobRebuildsCleanly) {
+  // A v2-era entry (pre-frozen-tables format) must read as a miss — the
+  // version word gates the whole payload — and the pipeline must rebuild
+  // and re-store a current-version entry.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-oldver")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  std::uint64_t key = TargetCache::key_of(
+      models::model_source("manocpu"), core::options_digest(options));
+  std::string path = TargetCache(dir).entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string blob = std::move(buf).str();
+  in.close();
+
+  // Patch the version word (bytes 4..8, little endian) down to 2. The
+  // checksum that follows only covers the payload, so the blob is
+  // otherwise pristine — exactly what a stale on-disk entry looks like.
+  ASSERT_GE(blob.size(), 8u);
+  blob[4] = 2;
+  blob[5] = blob[6] = blob[7] = 0;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  EXPECT_FALSE(TargetCache(dir).load(key)) << "old version served as hit";
+
+  util::DiagnosticSink d;
+  auto rebuilt = core::Record::retarget_model("manocpu", options, d);
+  ASSERT_TRUE(rebuilt) << d.str();
+  EXPECT_FALSE(rebuilt->cache_hit);
+  EXPECT_EQ(rebuilt->base->templates.size(), cold->base->templates.size());
+
+  // The rebuild re-stored a current entry: next retarget is warm again.
+  auto warm = core::Record::retarget_model("manocpu", options, d);
   ASSERT_TRUE(warm);
   EXPECT_TRUE(warm->cache_hit);
 

@@ -181,6 +181,26 @@ TEST(Oracle, SmokeCorpusAllPathsAgree) {
   EXPECT_GT(compiled, pairs / 2) << "corpus too weak: almost nothing compiles";
 }
 
+TEST(Oracle, FrozenTableModeReplaysSeeds0To50) {
+  // Regression net for the frozen (compressed, lock-free) table mode: the
+  // default tables every oracle path uses are frozen, so replaying the
+  // generative corpus pins TreeParser vs frozen TableParser vs the warm
+  // TargetCache reload (a frozen blob landing in pure-array mode) as
+  // bit-identical across 51 machines.
+  int compiled = 0;
+  for (std::uint64_t seed = 0; seed <= 50; ++seed) {
+    GeneratedModel m = generate_model(seed);
+    GeneratedProgram gp = generate_program(m, 0);
+    OracleOptions o = oracle_options(m, /*service=*/false);
+    OracleReport rep = check_pair(m.hdl, gp.program, o);
+    EXPECT_TRUE(rep.agree) << "seed " << seed << " [" << m.knobs.str()
+                           << "]: " << rep.failure << "\n"
+                           << gp.kernel;
+    if (rep.compiled) ++compiled;
+  }
+  EXPECT_GT(compiled, 25) << "corpus too weak: almost nothing compiles";
+}
+
 TEST(Oracle, UncoveredProgramCountsAsAgreement) {
   // gen4's ALU (seed 4 draws + - ^ *) has no AND; a kernel using & must fail
   // identically on every path.

@@ -74,10 +74,9 @@ TEST(Burs, LeafLabelling) {
   t.set_root(t.make(f.t_reg_a));
   TreeParser parser(f.g);
   LabelResult r = parser.label(t);
-  const auto& labels = r.labels[0];
-  EXPECT_EQ(labels[static_cast<std::size_t>(f.nt_a)].cost, 0);  // stop rule
+  EXPECT_EQ(r.at(0, static_cast<std::size_t>(f.nt_a)).cost, 0);  // stop rule
   // Chain closure: nt:B reachable via MOVE.
-  EXPECT_EQ(labels[static_cast<std::size_t>(f.nt_b)].cost, 1);
+  EXPECT_EQ(r.at(0, static_cast<std::size_t>(f.nt_b)).cost, 1);
 }
 
 TEST(Burs, OptimalCostForAssign) {
@@ -148,7 +147,8 @@ TEST(Burs, ReduceProducesDerivationTree) {
   SubjectNode* plus = t.make(f.t_plus, {rega, imm});
   t.set_root(t.make(f.g.assign_terminal(), {dest, plus}));
   TreeParser parser(f.g);
-  auto derivation = parser.parse(t);
+  DerivationArena arena;
+  Derivation* derivation = parser.parse(t, arena);
   ASSERT_NE(derivation, nullptr);
   // START rule at the root; its child is the ADD rule.
   EXPECT_EQ(f.g.rule(derivation->rule).kind, RuleKind::Start);
@@ -161,7 +161,7 @@ TEST(Burs, ReduceProducesDerivationTree) {
   EXPECT_EQ(f.g.rule(ldi.rule).template_id, 2);
   ASSERT_EQ(ldi.imms.size(), 1u);
   EXPECT_EQ(ldi.imms[0].value, 3);
-  EXPECT_EQ(ldi.imms[0].field_bits, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(*ldi.imms[0].field_bits, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(Burs, UnparseableTreeReturnsNull) {
@@ -170,7 +170,8 @@ TEST(Burs, UnparseableTreeReturnsNull) {
   TermId alien = f.g.intern_terminal("alien");
   t.set_root(t.make(alien));
   TreeParser parser(f.g);
-  EXPECT_EQ(parser.parse(t), nullptr);
+  DerivationArena arena;
+  EXPECT_EQ(parser.parse(t, arena), nullptr);
 }
 
 TEST(Burs, DerivationApplicationCount) {
@@ -181,7 +182,8 @@ TEST(Burs, DerivationApplicationCount) {
       t.make(f.t_load, {t.make_const(f.g.const_terminal(), 1)});
   t.set_root(t.make(f.g.assign_terminal(), {dest, load}));
   TreeParser parser(f.g);
-  auto d = parser.parse(t);
+  DerivationArena arena;
+  Derivation* d = parser.parse(t, arena);
   ASSERT_NE(d, nullptr);
   // START + LOAD + LDI = 3 applications.
   EXPECT_EQ(d->application_count(), 3u);
@@ -208,7 +210,8 @@ TEST_P(BursChainProperty, ChainCostGrowsLinearly) {
   ASSERT_TRUE(r.ok);
   // Each level: 1 ADD + 1 LDI.
   EXPECT_EQ(r.root_cost, 2 * depth);
-  auto d = parser.reduce(t, r);
+  DerivationArena arena;
+  Derivation* d = parser.reduce(t, r, arena);
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->application_count(), 1u + 2u * static_cast<std::size_t>(depth) + 1u);
 }
