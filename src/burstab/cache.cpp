@@ -24,7 +24,9 @@ constexpr std::uint32_t kCacheMagic = 0x52544331;  // "RTC1"
 // v3: tables section carries the flat-row BTR2 layout plus the frozen flag
 // (warm loads land directly in the compressed lock-free mode); v2 blobs are
 // a miss and rebuild cleanly.
-constexpr std::uint32_t kCacheVersion = 3;
+// v4: StorageInfo records the memory cell count (simulator write-address
+// bounds checks); v3 blobs are a miss and rebuild cleanly.
+constexpr std::uint32_t kCacheVersion = 4;
 
 void write_extract_stats(ByteWriter& w, const ise::ExtractStats& s) {
   w.u64(s.destinations);

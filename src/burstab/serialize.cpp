@@ -338,6 +338,7 @@ void write_template_base(ByteWriter& w, const rtl::TemplateBase& base) {
     w.u8(static_cast<std::uint8_t>(s.kind));
     w.i32(s.width);
     w.u8(s.readable ? 1 : 0);
+    w.i64(s.cells);
   }
   w.u32(static_cast<std::uint32_t>(base.in_ports.size()));
   for (const rtl::PortInInfo& p : base.in_ports) {
@@ -375,6 +376,7 @@ bool read_template_base(ByteReader& r, rtl::TemplateBase& base) {
     s.kind = static_cast<rtl::DestKind>(r.u8());
     s.width = r.i32();
     s.readable = r.u8() != 0;
+    s.cells = r.i64();
     base.storage.push_back(std::move(s));
   }
   std::uint32_t ports = r.u32();

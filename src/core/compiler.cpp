@@ -28,6 +28,14 @@ std::optional<CompileResult> Compiler::compile(
     result.spill_stats =
         sched::insert_spills(result.selection, prog, *target_->base,
                              target_->tree_grammar, options.spill, diags);
+    if (result.spill_stats.unresolved > 0) {
+      // A clobber the spiller cannot repair means the emitted code would
+      // compute wrong values (the RT-level simulator demonstrates it);
+      // failing honestly beats emitting known-bad code with a warning.
+      diags.error({}, "unrepairable register clobber; refusing to emit "
+                      "incorrect code (see warnings)");
+      return std::nullopt;
+    }
   }
 
   result.compacted = compact::compact(result.selection, *target_->base,

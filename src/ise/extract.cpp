@@ -74,6 +74,7 @@ class Extractor {
       }
       if (in.kind() == ModuleKind::Memory) {
         s.width = memory_data_width(*in.decl);
+        s.cells = in.decl->mem_size;
       } else {
         for (const hdl::PortDecl& p : in.decl->ports)
           if (p.cls == hdl::PortClass::Out) s.width = p.range.width();

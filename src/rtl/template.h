@@ -108,6 +108,9 @@ struct StorageInfo {
   DestKind kind = DestKind::Register;  // ProcOut entries are write-only ports
   int width = 0;
   bool readable = true;  // ProcOut ports are not readable
+  /// Memory storages: addressable cells (the model's SIZE); 0 otherwise.
+  /// The RT-level simulator bounds-checks decoded write addresses with it.
+  std::int64_t cells = 0;
 };
 
 struct PortInInfo {

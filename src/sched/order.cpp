@@ -13,25 +13,40 @@ DataflowInfo analyze_dataflow(const select::StmtCode& sc) {
 
   for (std::size_t i = 0; i < sc.rts.size(); ++i) {
     const select::SelectedRT& rt = sc.rts[i];
-    for (const std::string& r : rt.reads) {
+    for (std::size_t k = 0; k < rt.reads.size(); ++k) {
+      const std::string& r = rt.reads[k];
       OperandDef def;
       def.storage = r;
-      auto it = last_write.find(r);
-      if (it != last_write.end()) def.producer = it->second;
+      // The selector records each read's intent (reads_producer): the
+      // statement-entry value, a specific producing RT, or "whatever the
+      // storage currently holds". Entry reads have no producer — an earlier
+      // write is a destroyer; intent producers beat the positional
+      // last-writer guess (routing scratch and spill reloads interleave).
+      int intent = k < rt.reads_producer.size() ? rt.reads_producer[k]
+                                                : select::kReadCurrent;
+      if (intent >= 0 && static_cast<std::size_t>(intent) < i &&
+          sc.rts[static_cast<std::size_t>(intent)].dest == r) {
+        def.producer = static_cast<std::size_t>(intent);
+      } else if (intent == select::kReadCurrent || intent >= 0) {
+        auto it = last_write.find(r);
+        if (it != last_write.end()) def.producer = it->second;
+      }  // kReadEntry: no producer
       info.operands[i].push_back(std::move(def));
     }
     if (!rt.dest.empty()) last_write[rt.dest] = i;
   }
 
   // Clobber detection: operand produced at p, consumed at i, overwritten by
-  // some j with p < j < i.
+  // some j with p < j < i. Live-in operands (no producer) clobber when any
+  // earlier RT overwrites them — their pending value is the statement-entry
+  // contents.
   for (std::size_t i = 0; i < sc.rts.size(); ++i) {
     for (const OperandDef& def : info.operands[i]) {
-      if (!def.producer) continue;
-      for (std::size_t j = *def.producer + 1; j < i; ++j) {
+      std::size_t start = def.producer ? *def.producer + 1 : 0;
+      for (std::size_t j = start; j < i; ++j) {
         if (sc.rts[j].dest == def.storage) {
-          info.clobbers.push_back(
-              Clobber{*def.producer, j, i, def.storage});
+          info.clobbers.push_back(Clobber{def.producer.value_or(0), j, i,
+                                          def.storage, !def.producer});
           break;
         }
       }

@@ -22,10 +22,15 @@ struct OperandDef {
 };
 
 struct Clobber {
-  std::size_t producer;   // RT whose result is destroyed
+  std::size_t producer;   // RT whose result is destroyed (0 for live-ins)
   std::size_t destroyer;  // RT that overwrites the storage
   std::size_t consumer;   // RT that needed the destroyed value
   std::string storage;
+  /// True when the destroyed value is the statement-entry (live-in) value —
+  /// e.g. an operand register reused as routing scratch for an intermediate
+  /// before the operand's own consumer runs. The repair parks the value at
+  /// the start of the statement instead of after a producer.
+  bool live_in = false;
 };
 
 struct DataflowInfo {

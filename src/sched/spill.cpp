@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "ir/builder.h"
 #include "sched/order.h"
@@ -34,6 +35,11 @@ std::optional<std::vector<select::SelectedRT>> build_move(
                                 reg, mem, cell));
     return std::nullopt;
   }
+  // Spill code consumes whatever its insertion point holds: its recorded
+  // intents are relative to the synthetic one-statement program and would
+  // be nonsense inside the enclosing statement.
+  for (select::SelectedRT& rt : sel->stmts.front().rts)
+    rt.reads_producer.clear();
   return std::move(sel->stmts.front().rts);
 }
 
@@ -42,6 +48,31 @@ std::string first_memory(const rtl::TemplateBase& base) {
     if (s.kind == rtl::DestKind::Memory) return s.name;
   return {};
 }
+
+/// Shifts every statement-relative producer intent across an insertion of
+/// `count` RTs at `pos` (pre-insertion coordinates).
+void shift_intents(select::StmtCode& sc, std::size_t pos, std::size_t count) {
+  for (select::SelectedRT& rt : sc.rts)
+    for (int& p : rt.reads_producer)
+      if (p >= static_cast<int>(pos)) p += static_cast<int>(count);
+}
+
+/// One statement-entry parking/saving item: `reg`'s statement-entry value is
+/// stored to `cell` before the statement body runs. Three flavours:
+///   * park: reloaded mid-body by already-inserted reload code,
+///   * caller save (`restore`): reloaded after the body runs,
+///   * guard wrap (`guard_wrap`): reloaded at the END of the entry block —
+///     used when entry-block routing overwrites a register whose entry
+///     value the body still reads directly.
+struct EntryItem {
+  std::string reg;
+  std::int64_t cell = 0;
+  bool restore = false;
+  bool guard_wrap = false;
+  std::vector<select::SelectedRT> store;
+  std::vector<select::SelectedRT> reload;  // restores and guard wraps
+  std::vector<std::string> routes_through;  // saved regs written by the seqs
+};
 
 }  // namespace
 
@@ -55,15 +86,32 @@ SpillStats insert_spills(select::SelectionResult& result,
   std::string mem = options.scratch_memory.empty() ? first_memory(base)
                                                    : options.scratch_memory;
 
-  // --- pass 2 data: registers that hold bound program variables ----------
-  // (computed first so pass 1's indices stay untouched until we're done).
+  // Registers that hold bound program variables (their values must survive
+  // any statement that merely routes data through them).
   std::map<std::string, std::string> live_regs;  // storage -> variable
   for (const auto& [var, bind] : prog.bindings())
     if (bind.kind == ir::Binding::Kind::Register)
       live_regs[bind.storage] = var;
 
   for (select::StmtCode& sc : result.stmts) {
-    // Iterate until no clobber remains (spill code may shift indices).
+    if (sc.rts.empty()) continue;
+
+    // All scratch lives in the reserved window [base, base+slots): repairs
+    // allocate from the low end, entry saves/parks from the high end, and
+    // every cell is dead once the statement finishes — the next statement
+    // reuses the whole window.
+    int low_slot = 0;
+    int high_slot = options.scratch_slots;
+
+    // --- phase 1: within-statement clobber repairs -----------------------
+    //
+    // An operand destroyed before its consumer is parked in scratch. The
+    // store for a value produced mid-statement goes right after its
+    // producer; the store for a statement-ENTRY (live-in) value is deferred
+    // into the entry block below (where it is ordered against caller-save
+    // routing), and only the reload lands here, right before the consumer.
+    std::vector<EntryItem> entry;  // deferred parks, then caller saves
+    bool bailed = false;  // a repair path already counted unresolved
     for (int guard = 0; guard < options.scratch_slots; ++guard) {
       DataflowInfo info = analyze_dataflow(sc);
       if (info.clobbers.empty()) break;
@@ -74,98 +122,280 @@ SpillStats insert_spills(select::SelectionResult& result,
         diags.warning({}, util::fmt("clobber of '{}' cannot be repaired: "
                                     "target has no memory",
                                     c.storage));
+        bailed = true;
+        break;
+      }
+      if (low_slot >= high_slot) {
+        ++stats.unresolved;
+        diags.warning({}, util::fmt("statement '{}' exhausts the {} spill "
+                                    "scratch slots",
+                                    sc.source, options.scratch_slots));
+        bailed = true;
         break;
       }
       std::int64_t cell =
-          options.scratch_base + static_cast<std::int64_t>(guard);
-      auto store = build_move(base, grammar, c.storage, mem, cell,
-                              /*to_memory=*/true, diags);
+          options.scratch_base + static_cast<std::int64_t>(low_slot++);
       auto reload = build_move(base, grammar, c.storage, mem, cell,
                                /*to_memory=*/false, diags);
-      if (!store || !reload) {
+      std::optional<std::vector<select::SelectedRT>> store;
+      if (!c.live_in)
+        store = build_move(base, grammar, c.storage, mem, cell,
+                           /*to_memory=*/true, diags);
+      if (!reload || (!c.live_in && !store)) {
         ++stats.unresolved;
+        bailed = true;
         break;
       }
-      // Insert the reload before the consumer first (higher index), then the
-      // store after the producer, so indices stay valid.
+      const std::size_t reload_n = reload->size();
+      const std::size_t store_n = c.live_in ? 0 : store->size();
+      const std::size_t sp = c.live_in ? 0 : c.producer + 1;
+
+      // Shift recorded producer intents across the insertions (comparisons
+      // in pre-insertion coordinates; sp < consumer always).
+      for (select::SelectedRT& rt : sc.rts)
+        for (int& p : rt.reads_producer) {
+          if (p < 0) continue;
+          int np = p;
+          if (p >= static_cast<int>(c.consumer))
+            np += static_cast<int>(reload_n);
+          if (store_n > 0 && p >= static_cast<int>(sp))
+            np += static_cast<int>(store_n);
+          p = np;
+        }
+      // The reload re-produces the destroyed value immediately before the
+      // consumer: repoint the repaired read(s) there so re-analysis
+      // resolves them to the reload instead of rediscovering the clobber.
+      {
+        select::SelectedRT& consumer = sc.rts[c.consumer];
+        int fixed =
+            static_cast<int>(c.consumer + reload_n + store_n) - 1;
+        int old_intent = c.live_in ? select::kReadEntry
+                                   : static_cast<int>(c.producer);
+        for (std::size_t k = 0; k < consumer.reads.size() &&
+                                k < consumer.reads_producer.size();
+             ++k)
+          if (consumer.reads[k] == c.storage &&
+              consumer.reads_producer[k] == old_intent)
+            consumer.reads_producer[k] = fixed;
+      }
       sc.rts.insert(sc.rts.begin() + static_cast<std::ptrdiff_t>(c.consumer),
                     reload->begin(), reload->end());
-      sc.rts.insert(
-          sc.rts.begin() + static_cast<std::ptrdiff_t>(c.producer + 1),
-          store->begin(), store->end());
-      result.total_rts += store->size() + reload->size();
+      if (store)
+        sc.rts.insert(sc.rts.begin() + static_cast<std::ptrdiff_t>(sp),
+                      store->begin(), store->end());
+      if (c.live_in) {
+        EntryItem park;
+        park.reg = c.storage;
+        park.cell = cell;
+        entry.push_back(std::move(park));
+      }
       ++stats.spills_inserted;
     }
-  }
+    // The loop's guard bound can expire with repairs still pending (a
+    // statement needing more than scratch_slots of them): re-check, or the
+    // residual clobber would slip past the compiler's refuse-to-emit gate.
+    if (!bailed && !analyze_dataflow(sc).clobbers.empty()) {
+      ++stats.unresolved;
+      diags.warning({}, util::fmt("statement '{}' still has unrepaired "
+                                  "clobbers after {} spill repairs",
+                                  sc.source, options.scratch_slots));
+    }
 
-  // --- pass 2: caller-save bound registers used as routing scratch -------
-  if (!mem.empty() && !live_regs.empty()) {
-    int save_slot = options.scratch_slots;  // separate slot range
-    for (select::StmtCode& sc : result.stmts) {
-      if (sc.rts.empty()) continue;
-      // The storage this statement legitimately defines: the dest of its
-      // final RT (the statement's own result location).
-      const std::string stmt_dest = sc.rts.back().dest;
-      // Collect live registers this statement overwrites as scratch.
-      std::vector<std::string> to_save;
+    // --- phase 2: the statement-entry block ------------------------------
+    //
+    // Parks (deferred above) and caller saves of bound registers the body
+    // uses as routing scratch all read STATEMENT-ENTRY values, and their
+    // own store/restore sequences may route through further live registers
+    // (machines whose only memory path runs through one register). They are
+    // planned together: any live register a sequence writes joins the save
+    // set, and the block is ordered so a register's own store precedes
+    // every sequence routing through it (restores nest LIFO).
+    const std::string stmt_dest = sc.rts.back().dest;
+    auto add_save = [&entry](const std::string& reg) {
+      for (const EntryItem& it : entry)
+        if (it.reg == reg && it.restore) return;
+      EntryItem save;
+      save.reg = reg;
+      save.restore = true;
+      entry.push_back(std::move(save));
+    };
+    for (const select::SelectedRT& rt : sc.rts) {
+      if (rt.dest == stmt_dest || rt.dest.empty()) continue;
+      if (!live_regs.count(rt.dest)) continue;
+      add_save(rt.dest);
+    }
+    if (entry.empty()) continue;
+    if (mem.empty()) {
+      ++stats.unresolved;
+      diags.warning({}, util::fmt("statement '{}' clobbers live register "
+                                  "'{}' (variable '{}') and the target has "
+                                  "no memory to park it in",
+                                  sc.source, entry.front().reg,
+                                  live_regs.count(entry.front().reg)
+                                      ? live_regs.at(entry.front().reg)
+                                      : entry.front().reg));
+      continue;
+    }
+
+    // Registers whose statement-entry value the (repaired) body still reads
+    // directly: an entry-block sequence must not overwrite these before the
+    // body runs. Entry-intent reads plus positional register reads that see
+    // no earlier body write.
+    std::set<std::string> guarded;
+    {
+      std::set<std::string> written;
       for (const select::SelectedRT& rt : sc.rts) {
-        if (rt.dest == stmt_dest || rt.dest.empty()) continue;
-        auto it = live_regs.find(rt.dest);
-        if (it == live_regs.end()) continue;
-        if (std::find(to_save.begin(), to_save.end(), rt.dest) ==
-            to_save.end())
-          to_save.push_back(rt.dest);
-      }
-      // Live-ins of the statement: storages read before they are written.
-      // Save code that itself overwrites one of those would corrupt the
-      // statement's operands and must be rejected.
-      std::vector<std::string> live_in;
-      {
-        std::vector<std::string> written;
-        for (const select::SelectedRT& rt : sc.rts) {
-          for (const std::string& r : rt.reads)
-            if (std::find(written.begin(), written.end(), r) ==
-                    written.end() &&
-                std::find(live_in.begin(), live_in.end(), r) ==
-                    live_in.end())
-              live_in.push_back(r);
-          written.push_back(rt.dest);
+        for (std::size_t k = 0; k < rt.reads.size(); ++k) {
+          int intent = k < rt.reads_producer.size() ? rt.reads_producer[k]
+                                                    : select::kReadCurrent;
+          const std::string& r = rt.reads[k];
+          const rtl::StorageInfo* s = base.find_storage(r);
+          if (!s || s->kind == rtl::DestKind::Memory)
+            continue;  // scratch cells are reserved; data cells unaffected
+          if (intent == select::kReadEntry ||
+              (intent == select::kReadCurrent && !written.count(r)))
+            guarded.insert(r);
         }
-      }
-      for (const std::string& reg : to_save) {
-        std::int64_t cell =
-            options.scratch_base + static_cast<std::int64_t>(save_slot++);
-        auto store = build_move(base, grammar, reg, mem, cell,
-                                /*to_memory=*/true, diags);
-        auto reload = build_move(base, grammar, reg, mem, cell,
-                                 /*to_memory=*/false, diags);
-        bool safe = store.has_value() && reload.has_value();
-        if (safe) {
-          for (const select::SelectedRT& rt : *store) {
-            for (const std::string& li : live_in) {
-              if (rt.dest != li || rt.dest == reg) continue;
-              // Writes into the scratch area of a memory cannot collide
-              // with the statement's data reads (reserved cells).
-              const rtl::StorageInfo* s = base.find_storage(li);
-              if (s && s->kind == rtl::DestKind::Memory) continue;
-              safe = false;
-            }
-          }
-        }
-        if (!safe) {
-          ++stats.unresolved;
-          diags.warning({}, util::fmt("statement '{}' clobbers live "
-                                      "register '{}' (variable '{}') and no "
-                                      "safe save path exists",
-                                      sc.source, reg, live_regs.at(reg)));
-          continue;
-        }
-        sc.rts.insert(sc.rts.end(), reload->begin(), reload->end());
-        sc.rts.insert(sc.rts.begin(), store->begin(), store->end());
-        result.total_rts += store->size() + reload->size();
-        ++stats.live_saves;
+        if (!rt.dest.empty()) written.insert(rt.dest);
       }
     }
+
+    auto add_guard_wrap = [&entry](const std::string& reg) {
+      for (const EntryItem& it : entry)
+        if (it.reg == reg && it.guard_wrap) return;
+      EntryItem wrap;
+      wrap.reg = reg;
+      wrap.guard_wrap = true;
+      entry.push_back(std::move(wrap));
+    };
+
+    bool failed = false;
+    for (std::size_t i = 0; i < entry.size() && !failed; ++i) {
+      // NOTE: add_save/add_guard_wrap below may grow `entry` (reallocating
+      // it), so the item is re-referenced by index, never held by reference
+      // across mutation.
+      const std::string reg = entry[i].reg;
+      const bool with_reload = entry[i].restore || entry[i].guard_wrap;
+      const bool is_restore = entry[i].restore;
+      if (with_reload) {
+        if (high_slot <= low_slot) {
+          ++stats.unresolved;
+          diags.warning({}, util::fmt("statement '{}' exhausts the {} spill "
+                                      "scratch slots",
+                                      sc.source, options.scratch_slots));
+          failed = true;
+          break;
+        }
+        entry[i].cell = options.scratch_base +
+                        static_cast<std::int64_t>(--high_slot);
+      }
+      const std::int64_t cell = entry[i].cell;
+      auto store = build_move(base, grammar, reg, mem, cell,
+                              /*to_memory=*/true, diags);
+      std::optional<std::vector<select::SelectedRT>> reload;
+      if (with_reload)
+        reload = build_move(base, grammar, reg, mem, cell,
+                            /*to_memory=*/false, diags);
+      bool safe = store.has_value() && (!with_reload || reload.has_value());
+      if (safe && is_restore) {
+        // A restore runs after the body: routing it through the statement's
+        // own result register would destroy the result.
+        for (const select::SelectedRT& rt : *reload)
+          if (rt.dest == stmt_dest) safe = false;
+      }
+      if (!safe) {
+        ++stats.unresolved;
+        diags.warning({}, util::fmt("statement '{}' clobbers live register "
+                                    "'{}' (variable '{}') and no safe save "
+                                    "path exists",
+                                    sc.source, reg,
+                                    live_regs.count(reg) ? live_regs.at(reg)
+                                                         : reg));
+        failed = true;  // partial wraps would still corrupt state
+        break;
+      }
+      std::vector<std::string> routes;
+      for (const std::vector<select::SelectedRT>* seq :
+           {&*store, reload ? &*reload : &*store})
+        for (const select::SelectedRT& rt : *seq) {
+          if (rt.dest == reg) continue;
+          // Entry-block code overwriting a register whose entry value the
+          // body still reads directly: wrap that register inside the entry
+          // block (park first, reload back to the entry value last).
+          const rtl::StorageInfo* s = base.find_storage(rt.dest);
+          bool is_reg = s && s->kind != rtl::DestKind::Memory &&
+                        s->kind != rtl::DestKind::ProcOut;
+          if (!is_reg) continue;
+          if (guarded.count(rt.dest)) add_guard_wrap(rt.dest);
+          // Record the routing edge for EVERY register written — the topo
+          // sort must order a guard-wrapped (possibly unbound) register's
+          // own store before sequences travelling through it; edges to
+          // registers without an entry item are simply inert.
+          if (std::find(routes.begin(), routes.end(), rt.dest) ==
+              routes.end())
+            routes.push_back(rt.dest);
+          if (!live_regs.count(rt.dest)) continue;
+          // A routed-through bound register needs its own caller save
+          // (unless it is the statement result, which the body redefines
+          // anyway and whose entry value, if still read, is guard-wrapped
+          // above).
+          if (rt.dest == stmt_dest) continue;
+          add_save(rt.dest);
+        }
+      entry[i].store = std::move(*store);
+      if (reload) entry[i].reload = std::move(*reload);
+      entry[i].routes_through = std::move(routes);
+    }
+    if (failed) continue;
+
+    // Order: a register's own item(s) precede every item routing through it
+    // (stores prepended in this order, restores appended in reverse).
+    std::vector<std::size_t> order;
+    std::vector<bool> placed(entry.size(), false);
+    bool progress = true;
+    while (order.size() < entry.size() && progress) {
+      progress = false;
+      for (std::size_t i = 0; i < entry.size(); ++i) {
+        if (placed[i]) continue;
+        bool ready = true;
+        for (const std::string& dep : entry[i].routes_through)
+          for (std::size_t j = 0; j < entry.size(); ++j)
+            if (!placed[j] && entry[j].reg == dep) ready = false;
+        if (!ready) continue;
+        order.push_back(i);
+        placed[i] = true;
+        progress = true;
+      }
+    }
+    if (order.size() < entry.size()) {
+      ++stats.unresolved;
+      diags.warning({}, util::fmt("statement '{}': cyclic save routing; no "
+                                  "safe save order exists",
+                                  sc.source));
+      continue;
+    }
+
+    // Entry block layout: all stores (topo order), then guard-wrap reloads
+    // (reverse topo — the body must see entry values again), then the body;
+    // caller-save restores append after the body in reverse topo (LIFO).
+    std::vector<select::SelectedRT> stores;
+    std::vector<select::SelectedRT> reloads;
+    for (std::size_t idx : order)
+      stores.insert(stores.end(), entry[idx].store.begin(),
+                    entry[idx].store.end());
+    for (std::size_t k = order.size(); k-- > 0;) {
+      const EntryItem& it = entry[order[k]];
+      if (it.guard_wrap)
+        stores.insert(stores.end(), it.reload.begin(), it.reload.end());
+      else if (it.restore)
+        reloads.insert(reloads.end(), it.reload.begin(), it.reload.end());
+    }
+    result.total_rts += stores.size() + reloads.size();
+    sc.rts.insert(sc.rts.end(), reloads.begin(), reloads.end());
+    shift_intents(sc, 0, stores.size());
+    sc.rts.insert(sc.rts.begin(), stores.begin(), stores.end());
+    for (const EntryItem& it : entry)
+      if (it.restore) ++stats.live_saves;
   }
   return stats;
 }

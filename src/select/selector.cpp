@@ -72,21 +72,38 @@ std::string mem_of_load_terminal(const std::string& term_name) {
   return dot == std::string::npos ? rest : rest.substr(0, dot);
 }
 
+/// Collects the pattern's storage reads alongside, for each read, the
+/// pattern-preorder ordinal of the NonTerm leaf it came from — the index of
+/// the matching child derivation. -1 marks reads that are not NT-backed
+/// (memory loads), -2 terminal register matches (live-in by construction).
+/// `nt_counter` numbers every NonTerm leaf, storage-backed or not, so the
+/// ordinals line up with treeparse's derivation-children preorder.
 void collect_reads(const grammar::TreeGrammar& g, const grammar::PatNode& p,
-                   std::vector<std::string>& reads) {
+                   std::vector<std::string>& reads,
+                   std::vector<int>& ordinals, int& nt_counter) {
   switch (p.kind) {
     case grammar::PatNode::Kind::NonTerm: {
+      int ord = nt_counter++;
       std::string s = storage_of_nt(g.nonterminal_name(p.nt));
-      if (!s.empty()) reads.push_back(s);
+      if (!s.empty()) {
+        reads.push_back(s);
+        ordinals.push_back(ord);
+      }
       return;
     }
     case grammar::PatNode::Kind::Term: {
       std::string mem = mem_of_load_terminal(g.terminal_name(p.term));
-      if (!mem.empty()) reads.push_back(mem);
+      if (!mem.empty()) {
+        reads.push_back(mem);
+        ordinals.push_back(-1);
+      }
       std::string reg = g.terminal_name(p.term);
-      if (reg.rfind("$reg:", 0) == 0) reads.push_back(reg.substr(5));
+      if (reg.rfind("$reg:", 0) == 0) {
+        reads.push_back(reg.substr(5));
+        ordinals.push_back(-2);
+      }
       for (const grammar::PatNodePtr& c : p.children)
-        collect_reads(g, *c, reads);
+        collect_reads(g, *c, reads, ordinals, nt_counter);
       return;
     }
     case grammar::PatNode::Kind::Imm:
@@ -98,15 +115,25 @@ void collect_reads(const grammar::TreeGrammar& g, const grammar::PatNode& p,
 }  // namespace
 
 const std::vector<std::string>& CodeSelector::reads_of_rule(int rule_id) {
-  if (reads_cache_.size() <= static_cast<std::size_t>(rule_id))
+  if (reads_cache_.size() <= static_cast<std::size_t>(rule_id)) {
     reads_cache_.resize(g_.rules().size());
+    read_ordinals_cache_.resize(g_.rules().size());
+  }
   std::unique_ptr<std::vector<std::string>>& slot =
       reads_cache_[static_cast<std::size_t>(rule_id)];
   if (!slot) {
     slot = std::make_unique<std::vector<std::string>>();
-    collect_reads(g_, *g_.rule(rule_id).pattern, *slot);
+    auto ords = std::make_unique<std::vector<int>>();
+    int nt_counter = 0;
+    collect_reads(g_, *g_.rule(rule_id).pattern, *slot, *ords, nt_counter);
+    read_ordinals_cache_[static_cast<std::size_t>(rule_id)] = std::move(ords);
   }
   return *slot;
+}
+
+const std::vector<int>& CodeSelector::read_ordinals_of_rule(int rule_id) {
+  (void)reads_of_rule(rule_id);  // fills both caches
+  return *read_ordinals_cache_[static_cast<std::size_t>(rule_id)];
 }
 
 int CodeSelector::imm_var(int pos) {
@@ -177,6 +204,18 @@ SelectedRT CodeSelector::instantiate(const treeparse::Derivation& d) {
 
 void CodeSelector::flatten(const treeparse::Derivation& d,
                            std::vector<SelectedRT>& out) {
+  const grammar::Rule& rule = g_.rule(d.rule);
+
+  // Capture the pattern-preorder child layout BEFORE the Sethi-Ullman sort
+  // below permutes it: reads_producer entries resolve NT ordinals against
+  // this layout.
+  const std::vector<int>* ords = nullptr;
+  std::vector<treeparse::Derivation*> ord_children;
+  if (rule.kind == grammar::RuleKind::RT) {
+    ords = &read_ordinals_of_rule(d.rule);
+    ord_children.assign(d.children.begin(), d.children.end());
+  }
+
   // Children (operand subtrees / chain sources) evaluate first. Their
   // relative order is free; evaluating the subtree with more RT applications
   // first (Sethi-Ullman flavour, following the paper's reference to
@@ -194,10 +233,33 @@ void CodeSelector::flatten(const treeparse::Derivation& d,
     }
     ch[j] = x;
   }
-  for (treeparse::Derivation* c : ch) flatten(*c, out);
-  const grammar::Rule& r = g_.rule(d.rule);
-  if (r.kind != grammar::RuleKind::RT) return;  // start/stop apply no RT
+  // Flatten the children, remembering where each subtree's code ends: the
+  // last RT of an operand subtree is the producer of the value its NT read
+  // consumes.
+  std::vector<std::pair<const treeparse::Derivation*, int>> last_rt;
+  last_rt.reserve(ch.count);
+  for (treeparse::Derivation* c : ch) {
+    std::size_t before = out.size();
+    flatten(*c, out);
+    if (out.size() > before)
+      last_rt.emplace_back(c, static_cast<int>(out.size()) - 1);
+  }
+  if (rule.kind != grammar::RuleKind::RT) return;  // start/stop apply no RT
   SelectedRT rt = instantiate(d);
+  rt.reads_producer.assign(ords->size(), kReadCurrent);
+  for (std::size_t i = 0; i < ords->size(); ++i) {
+    int ord = (*ords)[i];
+    if (ord == -2) {
+      rt.reads_producer[i] = kReadEntry;  // terminal register match
+    } else if (ord >= 0 && ord < static_cast<int>(ord_children.size())) {
+      const treeparse::Derivation* c =
+          ord_children[static_cast<std::size_t>(ord)];
+      int idx = kReadEntry;  // a code-free subtree leaves the value in place
+      for (const auto& [ptr, last] : last_rt)
+        if (ptr == c) idx = last;
+      rt.reads_producer[i] = idx;
+    }
+  }
   if (rt.cond == bdd::kFalse)
     diags_.warning({}, fmt("immediate encoding conflicts with the condition "
                            "of template {} ('{}')",

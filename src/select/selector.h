@@ -53,6 +53,10 @@ struct SelectScratch {
 };
 
 /// One selected machine operation.
+/// SelectedRT::reads_producer sentinels.
+inline constexpr int kReadEntry = -1;    // statement-entry (live-in) value
+inline constexpr int kReadCurrent = -2;  // positional: most recent write
+
 struct SelectedRT {
   const rtl::RTTemplate* tmpl = nullptr;  // null only for pseudo operations
   int rule_id = -1;
@@ -60,6 +64,17 @@ struct SelectedRT {
   bdd::Ref cond = bdd::kTrue;
   std::string dest;                 // storage written
   std::vector<std::string> reads;   // storages read (registers and memories)
+  /// Parallel to `reads`: which value each read consumes, known exactly
+  /// from the derivation at selection time —
+  ///   * kReadEntry (-1): the statement-ENTRY value (the pattern leaf
+  ///     matched a program-variable subject leaf in place),
+  ///   * kReadCurrent (-2): whatever the storage holds at execution time
+  ///     (memory operands; spill code),
+  ///   * >= 0: the statement-relative index of the RT that produces the
+  ///     consumed intermediate (the last RT of the operand's subtree).
+  /// Dataflow analysis (sched/order.h) uses this to spot operands destroyed
+  /// by routing scratch before their consumer runs. Empty = all kReadCurrent.
+  std::vector<int> reads_producer;
   std::vector<treeparse::ImmBinding> imms;
   std::string comment;              // human-readable rendering
   bool is_branch = false;
@@ -128,6 +143,10 @@ class CodeSelector {
 
   /// Storage names read by the rule's pattern (memoised per rule id).
   [[nodiscard]] const std::vector<std::string>& reads_of_rule(int rule_id);
+  /// Parallel to reads_of_rule: for each read, the pattern-preorder ordinal
+  /// of the NonTerm leaf it came from (-1 = not NT-backed, -2 = a terminal
+  /// register match, live-in by construction). Memoised per rule id.
+  [[nodiscard]] const std::vector<int>& read_ordinals_of_rule(int rule_id);
   /// BDD variable of instruction-word bit I[pos] (memoised; -1 = absent).
   [[nodiscard]] int imm_var(int pos);
 
@@ -143,6 +162,7 @@ class CodeSelector {
 
   // Per-target memos (lazily filled; all keyed by stable ids).
   std::vector<std::unique_ptr<std::vector<std::string>>> reads_cache_;
+  std::vector<std::unique_ptr<std::vector<int>>> read_ordinals_cache_;
   std::vector<std::string> signature_cache_;  // [template id]
   std::vector<int> imm_var_cache_;            // [bit pos]; -2 = unresolved
   /// Memoised template-cond AND single-immediate encoding: the common

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ir/kernel_lang.h"
+#include "sim/check.h"
 
 namespace record::service {
 
@@ -105,6 +106,10 @@ void CompileService::worker_loop() {
     lock.lock();
     ++stats_.completed;
     if (!result.ok) ++stats_.failed;
+    if (result.semantics_checked) {
+      ++stats_.semantics_checked;
+      if (!result.ok) ++stats_.semantics_failed;
+    }
     stats_.total_queue_ms += queue_ms;
     stats_.total_compile_ms += result.times.compile_ms;
     lock.unlock();
@@ -176,6 +181,34 @@ JobResult CompileService::run_job(const CompileJob& job,
   result.code_size = compiled->code_size();
   result.rts = compiled->selection.total_rts;
   if (job.want_listing) result.listing = compiled->listing();
+
+  if (job.check_semantics) {
+    sim::CheckOptions sopts;
+    sopts.scratch_memory = job.options.spill.scratch_memory;
+    sopts.scratch_base = job.options.spill.scratch_base;
+    sopts.scratch_slots = job.options.spill.scratch_slots;
+    sim::CheckReport chk =
+        sim::check_semantics(*program, *compiled, *target, sopts);
+    switch (chk.status) {
+      case sim::CheckStatus::kAgree:
+        result.semantics_checked = true;
+        break;
+      case sim::CheckStatus::kSkipped:
+        result.semantics_skipped = chk.detail;
+        break;
+      case sim::CheckStatus::kDecodeReject:
+        result.semantics_checked = true;
+        result.ok = false;
+        result.error = "semantic decode: " + chk.detail;
+        break;
+      case sim::CheckStatus::kDiverged:
+        result.semantics_checked = true;
+        result.ok = false;
+        result.error = "semantic: " + chk.detail;
+        break;
+    }
+  }
+
   result.compiled = std::move(*compiled);
   return result;
 }

@@ -60,6 +60,11 @@ struct CompileJob {
   /// Materialise JobResult::listing. Off, the listing stays derivable from
   /// JobResult::compiled without paying the formatting cost per job.
   bool want_listing = true;
+  /// After a successful compile, run the semantic oracle (sim/check.h):
+  /// execute the emitted words on the RT-level simulator and compare the
+  /// final machine state against the IR reference evaluator. Divergence
+  /// (or a decoder rejection) fails the job.
+  bool check_semantics = false;
 };
 
 struct JobTimes {
@@ -79,6 +84,10 @@ struct JobResult {
   std::size_t code_size = 0;
   std::size_t rts = 0;
   std::string listing;
+  /// Semantic-oracle outcome (CompileJob::check_semantics): whether state
+  /// was actually compared, and why not when it was skipped.
+  bool semantics_checked = false;
+  std::string semantics_skipped;
   JobTimes times;
   /// Keeps the target alive for consumers of `compiled` (whose selected RTs
   /// point into the target's template base) even after registry eviction.
@@ -91,6 +100,8 @@ struct ServiceStats {
   std::size_t completed = 0;
   std::size_t failed = 0;        // completed with !ok
   std::size_t peak_queue = 0;    // high-water mark of the request queue
+  std::size_t semantics_checked = 0;   // jobs whose state comparison ran
+  std::size_t semantics_failed = 0;    // ... and diverged / was rejected
   double total_queue_ms = 0;
   double total_compile_ms = 0;
 };

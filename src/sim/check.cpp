@@ -1,0 +1,158 @@
+#include "sim/check.h"
+
+#include <set>
+#include <sstream>
+
+#include "sim/value.h"
+#include "util/strings.h"
+
+namespace record::sim {
+
+using util::fmt;
+
+namespace {
+
+std::string hex(std::int64_t v, int width) {
+  std::ostringstream os;
+  os << "0x" << std::hex << bits_of(v, width);
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view to_string(CheckStatus s) {
+  switch (s) {
+    case CheckStatus::kAgree:
+      return "agree";
+    case CheckStatus::kDiverged:
+      return "diverged";
+    case CheckStatus::kDecodeReject:
+      return "decode-reject";
+    case CheckStatus::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+CheckReport check_semantics(const ir::Program& prog,
+                            const core::CompileResult& result,
+                            const core::RetargetResult& target,
+                            const CheckOptions& options) {
+  CheckReport report;
+
+  State initial(*target.base);
+  for (const auto& [name, v] : options.init_regs) initial.write_reg(name, v);
+  for (const auto& [mem, addr, v] : options.init_mem)
+    initial.write_mem(mem, addr, v);
+
+  EvalOptions eopts;
+  eopts.max_steps = options.max_steps;
+  eopts.max_taken_branches = options.max_taken_branches;
+  report.eval = evaluate(prog, target, eopts, &initial);
+  if (!report.eval.ok) {
+    // The reference cannot execute the program (opaque custom operator, an
+    // out-of-model address, ...): nothing to compare against.
+    report.status = CheckStatus::kSkipped;
+    report.detail = "reference evaluator: " + report.eval.error;
+    return report;
+  }
+
+  Machine machine(*target.base);
+  MachineOptions mopts;
+  mopts.max_steps = options.max_steps;
+  mopts.max_taken_branches = options.max_taken_branches;
+  mopts.in_ports = options.in_ports;
+  report.sim = machine.run(result.encoded.assembly, mopts, &initial);
+  if (!report.sim.ok) {
+    report.status = report.sim.unsupported ? CheckStatus::kSkipped
+                                           : CheckStatus::kDecodeReject;
+    report.detail = "simulator: " + report.sim.error;
+    return report;
+  }
+
+  // --- control flow must have stopped at the same program point ------------
+  if (report.eval.stop != report.sim.stop ||
+      report.eval.taken_branches != report.sim.taken_branches) {
+    report.status = CheckStatus::kDiverged;
+    report.detail = fmt(
+        "control flow diverged: reference stopped by {} after {} taken "
+        "branches, simulator by {} after {}",
+        to_string(report.eval.stop), report.eval.taken_branches,
+        to_string(report.sim.stop), report.sim.taken_branches);
+    return report;
+  }
+
+  // --- compare every observable location -----------------------------------
+  auto diverge = [&](const std::string& what, std::int64_t want,
+                     std::int64_t got, int width) {
+    report.status = CheckStatus::kDiverged;
+    report.detail = fmt("{}: simulator computed {} ({}) but the reference "
+                        "evaluator computed {} ({})",
+                        what, got, hex(got, width), want, hex(want, width));
+  };
+
+  for (const auto& [var, binding] : prog.bindings()) {
+    if (binding.kind == ir::Binding::Kind::Register) {
+      std::int64_t want = report.eval.state.read_reg(binding.storage);
+      std::int64_t got = report.sim.state.read_reg(binding.storage);
+      if (want != got) {
+        diverge(fmt("register '{}' (variable '{}')", binding.storage, var),
+                want, got, report.sim.state.reg_width(binding.storage));
+        return report;
+      }
+    } else {
+      std::int64_t want =
+          report.eval.state.read_mem(binding.storage, binding.cell);
+      std::int64_t got =
+          report.sim.state.read_mem(binding.storage, binding.cell);
+      if (want != got) {
+        diverge(fmt("{}[{}] (variable '{}')", binding.storage, binding.cell,
+                    var),
+                want, got, report.sim.state.mem_width(binding.storage));
+        return report;
+      }
+    }
+  }
+
+  std::set<std::pair<std::string, std::int64_t>> cells(
+      report.eval.stores.begin(), report.eval.stores.end());
+  for (const auto& [mem, addr] : cells) {
+    std::int64_t want = report.eval.state.read_mem(mem, addr);
+    std::int64_t got = report.sim.state.read_mem(mem, addr);
+    if (want != got) {
+      diverge(fmt("stored cell {}[{}]", mem, addr), want, got,
+              report.sim.state.mem_width(mem));
+      return report;
+    }
+  }
+
+  // Stray-write sweep: every cell the emitted code wrote — outside the
+  // compiler's reserved spill-scratch window — must also match the
+  // reference, which holds the initial value for cells the program never
+  // touches. Silent corruption of unobserved data cells cannot pass.
+  std::string scratch = options.scratch_memory;
+  if (scratch.empty())
+    for (const rtl::StorageInfo& s : target.base->storage)
+      if (s.kind == rtl::DestKind::Memory) {
+        scratch = s.name;
+        break;
+      }
+  for (const auto& [mem, addr] : report.sim.state.written_cells()) {
+    if (mem == scratch && addr >= options.scratch_base &&
+        addr < options.scratch_base + options.scratch_slots)
+      continue;
+    std::int64_t want = report.eval.state.read_mem(mem, addr);
+    std::int64_t got = report.sim.state.read_mem(mem, addr);
+    if (want != got) {
+      diverge(fmt("cell {}[{}] (written by the emitted code only)", mem,
+                  addr),
+              want, got, report.sim.state.mem_width(mem));
+      return report;
+    }
+  }
+
+  report.status = CheckStatus::kAgree;
+  return report;
+}
+
+}  // namespace record::sim

@@ -1,0 +1,76 @@
+// The semantic oracle: runs a compiled program on the RT-level simulator
+// (sim/machine.h) and the same IR program on the reference evaluator
+// (sim/eval.h) from an identical initial machine state, then compares the
+// final contents of every location the program can observe:
+//
+//   * the storage behind every program binding (registers and memory cells),
+//   * every memory cell written by a dynamic store.
+//
+// Both executors use the same step and taken-branch budgets, so they stop
+// at the same program point even for the intentionally non-terminating loop
+// programs testgen generates. Divergence of any compared location, stop
+// reason or branch count is a semantic failure; a decoder rejection of the
+// emitted words is a decode failure; programs touching machinery without
+// executable semantics (opaque custom units, unresolvable dynamic control)
+// are skipped, not failed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/compiler.h"
+#include "ir/program.h"
+#include "sim/eval.h"
+#include "sim/machine.h"
+
+namespace record::sim {
+
+enum class CheckStatus : std::uint8_t {
+  kAgree,         // every compared location matches
+  kDiverged,      // simulator and reference computed different state
+  kDecodeReject,  // the decoder rejected the emitted words
+  kSkipped        // not comparable (no executable semantics for some part)
+};
+
+[[nodiscard]] std::string_view to_string(CheckStatus s);
+
+struct CheckOptions {
+  int max_steps = 100000;
+  /// Shared taken-branch budget (see sim/eval.h).
+  int max_taken_branches = 4;
+  /// Primary input-port values seen by the simulator.
+  std::map<std::string, std::int64_t> in_ports;
+  /// Initial-state overrides applied to both executors (tests pin known
+  /// inputs this way; everything else reads sim::initial_value).
+  std::vector<std::pair<std::string, std::int64_t>> init_regs;
+  std::vector<std::tuple<std::string, std::int64_t, std::int64_t>> init_mem;
+  /// Spill-scratch placement of the compile under test (mirror the job's
+  /// sched::SpillOptions): simulator writes inside this window are
+  /// compiler-internal and excluded from the stray-write comparison.
+  /// Empty memory = the target's first memory (the spiller's default).
+  std::string scratch_memory;
+  std::int64_t scratch_base = 0x70;
+  int scratch_slots = 8;
+};
+
+struct CheckReport {
+  CheckStatus status = CheckStatus::kSkipped;
+  /// Divergence description / reject diagnostic / skip reason.
+  std::string detail;
+  EvalResult eval;
+  MachineResult sim;
+
+  [[nodiscard]] bool agree() const { return status == CheckStatus::kAgree; }
+};
+
+/// Runs the full semantic check for one compiled program.
+[[nodiscard]] CheckReport check_semantics(const ir::Program& prog,
+                                          const core::CompileResult& result,
+                                          const core::RetargetResult& target,
+                                          const CheckOptions& options = {});
+
+}  // namespace record::sim

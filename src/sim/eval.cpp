@@ -1,0 +1,285 @@
+#include "sim/eval.h"
+
+#include <map>
+
+#include "select/subject_map.h"
+#include "sim/value.h"
+#include "treeparse/burs.h"
+#include "util/strings.h"
+
+namespace record::sim {
+
+using util::fmt;
+
+std::string_view to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kHalt:
+      return "halt";
+    case StopReason::kBranchBudget:
+      return "branch-budget";
+    case StopReason::kStepBudget:
+      return "step-budget";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One program evaluation: statement dispatch plus the width-faithful
+/// expression interpreter.
+class Evaluator {
+ public:
+  Evaluator(const ir::Program& prog, const core::RetargetResult& target,
+            const EvalOptions& options, const State* initial)
+      : prog_(prog),
+        base_(*target.base),
+        g_(target.tree_grammar),
+        options_(options),
+        mapper_(base_, g_, prog, map_diags_),
+        parser_(g_),
+        promote_memo_(prog.stmts().size(), -1) {
+    result_.state = initial ? *initial : State(base_);
+  }
+
+  EvalResult run() {
+    // Label addresses resolve to statement indices.
+    std::map<std::string, std::size_t> labels;
+    for (std::size_t i = 0; i < prog_.stmts().size(); ++i)
+      if (prog_.stmts()[i].kind == ir::Stmt::Kind::LabelDef)
+        labels[prog_.stmts()[i].label] = i;
+
+    std::size_t pc = 0;
+    while (pc < prog_.stmts().size()) {
+      const ir::Stmt& stmt = prog_.stmts()[pc];
+      if (stmt.kind == ir::Stmt::Kind::LabelDef) {
+        ++pc;
+        continue;
+      }
+      if (++result_.steps > options_.max_steps) {
+        result_.stop = StopReason::kStepBudget;
+        result_.ok = true;
+        return std::move(result_);
+      }
+      switch (stmt.kind) {
+        case ir::Stmt::Kind::Assign: {
+          if (!exec_assign(stmt, pc)) return std::move(result_);
+          ++pc;
+          break;
+        }
+        case ir::Stmt::Kind::Store: {
+          if (!exec_store(stmt, pc)) return std::move(result_);
+          ++pc;
+          break;
+        }
+        case ir::Stmt::Kind::Branch: {
+          bool taken = true;
+          if (stmt.branch != ir::BranchKind::Always) {
+            const ir::Binding* b = prog_.binding_of(stmt.cond_var);
+            if (!b) {
+              fail(fmt("branch tests unbound '{}'", stmt.cond_var));
+              return std::move(result_);
+            }
+            std::int64_t v = read_binding(*b);
+            taken = (v == 0) == (stmt.branch == ir::BranchKind::IfZero);
+          }
+          if (!taken) {
+            ++pc;
+            break;
+          }
+          auto it = labels.find(stmt.label);
+          if (it == labels.end()) {
+            fail(fmt("branch target '{}' undefined", stmt.label));
+            return std::move(result_);
+          }
+          ++result_.taken_branches;
+          if (result_.taken_branches >= options_.max_taken_branches) {
+            result_.stop = StopReason::kBranchBudget;
+            result_.ok = true;
+            return std::move(result_);
+          }
+          pc = it->second;
+          break;
+        }
+        case ir::Stmt::Kind::LabelDef:
+          break;  // unreachable
+      }
+    }
+    result_.stop = StopReason::kHalt;
+    result_.ok = true;
+    return std::move(result_);
+  }
+
+ private:
+  /// Marks the run failed; run() returns the result at its exits (callers
+  /// of fail() must not move result_ themselves — the message and state
+  /// would be gutted before run() hands them out).
+  void fail(std::string why, bool unsupported = false) {
+    result_.ok = false;
+    result_.unsupported = unsupported;
+    result_.error = std::move(why);
+  }
+
+  std::int64_t read_binding(const ir::Binding& b) {
+    if (b.kind == ir::Binding::Kind::Register)
+      return result_.state.read_reg(b.storage);
+    return result_.state.read_mem(b.storage, b.cell);
+  }
+
+  bool exec_assign(const ir::Stmt& stmt, std::size_t pc) {
+    const ir::Binding* b = prog_.binding_of(stmt.dest_var);
+    if (!b) {
+      fail(fmt("destination '{}' has no binding", stmt.dest_var));
+      return false;
+    }
+    std::optional<Val> v = eval_expr(*stmt.rhs, stmt_promote(pc));
+    if (!v) return false;
+    if (b->kind == ir::Binding::Kind::Register)
+      result_.state.write_reg(b->storage, v->v);
+    else
+      result_.state.write_mem(b->storage, b->cell, v->v);
+    return true;
+  }
+
+  bool exec_store(const ir::Stmt& stmt, std::size_t pc) {
+    bool promote = stmt_promote(pc);
+    std::optional<Val> addr = eval_expr(*stmt.addr, promote);
+    if (!addr) return false;
+    std::optional<Val> v = eval_expr(*stmt.rhs, promote);
+    if (!v) return false;
+    std::int64_t cells = result_.state.mem_cells(stmt.mem);
+    if (addr->v < 0 || (cells > 0 && addr->v >= cells)) {
+      fail(fmt("store address {} out of range for memory '{}' ({} cells)",
+               addr->v, stmt.mem, cells));
+      return false;
+    }
+    result_.state.write_mem(stmt.mem, addr->v, v->v);
+    result_.stores.emplace_back(stmt.mem, addr->v);
+    return true;
+  }
+
+  /// Whether the statement at `pc` executes at promoted (accumulator)
+  /// precision — exactly the selector's retry policy: promotion applies iff
+  /// the naturally-mapped subject does not label. Memoised per statement.
+  bool stmt_promote(std::size_t pc) {
+    if (promote_memo_[pc] >= 0) return promote_memo_[pc] != 0;
+    bool promote = false;
+    const ir::Stmt& stmt = prog_.stmts()[pc];
+    if (stmt.kind == ir::Stmt::Kind::Assign ||
+        stmt.kind == ir::Stmt::Kind::Store) {
+      util::DiagnosticSink diags;
+      select::SubjectMapper mapper(base_, g_, prog_, diags);
+      std::optional<treeparse::SubjectTree> subject = mapper.map_stmt(stmt);
+      promote = !(subject && parser_.label(*subject).ok);
+    }
+    promote_memo_[pc] = promote ? 1 : 0;
+    return promote;
+  }
+
+  /// Result width of an operator node: the width of the hardware unit the
+  /// subject mapper would select — the resolved width (doubled under
+  /// statement promotion for non-custom operators), widened x2/x4 when the
+  /// target only offers the operation at fixed-point-promoted precision.
+  int exec_width(const ir::Expr& e, bool promote) {
+    int w = mapper_.resolve_width(e);
+    if (promote && e.op != hdl::OpKind::Custom) w *= 2;
+    if (e.op == hdl::OpKind::Custom || w <= 0) return w;
+    rtl::OpSig sig;
+    sig.kind = e.op;
+    sig.width = w;
+    if (g_.find_terminal(sig.name()) >= 0) return w;
+    sig.width = w * 2;
+    if (g_.find_terminal(sig.name()) >= 0) return w * 2;
+    sig.width = w * 4;
+    if (g_.find_terminal(sig.name()) >= 0) return w * 4;
+    return w;  // not offered at all; selection would have failed too
+  }
+
+  std::optional<Val> eval_expr(const ir::Expr& e, bool promote) {
+    switch (e.kind) {
+      case ir::Expr::Kind::Const:
+        return Val{e.value, 0};
+      case ir::Expr::Kind::Var: {
+        const ir::Binding* b = prog_.binding_of(e.var);
+        if (!b) {
+          fail(fmt("variable '{}' has no binding", e.var));
+          return std::nullopt;
+        }
+        int w = b->kind == ir::Binding::Kind::Register
+                    ? result_.state.reg_width(b->storage)
+                    : result_.state.mem_width(b->storage);
+        return Val{read_binding(*b), w};
+      }
+      case ir::Expr::Kind::Load: {
+        std::optional<Val> addr = eval_expr(*e.args[0], promote);
+        if (!addr) return std::nullopt;
+        std::int64_t cells = result_.state.mem_cells(e.mem);
+        if (addr->v < 0 || (cells > 0 && addr->v >= cells)) {
+          fail(fmt("load address {} out of range for memory '{}' ({} cells)",
+                   addr->v, e.mem, cells));
+          return std::nullopt;
+        }
+        return Val{result_.state.read_mem(e.mem, addr->v),
+                   result_.state.mem_width(e.mem)};
+      }
+      case ir::Expr::Kind::OpNode:
+        break;
+    }
+
+    // Operator application.
+    rtl::OpSig sig;
+    if (e.op == hdl::OpKind::Custom && (e.custom == "lo" || e.custom == "hi") &&
+        e.args.size() == 1) {
+      int w = mapper_.resolve_width(*e.args[0]);
+      if (w <= 1) {
+        fail(fmt("{}() of a width-{} operand", e.custom, w),
+             /*unsupported=*/true);
+        return std::nullopt;
+      }
+      sig = e.custom == "lo" ? rtl::slice_op_sig(w / 2 - 1, 0)
+                             : rtl::slice_op_sig(w - 1, w / 2);
+    } else if (e.op == hdl::OpKind::Custom) {
+      fail(fmt("custom operator '{}' has no executable semantics", e.custom),
+           /*unsupported=*/true);
+      return std::nullopt;
+    } else {
+      sig.kind = e.op;
+      sig.width = exec_width(e, promote);
+    }
+
+    std::vector<Val> args;
+    args.reserve(e.args.size());
+    for (const ir::ExprPtr& a : e.args) {
+      std::optional<Val> v = eval_expr(*a, promote);
+      if (!v) return std::nullopt;
+      args.push_back(*v);
+    }
+    std::string why;
+    std::optional<Val> out = apply_op(sig, args, why);
+    if (!out) {
+      fail(std::move(why), /*unsupported=*/true);
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  const ir::Program& prog_;
+  const rtl::TemplateBase& base_;
+  const grammar::TreeGrammar& g_;
+  const EvalOptions& options_;
+  util::DiagnosticSink map_diags_;
+  select::SubjectMapper mapper_;  // width resolution only
+  treeparse::TreeParser parser_;
+  std::vector<signed char> promote_memo_;
+  EvalResult result_;
+};
+
+}  // namespace
+
+EvalResult evaluate(const ir::Program& prog,
+                    const core::RetargetResult& target,
+                    const EvalOptions& options, const State* initial) {
+  Evaluator ev(prog, target, options, initial);
+  return ev.run();
+}
+
+}  // namespace record::sim

@@ -1,0 +1,74 @@
+// IR reference evaluator: executes an ir::Program directly, over the
+// target's storage cells, with modeled bit widths.
+//
+// This is the *semantic ground truth* of the fifth oracle path: what the
+// kernel program means, independent of code selection, compaction and
+// encoding. Execution follows the same width model the subject mapper uses
+// to build parser subjects (select/subject_map.h):
+//
+//   * a variable/load reads its bound storage at the storage's width,
+//   * an operator executes at its resolved width — multiplication widens
+//     (w0 + w2), other operators take the max of their operands, w<N>()
+//     casts pin the width — on the hardware unit the mapper would pick
+//     (including the x2/x4 fixed-point promotion fallback when the natural
+//     width has no unit, and the whole-statement promotion retry applied
+//     when a statement only labels at accumulator precision),
+//   * lo()/hi() are bit-field extractions over the operand's natural width,
+//   * assignments and stores truncate to the destination storage's width.
+//
+// Operator value semantics are shared with the RT simulator (sim/value.h).
+// Branches execute for real; because generated loop programs are
+// intentionally non-terminating (a backward `goto`), execution stops after
+// `max_taken_branches` taken branches — the simulator uses the same budget,
+// so both sides observe the machine after exactly the same amount of work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/record.h"
+#include "ir/program.h"
+#include "sim/state.h"
+
+namespace record::sim {
+
+enum class StopReason : std::uint8_t {
+  kHalt,          // ran past the last statement / instruction word
+  kBranchBudget,  // stopped right after the Nth taken branch
+  kStepBudget     // max_steps exceeded without halting
+};
+
+[[nodiscard]] std::string_view to_string(StopReason r);
+
+struct EvalOptions {
+  int max_steps = 100000;
+  int max_taken_branches = 4;
+};
+
+struct EvalResult {
+  bool ok = false;
+  /// True when the program uses an operator without executable semantics
+  /// (an opaque custom unit): the run is not comparable, not failing.
+  bool unsupported = false;
+  std::string error;
+  StopReason stop = StopReason::kHalt;
+  std::int64_t steps = 0;
+  std::int64_t taken_branches = 0;
+  State state;
+  /// Dynamic store locations written by the program, in execution order
+  /// (with duplicates); the oracle compares exactly these cells plus the
+  /// bound locations.
+  std::vector<std::pair<std::string, std::int64_t>> stores;
+};
+
+/// Executes `prog` against the target's storage model. `initial` (optional)
+/// seeds the pre-execution state; by default every location reads
+/// sim::initial_value.
+[[nodiscard]] EvalResult evaluate(const ir::Program& prog,
+                                  const core::RetargetResult& target,
+                                  const EvalOptions& options = {},
+                                  const State* initial = nullptr);
+
+}  // namespace record::sim

@@ -1,0 +1,345 @@
+#include "sim/machine.h"
+
+#include <functional>
+
+#include "sim/value.h"
+#include "util/strings.h"
+
+namespace record::sim {
+
+using util::fmt;
+
+namespace {
+
+/// Parses a trailing "[<bit>]" index; false if absent/malformed.
+bool parse_bit_suffix(std::string_view name, std::string_view& stem,
+                      int& bit) {
+  if (name.empty() || name.back() != ']') return false;
+  std::size_t open = name.rfind('[');
+  if (open == std::string_view::npos) return false;
+  std::string_view digits = name.substr(open + 1, name.size() - open - 2);
+  if (digits.empty()) return false;
+  bit = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    bit = bit * 10 + (c - '0');
+  }
+  stem = name.substr(0, open);
+  return true;
+}
+
+}  // namespace
+
+Machine::Machine(const rtl::TemplateBase& base) : base_(base) {
+  const bdd::BddManager& mgr = *base.mgr;
+
+  vars_.resize(static_cast<std::size_t>(mgr.var_count()));
+  for (int v = 0; v < mgr.var_count(); ++v) {
+    const std::string& n = mgr.var_name(v);
+    VarBind& b = vars_[static_cast<std::size_t>(v)];
+    std::string_view stem;
+    int bit = 0;
+    if (!parse_bit_suffix(n, stem, bit)) continue;
+    b.bit = bit;
+    if (stem == "I") {
+      b.kind = VarKind::kInstr;
+    } else if (stem.rfind("M:", 0) == 0) {
+      b.kind = VarKind::kMode;
+      b.name = std::string(stem.substr(2));
+    } else if (stem.rfind("S:@", 0) == 0) {
+      b.kind = VarKind::kPortBit;
+      b.name = std::string(stem.substr(3));
+    } else if (stem.rfind("S:", 0) == 0) {
+      // "S:<inst>.<port>": resolvable when <inst> is register-like storage
+      // (its out port is its stored value). Memory reads, opaque logic and
+      // the other "S:..." tags stay unresolvable.
+      std::string_view body = stem.substr(2);
+      std::size_t dot = body.find('.');
+      if (dot != std::string_view::npos &&
+          body.find(':') == std::string_view::npos) {
+        std::string inst(body.substr(0, dot));
+        const rtl::StorageInfo* s = base.find_storage(inst);
+        if (s && (s->kind == rtl::DestKind::Register ||
+                  s->kind == rtl::DestKind::ModeReg)) {
+          b.kind = VarKind::kRegBit;
+          b.name = std::move(inst);
+        }
+      }
+    }
+  }
+
+  support_.reserve(base.templates.size());
+  has_unresolvable_.reserve(base.templates.size());
+  for (const rtl::RTTemplate& t : base.templates) {
+    std::vector<int> sup = mgr.support(t.cond);
+    bool unres = false;
+    for (int v : sup)
+      if (vars_[static_cast<std::size_t>(v)].kind == VarKind::kUnresolvable)
+        unres = true;
+    support_.push_back(std::move(sup));
+    has_unresolvable_.push_back(unres);
+  }
+}
+
+MachineResult Machine::run(const emit::Assembly& assembly,
+                           const MachineOptions& options,
+                           const State* initial) const {
+  const bdd::BddManager& mgr = *base_.mgr;
+  MachineResult result;
+  result.state = initial ? *initial : State(base_);
+  for (const auto& [name, v] : options.in_ports)
+    result.state.set_in_port(name, v);
+
+  auto fail = [&](std::string why, bool unsupported = false) {
+    result.ok = false;
+    result.unsupported = unsupported;
+    result.error = std::move(why);
+    return result;
+  };
+
+  const std::size_t word_count = assembly.words.size();
+  // Words are addressed sequentially from 0 (emit::encode's layout).
+  for (std::size_t i = 0; i < word_count; ++i)
+    if (assembly.words[i].address != static_cast<int>(i))
+      return fail(fmt("word {} carries address {}; expected a dense layout",
+                      i, assembly.words[i].address));
+
+  std::int64_t current = 0;  // current word address while executing
+  std::string err;
+  bool unsupported = false;
+
+  /// Resolves one BDD variable against the word bits and machine state.
+  auto resolve_var = [&](int v, const emit::EncodedWord& w)
+      -> std::optional<bool> {
+    const VarBind& b = vars_[static_cast<std::size_t>(v)];
+    switch (b.kind) {
+      case VarKind::kInstr:
+        return b.bit >= 0 &&
+               b.bit < static_cast<int>(w.bits.size()) &&
+               w.bits[static_cast<std::size_t>(b.bit)];
+      case VarKind::kMode:
+      case VarKind::kRegBit: {
+        std::uint64_t bits = static_cast<std::uint64_t>(
+            result.state.read_reg(b.name));
+        return b.bit < 64 && ((bits >> b.bit) & 1u) != 0;
+      }
+      case VarKind::kPortBit: {
+        std::uint64_t bits = static_cast<std::uint64_t>(
+            result.state.read_in_port(b.name, 0));
+        return b.bit < 64 && ((bits >> b.bit) & 1u) != 0;
+      }
+      case VarKind::kUnresolvable:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  };
+
+  /// Evaluates one RT tree against the pre-cycle state.
+  std::function<std::optional<Val>(const rtl::RTNode&,
+                                   const emit::EncodedWord&)>
+      eval_node = [&](const rtl::RTNode& n,
+                      const emit::EncodedWord& w) -> std::optional<Val> {
+    switch (n.kind) {
+      case rtl::RTNode::Kind::HardConst:
+        return Val{canon(n.value, n.width), n.width};
+      case rtl::RTNode::Kind::Imm: {
+        std::int64_t v = 0;
+        for (std::size_t j = 0; j < n.imm_bits.size(); ++j) {
+          int pos = n.imm_bits[j];
+          if (pos >= 0 && pos < static_cast<int>(w.bits.size()) &&
+              w.bits[static_cast<std::size_t>(pos)])
+            v |= std::int64_t{1} << j;
+        }
+        int width = static_cast<int>(n.imm_bits.size());
+        return Val{canon(v, width), width};
+      }
+      case rtl::RTNode::Kind::RegRead: {
+        if (n.name == kProgramCounter)
+          return Val{canon(current, n.width), n.width};
+        int width = result.state.reg_width(n.name);
+        if (width == 0) width = n.width;
+        return Val{result.state.read_reg(n.name), width};
+      }
+      case rtl::RTNode::Kind::PortIn:
+        return Val{result.state.read_in_port(n.name, n.width), n.width};
+      case rtl::RTNode::Kind::MemLoad: {
+        std::optional<Val> a = eval_node(*n.children[0], w);
+        if (!a) return std::nullopt;
+        // The address port truncates to its wire width; reads outside the
+        // modeled cell count are harmless (they return deterministic
+        // initial contents) — only *writes* are bounds-checked.
+        std::int64_t addr =
+            static_cast<std::int64_t>(bits_of(a->v, a->width));
+        return Val{result.state.read_mem(n.name, addr),
+                   result.state.mem_width(n.name)};
+      }
+      case rtl::RTNode::Kind::Op: {
+        std::vector<Val> args;
+        args.reserve(n.children.size());
+        for (const rtl::RTNodePtr& c : n.children) {
+          std::optional<Val> v = eval_node(*c, w);
+          if (!v) return std::nullopt;
+          args.push_back(*v);
+        }
+        std::string why;
+        std::optional<Val> out = apply_op(n.op, args, why);
+        if (!out) {
+          err = why;
+          unsupported = true;
+          return std::nullopt;
+        }
+        return out;
+      }
+    }
+    err = "malformed RT node";
+    return std::nullopt;
+  };
+
+  while (current < static_cast<std::int64_t>(word_count)) {
+    if (++result.steps > options.max_steps) {
+      result.stop = StopReason::kStepBudget;
+      result.ok = true;
+      return result;
+    }
+    const emit::EncodedWord& w =
+        assembly.words[static_cast<std::size_t>(current)];
+
+    // --- decode: which templates fire under (bits, mode, dynamic state) ---
+    std::vector<const rtl::RTTemplate*> fired;
+    for (std::size_t t = 0; t < base_.templates.size(); ++t) {
+      const rtl::RTTemplate& tmpl = base_.templates[t];
+      if (!has_unresolvable_[t]) {
+        bdd::Assignment asg;
+        asg.reserve(support_[t].size());
+        for (int v : support_[t]) asg.emplace_back(v, *resolve_var(v, w));
+        if (mgr.eval(tmpl.cond, asg)) fired.push_back(&tmpl);
+        continue;
+      }
+      // Opaque dynamic bits in the condition: fix everything resolvable and
+      // require the residue to be constant.
+      bdd::Ref r = tmpl.cond;
+      for (int v : support_[t])
+        if (std::optional<bool> val = resolve_var(v, w))
+          r = base_.mgr->restrict(r, v, *val);
+      if (r == bdd::kFalse) continue;
+      if (r == bdd::kTrue) {
+        fired.push_back(&tmpl);
+        continue;
+      }
+      return fail(fmt("word {} ({}): condition of '{}' depends on control "
+                      "state the simulator cannot resolve",
+                      current, w.hex(), tmpl.signature()),
+                  /*unsupported=*/true);
+    }
+    if (fired.empty())
+      return fail(fmt("word {} ({}): no RT template fires — not a valid "
+                      "instruction",
+                      current, w.hex()));
+
+    // --- evaluate all fired transfers against the pre-cycle state ----------
+    struct Write {
+      const rtl::RTTemplate* t;
+      std::int64_t addr = 0;  // Memory destinations
+      std::int64_t value = 0;
+    };
+    std::vector<Write> writes;
+    writes.reserve(fired.size());
+    bool taken = false;
+    std::int64_t branch_target = 0;
+    const rtl::RTTemplate* branch_rt = nullptr;
+
+    for (const rtl::RTTemplate* t : fired) {
+      std::optional<Val> v = eval_node(*t->value, w);
+      if (!v)
+        return fail(fmt("word {} ({}): cannot evaluate '{}': {}", current,
+                        w.hex(), t->signature(), err),
+                    unsupported);
+      Write wr{t, 0, canon(v->v, t->dest_width)};
+      if (t->dest_kind == rtl::DestKind::Memory) {
+        std::optional<Val> a = eval_node(*t->addr, w);
+        if (!a)
+          return fail(fmt("word {} ({}): cannot evaluate the address of "
+                          "'{}': {}",
+                          current, w.hex(), t->signature(), err),
+                      unsupported);
+        wr.addr = static_cast<std::int64_t>(bits_of(a->v, a->width));
+        std::int64_t cells = result.state.mem_cells(t->dest);
+        if (cells > 0 && wr.addr >= cells)
+          return fail(fmt("word {} ({}): write address {} out of range for "
+                          "memory '{}' ({} cells)",
+                          current, w.hex(), wr.addr, t->dest, cells));
+      }
+      if (t->dest_kind == rtl::DestKind::Register &&
+          t->dest == kProgramCounter) {
+        std::int64_t target =
+            static_cast<std::int64_t>(bits_of(wr.value, t->dest_width));
+        if (taken && target != branch_target)
+          return fail(fmt("word {} ({}): conflicting branch targets {} and "
+                          "{}",
+                          current, w.hex(), branch_target, target));
+        taken = true;
+        branch_target = target;
+        branch_rt = t;
+        continue;
+      }
+      writes.push_back(wr);
+    }
+
+    // --- contention check + commit -----------------------------------------
+    for (std::size_t a = 0; a < writes.size(); ++a)
+      for (std::size_t b = a + 1; b < writes.size(); ++b) {
+        if (writes[a].t->dest != writes[b].t->dest) continue;
+        if (writes[a].t->dest_kind == rtl::DestKind::Memory &&
+            writes[a].addr != writes[b].addr)
+          continue;
+        if (writes[a].value != writes[b].value)
+          return fail(fmt("word {} ({}): write conflict on '{}': '{}' drives "
+                          "{} but '{}' drives {}",
+                          current, w.hex(), writes[a].t->dest,
+                          writes[a].t->signature(), writes[a].value,
+                          writes[b].t->signature(), writes[b].value));
+      }
+    for (const Write& wr : writes) {
+      switch (wr.t->dest_kind) {
+        case rtl::DestKind::Register:
+        case rtl::DestKind::ModeReg:
+          result.state.write_reg(wr.t->dest, wr.value);
+          break;
+        case rtl::DestKind::Memory:
+          result.state.write_mem(wr.t->dest, wr.addr, wr.value);
+          break;
+        case rtl::DestKind::ProcOut:
+          result.state.write_out_port(wr.t->dest, wr.value,
+                                      wr.t->dest_width);
+          break;
+      }
+    }
+
+    // --- advance -------------------------------------------------------------
+    if (taken) {
+      // Malformed targets are rejected even on the budget-exhausting
+      // branch — loop programs always stop on the budget, and a corrupted
+      // target must not slip through as a "clean" stop.
+      if (branch_target > static_cast<std::int64_t>(word_count))
+        return fail(fmt("word {} ({}): branch target {} out of range "
+                        "(program has {} words; '{}')",
+                        current, w.hex(), branch_target, word_count,
+                        branch_rt->signature()));
+      ++result.taken_branches;
+      if (result.taken_branches >= options.max_taken_branches) {
+        result.stop = StopReason::kBranchBudget;
+        result.ok = true;
+        return result;
+      }
+      current = branch_target;
+    } else {
+      ++current;
+    }
+  }
+
+  result.stop = StopReason::kHalt;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace record::sim

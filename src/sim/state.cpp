@@ -1,0 +1,86 @@
+#include "sim/state.h"
+
+#include "sim/value.h"
+
+namespace record::sim {
+
+State::State(const rtl::TemplateBase& base) {
+  for (const rtl::StorageInfo& s : base.storage) {
+    switch (s.kind) {
+      case rtl::DestKind::Register:
+      case rtl::DestKind::ModeReg:
+        reg_info_[s.name] = RegInfo{s.width};
+        break;
+      case rtl::DestKind::Memory:
+        mem_info_[s.name] = MemInfo{s.width, s.cells};
+        break;
+      case rtl::DestKind::ProcOut:
+        break;  // write-only ports are tracked in out_ports_
+    }
+  }
+}
+
+bool State::has_reg(std::string_view name) const {
+  return reg_info_.find(name) != reg_info_.end();
+}
+
+int State::reg_width(std::string_view name) const {
+  auto it = reg_info_.find(name);
+  return it == reg_info_.end() ? 0 : it->second.width;
+}
+
+std::int64_t State::read_reg(const std::string& name) {
+  auto it = regs_.find(name);
+  if (it != regs_.end()) return it->second;
+  std::int64_t v = initial_value(name, 0, reg_width(name));
+  regs_.emplace(name, v);
+  return v;
+}
+
+void State::write_reg(const std::string& name, std::int64_t v) {
+  regs_[name] = canon(v, reg_width(name));
+}
+
+bool State::has_mem(std::string_view name) const {
+  return mem_info_.find(name) != mem_info_.end();
+}
+
+int State::mem_width(std::string_view name) const {
+  auto it = mem_info_.find(name);
+  return it == mem_info_.end() ? 0 : it->second.width;
+}
+
+std::int64_t State::mem_cells(std::string_view name) const {
+  auto it = mem_info_.find(name);
+  return it == mem_info_.end() ? 0 : it->second.cells;
+}
+
+std::int64_t State::read_mem(const std::string& mem, std::int64_t addr) {
+  auto it = mem_.find({mem, addr});
+  if (it != mem_.end()) return it->second;
+  std::int64_t v = initial_value(mem, addr, mem_width(mem));
+  mem_.emplace(std::make_pair(mem, addr), v);
+  return v;
+}
+
+void State::write_mem(const std::string& mem, std::int64_t addr,
+                      std::int64_t v) {
+  mem_[{mem, addr}] = canon(v, mem_width(mem));
+  written_cells_.insert({mem, addr});
+}
+
+void State::set_in_port(const std::string& name, std::int64_t v) {
+  in_ports_[name] = v;
+}
+
+std::int64_t State::read_in_port(const std::string& name, int width) const {
+  auto it = in_ports_.find(name);
+  return it == in_ports_.end() ? 0 : canon(it->second, width);
+}
+
+void State::write_out_port(const std::string& name, std::int64_t v,
+                           int width) {
+  out_ports_[name] = canon(v, width);
+}
+
+}  // namespace record::sim

@@ -1,0 +1,90 @@
+// Machine state over a target's storage resources.
+//
+// One State instance models the contents of every register, mode register
+// and memory of a rtl::TemplateBase, plus primary input-port values and the
+// last value driven onto each output port. The IR reference evaluator and
+// the RT-level simulator both execute against a State, so their final
+// states are directly comparable location by location.
+//
+// Unwritten locations read deterministic pseudo-random initial contents
+// (sim::initial_value), identical across both executors — semantic bugs are
+// not masked by all-zero starting state, and untouched locations can never
+// diverge. Tests override individual locations before a run via write_reg /
+// write_mem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "rtl/template.h"
+
+namespace record::sim {
+
+class State {
+ public:
+  /// An empty state (no storage model); placeholder for result structs.
+  State() = default;
+  explicit State(const rtl::TemplateBase& base);
+
+  // --- registers and mode registers ---------------------------------------
+
+  [[nodiscard]] bool has_reg(std::string_view name) const;
+  [[nodiscard]] int reg_width(std::string_view name) const;  // 0 = unknown
+  /// Canonical current value; lazily initialised.
+  [[nodiscard]] std::int64_t read_reg(const std::string& name);
+  /// Truncates to the register's width.
+  void write_reg(const std::string& name, std::int64_t v);
+
+  // --- memories ------------------------------------------------------------
+
+  [[nodiscard]] bool has_mem(std::string_view name) const;
+  [[nodiscard]] int mem_width(std::string_view name) const;
+  /// Addressable cells (the model's SIZE); 0 when unknown (e.g. a template
+  /// base deserialised from a pre-v4 cache blob).
+  [[nodiscard]] std::int64_t mem_cells(std::string_view name) const;
+  [[nodiscard]] std::int64_t read_mem(const std::string& mem,
+                                      std::int64_t addr);
+  void write_mem(const std::string& mem, std::int64_t addr, std::int64_t v);
+  /// Every (memory, cell) written so far — the semantic oracle compares
+  /// these against the reference (minus the reserved spill-scratch window)
+  /// so stray writes cannot hide in unobserved cells.
+  [[nodiscard]] const std::set<std::pair<std::string, std::int64_t>>&
+  written_cells() const {
+    return written_cells_;
+  }
+
+  // --- primary ports --------------------------------------------------------
+
+  /// Input ports read 0 unless set.
+  void set_in_port(const std::string& name, std::int64_t v);
+  [[nodiscard]] std::int64_t read_in_port(const std::string& name,
+                                          int width) const;
+  /// Records the last value driven onto an output port.
+  void write_out_port(const std::string& name, std::int64_t v, int width);
+  [[nodiscard]] const std::map<std::string, std::int64_t>& out_ports() const {
+    return out_ports_;
+  }
+
+ private:
+  struct RegInfo {
+    int width = 0;
+  };
+  struct MemInfo {
+    int width = 0;
+    std::int64_t cells = 0;
+  };
+
+  std::map<std::string, RegInfo, std::less<>> reg_info_;
+  std::map<std::string, MemInfo, std::less<>> mem_info_;
+  std::map<std::string, std::int64_t> regs_;
+  std::map<std::pair<std::string, std::int64_t>, std::int64_t> mem_;
+  std::set<std::pair<std::string, std::int64_t>> written_cells_;
+  std::map<std::string, std::int64_t> in_ports_;
+  std::map<std::string, std::int64_t> out_ports_;
+};
+
+}  // namespace record::sim

@@ -1,0 +1,160 @@
+#include "sim/value.h"
+
+#include "util/strings.h"
+
+namespace record::sim {
+
+using util::fmt;
+
+std::int64_t canon(std::int64_t v, int width) {
+  if (width <= 0 || width >= 64) return v;
+  std::uint64_t u = static_cast<std::uint64_t>(v) &
+                    ((std::uint64_t{1} << width) - 1);
+  std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  return static_cast<std::int64_t>((u ^ sign) - sign);
+}
+
+std::uint64_t bits_of(std::int64_t v, int width) {
+  std::uint64_t u = static_cast<std::uint64_t>(v);
+  if (width <= 0 || width >= 64) return u;
+  return u & ((std::uint64_t{1} << width) - 1);
+}
+
+namespace {
+
+/// Parses the canonical slice-operator name "bits<msb>_<lsb>"; false if
+/// `custom` is not of that shape.
+bool parse_slice(std::string_view custom, int& msb, int& lsb) {
+  if (custom.rfind("bits", 0) != 0) return false;
+  std::string_view rest = custom.substr(4);
+  std::size_t sep = rest.find('_');
+  if (sep == std::string_view::npos) return false;
+  msb = 0;
+  lsb = 0;
+  for (char c : rest.substr(0, sep)) {
+    if (c < '0' || c > '9') return false;
+    msb = msb * 10 + (c - '0');
+  }
+  std::string_view low = rest.substr(sep + 1);
+  if (low.empty()) return false;
+  for (char c : low) {
+    if (c < '0' || c > '9') return false;
+    lsb = lsb * 10 + (c - '0');
+  }
+  return msb >= lsb;
+}
+
+/// Shift count as an unsigned quantity (counts are magnitudes, not signed
+/// values, on every modeled shifter).
+std::uint64_t shift_count(const Val& a) { return bits_of(a.v, a.width); }
+
+}  // namespace
+
+std::optional<Val> apply_op(const rtl::OpSig& sig, const std::vector<Val>& args,
+                            std::string& why) {
+  const int w = sig.width;
+  auto need = [&](std::size_t n) {
+    if (args.size() == n) return true;
+    why = fmt("operator '{}' applied to {} operands (needs {})", sig.name(),
+              args.size(), n);
+    return false;
+  };
+  auto out = [&](std::int64_t v) { return Val{canon(v, w), w}; };
+
+  if (sig.kind == hdl::OpKind::Custom) {
+    int msb = 0, lsb = 0;
+    if (parse_slice(sig.custom, msb, lsb)) {
+      if (!need(1)) return std::nullopt;
+      // Bit-field extraction over the operand's wires: bits beyond the
+      // operand's width read 0 (sema rejects slices past a port's width,
+      // so well-formed templates never depend on them).
+      std::uint64_t u = bits_of(args[0].v, args[0].width);
+      if (lsb >= 64) return out(0);
+      return out(static_cast<std::int64_t>(u >> lsb));
+    }
+    why = fmt("custom operator '{}' has no executable semantics", sig.custom);
+    return std::nullopt;
+  }
+
+  switch (sig.kind) {
+    case hdl::OpKind::Add:
+      if (!need(2)) return std::nullopt;
+      return out(args[0].v + args[1].v);
+    case hdl::OpKind::Sub:
+      if (!need(2)) return std::nullopt;
+      return out(args[0].v - args[1].v);
+    case hdl::OpKind::Mul:
+      if (!need(2)) return std::nullopt;
+      // Wrapping product of the canonical (signed) operands; a widening
+      // multiplier's full result is exact because operand widths sum to w.
+      return out(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(args[0].v) *
+          static_cast<std::uint64_t>(args[1].v)));
+    case hdl::OpKind::Div:
+      if (!need(2)) return std::nullopt;
+      if (args[1].v == 0) return out(0);
+      // INT64_MIN / -1 would trap; it cannot arise from canonical operands
+      // of width < 64, but guard anyway.
+      if (args[0].v == INT64_MIN && args[1].v == -1) return out(INT64_MIN);
+      return out(args[0].v / args[1].v);
+    case hdl::OpKind::And:
+      if (!need(2)) return std::nullopt;
+      return out(args[0].v & args[1].v);
+    case hdl::OpKind::Or:
+      if (!need(2)) return std::nullopt;
+      return out(args[0].v | args[1].v);
+    case hdl::OpKind::Xor:
+      if (!need(2)) return std::nullopt;
+      return out(args[0].v ^ args[1].v);
+    case hdl::OpKind::Shl: {
+      if (!need(2)) return std::nullopt;
+      std::uint64_t c = shift_count(args[1]);
+      if (c >= 64) return out(0);
+      return out(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(args[0].v) << c));
+    }
+    case hdl::OpKind::Shr: {
+      // Logical shift over the operator-width pattern (zeros shift in).
+      if (!need(2)) return std::nullopt;
+      std::uint64_t c = shift_count(args[1]);
+      if (c >= 64) return out(0);
+      return out(static_cast<std::int64_t>(bits_of(args[0].v, w) >> c));
+    }
+    case hdl::OpKind::Neg:
+      if (!need(1)) return std::nullopt;
+      return out(-args[0].v);
+    case hdl::OpKind::Not:
+      if (!need(1)) return std::nullopt;
+      return out(~args[0].v);
+    case hdl::OpKind::Sxt:
+      // The operand is already canonical (sign-extended), so extension to a
+      // wider width is the identity on the carried value.
+      if (!need(1)) return std::nullopt;
+      return out(args[0].v);
+    case hdl::OpKind::Zxt:
+      if (!need(1)) return std::nullopt;
+      return out(static_cast<std::int64_t>(bits_of(args[0].v, args[0].width)));
+    case hdl::OpKind::Custom:
+      break;  // handled above
+  }
+  why = fmt("operator '{}' has no executable semantics", sig.name());
+  return std::nullopt;
+}
+
+std::int64_t initial_value(std::string_view storage, std::int64_t cell,
+                           int width) {
+  // FNV-1a over the name, then one splitmix64 round mixing in the cell.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : storage) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::uint64_t z = h + static_cast<std::uint64_t>(cell) * 0x9e3779b97f4a7c15ull +
+                    0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return canon(static_cast<std::int64_t>(z), width);
+}
+
+}  // namespace record::sim

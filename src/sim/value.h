@@ -1,0 +1,66 @@
+// Executable operator semantics shared by the IR reference evaluator and the
+// RT-level instruction-set simulator (sim/eval.h, sim/machine.h).
+//
+// Both executors must compute bit-identical results, so the value model is
+// defined once, here:
+//
+//   * A value of width w is the signed two's-complement reading of its low
+//     w bits; values are carried canonically sign-extended in an int64
+//     (width 0 means "exact": unconstrained integers such as IR constants).
+//   * Every operator application truncates its result to the operator's
+//     result width (the hardware unit's output wires).
+//   * Narrow operands entering a wider operator contribute their canonical
+//     (sign-extended) value; explicit ZXT/SXT nodes in RT trees override
+//     this, exactly as the modeled extender units do.
+//   * Shr is a logical shift over the operator-width bit pattern; Shl/Shr
+//     counts are read as unsigned; Div is signed C++ truncating division
+//     with x/0 = 0.
+//
+// These conventions match the ALU semantics of the built-in models (which
+// sign-extend memory and immediate operands into wider datapaths via SXT
+// units and zero-extend via ZXT units) and the testgen-generated machines
+// (same-width ALUs behind ZXT immediate extenders).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtl/template.h"
+
+namespace record::sim {
+
+/// A width-qualified value: `v` is canonical (sign-extended low `width`
+/// bits); width 0 carries an exact integer.
+struct Val {
+  std::int64_t v = 0;
+  int width = 0;
+};
+
+/// Sign-extends the low `width` bits of `v`; width <= 0 or >= 64 returns `v`.
+[[nodiscard]] std::int64_t canon(std::int64_t v, int width);
+
+/// The low `width` bits of `v` as an unsigned pattern; width <= 0 or >= 64
+/// returns the full 64-bit pattern.
+[[nodiscard]] std::uint64_t bits_of(std::int64_t v, int width);
+
+/// Applies one hardware operator to its operand values. Returns nullopt for
+/// operators without modeled executable semantics (opaque custom units such
+/// as RND), with `why` naming the problem; arity mismatches also fail here.
+/// Canonical slice operators ("bits<msb>_<lsb>", rtl::slice_op_sig) are
+/// executed as bit-field extractions.
+[[nodiscard]] std::optional<Val> apply_op(const rtl::OpSig& sig,
+                                          const std::vector<Val>& args,
+                                          std::string& why);
+
+/// Deterministic initial contents of a storage cell: a splitmix64 hash of
+/// (storage name, cell index) truncated to `width` bits and returned
+/// canonically. Registers use cell 0. Both executors (and tests) derive the
+/// same pre-execution machine state from this function, so untouched
+/// locations never diverge.
+[[nodiscard]] std::int64_t initial_value(std::string_view storage,
+                                         std::int64_t cell, int width);
+
+}  // namespace record::sim

@@ -11,6 +11,7 @@
 #include "ir/kernel_lang.h"
 #include "service/json.h"
 #include "service/service.h"
+#include "sim/check.h"
 #include "testgen/programgen.h"
 #include "util/strings.h"
 
@@ -55,6 +56,31 @@ std::string default_cache_dir() {
   return (std::filesystem::temp_directory_path() /
           fmt("record-testgen-cache-{}", static_cast<unsigned>(::getpid())))
       .string();
+}
+
+std::string_view to_string(FailureClass c) {
+  switch (c) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kStructural:
+      return "structural";
+    case FailureClass::kDecode:
+      return "decode";
+    case FailureClass::kSemantic:
+      return "semantic";
+  }
+  return "?";
+}
+
+FailureClass classify_failure(std::string_view failure) {
+  if (failure.empty()) return FailureClass::kNone;
+  // Stable prefixes written by check_pair; everything else (compile paths
+  // disagreeing, retarget failures) is structural.
+  if (failure.rfind("round trip:", 0) == 0 ||
+      failure.rfind("semantic decode:", 0) == 0)
+    return FailureClass::kDecode;
+  if (failure.rfind("semantic:", 0) == 0) return FailureClass::kSemantic;
+  return FailureClass::kStructural;
 }
 
 std::string roundtrip_issues(const core::CompileResult& result,
@@ -152,8 +178,10 @@ std::string roundtrip_issues(const core::CompileResult& result,
   return "";
 }
 
-OracleReport check_pair(std::string_view hdl, const ir::Program& prog,
-                        const OracleOptions& options) {
+namespace {
+
+OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
+                              const OracleOptions& options) {
   OracleReport rep;
 
   // --- path 1 + 2: interpreter vs tables over one cold retarget ----------
@@ -278,7 +306,40 @@ OracleReport check_pair(std::string_view hdl, const ir::Program& prog,
     }
   }
 
+  // --- path 5: semantic oracle (simulator vs. reference evaluator) --------
+  if (options.semantics && ref) {
+    sim::CheckOptions sopts;
+    sopts.max_taken_branches = options.sim_branches;
+    sopts.scratch_memory = options.compile.spill.scratch_memory;
+    sopts.scratch_base = options.compile.spill.scratch_base;
+    sopts.scratch_slots = options.compile.spill.scratch_slots;
+    sim::CheckReport chk = sim::check_semantics(prog, *ref, *target, sopts);
+    switch (chk.status) {
+      case sim::CheckStatus::kAgree:
+        rep.semantics_checked = true;
+        break;
+      case sim::CheckStatus::kSkipped:
+        rep.semantics_skipped = chk.detail;
+        break;
+      case sim::CheckStatus::kDecodeReject:
+        rep.failure = "semantic decode: " + chk.detail;
+        return rep;
+      case sim::CheckStatus::kDiverged:
+        rep.failure = "semantic: " + chk.detail;
+        return rep;
+    }
+  }
+
   rep.agree = true;
+  return rep;
+}
+
+}  // namespace
+
+OracleReport check_pair(std::string_view hdl, const ir::Program& prog,
+                        const OracleOptions& options) {
+  OracleReport rep = check_pair_inner(hdl, prog, options);
+  rep.clazz = classify_failure(rep.failure);
   return rep;
 }
 
@@ -384,6 +445,7 @@ bool write_repro(const std::string& path, const Repro& r) {
   doc.set("model", service::Json(r.model));
   doc.set("knobs", service::Json(r.knobs));
   doc.set("failure", service::Json(r.failure));
+  doc.set("failure_class", service::Json(r.failure_class));
   doc.set("spill_base", service::Json(static_cast<double>(r.spill_base)));
   doc.set("spill_slots", service::Json(r.spill_slots));
   doc.set("kernel", service::Json(r.kernel));
@@ -409,6 +471,9 @@ std::optional<Repro> load_repro(const std::string& path) {
   r.model = (*doc)["model"].as_string();
   r.knobs = (*doc)["knobs"].as_string();
   r.failure = (*doc)["failure"].as_string();
+  r.failure_class = (*doc)["failure_class"].as_string();
+  if (r.failure_class.empty())  // pre-class repro files
+    r.failure_class = std::string(to_string(classify_failure(r.failure)));
   r.spill_base = (*doc)["spill_base"].as_int();
   r.spill_slots = static_cast<int>((*doc)["spill_slots"].as_int());
   r.kernel = (*doc)["kernel"].as_string();

@@ -2,24 +2,31 @@
 // layer (after unit tests, cross-engine differential tests and sanitizer
 // jobs).
 //
-// One (model, program) pair is pushed through FOUR independent compile
-// paths —
+// One (model, program) pair is pushed through FIVE independent checks —
 //   1. treeparse::TreeParser        (dynamic-programming interpreter)
 //   2. burstab::TableParser         (compiled BURS state tables)
 //   3. the warm TargetCache path    (serialise -> reload -> compile)
 //   4. a multi-worker CompileService batch (registry + kernel frontend)
-// — asserting bit-identical listings and instruction encodings across all of
-// them. On top, every encoded instruction word is decode-checked against the
+//   5. the semantic oracle          (RT-level simulator vs. IR reference
+//                                    evaluator, sim/check.h)
+// — asserting bit-identical listings and instruction encodings across paths
+// 1-4. On top, every encoded instruction word is decode-checked against the
 // BDD execution conditions of the RTs it claims to carry (encode -> decode
 // round trip): the emitted bits must fire each packed RT for some mode state,
 // immediate fields must hold the bound values, and branch fields the resolved
-// target addresses — all at in-bounds bit positions.
+// target addresses — all at in-bounds bit positions. Path 5 then *executes*
+// the emitted words on the instruction-set simulator and compares the final
+// register/memory state against the reference evaluator, bit for bit.
 //
 // A pair where NO path compiles (the model genuinely cannot cover the
 // program) counts as agreement with compiled=false; divergence of any kind is
-// a failure. minimize_program() shrinks a failing program against an
-// arbitrary predicate; write_repro()/load_repro() serialise a failure to a
-// standalone JSON file that fuzz_retarget --replay reproduces.
+// a failure, classified (FailureClass) as structural (listings/encodings
+// differ), decode (round-trip violation or simulator rejection) or semantic
+// (simulated state diverges from the reference). minimize_program() shrinks a
+// failing program against an arbitrary predicate — drivers preserve the
+// failure class while shrinking, so a semantic repro cannot collapse into an
+// unrelated structural one; write_repro()/load_repro() serialise a failure to
+// a standalone JSON file that fuzz_retarget --replay reproduces.
 #pragma once
 
 #include <cstdint>
@@ -61,15 +68,37 @@ struct OracleOptions {
   /// deterministic, so sharing it across a model's programs drops the
   /// redundant pipeline runs); null = cold retarget inside check_pair.
   std::shared_ptr<const core::RetargetResult> target;
+  /// Run the semantic oracle (path 5: simulator vs. reference evaluator).
+  bool semantics = true;
+  /// Taken-branch budget shared by both semantic executors (sim/eval.h).
+  int sim_branches = 4;
 };
+
+/// What kind of divergence a failing pair exhibits. The minimizer keeps the
+/// class fixed while shrinking.
+enum class FailureClass : std::uint8_t {
+  kNone,        // no failure
+  kStructural,  // paths 1-4 disagree (listings, encodings, compile outcome)
+  kDecode,      // encode->decode round trip broken / simulator reject
+  kSemantic     // simulated final state diverges from the reference
+};
+
+[[nodiscard]] std::string_view to_string(FailureClass c);
+
+/// Classifies a failure string by its stable prefix (used when replaying
+/// repro files that predate the class field).
+[[nodiscard]] FailureClass classify_failure(std::string_view failure);
 
 struct OracleReport {
   bool agree = false;     // all paths consistent (and round trip clean)
   bool compiled = false;  // the pair actually compiled
   std::string failure;    // first divergence; empty when agree
+  FailureClass clazz = FailureClass::kNone;
   std::string listing;    // reference listing (when compiled)
   std::size_t words = 0;  // encoded instruction words
   std::size_t templates = 0;  // target's extended-base size
+  bool semantics_checked = false;  // path 5 actually compared state
+  std::string semantics_skipped;   // why path 5 was skipped (when it was)
 };
 
 /// <system temp>/record-testgen-cache-<pid>
@@ -102,6 +131,7 @@ struct Repro {
   std::string hdl;      // complete model source
   std::string kernel;   // minimized kernel-language program
   std::string failure;  // what diverged
+  std::string failure_class;  // to_string(FailureClass) of the divergence
   std::int64_t spill_base = 0;  // scratch placement used by the failing run
   int spill_slots = 0;
 };

@@ -1,0 +1,457 @@
+// Behavioral closure tests: the RT-level instruction-set simulator
+// (sim/machine.h) against the IR reference evaluator (sim/eval.h).
+//
+// Covers: shared operator semantics, the semantic oracle on all six
+// built-in models' chain workloads, testgen-generated machines, simulator-
+// verified equivalence of compacted vs. uncompacted schedules, mode-register
+// tracking (bass_boost's scaling mode), negative decode (corrupted words
+// must be rejected with a diagnostic, not silently executed), the warm
+// TargetCache path carrying memory cell counts, and the CompileService
+// semantic-check job option.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/compiler.h"
+#include "core/record.h"
+#include "ir/builder.h"
+#include "ir/kernel_lang.h"
+#include "models/workload.h"
+#include "service/service.h"
+#include "sim/check.h"
+#include "sim/eval.h"
+#include "sim/machine.h"
+#include "sim/value.h"
+#include "testgen/modelgen.h"
+#include "testgen/oracle.h"
+#include "testgen/programgen.h"
+
+namespace record::sim {
+namespace {
+
+std::optional<core::RetargetResult> retarget_model(std::string_view name) {
+  util::DiagnosticSink diags;
+  auto r = core::Record::retarget_model(name, core::RetargetOptions{}, diags);
+  EXPECT_TRUE(r) << name << ": " << diags.str();
+  return r;
+}
+
+std::optional<core::CompileResult> compile(
+    const core::RetargetResult& target, const ir::Program& prog,
+    const core::CompileOptions& options = {}) {
+  core::Compiler compiler(target);
+  util::DiagnosticSink diags;
+  auto r = compiler.compile(prog, options, diags);
+  EXPECT_TRUE(r) << prog.name() << ": " << diags.str();
+  return r;
+}
+
+// --- shared operator semantics ---------------------------------------------
+
+TEST(Value, CanonSignExtends) {
+  EXPECT_EQ(canon(0x7fff, 16), 0x7fff);
+  EXPECT_EQ(canon(0x8000, 16), -32768);
+  EXPECT_EQ(canon(0x1ffff, 16), -1);
+  EXPECT_EQ(canon(-1, 16), -1);
+  EXPECT_EQ(canon(5, 0), 5);  // width 0 = exact
+  EXPECT_EQ(bits_of(-1, 16), 0xffffu);
+  EXPECT_EQ(bits_of(-1, 0), ~0ull);
+}
+
+TEST(Value, ApplyOpMatchesTwoComplementSemantics) {
+  std::string why;
+  auto bin = [&](hdl::OpKind k, int w, std::int64_t a, int wa,
+                 std::int64_t b, int wb) {
+    rtl::OpSig sig;
+    sig.kind = k;
+    sig.width = w;
+    auto r = apply_op(sig, {Val{a, wa}, Val{b, wb}}, why);
+    EXPECT_TRUE(r) << why;
+    return r ? r->v : 0;
+  };
+  EXPECT_EQ(bin(hdl::OpKind::Add, 16, 0x7fff, 16, 1, 16), -32768);  // wrap
+  EXPECT_EQ(bin(hdl::OpKind::Sub, 16, 0, 16, 1, 16), -1);
+  // Widening multiply: signed 16x16 -> exact 32-bit product.
+  EXPECT_EQ(bin(hdl::OpKind::Mul, 32, -3, 16, 1000, 16), -3000);
+  // Truncating multiply at 16 bits.
+  EXPECT_EQ(bin(hdl::OpKind::Mul, 16, 0x100, 16, 0x100, 16), 0);
+  // Shr is logical over the operator width.
+  EXPECT_EQ(bin(hdl::OpKind::Shr, 16, -2, 16, 1, 16), 0x7fff);
+  EXPECT_EQ(bin(hdl::OpKind::Div, 16, 7, 16, 0, 16), 0);  // x/0 = 0
+
+  rtl::OpSig slice = rtl::slice_op_sig(31, 16);
+  auto hi = apply_op(slice, {Val{0x12348765, 32}}, why);
+  ASSERT_TRUE(hi);
+  EXPECT_EQ(hi->v, 0x1234);
+
+  rtl::OpSig rnd;
+  rnd.kind = hdl::OpKind::Custom;
+  rnd.custom = "RND";
+  rnd.width = 16;
+  EXPECT_FALSE(apply_op(rnd, {Val{1, 16}}, why));  // opaque: unsupported
+}
+
+TEST(Value, InitialValueIsDeterministicAndWidthBounded) {
+  EXPECT_EQ(initial_value("ACC", 0, 32), initial_value("ACC", 0, 32));
+  EXPECT_NE(initial_value("ACC", 0, 32), initial_value("T", 0, 32));
+  EXPECT_NE(initial_value("ram", 3, 16), initial_value("ram", 4, 16));
+  std::int64_t v = initial_value("ram", 3, 16);
+  EXPECT_EQ(v, canon(v, 16));
+}
+
+// --- reference evaluator ----------------------------------------------------
+
+TEST(Evaluator, PinnedArithmeticOnDemo) {
+  auto target = retarget_model("demo");
+  ASSERT_TRUE(target);
+  util::DiagnosticSink d;
+  auto prog = ir::parse_kernel(
+      "kernel ev;\n"
+      "bind a: R0;\nbind b: R1;\nbind c: R2;\n"
+      "a = 100;\n"
+      "b = (a - 101);\n"       // -1 (wraps in 16 bits)
+      "c = w16((b * 3));\n"    // -3, truncating multiply
+      "a = (b ^ 21);\n",       // -1 ^ 21 = ~21 = -22
+      d);
+  ASSERT_TRUE(prog) << d.str();
+  EvalResult r = evaluate(*prog, *target);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stop, StopReason::kHalt);
+  EXPECT_EQ(r.state.read_reg("R1"), -1);
+  EXPECT_EQ(r.state.read_reg("R2"), -3);
+  EXPECT_EQ(r.state.read_reg("R0"), -22);
+}
+
+TEST(Evaluator, BranchBudgetStopsBackwardLoop) {
+  auto target = retarget_model("demo");
+  ASSERT_TRUE(target);
+  util::DiagnosticSink d;
+  auto prog = ir::parse_kernel(
+      "kernel lp;\nbind a: R0;\na = 0;\ntop:\na = (a + 1);\ngoto top;\n", d);
+  ASSERT_TRUE(prog) << d.str();
+  EvalOptions opts;
+  opts.max_taken_branches = 4;
+  EvalResult r = evaluate(*prog, *target, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stop, StopReason::kBranchBudget);
+  EXPECT_EQ(r.taken_branches, 4);
+  // Body ran exactly 4 times before the 4th taken branch stopped the run.
+  EXPECT_EQ(r.state.read_reg("R0"), 4);
+}
+
+// --- semantic oracle: the six built-in models ------------------------------
+
+class ChainSemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSemantics, SimulatorMatchesReference) {
+  const models::ChainShape& shape = models::kChainShapes[GetParam()];
+  auto target = retarget_model(shape.model);
+  ASSERT_TRUE(target);
+  ir::Program prog = models::chain_program(shape, 6);
+  auto compiled = compile(*target, prog);
+  ASSERT_TRUE(compiled);
+  CheckReport rep = check_semantics(prog, *compiled, *target);
+  EXPECT_EQ(rep.status, CheckStatus::kAgree)
+      << shape.model << ": " << rep.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(SixModels, ChainSemantics,
+                         ::testing::Range(0, 6));
+
+TEST_P(ChainSemantics, CompactedAndUncompactedSchedulesAreEquivalent) {
+  const models::ChainShape& shape = models::kChainShapes[GetParam()];
+  auto target = retarget_model(shape.model);
+  ASSERT_TRUE(target);
+  ir::Program prog = models::chain_program(shape, 5);
+
+  core::CompileOptions flat;
+  flat.compact.enabled = false;
+  auto packed = compile(*target, prog);
+  auto serial = compile(*target, prog, flat);
+  ASSERT_TRUE(packed && serial);
+  EXPECT_GE(serial->code_size(), packed->code_size());
+
+  // Both schedules must agree with the reference — and hence with each
+  // other — on every bound storage.
+  CheckReport rp = check_semantics(prog, *packed, *target);
+  CheckReport rs = check_semantics(prog, *serial, *target);
+  EXPECT_EQ(rp.status, CheckStatus::kAgree) << shape.model << ": "
+                                            << rp.detail;
+  EXPECT_EQ(rs.status, CheckStatus::kAgree) << shape.model << ": "
+                                            << rs.detail;
+  for (const auto& [var, b] : prog.bindings()) {
+    if (b.kind != ir::Binding::Kind::Register) continue;
+    EXPECT_EQ(rp.sim.state.read_reg(b.storage),
+              rs.sim.state.read_reg(b.storage))
+        << shape.model << ": packed and serial schedules disagree on "
+        << b.storage;
+  }
+}
+
+// --- mode-register tracking (bass_boost scaling mode) ----------------------
+
+TEST(ModeRegisters, ScaledStoreRunsCorrectlyFromUnknownModeState) {
+  auto target = retarget_model("bass_boost");
+  ASSERT_TRUE(target);
+  ir::ProgramBuilder b("bass_mac_out");
+  b.reg("acc", "A").cell("u", "sram", 0).cell("v", "crom", 1);
+  b.cell("out", "sram", 40);
+  b.let("acc", ir::e_mul(ir::e_var("u"), ir::e_var("v")));
+  b.let("out", ir::e_lo(ir::e_var("acc")));
+  ir::Program prog = b.take();
+  auto compiled = compile(*target, prog);
+  ASSERT_TRUE(compiled);
+  // The scl unit's condition depends on mode register SM: compaction must
+  // have inserted a mode set, and the simulator — which starts SM from an
+  // arbitrary (hash) value — must still compute the right store.
+  EXPECT_GE(compiled->compacted.stats.mode_sets_inserted, 1u);
+  CheckReport rep = check_semantics(prog, *compiled, *target);
+  EXPECT_EQ(rep.status, CheckStatus::kAgree) << rep.detail;
+}
+
+// --- negative decode --------------------------------------------------------
+
+// A tiny accumulator machine for corruption tests: 8-bit R0, a 5-cell
+// memory (non-power-of-2, so decoded addresses 5..7 are out of range), and
+// a PC fed from the 3-bit immediate field.
+//
+// Word (8 bits): imm/addr 2:0, bsel 4:3, dst 6:5 (1 = R0, 2 = PC), we 7.
+constexpr std::string_view kNegDecHdl = R"HDL(
+PROCESSOR negdec;
+CONTROLLER iw (OUT w:(7:0));
+REGISTER R0 (IN d:(7:0); OUT q:(7:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+REGISTER PC (IN d:(2:0); OUT q:(2:0); CTRL ld:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+END;
+MEMORY mem (IN addr:(2:0); IN din:(7:0); OUT dout:(7:0);
+            CTRL we:(0:0)) SIZE 5;
+BEHAVIOR
+  dout := CELL[addr];
+  CELL[addr] := din WHEN we = 1;
+END;
+MODULE izx (IN a:(2:0); OUT y:(7:0));
+BEHAVIOR
+  y := ZXT(a);
+END;
+MODULE bmux (IN r:(7:0); IN i:(7:0); IN m:(7:0); OUT y:(7:0); CTRL s:(1:0));
+BEHAVIOR
+  y := r WHEN s = 0;
+  y := i WHEN s = 1;
+  y := m WHEN s = 2;
+END;
+MODULE ddec (IN d:(1:0); OUT r0:(0:0); OUT pc:(0:0));
+BEHAVIOR
+  r0 := 1 WHEN d = 1;
+  pc := 1 WHEN d = 2;
+END;
+STRUCTURE
+PARTS
+  IW:  iw;
+  R0:  R0;
+  PC:  PC;
+  mem: mem;
+  IZX: izx;
+  BM:  bmux;
+  DD:  ddec;
+CONNECTIONS
+  IZX.a := IW.w(2:0);
+  BM.r  := R0.q;
+  BM.i  := IZX.y;
+  BM.m  := mem.dout;
+  BM.s  := IW.w(4:3);
+  R0.d  := BM.y;
+  R0.ld := DD.r0;
+  DD.d  := IW.w(6:5);
+  PC.d  := IW.w(2:0);
+  PC.ld := DD.pc;
+  mem.addr := IW.w(2:0);
+  mem.din  := R0.q;
+  mem.we   := IW.w(7:7);
+END;
+)HDL";
+
+struct NegDec {
+  core::RetargetResult target;
+  core::CompileResult compiled;
+};
+
+std::optional<NegDec> compile_negdec(std::string_view kernel) {
+  util::DiagnosticSink d1, d2, d3;
+  auto target = core::Record::retarget(kNegDecHdl, core::RetargetOptions{},
+                                       d1);
+  EXPECT_TRUE(target) << d1.str();
+  if (!target) return std::nullopt;
+  auto prog = ir::parse_kernel(kernel, d2);
+  EXPECT_TRUE(prog) << d2.str();
+  if (!prog) return std::nullopt;
+  core::Compiler compiler(*target);
+  core::CompileOptions copts;
+  copts.spill.scratch_base = 4;  // cell 4 is the only non-program cell
+  copts.spill.scratch_slots = 1;
+  auto compiled = compiler.compile(*prog, copts, d3);
+  EXPECT_TRUE(compiled) << d3.str();
+  if (!compiled) return std::nullopt;
+  return NegDec{std::move(*target), std::move(*compiled)};
+}
+
+MachineResult run_words(const NegDec& n) {
+  Machine machine(*n.target.base);
+  return machine.run(n.compiled.encoded.assembly, {});
+}
+
+TEST(NegativeDecode, UncorruptedProgramsExecute) {
+  auto n = compile_negdec("kernel ok;\nbind a: R0;\na = 3;\n");
+  ASSERT_TRUE(n);
+  MachineResult r = run_words(*n);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.state.read_reg("R0"), 3);
+}
+
+TEST(NegativeDecode, WordFiringNoTemplateIsRejected) {
+  auto n = compile_negdec("kernel ok;\nbind a: R0;\na = 3;\n");
+  ASSERT_TRUE(n);
+  // Clear the dst field (bits 5:6) and we (bit 7): nothing fires.
+  emit::EncodedWord& w = n->compiled.encoded.assembly.words.front();
+  w.bits[5] = w.bits[6] = w.bits[7] = false;
+  MachineResult r = run_words(*n);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.unsupported);
+  EXPECT_NE(r.error.find("no RT template fires"), std::string::npos)
+      << r.error;
+}
+
+TEST(NegativeDecode, OutOfRangeStoreAddressIsRejected) {
+  auto n = compile_negdec(
+      "kernel st;\nbind a: R0;\ncell m1: mem[1];\nm1 = a;\n");
+  ASSERT_TRUE(n);
+  // Find the store word and corrupt its address field (bits 2:0) to 7 —
+  // beyond the 5-cell memory.
+  bool corrupted = false;
+  for (emit::EncodedWord& w : n->compiled.encoded.assembly.words) {
+    if (!w.bits[7]) continue;  // we = 1 marks the store
+    w.bits[0] = w.bits[1] = w.bits[2] = true;
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted) << "no store word found";
+  MachineResult r = run_words(*n);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos) << r.error;
+}
+
+TEST(NegativeDecode, OutOfRangeBranchTargetIsRejected) {
+  auto n = compile_negdec(
+      "kernel br;\nbind a: R0;\ntop:\na = 1;\ngoto top;\n");
+  ASSERT_TRUE(n);
+  // Find the branch word (dst field = 2) and corrupt the target to 7 —
+  // far beyond the 2-word program.
+  bool corrupted = false;
+  for (emit::EncodedWord& w : n->compiled.encoded.assembly.words) {
+    if (!(w.bits[6] && !w.bits[5])) continue;  // dst == 2
+    w.bits[0] = w.bits[1] = w.bits[2] = true;
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted) << "no branch word found";
+  MachineResult r = run_words(*n);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("branch target"), std::string::npos) << r.error;
+}
+
+TEST(NegativeDecode, BitFlipChangingTheImmediateStillExecutesButDiverges) {
+  // Not every corruption is structurally invalid: flipping an immediate bit
+  // yields a perfectly decodable word computing a different value. The
+  // decoder executes it — and the semantic oracle reports the divergence.
+  auto n = compile_negdec("kernel ok;\nbind a: R0;\na = 3;\n");
+  ASSERT_TRUE(n);
+  util::DiagnosticSink d;
+  auto prog = ir::parse_kernel("kernel ok;\nbind a: R0;\na = 3;\n", d);
+  ASSERT_TRUE(prog);
+  n->compiled.encoded.assembly.words.front().bits[2] = true;  // 3 -> 7
+  CheckReport rep = check_semantics(*prog, n->compiled, n->target);
+  EXPECT_EQ(rep.status, CheckStatus::kDiverged);
+  EXPECT_NE(rep.detail.find("R0"), std::string::npos) << rep.detail;
+}
+
+// --- generated machines ------------------------------------------------------
+
+TEST(GeneratedMachines, SemanticOracleOverSeedRange) {
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed <= 25; ++seed) {
+    testgen::GeneratedModel m = testgen::generate_model(seed);
+    for (std::uint64_t p = 0; p < 2; ++p) {
+      testgen::GeneratedProgram gp = testgen::generate_program(m, p);
+      testgen::OracleOptions o;
+      o.service = false;  // keep the unit test fast; fuzz covers the rest
+      o.cache = false;
+      if (m.spill_slots > 0) {
+        o.compile.spill.scratch_base = m.spill_base;
+        o.compile.spill.scratch_slots = m.spill_slots;
+      }
+      testgen::OracleReport rep = testgen::check_pair(m.hdl, gp.program, o);
+      EXPECT_TRUE(rep.agree) << "seed " << seed << " p" << p << ": "
+                             << rep.failure << "\n"
+                             << gp.kernel;
+      if (rep.semantics_checked) ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10) << "semantic oracle barely exercised";
+}
+
+// --- warm TargetCache carries the storage model ----------------------------
+
+TEST(WarmCache, ReloadedTargetKeepsMemorySizesAndSimulates) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-sim-cache-test")
+          .string();
+  std::filesystem::remove_all(dir);
+  core::RetargetOptions opts;
+  opts.use_target_cache = true;
+  opts.cache_dir = dir;
+  util::DiagnosticSink d1, d2;
+  auto cold = core::Record::retarget_model("demo", opts, d1);
+  auto warm = core::Record::retarget_model("demo", opts, d2);
+  ASSERT_TRUE(cold && warm) << d1.str() << d2.str();
+  EXPECT_TRUE(warm->cache_hit);
+  const rtl::StorageInfo* mem = warm->base->find_storage("mem");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->cells, 2048);
+
+  ir::Program prog = models::chain_program(models::kChainShapes[0], 4);
+  auto compiled = compile(*warm, prog);
+  ASSERT_TRUE(compiled);
+  CheckReport rep = check_semantics(prog, *compiled, *warm);
+  EXPECT_EQ(rep.status, CheckStatus::kAgree) << rep.detail;
+  std::filesystem::remove_all(dir);
+}
+
+// --- CompileService semantic-check jobs ------------------------------------
+
+TEST(Service, CheckSemanticsJobReportsAndCounts) {
+  service::CompileService::Options sopts;
+  sopts.workers = 2;
+  service::CompileService svc(sopts);
+  std::vector<service::CompileJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    service::CompileJob job;
+    job.tag = "sem" + std::to_string(i);
+    job.model = "demo";
+    job.kernel = "kernel svc;\nbind a: R0;\nbind b: R1;\n"
+                 "a = (b + 7);\n";
+    job.check_semantics = true;
+    jobs.push_back(std::move(job));
+  }
+  std::vector<service::JobResult> results = svc.compile_batch(std::move(jobs));
+  for (const service::JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.semantics_checked) << r.semantics_skipped;
+  }
+  service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.semantics_checked, 4u);
+  EXPECT_EQ(stats.semantics_failed, 0u);
+}
+
+}  // namespace
+}  // namespace record::sim

@@ -296,6 +296,74 @@ TEST(Minimizer, KeepsBranchTargetsValid) {
   EXPECT_TRUE(min.validate(v)) << v.str();
 }
 
+TEST(Minimizer, PreservesFailureClassWhileShrinking) {
+  // Regression for the class-preserving shrink discipline: a program whose
+  // FIRST statement triggers a cheap "structural" failure while a LATER
+  // statement carries the rare "semantic" one. A naive any-failure predicate
+  // collapses onto the structural statement and loses the semantic repro;
+  // the class-preserving predicate (what fuzz_retarget builds from
+  // OracleReport::clazz) must keep the semantic statement alive.
+  util::DiagnosticSink d;
+  auto prog = ir::parse_kernel(
+      "kernel cls;\n"
+      "bind r0: R0;\nbind r1: R1;\ncell m3: mem[3];\n"
+      "r0 = (r0 + 1);\n"
+      "r1 = (r1 + 2);\n"
+      "r0 = (m3 | r1);\n",
+      d);
+  ASSERT_TRUE(prog) << d.str();
+  std::function<bool(const ir::Expr&)> uses_m3 = [&](const ir::Expr& e) {
+    if (e.kind == ir::Expr::Kind::Var && e.var == "m3") return true;
+    for (const ir::ExprPtr& a : e.args)
+      if (uses_m3(*a)) return true;
+    return false;
+  };
+  // Synthetic oracle: any surviving statement "fails structurally"; the m3
+  // statement additionally "fails semantically" (the rarer, more valuable
+  // class). Mirrors real runs where shrunk candidates often fail for
+  // unrelated structural reasons.
+  auto classify = [&](const ir::Program& p) {
+    for (const ir::Stmt& s : p.stmts())
+      if (s.rhs && uses_m3(*s.rhs)) return FailureClass::kSemantic;
+    return p.stmts().empty() ? FailureClass::kNone
+                             : FailureClass::kStructural;
+  };
+  ASSERT_EQ(classify(*prog), FailureClass::kSemantic);
+
+  // Naive predicate: collapses to one statement of either class — with the
+  // back-to-front statement pass, the LAST shrinkable statement wins, but
+  // nothing ties it to the semantic class.
+  ir::Program naive = minimize_program(
+      *prog, [&](const ir::Program& p) {
+        return classify(p) != FailureClass::kNone;
+      });
+  ASSERT_EQ(naive.stmts().size(), 1u);
+
+  // Class-preserving predicate: the repro must still fail SEMANTICALLY.
+  ir::Program kept = minimize_program(
+      *prog, [&](const ir::Program& p) {
+        return classify(p) == FailureClass::kSemantic;
+      });
+  EXPECT_EQ(classify(kept), FailureClass::kSemantic) << kernel_text(kept);
+  ASSERT_EQ(kept.stmts().size(), 1u);
+  EXPECT_TRUE(uses_m3(*kept.stmts().front().rhs)) << kernel_text(kept);
+}
+
+TEST(FailureClasses, ClassifyByStablePrefix) {
+  EXPECT_EQ(classify_failure(""), FailureClass::kNone);
+  EXPECT_EQ(classify_failure("table engine: listing differs from reference"),
+            FailureClass::kStructural);
+  EXPECT_EQ(classify_failure("retarget failed: boom"),
+            FailureClass::kStructural);
+  EXPECT_EQ(classify_failure("round trip: word 3: bits do not satisfy..."),
+            FailureClass::kDecode);
+  EXPECT_EQ(classify_failure("semantic decode: simulator: word 1 ..."),
+            FailureClass::kDecode);
+  EXPECT_EQ(classify_failure("semantic: register 'R0' ..."),
+            FailureClass::kSemantic);
+  EXPECT_EQ(to_string(FailureClass::kSemantic), "semantic");
+}
+
 TEST(Repro, FileRoundTrip) {
   Repro r;
   r.model_seed = 18446744073709551615ull;  // > 2^53: must survive JSON
@@ -305,6 +373,7 @@ TEST(Repro, FileRoundTrip) {
   r.hdl = "PROCESSOR gen42;\n";
   r.kernel = "kernel k;\nbind a: R0;\na = (a + 1);\n";
   r.failure = "listing differs \"quoted\"";
+  r.failure_class = "structural";
   r.spill_base = 16;
   r.spill_slots = 8;
   std::string path =
@@ -319,6 +388,7 @@ TEST(Repro, FileRoundTrip) {
   EXPECT_EQ(back->hdl, r.hdl);
   EXPECT_EQ(back->kernel, r.kernel);
   EXPECT_EQ(back->failure, r.failure);
+  EXPECT_EQ(back->failure_class, "structural");
   EXPECT_EQ(back->spill_base, 16);
   EXPECT_EQ(back->spill_slots, 8);
   std::remove(path.c_str());

@@ -3,11 +3,14 @@
 // For every seed in the range, generates a random processor model
 // (testgen::generate_model), a batch of random kernel programs sized to it
 // (testgen::generate_program), and pushes each (model, program) pair through
-// the four-path differential oracle (testgen::check_pair): interpreter
-// selection, table-driven selection, the warm persistent-cache path and a
-// multi-worker CompileService batch, plus a per-word encode->decode round
-// trip. On divergence the failing program is minimized and dumped as a
-// standalone JSON repro file that --replay reproduces.
+// the five-path differential oracle (testgen::check_pair): interpreter
+// selection, table-driven selection, the warm persistent-cache path, a
+// multi-worker CompileService batch, a per-word encode->decode round trip,
+// and the semantic oracle (RT-level simulator vs. IR reference evaluator).
+// On divergence the failing program is minimized — preserving the failure
+// class (structural / decode / semantic), so a semantic repro cannot
+// collapse into an unrelated structural one — and dumped as a standalone
+// JSON repro file that --replay reproduces.
 //
 // Usage:
 //   fuzz_retarget [--seeds A..B | --seeds N]  seed range (default 0..50)
@@ -23,6 +26,7 @@
 //                                             failures get .2/.3/... names)
 //                 [--replay PATH]             re-run a dumped repro instead
 //                 [--keep-cache]              keep the oracle cache dir
+//                 [--no-semantics]            skip the semantic oracle path
 //                 [--verbose]                 per-pair progress lines
 //
 // Exit status: 0 = all pairs agree, 1 = divergence found, 2 = bad usage.
@@ -56,6 +60,7 @@ struct Args {
   int service_every = 1;
   bool fail_fast = false;
   bool keep_cache = false;
+  bool semantics = true;
   bool verbose = false;
   std::string repro_out = "fuzz_repro.json";
   std::string replay;
@@ -120,6 +125,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.fail_fast = true;
     } else if (arg == "--keep-cache") {
       a.keep_cache = true;
+    } else if (arg == "--no-semantics") {
+      a.semantics = false;
     } else if (arg == "--verbose") {
       a.verbose = true;
     } else {
@@ -155,11 +162,18 @@ int replay_repro(const Args& args, const testgen::OracleOptions& oopts) {
   }
   testgen::OracleReport rep = testgen::check_pair(r->hdl, *prog, ropts);
   if (rep.agree) {
-    std::printf("PASS: pair agrees (compiled=%s, %zu words)\n",
-                rep.compiled ? "yes" : "no", rep.words);
+    std::printf("PASS: pair agrees (compiled=%s, %zu words, semantics %s)\n",
+                rep.compiled ? "yes" : "no", rep.words,
+                rep.semantics_checked
+                    ? "checked"
+                    : (rep.semantics_skipped.empty()
+                           ? "off"
+                           : rep.semantics_skipped.c_str()));
     return 0;
   }
-  std::printf("FAIL: %s\n", rep.failure.c_str());
+  std::printf("FAIL [%s]: %s\n",
+              std::string(testgen::to_string(rep.clazz)).c_str(),
+              rep.failure.c_str());
   return 1;
 }
 
@@ -172,7 +186,7 @@ int main(int argc, char** argv) {
                  "usage: fuzz_retarget [--seeds A..B|N] [--programs K] "
                  "[--workers N] [--service-every M] [--fail-fast] "
                  "[--repro-out PATH] [--replay PATH] [--keep-cache] "
-                 "[--verbose]\n");
+                 "[--no-semantics] [--verbose]\n");
     return 2;
   }
   const Args& args = *parsed;
@@ -180,6 +194,7 @@ int main(int argc, char** argv) {
   testgen::OracleOptions oopts;
   oopts.service_workers = args.workers;
   oopts.cache_dir = testgen::default_cache_dir();
+  oopts.semantics = args.semantics;
 
   int status;
   if (!args.replay.empty()) {
@@ -187,6 +202,7 @@ int main(int argc, char** argv) {
   } else {
     std::uint64_t models = 0, pairs = 0, compiled = 0, failures = 0;
     std::uint64_t templates_total = 0;
+    std::uint64_t sem_checked = 0, sem_skipped = 0;
     bool stop = false;
     for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi && !stop;
          ++seed) {
@@ -217,6 +233,8 @@ int main(int argc, char** argv) {
         testgen::OracleReport rep =
             testgen::check_pair(model.hdl, gp.program, pair_opts);
         if (rep.compiled) ++compiled;
+        if (rep.semantics_checked) ++sem_checked;
+        if (!rep.semantics_skipped.empty()) ++sem_skipped;
         templates_total += rep.templates;
         if (args.verbose)
           std::printf("seed %llu p%d [%s]: %s (%zu templates, %zu words)\n",
@@ -228,20 +246,25 @@ int main(int argc, char** argv) {
         if (rep.agree) continue;
 
         ++failures;
-        std::printf("FAIL seed=%llu program=%d model=%s\n  knobs: %s\n"
+        std::printf("FAIL [%s] seed=%llu program=%d model=%s\n  knobs: %s\n"
                     "  %s\n",
+                    std::string(testgen::to_string(rep.clazz)).c_str(),
                     static_cast<unsigned long long>(seed), p,
                     model.name.c_str(), model.knobs.str().c_str(),
                     rep.failure.c_str());
 
-        // Shrink the program while the same divergence class persists, then
-        // dump a standalone repro.
+        // Shrink the program while the same divergence CLASS persists —
+        // shrinking a semantic repro must not accept candidates that fail
+        // for an unrelated structural reason, or the minimum collapses into
+        // a different bug.
         ir::Program minimized = testgen::minimize_program(
             gp.program, [&](const ir::Program& candidate) {
               testgen::OracleOptions mo = pair_opts;
               mo.service = false;  // keep shrinking cheap: the divergence
               mo.cache = false;    // almost always reproduces on paths 1+2
-              return !testgen::check_pair(model.hdl, candidate, mo).agree;
+              testgen::OracleReport cand =
+                  testgen::check_pair(model.hdl, candidate, mo);
+              return !cand.agree && cand.clazz == rep.clazz;
             });
         testgen::Repro repro;
         repro.model_seed = seed;
@@ -253,6 +276,7 @@ int main(int argc, char** argv) {
         repro.hdl = model.hdl;
         repro.kernel = testgen::kernel_text(minimized);
         repro.failure = rep.failure;
+        repro.failure_class = std::string(testgen::to_string(rep.clazz));
         // One file per failure, so earlier repros survive later ones.
         std::string repro_path =
             failures == 1 ? args.repro_out
@@ -272,6 +296,10 @@ int main(int argc, char** argv) {
     summary.set("pairs", service::Json(static_cast<double>(pairs)));
     summary.set("compiled", service::Json(static_cast<double>(compiled)));
     summary.set("failures", service::Json(static_cast<double>(failures)));
+    summary.set("semantics_checked",
+                service::Json(static_cast<double>(sem_checked)));
+    summary.set("semantics_skipped",
+                service::Json(static_cast<double>(sem_skipped)));
     summary.set("avg_templates",
                 service::Json(models ? static_cast<double>(templates_total) /
                                            static_cast<double>(pairs)
