@@ -21,13 +21,20 @@
 //    "frontend_ms": ..., "compile_ms": ...}, "listing": [...]?}
 //   {"tag": "r43", "ok": false, "error": "..."}
 //
+// Control-plane commands (one response object each, in request order):
+//   {"cmd": "stats"}             -- full observability snapshot: service
+//                                   latency percentiles, registry occupancy,
+//                                   every process-wide counter/histogram
+//   {"cmd": "trace", "last": N}  -- the N most recent completed trace spans
+//                                   (flight recorder; needs --trace)
+//
 // Flags: --workers N (default: hardware), --queue N (default 256),
 //        --registry N (LRU capacity, default 16), --cache (persistent
-//        target cache on), --stats (registry/service stats to stderr).
+//        target cache on), --stats (registry/service stats to stderr),
+//        --trace FILE (record spans; Perfetto trace written to FILE on
+//        exit, and the "trace" command serves the live flight recorder).
 //
-// Try:  printf '%s\n' \
-//         '{"model": "demo", "source": "kernel k;\nbind a: R0;\ncell x: mem[1];\na = a + x;"}' \
-//       | ./build/example_recordd
+// Try:  printf '%s\n' '{"model": "demo", "source": "kernel k;\nbind a: R0;\ncell x: mem[1];\na = a + x;"}' | ./build/example_recordd
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +47,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
+#include "service/introspect.h"
 #include "service/json.h"
 #include "service/service.h"
 #include "util/strings.h"
@@ -100,6 +109,7 @@ int main(int argc, char** argv) {
   opts.registry.capacity = 16;
   bool want_listing = false;
   bool want_stats = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> long {
       if (i + 1 >= argc) {
@@ -120,29 +130,45 @@ int main(int argc, char** argv) {
       want_listing = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       want_stats = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "recordd: --trace needs a file path\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: recordd [--workers N] [--queue N] [--registry N] "
-                   "[--cache] [--listing] [--stats]  < requests.jsonl\n");
+                   "[--cache] [--listing] [--stats] [--trace FILE]"
+                   "  < requests.jsonl\n");
       return 2;
     }
   }
+  if (!trace_path.empty()) obs::Tracer::instance().enable();
 
   service::CompileService svc(opts);
 
-  // Submission pipelines against a printer thread that drains futures in
-  // request order, so responses stream while stdin is still feeding. The
-  // deque is bounded so a slow head-of-line job cannot pile up an unbounded
-  // backlog of completed results behind it.
+  // Submission pipelines against a printer thread that drains responses in
+  // request order, so responses stream while stdin is still feeding. An
+  // entry is a compile job's future, a deferred control-plane command, or an
+  // already-rendered line (parse errors). Control commands are evaluated
+  // when the printer reaches them, so a stats response counts every job
+  // answered above it. The deque is bounded so a slow head-of-line job
+  // cannot pile up an unbounded backlog behind it.
+  struct Out {
+    std::optional<std::future<service::JobResult>> job;
+    std::optional<Json> control;  // the "cmd" request, evaluated in order
+    std::string line;             // used when neither job nor control
+  };
   const std::size_t max_pending = 2 * opts.queue_capacity;
-  std::deque<std::future<service::JobResult>> pending;
+  std::deque<Out> pending;
   std::mutex mu;
   std::condition_variable cv;
   bool input_done = false;
 
   std::thread printer([&] {
     for (;;) {
-      std::future<service::JobResult> next;
+      Out next;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] { return input_done || !pending.empty(); });
@@ -151,12 +177,28 @@ int main(int argc, char** argv) {
         pending.pop_front();
       }
       cv.notify_all();  // reader may be waiting on the pending bound
-      service::JobResult result = next.get();
-      std::string line = response_from_result(result).dump();
+      std::string line;
+      if (next.job) {
+        line = response_from_result(next.job->get()).dump();
+      } else if (next.control) {
+        line = service::handle_introspection(*next.control, svc)
+                   .value_or(Json::object())
+                   .dump();
+      } else {
+        line = std::move(next.line);
+      }
       std::fprintf(stdout, "%s\n", line.c_str());
       std::fflush(stdout);
     }
   });
+
+  auto enqueue = [&](Out out) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending.size() < max_pending; });
+    pending.push_back(std::move(out));
+    lock.unlock();
+    cv.notify_one();
+  };
 
   std::string line;
   std::size_t lineno = 0;
@@ -171,24 +213,18 @@ int main(int argc, char** argv) {
       bad.set("error", Json(util::fmt("line {}: bad request: {}", lineno,
                                       error.empty() ? "not an object"
                                                     : error)));
-      std::promise<service::JobResult> p;  // synthesise an immediate failure
-      service::JobResult r;
-      r.error = bad["error"].as_string();
-      p.set_value(std::move(r));
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return pending.size() < max_pending; });
-      pending.push_back(p.get_future());
-      cv.notify_one();
+      enqueue(Out{std::nullopt, std::nullopt, bad.dump()});
       continue;
     }
-    std::future<service::JobResult> f =
-        svc.submit(job_from_request(*request, want_listing));
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return pending.size() < max_pending; });
-      pending.push_back(std::move(f));
+    // Control-plane commands ("cmd": stats / trace) defer to the printer so
+    // they observe every job answered before them.
+    if (request->contains("cmd")) {
+      enqueue(Out{std::nullopt, std::move(*request), {}});
+      continue;
     }
-    cv.notify_one();
+    enqueue(Out{svc.submit(job_from_request(*request, want_listing)),
+                std::nullopt,
+                {}});
   }
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -196,6 +232,11 @@ int main(int argc, char** argv) {
   }
   cv.notify_all();
   printer.join();
+
+  if (!trace_path.empty() &&
+      !obs::Tracer::instance().write_chrome_trace(trace_path))
+    std::fprintf(stderr, "recordd: cannot write trace to %s\n",
+                 trace_path.c_str());
 
   if (want_stats) {
     service::RegistryStats r = svc.registry().stats();

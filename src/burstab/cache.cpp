@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "burstab/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace record::burstab {
@@ -106,41 +108,55 @@ std::string TargetCache::entry_path(std::uint64_t key) const {
 }
 
 std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
+  OBS_SPAN("burstab.cache.load");
   std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    obs::metrics().counter("burstab.cache.miss").add(1);
+    return std::nullopt;
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string blob = std::move(buf).str();
 
+  // A structurally unusable blob (stale version, torn write, corruption) is
+  // a miss that rebuilds cleanly, but it is counted separately: a rejection
+  // rate says something a cold miss does not.
+  auto reject = [] {
+    obs::metrics().counter("burstab.cache.rejected").add(1);
+    return std::nullopt;
+  };
   ByteReader r(blob);
-  if (r.u32() != kCacheMagic || r.u32() != kCacheVersion) return std::nullopt;
-  if (r.u64() != key) return std::nullopt;
+  if (r.u32() != kCacheMagic || r.u32() != kCacheVersion) return reject();
+  if (r.u64() != key) return reject();
   std::uint64_t checksum = r.u64();
   if (!r.ok() ||
       checksum != fnv1a(std::string_view(blob).substr(r.pos())))
-    return std::nullopt;  // torn or corrupted payload -> rebuild
+    return reject();  // torn or corrupted payload -> rebuild
 
   TargetArtifacts a;
   a.processor = r.str();
   read_extract_stats(r, a.extract_stats);
   read_extend_stats(r, a.extend_stats);
   read_build_stats(r, a.grammar_stats);
-  if (!read_template_base(r, a.base)) return std::nullopt;
-  if (!read_grammar(r, a.grammar)) return std::nullopt;
+  if (!read_template_base(r, a.base)) return reject();
+  if (!read_grammar(r, a.grammar)) return reject();
   bool has_tables = r.u8() != 0;
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) return reject();
   if (has_tables) {
     std::size_t offset = r.pos();
     std::unique_ptr<TargetTables> t =
         TargetTables::deserialize(a.grammar, blob, offset);
-    if (!t) return std::nullopt;
+    if (!t) return reject();
     a.tables = std::move(t);
   }
+  obs::metrics().counter("burstab.cache.hit").add(1);
   return a;
 }
 
 bool TargetCache::store(std::uint64_t key,
                         const TargetArtifactsView& artifacts) const {
+  OBS_SPAN("burstab.cache.store");
+  obs::metrics().counter("burstab.cache.store").add(1);
   if (!artifacts.processor || !artifacts.base || !artifacts.grammar)
     return false;
   std::error_code ec;

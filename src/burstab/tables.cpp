@@ -7,6 +7,8 @@
 #include <numeric>
 
 #include "burstab/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "treeparse/burs.h"
 #include "util/strings.h"
 
@@ -533,6 +535,8 @@ int TargetTables::FrozenTables::const_lookup(int fit_index,
 }
 
 void TargetTables::freeze_locked() const {
+  OBS_SPAN("burstab.freeze");
+  obs::metrics().counter("burstab.freeze").add(1);
   auto f = std::make_unique<FrozenTables>();
   f->state_count = state_count_;
   f->rows.resize(static_cast<std::size_t>(state_count_));
@@ -677,6 +681,7 @@ void TargetTables::freeze() const {
 void TargetTables::count_miss_and_maybe_refreeze(
     const FrozenTables* f) const {
   if (!freeze_enabled_ || f == nullptr) return;
+  obs::metrics().counter("burstab.frozen_miss").add(1);
   std::uint64_t n = frozen_misses_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (n < refreeze_misses_) return;
   std::unique_lock lock(mu_);

@@ -1,5 +1,8 @@
 #include "core/compiler.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace record::core {
 
 std::optional<CompileResult> Compiler::compile(
@@ -9,6 +12,7 @@ std::optional<CompileResult> Compiler::compile(
     diags.error({}, "compiler constructed from an empty retarget result");
     return std::nullopt;
   }
+  obs::Span span("compile");
   CompileResult result;
 
   const burstab::TargetTables* tables = nullptr;
@@ -18,13 +22,22 @@ std::optional<CompileResult> Compiler::compile(
       diags.warning({}, "table engine requested but the retarget result "
                         "carries no tables; selecting with the interpreter");
   }
+  // Per-stage spans so a traced compile decomposes the same way JobTimes
+  // does: selection (label + flatten inside the selector), spill repair,
+  // compaction, encoding.
+  std::optional<obs::Span> stage;
+  stage.emplace("compile.select");
   select::CodeSelector selector(*target_->base, target_->tree_grammar, diags,
                                 tables, scratch);
   std::optional<select::SelectionResult> sel = selector.select(prog);
-  if (!sel) return std::nullopt;
+  if (!sel) {
+    obs::metrics().counter("compile.uncovered").add(1);
+    return std::nullopt;
+  }
   result.selection = std::move(*sel);
 
   if (options.insert_spills) {
+    stage.emplace("compile.spill");
     result.spill_stats =
         sched::insert_spills(result.selection, prog, *target_->base,
                              target_->tree_grammar, options.spill, diags);
@@ -34,15 +47,27 @@ std::optional<CompileResult> Compiler::compile(
       // failing honestly beats emitting known-bad code with a warning.
       diags.error({}, "unrepairable register clobber; refusing to emit "
                       "incorrect code (see warnings)");
+      obs::metrics().counter("compile.unrepairable_clobber").add(1);
       return std::nullopt;
     }
   }
 
+  stage.emplace("compile.compact");
   result.compacted = compact::compact(result.selection, *target_->base,
                                       options.compact, diags);
+  stage.emplace("compile.encode");
   result.encoded =
       emit::encode(result.compacted.program, *target_->base, diags);
-  if (!diags.ok()) return std::nullopt;
+  stage.reset();
+  if (!diags.ok()) {
+    obs::metrics().counter("compile.failed").add(1);
+    return std::nullopt;
+  }
+  obs::metrics().counter("compile.ok").add(1);
+  span.note("processor", target_->processor);
+  span.note("words", static_cast<std::int64_t>(result.code_size()));
+  span.note("rts", static_cast<std::int64_t>(result.selection.total_rts));
+  span.note("engine", select::to_string(selector.engine()));
   return result;
 }
 

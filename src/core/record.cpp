@@ -13,6 +13,8 @@
 #include "hdl/sema.h"
 #include "models/models.h"
 #include "netlist/netlist.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "treeparse/emitc.h"
 #include "util/strings.h"
 
@@ -105,6 +107,7 @@ std::optional<RetargetResult> Record::retarget(
     util::DiagnosticSink& diags) {
   RetargetResult result;
   util::Timer timer;
+  obs::Span span("retarget");
 
   // --- persistent target cache (warm path) --------------------------------
   std::optional<burstab::TargetCache> cache;
@@ -125,12 +128,21 @@ std::optional<RetargetResult> Record::retarget(
       result.grammar_stats = art->grammar_stats;
       result.cache_hit = true;
       result.times.record("cacheload", timer.seconds());
+      span.note("processor", result.processor);
+      span.note("cache", "hit");
+      obs::metrics().counter("retarget.cache_hit").add(1);
       emit_parser(result, options, diags);
       return result;
     }
   }
 
+  // Per-phase spans mirror the PhaseTimes entries (Table 3 breakdown), so a
+  // Perfetto view of a cold retarget shows the same hdl/ise/extend/grammar/
+  // tables decomposition the benchmarks report.
+  std::optional<obs::Span> phase;
+
   // --- HDL frontend -------------------------------------------------------
+  phase.emplace("retarget.hdl");
   std::optional<hdl::ProcessorModel> model = hdl::parse(hdl_source, diags);
   if (!model) return std::nullopt;
   if (!hdl::check_model(*model, diags)) return std::nullopt;
@@ -142,6 +154,7 @@ std::optional<RetargetResult> Record::retarget(
 
   // --- instruction-set extraction -----------------------------------------
   timer.reset();
+  phase.emplace("retarget.ise");
   ise::ExtractResult extraction =
       ise::extract(*nl, options.extract, diags);
   result.extract_stats = extraction.stats;
@@ -149,6 +162,7 @@ std::optional<RetargetResult> Record::retarget(
 
   // --- template-base extension ---------------------------------------------
   timer.reset();
+  phase.emplace("retarget.extend");
   rtl::ExtendOptions ext;
   ext.commutativity = options.commutativity;
   rtl::RewriteLibrary standard = rtl::RewriteLibrary::standard();
@@ -166,6 +180,7 @@ std::optional<RetargetResult> Record::retarget(
 
   // --- tree-grammar construction --------------------------------------------
   timer.reset();
+  phase.emplace("retarget.grammar");
   grammar::BuiltGrammar built =
       grammar::build_grammar(extraction.base, options.grammar, diags);
   result.grammar_stats = built.stats;
@@ -178,10 +193,15 @@ std::optional<RetargetResult> Record::retarget(
   // --- BURS state-table compilation ----------------------------------------
   if (options.build_tables) {
     timer.reset();
+    phase.emplace("retarget.tables");
     result.tables = std::make_shared<burstab::TargetTables>(
         result.tree_grammar, options.tables);
     result.times.record("tables", timer.seconds());
   }
+  phase.reset();
+  span.note("processor", result.processor);
+  span.note("templates", static_cast<std::int64_t>(result.template_count()));
+  obs::metrics().counter("retarget.cold").add(1);
 
   if (cache) {
     timer.reset();

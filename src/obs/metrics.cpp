@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace record::obs {
+
+// --- Histogram --------------------------------------------------------------
+//
+// Bucket layout: indices [0, 32) hold values 0..31 exactly. Above, each
+// power-of-two octave o (value in [2^o, 2^(o+1)), o >= 5) is split into 8
+// sub-buckets of width 2^(o-3), giving index 32 + (o-5)*8 + sub. The top
+// octave of a positive int64 is o = 62, so 32 + 58*8 = 496 buckets cover the
+// whole domain.
+
+std::size_t Histogram::bucket_of(std::int64_t value) {
+  if (value < kLinearLimit) return value < 0 ? 0 : static_cast<std::size_t>(value);
+  const unsigned o =
+      std::bit_width(static_cast<std::uint64_t>(value)) - 1;  // >= 5
+  const std::size_t sub =
+      static_cast<std::size_t>((static_cast<std::uint64_t>(value) >> (o - 3)) & 7u);
+  return 32 + static_cast<std::size_t>(o - 5) * 8 + sub;
+}
+
+std::pair<std::int64_t, std::int64_t> Histogram::bucket_range(
+    std::size_t index) {
+  if (index < 32) {
+    const std::int64_t v = static_cast<std::int64_t>(index);
+    return {v, v};
+  }
+  const std::size_t k = index - 32;
+  const unsigned o = static_cast<unsigned>(5 + k / 8);
+  const std::uint64_t sub = k % 8;
+  const std::uint64_t width = std::uint64_t{1} << (o - 3);
+  const std::uint64_t lo = (std::uint64_t{1} << o) + sub * width;
+  return {static_cast<std::int64_t>(lo),
+          static_cast<std::int64_t>(lo + width - 1)};
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::int64_t m = min_.load(std::memory_order_relaxed);
+  while (value < m &&
+         !min_.compare_exchange_weak(m, value, std::memory_order_relaxed)) {
+  }
+  std::int64_t M = max_.load(std::memory_order_relaxed);
+  while (value > M &&
+         !max_.compare_exchange_weak(M, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th value, 1-based; q=0 -> first, q=1 -> last.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(n) + 0.5));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (cum + c >= rank) {
+      const auto [lo, hi] = bucket_range(i);
+      if (hi == lo) return lo;
+      // Interpolate by rank position inside the bucket.
+      const double frac = static_cast<double>(rank - cum - 1) /
+                          static_cast<double>(c);
+      return lo + static_cast<std::int64_t>(frac * static_cast<double>(hi - lo));
+    }
+    cum += c;
+  }
+  return bucket_range(kBucketCount - 1).second;
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count();
+  s.sum = sum();
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
+    s.p50 = quantile(0.50);
+    s.p90 = quantile(0.90);
+    s.p99 = quantile(0.99);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(-1, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+namespace {
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_create(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.emplace_back(name, h->stats());
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace record::obs

@@ -1,0 +1,143 @@
+// Lock-free pipeline metrics: named monotonic counters, gauges and
+// log-bucketed latency histograms with percentile extraction.
+//
+// The hot path is wait-free: recording into a Counter/Gauge/Histogram is one
+// (or a few) relaxed atomic operations on storage whose address is stable for
+// the registry's lifetime. Name resolution (MetricsRegistry::counter(name)
+// etc.) takes a mutex and is meant to run once per call site — callers cache
+// the returned reference (or a static local) and hit only atomics afterwards.
+//
+// Histograms bucket values (canonically nanoseconds) exactly up to 32 and
+// logarithmically above — eight sub-buckets per power of two, ~12.5% relative
+// resolution — so a fixed 4 KiB bucket array spans the full positive int64
+// range. Quantiles (p50/p90/p99) interpolate linearly inside the landing
+// bucket, which makes them exact for values below 32 and within one
+// sub-bucket above.
+//
+// A process-wide registry instance is available as obs::metrics(); subsystems
+// may also own private registries/histograms (CompileService keeps per-
+// instance latency histograms backing its ServiceStats compatibility view).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace record::obs {
+
+/// Monotonic event counter. Wraps modulo 2^64 on overflow (documented
+/// behaviour: a counter is a delta source, and consumers diff snapshots).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, occupancies).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Summary of one histogram at snapshot time.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // 0 when empty
+  std::int64_t max = 0;
+  double mean = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// Log-bucketed histogram over non-negative int64 values (negatives clamp to
+/// zero). record() is wait-free; quantile() walks the 496 buckets.
+class Histogram {
+ public:
+  /// Exact buckets below this value; log sub-buckets above.
+  static constexpr std::int64_t kLinearLimit = 32;
+  static constexpr std::size_t kBucketCount = 496;
+
+  void record(std::int64_t value);
+
+  /// q in [0,1]; linear interpolation inside the landing bucket. 0 when the
+  /// histogram is empty.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] HistogramStats stats() const;
+  void reset();
+
+  /// Bucket index of `value` and the [lo, hi] value range of bucket `index`
+  /// (exposed for the bucket-boundary tests).
+  [[nodiscard]] static std::size_t bucket_of(std::int64_t value);
+  [[nodiscard]] static std::pair<std::int64_t, std::int64_t> bucket_range(
+      std::size_t index);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  // Sentinel-initialised so the first record() claims them with plain
+  // compare-exchange loops; reported only while count_ > 0.
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{-1};
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+};
+
+/// Name -> metric map. Lookup is mutex-protected and creates on first use;
+/// returned references stay valid (and wait-free) for the registry's
+/// lifetime. Snapshot order is name-sorted, so dumps are deterministic.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Drops every registered metric (tests isolate themselves with this;
+  /// references handed out earlier dangle, so only use between workloads).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every pipeline layer records into.
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace record::obs

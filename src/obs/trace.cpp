@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace record::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimal JSON string escaping (the exporter cannot depend on
+/// service::Json without inverting the layering; this covers the control
+/// characters and quotes span names/annotations can carry).
+void append_quoted(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+/// Per-thread event ring. The owning thread appends under the buffer's own
+/// mutex (uncontended in steady state — snapshots are rare), which keeps the
+/// reader side trivially race-free under TSan. Buffers are shared_ptr-owned
+/// by the tracer's registry so events survive thread exit (a finished worker
+/// pool still shows up in the exported trace).
+struct Tracer::ThreadBuf {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> ring;  // capacity fixed at registration
+  std::size_t next = 0;          // write cursor
+  std::uint64_t pushed = 0;      // total events ever written
+  std::uint32_t tid = 0;
+  int depth = 0;  // owner-thread span stack depth (no lock needed)
+};
+
+Tracer::Tracer() : epoch_ns_(steady_now_ns()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = events == 0 ? 1 : events;
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf;
+  if (!buf) {
+    buf = std::make_shared<ThreadBuf>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buf->ring.resize(capacity_);
+    buf->tid = next_tid_++;
+    bufs_.push_back(buf);
+  }
+  return *buf;
+}
+
+void Tracer::push(TraceEvent event) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.ring[buf.next] = std::move(event);
+  buf.next = (buf.next + 1) % buf.ring.size();
+  ++buf.pushed;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    const std::size_t cap = buf->ring.size();
+    const std::size_t live = buf->pushed < cap
+                                 ? static_cast<std::size_t>(buf->pushed)
+                                 : cap;
+    // Oldest-first: when wrapped, the oldest live event sits at the cursor.
+    const std::size_t first = buf->pushed < cap ? 0 : buf->next;
+    for (std::size_t i = 0; i < live; ++i)
+      events.push_back(buf->ring[(first + i) % cap]);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+std::vector<TraceEvent> Tracer::recent(std::size_t n) const {
+  std::vector<TraceEvent> events = snapshot();
+  // Flight-recorder view: order by completion time and keep the last n.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns + a.dur_ns < b.start_ns + b.dur_ns;
+                   });
+  if (events.size() > n)
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(n));
+  return events;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    char head[160];
+    // Timestamps are microseconds in the trace-event format; fractional
+    // values keep nanosecond resolution.
+    std::snprintf(head, sizeof head,
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"cat\":\"record\",\"name\":",
+                  e.tid, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out += head;
+    append_quoted(out, e.name);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first_arg) out.push_back(',');
+        first_arg = false;
+        append_quoted(out, k);
+        out.push_back(':');
+        append_quoted(out, v);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->next = 0;
+    buf->pushed = 0;
+  }
+}
+
+#ifndef RECORD_OBS_DISABLE
+
+void Span::open(const char* name) {
+  Tracer& tracer = Tracer::instance();
+  Tracer::ThreadBuf& buf = tracer.local_buf();
+  active_ = true;
+  event_.name = name;
+  event_.tid = buf.tid;
+  event_.depth = static_cast<std::uint32_t>(buf.depth++);
+  event_.start_ns = tracer.now_ns();
+}
+
+void Span::close() {
+  Tracer& tracer = Tracer::instance();
+  event_.dur_ns = tracer.now_ns() - event_.start_ns;
+  Tracer::ThreadBuf& buf = tracer.local_buf();
+  if (buf.depth > 0) --buf.depth;
+  active_ = false;
+  tracer.push(std::move(event_));
+}
+
+void Span::note(std::string_view key, double value) {
+  if (!active_) return;
+  std::ostringstream os;
+  os << value;
+  event_.args.emplace_back(std::string(key), os.str());
+}
+
+#endif  // RECORD_OBS_DISABLE
+
+}  // namespace record::obs

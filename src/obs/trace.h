@@ -1,0 +1,155 @@
+// Hierarchical trace spans with Chrome/Perfetto trace-event export.
+//
+// obs::Span is an RAII span: construction stamps a steady-clock start time
+// and nesting depth (a thread-local span stack counter), destruction records
+// one completed event — name, wall duration, key/value annotations — into a
+// fixed-capacity per-thread ring buffer owned by the process-wide
+// obs::Tracer. Old events are overwritten when a ring wraps, so a
+// long-running daemon keeps a bounded flight recorder of its most recent
+// work instead of growing without limit.
+//
+// Tracing is off by default: a disabled Span costs one relaxed atomic load
+// and a branch, which keeps instrumentation in the selection/compile hot
+// paths below the bench gate's noise floor. Tracer::instance().enable()
+// turns recording on process-wide; defining RECORD_OBS_DISABLE at compile
+// time compiles every span out entirely.
+//
+// Export: Tracer::chrome_trace_json() renders the buffered spans in the
+// Chrome trace-event format ("traceEvents" with ph:"X" complete events),
+// which https://ui.perfetto.dev opens directly — one track per recorded
+// thread, spans nested by timestamp containment.
+//
+// Instrument with the OBS_SPAN macro for plain scopes:
+//     OBS_SPAN("compile.select");
+// or a named span when annotations are added along the way:
+//     obs::Span span("retarget");
+//     span.note("processor", name);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace record::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> args;
+  std::uint64_t start_ns = 0;  // steady clock, relative to the tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   // tracer-assigned dense thread id
+  std::uint32_t depth = 0; // span-stack depth at open (0 = root)
+};
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity for buffers created after this call
+  /// (existing buffers keep their size). Default 8192 events.
+  void set_ring_capacity(std::size_t events);
+
+  /// All buffered events, sorted by start time (stable across threads).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// The `n` most recently *completed* events across all threads, oldest
+  /// first — the flight-recorder view recordd's trace command serves.
+  [[nodiscard]] std::vector<TraceEvent> recent(std::size_t n) const;
+
+  /// Chrome trace-event JSON of snapshot() (loadable in ui.perfetto.dev).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Drops all buffered events (buffers stay registered).
+  void clear();
+
+  /// Steady-clock nanoseconds since the tracer epoch (process start-ish).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+ private:
+  friend class Span;
+  struct ThreadBuf;
+
+  Tracer();
+  [[nodiscard]] ThreadBuf& local_buf();
+  void push(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_ = 0;  // absolute steady-clock origin
+
+  mutable std::mutex mu_;  // guards bufs_ and capacity_
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::size_t capacity_ = 8192;
+  std::uint32_t next_tid_ = 0;
+};
+
+#ifndef RECORD_OBS_DISABLE
+
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::instance().enabled()) open(name);
+  }
+  ~Span() {
+    if (active_) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span now (sequential stages sharing one scope end the
+  /// previous stage before opening the next). Idempotent.
+  void end() {
+    if (active_) close();
+  }
+
+  /// Attaches a key/value annotation (exported into the event's args).
+  void note(std::string_view key, std::string_view value) {
+    if (active_) event_.args.emplace_back(std::string(key), std::string(value));
+  }
+  void note(std::string_view key, std::int64_t value) {
+    if (active_) event_.args.emplace_back(std::string(key), std::to_string(value));
+  }
+  void note(std::string_view key, double value);
+
+ private:
+  void open(const char* name);
+  void close();
+
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+#else  // RECORD_OBS_DISABLE: spans compile to nothing.
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  void end() {}
+  void note(std::string_view, std::string_view) {}
+  void note(std::string_view, std::int64_t) {}
+  void note(std::string_view, double) {}
+};
+
+#endif
+
+#define RECORD_OBS_CAT2(a, b) a##b
+#define RECORD_OBS_CAT(a, b) RECORD_OBS_CAT2(a, b)
+/// Anonymous scope span: OBS_SPAN("compile.encode");
+#define OBS_SPAN(name) \
+  ::record::obs::Span RECORD_OBS_CAT(obs_span_, __LINE__)(name)
+
+}  // namespace record::obs

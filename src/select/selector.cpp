@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "select/subject_map.h"
 #include "util/strings.h"
 
@@ -342,6 +343,9 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
       }
       case ir::Stmt::Kind::Assign:
       case ir::Stmt::Kind::Store: {
+        // Disabled-tracer cost here is one relaxed load + branch per
+        // statement (not per node), below the selection bench's noise.
+        obs::Span label_span("select.label");
         std::optional<treeparse::SubjectTree> subject =
             mapper.map_stmt(stmt);
         if (!subject) return std::nullopt;
@@ -363,11 +367,14 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
           }
         }
         stats_.nodes_labelled += subject->size();
+        label_span.note("nodes", static_cast<std::int64_t>(subject->size()));
+        label_span.end();
         if (!labels->ok) {
           diags_.error({}, fmt("no cover for statement '{}' (subject {})",
                                stmt.str(), subject->to_string(g_)));
           return std::nullopt;
         }
+        OBS_SPAN("select.flatten");
         scratch_->arena.reset();
         treeparse::Derivation* d =
             parser_.reduce(*subject, *labels, scratch_->arena);

@@ -1,0 +1,130 @@
+#include "service/introspect.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace record::service {
+
+namespace {
+
+Json histogram_json(const obs::HistogramStats& h) {
+  Json out = Json::object();
+  out.set("count", Json(static_cast<double>(h.count)));
+  out.set("sum", Json(static_cast<double>(h.sum)));
+  out.set("min", Json(static_cast<double>(h.min)));
+  out.set("max", Json(static_cast<double>(h.max)));
+  out.set("mean", Json(h.mean));
+  out.set("p50", Json(static_cast<double>(h.p50)));
+  out.set("p90", Json(static_cast<double>(h.p90)));
+  out.set("p99", Json(static_cast<double>(h.p99)));
+  return out;
+}
+
+Json trace_response(const Json& request) {
+  Json out = Json::object();
+  out.set("ok", Json(true));
+  out.set("cmd", Json("trace"));
+  obs::Tracer& tracer = obs::Tracer::instance();
+  out.set("enabled", Json(tracer.enabled()));
+  std::int64_t last = request["last"].as_int(64);
+  if (last < 0) last = 0;
+  Json events = Json::array();
+  for (const obs::TraceEvent& e :
+       tracer.recent(static_cast<std::size_t>(last))) {
+    Json ev = Json::object();
+    ev.set("name", Json(e.name));
+    ev.set("ts_us", Json(static_cast<double>(e.start_ns) / 1e3));
+    ev.set("dur_us", Json(static_cast<double>(e.dur_ns) / 1e3));
+    ev.set("tid", Json(static_cast<double>(e.tid)));
+    ev.set("depth", Json(static_cast<double>(e.depth)));
+    if (!e.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [k, v] : e.args) args.set(k, Json(v));
+      ev.set("args", std::move(args));
+    }
+    events.push(std::move(ev));
+  }
+  out.set("events", std::move(events));
+  return out;
+}
+
+}  // namespace
+
+Json stats_response(CompileService& service) {
+  Json out = Json::object();
+  out.set("ok", Json(true));
+  out.set("cmd", Json("stats"));
+
+  const ServiceStats s = service.stats();
+  Json svc = Json::object();
+  svc.set("workers", Json(static_cast<double>(service.worker_count())));
+  svc.set("submitted", Json(static_cast<double>(s.submitted)));
+  svc.set("completed", Json(static_cast<double>(s.completed)));
+  svc.set("failed", Json(static_cast<double>(s.failed)));
+  svc.set("peak_queue", Json(static_cast<double>(s.peak_queue)));
+  svc.set("semantics_checked",
+          Json(static_cast<double>(s.semantics_checked)));
+  svc.set("semantics_failed", Json(static_cast<double>(s.semantics_failed)));
+  Json queue = Json::object();
+  queue.set("mean_ms", Json(s.mean_queue_ms));
+  queue.set("p50_ms", Json(s.p50_queue_ms));
+  queue.set("p90_ms", Json(s.p90_queue_ms));
+  queue.set("p99_ms", Json(s.p99_queue_ms));
+  queue.set("total_ms", Json(s.total_queue_ms));
+  svc.set("queue_wait", std::move(queue));
+  Json compile = Json::object();
+  compile.set("mean_ms", Json(s.mean_compile_ms));
+  compile.set("p50_ms", Json(s.p50_compile_ms));
+  compile.set("p90_ms", Json(s.p90_compile_ms));
+  compile.set("p99_ms", Json(s.p99_compile_ms));
+  compile.set("total_ms", Json(s.total_compile_ms));
+  svc.set("compile", std::move(compile));
+  out.set("service", std::move(svc));
+
+  const RegistryStats r = service.registry().stats();
+  Json reg = Json::object();
+  reg.set("entries", Json(static_cast<double>(r.entries)));
+  reg.set("hits", Json(static_cast<double>(r.hits)));
+  reg.set("coalesced", Json(static_cast<double>(r.coalesced)));
+  reg.set("misses", Json(static_cast<double>(r.misses)));
+  reg.set("disk_hits", Json(static_cast<double>(r.disk_hits)));
+  reg.set("evictions", Json(static_cast<double>(r.evictions)));
+  reg.set("failures", Json(static_cast<double>(r.failures)));
+  out.set("registry", std::move(reg));
+
+  // The process-wide registry: retarget phase counters, burstab cache
+  // traffic, per-model compile counts ("service.compiled.<model>"), oracle
+  // verdict tallies when a fuzz run shares the process.
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  Json metrics = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, v] : snap.counters)
+    counters.set(name, Json(static_cast<double>(v)));
+  metrics.set("counters", std::move(counters));
+  if (!snap.gauges.empty()) {
+    Json gauges = Json::object();
+    for (const auto& [name, v] : snap.gauges)
+      gauges.set(name, Json(static_cast<double>(v)));
+    metrics.set("gauges", std::move(gauges));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : snap.histograms)
+    histograms.set(name, histogram_json(h));
+  metrics.set("histograms", std::move(histograms));
+  out.set("metrics", std::move(metrics));
+  return out;
+}
+
+std::optional<Json> handle_introspection(const Json& request,
+                                         CompileService& service) {
+  if (!request.is_object() || !request.contains("cmd")) return std::nullopt;
+  const std::string& cmd = request["cmd"].as_string();
+  if (cmd == "stats") return stats_response(service);
+  if (cmd == "trace") return trace_response(request);
+  Json out = Json::object();
+  out.set("ok", Json(false));
+  out.set("error", Json("unknown cmd '" + cmd + "' (try stats, trace)"));
+  return out;
+}
+
+}  // namespace record::service

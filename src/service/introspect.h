@@ -1,0 +1,41 @@
+// Live introspection commands for the compile-service daemon.
+//
+// recordd's JSON-lines protocol carries, next to compile requests, small
+// control-plane commands identified by a "cmd" member:
+//
+//   {"cmd": "stats"}            -> one response object with the full
+//       observability snapshot: service job counters and latency
+//       percentiles (queue wait / compile time), registry occupancy and
+//       hit/miss/coalesce counts, and every counter/gauge/histogram in the
+//       process-wide obs::metrics() registry (retarget phases, burstab
+//       cache traffic, per-model compile counts, oracle verdicts, ...).
+//
+//   {"cmd": "trace", "last": N} -> the flight recorder: the N most recently
+//       completed trace spans (default 64) across all threads, oldest
+//       first, with names, start/duration microseconds, thread ids, nesting
+//       depth and annotations. Requires tracing to be enabled (recordd
+//       --trace); otherwise the response says so and carries no events.
+//
+// The handler lives in the library (not the recordd example) so tests can
+// round-trip the commands against a CompileService directly.
+#pragma once
+
+#include <optional>
+
+#include "service/json.h"
+#include "service/service.h"
+
+namespace record::service {
+
+/// Handles a control-plane command; nullopt when `request` carries no "cmd"
+/// member (i.e. it is an ordinary compile request). Unknown commands yield
+/// an {"ok": false} response rather than nullopt, so a typo'd command never
+/// silently turns into a compile job.
+[[nodiscard]] std::optional<Json> handle_introspection(
+    const Json& request, CompileService& service);
+
+/// The {"cmd":"stats"} response body (exposed for reuse by tools that want
+/// a snapshot without a request object).
+[[nodiscard]] Json stats_response(CompileService& service);
+
+}  // namespace record::service

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ir/kernel_lang.h"
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace record::service {
@@ -103,6 +104,20 @@ void CompileService::worker_loop() {
     }
     result.times.queue_ms = queue_ms;
 
+    // Latency accumulation is wait-free (histogram atomics), so only the
+    // plain counters ride the queue mutex.
+    queue_ns_.record(static_cast<std::int64_t>(queue_ms * 1e6));
+    compile_ns_.record(
+        static_cast<std::int64_t>(result.times.compile_ms * 1e6));
+    obs::metrics().histogram("service.queue_ns")
+        .record(static_cast<std::int64_t>(queue_ms * 1e6));
+    obs::metrics().histogram("service.compile_ns")
+        .record(static_cast<std::int64_t>(result.times.compile_ms * 1e6));
+    obs::metrics().counter("service.jobs").add(1);
+    if (!result.ok) obs::metrics().counter("service.failed").add(1);
+    if (result.ok && !result.processor.empty())
+      obs::metrics().counter("service.compiled." + result.processor).add(1);
+
     lock.lock();
     ++stats_.completed;
     if (!result.ok) ++stats_.failed;
@@ -110,8 +125,6 @@ void CompileService::worker_loop() {
       ++stats_.semantics_checked;
       if (!result.ok) ++stats_.semantics_failed;
     }
-    stats_.total_queue_ms += queue_ms;
-    stats_.total_compile_ms += result.times.compile_ms;
     lock.unlock();
 
     pending.promise.set_value(std::move(result));
@@ -119,13 +132,33 @@ void CompileService::worker_loop() {
 }
 
 ServiceStats CompileService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  const obs::HistogramStats q = queue_ns_.stats();
+  const obs::HistogramStats c = compile_ns_.stats();
+  constexpr double kMs = 1e6;  // histograms hold nanoseconds
+  s.total_queue_ms = static_cast<double>(q.sum) / kMs;
+  s.total_compile_ms = static_cast<double>(c.sum) / kMs;
+  s.mean_queue_ms = q.mean / kMs;
+  s.p50_queue_ms = static_cast<double>(q.p50) / kMs;
+  s.p90_queue_ms = static_cast<double>(q.p90) / kMs;
+  s.p99_queue_ms = static_cast<double>(q.p99) / kMs;
+  s.mean_compile_ms = c.mean / kMs;
+  s.p50_compile_ms = static_cast<double>(c.p50) / kMs;
+  s.p90_compile_ms = static_cast<double>(c.p90) / kMs;
+  s.p99_compile_ms = static_cast<double>(c.p99) / kMs;
+  return s;
 }
 
 JobResult CompileService::run_job(const CompileJob& job,
                                   TargetRegistry& registry,
                                   select::SelectScratch* scratch) {
+  obs::Span span("service.job");
+  if (!job.tag.empty()) span.note("tag", job.tag);
+  if (!job.model.empty()) span.note("model", job.model);
   JobResult result;
   result.tag = job.tag;
   util::DiagnosticSink diags;

@@ -38,6 +38,7 @@
 #include "core/compiler.h"
 #include "core/record.h"
 #include "ir/program.h"
+#include "obs/metrics.h"
 #include "service/registry.h"
 #include "util/timer.h"
 
@@ -95,6 +96,12 @@ struct JobResult {
   std::optional<core::CompileResult> compiled;
 };
 
+/// Aggregate service counters plus a latency summary. The latency figures
+/// are derived at stats() time from two per-service obs::Histogram instances
+/// (nanosecond buckets, wait-free recording on the worker path), so
+/// accumulation is TSan-clean by construction; `total_*` stay for
+/// compatibility with older consumers (recordd --stats) and are the
+/// histogram sums.
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;
@@ -102,8 +109,16 @@ struct ServiceStats {
   std::size_t peak_queue = 0;    // high-water mark of the request queue
   std::size_t semantics_checked = 0;   // jobs whose state comparison ran
   std::size_t semantics_failed = 0;    // ... and diverged / was rejected
-  double total_queue_ms = 0;
-  double total_compile_ms = 0;
+  double total_queue_ms = 0;     // = sum of the queue-wait histogram
+  double total_compile_ms = 0;   // = sum of the compile-time histogram
+  double mean_queue_ms = 0;
+  double p50_queue_ms = 0;
+  double p90_queue_ms = 0;
+  double p99_queue_ms = 0;
+  double mean_compile_ms = 0;
+  double p50_compile_ms = 0;
+  double p90_compile_ms = 0;
+  double p99_compile_ms = 0;
 };
 
 class CompileService {
@@ -137,6 +152,17 @@ class CompileService {
   void shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Raw latency histograms backing the stats() summary (queue wait and
+  /// compile time, nanoseconds) — recordd's stats command serves their full
+  /// percentile spread from here.
+  [[nodiscard]] const obs::Histogram& queue_histogram() const {
+    return queue_ns_;
+  }
+  [[nodiscard]] const obs::Histogram& compile_histogram() const {
+    return compile_ns_;
+  }
+
   [[nodiscard]] TargetRegistry& registry() { return registry_; }
   [[nodiscard]] std::size_t worker_count() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -169,7 +195,15 @@ class CompileService {
   std::condition_variable not_full_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
-  ServiceStats stats_;
+  ServiceStats stats_;  // counter fields only; latency derives from below
+
+  /// Per-service latency distributions (wait-free recording; see
+  /// obs/metrics.h). Per-instance rather than process-global so concurrent
+  /// services — tests, the oracle's throwaway pools — don't pollute each
+  /// other's percentiles; the process-wide obs::metrics() registry gets the
+  /// same recordings under "service.*" for daemon-level introspection.
+  obs::Histogram queue_ns_;
+  obs::Histogram compile_ns_;
 
   std::vector<std::thread> workers_;
 };

@@ -9,6 +9,8 @@
 
 #include "core/record.h"
 #include "ir/kernel_lang.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/json.h"
 #include "service/service.h"
 #include "sim/check.h"
@@ -185,6 +187,7 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
   OracleReport rep;
 
   // --- path 1 + 2: interpreter vs tables over one cold retarget ----------
+  obs::Span path_span("oracle.engines");
   std::optional<core::RetargetResult> local;
   const core::RetargetResult* target = options.target.get();
   if (!target) {
@@ -223,9 +226,11 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
     rep.failure = d;
     return rep;
   }
+  path_span.end();
 
   // --- path 3: store to the persistent cache, reload, compile -------------
   if (options.cache) {
+    OBS_SPAN("oracle.cache");
     core::RetargetOptions copts;
     copts.use_target_cache = true;
     copts.cache_dir =
@@ -258,6 +263,7 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
 
   // --- path 4: multi-worker service batch over the kernel frontend --------
   if (options.service) {
+    OBS_SPAN("oracle.service");
     service::CompileService::Options sopts;
     sopts.workers = static_cast<std::size_t>(options.service_workers);
     service::CompileService svc(sopts);
@@ -299,6 +305,7 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
 
   // --- encode -> decode round trip ----------------------------------------
   if (options.roundtrip && ref) {
+    OBS_SPAN("oracle.roundtrip");
     if (std::string issue = roundtrip_issues(*ref, *target->base);
         !issue.empty()) {
       rep.failure = "round trip: " + issue;
@@ -308,6 +315,7 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
 
   // --- path 5: semantic oracle (simulator vs. reference evaluator) --------
   if (options.semantics && ref) {
+    OBS_SPAN("oracle.semantic");
     sim::CheckOptions sopts;
     sopts.max_taken_branches = options.sim_branches;
     sopts.scratch_memory = options.compile.spill.scratch_memory;
@@ -338,8 +346,42 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
 
 OracleReport check_pair(std::string_view hdl, const ir::Program& prog,
                         const OracleOptions& options) {
+  obs::Span span("oracle.pair");
   OracleReport rep = check_pair_inner(hdl, prog, options);
   rep.clazz = classify_failure(rep.failure);
+
+  // Per-path verdict tallies: a fuzz campaign's triage view. The counters
+  // split agreement by whether the pair compiled, failures by class, and
+  // semantic-oracle skips by which executor bailed (the detail prefix).
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("oracle.pairs").add(1);
+  if (rep.compiled) m.counter("oracle.compiled").add(1);
+  switch (rep.clazz) {
+    case FailureClass::kNone:
+      m.counter(rep.compiled ? "oracle.agree" : "oracle.agree_uncovered")
+          .add(1);
+      break;
+    case FailureClass::kStructural:
+      m.counter("oracle.fail.structural").add(1);
+      break;
+    case FailureClass::kDecode:
+      m.counter("oracle.fail.decode").add(1);
+      break;
+    case FailureClass::kSemantic:
+      m.counter("oracle.fail.semantic").add(1);
+      break;
+  }
+  if (rep.semantics_checked) m.counter("oracle.semantics_checked").add(1);
+  if (!rep.semantics_skipped.empty()) {
+    // Bucket by the stable "<executor>:" prefix of the skip detail; free
+    // text after the colon would explode the name space.
+    std::string_view reason = rep.semantics_skipped;
+    reason = reason.substr(0, reason.find(':'));
+    std::string name = "oracle.semantics_skipped.";
+    for (char c : reason) name.push_back(c == ' ' ? '_' : c);
+    m.counter(name).add(1);
+  }
+  span.note("verdict", std::string(to_string(rep.clazz)));
   return rep;
 }
 

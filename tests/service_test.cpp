@@ -14,6 +14,8 @@
 
 #include "ir/builder.h"
 #include "models/workload.h"
+#include "obs/trace.h"
+#include "service/introspect.h"
 #include "service/json.h"
 #include "service/registry.h"
 #include "service/service.h"
@@ -255,6 +257,82 @@ TEST(CompileService, BoundedQueueBlocksAndDrains) {
   }
   for (auto& f : futures) EXPECT_TRUE(f.get().ok);
   EXPECT_LE(svc.stats().peak_queue, 1u);
+}
+
+// --- introspection commands (recordd's control plane) ------------------------
+
+TEST(Introspection, StatsAndTraceCommandsRoundTrip) {
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().enable();
+
+  CompileService::Options opts;
+  opts.workers = 2;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  std::vector<CompileJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    const models::ChainShape& s = kChainShapes[0];
+    CompileJob job;
+    job.model = s.model;
+    job.program = std::make_shared<const ir::Program>(chain_program(s, 3));
+    jobs.push_back(std::move(job));
+  }
+  for (const JobResult& r : svc.compile_batch(std::move(jobs)))
+    ASSERT_TRUE(r.ok) << r.error;
+
+  // An ordinary compile request carries no "cmd": not introspection.
+  auto req = Json::parse(R"({"model": "demo"})");
+  ASSERT_TRUE(req);
+  EXPECT_FALSE(service::handle_introspection(*req, svc).has_value());
+
+  // stats: round-trip through the wire format and check the snapshot shape.
+  auto stats_req = Json::parse(R"({"cmd": "stats"})");
+  ASSERT_TRUE(stats_req);
+  std::optional<Json> stats = service::handle_introspection(*stats_req, svc);
+  ASSERT_TRUE(stats);
+  auto wire = Json::parse(stats->dump());
+  ASSERT_TRUE(wire);
+  EXPECT_TRUE((*wire)["ok"].as_bool());
+  EXPECT_EQ((*wire)["service"]["completed"].as_int(), 4);
+  EXPECT_EQ((*wire)["service"]["failed"].as_int(), 0);
+  // Latency percentiles are present and ordered (p50 <= p99).
+  const Json& compile = (*wire)["service"]["compile"];
+  EXPECT_LE(compile["p50_ms"].as_number(), compile["p99_ms"].as_number());
+  EXPECT_GT(compile["p99_ms"].as_number(), 0.0);
+  EXPECT_EQ((*wire)["registry"]["entries"].as_int(), 1);
+  // The process-wide metrics snapshot rode along (worker jobs counted).
+  EXPECT_GE((*wire)["metrics"]["counters"]["service.jobs"].as_int(), 4);
+
+  // trace: the flight recorder serves the spans those jobs recorded.
+  auto trace_req = Json::parse(R"({"cmd": "trace", "last": 8})");
+  ASSERT_TRUE(trace_req);
+  std::optional<Json> trace = service::handle_introspection(*trace_req, svc);
+  ASSERT_TRUE(trace);
+  auto twire = Json::parse(trace->dump());
+  ASSERT_TRUE(twire);
+  EXPECT_TRUE((*twire)["ok"].as_bool());
+  EXPECT_TRUE((*twire)["enabled"].as_bool());
+  const Json& events = (*twire)["events"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+  ASSERT_LE(events.size(), 8u);
+  bool saw_job = false;
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events.at(i)["name"].as_string() == "service.job") saw_job = true;
+  EXPECT_TRUE(saw_job);
+
+  // Unknown commands answer ok:false instead of turning into compile jobs.
+  auto bogus = Json::parse(R"({"cmd": "selfdestruct"})");
+  ASSERT_TRUE(bogus);
+  std::optional<Json> err = service::handle_introspection(*bogus, svc);
+  ASSERT_TRUE(err);
+  EXPECT_FALSE((*err)["ok"].as_bool());
+  EXPECT_NE((*err)["error"].as_string().find("selfdestruct"),
+            std::string::npos);
+
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().clear();
 }
 
 // --- the 8-worker stress test ------------------------------------------------

@@ -29,6 +29,7 @@
 #include "burstab/tables.h"
 #include "core/record.h"
 #include "models/workload.h"
+#include "obs/metrics.h"
 #include "select/selector.h"
 #include "service/json.h"
 #include "service/service.h"
@@ -42,7 +43,9 @@ struct SelRow {
   std::string model;
   std::string engine;
   std::size_t nodes = 0;
-  double ns_per_node = 0;
+  double ns_per_node = 0;      // best-of-rounds mean (the gated statistic)
+  double p50_ns_per_node = 0;  // per-rep distribution, for tail visibility
+  double p99_ns_per_node = 0;
 };
 
 struct SvcRow {
@@ -55,7 +58,7 @@ constexpr double kRegressionTolerance = 1.25;  // fail beyond +25%
 
 double run_selection(const core::RetargetResult& target,
                      const burstab::TargetTables* tables,
-                     const ir::Program& prog, int reps, std::size_t& nodes) {
+                     const ir::Program& prog, int reps, SelRow& row) {
   select::SelectScratch scratch;
   {  // warm-up (also populates dynamic table entries / frozen snapshots)
     util::DiagnosticSink d;
@@ -65,23 +68,34 @@ double run_selection(const core::RetargetResult& target,
   }
   // Best-of-rounds: the minimum over several timed rounds is far less
   // sensitive to scheduler noise than one mean — the regression gate needs
-  // a stable statistic, not an average of interruptions.
+  // a stable statistic, not an average of interruptions. Each rep is also
+  // timed individually into a histogram so the report can show the per-rep
+  // tail (p50/p99) that the best-of minimum deliberately hides.
   constexpr int kRounds = 5;
+  obs::Histogram rep_ns;
   double best_ms = -1;
   for (int round = 0; round < kRounds; ++round) {
-    util::Timer timer;
+    double round_ms = 0;
     for (int rep = 0; rep < reps; ++rep) {
+      util::Timer timer;
       util::DiagnosticSink d;
       select::CodeSelector sel(*target.base, target.tree_grammar, d, tables,
                                &scratch);
       auto result = sel.select(prog);
+      double ms = timer.milliseconds();
       if (!result) return -1;
-      nodes = sel.stats().nodes_labelled;
+      row.nodes = sel.stats().nodes_labelled;
+      round_ms += ms;
+      rep_ns.record(static_cast<std::int64_t>(ms * 1e6));
     }
-    double ms = timer.milliseconds() / reps;
+    double ms = round_ms / reps;
     if (best_ms < 0 || ms < best_ms) best_ms = ms;
   }
-  return best_ms * 1e6 / static_cast<double>(nodes);
+  const double nodes = static_cast<double>(row.nodes);
+  const obs::HistogramStats dist = rep_ns.stats();
+  row.p50_ns_per_node = static_cast<double>(dist.p50) / nodes;
+  row.p99_ns_per_node = static_cast<double>(dist.p99) / nodes;
+  return best_ms * 1e6 / nodes;
 }
 
 }  // namespace
@@ -109,8 +123,8 @@ int main(int argc, char** argv) {
   // --- selection ns/node per model x engine --------------------------------
   std::vector<SelRow> sel_rows;
   std::printf("selection ns/node (%d-term chains, %d reps)\n", terms, reps);
-  std::printf("%-11s %-14s %8s %12s\n", "model", "engine", "nodes",
-              "ns/node");
+  std::printf("%-11s %-14s %8s %12s %10s %10s\n", "model", "engine", "nodes",
+              "ns/node", "p50", "p99");
   for (const models::ChainShape& s : models::kChainShapes) {
     util::DiagnosticSink diags;
     core::RetargetOptions options;
@@ -138,14 +152,14 @@ int main(int argc, char** argv) {
       SelRow row;
       row.model = s.model;
       row.engine = e.name;
-      row.ns_per_node = run_selection(*target, e.tables, prog, reps,
-                                      row.nodes);
+      row.ns_per_node = run_selection(*target, e.tables, prog, reps, row);
       if (row.ns_per_node < 0) {
         std::fprintf(stderr, "%s/%s: selection failed\n", s.model, e.name);
         return 1;
       }
-      std::printf("%-11s %-14s %8zu %12.1f\n", s.model, e.name, row.nodes,
-                  row.ns_per_node);
+      std::printf("%-11s %-14s %8zu %12.1f %10.1f %10.1f\n", s.model, e.name,
+                  row.nodes, row.ns_per_node, row.p50_ns_per_node,
+                  row.p99_ns_per_node);
       sel_rows.push_back(std::move(row));
     }
   }
@@ -225,6 +239,8 @@ int main(int argc, char** argv) {
     row.set("engine", r.engine);
     row.set("nodes", static_cast<double>(r.nodes));
     row.set("ns_per_node", r.ns_per_node);
+    row.set("p50_ns_per_node", r.p50_ns_per_node);
+    row.set("p99_ns_per_node", r.p99_ns_per_node);
     selection.push(std::move(row));
   }
   report.set("selection", std::move(selection));

@@ -27,6 +27,9 @@
 //                 [--replay PATH]             re-run a dumped repro instead
 //                 [--keep-cache]              keep the oracle cache dir
 //                 [--no-semantics]            skip the semantic oracle path
+//                 [--trace PATH]              record spans and write a
+//                                             Chrome/Perfetto trace (open in
+//                                             ui.perfetto.dev) on exit
 //                 [--verbose]                 per-pair progress lines
 //
 // Exit status: 0 = all pairs agree, 1 = divergence found, 2 = bad usage.
@@ -42,6 +45,7 @@
 
 #include "core/record.h"
 #include "ir/kernel_lang.h"
+#include "obs/trace.h"
 #include "service/json.h"
 #include "testgen/modelgen.h"
 #include "testgen/oracle.h"
@@ -64,6 +68,7 @@ struct Args {
   bool verbose = false;
   std::string repro_out = "fuzz_repro.json";
   std::string replay;
+  std::string trace;
 };
 
 /// Strict decimal parse: a typo must not silently shrink the corpus. Digits
@@ -121,6 +126,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       a.replay = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.trace = v;
     } else if (arg == "--fail-fast") {
       a.fail_fast = true;
     } else if (arg == "--keep-cache") {
@@ -186,10 +195,11 @@ int main(int argc, char** argv) {
                  "usage: fuzz_retarget [--seeds A..B|N] [--programs K] "
                  "[--workers N] [--service-every M] [--fail-fast] "
                  "[--repro-out PATH] [--replay PATH] [--keep-cache] "
-                 "[--no-semantics] [--verbose]\n");
+                 "[--no-semantics] [--trace PATH] [--verbose]\n");
     return 2;
   }
   const Args& args = *parsed;
+  if (!args.trace.empty()) obs::Tracer::instance().enable();
 
   testgen::OracleOptions oopts;
   oopts.service_workers = args.workers;
@@ -206,6 +216,8 @@ int main(int argc, char** argv) {
     bool stop = false;
     for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi && !stop;
          ++seed) {
+      obs::Span seed_span("fuzz.seed");
+      seed_span.note("seed", static_cast<std::int64_t>(seed));
       testgen::GeneratedModel model = testgen::generate_model(seed);
       ++models;
       // One cold retarget per model, shared across its programs (when it
@@ -311,6 +323,13 @@ int main(int argc, char** argv) {
   if (!args.keep_cache) {
     std::error_code ec;
     std::filesystem::remove_all(oopts.cache_dir, ec);
+  }
+  if (!args.trace.empty()) {
+    if (obs::Tracer::instance().write_chrome_trace(args.trace))
+      std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
+                   args.trace.c_str());
+    else
+      std::fprintf(stderr, "cannot write trace to %s\n", args.trace.c_str());
   }
   return status;
 }
