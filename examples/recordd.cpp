@@ -25,8 +25,14 @@
 //   {"cmd": "stats"}             -- full observability snapshot: service
 //                                   latency percentiles, registry occupancy,
 //                                   every process-wide counter/histogram
+//                                   (with raw bucket distributions), and a
+//                                   per-model selection-coverage section
 //   {"cmd": "trace", "last": N}  -- the N most recent completed trace spans
 //                                   (flight recorder; needs --trace)
+//   {"cmd": "explain", "model"|"hdl": ..., "kernel": ...}
+//                                -- per-statement chosen derivation: rules
+//                                   with costs, rejected alternatives,
+//                                   immediate-fit decisions
 //
 // Flags: --workers N (default: hardware), --queue N (default 256),
 //        --registry N (LRU capacity, default 16), --cache (persistent
@@ -47,6 +53,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/coverage.h"
 #include "obs/trace.h"
 #include "service/introspect.h"
 #include "service/json.h"
@@ -145,6 +152,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_path.empty()) obs::Tracer::instance().enable();
+  // Selection-coverage maps are cheap (relaxed counters) and feed the
+  // "coverage" section of the stats command, so the daemon records always.
+  obs::coverage().enable();
 
   service::CompileService svc(opts);
 

@@ -211,13 +211,19 @@ void TableParser::label_into(const SubjectTree& tree,
       base_of[id] = 0;
       merged = true;
     }
-    if (merged) continue;
+    if (merged) {
+      // Constrained merges re-intern instead of probing the frozen tables;
+      // they count as cold so transition coverage denominators stay honest.
+      if (coverage_) coverage_->record_cold_transition();
+      continue;
+    }
 
     int state;
     int base;
     if (node.is_const) {
       state = tables_.const_leaf_state(node.value);
       base = 0;  // #const states are kept absolute
+      if (coverage_) coverage_->record_cold_transition();
     } else {
       child_states.clear();
       base = 0;
@@ -227,10 +233,14 @@ void TableParser::label_into(const SubjectTree& tree,
         base = sat_add(base, base_of[static_cast<std::size_t>(c->id)]);
       }
       TargetTables::Transition t;
-      if (!frozen ||
-          !frozen->lookup(node.term, child_states.data(),
-                          child_states.size(), t))
+      std::int32_t slot = -1;
+      if (frozen && frozen->lookup(node.term, child_states.data(),
+                                   child_states.size(), t, &slot)) {
+        if (coverage_) coverage_->record_transition(slot);
+      } else {
         t = tables_.transition_cold(node.term, child_states);
+        if (coverage_) coverage_->record_cold_transition();
+      }
       state = t.state;
       base = sat_add(base, t.delta);
     }
@@ -244,6 +254,18 @@ void TableParser::label_into(const SubjectTree& tree,
       const std::size_t idx = static_cast<std::size_t>(i);
       mine[idx].cost = sat_add(base, s.cost[idx]);
       mine[idx].rule = s.rule[idx];
+    }
+  }
+
+  if (coverage_) {
+    for (std::size_t id = 0; id < tree.size(); ++id) {
+      coverage_->record_state(state_of[id]);
+      const LabelEntry* row = result.row(id);
+      for (int i = 0; i < nts; ++i) {
+        const LabelEntry& e = row[static_cast<std::size_t>(i)];
+        if (e.rule >= 0 && e.cost < kInf)
+          coverage_->record_rule_matched(e.rule);
+      }
     }
   }
 

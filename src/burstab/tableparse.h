@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "burstab/tables.h"
+#include "obs/coverage.h"
 #include "treeparse/burs.h"
 
 namespace record::burstab {
@@ -57,10 +58,16 @@ class TableParser {
 
   [[nodiscard]] const TargetTables& tables() const { return tables_; }
 
+  /// Attach a coverage map (null detaches). The disabled cost in
+  /// label_into is one pointer test per node; when attached, every state
+  /// assignment, frozen-slot hit, cold lookup and matched rule is recorded.
+  void set_coverage(obs::CoverageMap* map) { coverage_ = map; }
+
  private:
   const grammar::TreeGrammar& g_;
   const TargetTables& tables_;
   treeparse::TreeParser reducer_;  // shared reduce path
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace record::burstab

@@ -488,8 +488,8 @@ int TargetTables::compute_const_state_locked(int fit_index,
 // --- frozen fast path -------------------------------------------------------
 
 bool TargetTables::FrozenTables::lookup(TermId term, const int* children,
-                                        std::size_t arity,
-                                        Transition& out) const {
+                                        std::size_t arity, Transition& out,
+                                        std::int32_t* slot_out) const {
   if (term < 0 || static_cast<std::size_t>(term) >= op_begin.size())
     return false;
   for (std::int32_t oi = op_begin[static_cast<std::size_t>(term)];
@@ -499,6 +499,7 @@ bool TargetTables::FrozenTables::lookup(TermId term, const int* children,
     if (arity == 0) {
       if (!op.has_leaf) return false;
       out = op.leaf;
+      if (slot_out) *slot_out = op.slot_base;
       return true;
     }
     const std::int32_t* maps = op.maps.data();
@@ -520,6 +521,7 @@ bool TargetTables::FrozenTables::lookup(TermId term, const int* children,
     if (op.check[slot] != row) return false;
     out.state = op.val_state[slot];
     out.delta = op.val_delta[slot];
+    if (slot_out) *slot_out = op.slot_base + static_cast<std::int32_t>(slot);
     return true;
   }
   return false;
@@ -575,6 +577,10 @@ void TargetTables::freeze_locked() const {
   f->op_begin.assign(terms, 0);
   f->op_end.assign(terms, 0);
   const std::size_t sc = static_cast<std::size_t>(state_count_);
+  // Snapshot-global transition-slot numbering (coverage identity): each op
+  // owns a contiguous span — one slot for a leaf, check.size() slots for a
+  // packed op (holes where check stays -1 are simply never hit).
+  std::size_t slot_running = 0;
   for (std::size_t t = 0; t < terms; ++t) {
     f->op_begin[t] = static_cast<std::int32_t>(f->ops.size());
     for (auto& [arity, group] : by_term[t]) {
@@ -584,6 +590,8 @@ void TargetTables::freeze_locked() const {
       if (arity == 0) {
         op.has_leaf = true;
         op.leaf = group.entries.front()->second;
+        op.slot_base = static_cast<std::int32_t>(slot_running);
+        slot_running += 1;
         f->transitions += 1;
         f->ops.push_back(std::move(op));
         continue;
@@ -661,10 +669,13 @@ void TargetTables::freeze_locked() const {
         }
         f->transitions += rows[r].size();
       }
+      op.slot_base = static_cast<std::int32_t>(slot_running);
+      slot_running += op.check.size();
       f->ops.push_back(std::move(op));
     }
     f->op_end[t] = static_cast<std::int32_t>(f->ops.size());
   }
+  f->slot_count = slot_running;
 
   frozen_history_.push_back(std::move(f));
   frozen_ptr_.store(frozen_history_.back().get(), std::memory_order_release);

@@ -154,6 +154,10 @@ class TargetTables {
       std::int32_t arity = 0;
       bool has_leaf = false;
       Transition leaf{};                // arity == 0
+      /// First snapshot-global transition-slot id owned by this Op (leaf
+      /// ops own exactly one; packed ops own one per check/val column, with
+      /// holes where check is -1). Coverage maps index by these ids.
+      std::int32_t slot_base = 0;
       std::vector<std::int32_t> dims;   // [arity] compact index counts
       std::vector<std::int32_t> maps;   // arity x state_count -> index | -1
       std::vector<std::int32_t> disp;   // row -> displacement into check
@@ -165,10 +169,17 @@ class TargetTables {
     std::vector<std::int32_t> op_begin;  // [term] -> ops slice
     std::vector<std::int32_t> op_end;
     std::size_t transitions = 0;
+    /// One past the largest slot id (sum of all Ops' slot spans, holes
+    /// included). Slot ids identify transitions within THIS snapshot only;
+    /// a re-freeze renumbers them.
+    std::size_t slot_count = 0;
 
     /// Lock-free warm-path probe; false = cold miss (caller falls back).
+    /// On a hit, `slot_out` (when non-null) receives the snapshot-global
+    /// transition-slot id — the coverage-map index of this transition.
     [[nodiscard]] bool lookup(grammar::TermId term, const int* children,
-                              std::size_t arity, Transition& out) const;
+                              std::size_t arity, Transition& out,
+                              std::int32_t* slot_out = nullptr) const;
     /// Lock-free #const-leaf probe; -1 = unknown pair.
     [[nodiscard]] int const_lookup(int fit_index, int const_class) const;
   };

@@ -1,9 +1,30 @@
 #include "core/compiler.h"
 
+#include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace record::core {
+
+namespace {
+
+/// Refreshes a coverage map's denominators from the live tables (states and
+/// frozen transitions grow dynamically as the tables fill).
+void refresh_coverage_totals(obs::CoverageMap& cov,
+                             const grammar::TreeGrammar& g,
+                             const burstab::TargetTables* tables) {
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  if (tables) {
+    states = static_cast<std::uint64_t>(tables->stats().states);
+    if (const burstab::TargetTables::FrozenTables* f = tables->frozen())
+      transitions = static_cast<std::uint64_t>(f->transitions);
+  }
+  cov.set_totals(static_cast<std::uint64_t>(g.rules().size()), states,
+                 transitions);
+}
+
+}  // namespace
 
 std::optional<CompileResult> Compiler::compile(
     const ir::Program& prog, const CompileOptions& options,
@@ -25,10 +46,41 @@ std::optional<CompileResult> Compiler::compile(
   // Per-stage spans so a traced compile decomposes the same way JobTimes
   // does: selection (label + flatten inside the selector), spill repair,
   // compaction, encoding.
+  // Coverage attach: one relaxed enabled() load per compile. The map factory
+  // runs once per target (rule-name rendering is paid exactly once); the
+  // arrays carry headroom for dynamic table growth, with late out-of-range
+  // ids absorbed by the overflow counters.
+  obs::CoverageMap* cov = nullptr;
+  if (obs::coverage().enabled()) {
+    const grammar::TreeGrammar& g = target_->tree_grammar;
+    const burstab::TargetTables* cov_tables = tables;
+    cov = &obs::coverage().map_for(target_->processor, [&g, cov_tables]() {
+      obs::CoverageMap::Config cfg;
+      cfg.rules = g.rules().size();
+      std::size_t states = 0;
+      std::size_t slots = 0;
+      if (cov_tables) {
+        states = cov_tables->stats().states;
+        if (const burstab::TargetTables::FrozenTables* f =
+                cov_tables->frozen())
+          slots = f->slot_count;
+      }
+      cfg.states = states * 4 + 1024;
+      cfg.transitions = slots * 4 + 4096;
+      cfg.rule_names.reserve(cfg.rules);
+      for (const grammar::Rule& r : g.rules())
+        cfg.rule_names.push_back(grammar::rule_to_string(g, r));
+      return cfg;
+    });
+    refresh_coverage_totals(*cov, g, tables);
+  }
+
   std::optional<obs::Span> stage;
   stage.emplace("compile.select");
   select::CodeSelector selector(*target_->base, target_->tree_grammar, diags,
                                 tables, scratch);
+  selector.set_coverage(cov);
+  if (options.explain) selector.set_explain(options.explain);
   std::optional<select::SelectionResult> sel = selector.select(prog);
   if (!sel) {
     obs::metrics().counter("compile.uncovered").add(1);
@@ -59,6 +111,28 @@ std::optional<CompileResult> Compiler::compile(
   result.encoded =
       emit::encode(result.compacted.program, *target_->base, diags);
   stage.reset();
+  if (cov) {
+    const sched::SpillStats& sp = result.spill_stats;
+    cov->record_variant(obs::CoverageVariant::kSpillPark,
+                        sp.spills_inserted);
+    cov->record_variant(obs::CoverageVariant::kSpillCallerSave,
+                        sp.live_saves);
+    cov->record_variant(obs::CoverageVariant::kSpillGuardWrap,
+                        sp.guard_wraps);
+    const compact::CompactStats& cs = result.compacted.stats;
+    // Merges = RTs folded into shared words (mode sets inflate words, so
+    // subtract them from the packing delta first).
+    const std::size_t emitted =
+        cs.words > cs.mode_sets_inserted ? cs.words - cs.mode_sets_inserted
+                                         : cs.words;
+    cov->record_variant(obs::CoverageVariant::kCompactMerge,
+                        cs.input_rts > emitted ? cs.input_rts - emitted : 0);
+    cov->record_variant(obs::CoverageVariant::kCompactModeSet,
+                        cs.mode_sets_inserted);
+    // Labelling may have grown the tables (or triggered a re-freeze);
+    // refresh the denominators so the snapshot ratios stay honest.
+    refresh_coverage_totals(*cov, target_->tree_grammar, tables);
+  }
   if (!diags.ok()) {
     obs::metrics().counter("compile.failed").add(1);
     return std::nullopt;

@@ -26,6 +26,10 @@ struct CompileOptions {
   /// build_tables) and the interpreter otherwise. Explicit kTables without
   /// tables falls back to the interpreter with a warning.
   select::Engine engine = select::Engine::kAuto;
+  /// When non-null, selection appends one StmtExplain per statement (chosen
+  /// derivation, rejected alternatives, immediate-fit decisions). The sink
+  /// must outlive the compile call; per-job, not thread-shared.
+  select::ExplainSink* explain = nullptr;
 };
 
 struct CompileResult {

@@ -153,4 +153,11 @@ std::string pattern_to_string(const TreeGrammar& g, const PatNode& p) {
   return os.str();
 }
 
+std::string rule_to_string(const TreeGrammar& g, const Rule& r) {
+  std::ostringstream os;
+  os << g.nonterminal_name(r.lhs) << " <- ";
+  render(g, *r.pattern, os);
+  return os.str();
+}
+
 }  // namespace record::grammar

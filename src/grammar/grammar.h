@@ -150,4 +150,8 @@ class TreeGrammar {
 [[nodiscard]] std::string pattern_to_string(const TreeGrammar& g,
                                             const PatNode& p);
 
+/// Renders a whole rule ("nt:ACC <- +.16(nt:ACC, #imm8)") — the display
+/// name used by coverage reports and explain traces.
+[[nodiscard]] std::string rule_to_string(const TreeGrammar& g, const Rule& r);
+
 }  // namespace record::grammar

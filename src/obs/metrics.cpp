@@ -87,6 +87,12 @@ HistogramStats Histogram::stats() const {
     s.p50 = quantile(0.50);
     s.p90 = quantile(0.90);
     s.p99 = quantile(0.99);
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      const auto [lo, hi] = bucket_range(i);
+      s.buckets.push_back(HistogramBucket{lo, hi, c});
+    }
   }
   return s;
 }

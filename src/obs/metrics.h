@@ -58,6 +58,16 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// One occupied histogram bucket: the [lo, hi] value range and its raw
+/// count. Snapshots carry only non-empty buckets, so consumers can rebuild
+/// the full distribution (and recompute any quantile) without shipping the
+/// 496-entry array.
+struct HistogramBucket {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::uint64_t count = 0;
+};
+
 /// Summary of one histogram at snapshot time.
 struct HistogramStats {
   std::uint64_t count = 0;
@@ -68,6 +78,7 @@ struct HistogramStats {
   std::int64_t p50 = 0;
   std::int64_t p90 = 0;
   std::int64_t p99 = 0;
+  std::vector<HistogramBucket> buckets;  // occupied buckets, ascending lo
 };
 
 /// Log-bucketed histogram over non-negative int64 values (negatives clamp to

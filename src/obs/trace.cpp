@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/strings.h"
+
 namespace record::obs {
 
 namespace {
@@ -17,29 +19,12 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
-/// Minimal JSON string escaping (the exporter cannot depend on
-/// service::Json without inverting the layering; this covers the control
-/// characters and quotes span names/annotations can carry).
+/// JSON string escaping (the exporter cannot depend on service::Json
+/// without inverting the layering). util::append_json_quoted guarantees
+/// valid-UTF-8 output — span names/annotations carry generated model names,
+/// which can contain quotes, control characters and stray non-UTF-8 bytes.
 void append_quoted(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
+  util::append_json_quoted(out, s);
 }
 
 }  // namespace

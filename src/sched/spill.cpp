@@ -394,8 +394,10 @@ SpillStats insert_spills(select::SelectionResult& result,
     sc.rts.insert(sc.rts.end(), reloads.begin(), reloads.end());
     shift_intents(sc, 0, stores.size());
     sc.rts.insert(sc.rts.begin(), stores.begin(), stores.end());
-    for (const EntryItem& it : entry)
+    for (const EntryItem& it : entry) {
       if (it.restore) ++stats.live_saves;
+      if (it.guard_wrap) ++stats.guard_wraps;
+    }
   }
   return stats;
 }

@@ -30,6 +30,7 @@ struct SpillStats {
   std::size_t clobbers_found = 0;
   std::size_t spills_inserted = 0;   // store+reload pairs
   std::size_t live_saves = 0;        // caller-save wraps of bound registers
+  std::size_t guard_wraps = 0;       // entry-block guard wraps
   std::size_t unresolved = 0;        // no spill path on this target
 };
 

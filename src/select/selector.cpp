@@ -57,6 +57,12 @@ void CodeSelector::label_subject(const treeparse::SubjectTree& subject,
     parser_.label_into(subject, out);
 }
 
+void CodeSelector::set_coverage(obs::CoverageMap* map) {
+  coverage_ = map;
+  parser_.set_coverage(map);
+  if (table_parser_) table_parser_->set_coverage(map);
+}
+
 namespace {
 
 /// "nt:<storage>" -> "<storage>"; empty if not a storage non-terminal.
@@ -206,6 +212,9 @@ SelectedRT CodeSelector::instantiate(const treeparse::Derivation& d) {
 void CodeSelector::flatten(const treeparse::Derivation& d,
                            std::vector<SelectedRT>& out) {
   const grammar::Rule& rule = g_.rule(d.rule);
+  // Chosen-rule coverage: every application in the optimal derivation,
+  // including chain/start/stop rules that emit no RT.
+  if (coverage_) coverage_->record_rule_chosen(d.rule);
 
   // Capture the pattern-preorder child layout BEFORE the Sethi-Ullman sort
   // below permutes it: reads_producer entries resolve NT ordinals against
@@ -266,6 +275,51 @@ void CodeSelector::flatten(const treeparse::Derivation& d,
                            "of template {} ('{}')",
                            rt.tmpl->id, rt.tmpl->signature()));
   out.push_back(std::move(rt));
+}
+
+void CodeSelector::explain_derivation(const treeparse::Derivation& d,
+                                      const treeparse::LabelResult& labels,
+                                      StmtExplain& out) const {
+  const grammar::Rule& r = g_.rule(d.rule);
+  const treeparse::SubjectNode* n = d.node;
+  ExplainStep step;
+  step.rule = d.rule;
+  step.rule_text = grammar::rule_to_string(g_, r);
+  step.nonterminal = g_.nonterminal_name(r.lhs);
+  step.node =
+      n->is_const ? fmt("#{}", n->value) : g_.terminal_name(n->term);
+  step.cost = labels
+                  .at(static_cast<std::size_t>(n->id),
+                      static_cast<std::size_t>(r.lhs))
+                  .cost;
+  step.is_chain = r.is_chain();
+  for (const treeparse::ImmBinding& b : d.imms) {
+    ExplainImm imm;
+    imm.width = static_cast<int>(b.field_bits->size());
+    imm.value = b.value;
+    imm.fits = treeparse::TreeParser::immediate_fits(b.value, imm.width);
+    step.imms.push_back(imm);
+  }
+  // The rejected alternatives at this node: the winning rules of the OTHER
+  // non-terminals (the dynamic program already reduced each non-terminal to
+  // its argmin, so these are the surviving competitors with their closed
+  // costs).
+  const treeparse::LabelEntry* row =
+      labels.row(static_cast<std::size_t>(n->id));
+  for (int nt = 0; nt < labels.nt_count; ++nt) {
+    if (nt == r.lhs) continue;
+    const treeparse::LabelEntry& e = row[static_cast<std::size_t>(nt)];
+    if (e.rule < 0 || e.cost >= grammar::kInfCost) continue;
+    ExplainAlternative alt;
+    alt.rule = e.rule;
+    alt.rule_text = grammar::rule_to_string(g_, g_.rule(e.rule));
+    alt.nonterminal = g_.nonterminal_name(nt);
+    alt.cost = e.cost;
+    step.alternatives.push_back(std::move(alt));
+  }
+  out.steps.push_back(std::move(step));
+  for (treeparse::Derivation* c : d.children)
+    explain_derivation(*c, labels, out);
 }
 
 std::optional<SelectedRT> CodeSelector::make_branch(const ir::Stmt& stmt,
@@ -339,6 +393,12 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
         if (!rt) return std::nullopt;
         sc.rts.push_back(std::move(*rt));
         sc.parse_cost = 1;
+        if (explain_) {
+          StmtExplain ex;
+          ex.source = sc.source;
+          ex.cost = sc.parse_cost;
+          explain_->stmts.push_back(std::move(ex));
+        }
         break;
       }
       case ir::Stmt::Kind::Assign:
@@ -363,6 +423,8 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
             if (scratch_->promoted_labels.ok) {
               subject = std::move(promoted);
               labels = &scratch_->promoted_labels;
+              if (coverage_)
+                coverage_->record_variant(obs::CoverageVariant::kPromotedRetry);
             }
           }
         }
@@ -380,6 +442,15 @@ std::optional<SelectionResult> CodeSelector::select(const ir::Program& prog) {
             parser_.reduce(*subject, *labels, scratch_->arena);
         sc.parse_cost = labels->root_cost;
         flatten(*d, sc.rts);
+        if (explain_) {
+          StmtExplain ex;
+          ex.source = sc.source;
+          ex.subject = subject->to_string(g_);
+          ex.cost = labels->root_cost;
+          ex.promoted = (labels == &scratch_->promoted_labels);
+          explain_derivation(*d, *labels, ex);
+          explain_->stmts.push_back(std::move(ex));
+        }
         break;
       }
     }

@@ -104,6 +104,51 @@ struct SelectorStats {
   std::size_t statements = 0;
 };
 
+/// A rule the optimal derivation did NOT use at some node: the winning rule
+/// of a different non-terminal there, with its closed cost. These are the
+/// choices the dynamic program weighed and rejected.
+struct ExplainAlternative {
+  int rule = -1;
+  std::string rule_text;      // grammar::rule_to_string rendering
+  std::string nonterminal;    // what it would have derived
+  int cost = grammar::kInfCost;
+};
+
+/// One immediate-field binding decision of a chosen rule.
+struct ExplainImm {
+  int width = 0;              // instruction-word field width in bits
+  std::int64_t value = 0;
+  bool fits = false;          // TreeParser::immediate_fits(value, width)
+};
+
+/// One rule application of the chosen derivation, in preorder.
+struct ExplainStep {
+  int rule = -1;
+  std::string rule_text;
+  std::string nonterminal;    // derived non-terminal (the rule's LHS)
+  std::string node;           // subject node ("+.16", "#5", "$reg:AX", ...)
+  int cost = grammar::kInfCost;  // closed cost of LHS at the node
+  bool is_chain = false;
+  std::vector<ExplainImm> imms;
+  std::vector<ExplainAlternative> alternatives;
+};
+
+/// Why selection chose what it chose for one IR statement.
+struct StmtExplain {
+  std::string source;         // rendered IR statement
+  std::string subject;        // rendered subject tree (empty for branches)
+  int cost = 0;               // optimal derivation cost
+  bool promoted = false;      // labelled at promoted (accumulator) precision
+  std::vector<ExplainStep> steps;
+};
+
+/// Collects per-statement explanations when attached to a CodeSelector (via
+/// core::CompileOptions::explain). Plain value sink: selection appends, the
+/// caller reads afterwards.
+struct ExplainSink {
+  std::vector<StmtExplain> stmts;
+};
+
 class CodeSelector {
  public:
   /// With `tables` non-null the selector labels subjects through the
@@ -126,10 +171,23 @@ class CodeSelector {
 
   [[nodiscard]] const SelectorStats& stats() const { return stats_; }
 
+  /// Attach a coverage map (null detaches). Forwards to the labelling
+  /// engines (matched rules, states, transition slots) and additionally
+  /// records the rules CHOSEN by flatten() plus promoted-precision retries.
+  void set_coverage(obs::CoverageMap* map);
+
+  /// Attach an explain sink (null detaches): select() then appends one
+  /// StmtExplain per statement describing the chosen derivation, the costs
+  /// of rejected alternatives and every immediate-fit decision.
+  void set_explain(ExplainSink* sink) { explain_ = sink; }
+
   /// Name of the storage acting as program counter for branch templates.
   static constexpr const char* kProgramCounter = "PC";
 
  private:
+  void explain_derivation(const treeparse::Derivation& d,
+                          const treeparse::LabelResult& labels,
+                          StmtExplain& out) const;
   void flatten(const treeparse::Derivation& d, std::vector<SelectedRT>& out);
   [[nodiscard]] SelectedRT instantiate(const treeparse::Derivation& d);
   [[nodiscard]] std::optional<SelectedRT> make_branch(
@@ -156,6 +214,8 @@ class CodeSelector {
   treeparse::TreeParser parser_;
   std::optional<burstab::TableParser> table_parser_;
   SelectorStats stats_;
+  obs::CoverageMap* coverage_ = nullptr;
+  ExplainSink* explain_ = nullptr;
 
   std::unique_ptr<SelectScratch> owned_scratch_;  // when none was passed
   SelectScratch* scratch_;

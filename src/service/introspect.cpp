@@ -1,7 +1,11 @@
 #include "service/introspect.h"
 
+#include "core/compiler.h"
+#include "ir/kernel_lang.h"
+#include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/diagnostics.h"
 
 namespace record::service {
 
@@ -17,6 +21,146 @@ Json histogram_json(const obs::HistogramStats& h) {
   out.set("p50", Json(static_cast<double>(h.p50)));
   out.set("p90", Json(static_cast<double>(h.p90)));
   out.set("p99", Json(static_cast<double>(h.p99)));
+  // Raw distribution: occupied buckets with their value ranges, so
+  // consumers can rebuild the full histogram (and recompute any quantile)
+  // instead of trusting the three shipped percentiles.
+  Json buckets = Json::array();
+  for (const obs::HistogramBucket& b : h.buckets) {
+    Json jb = Json::object();
+    jb.set("lo", Json(static_cast<double>(b.lo)));
+    jb.set("hi", Json(static_cast<double>(b.hi)));
+    jb.set("count", Json(static_cast<double>(b.count)));
+    buckets.push(std::move(jb));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+/// Ratio pair {"covered": N, "total": M} (total 0 = denominator unknown).
+Json ratio_json(std::size_t covered, std::uint64_t total) {
+  Json out = Json::object();
+  out.set("covered", Json(static_cast<double>(covered)));
+  out.set("total", Json(static_cast<double>(total)));
+  return out;
+}
+
+Json coverage_json(const obs::CoverageSnapshot& s) {
+  Json out = Json::object();
+  out.set("target", Json(s.target));
+  out.set("rules_matched",
+          ratio_json(s.rules_matched_covered(), s.rules_total));
+  out.set("rules_chosen", ratio_json(s.rules_chosen_covered(), s.rules_total));
+  out.set("states", ratio_json(s.states_covered(), s.states_total));
+  out.set("transitions",
+          ratio_json(s.transitions_covered(), s.transitions_total));
+  out.set("cold_transitions",
+          Json(static_cast<double>(s.counts.cold_transitions)));
+  Json variants = Json::object();
+  for (std::size_t v = 0; v < obs::kCoverageVariantCount; ++v)
+    variants.set(
+        std::string(to_string(static_cast<obs::CoverageVariant>(v))),
+        Json(static_cast<double>(s.counts.variants[v])));
+  out.set("variants", std::move(variants));
+  Json uncovered = Json::array();
+  for (int rid : s.uncovered_rules()) {
+    Json r = Json::object();
+    r.set("rule", Json(static_cast<double>(rid)));
+    if (static_cast<std::size_t>(rid) < s.rule_names.size())
+      r.set("name", Json(s.rule_names[static_cast<std::size_t>(rid)]));
+    uncovered.push(std::move(r));
+  }
+  out.set("uncovered_rules", std::move(uncovered));
+  return out;
+}
+
+Json explain_response(const Json& request, CompileService& service) {
+  Json out = Json::object();
+  out.set("cmd", Json("explain"));
+  const std::string& model = request["model"].as_string();
+  const std::string& hdl = request["hdl"].as_string();
+  const std::string& kernel = request["kernel"].as_string();
+  if ((model.empty() && hdl.empty()) || kernel.empty()) {
+    out.set("ok", Json(false));
+    out.set("error",
+            Json("explain needs \"kernel\" plus \"model\" or \"hdl\""));
+    return out;
+  }
+  util::DiagnosticSink diags;
+  std::shared_ptr<const core::RetargetResult> target =
+      model.empty() ? service.registry().get(hdl, diags)
+                    : service.registry().get_model(model, diags);
+  if (!target) {
+    out.set("ok", Json(false));
+    std::string err = diags.first_error();
+    out.set("error", Json(err.empty() ? "retargeting failed" : err));
+    return out;
+  }
+  std::optional<ir::Program> program = ir::parse_kernel(kernel, diags);
+  if (!program) {
+    out.set("ok", Json(false));
+    std::string err = diags.first_error();
+    out.set("error", Json(err.empty() ? "kernel parse failed" : err));
+    return out;
+  }
+  select::ExplainSink sink;
+  core::CompileOptions options;
+  options.explain = &sink;
+  core::Compiler compiler(target);
+  std::optional<core::CompileResult> compiled =
+      compiler.compile(*program, options, diags);
+  if (!compiled) {
+    out.set("ok", Json(false));
+    std::string err = diags.first_error();
+    out.set("error", Json(err.empty() ? "compilation failed" : err));
+    return out;
+  }
+  out.set("ok", Json(true));
+  out.set("processor", Json(target->processor));
+  Json stmts = Json::array();
+  for (const select::StmtExplain& ex : sink.stmts) {
+    Json js = Json::object();
+    js.set("source", Json(ex.source));
+    if (!ex.subject.empty()) js.set("subject", Json(ex.subject));
+    js.set("cost", Json(static_cast<double>(ex.cost)));
+    if (ex.promoted) js.set("promoted", Json(true));
+    Json steps = Json::array();
+    for (const select::ExplainStep& st : ex.steps) {
+      Json jstep = Json::object();
+      jstep.set("rule", Json(static_cast<double>(st.rule)));
+      jstep.set("rule_text", Json(st.rule_text));
+      jstep.set("nonterminal", Json(st.nonterminal));
+      jstep.set("node", Json(st.node));
+      jstep.set("cost", Json(static_cast<double>(st.cost)));
+      if (st.is_chain) jstep.set("chain", Json(true));
+      if (!st.imms.empty()) {
+        Json imms = Json::array();
+        for (const select::ExplainImm& imm : st.imms) {
+          Json ji = Json::object();
+          ji.set("width", Json(static_cast<double>(imm.width)));
+          ji.set("value", Json(static_cast<double>(imm.value)));
+          ji.set("fits", Json(imm.fits));
+          imms.push(std::move(ji));
+        }
+        jstep.set("imms", std::move(imms));
+      }
+      if (!st.alternatives.empty()) {
+        Json alts = Json::array();
+        for (const select::ExplainAlternative& alt : st.alternatives) {
+          Json ja = Json::object();
+          ja.set("rule", Json(static_cast<double>(alt.rule)));
+          ja.set("rule_text", Json(alt.rule_text));
+          ja.set("nonterminal", Json(alt.nonterminal));
+          ja.set("cost", Json(static_cast<double>(alt.cost)));
+          alts.push(std::move(ja));
+        }
+        jstep.set("alternatives", std::move(alts));
+      }
+      steps.push(std::move(jstep));
+    }
+    js.set("steps", std::move(steps));
+    stmts.push(std::move(js));
+  }
+  out.set("statements", std::move(stmts));
   return out;
 }
 
@@ -112,6 +256,17 @@ Json stats_response(CompileService& service) {
     histograms.set(name, histogram_json(h));
   metrics.set("histograms", std::move(histograms));
   out.set("metrics", std::move(metrics));
+
+  // Per-model selection coverage (present whenever coverage is enabled and
+  // at least one compile has attached a map).
+  const std::vector<obs::CoverageSnapshot> cov =
+      obs::coverage().snapshot_all();
+  if (!cov.empty()) {
+    Json coverage = Json::array();
+    for (const obs::CoverageSnapshot& s : cov)
+      coverage.push(coverage_json(s));
+    out.set("coverage", std::move(coverage));
+  }
   return out;
 }
 
@@ -121,9 +276,11 @@ std::optional<Json> handle_introspection(const Json& request,
   const std::string& cmd = request["cmd"].as_string();
   if (cmd == "stats") return stats_response(service);
   if (cmd == "trace") return trace_response(request);
+  if (cmd == "explain") return explain_response(request, service);
   Json out = Json::object();
   out.set("ok", Json(false));
-  out.set("error", Json("unknown cmd '" + cmd + "' (try stats, trace)"));
+  out.set("error",
+          Json("unknown cmd '" + cmd + "' (try stats, trace, explain)"));
   return out;
 }
 

@@ -16,6 +16,14 @@
 //       depth and annotations. Requires tracing to be enabled (recordd
 //       --trace); otherwise the response says so and carries no events.
 //
+//   {"cmd": "explain", "model"|"hdl": ..., "kernel": ...} -> the chosen
+//       derivation per IR statement: rule applications in evaluation order
+//       with rule text, closed costs, the rejected alternatives (other
+//       non-terminals' winning rules and costs at the same node) and every
+//       immediate-fit decision. Statement coverage snapshots additionally
+//       appear in {"cmd":"stats"} under "coverage" when coverage recording
+//       is enabled (recordd enables it at startup).
+//
 // The handler lives in the library (not the recordd example) so tests can
 // round-trip the commands against a CompileService directly.
 #pragma once

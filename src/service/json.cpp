@@ -258,29 +258,15 @@ void Json::push(Json value) {
 }
 
 std::string Json::quote(std::string_view s) {
+  // util::append_json_quoted guarantees valid-UTF-8 output even for hostile
+  // inputs (generated model names can carry arbitrary bytes): stray bytes
+  // that do not form a well-formed UTF-8 sequence are escaped as \u00XX
+  // instead of being copied raw, which would make strict consumers (for
+  // example python's json.loads over a UTF-8 decoded stream) reject the
+  // whole document.
   std::string out;
   out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
+  util::append_json_quoted(out, s);
   return out;
 }
 

@@ -166,6 +166,17 @@ void TreeParser::label_into(const SubjectTree& tree, LabelResult& result) const 
     }
   }
 
+  if (coverage_) {
+    for (std::size_t id = 0; id < tree.size(); ++id) {
+      const LabelEntry* row = result.row(id);
+      for (int i = 0; i < nts; ++i) {
+        const LabelEntry& e = row[static_cast<std::size_t>(i)];
+        if (e.rule >= 0 && e.cost < kInfCost)
+          coverage_->record_rule_matched(e.rule);
+      }
+    }
+  }
+
   result.root_cost =
       result.at(static_cast<std::size_t>(tree.root()->id), kStart).cost;
   result.ok = result.root_cost < kInfCost;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "grammar/grammar.h"
+#include "obs/coverage.h"
 #include "treeparse/arena.h"
 #include "treeparse/subject.h"
 
@@ -171,6 +172,12 @@ class TreeParser {
 
   [[nodiscard]] const grammar::TreeGrammar& grammar() const { return g_; }
 
+  /// Attach a coverage map (null detaches): label_into then records every
+  /// rule that wins some (node, non-terminal) cell. The interpreter has no
+  /// interned states or table slots, so only rule coverage is fed here —
+  /// which is exactly what makes frozen-vs-hash coverage agreement testable.
+  void set_coverage(obs::CoverageMap* map) { coverage_ = map; }
+
   /// True if `value` can be encoded in an immediate field of `width` bits
   /// (unsigned or two's-complement signed).
   [[nodiscard]] static bool immediate_fits(std::int64_t value, int width);
@@ -188,6 +195,7 @@ class TreeParser {
   /// Per rule: number of NonTerm leaves / Imm leaves in the pattern —
   /// the exact child/immediate array sizes reduce() bump-allocates.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> rule_shape_;
+  obs::CoverageMap* coverage_ = nullptr;
 };
 
 }  // namespace record::treeparse

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 
 namespace record::util {
 
@@ -69,6 +70,82 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out.append(parts[i]);
   }
   return out;
+}
+
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const unsigned char c0 = static_cast<unsigned char>(s[i]);
+  if (c0 < 0x80) return 1;
+  std::size_t n;
+  std::uint32_t cp;
+  if ((c0 & 0xE0) == 0xC0) {
+    n = 2;
+    cp = c0 & 0x1Fu;
+  } else if ((c0 & 0xF0) == 0xE0) {
+    n = 3;
+    cp = c0 & 0x0Fu;
+  } else if ((c0 & 0xF8) == 0xF0) {
+    n = 4;
+    cp = c0 & 0x07u;
+  } else {
+    return 0;  // continuation byte or invalid lead (0xFE/0xFF)
+  }
+  if (i + n > s.size()) return 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    const unsigned char c = static_cast<unsigned char>(s[i + k]);
+    if ((c & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (c & 0x3Fu);
+  }
+  if (n == 2 && cp < 0x80) return 0;     // overlong
+  if (n == 3 && cp < 0x800) return 0;    // overlong
+  if (n == 4 && cp < 0x10000) return 0;  // overlong
+  if (cp > 0x10FFFF) return 0;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;  // surrogate
+  return n;
+}
+
+void append_json_quoted(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    switch (c) {
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    const std::size_t n = utf8_sequence_length(s, i);
+    if (n == 0) {
+      // A byte that is not part of any valid UTF-8 sequence: escaping it
+      // (rather than copying it raw) keeps the whole document valid UTF-8
+      // for strict consumers. The round trip is intentionally lossy for
+      // such inputs — \u00XX decodes to the code point, not the raw byte.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+      ++i;
+      continue;
+    }
+    out.append(s.substr(i, n));
+    i += n;
+  }
+  out.push_back('"');
 }
 
 namespace detail {

@@ -31,6 +31,22 @@ namespace record::util {
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
 
+/// Length (1-4) of the well-formed UTF-8 sequence starting at s[i]; 0 when
+/// the bytes at i do not form one (bad lead or continuation byte, overlong
+/// encoding, surrogate code point, or a value above U+10FFFF).
+[[nodiscard]] std::size_t utf8_sequence_length(std::string_view s,
+                                               std::size_t i);
+
+/// Appends `s` to `out` as a double-quoted JSON string literal. The output
+/// is always valid UTF-8 regardless of the input: quotes, backslashes and
+/// control characters get their JSON escapes, well-formed multi-byte UTF-8
+/// sequences pass through verbatim, and stray bytes that are NOT part of a
+/// valid sequence are escaped as \u00XX (their Latin-1 interpretation) so a
+/// strict consumer never rejects the document. Generated model names can
+/// carry arbitrary bytes; this is the single escaping routine every JSON
+/// producer in the repo routes through.
+void append_json_quoted(std::string& out, std::string_view s);
+
 namespace detail {
 
 void format_one(std::string& out, std::string_view& fmt, std::string_view arg);

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/json.h"
@@ -290,6 +291,34 @@ TEST(HistogramTest, QuantilesWithinBucketResolutionAbove) {
                                  Histogram::bucket_of(9999)).first);
 }
 
+TEST_F(TraceTest, HostileNamesSurviveAsValidJsonAndUtf8) {
+  // Control characters, a raw DEL byte, and an INVALID UTF-8 sequence
+  // (lone continuation byte + truncated lead byte). Strict JSON consumers
+  // reject unescaped control bytes and invalid UTF-8, so the export must
+  // neutralise all of them.
+  const std::string hostile = std::string("sel\x01\x7f\"quoted\"\\") +
+                              '\x80' + '\xC3';  // invalid UTF-8 tail
+  {
+    Span s(hostile.c_str());
+    s.note(hostile, hostile);
+  }
+  std::string json = Tracer::instance().chrome_trace_json();
+
+  std::string error;
+  std::optional<service::Json> parsed = service::Json::parse(json, &error);
+  ASSERT_TRUE(parsed) << "trace JSON does not parse: " << error;
+  // Invalid UTF-8 input bytes were \u00XX-escaped, and the hostile string
+  // contained no VALID multi-byte sequences — so the whole export is ASCII.
+  for (unsigned char c : json)
+    EXPECT_LT(c, 0x80u) << "raw non-ASCII byte leaked into the export";
+  // Round-trip: the name survives with its control/quote/backslash portion
+  // intact (the invalid bytes come back as U+0080/U+00C3 code points, which
+  // is the documented lossy-but-valid mapping).
+  const service::Json& e = (*parsed)["traceEvents"].at(0);
+  EXPECT_EQ(e["name"].as_string().substr(0, hostile.size() - 2),
+            hostile.substr(0, hostile.size() - 2));
+}
+
 TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
   Histogram h;
   constexpr int kThreads = 4, kPer = 10000;
@@ -303,6 +332,150 @@ TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
   EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPer);
   EXPECT_EQ(s.min, 0);
   EXPECT_EQ(s.max, 99);
+}
+
+// --- selection coverage -----------------------------------------------------
+
+CoverageMap::Config small_config() {
+  CoverageMap::Config c;
+  c.rules = 4;
+  c.states = 3;
+  c.transitions = 3;
+  c.rule_names = {"r0", "r1", "r2", "r3"};
+  return c;
+}
+
+TEST(CoverageTest, RecordsHitsDistinctAndOverflow) {
+  CoverageMap map("t", small_config());
+  map.record_rule_matched(0);
+  map.record_rule_matched(0);
+  map.record_rule_matched(2);
+  map.record_rule_chosen(2);
+  map.record_state(1);
+  map.record_transition(0);
+  map.record_transition(7);   // beyond capacity -> overflow, not UB
+  map.record_rule_chosen(-1); // negative ids overflow too
+  map.record_cold_transition();
+  map.record_variant(CoverageVariant::kCompactMerge, 5);
+  map.record_variant(CoverageVariant::kSpillPark, 0);  // no-op
+  map.set_totals(4, 3, 3);
+
+  CoverageDistinct d = map.distinct();
+  EXPECT_EQ(d.rules_matched, 2u);
+  EXPECT_EQ(d.rules_chosen, 1u);
+  EXPECT_EQ(d.states, 1u);
+  EXPECT_EQ(d.transitions, 1u);
+  EXPECT_EQ(d.total(), 5u);
+
+  CoverageSnapshot s = map.snapshot();
+  EXPECT_EQ(s.target, "t");
+  EXPECT_EQ(s.counts.rules_matched[0], 2u);
+  EXPECT_EQ(s.counts.rules_matched[2], 1u);
+  EXPECT_EQ(s.rules_matched_covered(), 2u);
+  EXPECT_EQ(s.rules_chosen_covered(), 1u);
+  EXPECT_EQ(s.states_covered(), 1u);
+  EXPECT_EQ(s.transitions_covered(), 1u);
+  EXPECT_EQ(s.counts.transition_overflow, 1u);
+  EXPECT_EQ(s.counts.cold_transitions, 1u);
+  EXPECT_EQ(s.counts.variants[static_cast<std::size_t>(
+                CoverageVariant::kCompactMerge)],
+            5u);
+  EXPECT_EQ(s.counts.variants[static_cast<std::size_t>(
+                CoverageVariant::kSpillPark)],
+            0u);
+  // Uncovered = never CHOSEN: rules 0, 1, 3 (2 was chosen).
+  EXPECT_EQ(s.uncovered_rules(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(CoverageTest, DiffSubtractsAndMergeAccumulates) {
+  CoverageMap map("t", small_config());
+  map.record_rule_chosen(0);
+  map.set_totals(4, 3, 3);
+  CoverageSnapshot before = map.snapshot();
+  map.record_rule_chosen(0);
+  map.record_rule_chosen(1);
+  map.record_state(2);
+  CoverageSnapshot after = map.snapshot();
+
+  CoverageSnapshot delta = coverage_diff(before, after);
+  EXPECT_EQ(delta.counts.rules_chosen[0], 1u);
+  EXPECT_EQ(delta.counts.rules_chosen[1], 1u);
+  EXPECT_EQ(delta.counts.states[2], 1u);
+  EXPECT_EQ(delta.rules_chosen_covered(), 2u);
+
+  // Merging the delta back onto `before` reproduces `after`'s counts.
+  CoverageSnapshot total = before;
+  coverage_merge(total, delta);
+  EXPECT_EQ(total.counts.rules_chosen, after.counts.rules_chosen);
+  EXPECT_EQ(total.counts.states, after.counts.states);
+  EXPECT_EQ(total.rules_total, 4u);
+}
+
+TEST(CoverageTest, RegistryCreatesOncePerTargetAndSnapshotsSorted) {
+  CoverageRegistry reg;
+  int factory_calls = 0;
+  auto factory = [&factory_calls] {
+    ++factory_calls;
+    return small_config();
+  };
+  CoverageMap& b = reg.map_for("bravo", factory);
+  CoverageMap& a = reg.map_for("alpha", factory);
+  EXPECT_EQ(&reg.map_for("bravo", factory), &b);  // no second factory run
+  EXPECT_EQ(factory_calls, 2);
+  EXPECT_EQ(reg.find("alpha"), &a);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+
+  a.record_rule_chosen(1);
+  std::vector<CoverageSnapshot> all = reg.snapshot_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].target, "alpha");  // name-sorted
+  EXPECT_EQ(all[1].target, "bravo");
+
+  reg.clear();
+  EXPECT_EQ(reg.find("alpha"), nullptr);
+  EXPECT_TRUE(reg.snapshot_all().empty());
+}
+
+TEST(CoverageTest, ConcurrentHitsLoseNothing) {
+  CoverageMap::Config c;
+  c.rules = 64;
+  c.states = 64;
+  c.transitions = 64;
+  CoverageMap map("t", std::move(c));
+  constexpr int kThreads = 4, kPer = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&map] {
+      for (int i = 0; i < kPer; ++i) {
+        map.record_rule_chosen(i % 64);
+        map.record_transition(i % 7);
+      }
+    });
+  for (std::thread& th : threads) th.join();
+  CoverageSnapshot s = map.snapshot();
+  std::uint64_t rule_hits = 0;
+  for (std::uint64_t h : s.counts.rules_chosen) rule_hits += h;
+  EXPECT_EQ(rule_hits, static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(map.distinct().rules_chosen, 64u);
+  EXPECT_EQ(map.distinct().transitions, 7u);
+}
+
+TEST(CoverageTest, ReportJsonParsesWithHostileTargetName) {
+  CoverageMap map("gen\"x\"\x01\\", small_config());
+  map.record_rule_chosen(0);
+  map.set_totals(4, 3, 3);
+  std::string json = coverage_report_json({map.snapshot()});
+  std::string error;
+  std::optional<service::Json> parsed = service::Json::parse(json, &error);
+  ASSERT_TRUE(parsed) << "coverage JSON does not parse: " << error;
+  const service::Json& t = (*parsed)["coverage"].at(0);
+  EXPECT_EQ(t["target"].as_string(), "gen\"x\"\x01\\");
+  EXPECT_EQ(t["rules_chosen"]["covered"].as_number(), 1.0);
+  EXPECT_EQ(t["rules_chosen"]["total"].as_number(), 4.0);
+
+  std::string text = coverage_report_text(map.snapshot());
+  EXPECT_NE(text.find("rules chosen"), std::string::npos);
+  EXPECT_NE(text.find("#1  r1"), std::string::npos);  // uncovered, by name
 }
 
 }  // namespace

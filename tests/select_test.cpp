@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "burstab/tables.h"
 #include "core/record.h"
 #include "ir/builder.h"
+#include "models/workload.h"
+#include "obs/coverage.h"
 #include "select/selector.h"
 #include "select/subject_map.h"
 
@@ -215,6 +218,81 @@ TEST(Selector, MissingBindingFailsCleanly) {
   CodeSelector selector(*c25().base, c25().tree_grammar, diags);
   EXPECT_FALSE(selector.select(prog).has_value());
   EXPECT_FALSE(diags.ok());
+}
+
+// --- coverage-map agreement across labelling engines -------------------------
+
+// Grammar-rule coverage is an engine-independent fact: whichever engine
+// labels the subject trees (interpreter, dynamic hash tables, frozen
+// compressed tables), the set of rules matched per node and the rules chosen
+// in the optimal derivation must be identical. This pins the coverage
+// instrumentation itself — a divergence here means one engine's record path
+// (not its selection) went wrong.
+TEST(Selector, CoverageMapsAgreeAcrossEnginesOnAllModels) {
+  for (const models::ChainShape& s : models::kChainShapes) {
+    util::DiagnosticSink diags;
+    auto target =
+        core::Record::retarget_model(s.model, core::RetargetOptions{}, diags);
+    ASSERT_TRUE(target) << s.model << ": " << diags.str();
+    ASSERT_TRUE(target->tables) << s.model << ": no frozen tables";
+
+    burstab::TableBuildOptions hash_mode;
+    hash_mode.freeze = false;
+    burstab::TargetTables hash_tables(target->tree_grammar, hash_mode);
+
+    struct EngineRun {
+      const char* name;
+      const burstab::TargetTables* tables;
+    };
+    const EngineRun engines[] = {
+        {"interpreter", nullptr},
+        {"tables-hash", &hash_tables},
+        {"tables-frozen", target->tables.get()},
+    };
+
+    const ir::Program prog = models::chain_program(s, 6);
+    std::vector<obs::CoverageSnapshot> snaps;
+    for (const EngineRun& e : engines) {
+      obs::CoverageMap::Config cc;
+      cc.rules = target->tree_grammar.rules().size();
+      cc.states = 4096;
+      cc.transitions = 1 << 16;
+      obs::CoverageMap map(e.name, std::move(cc));
+      util::DiagnosticSink d;
+      CodeSelector sel(*target->base, target->tree_grammar, d, e.tables);
+      sel.set_coverage(&map);
+      ASSERT_TRUE(sel.select(prog)) << s.model << "/" << e.name << ": "
+                                    << d.str();
+      snaps.push_back(map.snapshot());
+    }
+
+    const obs::CoverageSnapshot& interp = snaps[0];
+    const obs::CoverageSnapshot& hash = snaps[1];
+    const obs::CoverageSnapshot& frozen = snaps[2];
+    // Rule coverage agrees hit-for-hit across all three engines.
+    EXPECT_EQ(interp.counts.rules_matched, hash.counts.rules_matched)
+        << s.model << ": interpreter vs hash matched-rule counts";
+    EXPECT_EQ(hash.counts.rules_matched, frozen.counts.rules_matched)
+        << s.model << ": hash vs frozen matched-rule counts";
+    EXPECT_EQ(interp.counts.rules_chosen, hash.counts.rules_chosen)
+        << s.model << ": interpreter vs hash chosen-rule counts";
+    EXPECT_EQ(hash.counts.rules_chosen, frozen.counts.rules_chosen)
+        << s.model << ": hash vs frozen chosen-rule counts";
+    EXPECT_GT(frozen.rules_chosen_covered(), 0u) << s.model;
+
+    // Engine-specific dimensions land where they should: the interpreter
+    // has no interned states or table lookups at all; the hash engine's
+    // lookups are all cold (no frozen snapshot attached); only the frozen
+    // engine hits transition slots.
+    EXPECT_EQ(interp.states_covered(), 0u) << s.model;
+    EXPECT_EQ(interp.counts.cold_transitions, 0u) << s.model;
+    EXPECT_GT(hash.states_covered(), 0u) << s.model;
+    EXPECT_GT(hash.counts.cold_transitions, 0u) << s.model;
+    EXPECT_EQ(hash.transitions_covered(), 0u) << s.model;
+    EXPECT_GT(frozen.states_covered(), 0u) << s.model;
+    EXPECT_GT(frozen.transitions_covered(), 0u) << s.model;
+    EXPECT_EQ(frozen.counts.transition_overflow, 0u) << s.model;
+  }
 }
 
 }  // namespace

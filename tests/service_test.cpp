@@ -14,6 +14,8 @@
 
 #include "ir/builder.h"
 #include "models/workload.h"
+#include "obs/coverage.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/introspect.h"
 #include "service/json.h"
@@ -333,6 +335,126 @@ TEST(Introspection, StatsAndTraceCommandsRoundTrip) {
 
   obs::Tracer::instance().disable();
   obs::Tracer::instance().clear();
+}
+
+TEST(Introspection, StatsHistogramBucketsRebuildTheDistribution) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  // A histogram with occupancy in both the exact and the log region.
+  obs::Histogram& h = obs::metrics().histogram("test.introspect.buckets");
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.record(3);
+  for (int i = 0; i < 5; ++i) h.record(1000);
+
+  auto stats_req = Json::parse(R"({"cmd": "stats"})");
+  ASSERT_TRUE(stats_req);
+  std::optional<Json> stats = service::handle_introspection(*stats_req, svc);
+  ASSERT_TRUE(stats);
+  auto wire = Json::parse(stats->dump());
+  ASSERT_TRUE(wire);
+  const Json& jh =
+      (*wire)["metrics"]["histograms"]["test.introspect.buckets"];
+  const Json& buckets = jh["buckets"];
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_EQ(buckets.size(), 2u);  // only occupied buckets ship
+  // Bucket counts sum back to the total, and each [lo, hi] matches the
+  // histogram's own geometry for the recorded value.
+  double total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const Json& b = buckets.at(i);
+    total += b["count"].as_number();
+    const auto [lo, hi] = obs::Histogram::bucket_range(
+        obs::Histogram::bucket_of(static_cast<std::int64_t>(
+            b["lo"].as_number())));
+    EXPECT_EQ(b["lo"].as_number(), static_cast<double>(lo));
+    EXPECT_EQ(b["hi"].as_number(), static_cast<double>(hi));
+  }
+  EXPECT_EQ(total, jh["count"].as_number());
+  EXPECT_EQ(buckets.at(0)["lo"].as_number(), 3.0);
+  EXPECT_EQ(buckets.at(0)["count"].as_number(), 10.0);
+  h.reset();
+}
+
+TEST(Introspection, ExplainCommandAndStatsCoverageSection) {
+  obs::coverage().clear();
+  obs::coverage().enable();
+
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  const char* kernel =
+      "kernel k;\nbind a: R0;\ncell x: mem[1];\na = a + x;";
+  // explain wants kernel plus model/hdl.
+  auto bad = Json::parse(R"({"cmd": "explain", "model": "demo"})");
+  ASSERT_TRUE(bad);
+  std::optional<Json> bad_resp = service::handle_introspection(*bad, svc);
+  ASSERT_TRUE(bad_resp);
+  EXPECT_FALSE((*bad_resp)["ok"].as_bool());
+
+  Json req = Json::object();
+  req.set("cmd", Json("explain"));
+  req.set("model", Json("demo"));
+  req.set("kernel", Json(kernel));
+  std::optional<Json> resp = service::handle_introspection(req, svc);
+  ASSERT_TRUE(resp);
+  auto wire = Json::parse(resp->dump());
+  ASSERT_TRUE(wire);
+  ASSERT_TRUE((*wire)["ok"].as_bool()) << (*wire)["error"].as_string();
+  EXPECT_EQ((*wire)["processor"].as_string(), "demo");
+  const Json& stmts = (*wire)["statements"];
+  ASSERT_TRUE(stmts.is_array());
+  ASSERT_EQ(stmts.size(), 1u);
+  const Json& stmt = stmts.at(0);
+  EXPECT_GT(stmt["cost"].as_number(), 0.0);
+  const Json& steps = stmt["steps"];
+  ASSERT_TRUE(steps.is_array());
+  ASSERT_GT(steps.size(), 0u);
+  // Every step names its rule; the load-from-mem step carries the imm-fit
+  // decision for the cell address.
+  bool saw_imm = false;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Json& st = steps.at(i);
+    EXPECT_FALSE(st["rule_text"].as_string().empty());
+    EXPECT_FALSE(st["nonterminal"].as_string().empty());
+    const Json& imms = st["imms"];
+    if (imms.is_array() && imms.size() > 0) {
+      saw_imm = true;
+      EXPECT_TRUE(imms.at(0)["fits"].as_bool());
+    }
+  }
+  EXPECT_TRUE(saw_imm);
+
+  // The explain compile recorded into the coverage registry, so the stats
+  // command now carries a per-model coverage section.
+  auto stats_req = Json::parse(R"({"cmd": "stats"})");
+  ASSERT_TRUE(stats_req);
+  std::optional<Json> stats = service::handle_introspection(*stats_req, svc);
+  ASSERT_TRUE(stats);
+  auto swire = Json::parse(stats->dump());
+  ASSERT_TRUE(swire);
+  const Json& cov = (*swire)["coverage"];
+  ASSERT_TRUE(cov.is_array());
+  bool saw_demo = false;
+  for (std::size_t i = 0; i < cov.size(); ++i) {
+    const Json& c = cov.at(i);
+    if (c["target"].as_string() != "demo") continue;
+    saw_demo = true;
+    EXPECT_GT(c["rules_chosen"]["covered"].as_number(), 0.0);
+    EXPECT_GT(c["rules_chosen"]["total"].as_number(),
+              c["rules_chosen"]["covered"].as_number());
+    EXPECT_GT(c["states"]["covered"].as_number(), 0.0);
+    EXPECT_GT(c["transitions"]["covered"].as_number(), 0.0);
+    EXPECT_TRUE(c["uncovered_rules"].is_array());
+  }
+  EXPECT_TRUE(saw_demo);
+
+  obs::coverage().disable();
+  obs::coverage().clear();
 }
 
 // --- the 8-worker stress test ------------------------------------------------

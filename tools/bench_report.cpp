@@ -29,6 +29,7 @@
 #include "burstab/tables.h"
 #include "core/record.h"
 #include "models/workload.h"
+#include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "select/selector.h"
 #include "service/json.h"
@@ -58,12 +59,14 @@ constexpr double kRegressionTolerance = 1.25;  // fail beyond +25%
 
 double run_selection(const core::RetargetResult& target,
                      const burstab::TargetTables* tables,
-                     const ir::Program& prog, int reps, SelRow& row) {
+                     const ir::Program& prog, int reps, SelRow& row,
+                     obs::CoverageMap* cov = nullptr) {
   select::SelectScratch scratch;
   {  // warm-up (also populates dynamic table entries / frozen snapshots)
     util::DiagnosticSink d;
     select::CodeSelector sel(*target.base, target.tree_grammar, d, tables,
                              &scratch);
+    if (cov) sel.set_coverage(cov);
     (void)sel.select(prog);
   }
   // Best-of-rounds: the minimum over several timed rounds is far less
@@ -81,6 +84,7 @@ double run_selection(const core::RetargetResult& target,
       util::DiagnosticSink d;
       select::CodeSelector sel(*target.base, target.tree_grammar, d, tables,
                                &scratch);
+      if (cov) sel.set_coverage(cov);
       auto result = sel.select(prog);
       double ms = timer.milliseconds();
       if (!result) return -1;
@@ -160,6 +164,33 @@ int main(int argc, char** argv) {
       std::printf("%-11s %-14s %8zu %12.1f %10.1f %10.1f\n", s.model, e.name,
                   row.nodes, row.ns_per_node, row.p50_ns_per_node,
                   row.p99_ns_per_node);
+      sel_rows.push_back(std::move(row));
+    }
+
+    // Obs overhead: the frozen-table run once more with a live CoverageMap
+    // attached, so the report tracks what rule/state/transition recording
+    // costs on the hot labelling path (relative to the tables-frozen row
+    // above). Reported, not gated. With RECORD_OBS_DISABLE the record calls
+    // compile out and the report flags the column as compiled_out.
+    {
+      obs::CoverageMap::Config cc;
+      cc.rules = target->tree_grammar.rules().size();
+      cc.states = 4096;
+      cc.transitions = 1 << 16;
+      obs::CoverageMap cov(s.model, std::move(cc));
+      SelRow row;
+      row.model = s.model;
+      row.engine = "tables-frozen-obs";
+      row.ns_per_node =
+          run_selection(*target, target->tables.get(), prog, reps, row, &cov);
+      if (row.ns_per_node < 0) {
+        std::fprintf(stderr, "%s/tables-frozen-obs: selection failed\n",
+                     s.model);
+        return 1;
+      }
+      std::printf("%-11s %-14s %8zu %12.1f %10.1f %10.1f\n", s.model,
+                  row.engine.c_str(), row.nodes, row.ns_per_node,
+                  row.p50_ns_per_node, row.p99_ns_per_node);
       sel_rows.push_back(std::move(row));
     }
   }
@@ -244,6 +275,31 @@ int main(int argc, char** argv) {
     selection.push(std::move(row));
   }
   report.set("selection", std::move(selection));
+  // Coverage-recording overhead on the warm frozen-table path, per model:
+  // tables-frozen-obs ns/node over tables-frozen ns/node, measured in the
+  // same run so machine speed divides out.
+  {
+    service::Json overhead = service::Json::array();
+    for (const models::ChainShape& s : models::kChainShapes) {
+      double frozen = 0, with_obs = 0;
+      for (const SelRow& r : sel_rows) {
+        if (r.model != s.model) continue;
+        if (r.engine == "tables-frozen") frozen = r.ns_per_node;
+        if (r.engine == "tables-frozen-obs") with_obs = r.ns_per_node;
+      }
+      if (frozen <= 0 || with_obs <= 0) continue;
+      service::Json row = service::Json::object();
+      row.set("model", s.model);
+      row.set("obs_over_frozen_ratio", with_obs / frozen);
+#ifdef RECORD_OBS_DISABLE
+      row.set("compiled_out", true);
+#else
+      row.set("compiled_out", false);
+#endif
+      overhead.push(std::move(row));
+    }
+    report.set("obs_overhead", std::move(overhead));
+  }
   service::Json svc = service::Json::array();
   for (const SvcRow& r : svc_rows) {
     service::Json row = service::Json::object();

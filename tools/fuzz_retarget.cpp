@@ -30,21 +30,46 @@
 //                 [--trace PATH]              record spans and write a
 //                                             Chrome/Perfetto trace (open in
 //                                             ui.perfetto.dev) on exit
+//                 [--explain]                 after each pair, print the
+//                                             chosen derivation per statement
+//                                             (rule text, costs of rejected
+//                                             alternatives, immediate fits)
+//                 [--coverage-guided]         spend the same pair budget
+//                                             (seed count x programs) under
+//                                             coverage feedback: every model
+//                                             seed gets one program, then
+//                                             models keep receiving programs
+//                                             only while each pair still
+//                                             yields new chosen rules /
+//                                             transition slots at a rate
+//                                             competitive with opening a
+//                                             fresh model seed; the freed
+//                                             budget explores seeds past the
+//                                             range
 //                 [--verbose]                 per-pair progress lines
 //
+// Selection-coverage recording is always on: the summary line carries a
+// "coverage" section with per-model covered/total and the distinct-coverage
+// totals, so a guided run is directly comparable against a sequential run of
+// the same budget.
+//
 // Exit status: 0 = all pairs agree, 1 = divergence found, 2 = bad usage.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/compiler.h"
 #include "core/record.h"
 #include "ir/kernel_lang.h"
+#include "obs/coverage.h"
 #include "obs/trace.h"
 #include "service/json.h"
 #include "testgen/modelgen.h"
@@ -66,6 +91,8 @@ struct Args {
   bool keep_cache = false;
   bool semantics = true;
   bool verbose = false;
+  bool explain = false;
+  bool coverage_guided = false;
   std::string repro_out = "fuzz_repro.json";
   std::string replay;
   std::string trace;
@@ -138,6 +165,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.semantics = false;
     } else if (arg == "--verbose") {
       a.verbose = true;
+    } else if (arg == "--explain") {
+      a.explain = true;
+    } else if (arg == "--coverage-guided") {
+      a.coverage_guided = true;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return std::nullopt;
@@ -186,6 +217,226 @@ int replay_repro(const Args& args, const testgen::OracleOptions& oopts) {
   return 1;
 }
 
+struct Counters {
+  std::uint64_t models = 0, pairs = 0, compiled = 0, failures = 0;
+  std::uint64_t templates_total = 0;
+  std::uint64_t sem_checked = 0, sem_skipped = 0;
+  bool stop = false;
+};
+
+/// A generated model plus its shared cold retarget (when retargeting fails,
+/// check_pair retries per pair and reports the diagnostic).
+struct ModelRun {
+  std::uint64_t seed = 0;
+  testgen::GeneratedModel model;
+  std::shared_ptr<const core::RetargetResult> target;
+};
+
+ModelRun make_model_run(std::uint64_t seed, Counters& c) {
+  ModelRun mr;
+  mr.seed = seed;
+  mr.model = testgen::generate_model(seed);
+  ++c.models;
+  util::DiagnosticSink dr;
+  if (auto t =
+          core::Record::retarget(mr.model.hdl, core::RetargetOptions{}, dr))
+    mr.target = std::make_shared<const core::RetargetResult>(std::move(*t));
+  return mr;
+}
+
+/// Compiles the pair once more with an ExplainSink attached and prints the
+/// chosen derivation per statement. A separate compile so the oracle's own
+/// differential paths stay explain-free.
+void print_explain(const ModelRun& mr, const testgen::GeneratedProgram& gp,
+                   const testgen::OracleOptions& pair_opts, int p) {
+  if (!mr.target) return;
+  select::ExplainSink sink;
+  core::CompileOptions copts = pair_opts.compile;
+  copts.explain = &sink;
+  util::DiagnosticSink diags;
+  core::Compiler compiler(mr.target);
+  if (!compiler.compile(gp.program, copts, diags)) {
+    std::printf("explain seed=%llu p%d: compile failed\n",
+                static_cast<unsigned long long>(mr.seed), p);
+    return;
+  }
+  std::printf("explain seed=%llu p%d model=%s\n",
+              static_cast<unsigned long long>(mr.seed), p,
+              mr.model.name.c_str());
+  for (const select::StmtExplain& ex : sink.stmts) {
+    std::printf("  %s  (cost %d%s)\n", ex.source.c_str(), ex.cost,
+                ex.promoted ? ", promoted precision" : "");
+    for (const select::ExplainStep& st : ex.steps) {
+      std::printf("    [%d]%s %s  cost=%d  at %s\n", st.rule,
+                  st.is_chain ? " chain" : "", st.rule_text.c_str(), st.cost,
+                  st.node.c_str());
+      for (const select::ExplainImm& imm : st.imms)
+        std::printf("        imm%d = %lld (%s)\n", imm.width,
+                    static_cast<long long>(imm.value),
+                    imm.fits ? "fits" : "does not fit");
+      for (const select::ExplainAlternative& alt : st.alternatives)
+        std::printf("        rejected [%d] %s  cost=%d\n", alt.rule,
+                    alt.rule_text.c_str(), alt.cost);
+    }
+  }
+}
+
+/// One (model, program-seed) pair through the oracle: generation, the
+/// differential check, counters, the verbose line, and on divergence the
+/// class-preserving minimization + repro dump. Shared by the sequential and
+/// coverage-guided schedules.
+void run_pair(const Args& args, const testgen::OracleOptions& oopts,
+              const ModelRun& mr, int p, Counters& c) {
+  testgen::GeneratedProgram gp =
+      testgen::generate_program(mr.model, static_cast<std::uint64_t>(p));
+  testgen::OracleOptions pair_opts = oopts;
+  pair_opts.target = mr.target;
+  if (mr.model.spill_slots > 0) {
+    pair_opts.compile.spill.scratch_base = mr.model.spill_base;
+    pair_opts.compile.spill.scratch_slots = mr.model.spill_slots;
+  }
+  pair_opts.service =
+      (c.pairs % static_cast<std::uint64_t>(args.service_every)) == 0;
+  ++c.pairs;
+  testgen::OracleReport rep =
+      testgen::check_pair(mr.model.hdl, gp.program, pair_opts);
+  if (rep.compiled) ++c.compiled;
+  if (rep.semantics_checked) ++c.sem_checked;
+  if (!rep.semantics_skipped.empty()) ++c.sem_skipped;
+  c.templates_total += rep.templates;
+  if (args.verbose)
+    std::printf("seed %llu p%d [%s]: %s (%zu templates, %zu words)\n",
+                static_cast<unsigned long long>(mr.seed), p,
+                mr.model.knobs.str().c_str(),
+                rep.agree ? (rep.compiled ? "ok" : "ok/uncovered") : "FAIL",
+                rep.templates, rep.words);
+  if (args.explain) print_explain(mr, gp, pair_opts, p);
+  if (rep.agree) return;
+
+  ++c.failures;
+  std::printf("FAIL [%s] seed=%llu program=%d model=%s\n  knobs: %s\n"
+              "  %s\n",
+              std::string(testgen::to_string(rep.clazz)).c_str(),
+              static_cast<unsigned long long>(mr.seed), p,
+              mr.model.name.c_str(), mr.model.knobs.str().c_str(),
+              rep.failure.c_str());
+
+  // Shrink the program while the same divergence CLASS persists —
+  // shrinking a semantic repro must not accept candidates that fail
+  // for an unrelated structural reason, or the minimum collapses into
+  // a different bug.
+  ir::Program minimized = testgen::minimize_program(
+      gp.program, [&](const ir::Program& candidate) {
+        testgen::OracleOptions mo = pair_opts;
+        mo.service = false;  // keep shrinking cheap: the divergence
+        mo.cache = false;    // almost always reproduces on paths 1+2
+        testgen::OracleReport cand =
+            testgen::check_pair(mr.model.hdl, candidate, mo);
+        return !cand.agree && cand.clazz == rep.clazz;
+      });
+  testgen::Repro repro;
+  repro.model_seed = mr.seed;
+  repro.program_seed = static_cast<std::uint64_t>(p);
+  repro.model = mr.model.name;
+  repro.knobs = mr.model.knobs.str();
+  repro.spill_base = mr.model.spill_base;
+  repro.spill_slots = mr.model.spill_slots;
+  repro.hdl = mr.model.hdl;
+  repro.kernel = testgen::kernel_text(minimized);
+  repro.failure = rep.failure;
+  repro.failure_class = std::string(testgen::to_string(rep.clazz));
+  // One file per failure, so earlier repros survive later ones.
+  std::string repro_path =
+      c.failures == 1 ? args.repro_out
+                      : args.repro_out + "." + std::to_string(c.failures);
+  if (testgen::write_repro(repro_path, repro))
+    std::printf("  repro written to %s (replay with --replay)\n",
+                repro_path.c_str());
+  else
+    std::fprintf(stderr, "  cannot write repro to %s\n", repro_path.c_str());
+  if (args.fail_fast) c.stop = true;
+}
+
+struct GuidedStats {
+  std::uint64_t budget = 0;
+  std::uint64_t retained = 0;     // pairs that reached new coverage
+  std::uint64_t fresh_seeds = 0;  // model seeds explored past seed_hi
+};
+
+/// Coverage-guided schedule over the same pair budget as the sequential
+/// loop: (seed count) x programs. Phase 1 gives every model seed one
+/// program; the leftover budget rotates through the models whose pairs
+/// keep EARNING their slot, then explores fresh model seeds past seed_hi.
+///
+/// The retention bar is an opportunity cost, not "added anything at all":
+/// almost every program reaches a few new rules, so a zero-threshold would
+/// keep saturated models in the rotation forever and never free budget for
+/// the far stronger move — a brand-new model seed, whose selector is
+/// entirely unexplored. A model therefore stays only while its last pair
+/// yielded at least half the running average first-program yield (what a
+/// fresh seed is expected to return). Novelty counts new CHOSEN rules and
+/// warm transition slots (matched-rule and state deltas track them but
+/// saturate much slower, which would blur the signal).
+GuidedStats run_guided(const Args& args, const testgen::OracleOptions& oopts,
+                       Counters& c) {
+  GuidedStats g;
+  g.budget = (args.seed_hi - args.seed_lo + 1) *
+             static_cast<std::uint64_t>(args.programs);
+  auto distinct_of = [](const ModelRun& mr) -> std::uint64_t {
+    const std::string& name =
+        mr.target ? mr.target->processor : mr.model.name;
+    const obs::CoverageMap* m = obs::coverage().find(name);
+    if (!m) return 0;
+    const obs::CoverageDistinct d = m->distinct();
+    return d.rules_chosen + d.transitions;
+  };
+  std::uint64_t used = 0;
+  auto run_measured = [&](const ModelRun& mr, int p) -> std::uint64_t {
+    const std::uint64_t before = distinct_of(mr);
+    run_pair(args, oopts, mr, p, c);
+    ++used;
+    const std::uint64_t delta = distinct_of(mr) - before;
+    if (delta > 0) ++g.retained;
+    return delta;
+  };
+  // Running mean of first-program yields = the expected value of opening a
+  // fresh model seed; the rotation bar is half of it.
+  std::uint64_t first_yield_sum = 0, first_yield_count = 0;
+  auto bar = [&]() -> std::uint64_t {
+    return first_yield_count ? first_yield_sum / (2 * first_yield_count) : 0;
+  };
+  struct Active {
+    ModelRun mr;
+    int next_program = 1;
+  };
+  std::deque<Active> rotation;
+  auto open_seed = [&](std::uint64_t seed) {
+    Active a{make_model_run(seed, c), 1};
+    const std::uint64_t delta = run_measured(a.mr, 0);
+    first_yield_sum += delta;
+    ++first_yield_count;
+    if (delta >= std::max<std::uint64_t>(bar(), 1))
+      rotation.push_back(std::move(a));
+  };
+  for (std::uint64_t seed = args.seed_lo;
+       seed <= args.seed_hi && used < g.budget && !c.stop; ++seed)
+    open_seed(seed);
+  std::uint64_t next_fresh = args.seed_hi + 1;
+  while (used < g.budget && !c.stop) {
+    if (!rotation.empty()) {
+      Active a = std::move(rotation.front());
+      rotation.pop_front();
+      if (run_measured(a.mr, a.next_program++) >=
+          std::max<std::uint64_t>(bar(), 1))
+        rotation.push_back(std::move(a));
+    } else {
+      ++g.fresh_seeds;
+      open_seed(next_fresh++);
+    }
+  }
+  return g;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,11 +446,16 @@ int main(int argc, char** argv) {
                  "usage: fuzz_retarget [--seeds A..B|N] [--programs K] "
                  "[--workers N] [--service-every M] [--fail-fast] "
                  "[--repro-out PATH] [--replay PATH] [--keep-cache] "
-                 "[--no-semantics] [--trace PATH] [--verbose]\n");
+                 "[--no-semantics] [--trace PATH] [--explain] "
+                 "[--coverage-guided] [--verbose]\n");
     return 2;
   }
   const Args& args = *parsed;
   if (!args.trace.empty()) obs::Tracer::instance().enable();
+  // Always record selection coverage: the counters are cheap relaxed
+  // increments and the summary's coverage section makes guided and
+  // sequential runs of the same budget directly comparable.
+  obs::coverage().enable();
 
   testgen::OracleOptions oopts;
   oopts.service_workers = args.workers;
@@ -210,114 +466,89 @@ int main(int argc, char** argv) {
   if (!args.replay.empty()) {
     status = replay_repro(args, oopts);
   } else {
-    std::uint64_t models = 0, pairs = 0, compiled = 0, failures = 0;
-    std::uint64_t templates_total = 0;
-    std::uint64_t sem_checked = 0, sem_skipped = 0;
-    bool stop = false;
-    for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi && !stop;
-         ++seed) {
-      obs::Span seed_span("fuzz.seed");
-      seed_span.note("seed", static_cast<std::int64_t>(seed));
-      testgen::GeneratedModel model = testgen::generate_model(seed);
-      ++models;
-      // One cold retarget per model, shared across its programs (when it
-      // fails, check_pair retries per pair and reports the diagnostic).
-      std::shared_ptr<const core::RetargetResult> shared_target;
-      {
-        util::DiagnosticSink dr;
-        if (auto t = core::Record::retarget(model.hdl,
-                                            core::RetargetOptions{}, dr))
-          shared_target =
-              std::make_shared<const core::RetargetResult>(std::move(*t));
-      }
-      for (int p = 0; p < args.programs && !stop; ++p) {
-        testgen::GeneratedProgram gp =
-            testgen::generate_program(model, static_cast<std::uint64_t>(p));
-        testgen::OracleOptions pair_opts = oopts;
-        pair_opts.target = shared_target;
-        if (model.spill_slots > 0) {
-          pair_opts.compile.spill.scratch_base = model.spill_base;
-          pair_opts.compile.spill.scratch_slots = model.spill_slots;
-        }
-        pair_opts.service =
-            (pairs % static_cast<std::uint64_t>(args.service_every)) == 0;
-        ++pairs;
-        testgen::OracleReport rep =
-            testgen::check_pair(model.hdl, gp.program, pair_opts);
-        if (rep.compiled) ++compiled;
-        if (rep.semantics_checked) ++sem_checked;
-        if (!rep.semantics_skipped.empty()) ++sem_skipped;
-        templates_total += rep.templates;
-        if (args.verbose)
-          std::printf("seed %llu p%d [%s]: %s (%zu templates, %zu words)\n",
-                      static_cast<unsigned long long>(seed), p,
-                      model.knobs.str().c_str(),
-                      rep.agree ? (rep.compiled ? "ok" : "ok/uncovered")
-                                : "FAIL",
-                      rep.templates, rep.words);
-        if (rep.agree) continue;
-
-        ++failures;
-        std::printf("FAIL [%s] seed=%llu program=%d model=%s\n  knobs: %s\n"
-                    "  %s\n",
-                    std::string(testgen::to_string(rep.clazz)).c_str(),
-                    static_cast<unsigned long long>(seed), p,
-                    model.name.c_str(), model.knobs.str().c_str(),
-                    rep.failure.c_str());
-
-        // Shrink the program while the same divergence CLASS persists —
-        // shrinking a semantic repro must not accept candidates that fail
-        // for an unrelated structural reason, or the minimum collapses into
-        // a different bug.
-        ir::Program minimized = testgen::minimize_program(
-            gp.program, [&](const ir::Program& candidate) {
-              testgen::OracleOptions mo = pair_opts;
-              mo.service = false;  // keep shrinking cheap: the divergence
-              mo.cache = false;    // almost always reproduces on paths 1+2
-              testgen::OracleReport cand =
-                  testgen::check_pair(model.hdl, candidate, mo);
-              return !cand.agree && cand.clazz == rep.clazz;
-            });
-        testgen::Repro repro;
-        repro.model_seed = seed;
-        repro.program_seed = static_cast<std::uint64_t>(p);
-        repro.model = model.name;
-        repro.knobs = model.knobs.str();
-        repro.spill_base = model.spill_base;
-        repro.spill_slots = model.spill_slots;
-        repro.hdl = model.hdl;
-        repro.kernel = testgen::kernel_text(minimized);
-        repro.failure = rep.failure;
-        repro.failure_class = std::string(testgen::to_string(rep.clazz));
-        // One file per failure, so earlier repros survive later ones.
-        std::string repro_path =
-            failures == 1 ? args.repro_out
-                          : args.repro_out + "." + std::to_string(failures);
-        if (testgen::write_repro(repro_path, repro))
-          std::printf("  repro written to %s (replay with --replay)\n",
-                      repro_path.c_str());
-        else
-          std::fprintf(stderr, "  cannot write repro to %s\n",
-                       repro_path.c_str());
-        if (args.fail_fast) stop = true;
+    Counters c;
+    std::optional<GuidedStats> guided;
+    if (args.coverage_guided) {
+      guided = run_guided(args, oopts, c);
+    } else {
+      for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi && !c.stop;
+           ++seed) {
+        obs::Span seed_span("fuzz.seed");
+        seed_span.note("seed", static_cast<std::int64_t>(seed));
+        ModelRun mr = make_model_run(seed, c);
+        for (int p = 0; p < args.programs && !c.stop; ++p)
+          run_pair(args, oopts, mr, p, c);
       }
     }
 
     service::Json summary = service::Json::object();
-    summary.set("models", service::Json(static_cast<double>(models)));
-    summary.set("pairs", service::Json(static_cast<double>(pairs)));
-    summary.set("compiled", service::Json(static_cast<double>(compiled)));
-    summary.set("failures", service::Json(static_cast<double>(failures)));
+    summary.set("models", service::Json(static_cast<double>(c.models)));
+    summary.set("pairs", service::Json(static_cast<double>(c.pairs)));
+    summary.set("compiled", service::Json(static_cast<double>(c.compiled)));
+    summary.set("failures", service::Json(static_cast<double>(c.failures)));
     summary.set("semantics_checked",
-                service::Json(static_cast<double>(sem_checked)));
+                service::Json(static_cast<double>(c.sem_checked)));
     summary.set("semantics_skipped",
-                service::Json(static_cast<double>(sem_skipped)));
+                service::Json(static_cast<double>(c.sem_skipped)));
     summary.set("avg_templates",
-                service::Json(models ? static_cast<double>(templates_total) /
-                                           static_cast<double>(pairs)
-                                     : 0.0));
+                service::Json(c.pairs
+                                  ? static_cast<double>(c.templates_total) /
+                                        static_cast<double>(c.pairs)
+                                  : 0.0));
+    // Distinct-coverage totals across every model's map. These are the
+    // numbers a guided run is judged by against a sequential run of the
+    // same budget.
+    const std::vector<obs::CoverageSnapshot> cov =
+        obs::coverage().snapshot_all();
+    if (!cov.empty()) {
+      std::uint64_t rules_matched = 0, rules_chosen = 0, states = 0,
+                    transitions = 0, rules_total = 0, transitions_total = 0;
+      service::Json per_model = service::Json::array();
+      for (const obs::CoverageSnapshot& s : cov) {
+        rules_matched += s.rules_matched_covered();
+        rules_chosen += s.rules_chosen_covered();
+        states += s.states_covered();
+        transitions += s.transitions_covered();
+        rules_total += s.rules_total;
+        transitions_total += s.transitions_total;
+        if (guided) {
+          service::Json m = service::Json::object();
+          m.set("target", service::Json(s.target));
+          m.set("rules_chosen", service::Json(static_cast<double>(
+                                    s.rules_chosen_covered())));
+          m.set("rules_total",
+                service::Json(static_cast<double>(s.rules_total)));
+          m.set("states",
+                service::Json(static_cast<double>(s.states_covered())));
+          m.set("transitions", service::Json(static_cast<double>(
+                                   s.transitions_covered())));
+          m.set("transitions_total",
+                service::Json(static_cast<double>(s.transitions_total)));
+          per_model.push(std::move(m));
+        }
+      }
+      service::Json jc = service::Json::object();
+      jc.set("targets", service::Json(static_cast<double>(cov.size())));
+      jc.set("rules_matched",
+             service::Json(static_cast<double>(rules_matched)));
+      jc.set("rules_chosen", service::Json(static_cast<double>(rules_chosen)));
+      jc.set("states", service::Json(static_cast<double>(states)));
+      jc.set("transitions", service::Json(static_cast<double>(transitions)));
+      jc.set("rules_total", service::Json(static_cast<double>(rules_total)));
+      jc.set("transitions_total",
+             service::Json(static_cast<double>(transitions_total)));
+      if (guided) {
+        jc.set("budget", service::Json(static_cast<double>(guided->budget)));
+        jc.set("corpus_retained",
+               service::Json(static_cast<double>(guided->retained)));
+        jc.set("fresh_seeds",
+               service::Json(static_cast<double>(guided->fresh_seeds)));
+        jc.set("models", std::move(per_model));
+      }
+      summary.set("coverage", std::move(jc));
+    }
     std::printf("%s\n", summary.dump().c_str());
-    status = failures == 0 ? 0 : 1;
+    status = c.failures == 0 ? 0 : 1;
   }
 
   if (!args.keep_cache) {
