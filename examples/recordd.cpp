@@ -1,8 +1,12 @@
 // recordd — the compile service as a JSON-lines daemon.
 //
-// Reads one request object per stdin line, compiles it on the shared worker
-// pool, and streams one response object per line to stdout in request order
-// (responses begin flowing while requests are still being read).
+// Two front ends over one protocol:
+//  - stdio (default): one request object per stdin line, one response per
+//    stdout line, in request order (responses stream while requests are
+//    still being read);
+//  - socket (--listen / --unix): the same protocol over TCP or a Unix
+//    socket via the src/net/ epoll event loop — many concurrent clients,
+//    request pipelining per connection, responses byte-identical to stdio.
 //
 // Request:
 //   {"model": "tms320c25",             -- built-in model, or:
@@ -33,14 +37,22 @@
 //                                -- per-statement chosen derivation: rules
 //                                   with costs, rejected alternatives,
 //                                   immediate-fit decisions
+//   {"cmd": "shard"[, "model"|"hdl": ...]}
+//                                -- consistent-hash ring shape and, for a
+//                                   named target, which instance owns it
 //
 // Flags: --workers N (default: hardware), --queue N (default 256),
 //        --registry N (LRU capacity, default 16), --cache (persistent
-//        target cache on), --stats (registry/service stats to stderr),
-//        --trace FILE (record spans; Perfetto trace written to FILE on
-//        exit, and the "trace" command serves the live flight recorder).
+//        target cache on), --listing, --stats (registry/service stats to
+//        stderr on exit), --trace FILE (Perfetto trace on exit; the "trace"
+//        command serves the live flight recorder),
+//        --listen [HOST:]PORT (TCP server; port 0 = ephemeral, printed),
+//        --unix PATH (Unix-socket server),
+//        --shards N --shard-index I (registry sharding across N instances).
 //
 // Try:  printf '%s\n' '{"model": "demo", "source": "kernel k;\nbind a: R0;\ncell x: mem[1];\na = a + x;"}' | ./build/example_recordd
+#include <algorithm>
+#include <csignal>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -53,11 +65,14 @@
 #include <string>
 #include <thread>
 
+#include "net/server.h"
+#include "net/shard.h"
 #include "obs/coverage.h"
 #include "obs/trace.h"
 #include "service/introspect.h"
 #include "service/json.h"
 #include "service/service.h"
+#include "service/wire.h"
 #include "util/strings.h"
 
 using namespace record;
@@ -65,116 +80,31 @@ using service::Json;
 
 namespace {
 
-service::CompileJob job_from_request(const Json& request,
-                                     bool default_listing) {
-  service::CompileJob job;
-  job.tag = request["tag"].as_string();
-  job.model = request["model"].as_string();
-  job.hdl = request["hdl"].as_string();
-  job.kernel = request["source"].as_string();
-  const Json& options = request["options"];
-  const std::string& engine = options["engine"].as_string();
-  if (engine == "tables") job.options.engine = select::Engine::kTables;
-  else if (engine == "interpreter")
-    job.options.engine = select::Engine::kInterpreter;
-  job.options.compact.enabled = options["compact"].as_bool(true);
-  job.options.insert_spills = options["spills"].as_bool(true);
-  job.want_listing = options["listing"].as_bool(default_listing);
-  return job;
-}
-
-Json response_from_result(const service::JobResult& result) {
-  Json out = Json::object();
-  if (!result.tag.empty()) out.set("tag", Json(result.tag));
-  out.set("ok", Json(result.ok));
-  if (!result.ok) {
-    out.set("error", Json(result.error));
-    return out;
-  }
-  out.set("processor", Json(result.processor));
-  out.set("code_size", Json(double(result.code_size)));
-  out.set("rts", Json(double(result.rts)));
-  Json times = Json::object();
-  times.set("queue_ms", Json(result.times.queue_ms));
-  times.set("target_ms", Json(result.times.target_ms));
-  times.set("frontend_ms", Json(result.times.frontend_ms));
-  times.set("compile_ms", Json(result.times.compile_ms));
-  out.set("times", std::move(times));
-  if (!result.listing.empty()) {
-    Json lines = Json::array();
-    for (const std::string& line : util::split(result.listing, '\n'))
-      if (!line.empty()) lines.push(Json(line));
-    out.set("listing", std::move(lines));
-  }
-  return out;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  service::CompileService::Options opts;
-  opts.registry.capacity = 16;
-  bool want_listing = false;
-  bool want_stats = false;
-  std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    auto value = [&](const char* flag) -> long {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "recordd: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return std::strtol(argv[++i], nullptr, 10);
-    };
-    if (!std::strcmp(argv[i], "--workers")) {
-      opts.workers = static_cast<std::size_t>(value("--workers"));
-    } else if (!std::strcmp(argv[i], "--queue")) {
-      opts.queue_capacity = static_cast<std::size_t>(value("--queue"));
-    } else if (!std::strcmp(argv[i], "--registry")) {
-      opts.registry.capacity = static_cast<std::size_t>(value("--registry"));
-    } else if (!std::strcmp(argv[i], "--cache")) {
-      opts.registry.retarget.use_target_cache = true;
-    } else if (!std::strcmp(argv[i], "--listing")) {
-      want_listing = true;
-    } else if (!std::strcmp(argv[i], "--stats")) {
-      want_stats = true;
-    } else if (!std::strcmp(argv[i], "--trace")) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "recordd: --trace needs a file path\n");
-        return 2;
-      }
-      trace_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: recordd [--workers N] [--queue N] [--registry N] "
-                   "[--cache] [--listing] [--stats] [--trace FILE]"
-                   "  < requests.jsonl\n");
-      return 2;
-    }
-  }
-  if (!trace_path.empty()) obs::Tracer::instance().enable();
-  // Selection-coverage maps are cheap (relaxed counters) and feed the
-  // "coverage" section of the stats command, so the daemon records always.
-  obs::coverage().enable();
-
-  service::CompileService svc(opts);
-
-  // Submission pipelines against a printer thread that drains responses in
-  // request order, so responses stream while stdin is still feeding. An
-  // entry is a compile job's future, a deferred control-plane command, or an
-  // already-rendered line (parse errors). Control commands are evaluated
-  // when the printer reaches them, so a stats response counts every job
-  // answered above it. The deque is bounded so a slow head-of-line job
-  // cannot pile up an unbounded backlog behind it.
+/// Runs the stdio front end: stdin lines against the printer thread that
+/// drains responses in request order. Returns the exit code. A stdout write
+/// failure (consumer closed the pipe) stops the printer: with nobody
+/// reading, finishing the queued work has no observer.
+int run_stdio(service::CompileService& svc, const net::ShardConfig& shard,
+              bool want_listing, std::size_t queue_capacity) {
+  // An entry is a compile job's future, a deferred control-plane command, or
+  // an already-rendered line (parse errors, shard ownership rejections).
+  // Control commands are evaluated when the printer reaches them, so a
+  // stats response counts every job answered above it. The deque is bounded
+  // so a slow head-of-line job cannot pile up an unbounded backlog.
   struct Out {
     std::optional<std::future<service::JobResult>> job;
     std::optional<Json> control;  // the "cmd" request, evaluated in order
     std::string line;             // used when neither job nor control
   };
-  const std::size_t max_pending = 2 * opts.queue_capacity;
+  const std::size_t max_pending = 2 * std::max<std::size_t>(queue_capacity, 1);
   std::deque<Out> pending;
   std::mutex mu;
   std::condition_variable cv;
   bool input_done = false;
+  bool output_dead = false;  // stdout write failed; set by the printer
+
+  std::optional<net::ShardRing> ring;
+  if (shard.enabled()) ring.emplace(shard.count);
 
   std::thread printer([&] {
     for (;;) {
@@ -189,52 +119,81 @@ int main(int argc, char** argv) {
       cv.notify_all();  // reader may be waiting on the pending bound
       std::string line;
       if (next.job) {
-        line = response_from_result(next.job->get()).dump();
+        line = service::response_from_result(next.job->get()).dump();
       } else if (next.control) {
-        line = service::handle_introspection(*next.control, svc)
-                   .value_or(Json::object())
-                   .dump();
+        const Json& request = *next.control;
+        if (request["cmd"].as_string() == "shard") {
+          line = net::shard_response(request, shard,
+                                     svc.registry().options().retarget)
+                     .dump();
+        } else {
+          line = service::handle_introspection(request, svc)
+                     .value_or(Json::object())
+                     .dump();
+        }
       } else {
         line = std::move(next.line);
       }
-      std::fprintf(stdout, "%s\n", line.c_str());
-      std::fflush(stdout);
+      // A failed write means the consumer is gone (SIGPIPE is ignored, so
+      // the failure surfaces as EPIPE here). Drop the remaining backlog:
+      // draining futures nobody will read only burns the pool.
+      if (std::fprintf(stdout, "%s\n", line.c_str()) < 0 ||
+          std::fflush(stdout) != 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        output_dead = true;
+        pending.clear();
+        cv.notify_all();
+        return;
+      }
     }
   });
 
-  auto enqueue = [&](Out out) {
+  auto enqueue = [&](Out out) -> bool {
     std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return pending.size() < max_pending; });
+    cv.wait(lock, [&] { return output_dead || pending.size() < max_pending; });
+    if (output_dead) return false;
     pending.push_back(std::move(out));
     lock.unlock();
     cv.notify_one();
+    return true;
   };
 
   std::string line;
   std::size_t lineno = 0;
-  while (std::getline(std::cin, line)) {
+  bool input_ok = true;
+  while (input_ok && std::getline(std::cin, line)) {
     ++lineno;
     if (util::trim(line).empty()) continue;
     std::string error;
     std::optional<Json> request = Json::parse(line, &error);
     if (!request || !request->is_object()) {
-      Json bad = Json::object();
-      bad.set("ok", Json(false));
-      bad.set("error", Json(util::fmt("line {}: bad request: {}", lineno,
-                                      error.empty() ? "not an object"
-                                                    : error)));
-      enqueue(Out{std::nullopt, std::nullopt, bad.dump()});
+      input_ok = enqueue(
+          Out{std::nullopt, std::nullopt,
+              service::bad_request_line(lineno, error.empty() ? "not an object"
+                                                              : error)});
       continue;
     }
-    // Control-plane commands ("cmd": stats / trace) defer to the printer so
-    // they observe every job answered before them.
+    // Control-plane commands defer to the printer so they observe every job
+    // answered before them.
     if (request->contains("cmd")) {
-      enqueue(Out{std::nullopt, std::move(*request), {}});
+      input_ok = enqueue(Out{std::nullopt, std::move(*request), {}});
       continue;
     }
-    enqueue(Out{svc.submit(job_from_request(*request, want_listing)),
-                std::nullopt,
-                {}});
+    if (ring) {
+      std::size_t owner = ring->owner_of(net::target_key_of(
+          *request, svc.registry().options().retarget));
+      if (owner != shard.index) {
+        input_ok = enqueue(
+            Out{std::nullopt, std::nullopt,
+                net::not_owned_response(*request, owner, shard.count).dump()});
+        continue;
+      }
+    }
+    input_ok =
+        enqueue(Out{svc.submit(service::job_from_request(*request,
+                                                         want_listing)),
+                    std::nullopt,
+                    {}});
   }
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -242,6 +201,119 @@ int main(int argc, char** argv) {
   }
   cv.notify_all();
   printer.join();
+  return input_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::CompileService::Options opts;
+  opts.registry.capacity = 16;
+  bool want_listing = false;
+  bool want_stats = false;
+  std::string trace_path;
+  std::string listen_spec;
+  std::string unix_path;
+  net::ShardConfig shard;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "recordd: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return std::strtol(argv[++i], nullptr, 10);
+    };
+    auto text = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "recordd: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workers")) {
+      opts.workers = static_cast<std::size_t>(value("--workers"));
+    } else if (!std::strcmp(argv[i], "--queue")) {
+      opts.queue_capacity = static_cast<std::size_t>(value("--queue"));
+    } else if (!std::strcmp(argv[i], "--registry")) {
+      opts.registry.capacity = static_cast<std::size_t>(value("--registry"));
+    } else if (!std::strcmp(argv[i], "--cache")) {
+      opts.registry.retarget.use_target_cache = true;
+    } else if (!std::strcmp(argv[i], "--listing")) {
+      want_listing = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = text("--trace");
+    } else if (!std::strcmp(argv[i], "--listen")) {
+      listen_spec = text("--listen");
+    } else if (!std::strcmp(argv[i], "--unix")) {
+      unix_path = text("--unix");
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shard.count = static_cast<std::size_t>(value("--shards"));
+    } else if (!std::strcmp(argv[i], "--shard-index")) {
+      shard.index = static_cast<std::size_t>(value("--shard-index"));
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: recordd [--workers N] [--queue N] [--registry N] [--cache] "
+          "[--listing] [--stats] [--trace FILE] [--listen [HOST:]PORT] "
+          "[--unix PATH] [--shards N --shard-index I]  < requests.jsonl\n");
+      return 2;
+    }
+  }
+  if (shard.count > 0 && shard.index >= shard.count) {
+    std::fprintf(stderr, "recordd: --shard-index %zu out of range for %zu "
+                         "shards\n",
+                 shard.index, shard.count);
+    return 2;
+  }
+  // A client (or the stdout consumer) closing mid-stream must fail the
+  // write, not kill the daemon with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!trace_path.empty()) obs::Tracer::instance().enable();
+  // Selection-coverage maps are cheap (relaxed counters) and feed the
+  // "coverage" section of the stats command, so the daemon records always.
+  obs::coverage().enable();
+
+  service::CompileService svc(opts);
+
+  int exit_code = 0;
+  if (!listen_spec.empty() || !unix_path.empty()) {
+    net::LineServer::Options sopts;
+    sopts.unix_path = unix_path;
+    sopts.default_listing = want_listing;
+    sopts.shard = shard;
+    if (!listen_spec.empty()) {
+      std::size_t colon = listen_spec.rfind(':');
+      if (colon != std::string::npos) {
+        sopts.host = listen_spec.substr(0, colon);
+        sopts.port = static_cast<std::uint16_t>(
+            std::strtol(listen_spec.c_str() + colon + 1, nullptr, 10));
+      } else {
+        sopts.port = static_cast<std::uint16_t>(
+            std::strtol(listen_spec.c_str(), nullptr, 10));
+      }
+    }
+    net::LineServer server(svc, sopts);
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "recordd: %s\n", error.c_str());
+      return 1;
+    }
+    if (!unix_path.empty())
+      std::fprintf(stderr, "recordd: listening on %s\n", unix_path.c_str());
+    else
+      std::fprintf(stderr, "recordd: listening on %s:%u\n",
+                   server.options().host.c_str(), unsigned(server.port()));
+    // Serve until stdin closes — the conventional daemon lifetime under a
+    // supervisor, and what lets tests drive a clean shutdown.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+    server.stop();
+  } else {
+    exit_code = run_stdio(svc, shard, want_listing, opts.queue_capacity);
+  }
 
   if (!trace_path.empty() &&
       !obs::Tracer::instance().write_chrome_trace(trace_path))
@@ -258,5 +330,5 @@ int main(int argc, char** argv) {
                  s.completed, s.failed, s.peak_queue, r.hits, r.coalesced,
                  r.misses, r.disk_hits, r.evictions, r.entries);
   }
-  return 0;
+  return exit_code;
 }

@@ -1,12 +1,14 @@
 #include "burstab/cache.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 
 #include "burstab/serialize.h"
 #include "obs/metrics.h"
@@ -28,7 +30,50 @@ constexpr std::uint32_t kCacheMagic = 0x52544331;  // "RTC1"
 // a miss and rebuild cleanly.
 // v4: StorageInfo records the memory cell count (simulator write-address
 // bounds checks); v3 blobs are a miss and rebuild cleanly.
-constexpr std::uint32_t kCacheVersion = 4;
+// v5: the tables section carries the position-independent BTR3 frozen pool.
+// Entries are mmap'ed read-only and the pool is adopted zero-copy (shared
+// across threads AND processes); v4 blobs are a miss and rebuild cleanly.
+constexpr std::uint32_t kCacheVersion = 5;
+
+// The header below (magic, version, key, checksum) is 24 bytes — keep it a
+// multiple of 4 so the payload-relative alignment of the frozen pool (see
+// TargetTables::serialize) equals its file-relative alignment.
+constexpr std::size_t kCacheHeaderBytes = 24;
+
+/// RAII mmap of a whole cache entry, PROT_READ + MAP_SHARED so concurrent
+/// loaders of one key share page-cache pages. rename()-based publication
+/// makes this safe against concurrent re-stores: a replaced entry's inode
+/// (and our pages) stays alive until the mapping is dropped.
+struct Mapping {
+  void* addr = nullptr;
+  std::size_t len = 0;
+
+  static std::shared_ptr<const Mapping> open_file(const std::string& path) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return nullptr;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0 ||
+        static_cast<std::uint64_t>(st.st_size) < kCacheHeaderBytes) {
+      ::close(fd);
+      return nullptr;
+    }
+    std::size_t len = static_cast<std::size_t>(st.st_size);
+    void* addr = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) return nullptr;
+    auto m = std::make_shared<Mapping>();
+    m->addr = addr;
+    m->len = len;
+    return m;
+  }
+
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+    if (addr) ::munmap(addr, len);
+  }
+};
 
 void write_extract_stats(ByteWriter& w, const ise::ExtractStats& s) {
   w.u64(s.destinations);
@@ -109,14 +154,16 @@ std::string TargetCache::entry_path(std::uint64_t key) const {
 
 std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
   OBS_SPAN("burstab.cache.load");
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) {
+  // The whole entry is mmap'ed read-only: the header/grammar sections are
+  // stream-parsed straight off the mapping, and the frozen-tables pool is
+  // adopted zero-copy — the mapping's pin rides inside the tables and the
+  // pages stay shared across every thread and process loading this key.
+  std::shared_ptr<const Mapping> map = Mapping::open_file(entry_path(key));
+  if (!map) {
     obs::metrics().counter("burstab.cache.miss").add(1);
     return std::nullopt;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string blob = std::move(buf).str();
+  std::string_view blob(static_cast<const char*>(map->addr), map->len);
 
   // A structurally unusable blob (stale version, torn write, corruption) is
   // a miss that rebuilds cleanly, but it is counted separately: a rejection
@@ -129,8 +176,7 @@ std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
   if (r.u32() != kCacheMagic || r.u32() != kCacheVersion) return reject();
   if (r.u64() != key) return reject();
   std::uint64_t checksum = r.u64();
-  if (!r.ok() ||
-      checksum != fnv1a(std::string_view(blob).substr(r.pos())))
+  if (!r.ok() || checksum != fnv1a(blob.substr(r.pos())))
     return reject();  // torn or corrupted payload -> rebuild
 
   TargetArtifacts a;
@@ -145,7 +191,7 @@ std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
   if (has_tables) {
     std::size_t offset = r.pos();
     std::unique_ptr<TargetTables> t =
-        TargetTables::deserialize(a.grammar, blob, offset);
+        TargetTables::deserialize(a.grammar, blob, offset, map);
     if (!t) return reject();
     a.tables = std::move(t);
   }
@@ -196,15 +242,17 @@ bool TargetCache::store(std::uint64_t key,
   std::string tmp_path =
       util::fmt("{}.tmp-{}-{}", final_path, static_cast<unsigned>(::getpid()),
                 store_seq.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    if (!out) {
-      out.close();
-      fs::remove(tmp_path, ec);
-      return false;
-    }
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  // close() BEFORE checking: the stream is buffered, so a short write (e.g.
+  // ENOSPC) often only surfaces when the buffer is flushed at close. Checking
+  // `out` and then letting the destructor flush would publish a truncated
+  // blob via the rename below.
+  out.close();
+  if (out.fail()) {
+    fs::remove(tmp_path, ec);
+    return false;
   }
   fs::rename(tmp_path, final_path, ec);
   if (ec) {

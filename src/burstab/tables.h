@@ -42,11 +42,17 @@
 //    fall back to the memoised hash path and, past a miss budget
 //    (TableBuildOptions::refreeze_misses), trigger an incremental re-freeze
 //    that folds the dynamically accumulated entries into a fresh snapshot.
-//    Serialized tables record whether they were frozen; deserialize()
-//    re-freezes immediately (the compaction is deterministic and linear in
-//    the table size — cheaper and safer than persisting the displaced
-//    arrays redundantly), so a warm TargetCache reload lands directly in
-//    pure-array mode.
+//
+//    A frozen snapshot lives in ONE contiguous, position-independent int32
+//    pool (offsets only — the Op arrays are Span32 views into the pool), so
+//    serialize() writes the pool verbatim and deserialize() reconstitutes a
+//    snapshot by pointing views at the blob: a warm TargetCache reload is a
+//    validation pass plus O(states) pointer setup — no re-interning, no
+//    transition rehash, no re-freeze. With a pinned, aligned mapping (the
+//    cache's mmap tier) the pool is not even copied: N daemon processes
+//    share one read-only page set. Post-load dynamic fills accumulate on
+//    the hash path as usual; the first genuine re-freeze first absorbs the
+//    pool's transitions back into the hash map so nothing is lost.
 //
 // Rules carrying side-constraints that a finite state cannot encode — two
 // Imm leaves drawing the same instruction field, or two leaves of one
@@ -130,6 +136,19 @@ struct StateView {
   int const_class = -1;
 };
 
+/// Non-owning view over int32s inside a frozen pool (the frozen snapshot
+/// stores offsets, never pointers, so blobs are position-independent; the
+/// views are materialised once per pool adoption).
+struct Span32 {
+  const std::int32_t* ptr = nullptr;
+  std::size_t len = 0;
+
+  [[nodiscard]] const std::int32_t* data() const { return ptr; }
+  [[nodiscard]] std::size_t size() const { return len; }
+  [[nodiscard]] bool empty() const { return len == 0; }
+  std::int32_t operator[](std::size_t i) const { return ptr[i]; }
+};
+
 class TargetTables {
  public:
   struct Transition {
@@ -141,13 +160,18 @@ class TargetTables {
   /// row-displaced transition array per (operator, arity). Readers obtain
   /// it via frozen() and probe without locking; every miss must fall back
   /// to the owning TargetTables.
+  ///
+  /// All table data lives in one contiguous int32 pool (see
+  /// tables.cpp:pool layout); the members below are views into it. The pool
+  /// is owned (`pool` — built by freeze() or copied from a blob) or
+  /// borrowed from a pinned mapping (`pin` — the zero-copy mmap tier).
   struct FrozenTables {
     int state_count = 0;
     std::vector<const std::int32_t*> rows;  // per state: flat signature row
 
     // #const leaf states by (fit index + 1, const class + 1); -1 unknown.
     int cc_dim = 0;
-    std::vector<std::int32_t> const_state;
+    Span32 const_state;
 
     struct Op {
       std::int32_t term = -1;
@@ -158,21 +182,40 @@ class TargetTables {
       /// ops own exactly one; packed ops own one per check/val column, with
       /// holes where check is -1). Coverage maps index by these ids.
       std::int32_t slot_base = 0;
-      std::vector<std::int32_t> dims;   // [arity] compact index counts
-      std::vector<std::int32_t> maps;   // arity x state_count -> index | -1
-      std::vector<std::int32_t> disp;   // row -> displacement into check
-      std::vector<std::int32_t> check;  // slot -> owning row | -1
-      std::vector<std::int32_t> val_state;
-      std::vector<std::int32_t> val_delta;
+      Span32 dims;   // [arity] compact index counts
+      Span32 maps;   // arity x state_count -> index | -1
+      Span32 disp;   // row -> displacement into check
+      Span32 check;  // slot -> owning row | -1
+      Span32 val_state;
+      Span32 val_delta;
     };
-    std::vector<Op> ops;                 // sorted by term
-    std::vector<std::int32_t> op_begin;  // [term] -> ops slice
-    std::vector<std::int32_t> op_end;
+    std::vector<Op> ops;  // sorted by term
+    Span32 op_begin;      // [term] -> ops slice
+    Span32 op_end;
     std::size_t transitions = 0;
     /// One past the largest slot id (sum of all Ops' slot spans, holes
     /// included). Slot ids identify transitions within THIS snapshot only;
     /// a re-freeze renumbers them.
     std::size_t slot_count = 0;
+
+    /// Pool storage: exactly one of the two is set. `pin` keeps a shared
+    /// read-only mapping alive for the snapshot's lifetime. `pool_data` /
+    /// `pool_words` always view the whole pool (serialize writes it back
+    /// verbatim regardless of ownership).
+    std::vector<std::int32_t> pool;
+    std::shared_ptr<const void> pin;
+    const std::int32_t* pool_data = nullptr;
+    std::size_t pool_words = 0;
+
+    /// Points rows/const_state/ops at a pool and validates its structure
+    /// (every span in bounds, displacement invariants hold). `words` is the
+    /// pool length in int32s. False = malformed pool; the snapshot must be
+    /// discarded.
+    [[nodiscard]] bool init_from_pool(const std::int32_t* words,
+                                      std::size_t word_count, int stride,
+                                      std::size_t term_count,
+                                      std::size_t fit_dim_expected,
+                                      int cc_dim_expected);
 
     /// Lock-free warm-path probe; false = cold miss (caller falls back).
     /// On a hit, `slot_out` (when non-null) receives the snapshot-global
@@ -314,17 +357,25 @@ class TargetTables {
 
   // --- persistence ---------------------------------------------------------
 
-  /// Appends the current states and transitions to `out` (see serialize.h
-  /// for the primitive encoding).
+  /// Appends the tables to `out` (see serialize.h for the primitive
+  /// encoding). Frozen tables write their position-independent pool (after
+  /// folding any pending dynamic fills into a fresh snapshot); hash-mode
+  /// tables write the dynamic states + transitions sections. The pool is
+  /// 4-byte aligned relative to the start of `out`, so a caller that
+  /// prepends a header must keep it a multiple of 4 bytes for the mmap
+  /// zero-copy path to engage (misalignment only costs one copy).
   void serialize(std::string& out) const;
 
   /// Rebuilds tables for `g` from a blob produced by serialize(). Returns
   /// nullptr if the blob is malformed or was built for a different grammar.
-  /// A blob stored from frozen tables is re-frozen before returning, so the
-  /// warm path starts in pure-array mode.
+  /// A frozen blob lands directly in pure-array (mapped) mode with NO
+  /// re-interning, transition rehash or re-freeze; when `pin` is non-null
+  /// (a read-only mapping that must stay valid while the pin is held) and
+  /// the pool is 4-byte aligned, the snapshot borrows the blob's memory
+  /// zero-copy instead of copying the pool.
   [[nodiscard]] static std::unique_ptr<TargetTables> deserialize(
       const grammar::TreeGrammar& g, std::string_view blob,
-      std::size_t& offset);
+      std::size_t& offset, std::shared_ptr<const void> pin = nullptr);
 
  private:
   struct TransKey {
@@ -414,6 +465,16 @@ class TargetTables {
   void run_closure(const TableBuildOptions& options);
   void freeze_locked() const;
   void count_miss_and_maybe_refreeze(const FrozenTables* f) const;
+  /// Seeds state_index_ with the mapped base rows on first mutation (warm
+  /// loads defer the hashing until the fallback path actually needs it).
+  void ensure_state_index_locked() const;
+  /// Reconstructs the mapped pool's transitions and #const pairs into the
+  /// hash maps (inverse index maps + mixed-radix row decode) so a re-freeze
+  /// folds pool and dynamic entries together. Idempotent.
+  void absorb_pool_locked() const;
+  /// Publishes a deserialized pool snapshot as this table's base: states
+  /// < base_state_count_ are backed by the pool rather than the arena.
+  void adopt_pool_locked(std::unique_ptr<FrozenTables> f);
 
   // --- immutable after construction ---------------------------------------
   int nt_count_ = 0;
@@ -447,6 +508,13 @@ class TargetTables {
   static constexpr int kStatesPerBlock = 256;
   mutable std::vector<std::unique_ptr<std::int32_t[]>> state_blocks_;
   mutable int state_count_ = 0;
+  /// Mapped (pool-backed) base: state ids < base_state_count_ resolve into
+  /// the adopted pool's contiguous row region instead of the arena. Zero
+  /// for tables that were never deserialized from a frozen blob.
+  mutable const std::int32_t* base_rows_ = nullptr;
+  mutable int base_state_count_ = 0;
+  mutable bool state_index_seeded_ = true;  // false after a mapped adopt
+  mutable bool pool_absorbed_ = true;       // false after a mapped adopt
   mutable std::unordered_map<RowKey, int, RowHash, RowEq> state_index_;
   mutable std::unordered_map<TransKey, Transition, TransKeyHash, TransKeyEq>
       trans_;
@@ -460,6 +528,7 @@ class TargetTables {
   mutable std::atomic<const FrozenTables*> frozen_ptr_{nullptr};
   mutable std::atomic<std::uint64_t> frozen_misses_{0};
   mutable std::size_t frozen_source_transitions_ = 0;
+  mutable std::size_t frozen_source_const_ = 0;
   mutable std::size_t freeze_count_ = 0;
 };
 

@@ -1,0 +1,495 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/introspect.h"
+#include "service/wire.h"
+#include "util/strings.h"
+
+namespace record::net {
+
+using service::Json;
+
+namespace {
+
+// epoll user-data ids for the two non-connection descriptors; connection
+// ids start above these.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Cached metric handles: name resolution takes the registry mutex, and
+// read_bytes/write_bytes fire once per event-loop iteration. Registry
+// storage is process-lifetime, so the references stay valid.
+struct NetCounters {
+  obs::Counter& accepted = obs::metrics().counter("net.accepted");
+  obs::Counter& closed = obs::metrics().counter("net.closed");
+  obs::Counter& read_bytes = obs::metrics().counter("net.read_bytes");
+  obs::Counter& write_bytes = obs::metrics().counter("net.write_bytes");
+  obs::Counter& requests = obs::metrics().counter("net.requests");
+  obs::Counter& responses = obs::metrics().counter("net.responses");
+  obs::Counter& oversized = obs::metrics().counter("net.oversized");
+  obs::Counter& not_owned = obs::metrics().counter("net.not_owned");
+  obs::Counter& queue_stalls = obs::metrics().counter("net.queue_stalls");
+  obs::Counter& backpressure_stalls =
+      obs::metrics().counter("net.backpressure_stalls");
+  obs::Gauge& connections = obs::metrics().gauge("net.connections");
+};
+
+NetCounters& net_counters() {
+  static NetCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+LineServer::LineServer(service::CompileService& service, Options options)
+    : service_(service), options_(std::move(options)) {
+  next_conn_id_ = kFirstConnId;
+  if (options_.shard.enabled()) ring_.emplace(options_.shard.count);
+}
+
+LineServer::~LineServer() { stop(); }
+
+std::size_t LineServer::pipeline_limit() const {
+  return options_.max_pipeline ? options_.max_pipeline : 512;
+}
+
+bool LineServer::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = util::fmt("{}: {}", msg, std::strerror(errno));
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return false;
+  };
+  if (started_) return true;
+
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof addr.sun_path)
+      return fail("unix socket path too long");
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a dead daemon
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0)
+      return fail("bind " + options_.unix_path);
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+      return fail("bad listen address " + options_.host);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0)
+      return fail("bind " + options_.host);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0)
+      bound_port_ = ntohs(bound.sin_port);
+  }
+  if (!set_nonblocking(listen_fd_)) return fail("nonblocking listener");
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return fail("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0)
+    return fail("epoll_ctl listener");
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0)
+    return fail("epoll_ctl eventfd");
+
+  started_ = true;
+  loop_ = std::thread([this] { run(); });
+  return true;
+}
+
+void LineServer::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof one);
+  }
+  loop_.join();
+  // Wait out callbacks of jobs still running on the workers: they only
+  // touch done_mu_/done_/wake_fd_, all of which must outlive them.
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    done_.clear();
+  }
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  started_ = false;
+}
+
+void LineServer::run() {
+  epoll_event events[64];
+  for (;;) {
+    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone: nothing left to serve
+    }
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        {
+          std::lock_guard<std::mutex> lock(done_mu_);
+          if (stopping_) return;
+        }
+        drain_completions();
+        continue;
+      }
+      if (id == kListenId) {
+        handle_accept();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(id);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) handle_writable(conn);
+      if (conns_.find(id) == conns_.end()) continue;
+      if (events[i].events & EPOLLIN) handle_readable(conn);
+    }
+  }
+}
+
+void LineServer::handle_accept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or a transient error): try next wakeup
+    std::uint64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    conn.id = id;
+    conn.events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = conn.events;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      conns_.erase(id);
+      continue;
+    }
+    net_counters().accepted.add(1);
+    net_counters().connections.add(1);
+  }
+}
+
+void LineServer::handle_readable(Conn& conn) {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      net_counters().read_bytes.add(static_cast<std::uint64_t>(n));
+      conn.inbuf.append(buf, static_cast<std::size_t>(n));
+      // Oversized-line guard before buffering more: a line that cannot end
+      // within max_line has lost framing for good.
+      if (conn.inbuf.size() > options_.max_line &&
+          conn.inbuf.find('\n') == std::string::npos) {
+        net_counters().oversized.add(1);
+        Json err = Json::object();
+        err.set("ok", Json(false));
+        err.set("error", Json("request line too long"));
+        conn.slots.push_back(
+            Slot{conn.next_serial++, true, err.dump(), std::nullopt});
+        conn.eof = true;  // close after the error flushes
+        conn.inbuf.clear();
+        break;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // 0 = clean EOF; anything else is a dead peer. Either way: no more
+    // requests, but responses already in flight still flush.
+    conn.eof = true;
+    break;
+  }
+  parse_lines(conn);
+  flush_ready(conn);
+}
+
+void LineServer::parse_lines(Conn& conn) {
+  std::size_t start = 0;
+  for (;;) {
+    if (!conn.parked.empty()) break;  // preserve submission order
+    if (conn.slots.size() >= pipeline_limit()) break;
+    std::size_t nl = conn.inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(conn.inbuf.data() + start, nl - start);
+    start = nl + 1;
+    ++conn.lineno;
+    if (util::trim(line).empty()) continue;
+    net_counters().requests.add(1);
+    if (line.size() > options_.max_line) {
+      net_counters().oversized.add(1);
+      Json err = Json::object();
+      err.set("ok", Json(false));
+      err.set("error", Json("request line too long"));
+      conn.slots.push_back(
+          Slot{conn.next_serial++, true, err.dump(), std::nullopt});
+      conn.eof = true;
+      break;
+    }
+    std::string error;
+    std::optional<Json> request = Json::parse(line, &error);
+    if (!request || !request->is_object()) {
+      conn.slots.push_back(Slot{conn.next_serial++, true,
+                                service::bad_request_line(conn.lineno, error),
+                                std::nullopt});
+      continue;
+    }
+    if (request->contains("cmd")) {
+      // Deferred like the stdio printer: evaluated when it reaches the
+      // front, so a stats response counts every job answered above it.
+      conn.slots.push_back(
+          Slot{conn.next_serial++, false, {}, std::move(*request)});
+      continue;
+    }
+    if (ring_) {
+      std::size_t owner = ring_->owner_of(target_key_of(
+          *request, service_.registry().options().retarget));
+      if (owner != options_.shard.index) {
+        net_counters().not_owned.add(1);
+        conn.slots.push_back(
+            Slot{conn.next_serial++, true,
+                 not_owned_response(*request, owner, options_.shard.count)
+                     .dump(),
+                 std::nullopt});
+        continue;
+      }
+    }
+    std::uint64_t serial = conn.next_serial++;
+    conn.slots.push_back(Slot{serial, false, {}, std::nullopt});
+    submit_or_park(
+        conn, serial,
+        service::job_from_request(*request, options_.default_listing));
+  }
+  conn.inbuf.erase(0, start);
+}
+
+void LineServer::submit_or_park(Conn& conn, std::uint64_t serial,
+                                service::CompileJob job) {
+  std::uint64_t conn_id = conn.id;
+  service::CompileService::Callback done =
+      [this, conn_id, serial](service::JobResult result) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_.push_back(Done{conn_id, serial, std::move(result)});
+        --outstanding_;
+        done_cv_.notify_all();
+        std::uint64_t one = 1;
+        (void)!::write(wake_fd_, &one, sizeof one);
+      };
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ++outstanding_;  // claimed up front so stop() never misses a callback
+  }
+  if (!service_.try_submit_async(job, done)) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      --outstanding_;
+    }
+    net_counters().queue_stalls.add(1);
+    conn.parked.push_back(Parked{serial, std::move(job)});
+  }
+}
+
+void LineServer::retry_parked() {
+  for (auto& [id, conn] : conns_) {
+    while (!conn.parked.empty()) {
+      Parked& head = conn.parked.front();
+      std::uint64_t conn_id = conn.id;
+      std::uint64_t serial = head.serial;
+      service::CompileService::Callback done =
+          [this, conn_id, serial](service::JobResult result) {
+            std::lock_guard<std::mutex> lock(done_mu_);
+            done_.push_back(Done{conn_id, serial, std::move(result)});
+            --outstanding_;
+            done_cv_.notify_all();
+            std::uint64_t one = 1;
+            (void)!::write(wake_fd_, &one, sizeof one);
+          };
+      {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        ++outstanding_;
+      }
+      if (!service_.try_submit_async(head.job, done)) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        --outstanding_;
+        break;  // queue still full; a later completion retries
+      }
+      conn.parked.pop_front();
+    }
+    if (conn.parked.empty() && !conn.inbuf.empty()) parse_lines(conn);
+  }
+}
+
+void LineServer::drain_completions() {
+  std::deque<Done> ready;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ready.swap(done_);
+  }
+  for (Done& d : ready) {
+    auto it = conns_.find(d.conn_id);
+    if (it == conns_.end()) continue;  // connection died before the answer
+    for (Slot& slot : it->second.slots) {
+      if (slot.serial == d.serial) {
+        slot.text = service::response_from_result(d.result).dump();
+        slot.done = true;
+        break;
+      }
+    }
+  }
+  retry_parked();  // completions freed compile-queue slots
+  // Flush (and possibly close) every connection; iterate over ids because
+  // close_conn invalidates conns_ iterators.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) flush_ready(it->second);
+  }
+}
+
+void LineServer::flush_ready(Conn& conn) {
+  for (;;) {
+    if (conn.slots.empty()) break;
+    Slot& front = conn.slots.front();
+    if (!front.done && front.control) {
+      // Control command at the front of the pipeline: evaluate it now, with
+      // every preceding job already answered.
+      const Json& request = *front.control;
+      if (request["cmd"].as_string() == "shard") {
+        front.text =
+            shard_response(request, options_.shard,
+                           service_.registry().options().retarget)
+                .dump();
+      } else {
+        front.text = service::handle_introspection(request, service_)
+                         .value_or(Json::object())
+                         .dump();
+      }
+      front.done = true;
+      front.control.reset();
+    }
+    if (!front.done) break;
+    conn.outbuf += front.text;
+    conn.outbuf.push_back('\n');
+    net_counters().responses.add(1);
+    conn.slots.pop_front();
+  }
+  handle_writable(conn);
+}
+
+void LineServer::handle_writable(Conn& conn) {
+  std::uint64_t id = conn.id;
+  while (conn.outpos < conn.outbuf.size()) {
+    ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outpos,
+                       conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      net_counters().write_bytes.add(static_cast<std::uint64_t>(n));
+      conn.outpos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer gone (EPIPE/ECONNRESET under MSG_NOSIGNAL): drop exactly this
+    // connection, never the process.
+    close_conn(id);
+    return;
+  }
+  if (conn.outpos == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outpos = 0;
+  }
+  if (conn.eof && conn.slots.empty() && conn.parked.empty() &&
+      conn.outbuf.empty()) {
+    close_conn(id);
+    return;
+  }
+  update_interest(conn);
+}
+
+void LineServer::update_interest(Conn& conn) {
+  std::uint32_t want = 0;
+  bool writebuf_full = conn.outbuf.size() - conn.outpos >
+                       options_.max_write_buffer;
+  bool paused = conn.eof || !conn.parked.empty() || writebuf_full ||
+                conn.slots.size() >= pipeline_limit();
+  if (!paused) want |= EPOLLIN;
+  if (conn.outpos < conn.outbuf.size()) want |= EPOLLOUT;
+  if (want == conn.events) return;
+  if (writebuf_full && (conn.events & EPOLLIN))
+    net_counters().backpressure_stalls.add(1);
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.events = want;
+}
+
+void LineServer::close_conn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  ::close(it->second.fd);
+  conns_.erase(it);
+  net_counters().closed.add(1);
+  net_counters().connections.add(-1);
+}
+
+}  // namespace record::net

@@ -1,0 +1,164 @@
+// Socket front end for the compile service: a single-threaded epoll event
+// loop serving the JSON-lines protocol (the exact codec in service/wire.h,
+// so responses are byte-identical to the stdio daemon) over TCP or a Unix
+// socket.
+//
+//        accept ──► Conn{ inbuf ── parse line ──► response slot deque }
+//                          │                            │
+//                          │ try_submit_async           │ in-order flush
+//                          ▼                            ▼
+//                   CompileService                conn outbuf ──► write()
+//
+// Concurrency: the loop thread owns every Conn; worker threads only touch
+// the completion queue (mutex + eventfd wakeup), so the loop never blocks
+// on a job and the workers never block on a socket.
+//
+// Ordering: each request reserves a response slot at parse time and slots
+// flush strictly in order, so pipelined requests answer in request order.
+// Control-plane commands ("cmd": stats / trace / explain / shard) are
+// evaluated only when their slot reaches the front — the same semantics as
+// the stdio printer thread: a stats response counts every job answered
+// above it.
+//
+// Backpressure, both directions:
+//  - compile queue full: try_submit_async fails, the job parks, and the
+//    connection stops reading until a completion frees a slot;
+//  - slow reader: a connection whose outbuf exceeds max_write_buffer (or
+//    that has max_pipeline slots in flight) stops reading until the client
+//    drains it. Either way the kernel socket buffer, not daemon memory,
+//    absorbs the client's burst.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/shard.h"
+#include "service/json.h"
+#include "service/service.h"
+
+namespace record::net {
+
+class LineServer {
+ public:
+  struct Options {
+    /// When set, listen on an AF_UNIX socket at this path (unlinked on
+    /// stop); otherwise TCP on host:port.
+    std::string unix_path;
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; port() reports the bound port
+
+    /// A request line longer than this is unrecoverable (framing is lost):
+    /// the connection gets one error response and is closed.
+    std::size_t max_line = 1 << 20;
+    /// Slow-reader watermark: stop reading from a connection whose unsent
+    /// responses exceed this many bytes.
+    std::size_t max_write_buffer = 4u << 20;
+    /// In-flight response slots per connection; 0 = 2 * queue_capacity.
+    std::size_t max_pipeline = 0;
+
+    /// Daemon-wide default for "options.listing" (the --listing flag).
+    bool default_listing = false;
+    ShardConfig shard;
+  };
+
+  LineServer(service::CompileService& service, Options options);
+  ~LineServer();  // stop()
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds, listens and spawns the loop thread. False (with `error` set)
+  /// when the socket cannot be set up; the server is then inert.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Closes the listener, completes jobs already submitted, closes every
+  /// connection and joins the loop thread. Idempotent.
+  void stop();
+
+  /// Bound TCP port (after start(); 0 for Unix-socket servers).
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Slot {
+    std::uint64_t serial = 0;
+    bool done = false;
+    std::string text;  // response line (unterminated) once done
+    /// Deferred control command; evaluated when the slot reaches the front.
+    std::optional<service::Json> control;
+  };
+
+  struct Parked {
+    std::uint64_t serial = 0;
+    service::CompileJob job;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::uint32_t events = 0;  // current epoll interest set
+    std::size_t lineno = 0;
+    std::string inbuf;
+    std::string outbuf;
+    std::size_t outpos = 0;
+    std::deque<Slot> slots;
+    std::deque<Parked> parked;  // jobs waiting for compile-queue space
+    std::uint64_t next_serial = 1;
+    /// Peer stopped sending (EOF, error, or lost framing): no more reads,
+    /// close once every pending response has flushed.
+    bool eof = false;
+  };
+
+  struct Done {
+    std::uint64_t conn_id = 0;
+    std::uint64_t serial = 0;
+    service::JobResult result;
+  };
+
+  void run();
+  void handle_accept();
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void parse_lines(Conn& conn);
+  void submit_or_park(Conn& conn, std::uint64_t serial,
+                      service::CompileJob job);
+  void retry_parked();
+  void drain_completions();
+  void flush_ready(Conn& conn);
+  void update_interest(Conn& conn);
+  void close_conn(std::uint64_t conn_id);
+  [[nodiscard]] std::size_t pipeline_limit() const;
+
+  service::CompileService& service_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions and stop requests
+  std::uint16_t bound_port_ = 0;
+  std::thread loop_;
+  bool started_ = false;
+
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::optional<ShardRing> ring_;  // set when sharding is enabled
+
+  /// Worker-thread side: completed jobs waiting for the loop, the count of
+  /// callbacks still outstanding (stop() waits for them so a worker never
+  /// touches a destroyed server), and the stop flag the loop polls.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::deque<Done> done_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace record::net

@@ -1,0 +1,81 @@
+#include "net/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "burstab/cache.h"
+#include "burstab/serialize.h"
+#include "models/models.h"
+#include "util/strings.h"
+
+namespace record::net {
+
+using service::Json;
+
+ShardRing::ShardRing(std::size_t shards, std::size_t vnodes)
+    : shards_(std::max<std::size_t>(shards, 1)) {
+  ring_.reserve(shards_ * vnodes);
+  for (std::size_t s = 0; s < shards_; ++s)
+    for (std::size_t v = 0; v < vnodes; ++v)
+      ring_.push_back(Point{burstab::fnv1a(util::fmt("shard:{}:{}", s, v)),
+                            static_cast<std::uint32_t>(s)});
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    // Hash ties (astronomically unlikely) break on the shard index so every
+    // instance sorts the ring identically.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::size_t ShardRing::owner_of(std::uint64_t key) const {
+  if (ring_.empty()) return 0;
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->shard;
+}
+
+std::uint64_t target_key_of(const service::Json& request,
+                            const core::RetargetOptions& ropts) {
+  const std::string& model = request["model"].as_string();
+  std::string_view source =
+      model.empty() ? std::string_view(request["hdl"].as_string())
+                    : models::model_source(model);
+  return burstab::TargetCache::key_of(source, core::options_digest(ropts));
+}
+
+Json shard_response(const Json& request, const ShardConfig& config,
+                    const core::RetargetOptions& ropts) {
+  const std::size_t shards = std::max<std::size_t>(config.count, 1);
+  Json out = Json::object();
+  out.set("ok", Json(true));
+  out.set("shards", Json(double(shards)));
+  out.set("self", Json(double(config.index)));
+  if (request.contains("model") || request.contains("hdl")) {
+    ShardRing ring(shards);
+    std::uint64_t key = target_key_of(request, ropts);
+    std::size_t owner = ring.owner_of(key);
+    char hex[24];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(key));
+    out.set("key", Json(std::string(hex)));
+    out.set("owner", Json(double(owner)));
+    out.set("owned", Json(owner == config.index));
+  }
+  return out;
+}
+
+Json not_owned_response(const Json& request, std::size_t owner,
+                        std::size_t shards) {
+  Json out = Json::object();
+  const std::string& tag = request["tag"].as_string();
+  if (!tag.empty()) out.set("tag", Json(tag));
+  out.set("ok", Json(false));
+  out.set("error", Json(util::fmt("target owned by shard {} of {}", owner,
+                                  shards)));
+  out.set("owner", Json(double(owner)));
+  out.set("shards", Json(double(shards)));
+  return out;
+}
+
+}  // namespace record::net

@@ -1,0 +1,74 @@
+// Registry sharding across daemon instances: a consistent-hash ring over
+// the target content hash (burstab::TargetCache::key_of of the HDL source
+// and core::options_digest — the same key the registry and the persistent
+// cache use). N recordd instances configured with --shards N --shard-index I
+// partition the model space; a request for a target this instance does not
+// own is answered with an ownership error naming the owner, so a thin client
+// (or proxy) can redirect without any coordination between instances.
+//
+// The ring places kVirtualNodes points per shard, so adding or removing one
+// instance remaps only ~1/N of the keys (plain modulo would remap nearly all
+// of them, cold-starting every registry).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/record.h"
+#include "service/json.h"
+
+namespace record::net {
+
+class ShardRing {
+ public:
+  static constexpr std::size_t kVirtualNodes = 64;
+
+  explicit ShardRing(std::size_t shards, std::size_t vnodes = kVirtualNodes);
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  /// Shard index owning `key` (clockwise successor on the ring).
+  [[nodiscard]] std::size_t owner_of(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+  std::size_t shards_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+/// Static shard membership of one daemon instance. count <= 1 means
+/// sharding is off: every key is owned locally and the shard command
+/// reports a single-shard ring.
+struct ShardConfig {
+  std::size_t count = 0;
+  std::size_t index = 0;
+
+  [[nodiscard]] bool enabled() const { return count > 1; }
+};
+
+/// The registry/cache content key for a request's target: `model` is
+/// resolved to its built-in HDL source, otherwise the raw `hdl` text keys
+/// directly. Deterministic across processes (FNV-1a), so every instance
+/// agrees on ownership without talking to each other.
+[[nodiscard]] std::uint64_t target_key_of(const service::Json& request,
+                                          const core::RetargetOptions& ropts);
+
+/// Handles {"cmd":"shard"[, "model"|"hdl": ...]}: reports the ring shape
+/// ("shards", "self") and, when the request names a target, its "key" (hex),
+/// "owner" and whether this instance "owned" it.
+[[nodiscard]] service::Json shard_response(const service::Json& request,
+                                           const ShardConfig& config,
+                                           const core::RetargetOptions& ropts);
+
+/// Ownership error for a compile request whose target hashes to another
+/// instance: {"ok":false, "error":..., "owner":K, "shards":N} (plus the
+/// echoed "tag" when present).
+[[nodiscard]] service::Json not_owned_response(const service::Json& request,
+                                               std::size_t owner,
+                                               std::size_t shards);
+
+}  // namespace record::net

@@ -35,6 +35,20 @@ struct Parser {
     return true;
   }
 
+  bool hex_quad(unsigned& cp) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text[pos++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (pos >= text.size() || text[pos] != '"')
       return fail("expected string");
@@ -58,25 +72,38 @@ struct Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos + 4 > text.size()) return fail("truncated \\u escape");
           unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text[pos++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
-            else return fail("bad \\u escape");
+          if (!hex_quad(cp)) return false;
+          // Combine UTF-16 surrogate pairs into the real code point: a high
+          // surrogate must be chased by \uDC00..\uDFFF, and a surrogate half
+          // on its own is invalid (encoding it raw would emit CESU-8 bytes
+          // that append_json_quoted then re-escapes into mojibake on echo).
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u')
+              return fail("unpaired high surrogate");
+            pos += 2;
+            unsigned lo = 0;
+            if (!hex_quad(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return fail("unpaired high surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
           }
-          // UTF-8 encode (surrogate pairs are not combined; the protocol
-          // carries source text, which stays in the BMP).
+          // UTF-8 encode (1-4 bytes).
           if (cp < 0x80) {
             out.push_back(char(cp));
           } else if (cp < 0x800) {
             out.push_back(char(0xC0 | (cp >> 6)));
             out.push_back(char(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out.push_back(char(0xE0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(char(0xF0 | (cp >> 18)));
+            out.push_back(char(0x80 | ((cp >> 12) & 0x3F)));
             out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
             out.push_back(char(0x80 | (cp & 0x3F)));
           }

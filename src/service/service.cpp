@@ -57,11 +57,54 @@ std::future<JobResult> CompileService::submit(CompileJob job) {
     return future;
   }
   ++stats_.submitted;
-  queue_.push_back(Pending{std::move(job), std::move(promise), {}});
+  queue_.push_back(Pending{std::move(job), std::move(promise), {}, {}});
   stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
   lock.unlock();
   not_empty_.notify_one();
   return future;
+}
+
+void CompileService::submit_async(CompileJob job, Callback done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) {
+    lock.unlock();
+    JobResult rejected;
+    rejected.tag = std::move(job.tag);
+    rejected.error = "compile service is shut down";
+    done(std::move(rejected));
+    return;
+  }
+  ++stats_.submitted;
+  queue_.push_back(Pending{std::move(job), {}, std::move(done), {}});
+  stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+bool CompileService::try_submit_async(CompileJob& job, Callback& done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    lock.unlock();
+    JobResult rejected;
+    rejected.tag = std::move(job.tag);
+    rejected.error = "compile service is shut down";
+    done(std::move(rejected));
+    return true;  // consumed: the rejection IS the completion
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    lock.unlock();
+    obs::metrics().counter("service.queue_full").add(1);
+    return false;
+  }
+  ++stats_.submitted;
+  queue_.push_back(Pending{std::move(job), {}, std::move(done), {}});
+  stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
 }
 
 std::vector<JobResult> CompileService::compile_batch(
@@ -127,7 +170,10 @@ void CompileService::worker_loop() {
     }
     lock.unlock();
 
-    pending.promise.set_value(std::move(result));
+    if (pending.callback)
+      pending.callback(std::move(result));
+    else
+      pending.promise.set_value(std::move(result));
   }
 }
 

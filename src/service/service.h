@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -143,6 +144,22 @@ class CompileService {
   /// failure.
   [[nodiscard]] std::future<JobResult> submit(CompileJob job);
 
+  /// Completion callback for the async submission paths; runs on the worker
+  /// thread that finished the job, so it must be cheap and non-blocking
+  /// (event-loop callers hand the result to their own wakeup mechanism).
+  using Callback = std::function<void(JobResult)>;
+
+  /// Like submit(), but delivers the result through `done` instead of a
+  /// future. Blocks while the queue is at capacity; after shutdown() the
+  /// callback fires inline with a "service stopped" failure.
+  void submit_async(CompileJob job, Callback done);
+
+  /// Non-blocking submit_async: returns false — leaving `job` and `done`
+  /// untouched — when the queue is at capacity, so an event loop can park
+  /// the request and retry when a completion frees a slot. Backpressure
+  /// rejections are counted under "service.queue_full".
+  [[nodiscard]] bool try_submit_async(CompileJob& job, Callback& done);
+
   /// Submits all jobs and waits; results are in submission order.
   [[nodiscard]] std::vector<JobResult> compile_batch(
       std::vector<CompileJob> jobs);
@@ -181,7 +198,8 @@ class CompileService {
  private:
   struct Pending {
     CompileJob job;
-    std::promise<JobResult> promise;
+    std::promise<JobResult> promise;  // used when callback is empty
+    Callback callback;                // async path: invoked on the worker
     util::Timer enqueued;
   };
 

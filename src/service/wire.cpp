@@ -1,0 +1,62 @@
+#include "service/wire.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace record::service {
+
+CompileJob job_from_request(const Json& request, bool default_listing) {
+  CompileJob job;
+  job.tag = request["tag"].as_string();
+  job.model = request["model"].as_string();
+  job.hdl = request["hdl"].as_string();
+  job.kernel = request["source"].as_string();
+  const Json& options = request["options"];
+  const std::string& engine = options["engine"].as_string();
+  if (engine == "tables") job.options.engine = select::Engine::kTables;
+  else if (engine == "interpreter")
+    job.options.engine = select::Engine::kInterpreter;
+  job.options.compact.enabled = options["compact"].as_bool(true);
+  job.options.insert_spills = options["spills"].as_bool(true);
+  job.want_listing = options["listing"].as_bool(default_listing);
+  return job;
+}
+
+Json response_from_result(const JobResult& result) {
+  Json out = Json::object();
+  if (!result.tag.empty()) out.set("tag", Json(result.tag));
+  out.set("ok", Json(result.ok));
+  if (!result.ok) {
+    out.set("error", Json(result.error));
+    return out;
+  }
+  out.set("processor", Json(result.processor));
+  out.set("code_size", Json(double(result.code_size)));
+  out.set("rts", Json(double(result.rts)));
+  Json times = Json::object();
+  times.set("queue_ms", Json(result.times.queue_ms));
+  times.set("target_ms", Json(result.times.target_ms));
+  times.set("frontend_ms", Json(result.times.frontend_ms));
+  times.set("compile_ms", Json(result.times.compile_ms));
+  out.set("times", std::move(times));
+  if (!result.listing.empty()) {
+    Json lines = Json::array();
+    for (const std::string& line : util::split(result.listing, '\n'))
+      if (!line.empty()) lines.push(Json(line));
+    out.set("listing", std::move(lines));
+  }
+  return out;
+}
+
+std::string bad_request_line(std::size_t lineno, std::string_view error) {
+  Json bad = Json::object();
+  bad.set("ok", Json(false));
+  bad.set("error",
+          Json(util::fmt("line {}: bad request: {}", lineno,
+                         error.empty() ? std::string_view("not an object")
+                                       : error)));
+  return bad.dump();
+}
+
+}  // namespace record::service

@@ -3,7 +3,11 @@
 // (costs AND winning rules) of the dynamic-programming treeparse::TreeParser,
 // hence identical optimal derivations and RT sequences.
 #include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -19,6 +23,7 @@
 #include "core/record.h"
 #include "ir/builder.h"
 #include "models/models.h"
+#include "obs/metrics.h"
 #include "select/selector.h"
 #include "treeparse/burs.h"
 
@@ -534,7 +539,11 @@ TEST(BurstabSerialize, TablesRoundTrip) {
   ASSERT_NE(loaded, nullptr);
   EXPECT_EQ(offset, blob.size());
   EXPECT_EQ(loaded->stats().states, tables.stats().states);
-  EXPECT_EQ(loaded->stats().transitions, tables.stats().transitions);
+  // The blob carries a position-independent pool that is adopted as the live
+  // snapshot: every transition the writer held lands on the frozen side and
+  // the dynamic maps stay empty until a genuine cold miss.
+  EXPECT_EQ(loaded->stats().frozen_transitions, tables.stats().transitions);
+  EXPECT_EQ(loaded->stats().transitions, 0u);
   // Loaded tables parse identically.
   RandomTreeGen gen2(f.g, 5);
   for (int i = 0; i < 50; ++i) {
@@ -630,12 +639,15 @@ TEST(BurstabSerialize, FrozenBlobLandsDirectlyInFrozenMode) {
   std::unique_ptr<TargetTables> loaded =
       TargetTables::deserialize(f.g, blob, offset);
   ASSERT_NE(loaded, nullptr);
-  // The deserialized tables are already frozen (pure-array mode) and the
-  // snapshot covers everything the blob carried.
+  // The deserialized tables adopt the mmap-ready pool as the live snapshot:
+  // already frozen (pure-array mode), no compaction ran (freezes counts
+  // snapshots *built*, and adoption builds nothing), and the dynamic maps
+  // stay empty — nothing was deserialized into hash tables.
   TableStats st = loaded->stats();
-  EXPECT_GE(st.freezes, 1u);
+  EXPECT_EQ(st.freezes, 0u);
   EXPECT_EQ(st.frozen_states, st.states);
-  EXPECT_EQ(st.frozen_transitions, st.transitions);
+  EXPECT_EQ(st.frozen_transitions, tables.stats().transitions);
+  EXPECT_EQ(st.transitions, 0u);
 
   // A hash-mode blob stays hash-mode after a round trip.
   TableBuildOptions hash_mode;
@@ -673,14 +685,24 @@ TEST(BurstabCache, WarmLoadServesIdenticalTarget) {
   ASSERT_TRUE(cold) << diags.str();
   EXPECT_FALSE(cold->cache_hit);
 
+  std::uint64_t zero_copy_before =
+      obs::metrics().counter("burstab.tables.map_zero_copy").value();
+  std::uint64_t freeze_before = obs::metrics().counter("burstab.freeze").value();
   auto warm = core::Record::retarget_model("manocpu", options, diags);
   ASSERT_TRUE(warm) << diags.str();
   EXPECT_TRUE(warm->cache_hit);
   ASSERT_NE(warm->tables, nullptr);
-  // A warm reload lands directly in pure-array (frozen) mode.
-  EXPECT_GE(warm->tables->stats().freezes, 1u);
-  EXPECT_EQ(warm->tables->stats().frozen_transitions,
-            warm->tables->stats().transitions);
+  // Acceptance signal for the mmap tier: the warm load adopted the pool
+  // straight off the mapping (one zero-copy map event, no freeze ran).
+  EXPECT_EQ(obs::metrics().counter("burstab.tables.map_zero_copy").value(),
+            zero_copy_before + 1);
+  EXPECT_EQ(obs::metrics().counter("burstab.freeze").value(), freeze_before);
+  // A warm reload lands directly in pure-array (frozen) mode with zero
+  // rebuild work: the mmap'ed pool is adopted as-is (freezes == 0 means no
+  // re-freeze ran) and the dynamic maps stay empty.
+  EXPECT_EQ(warm->tables->stats().freezes, 0u);
+  EXPECT_GT(warm->tables->stats().frozen_transitions, 0u);
+  EXPECT_EQ(warm->tables->stats().transitions, 0u);
   EXPECT_EQ(warm->processor, cold->processor);
   EXPECT_EQ(warm->base->templates.size(), cold->base->templates.size());
   EXPECT_EQ(grammar_fingerprint(warm->tree_grammar),
@@ -832,6 +854,141 @@ TEST(BurstabCache, OldVersionBlobRebuildsCleanly) {
   auto warm = core::Record::retarget_model("manocpu", options, d);
   ASSERT_TRUE(warm);
   EXPECT_TRUE(warm->cache_hit);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, DiskFullAtCloseNeverPublishesTruncatedBlob) {
+  // Regression: store() used to check the stream only after write() and let
+  // the scope-exit destructor flush — an ENOSPC surfacing at close went
+  // unnoticed and rename() published a truncated blob. The blob here is
+  // smaller than the ofstream's 8 KiB buffer, so with RLIMIT_FSIZE shrunk
+  // below the blob size the failure lands exactly at close().
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-diskfull")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  PlainFixture f;
+  rtl::TemplateBase base;  // empty: tiny, fully-buffered blob
+  std::string processor = "tinyproc";
+  TargetArtifactsView view;
+  view.processor = &processor;
+  view.base = &base;
+  view.grammar = &f.g;
+
+  TargetCache cache(dir);
+  const std::uint64_t key = 0x746e7970726f63ull;
+
+  struct rlimit old_limit{};
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  // Exceeding RLIMIT_FSIZE raises SIGXFSZ (default: kill) before write()
+  // fails with EFBIG — ignore it so the error comes back through the stream.
+  struct sigaction ignore_xfsz{}, old_xfsz{};
+  ignore_xfsz.sa_handler = SIG_IGN;
+  ASSERT_EQ(sigaction(SIGXFSZ, &ignore_xfsz, &old_xfsz), 0);
+  struct rlimit tiny = old_limit;
+  tiny.rlim_cur = 64;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  bool stored = cache.store(key, view);
+
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(sigaction(SIGXFSZ, &old_xfsz, nullptr), 0);
+
+  EXPECT_FALSE(stored) << "store claimed success past the file-size limit";
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(key)))
+      << "a truncated blob was published via rename()";
+  // No stray temp file left behind either.
+  std::size_t leftovers = 0;
+  std::error_code ec;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir, ec))
+    ++leftovers;
+  EXPECT_EQ(leftovers, 0u);
+
+  // With the limit restored the identical store succeeds, produces a blob
+  // that really was larger than the limit, and loads back.
+  EXPECT_TRUE(cache.store(key, view));
+  EXPECT_GT(std::filesystem::file_size(cache.entry_path(key)), 64u);
+  EXPECT_TRUE(cache.load(key).has_value());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, MappedTablesAgreeAcrossProcesses) {
+  // The cache entry is mmap'ed MAP_SHARED: concurrent child processes warm-
+  // loading the same key share the page-cache pages of one blob. Every child
+  // must hit the cache and select the exact listing the cold parent built.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-multiproc")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  ASSERT_FALSE(cold->cache_hit);
+
+  ir::ProgramBuilder b("mmap_agree");
+  b.reg("acc", "AC");
+  b.cell("m0", "mem", 0);
+  b.cell("m1", "mem", 1);
+  b.let("acc", ir::e_add(ir::e_var("m0"), ir::e_var("m1")));
+  ir::Program prog = b.take();
+  auto listing_of = [&prog](const core::RetargetResult& t) {
+    util::DiagnosticSink d;
+    select::CodeSelector sel(*t.base, t.tree_grammar, d, t.tables.get());
+    auto res = sel.select(prog);
+    return res ? res->listing() : std::string("<select failed>");
+  };
+  const std::uint64_t expect_hash = fnv1a(listing_of(*cold));
+
+  constexpr int kChildren = 3;
+  pid_t pids[kChildren];
+  int read_fds[kChildren];
+  for (int c = 0; c < kChildren; ++c) {
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(fds[0]);
+      util::DiagnosticSink d;
+      auto warm = core::Record::retarget_model("manocpu", options, d);
+      std::uint8_t hit = 0;
+      std::uint64_t h = 0;
+      if (warm && warm->tables) {
+        hit = warm->cache_hit ? 1 : 0;
+        h = fnv1a(listing_of(*warm));
+      }
+      (void)!::write(fds[1], &hit, sizeof hit);
+      (void)!::write(fds[1], &h, sizeof h);
+      ::close(fds[1]);
+      std::_Exit(0);  // skip gtest/atexit teardown in the child
+    }
+    ::close(fds[1]);
+    pids[c] = pid;
+    read_fds[c] = fds[0];
+  }
+  for (int c = 0; c < kChildren; ++c) {
+    std::uint8_t hit = 0;
+    std::uint64_t h = 0;
+    EXPECT_EQ(::read(read_fds[c], &hit, sizeof hit),
+              static_cast<ssize_t>(sizeof hit));
+    EXPECT_EQ(::read(read_fds[c], &h, sizeof h),
+              static_cast<ssize_t>(sizeof h));
+    ::close(read_fds[c]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pids[c], &status, 0), pids[c]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child " << c << " died";
+    EXPECT_EQ(hit, 1) << "child " << c << " missed the cache";
+    EXPECT_EQ(h, expect_hash) << "child " << c << " listing diverged";
+  }
 
   std::filesystem::remove_all(dir);
 }

@@ -1,0 +1,393 @@
+// Socket front end (src/net/): protocol equivalence against the sequential
+// baseline, framing robustness, backpressure, and registry sharding.
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "net/shard.h"
+#include "service/json.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+using namespace record;
+using service::Json;
+
+namespace {
+
+constexpr const char* kKernel =
+    "kernel k;\\nbind a: R0;\\ncell x: mem[1];\\na = a + x;";
+
+std::string compile_request(const std::string& tag, const std::string& model,
+                            bool listing = false) {
+  return "{\"model\": \"" + model + "\", \"tag\": \"" + tag +
+         "\", \"source\": \"" + kKernel +
+         "\", \"options\": {\"listing\": " + (listing ? "true" : "false") +
+         "}}";
+}
+
+/// Blocking test client over one connection; reads are line-buffered with a
+/// receive timeout so a server bug fails the test instead of hanging it.
+struct Client {
+  int fd = -1;
+  std::string buffered;
+
+  static Client connect_tcp(std::uint16_t port) {
+    Client c;
+    c.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(c.fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0)
+        << std::strerror(errno);
+    c.set_timeout();
+    return c;
+  }
+
+  static Client connect_unix(const std::string& path) {
+    Client c;
+    c.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(c.fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    EXPECT_EQ(::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0)
+        << std::strerror(errno);
+    c.set_timeout();
+    return c;
+  }
+
+  void set_timeout(int seconds = 60) {
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+
+  void send_line(const std::string& line) {
+    std::string framed = line + "\n";
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  /// One response line (without the newline); empty on EOF/timeout.
+  std::string read_line() {
+    for (;;) {
+      std::size_t nl = buffered.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffered.substr(0, nl);
+        buffered.erase(0, nl + 1);
+        return line;
+      }
+      char buf[65536];
+      ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) return {};
+      buffered.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  ~Client() { close(); }
+  Client() = default;
+  Client(Client&& o) noexcept : fd(o.fd), buffered(std::move(o.buffered)) {
+    o.fd = -1;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+};
+
+/// Responses carry wall-clock timings that legitimately differ between runs;
+/// equality is over everything else. Both sides get "times" nulled the same
+/// way, then the comparison is on exact bytes.
+std::string normalize(const std::string& response_line) {
+  std::optional<Json> parsed = Json::parse(response_line);
+  if (!parsed) return "<unparseable: " + response_line + ">";
+  if (parsed->contains("times")) parsed->set("times", Json());
+  return parsed->dump();
+}
+
+}  // namespace
+
+TEST(ShardRing, DeterministicAndCovering) {
+  net::ShardRing a(4), b(4);
+  std::set<std::size_t> owners;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    std::size_t owner = a.owner_of(key * 0x9E3779B97F4A7C15ull);
+    EXPECT_EQ(owner, b.owner_of(key * 0x9E3779B97F4A7C15ull));
+    EXPECT_LT(owner, 4u);
+    owners.insert(owner);
+  }
+  EXPECT_EQ(owners.size(), 4u) << "some shard owns nothing";
+
+  // Consistent hashing: growing the ring by one shard remaps only part of
+  // the key space (modulo hashing would remap ~all of it).
+  net::ShardRing grown(5);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    std::uint64_t k = key * 0x9E3779B97F4A7C15ull;
+    if (a.owner_of(k) != grown.owner_of(k)) ++moved;
+  }
+  EXPECT_LT(moved, 600u) << "ring growth remapped almost everything";
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(LineServer, PipelinedClientsMatchSequentialBaseline) {
+  service::CompileService::Options opts;
+  opts.workers = 4;
+  opts.queue_capacity = 8;
+  service::CompileService svc(opts);
+  net::LineServer server(svc, net::LineServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  // 4 clients, each pipelining its whole request batch up front (listings
+  // on, a control command mid-stream, a parse error, and compile errors).
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::vector<std::vector<std::string>> requests(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kPerClient; ++r) {
+      std::string tag = "c" + std::to_string(c) + "r" + std::to_string(r);
+      if (r == 2) {
+        requests[c].push_back(compile_request(tag, "nosuchmodel"));
+      } else if (r == 4) {
+        requests[c].push_back(compile_request(tag, "demo", true));
+      } else {
+        requests[c].push_back(compile_request(tag, "demo"));
+      }
+    }
+  }
+
+  // The sequential baseline shares the exact job core (run_job) and codec
+  // (wire.h) with the server, so the equality below proves the socket path
+  // changes nothing about the answers.
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (const std::string& line : requests[c]) {
+      std::optional<Json> request = Json::parse(line);
+      ASSERT_TRUE(request) << line;
+      service::JobResult result = service::CompileService::run_job(
+          service::job_from_request(*request, false), svc.registry());
+      expected[c].push_back(
+          normalize(service::response_from_result(result).dump()));
+    }
+  }
+
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client = Client::connect_tcp(server.port());
+      for (const std::string& line : requests[c]) client.send_line(line);
+      for (int r = 0; r < kPerClient; ++r)
+        got[c].push_back(normalize(client.read_line()));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), expected[c].size());
+    for (int r = 0; r < kPerClient; ++r)
+      EXPECT_EQ(got[c][r], expected[c][r]) << "client " << c << " response "
+                                           << r;
+  }
+  server.stop();
+}
+
+TEST(LineServer, MalformedLineAnswersErrorAndConnectionSurvives) {
+  service::CompileService::Options opts;
+  opts.workers = 2;
+  service::CompileService svc(opts);
+  net::LineServer server(svc, net::LineServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client = Client::connect_tcp(server.port());
+  client.send_line("this is not json");
+  client.send_line("[1,2,3]");  // valid JSON, not an object
+  client.send_line(compile_request("after", "demo"));
+
+  std::optional<Json> first = Json::parse(client.read_line());
+  ASSERT_TRUE(first);
+  EXPECT_FALSE((*first)["ok"].as_bool(true));
+  EXPECT_NE((*first)["error"].as_string().find("bad request"),
+            std::string::npos);
+  std::optional<Json> second = Json::parse(client.read_line());
+  ASSERT_TRUE(second);
+  EXPECT_FALSE((*second)["ok"].as_bool(true));
+  std::optional<Json> third = Json::parse(client.read_line());
+  ASSERT_TRUE(third);
+  EXPECT_TRUE((*third)["ok"].as_bool(false))
+      << "connection did not survive the bad lines";
+  EXPECT_EQ((*third)["tag"].as_string(), "after");
+  server.stop();
+}
+
+TEST(LineServer, OversizedLineFailsTheConnectionOnly) {
+  service::CompileService::Options opts;
+  opts.workers = 2;
+  service::CompileService svc(opts);
+  net::LineServer::Options sopts;
+  sopts.max_line = 1024;
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client victim = Client::connect_tcp(server.port());
+  std::string huge(4096, 'x');
+  victim.send_line(huge);
+  std::optional<Json> reply = Json::parse(victim.read_line());
+  ASSERT_TRUE(reply);
+  EXPECT_FALSE((*reply)["ok"].as_bool(true));
+  EXPECT_NE((*reply)["error"].as_string().find("too long"),
+            std::string::npos);
+  EXPECT_TRUE(victim.read_line().empty()) << "connection stayed open";
+
+  // The server itself is unharmed: a fresh connection compiles fine.
+  Client fresh = Client::connect_tcp(server.port());
+  fresh.send_line(compile_request("fresh", "demo"));
+  std::optional<Json> ok = Json::parse(fresh.read_line());
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE((*ok)["ok"].as_bool(false));
+  server.stop();
+}
+
+TEST(LineServer, SlowReaderBackpressureLosesNothing) {
+  // A tiny compile queue and a 1-byte write watermark force both
+  // backpressure paths: try_submit_async rejections park jobs, and the
+  // unread responses pause the connection's reads. The client then drains
+  // everything and must see every response, in order.
+  service::CompileService::Options opts;
+  opts.workers = 2;
+  opts.queue_capacity = 1;
+  service::CompileService svc(opts);
+  net::LineServer::Options sopts;
+  sopts.max_write_buffer = 1;
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr int kRequests = 24;
+  Client client = Client::connect_tcp(server.port());
+  for (int r = 0; r < kRequests; ++r)
+    client.send_line(
+        compile_request("slow" + std::to_string(r), "demo", true));
+  // Do not read yet: let responses pile up against the watermark.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (int r = 0; r < kRequests; ++r) {
+    std::optional<Json> reply = Json::parse(client.read_line());
+    ASSERT_TRUE(reply) << "response " << r << " lost";
+    EXPECT_EQ((*reply)["tag"].as_string(), "slow" + std::to_string(r))
+        << "responses out of order";
+    EXPECT_TRUE((*reply)["ok"].as_bool(false));
+  }
+  server.stop();
+}
+
+TEST(LineServer, ClientDisconnectMidStreamLeavesServerServing) {
+  service::CompileService::Options opts;
+  opts.workers = 2;
+  service::CompileService svc(opts);
+  net::LineServer server(svc, net::LineServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  {
+    Client doomed = Client::connect_tcp(server.port());
+    for (int r = 0; r < 8; ++r)
+      doomed.send_line(compile_request("doomed" + std::to_string(r), "demo",
+                                       true));
+    doomed.close();  // vanish with every response still in flight
+  }
+  // The dropped connection must not take the daemon down (SIGPIPE/EPIPE on
+  // the write path) nor wedge the loop.
+  Client survivor = Client::connect_tcp(server.port());
+  survivor.send_line(compile_request("live", "demo"));
+  std::optional<Json> reply = Json::parse(survivor.read_line());
+  ASSERT_TRUE(reply);
+  EXPECT_TRUE((*reply)["ok"].as_bool(false));
+  EXPECT_EQ((*reply)["tag"].as_string(), "live");
+  server.stop();
+}
+
+TEST(LineServer, UnixSocketServes) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "recordd-test.sock").string();
+  service::CompileService::Options opts;
+  opts.workers = 2;
+  service::CompileService svc(opts);
+  net::LineServer::Options sopts;
+  sopts.unix_path = path;
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client = Client::connect_unix(path);
+  client.send_line(compile_request("ux", "demo"));
+  std::optional<Json> reply = Json::parse(client.read_line());
+  ASSERT_TRUE(reply);
+  EXPECT_TRUE((*reply)["ok"].as_bool(false));
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(path)) << "socket file not unlinked";
+}
+
+TEST(LineServer, ShardingRejectsForeignTargetsAndReportsOwnership) {
+  service::CompileService::Options opts;
+  opts.workers = 2;
+  service::CompileService svc(opts);
+
+  // Compute each model's owner the way every instance would.
+  core::RetargetOptions ropts = svc.registry().options().retarget;
+  net::ShardRing ring(2);
+  auto owner_of_model = [&](const std::string& model) {
+    std::optional<Json> req =
+        Json::parse("{\"model\": \"" + model + "\"}");
+    return ring.owner_of(net::target_key_of(*req, ropts));
+  };
+  std::size_t demo_owner = owner_of_model("demo");
+
+  // Run the instance that does NOT own "demo".
+  net::LineServer::Options sopts;
+  sopts.shard.count = 2;
+  sopts.shard.index = 1 - demo_owner;
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client = Client::connect_tcp(server.port());
+  client.send_line(compile_request("foreign", "demo"));
+  std::optional<Json> rejected = Json::parse(client.read_line());
+  ASSERT_TRUE(rejected);
+  EXPECT_FALSE((*rejected)["ok"].as_bool(true));
+  EXPECT_EQ((*rejected)["owner"].as_int(-1),
+            static_cast<std::int64_t>(demo_owner));
+  EXPECT_EQ((*rejected)["shards"].as_int(0), 2);
+
+  // The shard introspection command agrees.
+  client.send_line("{\"cmd\": \"shard\", \"model\": \"demo\"}");
+  std::optional<Json> info = Json::parse(client.read_line());
+  ASSERT_TRUE(info);
+  EXPECT_TRUE((*info)["ok"].as_bool(false));
+  EXPECT_EQ((*info)["shards"].as_int(0), 2);
+  EXPECT_EQ((*info)["owner"].as_int(-1),
+            static_cast<std::int64_t>(demo_owner));
+  EXPECT_FALSE((*info)["owned"].as_bool(true));
+  server.stop();
+}

@@ -556,6 +556,49 @@ TEST(Json, UnicodeEscapeDecodesToUtf8) {
                                    "A");
 }
 
+TEST(Json, SurrogatePairsCombineToOneCodePoint) {
+  // The D83D/DE00 escape pair is U+1F600 (the grinning-face emoji): it must
+  // decode to one 4-byte UTF-8 sequence, not two 3-byte CESU-8 surrogate
+  // encodings.
+  auto j = Json::parse("{\"s\": \"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(j);
+  EXPECT_EQ((*j)["s"].as_string(), "\xF0\x9F\x98\x80");
+
+  // Pair at the BMP boundary (U+10000, the D800/DC00 pair) embedded
+  // mid-string.
+  auto lo = Json::parse("{\"s\": \"x\\ud800\\udc00y\"}");
+  ASSERT_TRUE(lo);
+  EXPECT_EQ((*lo)["s"].as_string(), "x\xF0\x90\x80\x80y");
+
+  // Round trip through the emitter: the decoded astral character is valid
+  // UTF-8, passes through append_json_quoted verbatim, and re-parses to the
+  // same bytes (this used to produce escaped mojibake on echo).
+  Json out = Json::object();
+  out.set("s", (*j)["s"]);
+  std::string wire = out.dump();
+  EXPECT_NE(wire.find("\xF0\x9F\x98\x80"), std::string::npos)
+      << "astral char was re-escaped: " << wire;
+  auto back = Json::parse(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ((*back)["s"].as_string(), (*j)["s"].as_string());
+}
+
+TEST(Json, RejectsUnpairedSurrogates) {
+  std::string error;
+  // Lone high surrogate: end of string, non-escape follower, wrong low half.
+  EXPECT_FALSE(Json::parse(R"({"s": "\ud83d"})", &error));
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+  EXPECT_FALSE(Json::parse(R"({"s": "\ud83dx"})"));
+  EXPECT_FALSE(Json::parse(R"({"s": "\ud83d\n"})"));
+  EXPECT_FALSE(Json::parse(R"({"s": "\ud83dA"})"));
+  // High surrogate followed by another high surrogate.
+  EXPECT_FALSE(Json::parse(R"({"s": "\ud83d\ud83d"})"));
+  // Lone low surrogate.
+  EXPECT_FALSE(Json::parse(R"({"s": "\ude00"})"));
+  // Truncated low half.
+  EXPECT_FALSE(Json::parse(R"({"s": "\ud83d\ude0)"));
+}
+
 TEST(Json, RejectsMalformedInput) {
   std::string error;
   EXPECT_FALSE(Json::parse("{", &error));

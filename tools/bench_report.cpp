@@ -8,7 +8,9 @@
 //   selection: model x engine (interpreter | tables-hash | tables-frozen)
 //              -> ns/node over the shared accumulator-chain workload
 //   service:   jobs/sec of the warm-registry mixed-model batch at 1 and N
-//              workers
+//              workers, in-process (compile_batch) and over a pipelined
+//              JSON-lines TCP socket session (transport field tells the
+//              rows apart; the delta is the wire + event-loop overhead)
 //
 // --baseline <path> compares against a previously committed report and
 // exits non-zero on a >25% regression — the CI perf gate. Because the
@@ -26,9 +28,15 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "burstab/tables.h"
 #include "core/record.h"
 #include "models/workload.h"
+#include "net/server.h"
 #include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "select/selector.h"
@@ -50,10 +58,42 @@ struct SelRow {
 };
 
 struct SvcRow {
+  const char* transport = "in-process";
   std::size_t workers = 0;
   std::size_t jobs = 0;
   double jobs_per_sec = 0;
 };
+
+/// The accumulator-chain workload as kernel-language source — the same
+/// program models::chain_program builds as IR, but in the form a socket
+/// client actually sends, so the socket row pays the full request path
+/// (JSON decode + frontend parse + selection + response encode).
+std::string chain_kernel(const models::ChainShape& s, int k) {
+  std::string src = "kernel chain;\nbind acc: ";
+  src += s.acc;
+  src += ";\n";
+  std::string expr;
+  for (int i = 0; i < k; ++i) {
+    if (s.mem2[0] == '\0') {
+      std::string v = "m" + std::to_string(i);
+      src += "cell " + v + ": " + s.mem1 + "[" + std::to_string(i % 16) +
+             "];\n";
+      if (i) expr += " + ";
+      expr += v;
+    } else {
+      std::string u = "u" + std::to_string(i);
+      std::string v = "v" + std::to_string(i);
+      src += "cell " + u + ": " + s.mem1 + "[" + std::to_string(i % 16) +
+             "];\n";
+      src += "cell " + v + ": " + s.mem2 + "[" +
+             std::to_string((i + 1) % 16) + "];\n";
+      if (i) expr += " + ";
+      expr += u + " * " + v;
+    }
+  }
+  src += "acc = " + expr + ";\n";
+  return src;
+}
 
 constexpr double kRegressionTolerance = 1.25;  // fail beyond +25%
 
@@ -251,7 +291,115 @@ int main(int argc, char** argv) {
       row.workers = workers;
       row.jobs = results.size();
       row.jobs_per_sec = static_cast<double>(results.size()) / seconds;
-      std::printf("service: %zu workers, %zu jobs -> %.1f jobs/sec\n",
+      std::printf("service: %zu workers, %zu jobs -> %.1f jobs/sec "
+                  "(in-process)\n",
+                  row.workers, row.jobs, row.jobs_per_sec);
+      svc_rows.push_back(row);
+    }
+  }
+
+  // --- service jobs/sec over the socket ------------------------------------
+  // Same mixed-model batch, but pipelined through recordd's event loop as
+  // one JSON-lines TCP session: requests carry kernel source, so each job
+  // also pays JSON decode + frontend parse + response encode. Compared with
+  // the in-process rows above this isolates the wire overhead.
+  {
+    const int sizes[] = {8, 32};
+    const int job_reps = quick ? 4 : 8;
+    std::string batch;
+    std::size_t job_count = 0;
+    for (int rep = 0; rep < job_reps; ++rep)
+      for (const models::ChainShape& s : models::kChainShapes)
+        for (int k : sizes) {
+          service::Json req = service::Json::object();
+          req.set("model", s.model);
+          req.set("source", chain_kernel(s, k));
+          batch += req.dump();
+          batch += '\n';
+          ++job_count;
+        }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    std::size_t prev_workers = 0;
+    for (std::size_t workers : {std::size_t{1}, std::size_t(hw < 4 ? hw : 4)}) {
+      if (workers == prev_workers) break;
+      prev_workers = workers;
+      service::CompileService::Options so;
+      so.workers = workers;
+      service::CompileService svc(so);
+      {  // pre-warm the registry (retarget-only jobs)
+        std::vector<service::CompileJob> warm;
+        for (const models::ChainShape& s : models::kChainShapes) {
+          service::CompileJob j;
+          j.model = s.model;
+          warm.push_back(std::move(j));
+        }
+        (void)svc.compile_batch(std::move(warm));
+      }
+      net::LineServer server(svc, {});
+      std::string err;
+      if (!server.start(&err)) {
+        std::fprintf(stderr, "service/socket: start failed: %s\n",
+                     err.c_str());
+        return 1;
+      }
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(server.port());
+      inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof addr) != 0) {
+        std::fprintf(stderr, "service/socket: connect failed\n");
+        return 1;
+      }
+      util::Timer timer;
+      for (std::size_t off = 0; off < batch.size();) {
+        ssize_t n = ::send(fd, batch.data() + off, batch.size() - off, 0);
+        if (n <= 0) {
+          std::fprintf(stderr, "service/socket: send failed\n");
+          return 1;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      std::string responses;
+      std::size_t lines = 0;
+      char buf[16384];
+      while (lines < job_count) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+          std::fprintf(stderr, "service/socket: connection lost\n");
+          return 1;
+        }
+        for (ssize_t i = 0; i < n; ++i)
+          if (buf[i] == '\n') ++lines;
+        responses.append(buf, static_cast<std::size_t>(n));
+      }
+      double seconds = timer.seconds();
+      ::close(fd);
+      server.stop();
+      std::size_t ok = 0, pos = 0;
+      while (pos < responses.size()) {
+        std::size_t nl = responses.find('\n', pos);
+        if (nl == std::string::npos) break;
+        auto parsed = service::Json::parse(
+            std::string_view(responses).substr(pos, nl - pos));
+        if (parsed && (*parsed)["ok"].as_bool()) ++ok;
+        pos = nl + 1;
+      }
+      if (ok != job_count) {
+        std::fprintf(stderr, "service/socket: %zu/%zu jobs failed\n",
+                     job_count - ok, job_count);
+        return 1;
+      }
+      SvcRow row;
+      row.transport = "socket";
+      row.workers = workers;
+      row.jobs = job_count;
+      row.jobs_per_sec = static_cast<double>(job_count) / seconds;
+      std::printf("service: %zu workers, %zu jobs -> %.1f jobs/sec "
+                  "(socket)\n",
                   row.workers, row.jobs, row.jobs_per_sec);
       svc_rows.push_back(row);
     }
@@ -303,6 +451,7 @@ int main(int argc, char** argv) {
   service::Json svc = service::Json::array();
   for (const SvcRow& r : svc_rows) {
     service::Json row = service::Json::object();
+    row.set("transport", std::string(r.transport));
     row.set("workers", static_cast<double>(r.workers));
     row.set("jobs", static_cast<double>(r.jobs));
     row.set("jobs_per_sec", r.jobs_per_sec);
