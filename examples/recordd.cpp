@@ -48,7 +48,19 @@
 //        command serves the live flight recorder),
 //        --listen [HOST:]PORT (TCP server; port 0 = ephemeral, printed),
 //        --unix PATH (Unix-socket server),
-//        --shards N --shard-index I (registry sharding across N instances).
+//        --shards N --shard-index I (registry sharding across N instances),
+//        --deadline MS (default per-job deadline; jobs past it return
+//        ok:false with deadline_exceeded:true and a retry_after_ms hint),
+//        --idle-timeout MS (socket mode: close connections idle that long;
+//        default 300000, 0 = never),
+//        --request-timeout MS (socket mode: shed requests parked on a full
+//        queue longer than this; 0 = never),
+//        --max-parked N (socket mode: server-wide cap on parked requests;
+//        past it the globally oldest is shed with retry_after_ms; 0 = off).
+//
+// Failpoints (util/failpoint.h) arm from RECORD_FAILPOINTS
+// ("name=spec;name2=spec2") at startup, or at runtime via
+// {"cmd": "failpoint", "name": ..., "spec": "once"|"every:N"|"sleep:MS"|"off"}.
 //
 // Try:  printf '%s\n' '{"model": "demo", "source": "kernel k;\nbind a: R0;\ncell x: mem[1];\na = a + x;"}' | ./build/example_recordd
 #include <algorithm>
@@ -73,6 +85,7 @@
 #include "service/json.h"
 #include "service/service.h"
 #include "service/wire.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 using namespace record;
@@ -85,7 +98,8 @@ namespace {
 /// failure (consumer closed the pipe) stops the printer: with nobody
 /// reading, finishing the queued work has no observer.
 int run_stdio(service::CompileService& svc, const net::ShardConfig& shard,
-              bool want_listing, std::size_t queue_capacity) {
+              bool want_listing, std::size_t queue_capacity,
+              std::uint64_t default_deadline_ms) {
   // An entry is a compile job's future, a deferred control-plane command, or
   // an already-rendered line (parse errors, shard ownership rejections).
   // Control commands are evaluated when the printer reaches them, so a
@@ -189,11 +203,10 @@ int run_stdio(service::CompileService& svc, const net::ShardConfig& shard,
         continue;
       }
     }
-    input_ok =
-        enqueue(Out{svc.submit(service::job_from_request(*request,
-                                                         want_listing)),
-                    std::nullopt,
-                    {}});
+    service::CompileJob job =
+        service::job_from_request(*request, want_listing);
+    if (job.deadline_ms == 0) job.deadline_ms = default_deadline_ms;
+    input_ok = enqueue(Out{svc.submit(std::move(job)), std::nullopt, {}});
   }
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -215,6 +228,10 @@ int main(int argc, char** argv) {
   std::string listen_spec;
   std::string unix_path;
   net::ShardConfig shard;
+  std::uint64_t default_deadline_ms = 0;
+  long idle_timeout_ms = -1;  // -1 = flag absent (socket default applies)
+  std::uint64_t request_timeout_ms = 0;
+  std::size_t max_parked = 0;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> long {
       if (i + 1 >= argc) {
@@ -252,12 +269,23 @@ int main(int argc, char** argv) {
       shard.count = static_cast<std::size_t>(value("--shards"));
     } else if (!std::strcmp(argv[i], "--shard-index")) {
       shard.index = static_cast<std::size_t>(value("--shard-index"));
+    } else if (!std::strcmp(argv[i], "--deadline")) {
+      default_deadline_ms = static_cast<std::uint64_t>(value("--deadline"));
+    } else if (!std::strcmp(argv[i], "--idle-timeout")) {
+      idle_timeout_ms = value("--idle-timeout");
+    } else if (!std::strcmp(argv[i], "--request-timeout")) {
+      request_timeout_ms =
+          static_cast<std::uint64_t>(value("--request-timeout"));
+    } else if (!std::strcmp(argv[i], "--max-parked")) {
+      max_parked = static_cast<std::size_t>(value("--max-parked"));
     } else {
       std::fprintf(
           stderr,
           "usage: recordd [--workers N] [--queue N] [--registry N] [--cache] "
           "[--listing] [--stats] [--trace FILE] [--listen [HOST:]PORT] "
-          "[--unix PATH] [--shards N --shard-index I]  < requests.jsonl\n");
+          "[--unix PATH] [--shards N --shard-index I] [--deadline MS] "
+          "[--idle-timeout MS] [--request-timeout MS] [--max-parked N]"
+          "  < requests.jsonl\n");
       return 2;
     }
   }
@@ -270,6 +298,10 @@ int main(int argc, char** argv) {
   // A client (or the stdout consumer) closing mid-stream must fail the
   // write, not kill the daemon with SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
+  // Chaos testing: RECORD_FAILPOINTS="name=spec;..." arms injection sites
+  // before the service spins up, so even startup paths can fault.
+  if (int armed = util::failpoints_init_from_env())
+    std::fprintf(stderr, "recordd: %d failpoint(s) armed from env\n", armed);
   if (!trace_path.empty()) obs::Tracer::instance().enable();
   // Selection-coverage maps are cheap (relaxed counters) and feed the
   // "coverage" section of the stats command, so the daemon records always.
@@ -283,6 +315,13 @@ int main(int argc, char** argv) {
     sopts.unix_path = unix_path;
     sopts.default_listing = want_listing;
     sopts.shard = shard;
+    sopts.default_deadline_ms = default_deadline_ms;
+    // Socket mode defaults to a 5-minute idle timeout; --idle-timeout 0
+    // turns it off, any other value overrides it.
+    sopts.idle_timeout_ms =
+        idle_timeout_ms < 0 ? 300000 : std::uint64_t(idle_timeout_ms);
+    sopts.request_timeout_ms = request_timeout_ms;
+    sopts.max_parked = max_parked;
     if (!listen_spec.empty()) {
       std::size_t colon = listen_spec.rfind(':');
       if (colon != std::string::npos) {
@@ -312,7 +351,8 @@ int main(int argc, char** argv) {
     }
     server.stop();
   } else {
-    exit_code = run_stdio(svc, shard, want_listing, opts.queue_capacity);
+    exit_code = run_stdio(svc, shard, want_listing, opts.queue_capacity,
+                          default_deadline_ms);
   }
 
   if (!trace_path.empty() &&

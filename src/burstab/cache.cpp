@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include "burstab/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace record::burstab {
@@ -40,6 +42,24 @@ constexpr std::uint32_t kCacheVersion = 5;
 // TargetTables::serialize) equals its file-relative alignment.
 constexpr std::size_t kCacheHeaderBytes = 24;
 
+/// Opens one cache entry read-only, retrying transient failures — EINTR /
+/// EAGAIN interruptions, or an injected "burstab.cache.open" fault — up to
+/// 3 attempts with jittered backoff before declaring the entry unreadable
+/// (corruption-class failures like ENOENT never retry). Both the mmap tier
+/// and the buffered-read tier open through here.
+int open_with_retry(const std::string& path) {
+  const std::uint64_t jitter_us = fnv1a(path) % 700;
+  for (int attempt = 0;; ++attempt) {
+    const bool injected = util::failpoint("burstab.cache.open");
+    int fd = injected ? -1 : ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) return fd;
+    const bool transient = injected || errno == EINTR || errno == EAGAIN;
+    if (!transient || attempt >= 2) return -1;
+    obs::metrics().counter("burstab.cache.transient_retry").add(1);
+    ::usleep(static_cast<useconds_t>((1000u << attempt) + jitter_us));
+  }
+}
+
 /// RAII mmap of a whole cache entry, PROT_READ + MAP_SHARED so concurrent
 /// loaders of one key share page-cache pages. rename()-based publication
 /// makes this safe against concurrent re-stores: a replaced entry's inode
@@ -49,7 +69,7 @@ struct Mapping {
   std::size_t len = 0;
 
   static std::shared_ptr<const Mapping> open_file(const std::string& path) {
-    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    int fd = open_with_retry(path);
     if (fd < 0) return nullptr;
     struct stat st{};
     if (::fstat(fd, &st) != 0 || st.st_size <= 0 ||
@@ -58,7 +78,19 @@ struct Mapping {
       return nullptr;
     }
     std::size_t len = static_cast<std::size_t>(st.st_size);
-    void* addr = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    void* addr = util::failpoint("burstab.cache.mmap")
+                     ? MAP_FAILED
+                     : ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr != MAP_FAILED) {
+      // Length probe: a file shortened after the fstat above would SIGBUS on
+      // the first touch past EOF. Reading the last mapped byte through the
+      // fd turns that into a clean fallback instead of a signal.
+      char last = 0;
+      if (::pread(fd, &last, 1, st.st_size - 1) != 1) {
+        ::munmap(addr, len);
+        addr = MAP_FAILED;
+      }
+    }
     ::close(fd);
     if (addr == MAP_FAILED) return nullptr;
     auto m = std::make_shared<Mapping>();
@@ -74,6 +106,32 @@ struct Mapping {
     if (addr) ::munmap(addr, len);
   }
 };
+
+/// Buffered-read tier: the whole entry into a heap string via plain
+/// EINTR-retried read(2), for when the mapping cannot be established.
+bool read_whole_file(const std::string& path, std::string& out) {
+  int fd = open_with_retry(path);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0 ||
+      static_cast<std::uint64_t>(st.st_size) < kCacheHeaderBytes) {
+    ::close(fd);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    ssize_t n = ::read(fd, out.data() + got, out.size() - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF short of st_size (truncated) or a hard error
+  }
+  ::close(fd);
+  return got == out.size();
+}
 
 void write_extract_stats(ByteWriter& w, const ise::ExtractStats& s) {
   w.u64(s.destinations);
@@ -154,16 +212,27 @@ std::string TargetCache::entry_path(std::uint64_t key) const {
 
 std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
   OBS_SPAN("burstab.cache.load");
-  // The whole entry is mmap'ed read-only: the header/grammar sections are
-  // stream-parsed straight off the mapping, and the frozen-tables pool is
-  // adopted zero-copy — the mapping's pin rides inside the tables and the
-  // pages stay shared across every thread and process loading this key.
-  std::shared_ptr<const Mapping> map = Mapping::open_file(entry_path(key));
-  if (!map) {
-    obs::metrics().counter("burstab.cache.miss").add(1);
-    return std::nullopt;
+  // Tier 1: the whole entry mmap'ed read-only — header/grammar sections are
+  // stream-parsed straight off the mapping and the frozen-tables pool is
+  // adopted zero-copy (the mapping's pin rides inside the tables; the pages
+  // stay shared across every thread and process loading this key).
+  // Tier 2: when the mapping cannot be established (mmap failure, a file
+  // shortened under us), a plain buffered read serves the same bytes from
+  // the heap — the pool is then copied rather than adopted.
+  const std::string path = entry_path(key);
+  std::shared_ptr<const Mapping> map = Mapping::open_file(path);
+  std::string heap;  // tier-2 storage; empty while the mapping is live
+  std::string_view blob;
+  if (map) {
+    blob = std::string_view(static_cast<const char*>(map->addr), map->len);
+  } else {
+    if (!read_whole_file(path, heap)) {
+      obs::metrics().counter("burstab.cache.miss").add(1);
+      return std::nullopt;
+    }
+    obs::metrics().counter("burstab.cache.fallback.buffered_read").add(1);
+    blob = heap;
   }
-  std::string_view blob(static_cast<const char*>(map->addr), map->len);
 
   // A structurally unusable blob (stale version, torn write, corruption) is
   // a miss that rebuilds cleanly, but it is counted separately: a rejection
@@ -172,6 +241,7 @@ std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
     obs::metrics().counter("burstab.cache.rejected").add(1);
     return std::nullopt;
   };
+  if (util::failpoint("burstab.cache.read")) return reject();
   ByteReader r(blob);
   if (r.u32() != kCacheMagic || r.u32() != kCacheVersion) return reject();
   if (r.u64() != key) return reject();
@@ -191,9 +261,18 @@ std::optional<TargetArtifacts> TargetCache::load(std::uint64_t key) const {
   if (has_tables) {
     std::size_t offset = r.pos();
     std::unique_ptr<TargetTables> t =
-        TargetTables::deserialize(a.grammar, blob, offset, map);
-    if (!t) return reject();
-    a.tables = std::move(t);
+        util::failpoint("burstab.pool.adopt")
+            ? nullptr
+            : TargetTables::deserialize(a.grammar, blob, offset, map);
+    if (t) {
+      a.tables = std::move(t);
+    } else {
+      // The checksum above already vouched for the base + grammar sections,
+      // so a malformed (or failpoint-poisoned) pool loses only the tables:
+      // the artifacts are salvaged and the caller rebuilds tables from the
+      // grammar — or serves the interpreter — instead of re-retargeting.
+      obs::metrics().counter("burstab.cache.tables_lost").add(1);
+    }
   }
   obs::metrics().counter("burstab.cache.hit").add(1);
   return a;
@@ -203,6 +282,7 @@ bool TargetCache::store(std::uint64_t key,
                         const TargetArtifactsView& artifacts) const {
   OBS_SPAN("burstab.cache.store");
   obs::metrics().counter("burstab.cache.store").add(1);
+  if (util::failpoint("burstab.cache.write")) return false;
   if (!artifacts.processor || !artifacts.base || !artifacts.grammar)
     return false;
   std::error_code ec;

@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -18,6 +20,7 @@
 #include "obs/trace.h"
 #include "service/introspect.h"
 #include "service/wire.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace record::net {
@@ -37,6 +40,13 @@ bool set_nonblocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Cached metric handles: name resolution takes the registry mutex, and
 // read_bytes/write_bytes fire once per event-loop iteration. Registry
 // storage is process-lifetime, so the references stay valid.
@@ -52,6 +62,8 @@ struct NetCounters {
   obs::Counter& queue_stalls = obs::metrics().counter("net.queue_stalls");
   obs::Counter& backpressure_stalls =
       obs::metrics().counter("net.backpressure_stalls");
+  obs::Counter& idle_closed = obs::metrics().counter("net.conn.idle_closed");
+  obs::Counter& shed = obs::metrics().counter("net.shed");
   obs::Gauge& connections = obs::metrics().gauge("net.connections");
 };
 
@@ -170,7 +182,10 @@ void LineServer::stop() {
 void LineServer::run() {
   epoll_event events[64];
   for (;;) {
-    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    // The wheel drives the poll timeout: -1 (block) with no timers armed,
+    // otherwise the time to the earliest idle/parked deadline.
+    int n = ::epoll_wait(epoll_fd_, events, 64,
+                         wheel_.next_timeout_ms(now_ms()));
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // epoll fd gone: nothing left to serve
@@ -203,7 +218,87 @@ void LineServer::run() {
       if (conns_.find(id) == conns_.end()) continue;
       if (events[i].events & EPOLLIN) handle_readable(conn);
     }
+    expire_timers(now_ms());
   }
+}
+
+void LineServer::expire_timers(std::uint64_t now) {
+  if (wheel_.armed() == 0) return;
+  std::vector<std::uint64_t> fired;
+  wheel_.expire(now, fired);
+  for (std::uint64_t tid : fired) {
+    const std::uint64_t conn_id = tid / 2;
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    if ((tid & 1) == 0) {
+      // Idle timer: armed once at accept, re-checked lazily against the
+      // actual last activity so reads never pay a re-arm.
+      if (options_.idle_timeout_ms == 0) continue;
+      if (now - conn.last_activity_ms >= options_.idle_timeout_ms) {
+        std::fprintf(stderr,
+                     "recordd: closing conn %llu: idle %llu ms "
+                     "(limit %llu ms)\n",
+                     static_cast<unsigned long long>(conn_id),
+                     static_cast<unsigned long long>(now -
+                                                     conn.last_activity_ms),
+                     static_cast<unsigned long long>(
+                         options_.idle_timeout_ms));
+        net_counters().idle_closed.add(1);
+        close_conn(conn_id);
+      } else {
+        wheel_.arm(tid, conn.last_activity_ms + options_.idle_timeout_ms);
+      }
+      continue;
+    }
+    // Parked-request timer: shed everything past the timeout (FIFO, so the
+    // front is always the oldest), re-arm for the new front.
+    if (options_.request_timeout_ms == 0) continue;
+    while (!conn.parked.empty() &&
+           now - conn.parked.front().parked_at_ms >=
+               options_.request_timeout_ms)
+      shed_parked(conn,
+                  "overloaded: request timed out waiting for queue space");
+    if (!conn.parked.empty())
+      wheel_.arm(tid, conn.parked.front().parked_at_ms +
+                          options_.request_timeout_ms);
+    if (conn.parked.empty() && !conn.inbuf.empty()) parse_lines(conn);
+    if (conns_.find(conn_id) != conns_.end()) flush_ready(conn);
+  }
+}
+
+void LineServer::shed_parked(Conn& conn, const char* reason) {
+  Parked parked = std::move(conn.parked.front());
+  conn.parked.pop_front();
+  --parked_total_;
+  Json out = Json::object();
+  if (!parked.job.tag.empty()) out.set("tag", Json(parked.job.tag));
+  out.set("ok", Json(false));
+  out.set("error", Json(reason));
+  out.set("retry_after_ms",
+          Json(static_cast<double>(service_.suggested_backoff_ms())));
+  for (Slot& slot : conn.slots) {
+    if (slot.serial == parked.serial) {
+      slot.text = out.dump();
+      slot.done = true;
+      break;
+    }
+  }
+  net_counters().shed.add(1);
+}
+
+void LineServer::shed_oldest_parked(std::uint64_t skip_flush_id) {
+  Conn* oldest = nullptr;
+  for (auto& [id, conn] : conns_) {
+    if (conn.parked.empty()) continue;
+    if (!oldest || conn.parked.front().seq < oldest->parked.front().seq)
+      oldest = &conn;
+  }
+  if (!oldest) return;
+  shed_parked(*oldest, "overloaded: parked request shed (server saturated)");
+  // Flushing may close the victim; never flush the connection the caller
+  // still holds a reference into (it flushes itself after parking).
+  if (oldest->id != skip_flush_id) flush_ready(*oldest);
 }
 
 void LineServer::handle_accept() {
@@ -224,12 +319,16 @@ void LineServer::handle_accept() {
       conns_.erase(id);
       continue;
     }
+    conn.last_activity_ms = now_ms();
+    if (options_.idle_timeout_ms)
+      wheel_.arm(id * 2, conn.last_activity_ms + options_.idle_timeout_ms);
     net_counters().accepted.add(1);
     net_counters().connections.add(1);
   }
 }
 
 void LineServer::handle_readable(Conn& conn) {
+  conn.last_activity_ms = now_ms();
   char buf[16384];
   for (;;) {
     ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
@@ -314,9 +413,10 @@ void LineServer::parse_lines(Conn& conn) {
     }
     std::uint64_t serial = conn.next_serial++;
     conn.slots.push_back(Slot{serial, false, {}, std::nullopt});
-    submit_or_park(
-        conn, serial,
-        service::job_from_request(*request, options_.default_listing));
+    service::CompileJob job =
+        service::job_from_request(*request, options_.default_listing);
+    if (job.deadline_ms == 0) job.deadline_ms = options_.default_deadline_ms;
+    submit_or_park(conn, serial, std::move(job));
   }
   conn.inbuf.erase(0, start);
 }
@@ -343,7 +443,15 @@ void LineServer::submit_or_park(Conn& conn, std::uint64_t serial,
       --outstanding_;
     }
     net_counters().queue_stalls.add(1);
-    conn.parked.push_back(Parked{serial, std::move(job)});
+    // Saturation: make room by shedding the globally oldest parked request
+    // before this one parks — deterministic oldest-first under overload.
+    if (options_.max_parked && parked_total_ >= options_.max_parked)
+      shed_oldest_parked(conn.id);
+    const std::uint64_t now = now_ms();
+    conn.parked.push_back(Parked{serial, ++park_seq_, now, std::move(job)});
+    ++parked_total_;
+    if (options_.request_timeout_ms && conn.parked.size() == 1)
+      wheel_.arm(conn.id * 2 + 1, now + options_.request_timeout_ms);
   }
 }
 
@@ -372,6 +480,7 @@ void LineServer::retry_parked() {
         break;  // queue still full; a later completion retries
       }
       conn.parked.pop_front();
+      --parked_total_;
     }
     if (conn.parked.empty() && !conn.inbuf.empty()) parse_lines(conn);
   }
@@ -438,6 +547,12 @@ void LineServer::flush_ready(Conn& conn) {
 
 void LineServer::handle_writable(Conn& conn) {
   std::uint64_t id = conn.id;
+  // Injected socket failure: the peer is treated as gone, exactly like a
+  // real EPIPE below — this connection drops, the process keeps serving.
+  if (conn.outpos < conn.outbuf.size() && util::failpoint("net.conn.write")) {
+    close_conn(id);
+    return;
+  }
   while (conn.outpos < conn.outbuf.size()) {
     ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outpos,
                        conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
@@ -485,6 +600,9 @@ void LineServer::update_interest(Conn& conn) {
 void LineServer::close_conn(std::uint64_t conn_id) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
+  wheel_.cancel(conn_id * 2);
+  wheel_.cancel(conn_id * 2 + 1);
+  parked_total_ -= it->second.parked.size();
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
   ::close(it->second.fd);
   conns_.erase(it);

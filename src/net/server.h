@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "net/shard.h"
+#include "net/timerwheel.h"
 #include "service/json.h"
 #include "service/service.h"
 
@@ -66,6 +67,22 @@ class LineServer {
     /// Daemon-wide default for "options.listing" (the --listing flag).
     bool default_listing = false;
     ShardConfig shard;
+
+    /// Close a connection with no inbound traffic for this long; 0 = never
+    /// (the stdio daemon's behaviour). Closes log one stderr line and count
+    /// under "net.conn.idle_closed".
+    std::uint64_t idle_timeout_ms = 0;
+    /// Shed a parked request (compile queue full) still unsubmitted after
+    /// this long; 0 = park indefinitely. Shed responses are structured
+    /// failures carrying retry_after_ms.
+    std::uint64_t request_timeout_ms = 0;
+    /// Server-wide cap on parked requests: parking one more sheds the
+    /// globally oldest parked request first (deterministic oldest-first
+    /// load shedding). 0 = unbounded parking.
+    std::size_t max_parked = 0;
+    /// Deadline stamped on jobs whose request carries no
+    /// "options.deadline_ms"; 0 = no default deadline.
+    std::uint64_t default_deadline_ms = 0;
   };
 
   LineServer(service::CompileService& service, Options options);
@@ -98,6 +115,8 @@ class LineServer {
 
   struct Parked {
     std::uint64_t serial = 0;
+    std::uint64_t seq = 0;          // global park order (monotonic)
+    std::uint64_t parked_at_ms = 0;
     service::CompileJob job;
   };
 
@@ -115,6 +134,8 @@ class LineServer {
     /// Peer stopped sending (EOF, error, or lost framing): no more reads,
     /// close once every pending response has flushed.
     bool eof = false;
+    /// Last inbound traffic (steady-clock ms); drives the idle timeout.
+    std::uint64_t last_activity_ms = 0;
   };
 
   struct Done {
@@ -137,6 +158,17 @@ class LineServer {
   void close_conn(std::uint64_t conn_id);
   [[nodiscard]] std::size_t pipeline_limit() const;
 
+  /// Fires due idle/parked timers (timer id = conn_id*2 for idle,
+  /// conn_id*2+1 for parked-request timeouts).
+  void expire_timers(std::uint64_t now);
+  /// Sheds conn.parked.front(): its reserved slot becomes a structured
+  /// failure with retry_after_ms and "net.shed" counts it.
+  void shed_parked(Conn& conn, const char* reason);
+  /// Deterministic saturation shedding: drops the globally oldest parked
+  /// request (smallest park seq). `skip_flush_id` is the connection the
+  /// caller holds a reference into (it flushes that one itself).
+  void shed_oldest_parked(std::uint64_t skip_flush_id);
+
   service::CompileService& service_;
   Options options_;
 
@@ -150,6 +182,13 @@ class LineServer {
   std::unordered_map<std::uint64_t, Conn> conns_;
   std::uint64_t next_conn_id_ = 1;
   std::optional<ShardRing> ring_;  // set when sharding is enabled
+
+  /// Loop-thread timer state: the wheel indexes idle and parked-request
+  /// deadlines, park_seq_ orders parks globally for oldest-first shedding,
+  /// parked_total_ is the server-wide parked count max_parked caps.
+  TimerWheel wheel_;
+  std::uint64_t park_seq_ = 0;
+  std::size_t parked_total_ = 0;
 
   /// Worker-thread side: completed jobs waiting for the loop, the count of
   /// callbacks still outstanding (stop() waits for them so a worker never

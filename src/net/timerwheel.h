@@ -1,0 +1,93 @@
+// Coarse hashed timer wheel for the epoll event loop: idle-connection and
+// parked-request timeouts without a per-timer heap.
+//
+// Timers hash into kSlots buckets by deadline tick (deadline / tick_ms),
+// arm/cancel are O(1) amortised, and expire() scans only the ticks that
+// elapsed since the last call. Re-arming a timer simply overwrites its
+// deadline in the id map; stale bucket entries are dropped lazily when
+// their slot is scanned (the map is the source of truth, the wheel is the
+// index). Resolution is tick_ms — a timer can fire up to one tick late,
+// which is the right trade for connection timeouts measured in seconds.
+//
+// Single-threaded by design: owned and driven by the event-loop thread,
+// like every Conn.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace record::net {
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(std::uint64_t tick_ms = 64)
+      : tick_ms_(tick_ms ? tick_ms : 1), slots_(kSlots) {}
+
+  /// Arms (or re-arms) timer `id` to fire at absolute `deadline_ms`.
+  void arm(std::uint64_t id, std::uint64_t deadline_ms) {
+    deadlines_[id] = deadline_ms;
+    // An already-due deadline lands in the next unscanned tick so expire()
+    // still visits it (its own tick was scanned in a previous call).
+    std::uint64_t tick = deadline_ms / tick_ms_;
+    if (tick < last_tick_) tick = last_tick_;
+    slots_[static_cast<std::size_t>(tick % kSlots)].emplace_back(id,
+                                                                deadline_ms);
+  }
+
+  void cancel(std::uint64_t id) { deadlines_.erase(id); }
+
+  /// Milliseconds until the earliest armed deadline (0 when already due),
+  /// or -1 when nothing is armed — the epoll_wait timeout.
+  [[nodiscard]] int next_timeout_ms(std::uint64_t now_ms) const {
+    if (deadlines_.empty()) return -1;
+    std::uint64_t best = UINT64_MAX;
+    for (const auto& [id, deadline] : deadlines_)
+      if (deadline < best) best = deadline;
+    if (best <= now_ms) return 0;
+    std::uint64_t wait = best - now_ms;
+    constexpr std::uint64_t kMaxWait = 60'000;  // re-poll at least every minute
+    if (wait > kMaxWait) wait = kMaxWait;
+    return static_cast<int>(wait);
+  }
+
+  /// Collects every timer due at `now_ms` into `fired` (each id at most
+  /// once; fired timers are disarmed).
+  void expire(std::uint64_t now_ms, std::vector<std::uint64_t>& fired) {
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    std::uint64_t from = last_tick_;
+    last_tick_ = now_tick + 1;
+    if (now_tick - from >= kSlots) from = now_tick + 1 - kSlots;
+    for (std::uint64_t t = from; t <= now_tick; ++t) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>& slot =
+          slots_[static_cast<std::size_t>(t % kSlots)];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        auto [id, deadline] = slot[i];
+        auto it = deadlines_.find(id);
+        if (it == deadlines_.end() || it->second != deadline)
+          continue;  // cancelled or re-armed: stale index entry
+        if (deadline <= now_ms) {
+          deadlines_.erase(it);
+          fired.push_back(id);
+        } else {
+          slot[keep++] = slot[i];  // a later wheel revolution
+        }
+      }
+      slot.resize(keep);
+    }
+  }
+
+  [[nodiscard]] std::size_t armed() const { return deadlines_.size(); }
+
+ private:
+  static constexpr std::size_t kSlots = 256;
+
+  std::uint64_t tick_ms_;
+  std::uint64_t last_tick_ = 0;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> slots_;
+  std::map<std::uint64_t, std::uint64_t> deadlines_;  // id -> deadline
+};
+
+}  // namespace record::net

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/diagnostics.h"
+#include "util/failpoint.h"
 
 namespace record::service {
 
@@ -192,6 +193,37 @@ Json trace_response(const Json& request) {
   return out;
 }
 
+// {"cmd":"failpoint"} lists the armed sites; adding "name" and "spec" arms
+// (or, with spec "off"/empty, disarms) that site first. The response always
+// carries the post-change listing so an operator sees the effect in-line.
+Json failpoint_response(const Json& request) {
+  Json out = Json::object();
+  out.set("cmd", Json("failpoint"));
+  const std::string& name = request["name"].as_string();
+  if (!name.empty()) {
+    std::string spec = request["spec"].as_string();
+    if (spec.empty()) spec = "off";
+    std::string error;
+    if (!util::failpoint_arm(name, spec, &error)) {
+      out.set("ok", Json(false));
+      out.set("error", Json("failpoint '" + name + "': " + error));
+      return out;
+    }
+  }
+  out.set("ok", Json(true));
+  Json list = Json::array();
+  for (const util::FailpointInfo& fp : util::failpoint_list()) {
+    Json jf = Json::object();
+    jf.set("name", Json(fp.name));
+    jf.set("spec", Json(fp.spec));
+    jf.set("hits", Json(static_cast<double>(fp.hits)));
+    jf.set("fires", Json(static_cast<double>(fp.fires)));
+    list.push(std::move(jf));
+  }
+  out.set("failpoints", std::move(list));
+  return out;
+}
+
 }  // namespace
 
 Json stats_response(CompileService& service) {
@@ -209,6 +241,8 @@ Json stats_response(CompileService& service) {
   svc.set("semantics_checked",
           Json(static_cast<double>(s.semantics_checked)));
   svc.set("semantics_failed", Json(static_cast<double>(s.semantics_failed)));
+  svc.set("deadline_exceeded",
+          Json(static_cast<double>(s.deadline_exceeded)));
   Json queue = Json::object();
   queue.set("mean_ms", Json(s.mean_queue_ms));
   queue.set("p50_ms", Json(s.p50_queue_ms));
@@ -277,10 +311,12 @@ std::optional<Json> handle_introspection(const Json& request,
   if (cmd == "stats") return stats_response(service);
   if (cmd == "trace") return trace_response(request);
   if (cmd == "explain") return explain_response(request, service);
+  if (cmd == "failpoint") return failpoint_response(request);
   Json out = Json::object();
   out.set("ok", Json(false));
   out.set("error",
-          Json("unknown cmd '" + cmd + "' (try stats, trace, explain)"));
+          Json("unknown cmd '" + cmd +
+               "' (try stats, trace, explain, failpoint)"));
   return out;
 }
 

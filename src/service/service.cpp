@@ -1,13 +1,32 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
 #include "ir/kernel_lang.h"
 #include "obs/trace.h"
 #include "sim/check.h"
+#include "util/failpoint.h"
 
 namespace record::service {
+
+namespace {
+
+/// Absolute deadline for a job; epoch (default-constructed) = none. Computed
+/// at submission so queue wait counts against the budget.
+std::chrono::steady_clock::time_point deadline_of(const CompileJob& job) {
+  if (job.deadline_ms == 0) return {};
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(job.deadline_ms);
+}
+
+bool expired(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point{} &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace
 
 CompileService::CompileService(Options options)
     : options_(std::move(options)), registry_(options_.registry) {
@@ -17,6 +36,7 @@ CompileService::CompileService(Options options)
     if (n == 0) n = 1;
   }
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  worker_n_ = n;
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -57,7 +77,8 @@ std::future<JobResult> CompileService::submit(CompileJob job) {
     return future;
   }
   ++stats_.submitted;
-  queue_.push_back(Pending{std::move(job), std::move(promise), {}, {}});
+  const auto deadline = deadline_of(job);
+  queue_.push_back(Pending{std::move(job), std::move(promise), {}, {}, deadline});
   stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
   lock.unlock();
   not_empty_.notify_one();
@@ -78,13 +99,15 @@ void CompileService::submit_async(CompileJob job, Callback done) {
     return;
   }
   ++stats_.submitted;
-  queue_.push_back(Pending{std::move(job), {}, std::move(done), {}});
+  const auto deadline = deadline_of(job);
+  queue_.push_back(Pending{std::move(job), {}, std::move(done), {}, deadline});
   stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
   lock.unlock();
   not_empty_.notify_one();
 }
 
-bool CompileService::try_submit_async(CompileJob& job, Callback& done) {
+bool CompileService::try_submit_async(CompileJob& job, Callback& done,
+                                      std::uint64_t* retry_after_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) {
     lock.unlock();
@@ -95,16 +118,42 @@ bool CompileService::try_submit_async(CompileJob& job, Callback& done) {
     return true;  // consumed: the rejection IS the completion
   }
   if (queue_.size() >= options_.queue_capacity) {
+    const std::size_t depth = queue_.size();
     lock.unlock();
+    if (retry_after_ms) *retry_after_ms = backoff_ms(depth);
     obs::metrics().counter("service.queue_full").add(1);
     return false;
   }
   ++stats_.submitted;
-  queue_.push_back(Pending{std::move(job), {}, std::move(done), {}});
+  const auto deadline = deadline_of(job);
+  queue_.push_back(Pending{std::move(job), {}, std::move(done), {}, deadline});
   stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
   lock.unlock();
   not_empty_.notify_one();
   return true;
+}
+
+std::uint64_t CompileService::suggested_backoff_ms() const {
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_.size();
+  }
+  return backoff_ms(depth);
+}
+
+std::uint64_t CompileService::backoff_ms(std::size_t queue_depth) const {
+  const obs::HistogramStats c = compile_ns_.stats();
+  // Before any job has completed there is no latency sample; assume a few
+  // milliseconds so the very first rejection still carries a usable hint.
+  double mean_ms = c.count > 0 ? c.mean / 1e6 : 5.0;
+  if (mean_ms < 0.1) mean_ms = 0.1;
+  const std::size_t workers = worker_n_ ? worker_n_ : 1;
+  double est = static_cast<double>(queue_depth + 1) * mean_ms /
+               static_cast<double>(workers);
+  if (est < 1.0) est = 1.0;
+  if (est > 1000.0) est = 1000.0;
+  return static_cast<std::uint64_t>(est);
 }
 
 std::vector<JobResult> CompileService::compile_batch(
@@ -134,18 +183,36 @@ void CompileService::worker_loop() {
 
     double queue_ms = pending.enqueued.milliseconds();
     JobResult result;
-    try {
-      result = run_job(pending.job, registry_, &scratch);
-    } catch (const std::exception& e) {
-      // A throwing job must not unwind out of the worker (std::terminate);
-      // it fails that one job and the pool keeps serving.
+    // The failpoint runs before the deadline check: a sleep:MS spec injects
+    // queue-side latency that can legitimately expire the job.
+    const bool injected = util::failpoint("service.worker.job");
+    if (injected || expired(pending.deadline)) {
       result.tag = pending.job.tag;
-      result.error = std::string("job threw: ") + e.what();
-    } catch (...) {
-      result.tag = pending.job.tag;
-      result.error = "job threw an unknown exception";
+      if (injected) {
+        result.error = "failpoint: service.worker.job";
+      } else {
+        result.deadline_exceeded = true;
+        result.error = "deadline_exceeded: job expired before a worker ran it";
+      }
+      result.retry_after_ms = suggested_backoff_ms();
+    } else {
+      try {
+        result = run_job(pending.job, registry_, &scratch, pending.deadline);
+      } catch (const std::exception& e) {
+        // A throwing job must not unwind out of the worker (std::terminate);
+        // it fails that one job and the pool keeps serving.
+        result.tag = pending.job.tag;
+        result.error = std::string("job threw: ") + e.what();
+      } catch (...) {
+        result.tag = pending.job.tag;
+        result.error = "job threw an unknown exception";
+      }
+      if (result.deadline_exceeded)
+        result.retry_after_ms = suggested_backoff_ms();
     }
     result.times.queue_ms = queue_ms;
+    if (result.deadline_exceeded)
+      obs::metrics().counter("service.deadline_exceeded").add(1);
 
     // Latency accumulation is wait-free (histogram atomics), so only the
     // plain counters ride the queue mutex.
@@ -164,6 +231,7 @@ void CompileService::worker_loop() {
     lock.lock();
     ++stats_.completed;
     if (!result.ok) ++stats_.failed;
+    if (result.deadline_exceeded) ++stats_.deadline_exceeded;
     if (result.semantics_checked) {
       ++stats_.semantics_checked;
       if (!result.ok) ++stats_.semantics_failed;
@@ -201,7 +269,8 @@ ServiceStats CompileService::stats() const {
 
 JobResult CompileService::run_job(const CompileJob& job,
                                   TargetRegistry& registry,
-                                  select::SelectScratch* scratch) {
+                                  select::SelectScratch* scratch,
+                                  std::chrono::steady_clock::time_point deadline) {
   obs::Span span("service.job");
   if (!job.tag.empty()) span.note("tag", job.tag);
   if (!job.model.empty()) span.note("model", job.model);
@@ -209,6 +278,19 @@ JobResult CompileService::run_job(const CompileJob& job,
   result.tag = job.tag;
   util::DiagnosticSink diags;
   util::Timer timer;
+
+  // Cancellation token: checked between pipeline phases so an expired job
+  // stops at the next phase boundary instead of finishing a doomed compile.
+  auto past_deadline = [&](const char* phase) {
+    if (!expired(deadline)) return false;
+    result.ok = false;
+    result.deadline_exceeded = true;
+    result.error = std::string("deadline_exceeded: after ") + phase;
+    result.diagnostics = diags.str();
+    return true;
+  };
+
+  if (util::failpoint("service.job.alloc")) throw std::bad_alloc();
 
   const core::RetargetOptions& ropts =
       job.retarget ? *job.retarget : registry.options().retarget;
@@ -224,6 +306,7 @@ JobResult CompileService::run_job(const CompileJob& job,
   }
   result.processor = target->processor;
   result.target = target;
+  if (past_deadline("target resolution")) return result;
 
   std::shared_ptr<const ir::Program> program = job.program;
   if (!program && !job.kernel.empty()) {
@@ -237,6 +320,7 @@ JobResult CompileService::run_job(const CompileJob& job,
       return result;
     }
     program = std::make_shared<const ir::Program>(std::move(*parsed));
+    if (past_deadline("kernel parse")) return result;
   }
   if (!program) {
     // Retarget-only request: warming the registry / probing the model.
@@ -260,6 +344,7 @@ JobResult CompileService::run_job(const CompileJob& job,
   result.code_size = compiled->code_size();
   result.rts = compiled->selection.total_rts;
   if (job.want_listing) result.listing = compiled->listing();
+  if (past_deadline("compile")) return result;
 
   if (job.check_semantics) {
     sim::CheckOptions sopts;

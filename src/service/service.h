@@ -25,6 +25,7 @@
 // against collection.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -67,6 +68,11 @@ struct CompileJob {
   /// final machine state against the IR reference evaluator. Divergence
   /// (or a decoder rejection) fails the job.
   bool check_semantics = false;
+  /// Wall-clock budget in milliseconds from submission, queue wait included;
+  /// 0 = no deadline. An expired job returns a structured deadline_exceeded
+  /// failure (with a retry_after_ms backoff hint) instead of occupying a
+  /// worker: the check runs at dequeue and between pipeline phases.
+  std::uint64_t deadline_ms = 0;
 };
 
 struct JobTimes {
@@ -90,6 +96,13 @@ struct JobResult {
   /// was actually compared, and why not when it was skipped.
   bool semantics_checked = false;
   std::string semantics_skipped;
+  /// The job's deadline expired (in the queue or between pipeline phases);
+  /// `error` then starts with "deadline_exceeded".
+  bool deadline_exceeded = false;
+  /// Backoff hint (milliseconds) on deadline expiry and shutdown/overload
+  /// rejections; 0 = no hint. Clients that wait this long before retrying
+  /// arrive when the current backlog has plausibly drained.
+  std::uint64_t retry_after_ms = 0;
   JobTimes times;
   /// Keeps the target alive for consumers of `compiled` (whose selected RTs
   /// point into the target's template base) even after registry eviction.
@@ -110,6 +123,7 @@ struct ServiceStats {
   std::size_t peak_queue = 0;    // high-water mark of the request queue
   std::size_t semantics_checked = 0;   // jobs whose state comparison ran
   std::size_t semantics_failed = 0;    // ... and diverged / was rejected
+  std::size_t deadline_exceeded = 0;   // jobs whose deadline expired
   double total_queue_ms = 0;     // = sum of the queue-wait histogram
   double total_compile_ms = 0;   // = sum of the compile-time histogram
   double mean_queue_ms = 0;
@@ -157,8 +171,11 @@ class CompileService {
   /// Non-blocking submit_async: returns false — leaving `job` and `done`
   /// untouched — when the queue is at capacity, so an event loop can park
   /// the request and retry when a completion frees a slot. Backpressure
-  /// rejections are counted under "service.queue_full".
-  [[nodiscard]] bool try_submit_async(CompileJob& job, Callback& done);
+  /// rejections are counted under "service.queue_full"; when `retry_after_ms`
+  /// is non-null a rejection fills it with the backoff hint
+  /// (suggested_backoff_ms) the caller should forward to its client.
+  [[nodiscard]] bool try_submit_async(CompileJob& job, Callback& done,
+                                      std::uint64_t* retry_after_ms = nullptr);
 
   /// Submits all jobs and waits; results are in submission order.
   [[nodiscard]] std::vector<JobResult> compile_batch(
@@ -169,6 +186,12 @@ class CompileService {
   void shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Backoff hint for rejected/expired work: roughly how long the current
+  /// backlog needs to drain (queue depth x mean compile time / workers),
+  /// clamped to [1, 1000] ms. Deterministic given the queue state, so load
+  /// shedding under saturation is reproducible.
+  [[nodiscard]] std::uint64_t suggested_backoff_ms() const;
 
   /// Raw latency histograms backing the stats() summary (queue wait and
   /// compile time, nanoseconds) — recordd's stats command serves their full
@@ -191,16 +214,26 @@ class CompileService {
   /// throughput bench's 1-worker reference — share the exact code path.
   /// `times.queue_ms` is left zero. `scratch` (optional) is the caller's
   /// reusable selection scratch; pool workers pass their per-thread one.
+  /// `deadline` (default-constructed = none) is the job's cancellation
+  /// token: it is checked between pipeline phases and an expired job stops
+  /// with a structured deadline_exceeded failure.
   [[nodiscard]] static JobResult run_job(
       const CompileJob& job, TargetRegistry& registry,
-      select::SelectScratch* scratch = nullptr);
+      select::SelectScratch* scratch = nullptr,
+      std::chrono::steady_clock::time_point deadline = {});
 
  private:
+  /// suggested_backoff_ms with the queue depth already sampled; lock-free
+  /// (the histogram is atomic), so callers may hold mu_.
+  [[nodiscard]] std::uint64_t backoff_ms(std::size_t queue_depth) const;
+
   struct Pending {
     CompileJob job;
     std::promise<JobResult> promise;  // used when callback is empty
     Callback callback;                // async path: invoked on the worker
     util::Timer enqueued;
+    /// Absolute deadline from CompileJob::deadline_ms; epoch = none.
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   void worker_loop();
@@ -222,6 +255,10 @@ class CompileService {
   /// same recordings under "service.*" for daemon-level introspection.
   obs::Histogram queue_ns_;
   obs::Histogram compile_ns_;
+
+  /// Resolved worker count (Options::workers with 0 expanded); workers_
+  /// itself empties on shutdown, but the backoff math still needs it.
+  std::size_t worker_n_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -20,6 +20,8 @@ CompileJob job_from_request(const Json& request, bool default_listing) {
   job.options.compact.enabled = options["compact"].as_bool(true);
   job.options.insert_spills = options["spills"].as_bool(true);
   job.want_listing = options["listing"].as_bool(default_listing);
+  const std::int64_t deadline_ms = options["deadline_ms"].as_int(0);
+  if (deadline_ms > 0) job.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
   return job;
 }
 
@@ -29,6 +31,9 @@ Json response_from_result(const JobResult& result) {
   out.set("ok", Json(result.ok));
   if (!result.ok) {
     out.set("error", Json(result.error));
+    if (result.deadline_exceeded) out.set("deadline_exceeded", Json(true));
+    if (result.retry_after_ms > 0)
+      out.set("retry_after_ms", Json(double(result.retry_after_ms)));
     return out;
   }
   out.set("processor", Json(result.processor));

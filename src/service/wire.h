@@ -23,7 +23,7 @@ namespace record::service {
 
 /// Encodes one JobResult as the response object: {"tag", "ok", "processor",
 /// "code_size", "rts", "times", "listing"?} on success, {"tag", "ok":false,
-/// "error"} on failure.
+/// "error", "deadline_exceeded"?, "retry_after_ms"?} on failure.
 [[nodiscard]] Json response_from_result(const JobResult& result);
 
 /// The rendered {"ok":false,"error":"line N: bad request: ..."} line for an

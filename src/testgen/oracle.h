@@ -72,6 +72,16 @@ struct OracleOptions {
   bool semantics = true;
   /// Taken-branch budget shared by both semantic executors (sim/eval.h).
   int sim_branches = 4;
+  /// Chaos mode: failpoints (util/failpoint.h) may be armed while this pair
+  /// runs, so paths 3+4 tolerate *structured* faults — a deadline_exceeded
+  /// or injected-failpoint job failure, a warm-cache miss from a poisoned
+  /// store — tallying each in OracleReport::faults_tolerated. Everything
+  /// else keeps its meaning: output that compiles must stay bit-identical
+  /// to the reference, so an injected fault may only produce a clean error
+  /// or a correct result, never silent divergence.
+  bool chaos = false;
+  /// Deadline (ms) stamped on every service-path job; 0 = none.
+  std::uint64_t service_deadline_ms = 0;
 };
 
 /// What kind of divergence a failing pair exhibits. The minimizer keeps the
@@ -99,6 +109,9 @@ struct OracleReport {
   std::size_t templates = 0;  // target's extended-base size
   bool semantics_checked = false;  // path 5 actually compared state
   std::string semantics_skipped;   // why path 5 was skipped (when it was)
+  /// Chaos mode only: structured faults (clean errors from injected
+  /// failpoints/deadlines) the oracle tolerated instead of failing on.
+  std::uint64_t faults_tolerated = 0;
 };
 
 /// <system temp>/record-testgen-cache-<pid>

@@ -1,0 +1,191 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace record::util {
+
+namespace detail {
+std::atomic<int> failpoints_armed{0};
+}  // namespace detail
+
+namespace {
+
+enum class SpecKind : std::uint8_t { kOnce, kEveryN, kSleep };
+
+struct Entry {
+  SpecKind kind = SpecKind::kOnce;
+  std::uint64_t n = 0;  // every:N period, or sleep milliseconds
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  bool spent = false;  // once: already fired
+  std::string spec;
+};
+
+// Function-local statics so arming works from any initialisation context.
+std::mutex& table_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Entry, std::less<>>& table() {
+  static std::map<std::string, Entry, std::less<>> t;
+  return t;
+}
+
+std::atomic<std::uint64_t> total_fires{0};
+
+bool parse_spec(std::string_view spec, Entry& out, std::string* error) {
+  auto fail = [&](const char* msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  auto suffix_u64 = [&](std::string_view s, std::uint64_t& v) {
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string_view::npos)
+      return false;
+    v = 0;
+    for (char c : s) {
+      if (v > (UINT64_MAX - 9) / 10) return false;
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+  };
+  if (spec == "once") {
+    out.kind = SpecKind::kOnce;
+    return true;
+  }
+  if (spec.rfind("every:", 0) == 0) {
+    out.kind = SpecKind::kEveryN;
+    if (!suffix_u64(spec.substr(6), out.n) || out.n == 0)
+      return fail("every:N needs a positive decimal N");
+    return true;
+  }
+  if (spec.rfind("sleep:", 0) == 0) {
+    out.kind = SpecKind::kSleep;
+    if (!suffix_u64(spec.substr(6), out.n) || out.n > 10000)
+      return fail("sleep:MS needs a decimal MS <= 10000");
+    return true;
+  }
+  return fail("spec must be once | every:N | sleep:MS | off");
+}
+
+}  // namespace
+
+bool detail::failpoint_hit(std::string_view name) {
+  bool fire = false;
+  std::uint64_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(table_mu());
+    auto it = table().find(name);
+    if (it == table().end()) return false;
+    Entry& e = it->second;
+    ++e.hits;
+    switch (e.kind) {
+      case SpecKind::kOnce:
+        if (!e.spent) {
+          e.spent = true;
+          fire = true;
+        }
+        break;
+      case SpecKind::kEveryN:
+        fire = (e.hits % e.n) == 0;
+        break;
+      case SpecKind::kSleep:
+        sleep_ms = e.n;
+        break;
+    }
+    if (fire || sleep_ms) {
+      ++e.fires;
+      total_fires.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (fire || sleep_ms)
+    obs::metrics().counter("failpoint.fired." + std::string(name)).add(1);
+  if (sleep_ms)
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  return fire;
+}
+
+bool failpoint_arm(std::string_view name, std::string_view spec,
+                   std::string* error) {
+  if (name.empty()) {
+    if (error) *error = "failpoint name is empty";
+    return false;
+  }
+  if (spec == "off") {
+    failpoint_disarm(name);
+    return true;
+  }
+  Entry e;
+  if (!parse_spec(spec, e, error)) return false;
+  e.spec = std::string(spec);
+  std::lock_guard<std::mutex> lock(table_mu());
+  auto [it, inserted] = table().insert_or_assign(std::string(name), std::move(e));
+  (void)it;
+  if (inserted)
+    detail::failpoints_armed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool failpoint_disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(table_mu());
+  auto it = table().find(name);
+  if (it == table().end()) return false;
+  table().erase(it);
+  detail::failpoints_armed.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void failpoint_disarm_all() {
+  std::lock_guard<std::mutex> lock(table_mu());
+  if (table().empty()) return;
+  detail::failpoints_armed.fetch_sub(static_cast<int>(table().size()),
+                                     std::memory_order_relaxed);
+  table().clear();
+}
+
+std::vector<FailpointInfo> failpoint_list() {
+  std::vector<FailpointInfo> out;
+  std::lock_guard<std::mutex> lock(table_mu());
+  out.reserve(table().size());
+  for (const auto& [name, e] : table())
+    out.push_back(FailpointInfo{name, e.spec, e.hits, e.fires});
+  return out;
+}
+
+std::uint64_t failpoint_fire_total() {
+  return total_fires.load(std::memory_order_relaxed);
+}
+
+int failpoints_init_from_env(const char* var) {
+  const char* raw = std::getenv(var);
+  if (!raw || !*raw) return 0;
+  int armed = 0;
+  std::string_view rest(raw);
+  while (!rest.empty()) {
+    std::size_t sep = rest.find_first_of(";,");
+    std::string_view item = rest.substr(0, sep);
+    rest = sep == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(sep + 1);
+    if (item.empty()) continue;
+    std::size_t eq = item.find('=');
+    std::string error;
+    if (eq == std::string_view::npos ||
+        !failpoint_arm(item.substr(0, eq), item.substr(eq + 1), &error)) {
+      std::fprintf(stderr, "failpoint: ignoring '%.*s' from %s%s%s\n",
+                   static_cast<int>(item.size()), item.data(), var,
+                   error.empty() ? "" : ": ", error.c_str());
+      continue;
+    }
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace record::util

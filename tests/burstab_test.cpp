@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "select/selector.h"
 #include "treeparse/burs.h"
+#include "util/failpoint.h"
 
 namespace record::burstab {
 namespace {
@@ -803,6 +804,211 @@ TEST(BurstabCache, CorruptBlobFallsBackToCleanRebuild) {
   auto warm = core::Record::retarget_model("manocpu", options, diags);
   ASSERT_TRUE(warm);
   EXPECT_TRUE(warm->cache_hit);
+
+  std::filesystem::remove_all(dir);
+}
+
+// Shared by the degradation-tier tests: a tiny program whose listing must
+// stay bit-identical across every fallback path.
+ir::Program degradation_probe() {
+  ir::ProgramBuilder b("degrade");
+  b.reg("acc", "AC");
+  b.cell("m0", "mem", 0);
+  b.cell("m1", "mem", 1);
+  b.let("acc", ir::e_add(ir::e_var("m0"), ir::e_var("m1")));
+  return b.take();
+}
+
+std::string listing_of(const core::RetargetResult& t, const ir::Program& p,
+                       const TargetTables* tables) {
+  util::DiagnosticSink d;
+  select::CodeSelector sel(*t.base, t.tree_grammar, d, tables);
+  auto res = sel.select(p);
+  EXPECT_TRUE(res) << d.str();
+  return res ? res->listing() : std::string();
+}
+
+TEST(BurstabCache, MmapTierFailureFallsBackToBufferedRead) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-mmapfail")
+          .string();
+  std::filesystem::remove_all(dir);
+  util::failpoint_disarm_all();
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+
+  // Tier 1 (mmap) fails once; tier 2 buffers the whole file and the entry
+  // still serves as a warm hit, bit-identical to the cold result.
+  const std::uint64_t buffered_before =
+      obs::metrics().counter("burstab.cache.fallback.buffered_read").value();
+  ASSERT_TRUE(util::failpoint_arm("burstab.cache.mmap", "once"));
+  auto warm = core::Record::retarget_model("manocpu", options, diags);
+  util::failpoint_disarm_all();
+  ASSERT_TRUE(warm) << diags.str();
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(
+      obs::metrics().counter("burstab.cache.fallback.buffered_read").value(),
+      buffered_before + 1);
+  ASSERT_TRUE(warm->tables);
+  const ir::Program prog = degradation_probe();
+  EXPECT_EQ(listing_of(*warm, prog, warm->tables.get()),
+            listing_of(*cold, prog, cold->tables.get()));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, LostTablesSectionRebuildsTablesBitIdentically) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-losttab")
+          .string();
+  std::filesystem::remove_all(dir);
+  util::failpoint_disarm_all();
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  const ir::Program prog = degradation_probe();
+  const std::string reference = listing_of(*cold, prog, cold->tables.get());
+
+  // Tier: the tables section fails to adopt, but base + grammar survived the
+  // checksum, so the hit is salvaged and tables are rebuilt from the grammar.
+  const std::uint64_t lost_before =
+      obs::metrics().counter("burstab.cache.tables_lost").value();
+  const std::uint64_t rebuilt_before =
+      obs::metrics().counter("burstab.fallback.tables_rebuilt").value();
+  ASSERT_TRUE(util::failpoint_arm("burstab.pool.adopt", "once"));
+  auto rebuilt = core::Record::retarget_model("manocpu", options, diags);
+  util::failpoint_disarm_all();
+  ASSERT_TRUE(rebuilt) << diags.str();
+  EXPECT_TRUE(rebuilt->cache_hit);
+  ASSERT_TRUE(rebuilt->tables);  // rebuilt from the cached grammar
+  EXPECT_EQ(obs::metrics().counter("burstab.cache.tables_lost").value(),
+            lost_before + 1);
+  EXPECT_EQ(obs::metrics().counter("burstab.fallback.tables_rebuilt").value(),
+            rebuilt_before + 1);
+  EXPECT_EQ(listing_of(*rebuilt, prog, rebuilt->tables.get()), reference);
+
+  // Final tier: the rebuild is suppressed too; the hit still serves with
+  // null tables and selection falls back to the interpreter engine.
+  const std::uint64_t interp_before =
+      obs::metrics().counter("burstab.fallback.interpreter").value();
+  ASSERT_TRUE(util::failpoint_arm("burstab.pool.adopt", "once"));
+  ASSERT_TRUE(util::failpoint_arm("burstab.tables.rebuild", "once"));
+  auto interp = core::Record::retarget_model("manocpu", options, diags);
+  util::failpoint_disarm_all();
+  ASSERT_TRUE(interp) << diags.str();
+  EXPECT_TRUE(interp->cache_hit);
+  EXPECT_FALSE(interp->tables);
+  EXPECT_EQ(obs::metrics().counter("burstab.fallback.interpreter").value(),
+            interp_before + 1);
+  EXPECT_EQ(listing_of(*interp, prog, nullptr), reference);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, TransientOpenErrorsRetryWithBackoff) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-eintr")
+          .string();
+  std::filesystem::remove_all(dir);
+  util::failpoint_disarm_all();
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  std::uint64_t key = TargetCache::key_of(
+      models::model_source("manocpu"), core::options_digest(options));
+
+  // One transient open failure: the retry loop absorbs it and the load
+  // still succeeds.
+  const std::uint64_t retry_before =
+      obs::metrics().counter("burstab.cache.transient_retry").value();
+  ASSERT_TRUE(util::failpoint_arm("burstab.cache.open", "once"));
+  EXPECT_TRUE(TargetCache(dir).load(key).has_value());
+  util::failpoint_disarm_all();
+  EXPECT_GE(obs::metrics().counter("burstab.cache.transient_retry").value(),
+            retry_before + 1);
+
+  // A persistently failing open exhausts the retries: the load reads as a
+  // miss and the pipeline rebuilds cleanly.
+  ASSERT_TRUE(util::failpoint_arm("burstab.cache.open", "every:1"));
+  EXPECT_FALSE(TargetCache(dir).load(key).has_value());
+  util::DiagnosticSink d2;
+  auto rebuilt = core::Record::retarget_model("manocpu", options, d2);
+  util::failpoint_disarm_all();
+  ASSERT_TRUE(rebuilt) << d2.str();
+  EXPECT_FALSE(rebuilt->cache_hit);
+  EXPECT_EQ(grammar_fingerprint(rebuilt->tree_grammar),
+            grammar_fingerprint(cold->tree_grammar));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BurstabCache, CorruptedPoolBlobCompilesBitIdenticallyViaFallback) {
+  // The frozen-pool blob is damaged mid-file — a truncation landing inside
+  // the tables section, then a bit flip deep in the pool bytes — and the
+  // target must still compile bit-identically to the pristine run, with the
+  // rejection observable on the cache counters.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "record-cache-poolcorrupt")
+          .string();
+  std::filesystem::remove_all(dir);
+  util::failpoint_disarm_all();
+
+  util::DiagnosticSink diags;
+  core::RetargetOptions options;
+  options.use_target_cache = true;
+  options.cache_dir = dir;
+  auto cold = core::Record::retarget_model("manocpu", options, diags);
+  ASSERT_TRUE(cold) << diags.str();
+  const ir::Program prog = degradation_probe();
+  const std::string reference = listing_of(*cold, prog, cold->tables.get());
+
+  std::uint64_t key = TargetCache::key_of(
+      models::model_source("manocpu"), core::options_digest(options));
+  std::string path = TargetCache(dir).entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string blob = std::move(buf).str();
+  in.close();
+  auto write_blob = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  for (int variant = 0; variant < 2; ++variant) {
+    if (variant == 0) {
+      write_blob(blob.substr(0, blob.size() * 7 / 10));  // truncate at ~70%
+    } else {
+      std::string flipped = blob;
+      flipped[blob.size() * 8 / 10] ^= 0x08;  // single bit flip at ~80%
+      write_blob(flipped);
+    }
+    const std::uint64_t rejected_before =
+        obs::metrics().counter("burstab.cache.rejected").value();
+    util::DiagnosticSink d;
+    auto recovered = core::Record::retarget_model("manocpu", options, d);
+    ASSERT_TRUE(recovered) << d.str();
+    EXPECT_FALSE(recovered->cache_hit);
+    EXPECT_EQ(obs::metrics().counter("burstab.cache.rejected").value(),
+              rejected_before + 1);
+    ASSERT_TRUE(recovered->tables);
+    EXPECT_EQ(listing_of(*recovered, prog, recovered->tables.get()),
+              reference);
+  }
 
   std::filesystem::remove_all(dir);
 }

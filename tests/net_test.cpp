@@ -16,9 +16,12 @@
 
 #include "net/server.h"
 #include "net/shard.h"
+#include "net/timerwheel.h"
+#include "obs/metrics.h"
 #include "service/json.h"
 #include "service/service.h"
 #include "service/wire.h"
+#include "util/failpoint.h"
 
 using namespace record;
 using service::Json;
@@ -389,5 +392,221 @@ TEST(LineServer, ShardingRejectsForeignTargetsAndReportsOwnership) {
   EXPECT_EQ((*info)["owner"].as_int(-1),
             static_cast<std::int64_t>(demo_owner));
   EXPECT_FALSE((*info)["owned"].as_bool(true));
+  server.stop();
+}
+
+TEST(TimerWheel, ArmsCancelsRearmsAndExpires) {
+  net::TimerWheel wheel(64);
+  EXPECT_EQ(wheel.next_timeout_ms(0), -1);  // nothing armed
+
+  wheel.arm(1, 100);
+  wheel.arm(2, 200);
+  wheel.arm(3, 5'000'000);  // far future: wait is clamped to one minute
+  EXPECT_EQ(wheel.next_timeout_ms(0), 100);
+  EXPECT_EQ(wheel.next_timeout_ms(50), 50);
+  EXPECT_EQ(wheel.next_timeout_ms(150), 0);  // timer 1 is already due
+
+  std::vector<std::uint64_t> fired;
+  wheel.expire(99, fired);
+  EXPECT_TRUE(fired.empty());  // nothing due yet
+
+  wheel.cancel(1);
+  wheel.arm(2, 400);  // re-arm: only the new deadline counts
+  wheel.expire(300, fired);
+  EXPECT_TRUE(fired.empty());  // 1 cancelled, 2 moved to 400
+  wheel.expire(450, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2u);
+  EXPECT_EQ(wheel.armed(), 1u);  // only the far-future timer remains
+
+  // A deadline armed in the past lands in the next unscanned tick (its own
+  // was already swept), so it fires up to one tick late — at 512 here, one
+  // tick past the 450 sweep — but never silently skips.
+  fired.clear();
+  wheel.arm(4, 10);
+  wheel.expire(520, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 4u);
+
+  // A gap far longer than one wheel revolution must not skip timers.
+  fired.clear();
+  wheel.arm(5, 600);
+  wheel.expire(600 + 64 * 256 * 3, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 5u);
+
+  EXPECT_EQ(wheel.next_timeout_ms(5'000'000), 0);
+  fired.clear();
+  wheel.expire(5'000'000, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(LineServer, IdleConnectionsAreClosedAndCounted) {
+  service::CompileService::Options opts;
+  opts.workers = 1;
+  service::CompileService svc(opts);
+  net::LineServer::Options sopts;
+  sopts.idle_timeout_ms = 150;
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::uint64_t closed_before =
+      obs::metrics().counter("net.conn.idle_closed").value();
+  Client client = Client::connect_tcp(server.port());
+  // Activity resets the idle clock: a served request does not count as idle.
+  client.send_line(compile_request("warm", "demo"));
+  std::optional<Json> reply = Json::parse(client.read_line());
+  ASSERT_TRUE(reply);
+  EXPECT_TRUE((*reply)["ok"].as_bool(false));
+  // Then the connection goes quiet; the server must close it (EOF on read).
+  EXPECT_EQ(client.read_line(), "");
+  EXPECT_EQ(obs::metrics().counter("net.conn.idle_closed").value(),
+            closed_before + 1);
+
+  // The listener itself keeps serving fresh connections.
+  Client fresh = Client::connect_tcp(server.port());
+  fresh.send_line(compile_request("fresh", "demo"));
+  std::optional<Json> ok = Json::parse(fresh.read_line());
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE((*ok)["ok"].as_bool(false));
+  server.stop();
+}
+
+TEST(LineServer, SaturationShedsOldestParkedWithBackoffHint) {
+  // One connection can hold at most one parked request (parse_lines stops
+  // at a parked head to preserve order), so saturation shedding is a
+  // cross-connection affair: a later client's park evicts the globally
+  // oldest parked request of an earlier one.
+  util::failpoint_disarm_all();
+  service::CompileService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  service::CompileService svc(opts);
+  // Slow every job so the queue fills and requests park on the connections.
+  ASSERT_TRUE(util::failpoint_arm("service.worker.job", "sleep:60"));
+
+  net::LineServer::Options sopts;
+  sopts.max_parked = 1;  // server saturates after one parked request
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::uint64_t shed_before =
+      obs::metrics().counter("net.shed").value();
+  // First client: r0 runs (worker sleeps 60ms), r1 queues, r2 parks.
+  Client first = Client::connect_tcp(server.port());
+  for (int r = 0; r < 3; ++r)
+    first.send_line(compile_request("a" + std::to_string(r), "demo"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Second client: its park hits the max_parked=1 budget and sheds a2.
+  Client second = Client::connect_tcp(server.port());
+  for (int r = 0; r < 2; ++r)
+    second.send_line(compile_request("b" + std::to_string(r), "demo"));
+
+  int ok = 0, overloaded = 0;
+  auto drain = [&](Client& client, const char* prefix, int n) {
+    for (int r = 0; r < n; ++r) {
+      std::optional<Json> reply = Json::parse(client.read_line());
+      ASSERT_TRUE(reply) << prefix << r;
+      // Pipelining order survives shedding: responses match request order.
+      EXPECT_EQ((*reply)["tag"].as_string(), prefix + std::to_string(r));
+      if ((*reply)["ok"].as_bool(false)) {
+        ++ok;
+      } else {
+        ++overloaded;
+        EXPECT_NE((*reply)["error"].as_string().find("overloaded"),
+                  std::string::npos)
+            << (*reply)["error"].as_string();
+        EXPECT_GE((*reply)["retry_after_ms"].as_int(0), 1);
+      }
+    }
+  };
+  drain(first, "a", 3);
+  drain(second, "b", 2);
+  util::failpoint_disarm_all();
+  EXPECT_EQ(ok + overloaded, 5);
+  EXPECT_GT(ok, 0);          // the server still does real work
+  EXPECT_GT(overloaded, 0);  // and it genuinely shed under saturation
+  EXPECT_GE(obs::metrics().counter("net.shed").value(),
+            shed_before + static_cast<std::uint64_t>(overloaded));
+  server.stop();
+}
+
+TEST(LineServer, ParkedRequestsShedAfterRequestTimeout) {
+  util::failpoint_disarm_all();
+  service::CompileService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  service::CompileService svc(opts);
+  ASSERT_TRUE(util::failpoint_arm("service.worker.job", "sleep:50"));
+
+  net::LineServer::Options sopts;
+  sopts.request_timeout_ms = 30;  // parked longer than this = shed
+  net::LineServer server(svc, sopts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr int kRequests = 5;
+  Client client = Client::connect_tcp(server.port());
+  for (int r = 0; r < kRequests; ++r)
+    client.send_line(compile_request("t" + std::to_string(r), "demo"));
+
+  int ok = 0, timed_out = 0;
+  for (int r = 0; r < kRequests; ++r) {
+    std::optional<Json> reply = Json::parse(client.read_line());
+    ASSERT_TRUE(reply) << "response " << r;
+    EXPECT_EQ((*reply)["tag"].as_string(), "t" + std::to_string(r));
+    if ((*reply)["ok"].as_bool(false)) {
+      ++ok;
+    } else {
+      ++timed_out;
+      EXPECT_NE((*reply)["error"].as_string().find("timed out"),
+                std::string::npos)
+          << (*reply)["error"].as_string();
+      EXPECT_GE((*reply)["retry_after_ms"].as_int(0), 1);
+    }
+  }
+  util::failpoint_disarm_all();
+  EXPECT_EQ(ok + timed_out, kRequests);
+  EXPECT_GT(timed_out, 0);
+  server.stop();
+}
+
+TEST(LineServer, DeadlineRidesTheWireEndToEnd) {
+  util::failpoint_disarm_all();
+  service::CompileService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  service::CompileService svc(opts);
+  // The head job stalls the lone worker long enough for the 1ms-deadline
+  // job queued behind it to expire before a worker picks it up.
+  ASSERT_TRUE(util::failpoint_arm("service.worker.job", "sleep:30"));
+
+  net::LineServer server(svc, net::LineServer::Options{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client = Client::connect_tcp(server.port());
+  client.send_line(compile_request("head", "demo"));
+  client.send_line(
+      "{\"model\": \"demo\", \"tag\": \"doomed\", \"source\": \"" +
+      std::string(kKernel) + "\", \"options\": {\"deadline_ms\": 1}}");
+
+  std::optional<Json> head = Json::parse(client.read_line());
+  ASSERT_TRUE(head);
+  EXPECT_TRUE((*head)["ok"].as_bool(false));
+
+  std::optional<Json> doomed = Json::parse(client.read_line());
+  util::failpoint_disarm_all();
+  ASSERT_TRUE(doomed);
+  EXPECT_EQ((*doomed)["tag"].as_string(), "doomed");
+  EXPECT_FALSE((*doomed)["ok"].as_bool(true));
+  EXPECT_TRUE((*doomed)["deadline_exceeded"].as_bool());
+  EXPECT_GE((*doomed)["retry_after_ms"].as_int(0), 1);
+  EXPECT_NE((*doomed)["error"].as_string().find("deadline_exceeded"),
+            std::string::npos);
   server.stop();
 }

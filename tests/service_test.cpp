@@ -5,6 +5,7 @@
 // retargets here run with the persistent cache off, so every test is
 // hermetic with respect to on-disk state.
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,6 +22,8 @@
 #include "service/json.h"
 #include "service/registry.h"
 #include "service/service.h"
+#include "service/wire.h"
+#include "util/failpoint.h"
 
 using namespace record;
 using service::CompileJob;
@@ -240,6 +243,159 @@ TEST(CompileService, SubmitAfterShutdownIsRejected) {
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.tag, "late");
   EXPECT_NE(r.error.find("shut down"), std::string::npos);
+}
+
+TEST(CompileService, QueueFullRejectionCarriesBackoffHint) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+  // Slow every worker job down so the queue actually fills: the sleep spec
+  // injects latency and then PASSES, so all jobs still succeed.
+  ASSERT_TRUE(util::failpoint_arm("service.worker.job", "sleep:20"));
+
+  constexpr int kJobs = 8;
+  std::atomic<int> done_ok{0}, done_total{0};
+  std::size_t rejected = 0;
+  std::uint64_t max_hint = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const models::ChainShape& s = kChainShapes[0];
+    CompileJob job;
+    job.tag = "j" + std::to_string(i);
+    job.model = s.model;
+    job.program = std::make_shared<const ir::Program>(chain_program(s, 3));
+    CompileService::Callback done = [&](JobResult r) {
+      if (r.ok) ++done_ok;
+      ++done_total;
+    };
+    // A well-behaved client: honor the server's retry_after_ms on every
+    // rejection. Every job must eventually land — zero losses.
+    std::uint64_t hint = 0;
+    while (!svc.try_submit_async(job, done, &hint)) {
+      ++rejected;
+      EXPECT_GE(hint, 1u);
+      max_hint = std::max(max_hint, hint);
+      std::this_thread::sleep_for(std::chrono::milliseconds(hint));
+    }
+  }
+  svc.shutdown();
+  util::failpoint_disarm_all();
+  EXPECT_EQ(done_total.load(), kJobs);
+  EXPECT_EQ(done_ok.load(), kJobs);
+  EXPECT_GT(rejected, 0u);  // one worker + 20ms/job must overrun a queue of 1
+  EXPECT_GE(max_hint, 1u);
+  EXPECT_LE(max_hint, 1000u);  // hint stays within the documented clamp
+}
+
+TEST(CompileService, DeadlineExpiredInQueueReturnsStructuredError) {
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+  // 30ms of injected latency per job: the head job stalls the single worker
+  // long enough for the 1ms-deadline job behind it to expire in the queue.
+  ASSERT_TRUE(util::failpoint_arm("service.worker.job", "sleep:30"));
+
+  const models::ChainShape& s = kChainShapes[0];
+  CompileJob head;
+  head.model = s.model;
+  head.program = std::make_shared<const ir::Program>(chain_program(s, 3));
+  std::future<JobResult> head_f = svc.submit(std::move(head));
+
+  CompileJob doomed;
+  doomed.tag = "doomed";
+  doomed.model = s.model;
+  doomed.program = std::make_shared<const ir::Program>(chain_program(s, 3));
+  doomed.deadline_ms = 1;
+  JobResult r = svc.submit(std::move(doomed)).get();
+
+  EXPECT_TRUE(head_f.get().ok);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.deadline_exceeded);
+  EXPECT_EQ(r.tag, "doomed");
+  EXPECT_NE(r.error.find("deadline_exceeded"), std::string::npos) << r.error;
+  EXPECT_GE(r.retry_after_ms, 1u);
+  EXPECT_GE(svc.stats().deadline_exceeded, 1u);
+  util::failpoint_disarm_all();
+}
+
+TEST(Wire, DeadlineAndRetryAfterRideTheWire) {
+  // Request side: options.deadline_ms lands on the job.
+  auto req = Json::parse(
+      R"({"model": "demo", "options": {"deadline_ms": 250}})");
+  ASSERT_TRUE(req);
+  CompileJob job = service::job_from_request(*req, false);
+  EXPECT_EQ(job.deadline_ms, 250u);
+  auto plain = Json::parse(R"({"model": "demo"})");
+  ASSERT_TRUE(plain);
+  EXPECT_EQ(service::job_from_request(*plain, false).deadline_ms, 0u);
+
+  // Response side: the structured-fault fields serialize on failures.
+  JobResult r;
+  r.ok = false;
+  r.tag = "t1";
+  r.deadline_exceeded = true;
+  r.retry_after_ms = 7;
+  r.error = "deadline_exceeded: job expired before a worker ran it";
+  auto wire = Json::parse(service::response_from_result(r).dump());
+  ASSERT_TRUE(wire);
+  EXPECT_FALSE((*wire)["ok"].as_bool(true));
+  EXPECT_TRUE((*wire)["deadline_exceeded"].as_bool());
+  EXPECT_EQ((*wire)["retry_after_ms"].as_int(), 7);
+
+  // Success responses stay free of the fault fields.
+  JobResult good;
+  good.ok = true;
+  auto gw = Json::parse(service::response_from_result(good).dump());
+  ASSERT_TRUE(gw);
+  EXPECT_FALSE((*gw).contains("deadline_exceeded"));
+  EXPECT_FALSE((*gw).contains("retry_after_ms"));
+}
+
+TEST(Introspection, FailpointCommandArmsListsAndDisarms) {
+  util::failpoint_disarm_all();
+  CompileService::Options opts;
+  opts.workers = 1;
+  opts.registry.retarget = no_disk_cache();
+  CompileService svc(opts);
+
+  auto arm = Json::parse(
+      R"({"cmd": "failpoint", "name": "svc_test.fp", "spec": "every:2"})");
+  ASSERT_TRUE(arm);
+  std::optional<Json> resp = service::handle_introspection(*arm, svc);
+  ASSERT_TRUE(resp);
+  EXPECT_TRUE((*resp)["ok"].as_bool());
+  ASSERT_EQ((*resp)["failpoints"].size(), 1u);
+  EXPECT_EQ((*resp)["failpoints"].at(0)["name"].as_string(), "svc_test.fp");
+  EXPECT_EQ((*resp)["failpoints"].at(0)["spec"].as_string(), "every:2");
+
+  // Nameless request = pure listing; hit counts are live.
+  EXPECT_FALSE(util::failpoint("svc_test.fp"));  // hit 1 of every:2
+  auto list = Json::parse(R"({"cmd": "failpoint"})");
+  ASSERT_TRUE(list);
+  resp = service::handle_introspection(*list, svc);
+  ASSERT_TRUE(resp);
+  EXPECT_EQ((*resp)["failpoints"].at(0)["hits"].as_int(), 1);
+
+  // Malformed specs are refused without arming anything.
+  auto bad = Json::parse(
+      R"({"cmd": "failpoint", "name": "svc_test.bad", "spec": "every:0"})");
+  ASSERT_TRUE(bad);
+  resp = service::handle_introspection(*bad, svc);
+  ASSERT_TRUE(resp);
+  EXPECT_FALSE((*resp)["ok"].as_bool(true));
+  EXPECT_NE((*resp)["error"].as_string().find("svc_test.bad"),
+            std::string::npos);
+
+  // Omitting "spec" means "off": the site disarms.
+  auto off = Json::parse(R"({"cmd": "failpoint", "name": "svc_test.fp"})");
+  ASSERT_TRUE(off);
+  resp = service::handle_introspection(*off, svc);
+  ASSERT_TRUE(resp);
+  EXPECT_TRUE((*resp)["ok"].as_bool());
+  EXPECT_EQ((*resp)["failpoints"].size(), 0u);
 }
 
 TEST(CompileService, BoundedQueueBlocksAndDrains) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/diagnostics.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -145,6 +148,87 @@ TEST(PhaseTimes, RecordsAndTotals) {
   EXPECT_DOUBLE_EQ(pt.total(), 2.0);
   EXPECT_DOUBLE_EQ(pt.get("ise"), 1.5);
   EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+}
+
+TEST(Failpoint, DisarmedSitesNeverFire) {
+  failpoint_disarm_all();
+  EXPECT_FALSE(failpoint("util_test.nowhere"));
+  EXPECT_TRUE(failpoint_list().empty());
+}
+
+TEST(Failpoint, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(failpoint_arm("util_test.bad", "every:0", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(failpoint_arm("util_test.bad", "sleep:999999", &error));
+  EXPECT_FALSE(failpoint_arm("util_test.bad", "bogus", &error));
+  EXPECT_FALSE(failpoint_arm("util_test.bad", "every:x", &error));
+  EXPECT_TRUE(failpoint_list().empty());  // nothing was armed by the rejects
+}
+
+TEST(Failpoint, OnceFiresExactlyOnce) {
+  failpoint_disarm_all();
+  ASSERT_TRUE(failpoint_arm("util_test.once", "once"));
+  EXPECT_TRUE(failpoint("util_test.once"));
+  EXPECT_FALSE(failpoint("util_test.once"));
+  EXPECT_FALSE(failpoint("util_test.once"));
+  std::vector<FailpointInfo> list = failpoint_list();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].name, "util_test.once");
+  EXPECT_EQ(list[0].hits, 3u);
+  EXPECT_EQ(list[0].fires, 1u);
+  failpoint_disarm_all();
+}
+
+TEST(Failpoint, EveryNFiresOnEachNthHit) {
+  failpoint_disarm_all();
+  ASSERT_TRUE(failpoint_arm("util_test.every", "every:3"));
+  int fired = 0;
+  for (int i = 0; i < 9; ++i)
+    if (failpoint("util_test.every")) ++fired;
+  EXPECT_EQ(fired, 3);  // hits 3, 6, 9
+  // Re-arming resets the counts.
+  ASSERT_TRUE(failpoint_arm("util_test.every", "every:1"));
+  EXPECT_TRUE(failpoint("util_test.every"));
+  failpoint_disarm_all();
+}
+
+TEST(Failpoint, SleepPassesButCountsAsFire) {
+  failpoint_disarm_all();
+  ASSERT_TRUE(failpoint_arm("util_test.sleep", "sleep:1"));
+  const std::uint64_t before = failpoint_fire_total();
+  EXPECT_FALSE(failpoint("util_test.sleep"));  // sleeps, then passes
+  EXPECT_EQ(failpoint_fire_total(), before + 1);
+  failpoint_disarm_all();
+}
+
+TEST(Failpoint, DisarmAndOffRemoveSites) {
+  failpoint_disarm_all();
+  ASSERT_TRUE(failpoint_arm("util_test.a", "once"));
+  ASSERT_TRUE(failpoint_arm("util_test.b", "every:2"));
+  EXPECT_EQ(failpoint_list().size(), 2u);
+  EXPECT_TRUE(failpoint_disarm("util_test.a"));
+  EXPECT_FALSE(failpoint_disarm("util_test.a"));  // already gone
+  ASSERT_TRUE(failpoint_arm("util_test.b", "off"));  // "off" disarms too
+  EXPECT_TRUE(failpoint_list().empty());
+  EXPECT_FALSE(failpoint("util_test.a"));
+}
+
+TEST(Failpoint, InitFromEnvParsesList) {
+  failpoint_disarm_all();
+  ::setenv("UTIL_TEST_FAILPOINTS", "util_test.x=once;util_test.y=every:2", 1);
+  EXPECT_EQ(failpoints_init_from_env("UTIL_TEST_FAILPOINTS"), 2);
+  std::vector<FailpointInfo> list = failpoint_list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].name, "util_test.x");
+  EXPECT_EQ(list[0].spec, "once");
+  EXPECT_EQ(list[1].name, "util_test.y");
+  EXPECT_EQ(list[1].spec, "every:2");
+  // Malformed entries are skipped, valid ones still arm.
+  ::setenv("UTIL_TEST_FAILPOINTS", "bad spec=nope,util_test.z=sleep:1", 1);
+  EXPECT_EQ(failpoints_init_from_env("UTIL_TEST_FAILPOINTS"), 1);
+  ::unsetenv("UTIL_TEST_FAILPOINTS");
+  failpoint_disarm_all();
 }
 
 }  // namespace

@@ -46,12 +46,23 @@
 //                                             fresh model seed; the freed
 //                                             budget explores seeds past the
 //                                             range
+//                 [--chaos]                   chaos mode: before each pair,
+//                                             deterministically (per seed and
+//                                             program) arm a random subset of
+//                                             failpoints (util/failpoint.h)
+//                                             at a 1/16 hit rate, sometimes
+//                                             with latency injection and a
+//                                             per-job deadline, and assert
+//                                             every injected fault yields a
+//                                             correct result or a clean
+//                                             structured error — never a
+//                                             crash, hang, or divergence
 //                 [--verbose]                 per-pair progress lines
 //
 // Selection-coverage recording is always on: the summary line carries a
 // "coverage" section with per-model covered/total and the distinct-coverage
 // totals, so a guided run is directly comparable against a sequential run of
-// the same budget.
+// the same budget. Chaos runs add a "chaos" section {injected, tolerated}.
 //
 // Exit status: 0 = all pairs agree, 1 = divergence found, 2 = bad usage.
 #include <algorithm>
@@ -63,6 +74,7 @@
 #include <filesystem>
 #include <limits>
 #include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -76,6 +88,7 @@
 #include "testgen/oracle.h"
 #include "testgen/programgen.h"
 #include "util/diagnostics.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -93,6 +106,7 @@ struct Args {
   bool verbose = false;
   bool explain = false;
   bool coverage_guided = false;
+  bool chaos = false;
   std::string repro_out = "fuzz_repro.json";
   std::string replay;
   std::string trace;
@@ -169,6 +183,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.explain = true;
     } else if (arg == "--coverage-guided") {
       a.coverage_guided = true;
+    } else if (arg == "--chaos") {
+      a.chaos = true;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return std::nullopt;
@@ -221,6 +237,7 @@ struct Counters {
   std::uint64_t models = 0, pairs = 0, compiled = 0, failures = 0;
   std::uint64_t templates_total = 0;
   std::uint64_t sem_checked = 0, sem_skipped = 0;
+  std::uint64_t faults_injected = 0, faults_tolerated = 0;  // chaos mode
   bool stop = false;
 };
 
@@ -298,8 +315,50 @@ void run_pair(const Args& args, const testgen::OracleOptions& oopts,
   pair_opts.service =
       (c.pairs % static_cast<std::uint64_t>(args.service_every)) == 0;
   ++c.pairs;
+
+  // Chaos: deterministically (per seed and program index) arm a random
+  // subset of failpoints before the oracle runs, then account for every
+  // fault the run injected. Hit rates span every:1 .. every:16 — sites are
+  // disarmed (hit counts reset) per pair, so a uniform 1/16 rate would
+  // almost never reach its Nth hit on low-traffic sites and inject nothing.
+  // The oracle tolerates only structured faults; output that compiles must
+  // stay bit-identical.
+  std::string chaos_plan;
+  std::uint64_t fires_before = 0;
+  if (args.chaos) {
+    util::failpoint_disarm_all();
+    std::mt19937_64 rng((mr.seed << 8) ^
+                        (static_cast<std::uint64_t>(p) + 1) *
+                            0x9e3779b97f4a7c15ULL);
+    static const char* kSites[] = {
+        "burstab.cache.read",   "burstab.cache.write",
+        "burstab.cache.mmap",   "burstab.cache.open",
+        "burstab.pool.adopt",   "burstab.tables.rebuild",
+        "service.job.alloc",    "service.worker.job"};
+    for (const char* site : kSites) {
+      if ((rng() & 1) == 0) continue;
+      std::string spec =
+          "every:" + std::to_string(std::uint64_t(1) << (rng() % 5));
+      if (std::string_view(site) == "service.worker.job" && rng() % 4 == 0)
+        spec = "sleep:2";  // latency injection drives the deadline path
+      util::failpoint_arm(site, spec);
+      chaos_plan += std::string(" ") + site + "=" + spec;
+    }
+    static const std::uint64_t kDeadlines[] = {0, 0, 1, 2000};
+    pair_opts.chaos = true;
+    pair_opts.service_deadline_ms = kDeadlines[rng() % 4];
+    if (pair_opts.service_deadline_ms)
+      chaos_plan +=
+          " deadline_ms=" + std::to_string(pair_opts.service_deadline_ms);
+    fires_before = util::failpoint_fire_total();
+  }
   testgen::OracleReport rep =
       testgen::check_pair(mr.model.hdl, gp.program, pair_opts);
+  if (args.chaos) {
+    c.faults_injected += util::failpoint_fire_total() - fires_before;
+    c.faults_tolerated += rep.faults_tolerated;
+    util::failpoint_disarm_all();
+  }
   if (rep.compiled) ++c.compiled;
   if (rep.semantics_checked) ++c.sem_checked;
   if (!rep.semantics_skipped.empty()) ++c.sem_skipped;
@@ -320,29 +379,43 @@ void run_pair(const Args& args, const testgen::OracleOptions& oopts,
               static_cast<unsigned long long>(mr.seed), p,
               mr.model.name.c_str(), mr.model.knobs.str().c_str(),
               rep.failure.c_str());
+  if (args.chaos)
+    std::printf("  chaos plan:%s\n",
+                chaos_plan.empty() ? " (no failpoints armed)"
+                                   : chaos_plan.c_str());
 
-  // Shrink the program while the same divergence CLASS persists —
-  // shrinking a semantic repro must not accept candidates that fail
-  // for an unrelated structural reason, or the minimum collapses into
-  // a different bug.
-  ir::Program minimized = testgen::minimize_program(
-      gp.program, [&](const ir::Program& candidate) {
-        testgen::OracleOptions mo = pair_opts;
-        mo.service = false;  // keep shrinking cheap: the divergence
-        mo.cache = false;    // almost always reproduces on paths 1+2
-        testgen::OracleReport cand =
-            testgen::check_pair(mr.model.hdl, candidate, mo);
-        return !cand.agree && cand.clazz == rep.clazz;
-      });
+  std::string repro_kernel;
+  if (args.chaos) {
+    // Failpoints fire by hit count, so every shrink run re-phases the
+    // injected faults and the minimizer would chase a moving target; ship
+    // the unminimized program with the armed plan recorded instead.
+    repro_kernel = testgen::kernel_text(gp.program);
+  } else {
+    // Shrink the program while the same divergence CLASS persists —
+    // shrinking a semantic repro must not accept candidates that fail
+    // for an unrelated structural reason, or the minimum collapses into
+    // a different bug.
+    ir::Program minimized = testgen::minimize_program(
+        gp.program, [&](const ir::Program& candidate) {
+          testgen::OracleOptions mo = pair_opts;
+          mo.service = false;  // keep shrinking cheap: the divergence
+          mo.cache = false;    // almost always reproduces on paths 1+2
+          testgen::OracleReport cand =
+              testgen::check_pair(mr.model.hdl, candidate, mo);
+          return !cand.agree && cand.clazz == rep.clazz;
+        });
+    repro_kernel = testgen::kernel_text(minimized);
+  }
   testgen::Repro repro;
   repro.model_seed = mr.seed;
   repro.program_seed = static_cast<std::uint64_t>(p);
   repro.model = mr.model.name;
   repro.knobs = mr.model.knobs.str();
+  if (args.chaos) repro.knobs += " chaos:" + chaos_plan;
   repro.spill_base = mr.model.spill_base;
   repro.spill_slots = mr.model.spill_slots;
   repro.hdl = mr.model.hdl;
-  repro.kernel = testgen::kernel_text(minimized);
+  repro.kernel = repro_kernel;
   repro.failure = rep.failure;
   repro.failure_class = std::string(testgen::to_string(rep.clazz));
   // One file per failure, so earlier repros survive later ones.
@@ -447,7 +520,7 @@ int main(int argc, char** argv) {
                  "[--workers N] [--service-every M] [--fail-fast] "
                  "[--repro-out PATH] [--replay PATH] [--keep-cache] "
                  "[--no-semantics] [--trace PATH] [--explain] "
-                 "[--coverage-guided] [--verbose]\n");
+                 "[--coverage-guided] [--chaos] [--verbose]\n");
     return 2;
   }
   const Args& args = *parsed;
@@ -495,6 +568,14 @@ int main(int argc, char** argv) {
                                   ? static_cast<double>(c.templates_total) /
                                         static_cast<double>(c.pairs)
                                   : 0.0));
+    if (args.chaos) {
+      service::Json jch = service::Json::object();
+      jch.set("injected",
+              service::Json(static_cast<double>(c.faults_injected)));
+      jch.set("tolerated",
+              service::Json(static_cast<double>(c.faults_tolerated)));
+      summary.set("chaos", std::move(jch));
+    }
     // Distinct-coverage totals across every model's map. These are the
     // numbers a guided run is judged by against a sequential run of the
     // same budget.
