@@ -35,7 +35,9 @@ constexpr std::uint32_t kCacheMagic = 0x52544331;  // "RTC1"
 // v5: the tables section carries the position-independent BTR3 frozen pool.
 // Entries are mmap'ed read-only and the pool is adopted zero-copy (shared
 // across threads AND processes); v4 blobs are a miss and rebuild cleanly.
-constexpr std::uint32_t kCacheVersion = 5;
+// v6: TemplateBase serialises branch_delay_slots (architectural branch delay
+// from the HDL DELAY attribute); v5 blobs are a miss and rebuild cleanly.
+constexpr std::uint32_t kCacheVersion = 6;
 
 // The header below (magic, version, key, checksum) is 24 bytes — keep it a
 // multiple of 4 so the payload-relative alignment of the frozen pool (see

@@ -332,6 +332,7 @@ void write_template_base(ByteWriter& w, const rtl::TemplateBase& base) {
   if (base.mgr)
     for (int v = 0; v < base.mgr->var_count(); ++v) w.str(base.mgr->var_name(v));
   w.i32(base.instruction_width);
+  w.i32(base.branch_delay_slots);
   w.u32(static_cast<std::uint32_t>(base.storage.size()));
   for (const rtl::StorageInfo& s : base.storage) {
     w.str(s.name);
@@ -368,6 +369,7 @@ bool read_template_base(ByteReader& r, rtl::TemplateBase& base) {
   for (std::uint32_t i = 0; i < vars && r.ok(); ++i)
     (void)base.mgr->new_var(r.str());
   base.instruction_width = r.i32();
+  base.branch_delay_slots = r.i32();
   std::uint32_t storages = r.u32();
   if (storages > 1u << 16) r.fail();
   for (std::uint32_t i = 0; i < storages && r.ok(); ++i) {

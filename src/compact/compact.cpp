@@ -1,8 +1,11 @@
 #include "compact/compact.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
+#include <set>
 
+#include "sim/value.h"
 #include "util/strings.h"
 
 namespace record::compact {
@@ -59,6 +62,12 @@ class Compactor {
       result.program.regions.push_back(std::move(out));
     }
     result.stats.words = result.program.word_count();
+    for (const CompactedRegion& r : result.program.regions) {
+      for (const Word& w : r.words) {
+        result.stats.total_slot_rts += w.rts.size();
+        if (w.rts.size() >= 2) ++result.stats.multi_rt_words;
+      }
+    }
     return result;
   }
 
@@ -71,14 +80,15 @@ class Compactor {
                          CompactResult& result) {
     note_input(result, region);
     for (const select::SelectedRT* rt : region.rts) {
-      handle_modes(rt->cond, out, result);
       Word w;
       w.rts.push_back(rt);
       w.cond = rt->cond;
       w.has_branch = rt->is_branch;
       w.branch_target = rt->branch_target;
+      handle_modes(w, out, result);
       out.words.push_back(std::move(w));
     }
+    fill_delay_slots(region, out, result);
   }
 
   void schedule_region(const Region& region, CompactedRegion& out,
@@ -172,7 +182,7 @@ class Compactor {
         packed_any = true;
       }
       if (!w.rts.empty()) {
-        handle_modes(w.cond, out, result);
+        handle_modes(w, out, result);
         out.words.push_back(std::move(w));
       }
       ++current;
@@ -182,23 +192,122 @@ class Compactor {
         break;
       }
     }
+    fill_delay_slots(region, out, result);
   }
 
-  /// Ensures the machine's mode registers satisfy `cond`'s requirements,
-  /// inserting mode-set words as needed.
-  void handle_modes(bdd::Ref cond, CompactedRegion& out,
-                    CompactResult& result) {
+  /// On machines with architectural branch delay slots (the PC register is
+  /// written `branch_delay_slots` words late), the words after a taken
+  /// branch still execute. Both region modes place the branch word last, so
+  /// here we move an eligible suffix of the words immediately before the
+  /// branch to after it — they execute before the jump lands either way —
+  /// and pad the shortfall with NOP words. A word is eligible only if it has
+  /// no dependence edge to or from the branch word's RTs, is not itself a
+  /// branch or a synthesized mode-set, and writes neither the PC nor any
+  /// storage the branch condition reads.
+  void fill_delay_slots(const Region& region, CompactedRegion& out,
+                        CompactResult& result) {
+    const int d = base_.branch_delay_slots;
+    if (d <= 0 || out.words.empty() || !out.words.back().has_branch) return;
+    bdd::BddManager& mgr = *base_.mgr;
+
+    std::map<const select::SelectedRT*, std::size_t> index;
+    for (std::size_t i = 0; i < region.rts.size(); ++i)
+      index[region.rts[i]] = i;
+    const Word& branch = out.words.back();
+
+    auto depends_on_branch = [&](const Word& x) {
+      for (const select::SelectedRT* a : x.rts) {
+        auto ia = index.find(a);
+        if (ia == index.end()) return true;  // unknown provenance: be safe
+        for (const select::SelectedRT* b : branch.rts) {
+          auto ib = index.find(b);
+          if (ib == index.end()) return true;
+          for (const DepEdge& e : region.edges) {
+            if (e.control) continue;  // branch-last ordering, not a data dep
+            if ((e.from == ia->second && e.to == ib->second) ||
+                (e.from == ib->second && e.to == ia->second))
+              return true;
+          }
+        }
+      }
+      return false;
+    };
+
+    // Instances whose state the branch condition reads dynamically.
+    std::set<std::string> cond_insts;
+    for (int v : mgr.support(branch.cond)) {
+      const std::string& n = mgr.var_name(v);
+      if (n.rfind("S:", 0) == 0 || n.rfind("M:", 0) == 0) {
+        std::string rest = n.substr(2);
+        cond_insts.insert(rest.substr(0, rest.find_first_of(".[")));
+      }
+    }
+    auto writes_sensitive = [&](const Word& x) {
+      for (const select::SelectedRT* rt : x.rts)
+        if (rt->dest == "PC" || cond_insts.count(rt->dest)) return true;
+      return false;
+    };
+
+    std::size_t bpos = out.words.size() - 1;
+    std::size_t movable = 0;
+    while (movable < static_cast<std::size_t>(d) && bpos - movable > 0) {
+      const Word& x = out.words[bpos - movable - 1];
+      if (x.has_branch || x.is_mode_set) break;
+      if (writes_sensitive(x) || depends_on_branch(x)) break;
+      ++movable;
+    }
+    // [... X1..Xk B] -> [... B X1..Xk], order among the moved words kept.
+    std::rotate(out.words.begin() + static_cast<std::ptrdiff_t>(bpos - movable),
+                out.words.begin() + static_cast<std::ptrdiff_t>(bpos),
+                out.words.end());
+    result.stats.delay_slots_filled += movable;
+    for (std::size_t i = movable; i < static_cast<std::size_t>(d); ++i) {
+      Word nop;
+      out.words.push_back(std::move(nop));
+      ++result.stats.delay_nops_inserted;
+    }
+  }
+
+  /// Ensures the machine's mode registers satisfy the word's requirements,
+  /// inserting mode-set words as needed, then bakes the (now known) mode
+  /// state into the word condition. The baking step matters on machines
+  /// where alternative encodings are OR-merged across mode settings: without
+  /// it the encoder's any_sat could pick instruction bits that only decode
+  /// correctly under a mode the machine is not in.
+  void handle_modes(Word& w, CompactedRegion& out, CompactResult& result) {
     if (!options_.handle_modes) return;
     bdd::BddManager& mgr = *base_.mgr;
     std::map<std::string, std::map<int, bool>> needed;  // inst -> bit -> val
-    for (const auto& [var, val] : required_modes(mgr, cond)) {
+    for (const auto& [var, val] : required_modes(mgr, w.cond)) {
       auto it = mode_state_.find(var);
       if (it != mode_state_.end() && it->second == val) continue;
       auto [inst, bit] = parse_mode_var(mgr.var_name(var));
       needed[inst][bit] = val;
       mode_state_[var] = val;
     }
-    for (const auto& [inst, bits] : needed) {
+    for (auto& [inst, bits] : needed) {
+      // A synthesized set writes the WHOLE register, so every bit outside
+      // the required set must carry its current value or the write would
+      // clobber it (needing bit 0 := 1 while bit 1 already holds 1 must
+      // write 3, not 1). Unknown bits read the deterministic reset
+      // contents both simulators use.
+      const rtl::StorageInfo* s = base_.find_storage(inst);
+      const int width = s ? s->width : 0;
+      for (int bit = 0; bit < width; ++bit) {
+        if (bits.count(bit)) continue;
+        int var = mgr.find_var(fmt("M:{}[{}]", inst, bit));
+        auto it = var >= 0 ? mode_state_.find(var) : mode_state_.end();
+        bool val;
+        if (it != mode_state_.end()) {
+          val = it->second;
+        } else {
+          std::uint64_t reset = static_cast<std::uint64_t>(
+              sim::initial_value(inst, 0, width));
+          val = ((reset >> bit) & 1u) != 0;
+        }
+        bits[bit] = val;
+        if (var >= 0) mode_state_[var] = val;
+      }
       const select::SelectedRT* set_rt = synthesize_mode_set(inst, bits,
                                                              result);
       if (!set_rt) {
@@ -209,9 +318,36 @@ class Compactor {
       Word w;
       w.rts.push_back(set_rt);
       w.cond = set_rt->cond;
+      w.is_mode_set = true;
       out.words.push_back(std::move(w));
       ++result.stats.mode_sets_inserted;
     }
+
+    // Bake the machine's actual mode state into the word condition. Vars
+    // never set by the schedule read the deterministic reset contents the
+    // simulators also use.
+    bdd::Ref baked = w.cond;
+    for (int v : mgr.support(w.cond)) {
+      const std::string& name = mgr.var_name(v);
+      if (name.rfind("M:", 0) != 0) continue;
+      auto it = mode_state_.find(v);
+      bool val;
+      if (it != mode_state_.end()) {
+        val = it->second;
+      } else {
+        auto [inst, bit] = parse_mode_var(name);
+        const rtl::StorageInfo* s = base_.find_storage(inst);
+        if (!s) continue;  // unknown mode register: leave the var free
+        std::uint64_t reset = static_cast<std::uint64_t>(
+            sim::initial_value(inst, 0, s->width));
+        val = ((reset >> bit) & 1u) != 0;
+        mode_state_[v] = val;
+      }
+      baked = mgr.land(baked, mgr.literal(v, val));
+    }
+    // kFalse here would mean a required mode could not be established (no
+    // set template existed — already warned above); keep the raw condition.
+    if (baked != bdd::kFalse) w.cond = baked;
   }
 
   const select::SelectedRT* synthesize_mode_set(

@@ -32,11 +32,14 @@ struct CompactOptions {
   bool handle_modes = true;
 };
 
-/// One horizontal instruction word.
+/// One horizontal instruction word. A word with no RTs is a NOP inserted to
+/// pad an unfilled branch delay slot; the encoder suppresses every writer so
+/// it executes as "do nothing visible".
 struct Word {
   std::vector<const select::SelectedRT*> rts;
   bdd::Ref cond = bdd::kTrue;  // conjunction of all packed conditions
   bool has_branch = false;
+  bool is_mode_set = false;  // synthesized mode-register set word
   std::string branch_target;
 };
 
@@ -59,6 +62,10 @@ struct CompactStats {
   std::size_t words = 0;
   std::size_t pairs_rejected_encoding = 0;  // condition conjunction UNSAT
   std::size_t mode_sets_inserted = 0;
+  std::size_t multi_rt_words = 0;      // words packing >= 2 RTs
+  std::size_t total_slot_rts = 0;      // sum of RTs over all words
+  std::size_t delay_slots_filled = 0;  // words moved into branch delay slots
+  std::size_t delay_nops_inserted = 0; // NOP words padding delay slots
 };
 
 struct CompactResult {

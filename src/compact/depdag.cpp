@@ -41,7 +41,7 @@ void add_region_edges(Region& region) {
   if (region.ends_with_branch && !region.rts.empty()) {
     std::size_t b = region.rts.size() - 1;
     for (std::size_t i = 0; i < b; ++i)
-      region.edges.push_back(DepEdge{i, b, 0});
+      region.edges.push_back(DepEdge{i, b, 0, /*control=*/true});
   }
 }
 

@@ -24,6 +24,10 @@ struct DepEdge {
   std::size_t from = 0;
   std::size_t to = 0;
   int latency = 1;
+  /// Region-termination edge keeping the branch scheduled last; carries no
+  /// data dependence, so the delay-slot filler may move the source word
+  /// past the branch.
+  bool control = false;
 };
 
 /// One scheduling region (basic block) of the flattened program.

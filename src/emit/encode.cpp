@@ -1,6 +1,8 @@
 #include "emit/encode.h"
 
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "util/strings.h"
 
@@ -34,21 +36,36 @@ std::uint64_t EncodedWord::to_u64() const {
 
 namespace {
 
-/// "Could template fire?" conditions per storage, with data-dependent
-/// variables existentially quantified (pessimistic).
-std::map<std::string, bdd::Ref> write_conditions(
+/// "Could template fire?" conditions per storage, with data-dependent AND
+/// mode-register variables existentially quantified (pessimistic). Mode
+/// vars must go too: suppression is applied by constraining instruction
+/// bits, and a don't-care slot whose function comes from a mode register
+/// would otherwise be "suppressed" by any_sat choosing a fantasy mode the
+/// running machine is not in — the slot then fires at runtime and silently
+/// clobbers its destination. `any` is the OR over all writers of the
+/// storage; `each` keeps the per-template conditions so a word that writes
+/// a storage can still forbid the *other* writers of that storage
+/// (required on multi-issue machines, where a second slot's don't-care
+/// bits could otherwise be filled to write the same location — a
+/// decode-time write contention).
+struct StorageWriters {
+  bdd::Ref any = bdd::kFalse;
+  std::vector<std::pair<const rtl::RTTemplate*, bdd::Ref>> each;
+};
+
+std::map<std::string, StorageWriters> write_conditions(
     const rtl::TemplateBase& base) {
   bdd::BddManager& mgr = *base.mgr;
-  std::map<std::string, bdd::Ref> out;
+  std::map<std::string, StorageWriters> out;
   for (const rtl::RTTemplate& t : base.templates) {
     bdd::Ref c = t.cond;
     for (int v : mgr.support(c)) {
       const std::string& n = mgr.var_name(v);
-      if (n.rfind("I[", 0) != 0 && n.rfind("M:", 0) != 0)
-        c = mgr.exists(c, v);
+      if (n.rfind("I[", 0) != 0) c = mgr.exists(c, v);
     }
-    auto [it, inserted] = out.emplace(t.dest, c);
-    if (!inserted) it->second = mgr.lor(it->second, c);
+    StorageWriters& sw = out[t.dest];
+    sw.any = mgr.lor(sw.any, c);
+    sw.each.emplace_back(&t, c);
   }
   return out;
 }
@@ -70,7 +87,7 @@ EncodeResult encode(const compact::CompactedProgram& prog,
   }
 
   // Cache write conditions per storage.
-  std::map<std::string, bdd::Ref> wconds = write_conditions(base);
+  std::map<std::string, StorageWriters> wconds = write_conditions(base);
 
   addr = 0;
   for (const compact::CompactedRegion& r : prog.regions) {
@@ -108,20 +125,39 @@ EncodeResult encode(const compact::CompactedProgram& prog,
         }
       }
 
-      // Side-effect suppression.
+      // Side-effect suppression. A storage the word does not write must not
+      // be written by any template; a storage the word DOES write must not
+      // also be written by a template outside the word's own RTs (two units
+      // writing one location is a decode-time contention).
       std::vector<std::string> written;
-      for (const select::SelectedRT* rt : w.rts) written.push_back(rt->dest);
+      std::set<const rtl::RTTemplate*> own;
+      for (const select::SelectedRT* rt : w.rts) {
+        written.push_back(rt->dest);
+        if (rt->tmpl) own.insert(rt->tmpl);
+      }
       for (const auto& [storage, wc] : wconds) {
         bool is_written = false;
         for (const std::string& d : written)
           if (d == storage) is_written = true;
-        if (is_written) continue;
-        bdd::Ref guarded = mgr.land(cond, mgr.lnot(wc));
-        if (guarded != bdd::kFalse) {
-          cond = guarded;
-          ++result.stats.suppressed;
-        } else {
-          ++result.stats.unsuppressible;
+        if (!is_written) {
+          bdd::Ref guarded = mgr.land(cond, mgr.lnot(wc.any));
+          if (guarded != bdd::kFalse) {
+            cond = guarded;
+            ++result.stats.suppressed;
+          } else {
+            ++result.stats.unsuppressible;
+          }
+          continue;
+        }
+        for (const auto& [tmpl, qc] : wc.each) {
+          if (own.count(tmpl)) continue;
+          bdd::Ref guarded = mgr.land(cond, mgr.lnot(qc));
+          if (guarded != bdd::kFalse) {
+            cond = guarded;
+            ++result.stats.suppressed;
+          } else {
+            ++result.stats.unsuppressible;
+          }
         }
       }
 

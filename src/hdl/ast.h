@@ -223,6 +223,11 @@ struct ModuleDecl {
   std::vector<PortDecl> ports;
   std::vector<Transfer> transfers;
   std::int64_t mem_size = 0;  // MEMORY only
+  /// REGISTER only: writes land this many cycles late. Declared as
+  /// `REGISTER pc (...) DELAY 1;` on the program counter it models
+  /// architectural branch delay slots — the words following a branch
+  /// execute before the PC write takes effect.
+  int write_delay = 0;
   SourceLoc loc;
 
   [[nodiscard]] const PortDecl* find_port(std::string_view port_name) const;

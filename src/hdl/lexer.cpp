@@ -51,6 +51,7 @@ std::string_view to_string(TokKind k) {
     case TokKind::KwEnd: return "END";
     case TokKind::KwCell: return "CELL";
     case TokKind::KwSize: return "SIZE";
+    case TokKind::KwDelay: return "DELAY";
     case TokKind::KwAnd: return "AND";
     case TokKind::KwOr: return "OR";
     case TokKind::KwNot: return "NOT";
@@ -86,6 +87,7 @@ const std::unordered_map<std::string, TokKind>& keyword_table() {
       {"end", TokKind::KwEnd},
       {"cell", TokKind::KwCell},
       {"size", TokKind::KwSize},
+      {"delay", TokKind::KwDelay},
       {"and", TokKind::KwAnd},
       {"or", TokKind::KwOr},
       {"not", TokKind::KwNot},

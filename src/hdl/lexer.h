@@ -56,6 +56,7 @@ enum class TokKind : std::uint8_t {
   KwEnd,
   KwCell,
   KwSize,
+  KwDelay,
   KwAnd,
   KwOr,
   KwNot,

@@ -141,6 +141,11 @@ class Parser {
       if (!expect(TokKind::Int, "memory size")) return false;
       mod.mem_size = size.value;
     }
+    if (accept(TokKind::KwDelay)) {
+      Token delay = cur();
+      if (!expect(TokKind::Int, "write delay in cycles")) return false;
+      mod.write_delay = static_cast<int>(delay.value);
+    }
     if (!expect(TokKind::Semi, "';' after module header")) return false;
 
     if (accept(TokKind::KwBehavior)) {

@@ -89,6 +89,15 @@ class Checker {
         break;
     }
 
+    if (m.write_delay != 0) {
+      if (m.kind != ModuleKind::Register)
+        diags_.error(m.loc,
+                     fmt("DELAY is only allowed on REGISTER modules ('{}')",
+                         m.name));
+      else if (m.write_delay < 0 || m.write_delay > 2)
+        diags_.error(m.loc, fmt("register '{}': DELAY must be 0..2", m.name));
+    }
+
     for (const Transfer& t : m.transfers) check_transfer(m, t);
   }
 

@@ -81,6 +81,8 @@ class Extractor {
       }
       s.readable = true;
       base.storage.push_back(std::move(s));
+      if (in.kind() == ModuleKind::Register && in.name == "PC")
+        base.branch_delay_slots = in.decl->write_delay;
     }
     for (const hdl::ProcPortDecl& p : nl_.proc_ports()) {
       if (p.is_input) {

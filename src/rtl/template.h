@@ -132,6 +132,9 @@ struct TemplateBase {
   std::vector<StorageInfo> storage;   // SEQ ∪ writable ports (dest domain)
   std::vector<PortInInfo> in_ports;   // primary inputs (readable terminals)
   int instruction_width = 0;
+  /// Architectural branch delay slots: a write to the program counter lands
+  /// this many instruction words late (HDL `DELAY n` on the PC register).
+  int branch_delay_slots = 0;
 
   [[nodiscard]] std::size_t size() const { return templates.size(); }
   [[nodiscard]] const StorageInfo* find_storage(std::string_view name) const;

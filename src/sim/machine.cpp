@@ -108,6 +108,14 @@ MachineResult Machine::run(const emit::Assembly& assembly,
   std::string err;
   bool unsupported = false;
 
+  // Branch-delay-slot machinery: on machines whose PC register carries a
+  // write DELAY, a taken branch is held pending while the following
+  // `pending_left` words (the delay slots) execute; only then does the PC
+  // write land and the branch retire against the branch budget.
+  const int delay_slots = base_.branch_delay_slots;
+  std::int64_t pending_target = 0;
+  int pending_left = -1;  // < 0: no branch in flight
+
   /// Resolves one BDD variable against the word bits and machine state.
   auto resolve_var = [&](int v, const emit::EncodedWord& w)
       -> std::optional<bool> {
@@ -286,6 +294,10 @@ MachineResult Machine::run(const emit::Assembly& assembly,
     }
 
     // --- contention check + commit -----------------------------------------
+    // Two fired units driving conflicting values into one location is a
+    // structural hazard. Equal values are tolerated: commutative template
+    // twins (`R1 := R0^R1` / `R1 := R1^R0`) legitimately share an encoding
+    // and fire together.
     for (std::size_t a = 0; a < writes.size(); ++a)
       for (std::size_t b = a + 1; b < writes.size(); ++b) {
         if (writes[a].t->dest != writes[b].t->dest) continue;
@@ -293,8 +305,8 @@ MachineResult Machine::run(const emit::Assembly& assembly,
             writes[a].addr != writes[b].addr)
           continue;
         if (writes[a].value != writes[b].value)
-          return fail(fmt("word {} ({}): write conflict on '{}': '{}' drives "
-                          "{} but '{}' drives {}",
+          return fail(fmt("word {} ({}): write contention on '{}': '{}' "
+                          "drives {} while '{}' drives {}",
                           current, w.hex(), writes[a].t->dest,
                           writes[a].t->signature(), writes[a].value,
                           writes[b].t->signature(), writes[b].value));
@@ -325,15 +337,38 @@ MachineResult Machine::run(const emit::Assembly& assembly,
                         "(program has {} words; '{}')",
                         current, w.hex(), branch_target, word_count,
                         branch_rt->signature()));
+      if (delay_slots > 0) {
+        if (pending_left >= 0)
+          return fail(fmt("word {} ({}): taken branch in the delay slot of "
+                          "an earlier branch",
+                          current, w.hex()));
+        // The PC write is pending: the next `delay_slots` words execute
+        // before it lands.
+        pending_target = branch_target;
+        pending_left = delay_slots;
+        ++current;
+      } else {
+        ++result.taken_branches;
+        if (result.taken_branches >= options.max_taken_branches) {
+          result.stop = StopReason::kBranchBudget;
+          result.ok = true;
+          return result;
+        }
+        current = branch_target;
+      }
+    } else {
+      ++current;
+    }
+    // Retire a pending branch once its delay-slot words have committed.
+    if (!taken && pending_left >= 0 && --pending_left == 0) {
+      pending_left = -1;
       ++result.taken_branches;
       if (result.taken_branches >= options.max_taken_branches) {
         result.stop = StopReason::kBranchBudget;
         result.ok = true;
         return result;
       }
-      current = branch_target;
-    } else {
-      ++current;
+      current = pending_target;
     }
   }
 

@@ -19,7 +19,7 @@ int ceil_log2(int n) {
 
 /// One instruction-word field: name plus resolved (lsb, width) slice.
 struct Field {
-  const char* name;
+  std::string name;
   int width = 0;
   int lsb = -1;
 
@@ -44,6 +44,13 @@ std::string ModelKnobs::str() const {
   if (has_pc) os << " pc";
   os << " alu=";
   for (hdl::OpKind op : alu_ops) os << hdl::to_string(op);
+  // Multi-issue knobs render only when active, so single-issue knob strings
+  // (and the HDL comment lines embedding them) are unchanged byte-for-byte.
+  if (issue_slots > 1) {
+    os << " slots=" << issue_slots;
+    if (mode_alu) os << "+mode";
+  }
+  if (branch_delay > 0) os << " delay=" << branch_delay;
   return os.str();
 }
 
@@ -73,10 +80,39 @@ GeneratedModel generate_model(std::uint64_t seed) {
   for (hdl::OpKind op : kExtra)
     if (rng.chance(1, 2)) k.alu_ops.push_back(op);
 
+  // --- multi-issue knobs ---------------------------------------------------
+  // Drawn from an independent splitmix64 stream so the main stream (and with
+  // it every single-issue structure above) is untouched for a given seed.
+  Rng vr(seed * 0xd1342543de82ef95ull + 0x94d049bb133111ebull);
+  {
+    std::uint64_t d = vr.below(8);
+    k.issue_slots = d < 2 ? 1 : d < 5 ? 2 : d < 7 ? 3 : 4;
+  }
+  struct SlotCfg {
+    int ra = 0;         // a-side mux: R{ra} vs R{rb}
+    int rb = 0;         // b-side mux: R{rb} vs the slot immediate
+    bool extra = false; // a fourth ALU function beyond pass-a/pass-b/add
+    hdl::OpKind op = hdl::OpKind::Sub;
+  };
+  std::vector<SlotCfg> slot_cfg;
+  constexpr hdl::OpKind kSlotExtra[] = {hdl::OpKind::Sub, hdl::OpKind::And,
+                                        hdl::OpKind::Or, hdl::OpKind::Xor};
+  for (int s = 1; s < k.issue_slots; ++s) {
+    SlotCfg c;
+    c.ra = static_cast<int>(vr.below(static_cast<std::uint64_t>(k.reg_count)));
+    c.rb = static_cast<int>(vr.below(static_cast<std::uint64_t>(k.reg_count)));
+    c.extra = vr.chance(1, 2);
+    c.op = kSlotExtra[vr.below(4)];
+    slot_cfg.push_back(c);
+  }
+  k.mode_alu = k.issue_slots >= 2 && vr.chance(1, 2);
+  k.branch_delay = (k.has_pc && vr.chance(1, 3)) ? 1 : 0;
+
   const int n = k.reg_count;
   const int rw = k.reg_width;
   const int aw = k.mem_addr_width;
   const bool mem = aw > 0;
+  const int S = k.issue_slots;
 
   // --- instruction-word field layout ---------------------------------------
   // A-mux sources: registers (+ shared immediate); B side: registers,
@@ -101,6 +137,20 @@ GeneratedModel generate_model(std::uint64_t seed) {
   std::rotate(fields.begin(),
               fields.begin() + static_cast<long>(rng.below(fields.size())),
               fields.end());
+  // Extra issue slots append their fields after the (rotated) base layout,
+  // leaving the slot-0 field positions exactly where a single-issue draw of
+  // the same seed would put them.
+  const int sdw = ceil_log2(n + 1);  // slot dst: 0 = no write, 1..n = regs
+  for (int s = 1; s < S; ++s) {
+    fields.push_back({fmt("asel{}", s), 1});
+    fields.push_back({fmt("bsel{}", s), 1});
+    if (s == 1 && k.mode_alu)
+      fields.push_back({"smld", 1});
+    else
+      fields.push_back({fmt("aluf{}", s), 2});
+    fields.push_back({fmt("dst{}", s), sdw});
+    fields.push_back({fmt("imm{}", s), 4});
+  }
   int lsb = 0;
   for (Field& f : fields) {
     f.lsb = lsb;
@@ -108,9 +158,9 @@ GeneratedModel generate_model(std::uint64_t seed) {
   }
   const int iw = lsb;
 
-  auto field = [&fields](const char* name) -> const Field& {
+  auto field = [&fields](std::string_view name) -> const Field& {
     for (const Field& f : fields)
-      if (std::string_view(f.name) == name) return f;
+      if (f.name == name) return f;
     static const Field kNone{"", 0, -1};
     return kNone;
   };
@@ -135,8 +185,9 @@ GeneratedModel generate_model(std::uint64_t seed) {
     os << "BEHAVIOR\n  q := d WHEN ld = 1;\nEND;\n\n";
   }
   if (k.has_pc) {
-    os << fmt("REGISTER pcreg (IN d:({}:0); OUT q:({}:0); CTRL ld:(0:0));\n",
-              k.imm_width - 1, k.imm_width - 1);
+    os << fmt("REGISTER pcreg (IN d:({}:0); OUT q:({}:0); CTRL ld:(0:0)){};\n",
+              k.imm_width - 1, k.imm_width - 1,
+              k.branch_delay > 0 ? " DELAY 1" : "");
     os << "BEHAVIOR\n  q := d WHEN ld = 1;\nEND;\n\n";
   }
   if (mem) {
@@ -219,6 +270,46 @@ GeneratedModel generate_model(std::uint64_t seed) {
     os << "BEHAVIOR\n  y := f WHEN s = 0;\n  y := p WHEN s = 1;\nEND;\n\n";
   }
 
+  // --- extra issue slots: shared mux/extender/decoder modules, one ALU per
+  // slot, per-register write buses with a write-enable OR -------------------
+  static constexpr const char* kWorPorts[] = {"a", "b", "c", "d"};
+  if (S > 1) {
+    os << fmt("MODULE mux2 (IN a:({}:0); IN b:({}:0); OUT y:({}:0); "
+              "CTRL s:(0:0));\n",
+              rw - 1, rw - 1, rw - 1);
+    os << "BEHAVIOR\n  y := a WHEN s = 0;\n  y := b WHEN s = 1;\nEND;\n\n";
+    os << fmt("MODULE sizx (IN a:(3:0); OUT y:({}:0));\n", rw - 1);
+    os << "BEHAVIOR\n  y := ZXT(a);\nEND;\n\n";
+    os << fmt("MODULE sdec (IN d:({}:0);\n            ", sdw - 1);
+    for (int i = 0; i < n; ++i) os << fmt("OUT r{}:(0:0); ", i);
+    os.seekp(-2, std::ios_base::end);  // drop the trailing "; "
+    os << ");\nBEHAVIOR\n";
+    for (int i = 0; i < n; ++i)
+      os << fmt("  r{} := 1 WHEN d = {};\n", i, i + 1);
+    os << "END;\n\n";
+    for (int s = 1; s < S; ++s) {
+      const SlotCfg& c = slot_cfg[static_cast<std::size_t>(s - 1)];
+      os << fmt("MODULE salu{} (IN a:({}:0); IN b:({}:0); OUT y:({}:0); "
+                "CTRL f:(1:0));\n",
+                s, rw - 1, rw - 1, rw - 1);
+      os << "BEHAVIOR\n  y := a WHEN f = 0;\n  y := b WHEN f = 1;\n"
+            "  y := a + b WHEN f = 2;\n";
+      if (c.extra)
+        os << fmt("  y := a {} b WHEN f = 3;\n", hdl::to_string(c.op));
+      os << "END;\n\n";
+    }
+    os << "MODULE wor (";
+    for (int s = 0; s < S; ++s) os << fmt("IN {}:(0:0); ", kWorPorts[s]);
+    os << "OUT y:(0:0));\nBEHAVIOR\n";
+    for (int s = 0; s < S; ++s)
+      os << fmt("  y := 1 WHEN {} = 1;\n", kWorPorts[s]);
+    os << "END;\n\n";
+    if (k.mode_alu) {
+      os << "MODEREG smode (IN d:(1:0); OUT q:(1:0); CTRL ld:(0:0));\n";
+      os << "BEHAVIOR\n  q := d WHEN ld = 1;\nEND;\n\n";
+    }
+  }
+
   if (k.has_port_io) os << fmt("PORT pin: IN ({}:0);\n", rw - 1);
   os << fmt("PORT pout: OUT ({}:0);\n\n", rw - 1);
 
@@ -232,7 +323,17 @@ GeneratedModel generate_model(std::uint64_t seed) {
   if (!k.use_bus) os << "  BM:  bmux;\n";
   os << "  ALU: alu;\n  DD:  ddec;\n";
   if (mem && k.mem_reg_indirect) os << "  MM:  mmux;\n";
+  if (S > 1) {
+    for (int s = 1; s < S; ++s)
+      os << fmt("  A{}:  mux2;\n  B{}:  mux2;\n  X{}:  sizx;\n"
+                "  U{}:  salu{};\n  D{}:  sdec;\n",
+                s, s, s, s, s, s);
+    for (int i = 0; i < n; ++i) os << fmt("  L{}:  wor;\n", i);
+    if (k.mode_alu) os << "  SM:  smode;\n";
+  }
   if (k.use_bus) os << fmt("BUS dbus: ({}:0);\n", rw - 1);
+  if (S > 1)
+    for (int i = 0; i < n; ++i) os << fmt("BUS wb{}: ({}:0);\n", i, rw - 1);
   os << "CONNECTIONS\n";
 
   const Field& fimm = field("imm");
@@ -264,9 +365,50 @@ GeneratedModel generate_model(std::uint64_t seed) {
   os << "  ALU.a := AM.y;\n";
   os << fmt("  ALU.f := IW.w{};\n", field("aluf").slice());
   os << fmt("  DD.d  := IW.w{};\n", field("dst").slice());
-  for (int i = 0; i < n; ++i) {
-    os << fmt("  R{}.d  := ALU.y;\n", i);
-    os << fmt("  R{}.ld := DD.r{};\n", i, i);
+  if (S == 1) {
+    for (int i = 0; i < n; ++i) {
+      os << fmt("  R{}.d  := ALU.y;\n", i);
+      os << fmt("  R{}.ld := DD.r{};\n", i, i);
+    }
+  } else {
+    // Slots share the register file: each register's data input is a
+    // tristate bus driven by whichever slot's decoder selects it, and its
+    // load line is the OR of the per-slot enables. Two slots selecting the
+    // same register is a genuine structural hazard — the simulator rejects
+    // it as a write contention and the compactor's WAW edges keep it out of
+    // packed words.
+    for (int i = 0; i < n; ++i) {
+      os << fmt("  wb{} := ALU.y WHEN DD.r{} = 1;\n", i, i);
+      for (int s = 1; s < S; ++s)
+        os << fmt("  wb{} := U{}.y WHEN D{}.r{} = 1;\n", i, s, s, i);
+      os << fmt("  R{}.d  := wb{};\n", i, i);
+      os << fmt("  L{}.a := DD.r{};\n", i, i);
+      for (int s = 1; s < S; ++s)
+        os << fmt("  L{}.{} := D{}.r{};\n", i, kWorPorts[s], s, i);
+      os << fmt("  R{}.ld := L{}.y;\n", i, i);
+    }
+    for (int s = 1; s < S; ++s) {
+      const SlotCfg& c = slot_cfg[static_cast<std::size_t>(s - 1)];
+      os << fmt("  X{}.a := IW.w{};\n", s, field(fmt("imm{}", s)).slice());
+      os << fmt("  A{}.a := R{}.q;\n", s, c.ra);
+      os << fmt("  A{}.b := R{}.q;\n", s, c.rb);
+      os << fmt("  A{}.s := IW.w{};\n", s, field(fmt("asel{}", s)).slice());
+      os << fmt("  B{}.a := R{}.q;\n", s, c.rb);
+      os << fmt("  B{}.b := X{}.y;\n", s, s);
+      os << fmt("  B{}.s := IW.w{};\n", s, field(fmt("bsel{}", s)).slice());
+      os << fmt("  U{}.a := A{}.y;\n", s, s);
+      os << fmt("  U{}.b := B{}.y;\n", s, s);
+      if (s == 1 && k.mode_alu)
+        os << "  U1.f := SM.q;\n";
+      else
+        os << fmt("  U{}.f := IW.w{};\n", s, field(fmt("aluf{}", s)).slice());
+      os << fmt("  D{}.d := IW.w{};\n", s, field(fmt("dst{}", s)).slice());
+    }
+    if (k.mode_alu) {
+      const Field& f1 = field("imm1");
+      os << fmt("  SM.d := IW.w({}:{});\n", f1.lsb + 1, f1.lsb);
+      os << fmt("  SM.ld := IW.w{};\n", field("smld").slice());
+    }
   }
   if (k.has_pc) {
     os << fmt("  PC.d  := IW.w{};\n", fimm.slice());
@@ -313,6 +455,8 @@ GeneratedModel generate_model(std::uint64_t seed) {
   m.imm_max = (std::int64_t{1} << k.imm_width) - 1;
   m.mem_writable = k.mem_writable;
   m.has_pc = k.has_pc;
+  m.issue_slots = k.issue_slots;
+  m.branch_delay = k.branch_delay;
   return m;
 }
 

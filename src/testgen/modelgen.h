@@ -13,7 +13,17 @@
 // programming capabilities so the kernel-program generator (programgen.h) can
 // size its programs to what the target can actually execute.
 //
-// Determinism contract: generation uses an internal splitmix64 stream only —
+// Multi-issue (VLIW) generation: a second knob stream can add 1..3 extra
+// issue slots — concurrently firing functional units, each with its own
+// operand muxes, 4-bit immediate field and destination decoder, sharing the
+// register file through per-register tristate write buses and a write-enable
+// OR. Slot 1's ALU function can be switched by a MODEREG instead of an
+// instruction field (mode-register-shared encodings), and machines with a PC
+// can carry one architectural branch delay slot (HDL `DELAY 1` on the PC
+// register). These draws come from an independent splitmix64 stream so the
+// single-issue portion of a model is unchanged for a given seed.
+//
+// Determinism contract: generation uses internal splitmix64 streams only —
 // identical seeds produce byte-identical HDL on every platform, so a seed (or
 // a checked-in dump under tests/data/) is a complete reproduction recipe.
 #pragma once
@@ -76,6 +86,9 @@ struct ModelKnobs {
   bool has_port_io = false;       // primary IN port on the B side
   bool has_pc = false;            // PC register (branch support)
   std::vector<hdl::OpKind> alu_ops;  // ALU functions beyond pass-a/pass-b
+  int issue_slots = 1;   // instruction-word slots (1 = classic single-issue)
+  bool mode_alu = false; // slot 1's ALU function comes from a mode register
+  int branch_delay = 0;  // architectural branch delay slots on the PC
 
   /// One-line summary for logs and repro files.
   [[nodiscard]] std::string str() const;
@@ -98,6 +111,8 @@ struct GeneratedModel {
   std::int64_t imm_max = 0;            // largest immediate operand value
   bool mem_writable = false;
   bool has_pc = false;
+  int issue_slots = 1;                 // concurrent RT slots per word
+  int branch_delay = 0;                // branch delay slots (0 or 1)
   /// Spill scratch area fitting the (often tiny) generated memory — the
   /// default sched::SpillOptions base of 0x70 lies beyond a 2^3-cell memory.
   std::int64_t spill_base = 0;

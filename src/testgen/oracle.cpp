@@ -83,6 +83,8 @@ std::string_view to_string(FailureClass c) {
       return "decode";
     case FailureClass::kSemantic:
       return "semantic";
+    case FailureClass::kCompaction:
+      return "compaction";
   }
   return "?";
 }
@@ -90,7 +92,10 @@ std::string_view to_string(FailureClass c) {
 FailureClass classify_failure(std::string_view failure) {
   if (failure.empty()) return FailureClass::kNone;
   // Stable prefixes written by check_pair; everything else (compile paths
-  // disagreeing, retarget failures) is structural.
+  // disagreeing, retarget failures) is structural. "compaction" covers all
+  // three path-6 prefixes ("compaction:", "compaction decode:",
+  // "compaction semantic:").
+  if (failure.rfind("compaction", 0) == 0) return FailureClass::kCompaction;
   if (failure.rfind("round trip:", 0) == 0 ||
       failure.rfind("semantic decode:", 0) == 0)
     return FailureClass::kDecode;
@@ -234,6 +239,8 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
   if (ref) {
     rep.listing = ref->listing();
     rep.words = ref->code_size();
+    rep.multi_rt_words = ref->compacted.stats.multi_rt_words;
+    rep.total_slot_rts = ref->compacted.stats.total_slot_rts;
   }
   if (std::string d = diff_results("table engine", ref, tab); !d.empty()) {
     rep.failure = d;
@@ -337,6 +344,7 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
   }
 
   // --- path 5: semantic oracle (simulator vs. reference evaluator) --------
+  // --- path 6: compaction cross-check (same selection, compaction off) ----
   if (options.semantics && ref) {
     OBS_SPAN("oracle.semantic");
     sim::CheckOptions sopts;
@@ -345,19 +353,86 @@ OracleReport check_pair_inner(std::string_view hdl, const ir::Program& prog,
     sopts.scratch_base = options.compile.spill.scratch_base;
     sopts.scratch_slots = options.compile.spill.scratch_slots;
     sim::CheckReport chk = sim::check_semantics(prog, *ref, *target, sopts);
-    switch (chk.status) {
-      case sim::CheckStatus::kAgree:
-        rep.semantics_checked = true;
-        break;
-      case sim::CheckStatus::kSkipped:
-        rep.semantics_skipped = chk.detail;
-        break;
-      case sim::CheckStatus::kDecodeReject:
-        rep.failure = "semantic decode: " + chk.detail;
+
+    // Path 6 runs its compile up front so a path-5 divergence can be
+    // ATTRIBUTED: the same selection with compaction disabled (every RT its
+    // own instruction word) is simulated against the reference too. If the
+    // sequential schedule agrees while the compacted one diverges, the bug
+    // was introduced by compaction — packing, mode-set insertion,
+    // delay-slot filling or the encoder's word merging.
+    std::optional<core::CompileResult> seq;
+    sim::CheckReport seq_chk;
+    if (options.compile.compact.enabled) {
+      OBS_SPAN("oracle.compaction");
+      core::CompileOptions seq_opts = options.compile;
+      seq_opts.engine = select::Engine::kInterpreter;
+      seq_opts.compact.enabled = false;
+      util::DiagnosticSink ds;
+      seq = compiler.compile(prog, seq_opts, ds);
+      if (!seq) {
+        rep.failure = fmt("compaction: compaction-off compile failed while "
+                          "the compacted compile succeeded: {}",
+                          first_line(ds.first_error()));
         return rep;
-      case sim::CheckStatus::kDiverged:
-        rep.failure = "semantic: " + chk.detail;
-        return rep;
+      }
+      seq_chk = sim::check_semantics(prog, *seq, *target, sopts);
+    }
+
+    if (chk.status == sim::CheckStatus::kDecodeReject ||
+        chk.status == sim::CheckStatus::kDiverged) {
+      const bool is_decode = chk.status == sim::CheckStatus::kDecodeReject;
+      if (seq && seq_chk.agree())
+        rep.failure = fmt("{}{}",
+                          is_decode ? "compaction decode: "
+                                    : "compaction semantic: ",
+                          chk.detail);
+      else
+        rep.failure =
+            fmt("{}{}", is_decode ? "semantic decode: " : "semantic: ",
+                chk.detail);
+      return rep;
+    }
+    if (chk.status == sim::CheckStatus::kAgree)
+      rep.semantics_checked = true;
+    else
+      rep.semantics_skipped = chk.detail;
+
+    if (seq) {
+      switch (seq_chk.status) {
+        case sim::CheckStatus::kAgree:
+          // Both schedules agree with the reference on every observable
+          // location; they must then also agree with each other on how the
+          // run ended (a compacted run that halts where the sequential one
+          // loops would never show up in final-state comparison alone).
+          if (rep.semantics_checked &&
+              (chk.sim.stop != seq_chk.sim.stop ||
+               chk.sim.taken_branches != seq_chk.sim.taken_branches)) {
+            rep.failure = fmt(
+                "compaction: compacted and sequential runs end differently "
+                "(stop {} after {} taken branches vs stop {} after {})",
+                sim::to_string(chk.sim.stop), chk.sim.taken_branches,
+                sim::to_string(seq_chk.sim.stop), seq_chk.sim.taken_branches);
+            return rep;
+          }
+          rep.compaction_checked = true;
+          break;
+        case sim::CheckStatus::kSkipped:
+          // Comparability is a property of the machine, shared by both
+          // schedules; nothing to attribute.
+          break;
+        case sim::CheckStatus::kDecodeReject:
+        case sim::CheckStatus::kDiverged:
+          // The compacted schedule is clean but its own ablation is not —
+          // still a compaction-layer defect (the sequential fallback path
+          // emits broken words).
+          rep.failure =
+              fmt("compaction: compaction-off schedule {}: {}",
+                  seq_chk.status == sim::CheckStatus::kDecodeReject
+                      ? "rejected by the decoder"
+                      : "diverges from the reference",
+                  seq_chk.detail);
+          return rep;
+      }
     }
   }
 
@@ -393,8 +468,12 @@ OracleReport check_pair(std::string_view hdl, const ir::Program& prog,
     case FailureClass::kSemantic:
       m.counter("oracle.fail.semantic").add(1);
       break;
+    case FailureClass::kCompaction:
+      m.counter("oracle.fail.compaction").add(1);
+      break;
   }
   if (rep.semantics_checked) m.counter("oracle.semantics_checked").add(1);
+  if (rep.compaction_checked) m.counter("oracle.compaction_checked").add(1);
   if (rep.faults_tolerated)
     m.counter("oracle.faults_tolerated").add(rep.faults_tolerated);
   if (!rep.semantics_skipped.empty()) {

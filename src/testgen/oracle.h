@@ -2,13 +2,16 @@
 // layer (after unit tests, cross-engine differential tests and sanitizer
 // jobs).
 //
-// One (model, program) pair is pushed through FIVE independent checks —
+// One (model, program) pair is pushed through SIX independent checks —
 //   1. treeparse::TreeParser        (dynamic-programming interpreter)
 //   2. burstab::TableParser         (compiled BURS state tables)
 //   3. the warm TargetCache path    (serialise -> reload -> compile)
 //   4. a multi-worker CompileService batch (registry + kernel frontend)
 //   5. the semantic oracle          (RT-level simulator vs. IR reference
 //                                    evaluator, sim/check.h)
+//   6. the compaction cross-check   (the same selection compiled with
+//                                    compaction OFF — every RT its own word
+//                                    — simulated and compared too)
 // — asserting bit-identical listings and instruction encodings across paths
 // 1-4. On top, every encoded instruction word is decode-checked against the
 // BDD execution conditions of the RTs it claims to carry (encode -> decode
@@ -16,13 +19,21 @@
 // immediate fields must hold the bound values, and branch fields the resolved
 // target addresses — all at in-bounds bit positions. Path 5 then *executes*
 // the emitted words on the instruction-set simulator and compares the final
-// register/memory state against the reference evaluator, bit for bit.
+// register/memory state against the reference evaluator, bit for bit. Path 6
+// repeats that execution for the sequential (compaction-off) schedule, which
+// both verifies the ablation encoding in its own right and ATTRIBUTES a
+// path-5 divergence: a compacted run that diverges while the sequential run
+// of the same selection agrees is a compaction bug (packing, mode-set
+// insertion, delay-slot filling or encoder word merging), classified
+// kCompaction so fuzz triage and the minimizer keep it apart from selector
+// or simulator defects.
 //
 // A pair where NO path compiles (the model genuinely cannot cover the
 // program) counts as agreement with compiled=false; divergence of any kind is
 // a failure, classified (FailureClass) as structural (listings/encodings
-// differ), decode (round-trip violation or simulator rejection) or semantic
-// (simulated state diverges from the reference). minimize_program() shrinks a
+// differ), decode (round-trip violation or simulator rejection), semantic
+// (simulated state diverges from the reference) or compaction (only the
+// compacted schedule misbehaves). minimize_program() shrinks a
 // failing program against an arbitrary predicate — drivers preserve the
 // failure class while shrinking, so a semantic repro cannot collapse into an
 // unrelated structural one; write_repro()/load_repro() serialise a failure to
@@ -90,7 +101,8 @@ enum class FailureClass : std::uint8_t {
   kNone,        // no failure
   kStructural,  // paths 1-4 disagree (listings, encodings, compile outcome)
   kDecode,      // encode->decode round trip broken / simulator reject
-  kSemantic     // simulated final state diverges from the reference
+  kSemantic,    // simulated final state diverges from the reference
+  kCompaction   // only the compacted schedule misbehaves (path 6)
 };
 
 [[nodiscard]] std::string_view to_string(FailureClass c);
@@ -109,6 +121,14 @@ struct OracleReport {
   std::size_t templates = 0;  // target's extended-base size
   bool semantics_checked = false;  // path 5 actually compared state
   std::string semantics_skipped;   // why path 5 was skipped (when it was)
+  /// Path 6 verified the sequential (compaction-off) schedule too.
+  bool compaction_checked = false;
+  /// Packing shape of the reference (compacted) encoding: words carrying
+  /// two or more RTs, and the total RT count over all words — a fuzz run
+  /// reports mean RTs/word and the share of genuinely packed pairs from
+  /// these.
+  std::size_t multi_rt_words = 0;
+  std::size_t total_slot_rts = 0;
   /// Chaos mode only: structured faults (clean errors from injected
   /// failpoints/deadlines) the oracle tolerated instead of failing on.
   std::uint64_t faults_tolerated = 0;

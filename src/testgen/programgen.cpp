@@ -110,8 +110,17 @@ GeneratedProgram generate_program(const GeneratedModel& model,
   out.name = fmt("{}_p{}", model.name, seed);
 
   ProgramKnobs k;
-  k.stmts = rng.range(1, 5);
-  k.max_depth = rng.range(1, 3);
+  if (model.issue_slots > 1) {
+    // Multi-issue machines get wider kernels: more statements with
+    // shallower expressions, so independent chains exist for the compactor
+    // to pack into one word. The single-issue draw path below is untouched
+    // — seeds replay byte-identically on classic machines.
+    k.stmts = rng.range(3, 8);
+    k.max_depth = rng.range(1, 2);
+  } else {
+    k.stmts = rng.range(1, 5);
+    k.max_depth = rng.range(1, 3);
+  }
   k.use_store = model.mem_writable && rng.chance(1, 2);
   k.use_branch = model.has_pc && rng.chance(1, 3);
   out.knobs = k;
@@ -130,6 +139,20 @@ GeneratedProgram generate_program(const GeneratedModel& model,
   ExprGen gen(model, rng, mem_vars);
   if (k.use_branch) b.label("Ltop");
   for (int s = 0; s < k.stmts; ++s) {
+    if (model.issue_slots > 1 && rng.chance(1, 2)) {
+      // Packable statement: a plain reg-reg binary op on a rotating
+      // destination. Consecutive such statements touch different registers
+      // and carry no dependence, so compaction can issue them together.
+      std::string dest =
+          fmt("r{}", static_cast<std::size_t>(s) % model.registers.size());
+      hdl::OpKind op = model.program_ops[rng.below(model.program_ops.size())];
+      ir::ExprPtr e =
+          ir::e_bin(op, ir::e_var(fmt("r{}", rng.below(model.registers.size()))),
+                    ir::e_var(fmt("r{}", rng.below(model.registers.size()))));
+      if (op == hdl::OpKind::Mul) e->width_override = model.knobs.reg_width;
+      b.let(std::move(dest), std::move(e));
+      continue;
+    }
     std::string dest = fmt("r{}", rng.below(model.registers.size()));
     b.let(std::move(dest), gen.gen(k.max_depth));
   }

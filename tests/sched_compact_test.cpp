@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "compact/compact.h"
 #include "compact/depdag.h"
@@ -10,6 +12,7 @@
 #include "sched/order.h"
 #include "sched/spill.h"
 #include "select/selector.h"
+#include "sim/check.h"
 
 namespace record {
 namespace {
@@ -303,6 +306,160 @@ TEST(Compiler, EndToEndProducesListing) {
   std::string listing = result->listing();
   EXPECT_NE(listing.find("T :="), std::string::npos);
   EXPECT_NE(listing.find("P :="), std::string::npos);
+}
+
+// --- hand-crafted 2-slot machine: delay slots, contention, mode sets --------
+
+// A minimal dual-issue datapath (tests/data/duo.hdl) in the generated-model
+// style: the classic
+// immediate-capable main path (ALU: pass-a / pass-b / add) plus one extra
+// slot whose ALU function (pass-a / pass-b / and / or) is switched by the
+// 2-bit mode register SM rather than an instruction field, per-register
+// write buses with a write-enable OR, and a PC with ONE architectural branch
+// delay slot (`DELAY 1`). AND and OR exist only on the mode-switched slot,
+// so programs using them force mode-set insertion; add exists only on the
+// main path, so add-vs-and pairs exercise genuine cross-slot packing.
+
+const core::RetargetResult& duo() {
+  static const core::RetargetResult target = [] {
+    std::ifstream in(std::string(RECORD_TESTS_DIR) + "/data/duo.hdl");
+    EXPECT_TRUE(in) << "missing fixture tests/data/duo.hdl";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    util::DiagnosticSink diags;
+    auto r = core::Record::retarget(buf.str(), core::RetargetOptions{}, diags);
+    EXPECT_TRUE(r) << diags.str();
+    return std::move(*r);
+  }();
+  return target;
+}
+
+/// Compiles on duo and asserts success.
+core::CompileResult duo_compile(const ir::Program& prog) {
+  core::Compiler compiler(duo());
+  util::DiagnosticSink diags;
+  auto result = compiler.compile(prog, core::CompileOptions{}, diags);
+  EXPECT_TRUE(result) << diags.str();
+  return result ? std::move(*result) : core::CompileResult{};
+}
+
+/// The semantic oracle over a duo compile: emitted words executed on the
+/// RT simulator vs. the IR reference evaluator.
+void expect_duo_semantics(const ir::Program& prog,
+                          const core::CompileResult& result) {
+  sim::CheckReport chk = sim::check_semantics(prog, result, duo());
+  EXPECT_EQ(chk.status, sim::CheckStatus::kAgree) << chk.detail;
+}
+
+TEST(DuoMachine, ExtractsOneBranchDelaySlot) {
+  EXPECT_EQ(duo().base->branch_delay_slots, 1);
+}
+
+TEST(DuoDelay, IndependentWordMovesIntoTheDelaySlot) {
+  // Body: two main-ALU adds (serial: one add unit) and a backward branch.
+  // The second add neither feeds the branch nor writes PC, so the delay
+  // filler moves it past the branch instead of padding a NOP.
+  ir::ProgramBuilder b("t");
+  b.reg("r0", "R0").reg("r1", "R1");
+  b.label("top");
+  b.let("r0", ir::e_add(ir::e_var("r0"), ir::e_const(1)));
+  b.let("r1", ir::e_add(ir::e_var("r1"), ir::e_const(2)));
+  b.jump("top");
+  ir::Program prog = b.take();
+  core::CompileResult res = duo_compile(prog);
+
+  const compact::CompactedRegion* region = nullptr;
+  for (const auto& r : res.compacted.program.regions)
+    if (r.label == "top") region = &r;
+  ASSERT_NE(region, nullptr);
+  ASSERT_EQ(region->words.size(), 3u);
+  EXPECT_FALSE(region->words.back().has_branch)
+      << "branch still in the last word: delay slot not filled";
+  EXPECT_TRUE(region->words[1].has_branch);
+  ASSERT_EQ(region->words.back().rts.size(), 1u);
+  EXPECT_EQ(region->words.back().rts[0]->dest, "R1");
+  EXPECT_EQ(res.compacted.stats.delay_slots_filled, 1u);
+  EXPECT_EQ(res.compacted.stats.delay_nops_inserted, 0u);
+
+  expect_duo_semantics(prog, res);
+}
+
+TEST(DuoDelay, UnfillableDelaySlotPadsANop) {
+  // A region that is ONLY a branch has nothing to move: the filler must pad
+  // the delay slot with an empty (NOP) word, and that word must still
+  // decode on the machine (the unguarded pout transfer keeps it valid).
+  ir::ProgramBuilder b("t");
+  b.reg("r0", "R0");
+  b.label("top");
+  b.jump("top");
+  ir::Program prog = b.take();
+  core::CompileResult res = duo_compile(prog);
+
+  const compact::CompactedRegion* region = nullptr;
+  for (const auto& r : res.compacted.program.regions)
+    if (r.label == "top") region = &r;
+  ASSERT_NE(region, nullptr);
+  ASSERT_EQ(region->words.size(), 2u);
+  EXPECT_TRUE(region->words[0].has_branch);
+  EXPECT_TRUE(region->words.back().rts.empty()) << "expected a NOP pad";
+  EXPECT_EQ(res.compacted.stats.delay_nops_inserted, 1u);
+
+  expect_duo_semantics(prog, res);
+}
+
+TEST(DuoContention, SameDestinationNeverSharesAWord) {
+  // Both statements write R0. The slots could encode the two writes into
+  // one word bit-wise, but that word would drive two values into one
+  // register — the WAW dependence must keep them sequential, and the
+  // emitted words must replay to the second value.
+  ir::ProgramBuilder b("t");
+  b.reg("r0", "R0").reg("r1", "R1");
+  b.let("r0", ir::e_const(1));
+  b.let("r0", ir::e_const(2));
+  ir::Program prog = b.take();
+  core::CompileResult res = duo_compile(prog);
+  EXPECT_EQ(res.compacted.program.word_count(), 2u);
+  EXPECT_EQ(res.compacted.stats.multi_rt_words, 0u);
+  for (const auto& region : res.compacted.program.regions)
+    for (const auto& word : region.words) EXPECT_LE(word.rts.size(), 1u);
+  expect_duo_semantics(prog, res);
+}
+
+TEST(DuoPacking, MainAndModeSlotPackWithAModeSet) {
+  // `r0 + r1` exists only on the main ALU; `r1 & 3` only on the mode slot
+  // (requiring SM = 2). The statements are WAR-independent, so the pair
+  // packs into one word and the compactor synthesises the mode set.
+  ir::ProgramBuilder b("t");
+  b.reg("r0", "R0").reg("r1", "R1");
+  b.let("r0", ir::e_add(ir::e_var("r0"), ir::e_var("r1")));
+  b.let("r1", ir::e_bin(hdl::OpKind::And, ir::e_var("r1"), ir::e_const(3)));
+  ir::Program prog = b.take();
+  core::CompileResult res = duo_compile(prog);
+  EXPECT_EQ(res.compacted.stats.multi_rt_words, 1u);
+  EXPECT_EQ(res.compacted.stats.mode_sets_inserted, 1u);
+  EXPECT_EQ(res.compacted.program.word_count(), 2u);  // mode set + packed
+  expect_duo_semantics(prog, res);
+}
+
+TEST(DuoModes, ConflictingModeBitsResynthesizeTheFullRegister) {
+  // AND needs SM = 2 (bits 10), OR needs SM = 3 (bits 11). After the first
+  // set only bit 0 differs — but a mode-set word writes the WHOLE register,
+  // so the second synthesized value must carry the established bit 1 too
+  // (write 3, not 1). Regression for the mode-state clobber where the set
+  // value was built from the changed bits alone.
+  ir::ProgramBuilder b("t");
+  b.reg("r0", "R0").reg("r1", "R1");
+  b.let("r1", ir::e_bin(hdl::OpKind::And, ir::e_var("r0"), ir::e_var("r1")));
+  b.let("r0", ir::e_bin(hdl::OpKind::Or, ir::e_var("r0"), ir::e_var("r1")));
+  ir::Program prog = b.take();
+  core::CompileResult res = duo_compile(prog);
+  EXPECT_EQ(res.compacted.stats.mode_sets_inserted, 2u);
+  std::string listing = res.listing();
+  EXPECT_NE(listing.find("SM := #2"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("SM := #3"), std::string::npos) << listing;
+  EXPECT_EQ(listing.find("SM := #1"), std::string::npos)
+      << "mode set dropped the established high bit:\n" << listing;
+  expect_duo_semantics(prog, res);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/compiler.h"
 #include "core/record.h"
@@ -373,6 +375,149 @@ TEST(NegativeDecode, BitFlipChangingTheImmediateStillExecutesButDiverges) {
   CheckReport rep = check_semantics(*prog, n->compiled, n->target);
   EXPECT_EQ(rep.status, CheckStatus::kDiverged);
   EXPECT_NE(rep.detail.find("R0"), std::string::npos) << rep.detail;
+}
+
+// --- multi-slot decode: the duo machine (tests/data/duo.hdl) ----------------
+//
+// duo packs two issue slots into a 23-bit word: the main ALU path
+// (imm w(3:0) shared with PC.d, AM.s w(5:4), BM.s w(7:6), ALU.f w(9:8),
+// DD.d w(11:10) with 1=R0 2=R1 3=PC) and a mode-switched slot
+// (A1.s w(12), B1.s w(13), D1.d w(15:14), X1 imm w(19:16), U1.f = SM).
+// The PC has DELAY 1: one architectural branch delay slot. Words are built
+// bit-by-bit here — these tests exercise the decoder on words no compiler
+// produced.
+
+const core::RetargetResult& duo() {
+  static const core::RetargetResult target = [] {
+    std::ifstream in(std::string(RECORD_TESTS_DIR) + "/data/duo.hdl");
+    EXPECT_TRUE(in) << "missing fixture tests/data/duo.hdl";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    util::DiagnosticSink diags;
+    auto r = core::Record::retarget(buf.str(), core::RetargetOptions{}, diags);
+    EXPECT_TRUE(r) << diags.str();
+    return std::move(*r);
+  }();
+  return target;
+}
+
+emit::EncodedWord duo_word(std::uint32_t v, int address) {
+  emit::EncodedWord w;
+  w.address = address;
+  w.bits.assign(23, false);
+  for (int k = 0; k < 23; ++k) w.bits[k] = ((v >> k) & 1u) != 0;
+  return w;
+}
+
+// Field placements (see the layout comment above).
+constexpr std::uint32_t duo_imm(std::uint32_t v) { return v & 0xfu; }
+constexpr std::uint32_t duo_am_imm = 2u << 4;   // A operand mux selects imm
+constexpr std::uint32_t duo_dd(std::uint32_t v) { return v << 10; }
+constexpr std::uint32_t duo_b1_x1 = 1u << 13;   // slot-1 B operand = X1 imm
+constexpr std::uint32_t duo_d1(std::uint32_t v) { return v << 14; }
+
+TEST(MultiSlotDecode, DoubleBusDriveDecodesAsNeitherWrite) {
+  // A word asserting BOTH destination decoders for R0 (main DD.d = 1 and
+  // slot-1 D1.d = 1) would put two drivers on the wb0 bus — structurally
+  // undefined hardware. Template extraction bakes driver exclusivity into
+  // every writer's condition, so NEITHER write fires: the decoder must not
+  // pick a winner, and R0 keeps its prior value.
+  emit::Assembly a;
+  a.words.push_back(
+      duo_word(duo_imm(5) | duo_am_imm | duo_dd(1) | duo_d1(1) | duo_b1_x1,
+               0));
+  State init(*duo().base);
+  init.write_reg("R0", 7);
+  init.write_reg("R1", 0);
+  Machine machine(*duo().base);
+  MachineResult r = machine.run(a, {}, &init);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.state.read_reg("R0"), 7) << "a bus double-drive word wrote R0";
+}
+
+// A register file entry with TWO write ports, each fed by its own immediate
+// field and load enable — the one structure where two RT templates can fire
+// on the same word writing the same location. VLIW register files have
+// exactly this shape; conflicting values are a structural hazard the
+// decoder must reject, while agreeing values (commutative-twin encodings)
+// are legitimate.
+constexpr std::string_view kDualPortHdl = R"HDL(
+PROCESSOR dup;
+CONTROLLER iw (OUT w:(9:0));
+REGISTER R0 (IN d:(3:0); IN e:(3:0); OUT q:(3:0); CTRL ld:(0:0);
+             CTRL le:(0:0));
+BEHAVIOR
+  q := d WHEN ld = 1;
+  q := e WHEN le = 1;
+END;
+PORT pout: OUT (3:0);
+STRUCTURE
+PARTS
+  IW: iw;
+  R0: R0;
+CONNECTIONS
+  R0.d  := IW.w(3:0);
+  R0.e  := IW.w(7:4);
+  R0.ld := IW.w(8:8);
+  R0.le := IW.w(9:9);
+  pout := R0.q;
+END;
+)HDL";
+
+const core::RetargetResult& dual_port() {
+  static const core::RetargetResult target = [] {
+    util::DiagnosticSink diags;
+    auto r =
+        core::Record::retarget(kDualPortHdl, core::RetargetOptions{}, diags);
+    EXPECT_TRUE(r) << diags.str();
+    return std::move(*r);
+  }();
+  return target;
+}
+
+MachineResult run_dual_port(std::uint32_t imm_d, std::uint32_t imm_e) {
+  emit::Assembly a;
+  emit::EncodedWord w;
+  w.address = 0;
+  w.bits.assign(10, false);
+  std::uint32_t v = (imm_d & 0xfu) | ((imm_e & 0xfu) << 4) | (1u << 8) |
+                    (1u << 9);  // both load enables asserted
+  for (int k = 0; k < 10; ++k) w.bits[k] = ((v >> k) & 1u) != 0;
+  a.words.push_back(std::move(w));
+  Machine machine(*dual_port().base);
+  return machine.run(a, {});
+}
+
+TEST(MultiSlotDecode, ConflictingSameLocationWritesAreRejected) {
+  MachineResult r = run_dual_port(5, 3);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.unsupported);
+  EXPECT_NE(r.error.find("write contention"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("R0"), std::string::npos) << r.error;
+}
+
+TEST(MultiSlotDecode, AgreeingSameLocationWritesCommitOnce) {
+  MachineResult r = run_dual_port(7, 7);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.state.read_reg("R0"), 7);
+}
+
+TEST(MultiSlotDecode, DelaySlotRetiresBeforeTheBranchLands) {
+  // word 0 branches to word 3; word 1 sits in the delay slot and must
+  // still retire (R0 := 5) before the PC write lands; word 2 is jumped
+  // over and must NOT execute (it would set R0 := 9).
+  emit::Assembly a;
+  a.words.push_back(duo_word(duo_imm(3) | duo_dd(3), 0));             // goto 3
+  a.words.push_back(duo_word(duo_imm(5) | duo_am_imm | duo_dd(1), 1));  // R0:=5
+  a.words.push_back(duo_word(duo_imm(9) | duo_am_imm | duo_dd(1), 2));  // R0:=9
+  a.words.push_back(duo_word(duo_imm(1) | duo_am_imm | duo_dd(2), 3));  // R1:=1
+  Machine machine(*duo().base);
+  MachineResult r = machine.run(a, {});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stop, StopReason::kHalt);
+  EXPECT_EQ(r.taken_branches, 1);
+  EXPECT_EQ(r.state.read_reg("R0"), 5) << "delay-slot word did not retire";
+  EXPECT_EQ(r.state.read_reg("R1"), 1) << "branch did not land on word 3";
 }
 
 // --- generated machines ------------------------------------------------------

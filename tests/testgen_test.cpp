@@ -554,8 +554,35 @@ TEST_P(CheckedInModel, MatchesGeneratorAndPassesOracle) {
   EXPECT_TRUE(rep.agree) << rep.failure << "\n" << gp.kernel;
 }
 
+// Seeds 9, 12 and 53 pin the multi-issue generator across its shape space:
+// 2 slots + mode-switched ALU + a branch delay slot, 3 slots + mode, and a
+// plain 4-slot machine with a PC. Seeds 0, 2 and 4 predate multi-issue
+// (0 and 4 now draw extra slots; 2 stays single-issue, witnessing that the
+// second knob stream leaves classic models byte-identical).
 INSTANTIATE_TEST_SUITE_P(Fixtures, CheckedInModel,
-                         ::testing::Values(0ull, 2ull, 4ull));
+                         ::testing::Values(0ull, 2ull, 4ull, 9ull, 12ull,
+                                           53ull));
+
+TEST(MultiIssuePins, PinnedSeedsCoverTheKnobSpace) {
+  GeneratedModel m9 = generate_model(9);
+  EXPECT_EQ(m9.knobs.issue_slots, 2);
+  EXPECT_TRUE(m9.knobs.mode_alu);
+  EXPECT_EQ(m9.knobs.branch_delay, 1);
+  EXPECT_EQ(m9.branch_delay, 1);
+  GeneratedModel m12 = generate_model(12);
+  EXPECT_EQ(m12.knobs.issue_slots, 3);
+  EXPECT_TRUE(m12.knobs.mode_alu);
+  EXPECT_EQ(m12.knobs.branch_delay, 0);
+  GeneratedModel m53 = generate_model(53);
+  EXPECT_EQ(m53.knobs.issue_slots, 4);
+  EXPECT_FALSE(m53.knobs.mode_alu);
+  EXPECT_TRUE(m53.knobs.has_pc);
+  // And the classic witness: seed 2 drew no extra slots, so its HDL must
+  // not even mention the slot machinery.
+  GeneratedModel m2 = generate_model(2);
+  EXPECT_EQ(m2.knobs.issue_slots, 1);
+  EXPECT_EQ(m2.hdl.find("salu"), std::string::npos);
+}
 
 }  // namespace
 }  // namespace record::testgen

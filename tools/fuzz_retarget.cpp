@@ -3,14 +3,16 @@
 // For every seed in the range, generates a random processor model
 // (testgen::generate_model), a batch of random kernel programs sized to it
 // (testgen::generate_program), and pushes each (model, program) pair through
-// the five-path differential oracle (testgen::check_pair): interpreter
+// the six-path differential oracle (testgen::check_pair): interpreter
 // selection, table-driven selection, the warm persistent-cache path, a
 // multi-worker CompileService batch, a per-word encode->decode round trip,
-// and the semantic oracle (RT-level simulator vs. IR reference evaluator).
+// the semantic oracle (RT-level simulator vs. IR reference evaluator), and
+// the compaction cross-check (the same selection with compaction disabled,
+// simulated too, attributing divergences the packer introduced).
 // On divergence the failing program is minimized — preserving the failure
-// class (structural / decode / semantic), so a semantic repro cannot
-// collapse into an unrelated structural one — and dumped as a standalone
-// JSON repro file that --replay reproduces.
+// class (structural / decode / semantic / compaction), so a semantic repro
+// cannot collapse into an unrelated structural one — and dumped as a
+// standalone JSON repro file that --replay reproduces.
 //
 // Usage:
 //   fuzz_retarget [--seeds A..B | --seeds N]  seed range (default 0..50)
@@ -27,6 +29,12 @@
 //                 [--replay PATH]             re-run a dumped repro instead
 //                 [--keep-cache]              keep the oracle cache dir
 //                 [--no-semantics]            skip the semantic oracle path
+//                 [--no-compact]              compile with compaction off
+//                                             (every RT its own word): the
+//                                             ablation twin of the default
+//                                             run — also disables the
+//                                             compaction cross-check, which
+//                                             needs a compacted reference
 //                 [--trace PATH]              record spans and write a
 //                                             Chrome/Perfetto trace (open in
 //                                             ui.perfetto.dev) on exit
@@ -103,6 +111,7 @@ struct Args {
   bool fail_fast = false;
   bool keep_cache = false;
   bool semantics = true;
+  bool compact = true;
   bool verbose = false;
   bool explain = false;
   bool coverage_guided = false;
@@ -177,6 +186,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.keep_cache = true;
     } else if (arg == "--no-semantics") {
       a.semantics = false;
+    } else if (arg == "--no-compact") {
+      a.compact = false;
     } else if (arg == "--verbose") {
       a.verbose = true;
     } else if (arg == "--explain") {
@@ -238,6 +249,12 @@ struct Counters {
   std::uint64_t templates_total = 0;
   std::uint64_t sem_checked = 0, sem_skipped = 0;
   std::uint64_t faults_injected = 0, faults_tolerated = 0;  // chaos mode
+  // Packing shape across compiled pairs (from the compacted reference):
+  // pairs where some word carries >= 2 RTs, the word/RT totals behind the
+  // mean-RTs-per-word figure, and pairs the compaction cross-check covered.
+  std::uint64_t packed_pairs = 0, multi_rt_words = 0;
+  std::uint64_t words_total = 0, slot_rts_total = 0;
+  std::uint64_t compaction_checked = 0;
   bool stop = false;
 };
 
@@ -359,8 +376,15 @@ void run_pair(const Args& args, const testgen::OracleOptions& oopts,
     c.faults_tolerated += rep.faults_tolerated;
     util::failpoint_disarm_all();
   }
-  if (rep.compiled) ++c.compiled;
+  if (rep.compiled) {
+    ++c.compiled;
+    c.words_total += rep.words;
+    c.slot_rts_total += rep.total_slot_rts;
+    c.multi_rt_words += rep.multi_rt_words;
+    if (rep.multi_rt_words > 0) ++c.packed_pairs;
+  }
   if (rep.semantics_checked) ++c.sem_checked;
+  if (rep.compaction_checked) ++c.compaction_checked;
   if (!rep.semantics_skipped.empty()) ++c.sem_skipped;
   c.templates_total += rep.templates;
   if (args.verbose)
@@ -519,7 +543,7 @@ int main(int argc, char** argv) {
                  "usage: fuzz_retarget [--seeds A..B|N] [--programs K] "
                  "[--workers N] [--service-every M] [--fail-fast] "
                  "[--repro-out PATH] [--replay PATH] [--keep-cache] "
-                 "[--no-semantics] [--trace PATH] [--explain] "
+                 "[--no-semantics] [--no-compact] [--trace PATH] [--explain] "
                  "[--coverage-guided] [--chaos] [--verbose]\n");
     return 2;
   }
@@ -534,6 +558,7 @@ int main(int argc, char** argv) {
   oopts.service_workers = args.workers;
   oopts.cache_dir = testgen::default_cache_dir();
   oopts.semantics = args.semantics;
+  oopts.compile.compact.enabled = args.compact;
 
   int status;
   if (!args.replay.empty()) {
@@ -568,6 +593,31 @@ int main(int argc, char** argv) {
                                   ? static_cast<double>(c.templates_total) /
                                         static_cast<double>(c.pairs)
                                   : 0.0));
+    {
+      // Packing shape of the run: how often compaction actually packed, and
+      // the cross-check coverage. A multi-issue campaign gates on
+      // packed_share (the fraction of compiled pairs where some word
+      // carries >= 2 RTs).
+      service::Json jp = service::Json::object();
+      jp.set("enabled", service::Json(args.compact));
+      jp.set("checked_pairs",
+             service::Json(static_cast<double>(c.compaction_checked)));
+      jp.set("packed_pairs",
+             service::Json(static_cast<double>(c.packed_pairs)));
+      jp.set("multi_rt_words",
+             service::Json(static_cast<double>(c.multi_rt_words)));
+      jp.set("mean_rts_per_word",
+             service::Json(c.words_total
+                               ? static_cast<double>(c.slot_rts_total) /
+                                     static_cast<double>(c.words_total)
+                               : 0.0));
+      jp.set("packed_share",
+             service::Json(c.compiled
+                               ? static_cast<double>(c.packed_pairs) /
+                                     static_cast<double>(c.compiled)
+                               : 0.0));
+      summary.set("compaction", std::move(jp));
+    }
     if (args.chaos) {
       service::Json jch = service::Json::object();
       jch.set("injected",
